@@ -1,0 +1,126 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// protocol thresholds, the region-coalescing optimizer, and the
+// contiguous fast path of the derived-datatype engine.
+package mpicd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddtbench"
+	"mpicd/internal/harness"
+	"mpicd/internal/ucp"
+)
+
+// benchOpWith is benchOp with explicit world options.
+func benchOpWith(b *testing.B, opt core.Options, op harness.Op) {
+	b.Helper()
+	sys := core.NewSystem(2, opt)
+	defer sys.Close()
+	iters := b.N
+	done := make(chan error, 1)
+	go func() {
+		c := sys.Comm(1)
+		for i := 0; i < iters; i++ {
+			if err := op.Recv(c, 0, 1); err != nil {
+				done <- err
+				return
+			}
+			if err := op.Send(c, 0, 2); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	c := sys.Comm(0)
+	b.SetBytes(2 * op.Bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op.Send(c, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := op.Recv(c, 1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblationRndvThreshold sweeps the eager→rendezvous switch for a
+// contiguous 64 KiB transfer: too low pays handshakes, too high pays the
+// extra eager staging copies.
+func BenchmarkAblationRndvThreshold(b *testing.B) {
+	const size = 64 * 1024
+	for _, thresh := range []int64{4 << 10, 32 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("thresh-%dK", thresh/1024), func(b *testing.B) {
+			opt := core.Options{UCP: ucp.Config{RndvThresh: thresh}}
+			benchOpWith(b, opt, harness.PickleOp("roofline", nil, size))
+		})
+	}
+}
+
+// BenchmarkAblationIovRndvMin sweeps the region-list rendezvous threshold
+// on a region-heavy transfer (double-vec, 1024-byte subvectors, 64 KiB):
+// below the threshold regions are gathered into eager fragments, above it
+// they move zero-copy but pay the handshake.
+func BenchmarkAblationIovRndvMin(b *testing.B) {
+	const size = 64 * 1024
+	for _, min := range []int64{1 << 10, 8 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("min-%dK", min/1024), func(b *testing.B) {
+			opt := core.Options{UCP: ucp.Config{IovRndvMin: min}}
+			benchOpWith(b, opt, harness.DoubleVecOp("custom", size, 1024))
+		})
+	}
+}
+
+// BenchmarkAblationFragSize sweeps the eager fragment size for a 256 KiB
+// callback-packed transfer: small fragments mean more per-packet
+// overhead, large ones more staging memory.
+func BenchmarkAblationFragSize(b *testing.B) {
+	for _, frag := range []int{4 << 10, 16 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("frag-%dK", frag/1024), func(b *testing.B) {
+			opt := core.Options{UCP: ucp.Config{FragSize: frag, RndvThresh: 1 << 30}}
+			opt.Fabric.FragSize = frag
+			benchOpWith(b, opt, harness.StructSimpleOp("custom", 256<<10))
+		})
+	}
+}
+
+// BenchmarkAblationRegionCoalescing contrasts the two region exposures of
+// the same exchange: NAS_MG_y's coalesced rows (few large regions)
+// versus NAS_MG_x's per-element regions (thousands of 8-byte pieces) at
+// the same packed size — the mechanism behind Figure 10's region
+// win/loss split.
+func BenchmarkAblationRegionCoalescing(b *testing.B) {
+	for _, name := range []string{"NAS_MG_y", "NAS_MG_x"} {
+		k, err := ddtbench.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := k.Instance(1)
+		op, err := harness.DDTBenchOp(in, ddtbench.MethodCustomRegions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s-%dregions", name, in.Type.NumRuns()), func(b *testing.B) {
+			benchOpWith(b, core.Options{}, op)
+		})
+	}
+}
+
+// BenchmarkAblationContigFastPath measures the derived-datatype engine's
+// contiguous shortcut against the generic walk on the same bytes.
+func BenchmarkAblationContigFastPath(b *testing.B) {
+	const size = 1 << 20
+	b.Run("contig-fast-path", func(b *testing.B) {
+		benchOpWith(b, core.Options{}, harness.StructSimpleNoGapOp("rsmpi", size))
+	})
+	b.Run("gapped-engine-walk", func(b *testing.B) {
+		benchOpWith(b, core.Options{}, harness.StructSimpleOp("rsmpi", size))
+	})
+}

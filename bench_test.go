@@ -1,0 +1,207 @@
+// Benchmarks reproducing every table and figure of the paper's
+// evaluation (Section V) as testing.B benchmarks: one benchmark family
+// per figure, one sub-benchmark per (method, representative size). The
+// full sweeps behind the actual plots are produced by cmd/mpicd-bench;
+// these benches regenerate each figure's characteristic points under
+// `go test -bench`, with MB/s reported via SetBytes.
+//
+// Figure index:
+//
+//	BenchmarkFig1DoubleVecLatency   — Fig 1 (latency vs subvector size)
+//	BenchmarkFig2DoubleVecBandwidth — Fig 2
+//	BenchmarkFig3StructVecLatency   — Fig 3
+//	BenchmarkFig4StructVecBandwidth — Fig 4
+//	BenchmarkFig5StructSimpleLatency       — Fig 5
+//	BenchmarkFig6StructSimpleNoGapLatency  — Fig 6
+//	BenchmarkFig7StructSimpleBandwidth     — Fig 7
+//	BenchmarkFig8PickleSingleArray  — Fig 8
+//	BenchmarkFig9PickleComplexObject — Fig 9
+//	BenchmarkFig10DDTBench          — Fig 10 (plus the coroutine ablation)
+package mpicd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddtbench"
+	"mpicd/internal/harness"
+)
+
+// benchOp drives b.N pingpong exchanges of op over a fresh 2-rank world.
+func benchOp(b *testing.B, op harness.Op) {
+	b.Helper()
+	sys := core.NewSystem(2, core.Options{})
+	defer sys.Close()
+	const warm = 4
+	iters := b.N + warm
+	done := make(chan error, 1)
+	go func() {
+		c := sys.Comm(1)
+		for i := 0; i < iters; i++ {
+			if err := op.Recv(c, 0, 1); err != nil {
+				done <- err
+				return
+			}
+			if err := op.Send(c, 0, 2); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	c := sys.Comm(0)
+	fail := func(err error) {
+		b.Fatal(err)
+	}
+	for i := 0; i < warm; i++ {
+		if err := op.Send(c, 1, 1); err != nil {
+			fail(err)
+		}
+		if err := op.Recv(c, 1, 2); err != nil {
+			fail(err)
+		}
+	}
+	b.SetBytes(2 * op.Bytes) // a pingpong moves the payload twice
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op.Send(c, 1, 1); err != nil {
+			fail(err)
+		}
+		if err := op.Recv(c, 1, 2); err != nil {
+			fail(err)
+		}
+	}
+	b.StopTimer()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig1DoubleVecLatency reproduces Figure 1: double-vec latency
+// at a small message size for each subvector size and method.
+func BenchmarkFig1DoubleVecLatency(b *testing.B) {
+	const msg = 4096
+	for _, sub := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("custom-sub%d", sub), func(b *testing.B) {
+			benchOp(b, harness.DoubleVecOp("custom", msg, sub))
+		})
+	}
+	b.Run("manual-pack", func(b *testing.B) {
+		benchOp(b, harness.DoubleVecOp("manual-pack", msg, 1024))
+	})
+	b.Run("rsmpi-bytes-baseline", func(b *testing.B) {
+		benchOp(b, harness.DoubleVecOp("rsmpi-bytes-baseline", msg, 1024))
+	})
+}
+
+// BenchmarkFig2DoubleVecBandwidth reproduces Figure 2: double-vec
+// bandwidth with 1024-byte subvectors at a large message size.
+func BenchmarkFig2DoubleVecBandwidth(b *testing.B) {
+	const msg = 1 << 20
+	for _, m := range []string{"custom", "manual-pack", "rsmpi-bytes-baseline"} {
+		b.Run(m, func(b *testing.B) {
+			benchOp(b, harness.DoubleVecOp(m, msg, 1024))
+		})
+	}
+}
+
+func structBench(b *testing.B, opMaker func(method string, size int) harness.Op, size int) {
+	b.Helper()
+	for _, m := range []string{"custom", "packed", "rsmpi"} {
+		b.Run(fmt.Sprintf("%s-%dB", m, size), func(b *testing.B) {
+			benchOp(b, opMaker(m, size))
+		})
+	}
+}
+
+// BenchmarkFig3StructVecLatency reproduces Figure 3: struct-vec latency
+// below and around the crossover.
+func BenchmarkFig3StructVecLatency(b *testing.B) {
+	structBench(b, harness.StructVecOp, 8212)    // one element
+	structBench(b, harness.StructVecOp, 8212*32) // 2^18-ish crossover
+}
+
+// BenchmarkFig4StructVecBandwidth reproduces Figure 4: struct-vec
+// bandwidth at a large size.
+func BenchmarkFig4StructVecBandwidth(b *testing.B) {
+	structBench(b, harness.StructVecOp, 8212*256) // ~2 MiB
+}
+
+// BenchmarkFig5StructSimpleLatency reproduces Figure 5: struct-simple
+// (gapped) latency where the derived-datatype engine suffers.
+func BenchmarkFig5StructSimpleLatency(b *testing.B) {
+	structBench(b, harness.StructSimpleOp, 20*512) // 10 KiB
+}
+
+// BenchmarkFig6StructSimpleNoGapLatency reproduces Figure 6: the no-gap
+// variant where the engine's contiguous fast path keeps up.
+func BenchmarkFig6StructSimpleNoGapLatency(b *testing.B) {
+	for _, m := range []string{"custom", "packed", "rsmpi"} {
+		b.Run(m, func(b *testing.B) {
+			benchOp(b, harness.StructSimpleNoGapOp(m, 16*512))
+		})
+	}
+}
+
+// BenchmarkFig7StructSimpleBandwidth reproduces Figure 7: struct-simple
+// bandwidth at a large size (custom's copy advantage).
+func BenchmarkFig7StructSimpleBandwidth(b *testing.B) {
+	structBench(b, harness.StructSimpleOp, 20*65536) // ~1.3 MiB
+}
+
+// BenchmarkFig8PickleSingleArray reproduces Figure 8: serialized single
+// arrays at a post-crossover size.
+func BenchmarkFig8PickleSingleArray(b *testing.B) {
+	const size = 1 << 20
+	for _, m := range []string{"roofline", "pickle-basic", "pickle-oob", "pickle-oob-cdt"} {
+		b.Run(m, func(b *testing.B) {
+			benchOp(b, harness.PickleOpSingleArray(m, size))
+		})
+	}
+}
+
+// BenchmarkFig9PickleComplexObject reproduces Figure 9: a complex object
+// of 128 KiB arrays summing to 1 MiB.
+func BenchmarkFig9PickleComplexObject(b *testing.B) {
+	const size = 1 << 20
+	for _, m := range []string{"roofline", "pickle-basic", "pickle-oob", "pickle-oob-cdt"} {
+		b.Run(m, func(b *testing.B) {
+			benchOp(b, harness.PickleOpComplexObject(m, size))
+		})
+	}
+}
+
+// BenchmarkFig10DDTBench reproduces Figure 10: every kernel and every
+// applicable method (including the custom-coro resumable-pack ablation).
+func BenchmarkFig10DDTBench(b *testing.B) {
+	for _, k := range ddtbench.All {
+		in := k.Instance(1)
+		for _, m := range in.Methods() {
+			b.Run(fmt.Sprintf("%s/%s", k.Name, m), func(b *testing.B) {
+				op, err := harness.DDTBenchOp(in, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchOp(b, op)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationCoroVsOffsetPack isolates the resumable-pack design
+// choice: the same kernel packed via offset recomputation (PackAt) versus
+// the suspendable generator (the paper's coroutine experiment), on the
+// deepest loop nest in the suite.
+func BenchmarkAblationCoroVsOffsetPack(b *testing.B) {
+	in := ddtbench.MILC.Instance(1)
+	for _, m := range []ddtbench.Method{ddtbench.MethodCustomPack, ddtbench.MethodCustomCoro} {
+		b.Run(string(m), func(b *testing.B) {
+			op, err := harness.DDTBenchOp(in, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchOp(b, op)
+		})
+	}
+}

@@ -1,0 +1,112 @@
+// ddtbench runs the reproduced DDTBench subset (paper Section V.C).
+//
+// Usage:
+//
+//	ddtbench -table                 # print Table I (kernel characteristics)
+//	ddtbench                        # run every kernel, every method
+//	ddtbench -kernel MILC -scale 2  # one kernel at a larger size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddtbench"
+	"mpicd/internal/harness"
+)
+
+// verifyAll runs one verified exchange per kernel and method before any
+// timing, failing loudly on payload corruption.
+func verifyAll(kernels []*ddtbench.Kernel, scale int) error {
+	for _, k := range kernels {
+		in := k.Instance(scale)
+		for _, m := range in.Methods() {
+			src := in.NewImage(3)
+			dst := make([]byte, in.ImageLen)
+			err := core.Run(2, core.Options{}, func(c *core.Comm) error {
+				e, err := ddtbench.NewEndpoint(in, m)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					return e.Send(c, src, 1, 1)
+				}
+				return e.Recv(c, dst, 0, 1)
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", k.Name, m, err)
+			}
+			if m != ddtbench.MethodReference && !in.PackedEqual(src, dst) {
+				return fmt.Errorf("%s/%s: payload corrupted", k.Name, m)
+			}
+		}
+		fmt.Printf("verified %s (all methods)\n", k.Name)
+	}
+	return nil
+}
+
+func main() {
+	table := flag.Bool("table", false, "print Table I and exit")
+	kernel := flag.String("kernel", "", "run a single kernel (default: all)")
+	scale := flag.Int("scale", 1, "exchange size scale")
+	quick := flag.Bool("quick", false, "reduced iterations")
+	verify := flag.Bool("verify", false, "verify payload integrity per method before timing")
+	flag.Parse()
+
+	if *table {
+		harness.TableI().Print(os.Stdout)
+		return
+	}
+
+	cfg := harness.Full
+	if *quick {
+		cfg = harness.Quick
+	}
+
+	kernels := ddtbench.All
+	if *kernel != "" {
+		k, err := ddtbench.ByName(*kernel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		kernels = []*ddtbench.Kernel{k}
+	}
+
+	if *verify {
+		if err := verifyAll(kernels, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	t := &harness.Table{ID: "ddtbench", Title: fmt.Sprintf("bandwidth in MB/s (scale %d)", *scale)}
+	for _, m := range harness.Fig10Methods {
+		t.Columns = append(t.Columns, string(m))
+	}
+	for _, k := range kernels {
+		in := k.Instance(*scale)
+		row := harness.TableRow{Name: fmt.Sprintf("%s (%d KiB)", k.Name, in.Packed/1024)}
+		for _, m := range harness.Fig10Methods {
+			if m == ddtbench.MethodCustomRegions && !k.Regions {
+				row.Cells = append(row.Cells, "-")
+				continue
+			}
+			op, err := harness.DDTBenchOp(in, m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			mean, dev, err := harness.MeasureBandwidth(cfg, op)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			row.Cells = append(row.Cells, fmt.Sprintf("%.0f ±%.0f", mean, dev))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Print(os.Stdout)
+}

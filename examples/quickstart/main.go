@@ -1,0 +1,116 @@
+// Quickstart: bring up an in-process world, send bytes, a derived
+// datatype, and a custom datatype between two ranks.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"mpicd/mpi"
+)
+
+// vecHandler is a tiny custom datatype: a struct with two scalar fields
+// that are packed, plus a heap-allocated payload sent as a zero-copy
+// memory region — the kind of type classic derived datatypes cannot
+// express without address tricks.
+type vecHandler struct{}
+
+// record is the application type.
+type record struct {
+	ID      int64
+	Payload []byte // dynamic: sent as a memory region
+}
+
+func (vecHandler) State(buf any, _ mpi.Count) (any, error) { return buf.(*record), nil }
+func (vecHandler) FreeState(any) error                     { return nil }
+
+// The packed part is the 8-byte ID.
+func (vecHandler) PackedSize(_, _ any, _ mpi.Count) (mpi.Count, error) { return 8, nil }
+
+func (vecHandler) Pack(state, _ any, _, offset mpi.Count, dst []byte) (mpi.Count, error) {
+	r := state.(*record)
+	var hdr [8]byte
+	for i := 0; i < 8; i++ {
+		hdr[i] = byte(uint64(r.ID) >> (8 * i))
+	}
+	return mpi.Count(copy(dst, hdr[offset:])), nil
+}
+
+func (vecHandler) Unpack(state, _ any, _, offset mpi.Count, src []byte) error {
+	r := state.(*record)
+	for i, b := range src {
+		r.ID |= int64(b) << (8 * (offset + mpi.Count(i)))
+	}
+	return nil
+}
+
+func (vecHandler) RegionCount(_, _ any, _ mpi.Count) (mpi.Count, error) { return 1, nil }
+
+func (vecHandler) Regions(state, _ any, _ mpi.Count, regions [][]byte) error {
+	regions[0] = state.(*record).Payload
+	return nil
+}
+
+func main() {
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		peer := 1 - c.Rank()
+
+		// 1. Plain bytes.
+		if c.Rank() == 0 {
+			if err := c.Send([]byte("hello from rank 0"), -1, mpi.TypeBytes, peer, 0); err != nil {
+				return err
+			}
+		} else {
+			buf := make([]byte, 32)
+			st, err := c.Recv(buf, -1, mpi.TypeBytes, mpi.AnySource, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("rank 1: %q (%d bytes from rank %d)\n", buf[:st.Bytes], st.Bytes, st.Source)
+		}
+
+		// 2. A derived datatype: three int32s, an alignment gap, a
+		// float64 — the paper's struct-simple (Listing 7).
+		st, err := mpi.Struct([]int{3, 1}, []int64{0, 16}, []*mpi.DDT{mpi.Int32, mpi.Float64})
+		if err != nil {
+			return err
+		}
+		dt := mpi.FromDDT(st)
+		img := make([]byte, st.Span(10))
+		if c.Rank() == 0 {
+			for i := range img {
+				img[i] = byte(i)
+			}
+			if err := c.Send(img, 10, dt, peer, 1); err != nil {
+				return err
+			}
+		} else {
+			if _, err := c.Recv(img, 10, dt, peer, 1); err != nil {
+				return err
+			}
+			fmt.Printf("rank 1: received 10 gapped struct elements (%d packed bytes)\n", st.PackedSize(10))
+		}
+
+		// 3. The paper's contribution: a custom datatype packing one
+		// field and sending the dynamic payload zero-copy, in ONE
+		// message.
+		custom := mpi.TypeCreateCustom(vecHandler{}, mpi.WithName("record"))
+		payload := bytes.Repeat([]byte("data"), 4096)
+		if c.Rank() == 0 {
+			return c.Send(&record{ID: 42, Payload: payload}, 1, custom, peer, 2)
+		}
+		recv := &record{Payload: make([]byte, len(payload))}
+		if _, err := c.Recv(recv, 1, custom, peer, 2); err != nil {
+			return err
+		}
+		fmt.Printf("rank 1: custom datatype delivered ID=%d with %d payload bytes (intact: %v)\n",
+			recv.ID, len(recv.Payload), bytes.Equal(recv.Payload, payload))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

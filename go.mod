@@ -1,0 +1,3 @@
+module mpicd
+
+go 1.22

@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// Cartesian process topologies (MPI_Cart_create and friends): the
+// standard way stencil applications — like the DDTBench kernels' host
+// codes — organize their halo exchanges.
+
+// CartComm is a communicator with an attached Cartesian topology.
+type CartComm struct {
+	*Comm
+	dims     []int
+	periodic []bool
+}
+
+// CartCreate attaches an n-dimensional Cartesian topology to the
+// communicator (collective). The product of dims must equal the
+// communicator size; periodic selects wraparound per dimension. Ranks are
+// row-major (last dimension varies fastest), matching MPI's C order.
+func (c *Comm) CartCreate(dims []int, periodic []bool) (*CartComm, error) {
+	if len(dims) == 0 || len(dims) != len(periodic) {
+		return nil, fmt.Errorf("%w: cart dims/periodic length mismatch", ErrInvalidComm)
+	}
+	n := 1
+	for d, v := range dims {
+		if v <= 0 {
+			return nil, fmt.Errorf("%w: cart dim %d = %d", ErrInvalidComm, d, v)
+		}
+		n *= v
+	}
+	if n != c.Size() {
+		return nil, fmt.Errorf("%w: cart grid %d != comm size %d", ErrInvalidComm, n, c.Size())
+	}
+	dup, err := c.Dup()
+	if err != nil {
+		return nil, err
+	}
+	return &CartComm{
+		Comm:     dup,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}, nil
+}
+
+// Dims returns the topology's dimension sizes.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns the Cartesian coordinates of a rank (MPI_Cart_coords).
+func (cc *CartComm) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= cc.Size() {
+		return nil, fmt.Errorf("%w: cart rank %d", ErrInvalidComm, rank)
+	}
+	coords := make([]int, len(cc.dims))
+	for d := len(cc.dims) - 1; d >= 0; d-- {
+		coords[d] = rank % cc.dims[d]
+		rank /= cc.dims[d]
+	}
+	return coords, nil
+}
+
+// CartRank returns the rank at the given coordinates (MPI_Cart_rank).
+// Coordinates outside a periodic dimension wrap; outside a non-periodic
+// dimension they are an error.
+func (cc *CartComm) CartRank(coords []int) (int, error) {
+	if len(coords) != len(cc.dims) {
+		return 0, fmt.Errorf("%w: cart coords dimension %d", ErrInvalidComm, len(coords))
+	}
+	rank := 0
+	for d, v := range coords {
+		if cc.periodic[d] {
+			v = ((v % cc.dims[d]) + cc.dims[d]) % cc.dims[d]
+		} else if v < 0 || v >= cc.dims[d] {
+			return 0, fmt.Errorf("%w: coordinate %d out of non-periodic dim %d", ErrInvalidComm, v, d)
+		}
+		rank = rank*cc.dims[d] + v
+	}
+	return rank, nil
+}
+
+// ProcNull is the null-neighbor rank for non-periodic boundaries
+// (MPI_PROC_NULL): sends and receives addressed to it are skipped by
+// SendRecvNull-style helpers.
+const ProcNull = -2
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift). On non-periodic boundaries it returns
+// ProcNull for the missing neighbor.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(cc.dims) {
+		return 0, 0, fmt.Errorf("%w: cart shift dim %d", ErrInvalidComm, dim)
+	}
+	coords, err := cc.Coords(cc.Rank())
+	if err != nil {
+		return 0, 0, err
+	}
+	neighbor := func(delta int) int {
+		n := append([]int(nil), coords...)
+		n[dim] += delta
+		r, err := cc.CartRank(n)
+		if err != nil {
+			return ProcNull
+		}
+		return r
+	}
+	return neighbor(-disp), neighbor(disp), nil
+}
+
+// NeighborSendRecv is SendRecv with ProcNull handling: a ProcNull
+// destination skips the send, a ProcNull source skips the receive.
+func (cc *CartComm) NeighborSendRecv(sendBuf any, sendCount Count, sendDT *Datatype, dst, stag int,
+	recvBuf any, recvCount Count, recvDT *Datatype, src, rtag int) (Status, error) {
+	var rr *Request
+	var err error
+	if src != ProcNull {
+		rr, err = cc.Irecv(recvBuf, recvCount, recvDT, src, rtag)
+		if err != nil {
+			return Status{}, err
+		}
+	}
+	if dst != ProcNull {
+		if err := cc.Send(sendBuf, sendCount, sendDT, dst, stag); err != nil {
+			return Status{}, err
+		}
+	}
+	if rr == nil {
+		return Status{}, nil
+	}
+	return rr.Wait()
+}

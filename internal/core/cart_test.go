@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCartCoordsRankRoundtrip(t *testing.T) {
+	err := Run(6, Options{}, func(c *Comm) error {
+		cc, err := c.CartCreate([]int{2, 3}, []bool{true, false})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < 6; r++ {
+			coords, err := cc.Coords(r)
+			if err != nil {
+				return err
+			}
+			back, err := cc.CartRank(coords)
+			if err != nil {
+				return err
+			}
+			if back != r {
+				return fmt.Errorf("rank %d -> %v -> %d", r, coords, back)
+			}
+		}
+		// Row-major: rank 4 = (1, 1).
+		coords, _ := cc.Coords(4)
+		if coords[0] != 1 || coords[1] != 1 {
+			return fmt.Errorf("coords(4) = %v", coords)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartPeriodicWrapAndNull(t *testing.T) {
+	err := Run(6, Options{}, func(c *Comm) error {
+		cc, err := c.CartCreate([]int{2, 3}, []bool{true, false})
+		if err != nil {
+			return err
+		}
+		coords, _ := cc.Coords(cc.Rank())
+		// Dim 0 is periodic: shifts always resolve.
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if src == ProcNull || dst == ProcNull {
+			return fmt.Errorf("periodic shift returned ProcNull")
+		}
+		// Dim 1 is not periodic: edges get ProcNull.
+		src, dst, err = cc.Shift(1, 1)
+		if err != nil {
+			return err
+		}
+		if coords[1] == 0 && src != ProcNull {
+			return fmt.Errorf("left edge should have null source, got %d", src)
+		}
+		if coords[1] == 2 && dst != ProcNull {
+			return fmt.Errorf("right edge should have null destination, got %d", dst)
+		}
+		if coords[1] == 1 && (src == ProcNull || dst == ProcNull) {
+			return fmt.Errorf("interior rank got null neighbor")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartValidation(t *testing.T) {
+	err := Run(4, Options{}, func(c *Comm) error {
+		if _, err := c.CartCreate([]int{3}, []bool{false}); err == nil {
+			return fmt.Errorf("grid/size mismatch accepted")
+		}
+		if _, err := c.CartCreate([]int{2, 2}, []bool{false}); err == nil {
+			return fmt.Errorf("dims/periodic mismatch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartRingExchange(t *testing.T) {
+	// A periodic 1-D ring: every rank passes its payload right; after one
+	// NeighborSendRecv each rank holds its left neighbor's payload.
+	const n = 5
+	err := Run(n, Options{}, func(c *Comm) error {
+		cc, err := c.CartCreate([]int{n}, []bool{true})
+		if err != nil {
+			return err
+		}
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		mine := pattern(256, byte(cc.Rank()))
+		out := make([]byte, 256)
+		if _, err := cc.NeighborSendRecv(mine, -1, TypeBytes, dst, 1, out, -1, TypeBytes, src, 1); err != nil {
+			return err
+		}
+		left := (cc.Rank() - 1 + n) % n
+		if !bytes.Equal(out, pattern(256, byte(left))) {
+			return fmt.Errorf("ring exchange mismatch at rank %d", cc.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartNonPeriodicLineExchange(t *testing.T) {
+	// Non-periodic line: boundary ranks talk to ProcNull and must not
+	// hang or receive anything.
+	const n = 4
+	err := Run(n, Options{}, func(c *Comm) error {
+		cc, err := c.CartCreate([]int{n}, []bool{false})
+		if err != nil {
+			return err
+		}
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		mine := pattern(64, byte(cc.Rank()))
+		out := make([]byte, 64)
+		st, err := cc.NeighborSendRecv(mine, -1, TypeBytes, dst, 1, out, -1, TypeBytes, src, 1)
+		if err != nil {
+			return err
+		}
+		if cc.Rank() == 0 {
+			if st.Bytes != 0 {
+				return fmt.Errorf("rank 0 received %d bytes from null", st.Bytes)
+			}
+		} else if !bytes.Equal(out, pattern(64, byte(cc.Rank()-1))) {
+			return fmt.Errorf("line exchange mismatch at rank %d", cc.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

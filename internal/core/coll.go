@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"mpicd/internal/layout"
+)
+
+// Collective operations built on point-to-point messaging. The paper
+// leaves collective integration of custom datatypes as future work; this
+// reproduction implements the classic algorithms (dissemination barrier,
+// binomial broadcast/reduce, linear gather/scatter, ring allgather,
+// pairwise alltoall) and lets Bcast carry any datatype, including custom
+// ones, since it reduces to point-to-point transfers.
+
+// collTagBase keeps collective traffic away from user tags; each
+// collective call on a communicator must be entered by all ranks in the
+// same order (standard MPI semantics).
+const collTagBase = MaxTag - 1024
+
+// Barrier blocks until every rank in the communicator has entered it
+// (dissemination algorithm, ceil(log2 n) rounds).
+func (c *Comm) Barrier() error {
+	n := c.Size()
+	token := []byte{1}
+	recv := make([]byte, 1)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		sr, err := c.Isend(token, 1, TypeBytes, to, collTagBase)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Recv(recv, 1, TypeBytes, from, collTagBase); err != nil {
+			return err
+		}
+		if _, err := sr.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts count elements of dt at buf from root to all ranks
+// (binomial tree). Custom datatypes are supported: each hop re-serializes
+// from the local buffer.
+func (c *Comm) Bcast(buf any, count Count, dt *Datatype, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: bcast root %d", ErrInvalidComm, root)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Rotate so the root is virtual rank 0, then run the classic binomial
+	// tree: a rank receives on its lowest set bit and forwards on all
+	// lower bits.
+	vrank := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := ((vrank - mask) + root) % n
+			if _, err := c.Recv(buf, count, dt, parent, collTagBase+1); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		child := vrank + mask
+		if child >= n {
+			continue
+		}
+		dst := (child + root) % n
+		if err := c.Send(buf, count, dt, dst, collTagBase+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceOp combines src into dst element-wise; both are byte images of
+// count elements of dt.
+type ReduceOp func(dst, src []byte, count Count, dt *Datatype) error
+
+// OpSumFloat64 sums float64 elements.
+var OpSumFloat64 ReduceOp = func(dst, src []byte, count Count, _ *Datatype) error {
+	for i := Count(0); i < count; i++ {
+		layout.PutF64(dst, int(8*i), layout.F64(dst, int(8*i))+layout.F64(src, int(8*i)))
+	}
+	return nil
+}
+
+// OpSumInt64 sums int64 elements.
+var OpSumInt64 ReduceOp = func(dst, src []byte, count Count, _ *Datatype) error {
+	for i := Count(0); i < count; i++ {
+		layout.PutI64(dst, int(8*i), layout.I64(dst, int(8*i))+layout.I64(src, int(8*i)))
+	}
+	return nil
+}
+
+// OpMaxInt64 keeps the element-wise maximum of int64 elements.
+var OpMaxInt64 ReduceOp = func(dst, src []byte, count Count, _ *Datatype) error {
+	for i := Count(0); i < count; i++ {
+		if v := layout.I64(src, int(8*i)); v > layout.I64(dst, int(8*i)) {
+			layout.PutI64(dst, int(8*i), v)
+		}
+	}
+	return nil
+}
+
+// Reduce combines count elements from every rank's sendBuf into recvBuf at
+// root using op (binomial tree). Buffers are byte images; recvBuf is only
+// written at root. sendBuf contents are preserved.
+func (c *Comm) Reduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: reduce root %d", ErrInvalidComm, root)
+	}
+	es := dt.elemSize()
+	if es <= 0 {
+		return fmt.Errorf("%w: reduce requires a fixed-size datatype", ErrInvalidComm)
+	}
+	bytes := count * es
+	acc := make([]byte, bytes)
+	copy(acc, sendBuf[:bytes])
+	tmp := make([]byte, bytes)
+	vrank := (c.rank - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			dst := ((vrank - mask) + root) % n
+			return c.Send(acc, bytes, TypeBytes, dst, collTagBase+2)
+		}
+		peer := vrank + mask
+		if peer >= n {
+			continue
+		}
+		src := (peer + root) % n
+		if _, err := c.Recv(tmp, bytes, TypeBytes, src, collTagBase+2); err != nil {
+			return err
+		}
+		if err := op(acc, tmp, count, dt); err != nil {
+			return err
+		}
+	}
+	if c.rank == root {
+		copy(recvBuf[:bytes], acc)
+	}
+	return nil
+}
+
+// Allreduce is Reduce followed by Bcast.
+func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp) error {
+	if err := c.Reduce(sendBuf, recvBuf, count, dt, op, 0); err != nil {
+		return err
+	}
+	es := dt.elemSize()
+	return c.Bcast(recvBuf, count*es, TypeBytes, 0)
+}
+
+// Gather collects count elements from every rank into recvBuf at root
+// (rank i's contribution lands at offset i*count*size).
+func (c *Comm) Gather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: gather root %d", ErrInvalidComm, root)
+	}
+	es := dt.elemSize()
+	if es <= 0 {
+		return fmt.Errorf("%w: gather requires a fixed-size datatype", ErrInvalidComm)
+	}
+	bytes := count * es
+	if c.rank != root {
+		return c.Send(sendBuf, bytes, TypeBytes, root, collTagBase+3)
+	}
+	if int64(len(recvBuf)) < bytes*int64(n) {
+		return fmt.Errorf("%w: gather receive buffer too small", ErrInvalidComm)
+	}
+	copy(recvBuf[int64(c.rank)*bytes:], sendBuf[:bytes])
+	reqs := make([]*Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		req, err := c.Irecv(recvBuf[int64(r)*bytes:int64(r+1)*bytes], bytes, TypeBytes, r, collTagBase+3)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return WaitAll(reqs...)
+}
+
+// Allgather is Gather to rank 0 followed by Bcast of the result.
+func (c *Comm) Allgather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) error {
+	if err := c.Gather(sendBuf, count, dt, recvBuf, 0); err != nil {
+		return err
+	}
+	es := dt.elemSize()
+	return c.Bcast(recvBuf, count*es*int64(c.Size()), TypeBytes, 0)
+}
+
+// Scatter distributes slices of sendBuf at root: rank i receives the
+// count elements at offset i*count*size into recvBuf.
+func (c *Comm) Scatter(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: scatter root %d", ErrInvalidComm, root)
+	}
+	es := dt.elemSize()
+	if es <= 0 {
+		return fmt.Errorf("%w: scatter requires a fixed-size datatype", ErrInvalidComm)
+	}
+	bytes := count * es
+	if c.rank == root {
+		reqs := make([]*Request, 0, n-1)
+		for r := 0; r < n; r++ {
+			part := sendBuf[int64(r)*bytes : int64(r+1)*bytes]
+			if r == root {
+				copy(recvBuf[:bytes], part)
+				continue
+			}
+			req, err := c.Isend(part, bytes, TypeBytes, r, collTagBase+4)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		return WaitAll(reqs...)
+	}
+	_, err := c.Recv(recvBuf, bytes, TypeBytes, root, collTagBase+4)
+	return err
+}
+
+// Alltoall exchanges count elements with every rank: the block at offset
+// i*count*size of sendBuf goes to rank i, and rank i's block lands at the
+// same offset of recvBuf (pairwise exchange).
+func (c *Comm) Alltoall(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) error {
+	n := c.Size()
+	es := dt.elemSize()
+	if es <= 0 {
+		return fmt.Errorf("%w: alltoall requires a fixed-size datatype", ErrInvalidComm)
+	}
+	bytes := count * es
+	copy(recvBuf[int64(c.rank)*bytes:int64(c.rank+1)*bytes], sendBuf[int64(c.rank)*bytes:int64(c.rank+1)*bytes])
+	for step := 1; step < n; step++ {
+		dst := (c.rank + step) % n
+		src := (c.rank - step + n) % n
+		_, err := c.SendRecv(
+			sendBuf[int64(dst)*bytes:int64(dst+1)*bytes], bytes, TypeBytes, dst, collTagBase+5,
+			recvBuf[int64(src)*bytes:int64(src+1)*bytes], bytes, TypeBytes, src, collTagBase+5)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// agreeCID agrees on the next communicator context id across all ranks of
+// this communicator: the maximum of everyone's local counter.
+func (c *Comm) agreeCID() (uint64, error) {
+	local := make([]byte, 8)
+	layout.PutI64(local, 0, int64(*c.nextCID))
+	agreed := make([]byte, 8)
+	if err := c.Allreduce(local, agreed, 8, TypeBytes, func(dst, src []byte, _ Count, _ *Datatype) error {
+		if layout.I64(src, 0) > layout.I64(dst, 0) {
+			layout.PutI64(dst, 0, layout.I64(src, 0))
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	cid := uint64(layout.I64(agreed, 0))
+	if cid >= 1<<16 {
+		return 0, fmt.Errorf("%w: communicator context ids exhausted", ErrInvalidComm)
+	}
+	*c.nextCID = cid + 1
+	return cid, nil
+}
+
+// Dup duplicates the communicator with a fresh matching context
+// (MPI_Comm_dup; collective). Like MPI, communicator-creation collectives
+// must not run concurrently from multiple goroutines of the same rank:
+// they advance a shared per-rank context-id counter.
+func (c *Comm) Dup() (*Comm, error) {
+	cid, err := c.agreeCID()
+	if err != nil {
+		return nil, err
+	}
+	group := append([]int(nil), c.group...)
+	return &Comm{w: c.w, ctx: cid, group: group, inverse: c.inverse, rank: c.rank, nextCID: c.nextCID}, nil
+}
+
+// Split partitions the communicator by color; ranks with equal color form
+// a new communicator ordered by (key, rank). A negative color returns nil
+// (MPI_UNDEFINED). Collective.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	n := c.Size()
+	mine := make([]byte, 16)
+	layout.PutI64(mine, 0, int64(color))
+	layout.PutI64(mine, 8, int64(key))
+	all := make([]byte, 16*n)
+	if err := c.Allgather(mine, 16, TypeBytes, all); err != nil {
+		return nil, err
+	}
+	cid, err := c.agreeCID()
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	type member struct{ key, rank int }
+	var members []member
+	for r := 0; r < n; r++ {
+		if int(layout.I64(all, 16*r)) == color {
+			members = append(members, member{int(layout.I64(all, 16*r+8)), r})
+		}
+	}
+	// Insertion sort by (key, rank): stable and dependency-free.
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && (members[j].key < members[j-1].key ||
+			(members[j].key == members[j-1].key && members[j].rank < members[j-1].rank)); j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	group := make([]int, len(members))
+	inverse := make(map[int]int, len(members))
+	myRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.rank]
+		inverse[c.group[m.rank]] = i
+		if m.rank == c.rank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, fmt.Errorf("%w: split: calling rank missing from its color group", ErrInvalidComm)
+	}
+	return &Comm{w: c.w, ctx: cid, group: group, inverse: inverse, rank: myRank, nextCID: c.nextCID}, nil
+}

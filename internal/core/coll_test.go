@@ -1,0 +1,306 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+)
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			var entered atomic.Int32
+			err := Run(n, Options{}, func(c *Comm) error {
+				// Rank 0 lags; nobody may leave the barrier before it
+				// enters.
+				if c.Rank() == 0 {
+					time.Sleep(30 * time.Millisecond)
+				}
+				entered.Add(1)
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if got := entered.Load(); got != int32(n) {
+					return fmt.Errorf("left barrier with %d/%d ranks entered", got, n)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastBytes(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		for root := 0; root < n; root += 3 {
+			t.Run(fmt.Sprintf("n%d_root%d", n, root), func(t *testing.T) {
+				want := pattern(10000, byte(root))
+				err := Run(n, Options{}, func(c *Comm) error {
+					buf := make([]byte, 10000)
+					if c.Rank() == root {
+						copy(buf, want)
+					}
+					if err := c.Bcast(buf, -1, TypeBytes, root); err != nil {
+						return err
+					}
+					if !bytes.Equal(buf, want) {
+						return errors.New("bcast payload mismatch")
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestBcastCustomDatatype(t *testing.T) {
+	// The future-work extension: broadcasting a dynamic custom type.
+	dt := TypeCreateCustom(dvHandler{}, WithInOrder())
+	want := [][]byte{pattern(100, 1), pattern(5000, 2)}
+	err := Run(4, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			send := [][]byte{append([]byte{}, want[0]...), append([]byte{}, want[1]...)}
+			return c.Bcast(send, 1, dt, 0)
+		}
+		var recv [][]byte
+		buf := any(&recv)
+		if err := c.Bcast(buf, 1, dt, 0); err != nil {
+			return err
+		}
+		if len(recv) != 2 || !bytes.Equal(recv[0], want[0]) || !bytes.Equal(recv[1], want[1]) {
+			return errors.New("custom bcast mismatch")
+		}
+		return nil
+	})
+	// Non-root interior ranks must re-send from *[][]byte buffers; the
+	// handler supports both directions, but forwarding from a pointer
+	// buffer requires the send path to accept it too.
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSumFloat64(t *testing.T) {
+	const n = 6
+	const count = 100
+	err := Run(n, Options{}, func(c *Comm) error {
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = float64(c.Rank()*count + i)
+		}
+		send := layout.Float64Image(vals)
+		recv := make([]byte, len(send))
+		if err := c.Reduce(send, recv, count, FromDDT(ddt.Float64), OpSumFloat64, 2); err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			got := layout.Float64s(recv)
+			for i := range got {
+				want := 0.0
+				for r := 0; r < n; r++ {
+					want += float64(r*count + i)
+				}
+				if got[i] != want {
+					return fmt.Errorf("sum[%d] = %v, want %v", i, got[i], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxInt64(t *testing.T) {
+	const n = 5
+	err := Run(n, Options{}, func(c *Comm) error {
+		send := make([]byte, 8)
+		layout.PutI64(send, 0, int64(c.Rank()*10))
+		recv := make([]byte, 8)
+		if err := c.Allreduce(send, recv, 1, FromDDT(ddt.Int64), OpMaxInt64); err != nil {
+			return err
+		}
+		if got := layout.I64(recv, 0); got != int64((n-1)*10) {
+			return fmt.Errorf("max = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(c *Comm) error {
+		mine := pattern(100, byte(c.Rank()))
+		all := make([]byte, 100*n)
+		if err := c.Gather(mine, 100, TypeBytes, all, 0); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(all[r*100:(r+1)*100], pattern(100, byte(r))) {
+					return fmt.Errorf("gather slot %d mismatch", r)
+				}
+			}
+		}
+		// Scatter it back.
+		out := make([]byte, 100)
+		if err := c.Scatter(all, 100, TypeBytes, out, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(out, mine) {
+			return errors.New("scatter returned wrong block")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 5
+	err := Run(n, Options{}, func(c *Comm) error {
+		mine := pattern(64, byte(c.Rank()+1))
+		all := make([]byte, 64*n)
+		if err := c.Allgather(mine, 64, TypeBytes, all); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			if !bytes.Equal(all[r*64:(r+1)*64], pattern(64, byte(r+1))) {
+				return fmt.Errorf("allgather slot %d mismatch at rank %d", r, c.Rank())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(c *Comm) error {
+		send := make([]byte, 8*n)
+		for r := 0; r < n; r++ {
+			layout.PutI64(send[r*8:], 0, int64(c.Rank()*100+r))
+		}
+		recv := make([]byte, 8*n)
+		if err := c.Alltoall(send, 8, TypeBytes, recv); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			want := int64(r*100 + c.Rank())
+			if got := layout.I64(recv[r*8:], 0); got != want {
+				return fmt.Errorf("alltoall [%d] = %d, want %d", r, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRings(t *testing.T) {
+	const n = 6
+	err := Run(n, Options{}, func(c *Comm) error {
+		color := c.Rank() % 2
+		sub, err := c.Split(color, -c.Rank()) // reverse order via key
+		if err != nil {
+			return err
+		}
+		if sub.Size() != n/2 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		// Keys are negative ranks, so higher world ranks come first.
+		wantRank := (n/2 - 1) - c.Rank()/2
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("world %d: sub rank = %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Communicate within the subcomm.
+		buf := make([]byte, 1)
+		if sub.Rank() == 0 {
+			buf[0] = byte(100 + color)
+		}
+		if err := sub.Bcast(buf, 1, TypeBytes, 0); err != nil {
+			return err
+		}
+		if buf[0] != byte(100+color) {
+			return fmt.Errorf("sub bcast got %d", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefined(t *testing.T) {
+	err := Run(3, Options{}, func(c *Comm) error {
+		color := -1
+		if c.Rank() == 0 {
+			color = 0
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if sub == nil || sub.Size() != 1 {
+				return errors.New("rank 0 should get a singleton comm")
+			}
+		} else if sub != nil {
+			return errors.New("undefined color must return nil comm")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupConcurrentTraffic(t *testing.T) {
+	// Messages on parent and dup with identical tags stay separated.
+	err := Run(2, Options{}, func(c *Comm) error {
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := c.Send([]byte{1}, 1, TypeBytes, 1, 0); err != nil {
+				return err
+			}
+			return dup.Send([]byte{2}, 1, TypeBytes, 1, 0)
+		}
+		a := make([]byte, 1)
+		b := make([]byte, 1)
+		if _, err := dup.Recv(b, 1, TypeBytes, 0, 0); err != nil {
+			return err
+		}
+		if _, err := c.Recv(a, 1, TypeBytes, 0, 0); err != nil {
+			return err
+		}
+		if a[0] != 1 || b[0] != 2 {
+			return fmt.Errorf("comm separation broken: %d %d", a[0], b[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"mpicd/internal/ddt"
+)
+
+// Variable-count collectives and request-set helpers.
+
+// WaitAny blocks until one of the requests completes and returns its
+// index and status (MPI_Waitany). Nil entries are ignored; it returns -1
+// when every entry is nil.
+func WaitAny(reqs ...*Request) (int, Status, error) {
+	cases := make([]reflect.SelectCase, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(r.r.Done())})
+		idx = append(idx, i)
+	}
+	if len(cases) == 0 {
+		return -1, Status{}, nil
+	}
+	chosen, _, _ := reflect.Select(cases)
+	i := idx[chosen]
+	_, st, err := reqs[i].Test()
+	return i, st, err
+}
+
+// Gatherv collects counts[i] bytes from rank i into recvBuf at offsets
+// displs[i] at root (MPI_Gatherv over the byte type; derived types are
+// packed by the caller).
+func (c *Comm) Gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: gatherv root %d", ErrInvalidComm, root)
+	}
+	if c.rank != root {
+		return c.Send(sendBuf[:sendCount], sendCount, TypeBytes, root, collTagBase+6)
+	}
+	if len(counts) != n || len(displs) != n {
+		return fmt.Errorf("%w: gatherv needs %d counts/displs", ErrInvalidComm, n)
+	}
+	reqs := make([]*Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		dst := recvBuf[displs[r] : displs[r]+counts[r]]
+		if r == root {
+			copy(dst, sendBuf[:sendCount])
+			continue
+		}
+		req, err := c.Irecv(dst, counts[r], TypeBytes, r, collTagBase+6)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return WaitAll(reqs...)
+}
+
+// Scatterv distributes counts[i] bytes at displs[i] of sendBuf to rank i
+// (MPI_Scatterv over the byte type).
+func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, recvCount Count, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: scatterv root %d", ErrInvalidComm, root)
+	}
+	if c.rank != root {
+		_, err := c.Recv(recvBuf[:recvCount], recvCount, TypeBytes, root, collTagBase+7)
+		return err
+	}
+	if len(counts) != n || len(displs) != n {
+		return fmt.Errorf("%w: scatterv needs %d counts/displs", ErrInvalidComm, n)
+	}
+	reqs := make([]*Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		part := sendBuf[displs[r] : displs[r]+counts[r]]
+		if r == root {
+			copy(recvBuf[:recvCount], part)
+			continue
+		}
+		req, err := c.Isend(part, counts[r], TypeBytes, r, collTagBase+7)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return WaitAll(reqs...)
+}
+
+// Allgatherv gathers variable contributions everywhere: counts/displs
+// must be identical on all ranks.
+func (c *Comm) Allgatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count) error {
+	if err := c.Gatherv(sendBuf, sendCount, recvBuf, counts, displs, 0); err != nil {
+		return err
+	}
+	total := Count(0)
+	for i, cnt := range counts {
+		if end := displs[i] + cnt; end > total {
+			total = end
+		}
+	}
+	return c.Bcast(recvBuf[:total], total, TypeBytes, 0)
+}
+
+// SendType ships a derived datatype description to another rank
+// (datatype marshalling in the sense of Kimpe et al., which the paper
+// cites): the receiver reconstructs a transfer-equivalent type with
+// RecvType and can then receive buffers in the sender's layout.
+func (c *Comm) SendType(t *ddt.Type, dst, tag int) error {
+	return c.Send(t.Marshal(), -1, TypeBytes, dst, tag)
+}
+
+// RecvType receives a datatype description sent with SendType.
+func (c *Comm) RecvType(src, tag int) (*ddt.Type, error) {
+	m, err := c.Mprobe(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, m.Bytes)
+	if _, err := c.MRecv(m, buf, -1, TypeBytes); err != nil {
+		return nil, err
+	}
+	return ddt.Unmarshal(buf)
+}

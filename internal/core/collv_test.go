@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mpicd/internal/ddt"
+)
+
+func TestGathervScatterv(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(c *Comm) error {
+		// Rank r contributes r+1 bytes of value r.
+		mine := bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()+1)
+		counts := make([]Count, n)
+		displs := make([]Count, n)
+		total := Count(0)
+		for r := 0; r < n; r++ {
+			counts[r] = Count(r + 1)
+			displs[r] = total
+			total += counts[r]
+		}
+		all := make([]byte, total)
+		if err := c.Gatherv(mine, Count(len(mine)), all, counts, displs, 1); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				part := all[displs[r] : displs[r]+counts[r]]
+				if !bytes.Equal(part, bytes.Repeat([]byte{byte(r)}, r+1)) {
+					return fmt.Errorf("gatherv slot %d = %v", r, part)
+				}
+			}
+		}
+		// Scatter the ragged buffer back out.
+		out := make([]byte, c.Rank()+1)
+		if err := c.Scatterv(all, counts, displs, out, Count(len(out)), 1); err != nil {
+			return err
+		}
+		if !bytes.Equal(out, mine) {
+			return fmt.Errorf("scatterv returned %v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 3
+	err := Run(n, Options{}, func(c *Comm) error {
+		mine := bytes.Repeat([]byte{byte(10 + c.Rank())}, 2*c.Rank()+1)
+		counts := []Count{1, 3, 5}
+		displs := []Count{0, 1, 4}
+		all := make([]byte, 9)
+		if err := c.Allgatherv(mine, Count(len(mine)), all, counts, displs); err != nil {
+			return err
+		}
+		want := []byte{10, 11, 11, 11, 12, 12, 12, 12, 12}
+		if !bytes.Equal(all, want) {
+			return fmt.Errorf("allgatherv = %v", all)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	run2(t, Options{},
+		func(c *Comm) error {
+			time.Sleep(10 * time.Millisecond)
+			if err := c.Send([]byte{2}, 1, TypeBytes, 1, 2); err != nil {
+				return err
+			}
+			time.Sleep(10 * time.Millisecond)
+			return c.Send([]byte{1}, 1, TypeBytes, 1, 1)
+		},
+		func(c *Comm) error {
+			b1 := make([]byte, 1)
+			b2 := make([]byte, 1)
+			r1, err := c.Irecv(b1, 1, TypeBytes, 0, 1)
+			if err != nil {
+				return err
+			}
+			r2, err := c.Irecv(b2, 1, TypeBytes, 0, 2)
+			if err != nil {
+				return err
+			}
+			i, st, err := WaitAny(r1, nil, r2)
+			if err != nil {
+				return err
+			}
+			if i != 2 || st.Tag != 2 || b2[0] != 2 {
+				return fmt.Errorf("first completion = index %d, %+v", i, st)
+			}
+			if _, err := r1.Wait(); err != nil {
+				return err
+			}
+			return nil
+		})
+}
+
+func TestWaitAnyAllNil(t *testing.T) {
+	i, _, err := WaitAny(nil, nil)
+	if i != -1 || err != nil {
+		t.Fatalf("WaitAny(nil) = %d, %v", i, err)
+	}
+}
+
+func TestSendRecvType(t *testing.T) {
+	// Datatype marshalling over the wire: the receiver reconstructs the
+	// sender's layout and receives data with it.
+	layoutType, err := ddt.Struct([]int{3, 1}, []int64{0, 16}, []*ddt.Type{ddt.Int32, ddt.Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 16
+	img := pattern(int(layoutType.Span(count)), 7)
+	run2(t, Options{},
+		func(c *Comm) error {
+			if err := c.SendType(layoutType, 1, 1); err != nil {
+				return err
+			}
+			return c.Send(img, count, FromDDT(layoutType), 1, 2)
+		},
+		func(c *Comm) error {
+			remote, err := c.RecvType(0, 1)
+			if err != nil {
+				return err
+			}
+			if !ddt.Equal(remote, layoutType) {
+				return errors.New("reconstructed type not equivalent")
+			}
+			dst := make([]byte, remote.Span(count))
+			if _, err := c.Recv(dst, count, FromDDT(remote), 0, 2); err != nil {
+				return err
+			}
+			a := make([]byte, layoutType.PackedSize(count))
+			b := make([]byte, layoutType.PackedSize(count))
+			layoutType.Pack(img, count, a)
+			remote.Pack(dst, count, b)
+			if !bytes.Equal(a, b) {
+				return errors.New("data received with marshalled type mismatches")
+			}
+			return nil
+		})
+}

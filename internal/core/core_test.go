@@ -1,0 +1,379 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+)
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*17 + seed
+	}
+	return b
+}
+
+// run2 runs a sender function on rank 0 and a receiver function on rank 1.
+func run2(t *testing.T, opt Options, rank0, rank1 func(c *Comm) error) {
+	t.Helper()
+	err := Run(2, opt, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return rank0(c)
+		}
+		return rank1(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesSendRecv(t *testing.T) {
+	data := pattern(5000, 1)
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(data, -1, TypeBytes, 1, 7) },
+		func(c *Comm) error {
+			out := make([]byte, 5000)
+			st, err := c.Recv(out, -1, TypeBytes, 0, 7)
+			if err != nil {
+				return err
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Bytes != 5000 {
+				return fmt.Errorf("status = %+v", st)
+			}
+			if st.GetCount(TypeBytes) != 5000 {
+				return fmt.Errorf("GetCount = %d", st.GetCount(TypeBytes))
+			}
+			if !bytes.Equal(out, data) {
+				return errors.New("data mismatch")
+			}
+			return nil
+		})
+}
+
+func TestDerivedDatatypeSendRecv(t *testing.T) {
+	// struct-simple: 3 int32 + gap + float64, extent 24.
+	st, err := ddt.Struct([]int{3, 1}, []int64{0, 16}, []*ddt.Type{ddt.Int32, ddt.Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := FromDDT(st)
+	const count = 50
+	src := pattern(int(st.Span(count)), 2)
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(src, count, dt, 1, 1) },
+		func(c *Comm) error {
+			dst := make([]byte, st.Span(count))
+			status, err := c.Recv(dst, count, dt, 0, 1)
+			if err != nil {
+				return err
+			}
+			if status.GetCount(dt) != count {
+				return fmt.Errorf("GetCount = %d", status.GetCount(dt))
+			}
+			// Compare packed forms: gaps are not transferred.
+			a := make([]byte, st.PackedSize(count))
+			b := make([]byte, st.PackedSize(count))
+			st.Pack(src, count, a)
+			st.Pack(dst, count, b)
+			if !bytes.Equal(a, b) {
+				return errors.New("derived datatype transfer mismatch")
+			}
+			return nil
+		})
+}
+
+func TestDerivedContigFastPath(t *testing.T) {
+	ct, _ := ddt.Contiguous(100, ddt.Float64)
+	dt := FromDDT(ct)
+	src := pattern(int(ct.Span(4)), 3)
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(src, 4, dt, 1, 1) },
+		func(c *Comm) error {
+			dst := make([]byte, ct.Span(4))
+			if _, err := c.Recv(dst, 4, dt, 0, 1); err != nil {
+				return err
+			}
+			if !bytes.Equal(dst, src) {
+				return errors.New("contig ddt mismatch")
+			}
+			return nil
+		})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	err := Run(3, Options{}, func(c *Comm) error {
+		if c.Rank() != 2 {
+			return c.Send([]byte{byte(c.Rank())}, 1, TypeBytes, 2, 10+c.Rank())
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			out := make([]byte, 1)
+			st, err := c.Recv(out, 1, TypeBytes, AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if int(out[0]) != st.Source || st.Tag != 10+st.Source {
+				return fmt.Errorf("status/source mismatch: %+v payload %d", st, out[0])
+			}
+			seen[st.Source] = true
+		}
+		if !seen[0] || !seen[1] {
+			return errors.New("missing sources")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommIsolation(t *testing.T) {
+	// A message sent on a dup'd communicator must not match a world recv.
+	err := Run(2, Options{}, func(c *Comm) error {
+		c2, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := c2.Send([]byte{42}, 1, TypeBytes, 1, 5); err != nil {
+				return err
+			}
+			return c.Send([]byte{1}, 1, TypeBytes, 1, 5)
+		}
+		out := make([]byte, 1)
+		// World recv sees only the world message even though the dup
+		// message arrived first.
+		time.Sleep(20 * time.Millisecond)
+		if _, err := c.Recv(out, 1, TypeBytes, 0, 5); err != nil {
+			return err
+		}
+		if out[0] != 1 {
+			return fmt.Errorf("world recv got dup-comm message (%d)", out[0])
+		}
+		if _, err := c2.Recv(out, 1, TypeBytes, 0, 5); err != nil {
+			return err
+		}
+		if out[0] != 42 {
+			return fmt.Errorf("dup recv got %d", out[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	data := pattern(12345, 4)
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(data, -1, TypeBytes, 1, 3) },
+		func(c *Comm) error {
+			st, err := c.Probe(AnySource, 3)
+			if err != nil {
+				return err
+			}
+			if st.Bytes != 12345 {
+				return fmt.Errorf("probe size = %d", st.Bytes)
+			}
+			out := make([]byte, st.Bytes)
+			if _, err := c.Recv(out, -1, TypeBytes, st.Source, st.Tag); err != nil {
+				return err
+			}
+			if !bytes.Equal(out, data) {
+				return errors.New("probe+recv mismatch")
+			}
+			return nil
+		})
+}
+
+func TestMprobeMrecvDynamicAllocation(t *testing.T) {
+	// The mpi4py pattern: probe for size, allocate, matched-receive.
+	data := pattern(54321, 5)
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(data, -1, TypeBytes, 1, 3) },
+		func(c *Comm) error {
+			m, err := c.Mprobe(0, 3)
+			if err != nil {
+				return err
+			}
+			out := make([]byte, m.Bytes)
+			if _, err := c.MRecv(m, out, -1, TypeBytes); err != nil {
+				return err
+			}
+			if !bytes.Equal(out, data) {
+				return errors.New("mrecv mismatch")
+			}
+			return nil
+		})
+}
+
+func TestIprobeNoMessage(t *testing.T) {
+	err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			_, ok, err := c.Iprobe(0, 9)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return errors.New("iprobe matched nothing sent")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingOverlap(t *testing.T) {
+	const n = 16
+	run2(t, Options{},
+		func(c *Comm) error {
+			reqs := make([]*Request, n)
+			for i := range reqs {
+				r, err := c.Isend(pattern(1000, byte(i)), -1, TypeBytes, 1, i)
+				if err != nil {
+					return err
+				}
+				reqs[i] = r
+			}
+			return WaitAll(reqs...)
+		},
+		func(c *Comm) error {
+			bufs := make([][]byte, n)
+			reqs := make([]*Request, n)
+			// Post in reverse tag order to exercise matching.
+			for i := n - 1; i >= 0; i-- {
+				bufs[i] = make([]byte, 1000)
+				r, err := c.Irecv(bufs[i], -1, TypeBytes, 0, i)
+				if err != nil {
+					return err
+				}
+				reqs[i] = r
+			}
+			if err := WaitAll(reqs...); err != nil {
+				return err
+			}
+			for i := range bufs {
+				if !bytes.Equal(bufs[i], pattern(1000, byte(i))) {
+					return fmt.Errorf("tag %d corrupted", i)
+				}
+			}
+			return nil
+		})
+}
+
+func TestSendRecvCombined(t *testing.T) {
+	err := Run(2, Options{}, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		out := make([]byte, 8)
+		mine := pattern(8, byte(c.Rank()))
+		st, err := c.SendRecv(mine, -1, TypeBytes, peer, 1, out, -1, TypeBytes, peer, 1)
+		if err != nil {
+			return err
+		}
+		if st.Source != peer {
+			return fmt.Errorf("status source = %d", st.Source)
+		}
+		if !bytes.Equal(out, pattern(8, byte(peer))) {
+			return errors.New("sendrecv exchange mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncationSurfaces(t *testing.T) {
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(pattern(100, 1), -1, TypeBytes, 1, 1) },
+		func(c *Comm) error {
+			out := make([]byte, 10)
+			_, err := c.Recv(out, -1, TypeBytes, 0, 1)
+			if !errors.Is(err, ErrTruncated) {
+				return fmt.Errorf("err = %v, want ErrTruncated", err)
+			}
+			return nil
+		})
+}
+
+func TestPackUnpackHelpers(t *testing.T) {
+	st, _ := ddt.Struct([]int{3, 1}, []int64{0, 16}, []*ddt.Type{ddt.Int32, ddt.Float64})
+	dt := FromDDT(st)
+	const count = 7
+	src := pattern(int(st.Span(count)), 6)
+	size, err := PackedSize(src, count, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != st.PackedSize(count) {
+		t.Fatalf("PackedSize = %d", size)
+	}
+	packed := make([]byte, size)
+	n, err := Pack(src, count, dt, packed)
+	if err != nil || n != size {
+		t.Fatalf("Pack = %d, %v", n, err)
+	}
+	dst := make([]byte, st.Span(count))
+	if err := Unpack(packed, dst, count, dt); err != nil {
+		t.Fatal(err)
+	}
+	repacked := make([]byte, size)
+	st.Pack(dst, count, repacked)
+	if !bytes.Equal(repacked, packed) {
+		t.Fatal("pack/unpack roundtrip mismatch")
+	}
+}
+
+func TestGetCountNonIntegral(t *testing.T) {
+	ct, _ := ddt.Contiguous(3, ddt.Int32) // 12-byte elements
+	dt := FromDDT(ct)
+	st := Status{Bytes: 25}
+	if got := st.GetCount(dt); got != -1 {
+		t.Fatalf("GetCount of partial element = %d; want -1", got)
+	}
+	st.Bytes = 24
+	if got := st.GetCount(dt); got != 2 {
+		t.Fatalf("GetCount = %d; want 2", got)
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	err := Run(1, Options{}, func(c *Comm) error {
+		if err := c.Send([]byte{1}, 1, TypeBytes, 0, -5); err == nil {
+			return errors.New("negative tag accepted")
+		}
+		if err := c.Send([]byte{1}, 1, TypeBytes, 9, 0); err == nil {
+			return errors.New("bad destination accepted")
+		}
+		if _, err := c.Irecv(make([]byte, 1), 1, TypeBytes, 9, 0); err == nil {
+			return errors.New("bad source accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOpsOnImages(t *testing.T) {
+	a := layout.Float64Image([]float64{1, 2, 3})
+	b := layout.Float64Image([]float64{10, 20, 30})
+	if err := OpSumFloat64(a, b, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := layout.Float64s(a)
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sum[%d] = %v", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestProbeCarriesPackedLength covers the paper's Section VI suggestion —
+// "perhaps by extending MPI_Probe and MPI_Get_count" — which this
+// reproduction implements: a probe on a custom-datatype message reports
+// both the total size and the packed-part length (Status.Aux), so a
+// receiver can reason about the message's structure without extra
+// messages.
+func TestProbeCarriesPackedLength(t *testing.T) {
+	dt := TypeCreateCustom(dvHandler{}, WithInOrder())
+	send := [][]byte{pattern(1000, 1), pattern(2000, 2)}
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(send, 1, dt, 1, 3) },
+		func(c *Comm) error {
+			st, err := c.Probe(0, 3)
+			if err != nil {
+				return err
+			}
+			wantPacked := int64(8 * 3) // count + two lengths
+			if st.Aux != wantPacked {
+				return fmt.Errorf("probe Aux = %d, want %d", st.Aux, wantPacked)
+			}
+			if st.Bytes != wantPacked+3000 {
+				return fmt.Errorf("probe Total = %d", st.Bytes)
+			}
+			var recv [][]byte
+			_, err = c.Recv(&recv, 1, dt, 0, 3)
+			return err
+		})
+}
+
+func TestMprobeMrecvCustomDatatype(t *testing.T) {
+	// Matched-probe then matched-receive of a custom-datatype message.
+	dt := TypeCreateCustom(dvHandler{}, WithInOrder())
+	send := [][]byte{pattern(64, 1), pattern(50000, 2)}
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(send, 1, dt, 1, 1) },
+		func(c *Comm) error {
+			m, err := c.Mprobe(0, 1)
+			if err != nil {
+				return err
+			}
+			var recv [][]byte
+			if _, err := c.MRecv(m, &recv, 1, dt); err != nil {
+				return err
+			}
+			if len(recv) != 2 || !bytes.Equal(recv[1], send[1]) {
+				return errors.New("custom mrecv mismatch")
+			}
+			return nil
+		})
+}
+
+func TestMaxTagBoundary(t *testing.T) {
+	run2(t, Options{},
+		func(c *Comm) error {
+			if err := c.Send([]byte{9}, 1, TypeBytes, 1, MaxTag); err != nil {
+				return err
+			}
+			if err := c.Send([]byte{9}, 1, TypeBytes, 1, MaxTag+1); err == nil {
+				return errors.New("tag beyond MaxTag accepted")
+			}
+			return nil
+		},
+		func(c *Comm) error {
+			out := make([]byte, 1)
+			st, err := c.Recv(out, 1, TypeBytes, 0, MaxTag)
+			if err != nil {
+				return err
+			}
+			if st.Tag != MaxTag {
+				return fmt.Errorf("tag = %d", st.Tag)
+			}
+			return nil
+		})
+}
+
+func TestRequestTestPolling(t *testing.T) {
+	run2(t, Options{},
+		func(c *Comm) error {
+			time.Sleep(20 * time.Millisecond)
+			return c.Send(pattern(100, 1), -1, TypeBytes, 1, 1)
+		},
+		func(c *Comm) error {
+			out := make([]byte, 100)
+			r, err := c.Irecv(out, -1, TypeBytes, 0, 1)
+			if err != nil {
+				return err
+			}
+			// Immediately after posting nothing has arrived.
+			if done, _, _ := r.Test(); done {
+				return errors.New("request done before the sender sent")
+			}
+			for {
+				done, st, err := r.Test()
+				if err != nil {
+					return err
+				}
+				if done {
+					if st.Bytes != 100 {
+						return fmt.Errorf("bytes = %d", st.Bytes)
+					}
+					return nil
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+}
+
+func TestGetCountCustomIsUndefined(t *testing.T) {
+	dt := TypeCreateCustom(recVecHandler{})
+	st := Status{Bytes: 100}
+	if got := st.GetCount(dt); got != -1 {
+		t.Fatalf("custom GetCount = %d, want -1", got)
+	}
+}
+
+func TestSplitThenSplitAgain(t *testing.T) {
+	// Chained communicator derivation keeps contexts distinct.
+	err := Run(4, Options{}, func(c *Comm) error {
+		half, err := c.Split(c.Rank()/2, 0)
+		if err != nil {
+			return err
+		}
+		solo, err := half.Split(half.Rank(), 0)
+		if err != nil {
+			return err
+		}
+		if solo.Size() != 1 || solo.Rank() != 0 {
+			return fmt.Errorf("solo comm = rank %d of %d", solo.Rank(), solo.Size())
+		}
+		// Self-send on the singleton comm.
+		r, err := solo.Isend([]byte{byte(c.Rank())}, 1, TypeBytes, 0, 0)
+		if err != nil {
+			return err
+		}
+		out := make([]byte, 1)
+		if _, err := solo.Recv(out, 1, TypeBytes, 0, 0); err != nil {
+			return err
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
+		if out[0] != byte(c.Rank()) {
+			return errors.New("singleton self-send mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySmallMessagesStress(t *testing.T) {
+	const n = 2000
+	run2(t, Options{},
+		func(c *Comm) error {
+			for i := 0; i < n; i++ {
+				if err := c.Send([]byte{byte(i)}, 1, TypeBytes, 1, i%17); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(c *Comm) error {
+			for i := 0; i < n; i++ {
+				out := make([]byte, 1)
+				if _, err := c.Recv(out, 1, TypeBytes, 0, i%17); err != nil {
+					return err
+				}
+				if out[0] != byte(i) {
+					return fmt.Errorf("message %d corrupted", i)
+				}
+			}
+			return nil
+		})
+}
+
+func TestLargeCustomMessage(t *testing.T) {
+	// A multi-fragment custom message well past every threshold.
+	dt := TypeCreateCustom(dvHandler{}, WithInOrder())
+	send := make([][]byte, 32)
+	for i := range send {
+		send[i] = pattern(1<<18, byte(i)) // 8 MiB total
+	}
+	run2(t, Options{},
+		func(c *Comm) error { return c.Send(send, 1, dt, 1, 1) },
+		func(c *Comm) error {
+			var recv [][]byte
+			if _, err := c.Recv(&recv, 1, dt, 0, 1); err != nil {
+				return err
+			}
+			for i := range send {
+				if !bytes.Equal(recv[i], send[i]) {
+					return fmt.Errorf("subvector %d mismatch", i)
+				}
+			}
+			return nil
+		})
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"mpicd/internal/ucp"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	// Source is the sending rank within the communicator.
+	Source int
+	// Tag is the matched user tag.
+	Tag int
+	// Bytes is the number of message payload bytes received.
+	Bytes Count
+	// Aux is the sender's auxiliary word (the packed-part length for
+	// custom datatypes).
+	Aux int64
+}
+
+// GetCount returns the number of dt elements in the received message
+// (MPI_Get_count). For custom datatypes element counts are handler-defined
+// and -1 is returned.
+func (s Status) GetCount(dt *Datatype) Count {
+	es := dt.elemSize()
+	if es <= 0 {
+		return -1
+	}
+	if s.Bytes%es != 0 {
+		return -1
+	}
+	return s.Bytes / es
+}
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	r    *ucp.Request
+	comm *Comm
+}
+
+// Wait blocks until completion and returns the receive status (zero Status
+// for sends).
+func (r *Request) Wait() (Status, error) {
+	err := r.r.Wait()
+	return r.status(), err
+}
+
+// Test reports completion without blocking.
+func (r *Request) Test() (bool, Status, error) {
+	done, err := r.r.Test()
+	if !done {
+		return false, Status{}, nil
+	}
+	return true, r.status(), err
+}
+
+func (r *Request) status() Status {
+	from, tag, n := r.r.Status()
+	src, utag := decodeTag(tag)
+	if from < 0 {
+		src = -1
+	}
+	return Status{Source: src, Tag: utag, Bytes: n, Aux: r.r.Aux()}
+}
+
+// WaitAll waits for every request, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Isend starts a nonblocking send of count elements of dt at buf to (dst,
+// tag).
+func (c *Comm) Isend(buf any, count Count, dt *Datatype, dst, tag int) (*Request, error) {
+	fdst, err := c.checkDst(dst)
+	if err != nil {
+		return nil, err
+	}
+	if tag < 0 || tag > MaxTag {
+		return nil, fmt.Errorf("core: tag %d out of range [0,%d]", tag, MaxTag)
+	}
+	r, err := c.w.Send(fdst, c.sendTag(tag), dt.transport(), buf, count, 0, ucp.ProtoAuto)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{r: r, comm: c}, nil
+}
+
+// Send is the blocking form of Isend.
+func (c *Comm) Send(buf any, count Count, dt *Datatype, dst, tag int) error {
+	r, err := c.Isend(buf, count, dt, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// Irecv posts a nonblocking receive of up to count elements of dt into buf
+// from (src, tag); src may be AnySource and tag AnyTag.
+func (c *Comm) Irecv(buf any, count Count, dt *Datatype, src, tag int) (*Request, error) {
+	from, t, mask, err := c.recvMatch(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.w.Recv(from, t, mask, dt.transport(), buf, count)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{r: r, comm: c}, nil
+}
+
+// Recv is the blocking form of Irecv.
+func (c *Comm) Recv(buf any, count Count, dt *Datatype, src, tag int) (Status, error) {
+	r, err := c.Irecv(buf, count, dt, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return r.Wait()
+}
+
+// SendRecv performs a combined send and receive (MPI_Sendrecv).
+func (c *Comm) SendRecv(sendBuf any, sendCount Count, sendDT *Datatype, dst, sendTag int,
+	recvBuf any, recvCount Count, recvDT *Datatype, src, recvTag int) (Status, error) {
+	rr, err := c.Irecv(recvBuf, recvCount, recvDT, src, recvTag)
+	if err != nil {
+		return Status{}, err
+	}
+	sr, err := c.Isend(sendBuf, sendCount, sendDT, dst, sendTag)
+	if err != nil {
+		return Status{}, err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return Status{}, err
+	}
+	return rr.Wait()
+}
+
+// Message is a claimed matched message (MPI_Mprobe result).
+type Message struct {
+	Status
+	m    *ucp.Message
+	comm *Comm
+}
+
+func (c *Comm) probeStatus(m *ucp.Message) Status {
+	src, utag := decodeTag(m.Tag)
+	return Status{Source: src, Tag: utag, Bytes: m.Total, Aux: m.Aux0}
+}
+
+// Probe blocks until a message matching (src, tag) is available and
+// returns its status without consuming it (MPI_Probe).
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	from, t, mask, err := c.recvMatch(src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	m, err := c.w.Probe(from, t, mask, true)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.probeStatus(m), nil
+}
+
+// Iprobe is the nonblocking Probe; ok reports whether a message matched.
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	from, t, mask, err := c.recvMatch(src, tag)
+	if err != nil {
+		return Status{}, false, err
+	}
+	m, err := c.w.Probe(from, t, mask, false)
+	if err != nil || m == nil {
+		return Status{}, false, err
+	}
+	return c.probeStatus(m), true, nil
+}
+
+// Mprobe blocks until a matching message is available and claims it for a
+// later MRecv (MPI_Mprobe). This is the pattern Python bindings use to
+// size receive allocations for serialized objects.
+func (c *Comm) Mprobe(src, tag int) (*Message, error) {
+	from, t, mask, err := c.recvMatch(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.w.Mprobe(from, t, mask, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Message{Status: c.probeStatus(m), m: m, comm: c}, nil
+}
+
+// Improbe is the nonblocking Mprobe.
+func (c *Comm) Improbe(src, tag int) (*Message, bool, error) {
+	from, t, mask, err := c.recvMatch(src, tag)
+	if err != nil {
+		return nil, false, err
+	}
+	m, err := c.w.Mprobe(from, t, mask, false)
+	if err != nil || m == nil {
+		return nil, false, err
+	}
+	return &Message{Status: c.probeStatus(m), m: m, comm: c}, true, nil
+}
+
+// MRecv receives a message claimed by Mprobe (MPI_Mrecv).
+func (c *Comm) MRecv(m *Message, buf any, count Count, dt *Datatype) (Status, error) {
+	r, err := c.w.MRecv(m.m, dt.transport(), buf, count)
+	if err != nil {
+		return Status{}, err
+	}
+	req := &Request{r: r, comm: c}
+	return req.Wait()
+}

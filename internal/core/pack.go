@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// PackedSize returns the packed byte size of count elements of dt
+// (MPI_Pack_size). For custom datatypes it runs the handler's query
+// callback against buf.
+func PackedSize(buf any, count Count, dt *Datatype) (Count, error) {
+	switch dt.kind {
+	case kindBytes:
+		if count < 0 {
+			b, ok := buf.([]byte)
+			if !ok {
+				return 0, fmt.Errorf("core: bytes datatype requires []byte, got %T", buf)
+			}
+			return int64(len(b)), nil
+		}
+		return count, nil
+	case kindDDT:
+		return dt.elem.PackedSize(count), nil
+	default:
+		h := dt.handler
+		state, err := h.State(buf, count)
+		if err != nil {
+			return 0, err
+		}
+		defer h.FreeState(state)
+		packed, err := h.PackedSize(state, buf, count)
+		if err != nil {
+			return 0, err
+		}
+		nreg, err := h.RegionCount(state, buf, count)
+		if err != nil {
+			return 0, err
+		}
+		regions := make([][]byte, nreg)
+		if nreg > 0 {
+			if err := h.Regions(state, buf, count, regions); err != nil {
+				return 0, err
+			}
+		}
+		for _, r := range regions {
+			packed += int64(len(r))
+		}
+		return packed, nil
+	}
+}
+
+// Pack serializes count elements of dt at buf into dst (MPI_Pack) and
+// returns the number of bytes written. This is the "manual pack before a
+// byte send" baseline of the paper's evaluation when driven by a derived
+// datatype; applications usually write their own loops instead.
+func Pack(buf any, count Count, dt *Datatype, dst []byte) (Count, error) {
+	switch dt.kind {
+	case kindBytes:
+		b, ok := buf.([]byte)
+		if !ok {
+			return 0, fmt.Errorf("core: bytes datatype requires []byte, got %T", buf)
+		}
+		if count < 0 {
+			count = int64(len(b))
+		}
+		if int64(len(dst)) < count {
+			return 0, fmt.Errorf("core: pack destination too small (%d < %d)", len(dst), count)
+		}
+		return int64(copy(dst[:count], b)), nil
+	case kindDDT:
+		b, ok := buf.([]byte)
+		if !ok {
+			return 0, fmt.Errorf("core: derived datatype requires a []byte image, got %T", buf)
+		}
+		return dt.elem.Pack(b, count, dst)
+	default:
+		// Full serialization through the custom handler: packed part then
+		// regions, matching the wire image.
+		st, err := customType{dt}.SendState(buf, count)
+		if err != nil {
+			return 0, err
+		}
+		total := st.Size()
+		if int64(len(dst)) < total {
+			st.Finish()
+			return 0, fmt.Errorf("core: pack destination too small (%d < %d)", len(dst), total)
+		}
+		var off int64
+		for off < total {
+			n, rerr := st.ReadAt(dst[off:total], off)
+			off += int64(n)
+			if rerr != nil && rerr != io.EOF {
+				st.Finish()
+				return off, rerr
+			}
+			if n == 0 {
+				break
+			}
+		}
+		if err := st.Finish(); err != nil {
+			return off, err
+		}
+		if off != total {
+			return off, fmt.Errorf("core: short pack (%d of %d bytes)", off, total)
+		}
+		return off, nil
+	}
+}
+
+// Unpack deserializes src into count elements of dt at buf (MPI_Unpack).
+func Unpack(src []byte, buf any, count Count, dt *Datatype) error {
+	switch dt.kind {
+	case kindBytes:
+		b, ok := buf.([]byte)
+		if !ok {
+			return fmt.Errorf("core: bytes datatype requires []byte, got %T", buf)
+		}
+		if len(src) > len(b) {
+			return fmt.Errorf("core: unpack destination too small (%d < %d)", len(b), len(src))
+		}
+		copy(b, src)
+		return nil
+	case kindDDT:
+		b, ok := buf.([]byte)
+		if !ok {
+			return fmt.Errorf("core: derived datatype requires a []byte image, got %T", buf)
+		}
+		return dt.elem.Unpack(b, count, src)
+	default:
+		h := dt.handler
+		state, err := h.State(buf, count)
+		if err != nil {
+			return err
+		}
+		defer h.FreeState(state)
+		packed, err := h.PackedSize(state, buf, count)
+		if err != nil {
+			return err
+		}
+		if packed > int64(len(src)) {
+			return fmt.Errorf("core: packed part (%d bytes) exceeds source (%d)", packed, len(src))
+		}
+		if packed > 0 {
+			if err := h.Unpack(state, buf, count, 0, src[:packed]); err != nil {
+				return err
+			}
+		}
+		rest := src[packed:]
+		nreg, err := h.RegionCount(state, buf, count)
+		if err != nil {
+			return err
+		}
+		regions := make([][]byte, nreg)
+		if nreg > 0 {
+			if err := h.Regions(state, buf, count, regions); err != nil {
+				return err
+			}
+		}
+		for _, r := range regions {
+			if int64(len(rest)) < int64(len(r)) {
+				return fmt.Errorf("core: unpack source exhausted before regions were filled")
+			}
+			copy(r, rest[:len(r)])
+			rest = rest[len(r):]
+		}
+		return nil
+	}
+}

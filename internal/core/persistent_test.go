@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestPersistentPingpong(t *testing.T) {
+	const iters = 50
+	run2(t, Options{},
+		func(c *Comm) error {
+			buf := make([]byte, 4096)
+			ps, err := c.SendInit(buf, -1, TypeBytes, 1, 1)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				copy(buf, pattern(4096, byte(i)))
+				if err := ps.Start(); err != nil {
+					return err
+				}
+				if _, err := ps.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(c *Comm) error {
+			buf := make([]byte, 4096)
+			pr, err := c.RecvInit(buf, -1, TypeBytes, 0, 1)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				if err := pr.Start(); err != nil {
+					return err
+				}
+				if _, err := pr.Wait(); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, pattern(4096, byte(i))) {
+					return fmt.Errorf("iteration %d corrupted", i)
+				}
+			}
+			return nil
+		})
+}
+
+func TestPersistentCustomDatatype(t *testing.T) {
+	// Persistent requests with the custom datatype: re-serialization per
+	// Start, the halo-exchange pattern.
+	dt := TypeCreateCustom(recVecHandler{})
+	const iters = 10
+	run2(t, Options{},
+		func(c *Comm) error {
+			rec := &recVec{Data: make([]byte, 10000)}
+			ps, err := c.SendInit(rec, 1, dt, 1, 1)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				rec.A = int32(i)
+				copy(rec.Data, pattern(10000, byte(i)))
+				if err := ps.Start(); err != nil {
+					return err
+				}
+				if _, err := ps.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(c *Comm) error {
+			rec := &recVec{Data: make([]byte, 10000)}
+			pr, err := c.RecvInit(rec, 1, dt, 0, 1)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				if err := pr.Start(); err != nil {
+					return err
+				}
+				if _, err := pr.Wait(); err != nil {
+					return err
+				}
+				if rec.A != int32(i) || !bytes.Equal(rec.Data, pattern(10000, byte(i))) {
+					return fmt.Errorf("iteration %d corrupted", i)
+				}
+			}
+			return nil
+		})
+}
+
+func TestPersistentStartWhileActive(t *testing.T) {
+	run2(t, Options{},
+		func(c *Comm) error {
+			out := make([]byte, 1)
+			pr, err := c.RecvInit(out, 1, TypeBytes, 1, 1)
+			if err != nil {
+				return err
+			}
+			if err := pr.Start(); err != nil {
+				return err
+			}
+			if err := pr.Start(); !errors.Is(err, ErrActive) {
+				return fmt.Errorf("double Start err = %v", err)
+			}
+			if err := c.Send([]byte{0}, 1, TypeBytes, 1, 2); err != nil { // release peer
+				return err
+			}
+			_, err = pr.Wait()
+			return err
+		},
+		func(c *Comm) error {
+			one := make([]byte, 1)
+			if _, err := c.Recv(one, 1, TypeBytes, 0, 2); err != nil {
+				return err
+			}
+			return c.Send([]byte{7}, 1, TypeBytes, 0, 1)
+		})
+}
+
+func TestStartAllWaitAll(t *testing.T) {
+	const n = 8
+	run2(t, Options{},
+		func(c *Comm) error {
+			ps := make([]*PersistentRequest, n)
+			bufs := make([][]byte, n)
+			for i := range ps {
+				bufs[i] = pattern(100, byte(i))
+				p, err := c.SendInit(bufs[i], -1, TypeBytes, 1, i)
+				if err != nil {
+					return err
+				}
+				ps[i] = p
+			}
+			for round := 0; round < 3; round++ {
+				if err := StartAll(ps...); err != nil {
+					return err
+				}
+				if err := WaitAllPersistent(ps...); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(c *Comm) error {
+			for round := 0; round < 3; round++ {
+				for i := 0; i < n; i++ {
+					out := make([]byte, 100)
+					if _, err := c.Recv(out, -1, TypeBytes, 0, i); err != nil {
+						return err
+					}
+					if !bytes.Equal(out, pattern(100, byte(i))) {
+						return fmt.Errorf("round %d tag %d corrupted", round, i)
+					}
+				}
+			}
+			return nil
+		})
+}

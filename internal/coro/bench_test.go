@@ -1,0 +1,58 @@
+package coro
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks quantifying the resumable-pack design choice: a generator
+// suspension costs one channel handshake per fragment, while each put
+// costs a function call — coarse puts amortize both.
+
+func BenchmarkPackerThroughput(b *testing.B) {
+	const total = 1 << 20
+	src := fill(total)
+	for _, put := range []int{16, 512, 16384} {
+		b.Run(fmt.Sprintf("put-%d", put), func(b *testing.B) {
+			frag := make([]byte, 16*1024)
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := NewPacker(func(emit func([]byte)) {
+					for at := 0; at < total; at += put {
+						end := at + put
+						if end > total {
+							end = total
+						}
+						emit(src[at:end])
+					}
+				})
+				for {
+					_, more := p.Fill(frag)
+					if !more {
+						break
+					}
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkPackerSuspendCost(b *testing.B) {
+	// One suspension per Fill: fragment == put size.
+	const chunk = 4096
+	src := fill(chunk)
+	frag := make([]byte, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacker(func(emit func([]byte)) {
+			emit(src)
+			emit(src)
+		})
+		p.Fill(frag)
+		p.Fill(frag)
+		p.Close()
+	}
+}

@@ -1,0 +1,125 @@
+// Package coro provides a goroutine-based generator for resumable
+// packing: the Go analogue of the paper's C++ std::generator experiment
+// (Listing 9).
+//
+// Partial packing — returning from the pack callback when the destination
+// fragment is full and resuming later — is trivial for single loops (the
+// loop index is recomputed from the offset) but intractable for deep loop
+// nests like MILC's or WRF's. The paper suspends a C++ coroutine in the
+// middle of the loop nest instead; here a goroutine plays that role: the
+// packing function writes through a put function that transparently
+// suspends whenever the current fragment is full and resumes inside the
+// innermost loop when the next fragment arrives.
+package coro
+
+// Packer drives a packing function that produces one byte stream and may
+// suspend at any point, mid-loop-nest included.
+type Packer struct {
+	frags  chan []byte // next destination fragment, Fill -> generator
+	used   chan int    // bytes written into that fragment, generator -> Fill
+	done   chan struct{}
+	closed bool
+}
+
+// NewPacker starts fn on its own goroutine. fn emits packed bytes by
+// calling put; each put may suspend the function when the current
+// destination fragment fills up. fn runs lazily: nothing executes until
+// the first Fill.
+func NewPacker(fn func(put func([]byte))) *Packer {
+	p := &Packer{
+		frags: make(chan []byte),
+		used:  make(chan int),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		cur, ok := <-p.frags
+		if !ok {
+			return
+		}
+		pos := 0
+		put := func(b []byte) {
+			for len(b) > 0 {
+				n := copy(cur[pos:], b)
+				pos += n
+				b = b[n:]
+				if pos == len(cur) {
+					p.used <- pos
+					cur, ok = <-p.frags
+					if !ok {
+						// Canceled: unwind the generator goroutine.
+						panic(packerCanceled{})
+					}
+					pos = 0
+				}
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isCancel := r.(packerCanceled); !isCancel {
+					panic(r)
+				}
+			}
+		}()
+		fn(put)
+		// Flush the trailing partial fragment.
+		p.used <- pos
+	}()
+	return p
+}
+
+type packerCanceled struct{}
+
+// Fill resumes the packing function with dst as the next fragment and
+// returns how many bytes were produced. more is false once the stream is
+// exhausted (every later Fill returns 0, false).
+func (p *Packer) Fill(dst []byte) (n int, more bool) {
+	if p.closed {
+		return 0, false
+	}
+	select {
+	case p.frags <- dst:
+	case <-p.done:
+		p.closed = true
+		return 0, false
+	}
+	select {
+	case n = <-p.used:
+		if n < len(dst) {
+			// The generator finished inside this fragment.
+			select {
+			case <-p.done:
+				p.closed = true
+				return n, false
+			default:
+				// Underfull fragment with the generator still alive can
+				// only happen at stream end; wait for it to wind down.
+				<-p.done
+				p.closed = true
+				return n, false
+			}
+		}
+		return n, true
+	case <-p.done:
+		p.closed = true
+		return 0, false
+	}
+}
+
+// Close cancels a packer before exhaustion, releasing its goroutine.
+// Safe to call multiple times and after exhaustion.
+func (p *Packer) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.frags)
+	for {
+		select {
+		case <-p.used:
+			// Drain a final flush racing with cancellation.
+		case <-p.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package coro
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// nestedPack emits the paper's Listing 9 pattern: a loop nest over a
+// strided 2-D array, suspendable anywhere.
+func nestedPack(src []byte, dim1, dim3, stride int) func(put func([]byte)) {
+	return func(put func([]byte)) {
+		for k := 1; k < dim3; k++ {
+			for m := 0; m < dim1; m++ {
+				off := (k*stride + m) * 8
+				put(src[off : off+8])
+			}
+		}
+	}
+}
+
+func refNestedPack(src []byte, dim1, dim3, stride int) []byte {
+	var out []byte
+	for k := 1; k < dim3; k++ {
+		for m := 0; m < dim1; m++ {
+			off := (k*stride + m) * 8
+			out = append(out, src[off:off+8]...)
+		}
+	}
+	return out
+}
+
+func fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 1)
+	}
+	return b
+}
+
+func TestPackerWholeStream(t *testing.T) {
+	src := fill(8 * 100)
+	p := NewPacker(func(put func([]byte)) { put(src) })
+	defer p.Close()
+	out := make([]byte, len(src))
+	n, more := p.Fill(out)
+	if n != len(src) {
+		t.Fatalf("Fill = %d", n)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("content mismatch")
+	}
+	if more {
+		// Exactly-full fragments leave the stream state unknown until the
+		// next Fill; it must then report exhaustion.
+		n, more = p.Fill(out)
+		if n != 0 || more {
+			t.Fatalf("post-stream Fill = %d, %v", n, more)
+		}
+	}
+}
+
+func TestPackerSuspendsMidLoopNest(t *testing.T) {
+	const dim1, dim3, stride = 7, 9, 13
+	src := fill(8 * dim3 * stride)
+	want := refNestedPack(src, dim1, dim3, stride)
+	// Fragment sizes that do NOT divide the 8-byte element force
+	// suspension in the middle of an element and of the m-loop.
+	for _, frag := range []int{1, 3, 5, 8, 13, 64, 1000} {
+		p := NewPacker(nestedPack(src, dim1, dim3, stride))
+		var got []byte
+		buf := make([]byte, frag)
+		for {
+			n, more := p.Fill(buf)
+			got = append(got, buf[:n]...)
+			if !more {
+				break
+			}
+		}
+		p.Close()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frag %d: stream mismatch (%d vs %d bytes)", frag, len(got), len(want))
+		}
+	}
+}
+
+func TestPackerEmptyStream(t *testing.T) {
+	p := NewPacker(func(put func([]byte)) {})
+	defer p.Close()
+	buf := make([]byte, 16)
+	n, more := p.Fill(buf)
+	if n != 0 || more {
+		t.Fatalf("empty stream Fill = %d, %v", n, more)
+	}
+}
+
+func TestPackerCloseMidStream(t *testing.T) {
+	src := fill(1 << 20)
+	p := NewPacker(func(put func([]byte)) { put(src) })
+	buf := make([]byte, 128)
+	if n, _ := p.Fill(buf); n != 128 {
+		t.Fatal("first fragment short")
+	}
+	p.Close() // must not deadlock or leak
+	if n, more := p.Fill(buf); n != 0 || more {
+		t.Fatal("Fill after Close must report exhaustion")
+	}
+	p.Close() // idempotent
+}
+
+func TestPackerManySmallPuts(t *testing.T) {
+	var want []byte
+	p := NewPacker(func(put func([]byte)) {
+		for i := 0; i < 1000; i++ {
+			put([]byte{byte(i)})
+		}
+	})
+	defer p.Close()
+	for i := 0; i < 1000; i++ {
+		want = append(want, byte(i))
+	}
+	var got []byte
+	buf := make([]byte, 37)
+	for {
+		n, more := p.Fill(buf)
+		got = append(got, buf[:n]...)
+		if !more {
+			break
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("small-put stream mismatch")
+	}
+}
+
+// Property: any put-chunking streamed through any fill-chunking preserves
+// the byte stream.
+func TestPackerStreamProperty(t *testing.T) {
+	check := func(total uint16, putChunk, fillChunk uint8) bool {
+		n := int(total) % 5000
+		pc := int(putChunk)%97 + 1
+		fc := int(fillChunk)%89 + 1
+		src := fill(n)
+		p := NewPacker(func(put func([]byte)) {
+			for at := 0; at < n; at += pc {
+				end := at + pc
+				if end > n {
+					end = n
+				}
+				put(src[at:end])
+			}
+		})
+		defer p.Close()
+		var got []byte
+		buf := make([]byte, fc)
+		for {
+			m, more := p.Fill(buf)
+			got = append(got, buf[:m]...)
+			if !more {
+				break
+			}
+		}
+		return bytes.Equal(got, src)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package ddt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks documenting the engine characteristics the evaluation relies
+// on: gapped typemaps degenerate to small per-run copies while contiguous
+// types pack as one move.
+
+func benchPack(b *testing.B, t *Type, count int64) {
+	src := fill(t.Span(count))
+	dst := make([]byte, t.PackedSize(count))
+	b.SetBytes(t.PackedSize(count))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Pack(src, count, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackContiguous(b *testing.B) {
+	t, _ := Contiguous(1024, Float64)
+	benchPack(b, t, 128)
+}
+
+func BenchmarkPackGappedStruct(b *testing.B) {
+	t, _ := Struct([]int{3, 1}, []int64{0, 16}, []*Type{Int32, Float64})
+	benchPack(b, t, 32768) // same ~640 KiB as the contiguous case
+}
+
+func BenchmarkPackStridedVector(b *testing.B) {
+	t, _ := Vector(4096, 2, 4, Float64)
+	benchPack(b, t, 10)
+}
+
+func BenchmarkPackIndexedGather(b *testing.B) {
+	displs := make([]int, 4096)
+	for i := range displs {
+		displs[i] = i * 2
+	}
+	t, _ := IndexedBlock(1, displs, Float64)
+	benchPack(b, t, 10)
+}
+
+func BenchmarkUnpackGappedStruct(b *testing.B) {
+	t, _ := Struct([]int{3, 1}, []int64{0, 16}, []*Type{Int32, Float64})
+	const count = 32768
+	src := fill(t.Span(count))
+	packed := make([]byte, t.PackedSize(count))
+	t.Pack(src, count, packed)
+	dst := make([]byte, t.Span(count))
+	b.SetBytes(t.PackedSize(count))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t.Unpack(dst, count, packed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackAtFragmented(b *testing.B) {
+	// Streaming pack in transport-sized fragments (the rendezvous path).
+	t, _ := Struct([]int{3, 1}, []int64{0, 16}, []*Type{Int32, Float64})
+	const count = 32768
+	src := fill(t.Span(count))
+	frag := make([]byte, 16*1024)
+	total := t.PackedSize(count)
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := int64(0); off < total; {
+			n, err := t.PackAt(src, count, off, frag)
+			if n == 0 {
+				b.Fatal(err)
+			}
+			off += int64(n)
+		}
+	}
+}
+
+func BenchmarkTypeConstruction(b *testing.B) {
+	// Datatype (re)creation cost: the paper notes derived types would
+	// need recreation per buffer for dynamic data.
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("indexed-%d", n), func(b *testing.B) {
+			displs := make([]int, n)
+			for i := range displs {
+				displs[i] = i * 3
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := IndexedBlock(2, displs, Float64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

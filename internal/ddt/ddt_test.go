@@ -1,0 +1,453 @@
+package ddt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refPack is the oracle: a naive typemap walk with no fast paths.
+func refPack(t *Type, src []byte, count int64) []byte {
+	var out []byte
+	for e := int64(0); e < count; e++ {
+		base := e * t.Extent()
+		for _, r := range t.Runs() {
+			out = append(out, src[base+r.Off:base+r.Off+r.Len]...)
+		}
+	}
+	return out
+}
+
+func fill(n int64) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+	return b
+}
+
+func TestPredefinedProperties(t *testing.T) {
+	if Int32.Size() != 4 || Int32.Extent() != 4 || !Int32.Contig() {
+		t.Fatal("Int32 metadata wrong")
+	}
+	if Float64.Size() != 8 || Complex128.Size() != 16 {
+		t.Fatal("predefined sizes wrong")
+	}
+}
+
+func TestContiguousCoalesces(t *testing.T) {
+	c, err := Contiguous(10, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contig() || c.NumRuns() != 1 || c.Size() != 40 || c.Extent() != 40 {
+		t.Fatalf("contiguous(10,int32): runs=%d size=%d extent=%d contig=%v",
+			c.NumRuns(), c.Size(), c.Extent(), c.Contig())
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	// 3 blocks of 2 float64, stride 4 elements.
+	v, err := Vector(3, 2, 4, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Contig() {
+		t.Fatal("strided vector must not be contiguous")
+	}
+	if v.Size() != 3*2*8 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.Extent() != int64(2*4+2)*8 {
+		t.Fatalf("extent = %d", v.Extent())
+	}
+	want := []Run{{0, 16}, {32 * 1, 16}, {64, 16}}
+	got := v.Runs()
+	if len(got) != len(want) {
+		t.Fatalf("runs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVectorUnitStrideCoalesces(t *testing.T) {
+	v, err := Vector(5, 3, 3, Int32) // stride == blocklen: contiguous
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Contig() || v.NumRuns() != 1 {
+		t.Fatalf("unit-stride vector should coalesce: %v", v.Runs())
+	}
+}
+
+// structSimple models the paper's Listing 7: {i32 a,b,c; 4B gap; f64 d}.
+func structSimple(t *testing.T) *Type {
+	t.Helper()
+	st, err := Struct([]int{3, 1}, []int64{0, 16}, []*Type{Int32, Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStructWithGap(t *testing.T) {
+	st := structSimple(t)
+	if st.Size() != 20 {
+		t.Fatalf("size = %d; want 20", st.Size())
+	}
+	if st.Extent() != 24 {
+		t.Fatalf("extent = %d; want 24 (gap included)", st.Extent())
+	}
+	if st.Contig() || st.NumRuns() != 2 {
+		t.Fatalf("gapped struct must have 2 runs, got %v", st.Runs())
+	}
+}
+
+func TestStructNoGapCoalesces(t *testing.T) {
+	// Listing 8: {i32 a,b; f64 c} — a,b at 0,4; c at 8. No gap.
+	st, err := Struct([]int{2, 1}, []int64{0, 8}, []*Type{Int32, Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contig() || st.NumRuns() != 1 || st.Size() != 16 || st.Extent() != 16 {
+		t.Fatalf("no-gap struct should be contiguous: runs=%v size=%d extent=%d",
+			st.Runs(), st.Size(), st.Extent())
+	}
+}
+
+func TestStructVec(t *testing.T) {
+	// Listing 6: {i32 a,b,c; gap; f64 d; i32 data[2048]}.
+	st, err := Struct([]int{3, 1, 2048}, []int64{0, 16, 24}, []*Type{Int32, Float64, Int32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 12+8+4*2048 {
+		t.Fatalf("size = %d", st.Size())
+	}
+	// Two runs: fields before the gap, then d+data fused.
+	if st.NumRuns() != 2 {
+		t.Fatalf("struct-vec runs = %v", st.Runs())
+	}
+}
+
+func TestIndexedOrderPreserved(t *testing.T) {
+	// Non-monotonic displacements must pack in list order.
+	ix, err := Indexed([]int{1, 1, 1}, []int{5, 0, 2}, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fill(ix.Span(1))
+	dst := make([]byte, ix.PackedSize(1))
+	if _, err := ix.Pack(src, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(append([]byte{}, src[20:24]...), src[0:4]...), src[8:12]...)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("indexed pack order not preserved")
+	}
+}
+
+func TestSubarray2D(t *testing.T) {
+	// 4x6 array of float64, 2x3 window at (1,2).
+	sa, err := Subarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Size() != 2*3*8 {
+		t.Fatalf("size = %d", sa.Size())
+	}
+	if sa.Extent() != 4*6*8 {
+		t.Fatalf("extent = %d", sa.Extent())
+	}
+	if sa.NumRuns() != 2 { // two rows of 3 contiguous doubles
+		t.Fatalf("runs = %v", sa.Runs())
+	}
+	src := fill(sa.Span(1))
+	dst := make([]byte, sa.Size())
+	sa.Pack(src, 1, dst)
+	if !bytes.Equal(dst, refPack(sa, src, 1)) {
+		t.Fatal("subarray pack mismatch")
+	}
+}
+
+func TestResizedExtent(t *testing.T) {
+	st, err := Struct([]int{1}, []int64{0}, []*Type{Int32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resized(st, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Extent() != 16 || r.Size() != 4 || r.Contig() {
+		t.Fatalf("resized: extent=%d size=%d contig=%v", r.Extent(), r.Size(), r.Contig())
+	}
+	if _, err := Resized(st, 2); err == nil {
+		t.Fatal("shrinking below ub must fail")
+	}
+}
+
+func TestNestedTypes(t *testing.T) {
+	inner, _ := Vector(2, 1, 3, Int32)
+	outer, err := Contiguous(3, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fill(outer.Span(2))
+	dst := make([]byte, outer.PackedSize(2))
+	if _, err := outer.Pack(src, 2, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, refPack(outer, src, 2)) {
+		t.Fatal("nested type pack mismatch")
+	}
+}
+
+func TestPackUnpackRoundtripGapped(t *testing.T) {
+	st := structSimple(t)
+	const count = 100
+	src := fill(st.Span(count))
+	packed := make([]byte, st.PackedSize(count))
+	if _, err := st.Pack(src, count, packed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(packed, refPack(st, src, count)) {
+		t.Fatal("pack != reference")
+	}
+	dst := make([]byte, st.Span(count))
+	if err := st.Unpack(dst, count, packed); err != nil {
+		t.Fatal(err)
+	}
+	// Data bytes roundtrip; the gap at [12,16) stays zero.
+	for e := int64(0); e < count; e++ {
+		base := e * st.Extent()
+		if !bytes.Equal(dst[base:base+12], src[base:base+12]) {
+			t.Fatalf("element %d int fields mismatch", e)
+		}
+		if !bytes.Equal(dst[base+16:base+24], src[base+16:base+24]) {
+			t.Fatalf("element %d double field mismatch", e)
+		}
+		if dst[base+12] != 0 || dst[base+15] != 0 {
+			t.Fatalf("element %d gap bytes touched", e)
+		}
+	}
+}
+
+func TestPackAtStreaming(t *testing.T) {
+	st := structSimple(t)
+	const count = 57
+	src := fill(st.Span(count))
+	want := refPack(st, src, count)
+	for _, chunk := range []int{1, 3, 7, 20, 21, 64, 1000} {
+		got := make([]byte, 0, len(want))
+		off := int64(0)
+		buf := make([]byte, chunk)
+		for off < int64(len(want)) {
+			n, err := st.PackAt(src, count, off, buf)
+			if err != nil && n == 0 {
+				t.Fatalf("chunk %d off %d: %v", chunk, off, err)
+			}
+			got = append(got, buf[:n]...)
+			off += int64(n)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: streamed pack mismatch", chunk)
+		}
+	}
+}
+
+func TestUnpackAtStreaming(t *testing.T) {
+	v, _ := Vector(5, 2, 3, Float64)
+	const count = 13
+	src := fill(v.Span(count))
+	packed := refPack(v, src, count)
+	for _, chunk := range []int{1, 5, 16, 100} {
+		dst := make([]byte, v.Span(count))
+		for off := 0; off < len(packed); off += chunk {
+			end := off + chunk
+			if end > len(packed) {
+				end = len(packed)
+			}
+			if err := v.UnpackAt(dst, count, int64(off), packed[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reread := make([]byte, len(packed))
+		if _, err := v.Pack(dst, count, reread); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reread, packed) {
+			t.Fatalf("chunk %d: streamed unpack mismatch", chunk)
+		}
+	}
+}
+
+func TestRegions(t *testing.T) {
+	st := structSimple(t)
+	buf := fill(st.Span(3))
+	regions, err := st.Regions(buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 6 {
+		t.Fatalf("regions = %d; want 6", len(regions))
+	}
+	var cat []byte
+	for _, r := range regions {
+		cat = append(cat, r...)
+	}
+	if !bytes.Equal(cat, refPack(st, buf, 3)) {
+		t.Fatal("regions concat != packed form")
+	}
+	// Contiguous type: a single region regardless of count.
+	c, _ := Contiguous(4, Float64)
+	regions, _ = c.Regions(fill(c.Span(9)), 9)
+	if len(regions) != 1 {
+		t.Fatalf("contig regions = %d", len(regions))
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	st := structSimple(t)
+	small := make([]byte, 10)
+	if _, err := st.Pack(small, 1, make([]byte, 100)); err == nil {
+		t.Fatal("pack with undersized source must fail")
+	}
+	if err := st.Unpack(small, 1, make([]byte, 20)); err == nil {
+		t.Fatal("unpack with undersized destination must fail")
+	}
+	if _, err := st.Pack(make([]byte, 100), 1, make([]byte, 3)); err == nil {
+		t.Fatal("pack with undersized destination must fail")
+	}
+	if err := st.Unpack(make([]byte, 100), 1, make([]byte, 7)); err == nil {
+		t.Fatal("unpack with wrong packed size must fail")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := Contiguous(-1, Int32); err == nil {
+		t.Fatal("negative count")
+	}
+	if _, err := Indexed([]int{1}, []int{0, 1}, Int32); err == nil {
+		t.Fatal("mismatched lists")
+	}
+	if _, err := Struct([]int{1}, []int64{0}, []*Type{nil}); err == nil {
+		t.Fatal("nil field type")
+	}
+	if _, err := Subarray([]int{4}, []int{5}, []int{0}, Int32); err == nil {
+		t.Fatal("oversized subarray window")
+	}
+	if _, err := Hvector(2, 2, -8, Int32); err == nil {
+		t.Fatal("negative stride")
+	}
+}
+
+// randomType builds a random type of bounded depth for property tests.
+func randomType(rng *rand.Rand, depth int) *Type {
+	bases := []*Type{Byte, Int32, Int64, Float64}
+	if depth <= 0 {
+		return bases[rng.Intn(len(bases))]
+	}
+	base := randomType(rng, depth-1)
+	switch rng.Intn(4) {
+	case 0:
+		t, err := Contiguous(rng.Intn(4)+1, base)
+		if err != nil {
+			return base
+		}
+		return t
+	case 1:
+		bl := rng.Intn(3) + 1
+		t, err := Vector(rng.Intn(3)+1, bl, bl+rng.Intn(3), base)
+		if err != nil {
+			return base
+		}
+		return t
+	case 2:
+		n := rng.Intn(3) + 1
+		bls := make([]int, n)
+		ds := make([]int, n)
+		at := 0
+		for i := 0; i < n; i++ {
+			at += rng.Intn(3)
+			bls[i] = rng.Intn(2) + 1
+			ds[i] = at
+			at += bls[i]
+		}
+		t, err := Indexed(bls, ds, base)
+		if err != nil {
+			return base
+		}
+		return t
+	default:
+		t, err := Struct([]int{1, 1}, []int64{0, base.Extent() + int64(rng.Intn(8))}, []*Type{base, base})
+		if err != nil {
+			return base
+		}
+		return t
+	}
+}
+
+// Property: Pack matches the reference walk and Unpack(Pack(x)) restores
+// every data byte for random nested types, counts and chunkings.
+func TestPackUnpackProperty(t *testing.T) {
+	check := func(seed int64, countRaw uint8, chunkRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		typ := randomType(rng, rng.Intn(3)+1)
+		count := int64(countRaw)%5 + 1
+		if typ.Size() == 0 {
+			return true
+		}
+		src := make([]byte, typ.Span(count))
+		rng.Read(src)
+		want := refPack(typ, src, count)
+
+		// One-shot pack.
+		dst := make([]byte, typ.PackedSize(count))
+		if _, err := typ.Pack(src, count, dst); err != nil {
+			return false
+		}
+		if !bytes.Equal(dst, want) {
+			return false
+		}
+		// Streamed pack with random chunk.
+		chunk := int(chunkRaw)%33 + 1
+		var streamed []byte
+		buf := make([]byte, chunk)
+		for off := int64(0); off < int64(len(want)); {
+			n, err := typ.PackAt(src, count, off, buf)
+			if n == 0 {
+				return err != nil
+			}
+			streamed = append(streamed, buf[:n]...)
+			off += int64(n)
+		}
+		if !bytes.Equal(streamed, want) {
+			return false
+		}
+		// Unpack restores data bytes.
+		out := make([]byte, typ.Span(count))
+		if err := typ.Unpack(out, count, dst); err != nil {
+			return false
+		}
+		return bytes.Equal(refPack(typ, out, count), want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCount(t *testing.T) {
+	st := structSimple(t)
+	if st.Span(0) != 0 || st.PackedSize(0) != 0 {
+		t.Fatal("zero count sizes")
+	}
+	n, err := st.Pack(nil, 0, nil)
+	if err != nil || n != 0 {
+		t.Fatalf("zero-count pack = %d, %v", n, err)
+	}
+}

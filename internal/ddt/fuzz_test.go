@@ -1,0 +1,54 @@
+package ddt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the datatype unmarshaller: type descriptions
+// arrive over the wire (Comm.RecvType), so arbitrary bytes must produce
+// an error or a well-formed type — never a panic or a type that violates
+// its own invariants.
+func FuzzUnmarshal(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		f.Add(randomType(rng, rng.Intn(3)+1).Marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DDT1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Invariants of a well-formed type.
+		if typ.Size() < 0 || typ.Extent() < 0 || typ.Extent() < typ.Size() && typ.Contig() {
+			t.Fatalf("invalid reconstructed type: size %d extent %d", typ.Size(), typ.Extent())
+		}
+		var sum int64
+		for _, r := range typ.Runs() {
+			if r.Len <= 0 || r.Off < 0 || r.Off+r.Len > typ.Extent() {
+				t.Fatalf("invalid run %+v (extent %d)", r, typ.Extent())
+			}
+			sum += r.Len
+		}
+		if sum != typ.Size() {
+			t.Fatalf("runs sum %d != size %d", sum, typ.Size())
+		}
+		// A reconstructed type must round-trip its own marshalling.
+		again, err := Unmarshal(typ.Marshal())
+		if err != nil || !Equal(typ, again) {
+			t.Fatalf("re-marshal roundtrip failed: %v", err)
+		}
+		// And pack/unpack within its own span without panicking (bounded:
+		// a valid description may still declare an enormous extent).
+		count := int64(2)
+		if span := typ.Span(count); span > 0 && span <= 1<<20 {
+			src := fill(span)
+			dst := make([]byte, typ.PackedSize(count))
+			if _, err := typ.Pack(src, count, dst); err != nil {
+				t.Fatalf("pack of valid type failed: %v", err)
+			}
+		}
+	})
+}

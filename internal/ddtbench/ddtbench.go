@@ -1,0 +1,295 @@
+// Package ddtbench reimplements the subset of the DDTBench micro-
+// application suite used in the paper's Section V.C (Table I, Figure 10):
+// LAMMPS, MILC, NAS_LU_x, NAS_LU_y, NAS_MG_x, NAS_MG_y, WRF_x_vec and
+// WRF_y_vec. Each kernel describes one halo/boundary exchange as
+//
+//   - a C-layout memory image with a deterministic fill;
+//   - a Walk function visiting the image's byte ranges in pack order (the
+//     kernel's characteristic loop nest — single loops for LAMMPS, five
+//     deep for MILC/WRF);
+//   - a derived datatype built with the MPI constructors listed in
+//     Table I;
+//   - manual pack/unpack loops, custom pack/unpack callbacks, optional
+//     memory-region exposure, and a coroutine-driven resumable pack
+//     (the paper's Listing 9 experiment).
+//
+// All transfer strategies of Figure 10 are derived from these pieces; see
+// the Method type.
+package ddtbench
+
+import (
+	"fmt"
+
+	"mpicd/internal/core"
+	"mpicd/internal/coro"
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+)
+
+// Range is one contiguous byte range of an exchange, in pack order.
+type Range struct {
+	Off, Len int
+}
+
+// Kernel is one DDTBench micro-application.
+type Kernel struct {
+	// Name as it appears in Figure 10.
+	Name string
+	// Datatypes is Table I's "MPI Datatypes" column.
+	Datatypes string
+	// Loops is Table I's "Loop Structure" column.
+	Loops string
+	// Regions is Table I's "Memory Regions" column: whether exposing
+	// memory regions is sensible for this access pattern.
+	Regions bool
+	// Build instantiates the kernel at a size scale (1 = smallest).
+	// Callers use Instance, which also wires the back-reference.
+	Build func(scale int) *Instance
+}
+
+// Instance builds the kernel at the given scale.
+func (k *Kernel) Instance(scale int) *Instance {
+	in := k.Build(scale)
+	in.Kernel = k
+	return in
+}
+
+// Instance is a kernel bound to concrete dimensions.
+type Instance struct {
+	Kernel   *Kernel
+	ImageLen int // bytes of the full memory image
+	Packed   int // packed bytes of one exchange
+	Type     *ddt.Type
+
+	// Walk visits the exchange's image ranges in pack order.
+	Walk func(visit func(off, n int))
+
+	ranges []Range // cached Walk output
+}
+
+// NewImage allocates and fills a source image.
+func (in *Instance) NewImage(seed byte) []byte {
+	img := make([]byte, in.ImageLen)
+	for i := 0; i < in.ImageLen; i += 8 {
+		layout.PutF64(img, i, float64(int(seed)*1000+i/8))
+	}
+	return img
+}
+
+// Ranges returns the exchange's byte ranges in pack order.
+func (in *Instance) Ranges() []Range {
+	if in.ranges == nil {
+		in.Walk(func(off, n int) {
+			in.ranges = append(in.ranges, Range{off, n})
+		})
+	}
+	return in.ranges
+}
+
+// ManualPack is the hand-written packing loop: the kernel's loop nest
+// copying into a cursor.
+func (in *Instance) ManualPack(src, dst []byte) int {
+	w := 0
+	in.Walk(func(off, n int) {
+		w += copy(dst[w:w+n], src[off:off+n])
+	})
+	return w
+}
+
+// ManualUnpack mirrors ManualPack.
+func (in *Instance) ManualUnpack(src, dst []byte) int {
+	r := 0
+	in.Walk(func(off, n int) {
+		r += copy(dst[off:off+n], src[r:r+n])
+	})
+	return r
+}
+
+// PackedEqual reports whether two images carry the same exchange payload.
+func (in *Instance) PackedEqual(a, b []byte) bool {
+	pa := make([]byte, in.Packed)
+	pb := make([]byte, in.Packed)
+	in.ManualPack(a, pa)
+	in.ManualPack(b, pb)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Method is one Figure 10 transfer strategy.
+type Method string
+
+// The Figure 10 methods.
+const (
+	// MethodReference is a contiguous pingpong of the packed size: the
+	// no-packing-needed roofline.
+	MethodReference Method = "reference"
+	// MethodDDT sends the derived datatype directly through the engine
+	// (the Open MPI bar).
+	MethodDDT Method = "mpi-ddt"
+	// MethodDDTPack packs up front with the datatype engine (MPI_Pack)
+	// and sends a contiguous buffer.
+	MethodDDTPack Method = "mpi-pack"
+	// MethodManualPack packs up front with hand-written loops and sends a
+	// contiguous buffer.
+	MethodManualPack Method = "manual-pack"
+	// MethodCustomPack uses the custom datatype API with pack/unpack
+	// callbacks only.
+	MethodCustomPack Method = "custom-pack"
+	// MethodCustomRegions uses the custom datatype API exposing the
+	// exchange as memory regions (only where Table I marks it sensible).
+	MethodCustomRegions Method = "custom-regions"
+	// MethodCustomCoro is the resumable-pack ablation: custom pack
+	// callbacks driven by a suspendable generator over the manual loop
+	// nest (the paper's C++ coroutine experiment).
+	MethodCustomCoro Method = "custom-coro"
+)
+
+// Methods lists the strategies applicable to an instance, in report order.
+func (in *Instance) Methods() []Method {
+	ms := []Method{MethodReference, MethodDDT, MethodDDTPack, MethodManualPack, MethodCustomPack, MethodCustomCoro}
+	if in.Kernel.Regions {
+		ms = append(ms, MethodCustomRegions)
+	}
+	return ms
+}
+
+// CustomType returns the custom datatype for the chosen flavour.
+func (in *Instance) CustomType(m Method) *core.Datatype {
+	switch m {
+	case MethodCustomPack:
+		return core.TypeCreateCustom(&imageHandler{in: in}, core.WithName(in.Kernel.Name+"-custom-pack"))
+	case MethodCustomRegions:
+		return core.TypeCreateCustom(&imageHandler{in: in, regions: true}, core.WithName(in.Kernel.Name+"-custom-regions"))
+	case MethodCustomCoro:
+		return core.TypeCreateCustom(&coroHandler{in: in}, core.WithInOrder(), core.WithName(in.Kernel.Name+"-custom-coro"))
+	default:
+		panic(fmt.Sprintf("ddtbench: %s is not a custom method", m))
+	}
+}
+
+// imageHandler adapts a kernel instance to the custom datatype API: all
+// bytes packed (regions=false) or all bytes exposed as memory regions
+// (regions=true).
+type imageHandler struct {
+	in      *Instance
+	regions bool
+}
+
+func (h *imageHandler) image(buf any) ([]byte, error) {
+	b, ok := buf.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("ddtbench: image buffer must be []byte, got %T", buf)
+	}
+	if len(b) < h.in.ImageLen {
+		return nil, fmt.Errorf("ddtbench: image is %d bytes, need %d", len(b), h.in.ImageLen)
+	}
+	return b, nil
+}
+
+func (h *imageHandler) State(buf any, _ core.Count) (any, error) { return h.image(buf) }
+func (h *imageHandler) FreeState(any) error                      { return nil }
+
+func (h *imageHandler) PackedSize(_, _ any, _ core.Count) (core.Count, error) {
+	if h.regions {
+		return 0, nil
+	}
+	return int64(h.in.Packed), nil
+}
+
+func (h *imageHandler) Pack(state, _ any, _, offset core.Count, dst []byte) (core.Count, error) {
+	img := state.([]byte)
+	n, err := h.in.Type.PackAt(img, 1, offset, dst)
+	if err != nil && n > 0 {
+		err = nil // io.EOF with bytes is normal end-of-stream
+	}
+	return int64(n), err
+}
+
+func (h *imageHandler) Unpack(state, _ any, _, offset core.Count, src []byte) error {
+	return h.in.Type.UnpackAt(state.([]byte), 1, offset, src)
+}
+
+func (h *imageHandler) RegionCount(_, _ any, _ core.Count) (core.Count, error) {
+	if !h.regions {
+		return 0, nil
+	}
+	// Adjacent pieces coalesce: the region list is the datatype's run
+	// list, so NAS_LU_x is one region while NAS_MG_x is thousands.
+	return int64(h.in.Type.NumRuns()), nil
+}
+
+func (h *imageHandler) Regions(state, _ any, _ core.Count, regions [][]byte) error {
+	if !h.regions {
+		return nil
+	}
+	img := state.([]byte)
+	rs, err := h.in.Type.Regions(img, 1)
+	if err != nil {
+		return err
+	}
+	copy(regions, rs)
+	return nil
+}
+
+// coroHandler packs through a suspendable generator running the kernel's
+// manual loop nest: the resumable-pack experiment. The receive side
+// unpacks through the engine (UnpackAt), as the paper's prototype did.
+type coroHandler struct {
+	in *Instance
+}
+
+type coroState struct {
+	img    []byte
+	packer *coro.Packer
+	at     int64
+}
+
+func (h *coroHandler) State(buf any, _ core.Count) (any, error) {
+	b, ok := buf.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("ddtbench: image buffer must be []byte, got %T", buf)
+	}
+	return &coroState{img: b}, nil
+}
+
+func (h *coroHandler) FreeState(state any) error {
+	s := state.(*coroState)
+	if s.packer != nil {
+		s.packer.Close()
+	}
+	return nil
+}
+
+func (h *coroHandler) PackedSize(_, _ any, _ core.Count) (core.Count, error) {
+	return int64(h.in.Packed), nil
+}
+
+func (h *coroHandler) Pack(state, _ any, _, offset core.Count, dst []byte) (core.Count, error) {
+	s := state.(*coroState)
+	if s.packer == nil {
+		img := s.img
+		walk := h.in.Walk
+		s.packer = coro.NewPacker(func(put func([]byte)) {
+			walk(func(off, n int) {
+				put(img[off : off+n])
+			})
+		})
+	}
+	if offset != s.at {
+		return 0, fmt.Errorf("ddtbench: coroutine pack requires sequential offsets (got %d, at %d)", offset, s.at)
+	}
+	n, _ := s.packer.Fill(dst)
+	s.at += int64(n)
+	return int64(n), nil
+}
+
+func (h *coroHandler) Unpack(state, _ any, _, offset core.Count, src []byte) error {
+	return h.in.Type.UnpackAt(state.(*coroState).img, 1, offset, src)
+}
+
+func (h *coroHandler) RegionCount(_, _ any, _ core.Count) (core.Count, error) { return 0, nil }
+func (h *coroHandler) Regions(_, _ any, _ core.Count, _ [][]byte) error       { return nil }

@@ -1,0 +1,185 @@
+package ddtbench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mpicd/internal/core"
+)
+
+func TestKernelMetadataMatchesTableI(t *testing.T) {
+	want := map[string]bool{ // Table I "Memory Regions" column
+		"LAMMPS": false, "MILC": true,
+		"NAS_LU_x": true, "NAS_LU_y": true,
+		"NAS_MG_x": true, "NAS_MG_y": true,
+		"WRF_x_vec": false, "WRF_y_vec": false,
+	}
+	if len(All) != len(want) {
+		t.Fatalf("%d kernels, want %d", len(All), len(want))
+	}
+	for _, k := range All {
+		regions, ok := want[k.Name]
+		if !ok {
+			t.Fatalf("unexpected kernel %s", k.Name)
+		}
+		if k.Regions != regions {
+			t.Fatalf("%s: regions = %v, want %v", k.Name, k.Regions, regions)
+		}
+		if k.Datatypes == "" || k.Loops == "" {
+			t.Fatalf("%s: missing Table I metadata", k.Name)
+		}
+	}
+}
+
+func TestWalkMatchesDatatype(t *testing.T) {
+	// The manual loop nest and the derived datatype must produce the same
+	// packed byte stream: DDTBench's core invariant.
+	for _, k := range All {
+		t.Run(k.Name, func(t *testing.T) {
+			in := k.Instance(1)
+			img := in.NewImage(3)
+			manual := make([]byte, in.Packed)
+			if n := in.ManualPack(img, manual); n != in.Packed {
+				t.Fatalf("manual pack wrote %d of %d", n, in.Packed)
+			}
+			if got := in.Type.PackedSize(1); got != int64(in.Packed) {
+				t.Fatalf("datatype size %d != kernel packed %d", got, in.Packed)
+			}
+			if span := in.Type.Span(1); span > int64(in.ImageLen) {
+				t.Fatalf("datatype span %d exceeds image %d", span, in.ImageLen)
+			}
+			engine := make([]byte, in.Packed)
+			if _, err := in.Type.Pack(img, 1, engine); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(manual, engine) {
+				t.Fatal("manual loop nest and datatype engine disagree")
+			}
+		})
+	}
+}
+
+func TestManualRoundtrip(t *testing.T) {
+	for _, k := range All {
+		t.Run(k.Name, func(t *testing.T) {
+			in := k.Instance(1)
+			img := in.NewImage(5)
+			packed := make([]byte, in.Packed)
+			in.ManualPack(img, packed)
+			out := make([]byte, in.ImageLen)
+			if n := in.ManualUnpack(packed, out); n != in.Packed {
+				t.Fatalf("unpack consumed %d of %d", n, in.Packed)
+			}
+			if !in.PackedEqual(img, out) {
+				t.Fatal("manual roundtrip mismatch")
+			}
+		})
+	}
+}
+
+func TestRangesCoverPackedBytes(t *testing.T) {
+	for _, k := range All {
+		in := k.Instance(1)
+		total := 0
+		for _, r := range in.Ranges() {
+			total += r.Len
+			if r.Off < 0 || r.Off+r.Len > in.ImageLen {
+				t.Fatalf("%s: range %+v outside image", k.Name, r)
+			}
+		}
+		if total != in.Packed {
+			t.Fatalf("%s: ranges cover %d bytes, packed is %d", k.Name, total, in.Packed)
+		}
+	}
+}
+
+func TestAllMethodsTransferCorrectly(t *testing.T) {
+	for _, k := range All {
+		in := k.Instance(1)
+		for _, m := range in.Methods() {
+			t.Run(k.Name+"/"+string(m), func(t *testing.T) {
+				src := in.NewImage(7)
+				dst := make([]byte, in.ImageLen)
+				err := core.Run(2, core.Options{}, func(c *core.Comm) error {
+					e, err := NewEndpoint(in, m)
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						return e.Send(c, src, 1, 1)
+					}
+					return e.Recv(c, dst, 0, 1)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m == MethodReference {
+					return // reference moves bytes, not the image
+				}
+				if !in.PackedEqual(src, dst) {
+					t.Fatal("transferred payload mismatch")
+				}
+			})
+		}
+	}
+}
+
+func TestCustomRegionsRejectedWhereNotSensible(t *testing.T) {
+	in := LAMMPS.Instance(1)
+	if _, err := NewEndpoint(in, MethodCustomRegions); err == nil {
+		t.Fatal("LAMMPS must reject the regions method (Table I)")
+	}
+}
+
+func TestScalesGrowPackedSize(t *testing.T) {
+	for _, k := range All {
+		p1 := k.Instance(1).Packed
+		p3 := k.Instance(3).Packed
+		if p3 != 3*p1 {
+			t.Fatalf("%s: packed(3) = %d, want 3*%d", k.Name, p3, p1)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("MILC")
+	if err != nil || k != MILC {
+		t.Fatal("ByName(MILC) failed")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestRegionShapesMatchPaperExpectations(t *testing.T) {
+	// The paper's Figure 10 analysis hinges on region counts: few large
+	// regions for MILC/NAS_LU_x/NAS_MG_y, many small ones for
+	// NAS_LU_y/NAS_MG_x.
+	type shape struct {
+		count   int
+		avgSize int
+	}
+	shapes := map[string]shape{}
+	for _, name := range []string{"MILC", "NAS_LU_x", "NAS_LU_y", "NAS_MG_x", "NAS_MG_y"} {
+		k, _ := ByName(name)
+		in := k.Instance(1)
+		// Region exposure uses the coalesced datatype runs.
+		regions := in.Type.NumRuns()
+		shapes[name] = shape{regions, in.Packed / regions}
+	}
+	if shapes["NAS_LU_x"].count != 1 {
+		t.Fatalf("NAS_LU_x should be one region, got %d", shapes["NAS_LU_x"].count)
+	}
+	for _, good := range []string{"MILC", "NAS_MG_y"} {
+		if shapes[good].avgSize < 1024 {
+			t.Fatalf("%s: avg region %d B, expected large regions", good, shapes[good].avgSize)
+		}
+	}
+	for _, bad := range []string{"NAS_LU_y", "NAS_MG_x"} {
+		if shapes[bad].avgSize > 64 {
+			t.Fatalf("%s: avg region %d B, expected small regions", bad, shapes[bad].avgSize)
+		}
+	}
+	fmt.Println() // keep fmt for debug ergonomics
+}

@@ -1,0 +1,386 @@
+package ddtbench
+
+import (
+	"fmt"
+
+	"mpicd/internal/ddt"
+)
+
+// All lists the reproduced DDTBench kernels in Figure 10 order.
+var All = []*Kernel{LAMMPS, MILC, NASLUx, NASLUy, NASMGx, NASMGy, WRFxVec, WRFyVec}
+
+// ByName returns a kernel by its Figure 10 label.
+func ByName(name string) (*Kernel, error) {
+	for _, k := range All {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("ddtbench: unknown kernel %q", name)
+}
+
+const f64 = 8
+
+// must panics on constructor errors: kernel shapes are static.
+func must(t *ddt.Type, err error) *ddt.Type {
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// LAMMPS — molecular dynamics atom exchange.
+//
+// Six per-atom arrays (x[3], v[3], tag, type, mask, q — all modeled as
+// float64 like DDTBench's Fortran reals) packed for a subset of atoms
+// selected by an index list with non-unit stride. Datatypes: hindexed per
+// array combined in a struct. One loop over atoms, gathering from six
+// arrays. Regions make no sense: thousands of 8-24 byte pieces.
+var LAMMPS = &Kernel{
+	Name:      "LAMMPS",
+	Datatypes: "indexed, struct",
+	Loops:     "single loop, 6 arrays (non-unit stride)",
+	Regions:   false,
+	Build: func(scale int) *Instance {
+		natoms := 1024 * scale // atoms in the arrays
+		idxStride := 2         // pack every other atom
+		packAtoms := natoms / idxStride
+
+		// Image layout: x[3*natoms] | v[3*natoms] | tag | type | mask | q.
+		xOff := 0
+		vOff := xOff + 3*natoms*f64
+		tagOff := vOff + 3*natoms*f64
+		typeOff := tagOff + natoms*f64
+		maskOff := typeOff + natoms*f64
+		qOff := maskOff + natoms*f64
+		imageLen := qOff + natoms*f64
+
+		idx := make([]int, packAtoms)
+		for i := range idx {
+			idx[i] = i * idxStride
+		}
+
+		// Derived datatype: per-array hindexed blocks, combined by struct.
+		x3 := make([]int, packAtoms)
+		dx := make([]int64, packAtoms)
+		d1 := make([]int64, packAtoms)
+		one := make([]int, packAtoms)
+		for i, a := range idx {
+			x3[i] = 3
+			one[i] = 1
+			dx[i] = int64(3 * a * f64)
+			d1[i] = int64(a * f64)
+		}
+		tx := must(ddt.Hindexed(x3, dx, ddt.Float64))
+		tscalar := must(ddt.Hindexed(one, d1, ddt.Float64))
+		typ := must(ddt.Struct(
+			[]int{1, 1, 1, 1, 1, 1},
+			[]int64{int64(xOff), int64(vOff), int64(tagOff), int64(typeOff), int64(maskOff), int64(qOff)},
+			[]*ddt.Type{tx, tx, tscalar, tscalar, tscalar, tscalar},
+		))
+
+		in := &Instance{
+			ImageLen: imageLen,
+			Packed:   packAtoms * 10 * f64,
+			Type:     typ,
+		}
+		// The manual loop packs array by array (matching the datatype's
+		// wire order): a single loop with non-unit stride per array.
+		in.Walk = func(visit func(off, n int)) {
+			for _, a := range idx {
+				visit(xOff+3*a*f64, 3*f64)
+			}
+			for _, a := range idx {
+				visit(vOff+3*a*f64, 3*f64)
+			}
+			for _, base := range []int{tagOff, typeOff, maskOff, qOff} {
+				for _, a := range idx {
+					visit(base+a*f64, f64)
+				}
+			}
+		}
+		return in
+	},
+}
+
+// ---------------------------------------------------------------------------
+// MILC — lattice QCD su3 vector face exchange.
+//
+// A [T][Z][Y][X] lattice of su3 vectors (3 complex doubles = 48 bytes per
+// site); the z=0 face is exchanged. The manual pack is a five-deep loop
+// nest (t, y, x, color, re/im) with non-unit stride between (t,y) lines.
+// Each (t,y) line is X*48 contiguous bytes, so the face exposes a modest
+// number of large regions — the case where the paper finds regions beat
+// packing.
+var MILC = &Kernel{
+	Name:      "MILC",
+	Datatypes: "strided vector",
+	Loops:     "5 nested loops (non-unit stride)",
+	Regions:   true,
+	Build: func(scale int) *Instance {
+		const su3 = 48 // 3 complex128
+		T, Z, Y := 8, 2, 8
+		X := 64 * scale
+		lineBytes := X * su3   // one contiguous (t,y) line of the face
+		strideY := Z * X * su3 // distance between y lines (z planes between)
+		strideT := Y * Z * X * su3
+		imageLen := T * Y * Z * X * su3
+
+		// Two-level strided vector: T blocks of (Y lines strided by
+		// strideY), blocks strided by strideT.
+		line := must(ddt.Contiguous(X*3, ddt.Complex128))
+		plane := must(ddt.Hvector(Y, 1, int64(strideY), line))
+		typ := must(ddt.Hvector(T, 1, int64(strideT), plane))
+
+		in := &Instance{
+			ImageLen: imageLen,
+			Packed:   T * Y * lineBytes,
+			Type:     typ,
+		}
+		in.Walk = func(visit func(off, n int)) {
+			// Five loops: t, y, x, color, re/im — the inner three emit one
+			// 16-byte complex at a time, matching DDTBench's element-wise
+			// Fortran loops.
+			for t := 0; t < T; t++ {
+				for y := 0; y < Y; y++ {
+					base := t*strideT + y*strideY
+					for x := 0; x < X; x++ {
+						for c := 0; c < 3; c++ {
+							visit(base+(x*3+c)*16, 16)
+						}
+					}
+				}
+			}
+		}
+		return in
+	},
+}
+
+// ---------------------------------------------------------------------------
+// NAS_LU_x — LU solver x-direction face: fully contiguous.
+//
+// Grid G[ny][nx][5] of doubles; the exchanged face G[0][:][:] is one
+// contiguous block. Manual pack is two nested loops (i, m) that happen to
+// walk contiguous memory; the datatype is plain contiguous and a single
+// region covers the face.
+var NASLUx = &Kernel{
+	Name:      "NAS_LU_x",
+	Datatypes: "contiguous",
+	Loops:     "2 nested loops",
+	Regions:   true,
+	Build: func(scale int) *Instance {
+		nx := 2048 * scale
+		ny := 16
+		rowBytes := 5 * f64
+		typ := must(ddt.Contiguous(5*nx, ddt.Float64))
+		in := &Instance{
+			ImageLen: ny * nx * rowBytes,
+			Packed:   nx * rowBytes,
+			Type:     typ,
+		}
+		in.Walk = func(visit func(off, n int)) {
+			for i := 0; i < nx; i++ {
+				for m := 0; m < 5; m++ {
+					visit(i*rowBytes+m*f64, f64)
+				}
+			}
+		}
+		return in
+	},
+}
+
+// ---------------------------------------------------------------------------
+// NAS_LU_y — LU solver y-direction face: strided 40-byte chunks.
+//
+// The face G[:][0][:] is ny chunks of 5 doubles strided by a full row:
+// many small pieces, the case where the paper finds region exposure loses
+// to packing.
+var NASLUy = &Kernel{
+	Name:      "NAS_LU_y",
+	Datatypes: "strided vector",
+	Loops:     "2 nested loops (non-contiguous)",
+	Regions:   true,
+	Build: func(scale int) *Instance {
+		nx := 64
+		ny := 512 * scale
+		rowBytes := nx * 5 * f64
+		typ := must(ddt.Hvector(ny, 5, int64(rowBytes), ddt.Float64))
+		in := &Instance{
+			ImageLen: ny * rowBytes,
+			Packed:   ny * 5 * f64,
+			Type:     typ,
+		}
+		in.Walk = func(visit func(off, n int)) {
+			for j := 0; j < ny; j++ {
+				for m := 0; m < 5; m++ {
+					visit(j*rowBytes+m*f64, f64)
+				}
+			}
+		}
+		return in
+	},
+}
+
+// ---------------------------------------------------------------------------
+// NAS_MG_x — multigrid x-face: single strided doubles.
+//
+// Grid M[nz][ny][nx]; the face M[:][:][0] is nz*ny isolated 8-byte
+// elements — the worst case for region exposure (and for the datatype
+// engine, which degenerates to per-element copies).
+var NASMGx = &Kernel{
+	Name:      "NAS_MG_x",
+	Datatypes: "strided vector",
+	Loops:     "2 nested loops (non-contiguous)",
+	Regions:   true,
+	Build: func(scale int) *Instance {
+		nx := 16
+		ny := 64
+		nz := 32 * scale
+		typ := must(ddt.Vector(nz*ny, 1, nx, ddt.Float64))
+		in := &Instance{
+			ImageLen: nz * ny * nx * f64,
+			Packed:   nz * ny * f64,
+			Type:     typ,
+		}
+		in.Walk = func(visit func(off, n int)) {
+			for k := 0; k < nz; k++ {
+				for j := 0; j < ny; j++ {
+					visit((k*ny+j)*nx*f64, f64)
+				}
+			}
+		}
+		return in
+	},
+}
+
+// ---------------------------------------------------------------------------
+// NAS_MG_y — multigrid y-face: nz contiguous rows.
+//
+// The face M[:][0][:] is nz contiguous runs of nx doubles: few large
+// regions, favourable for region exposure.
+var NASMGy = &Kernel{
+	Name:      "NAS_MG_y",
+	Datatypes: "strided vector",
+	Loops:     "2 nested loops (non-contiguous)",
+	Regions:   true,
+	Build: func(scale int) *Instance {
+		nx := 1024 * scale
+		ny := 16
+		nz := 32
+		rowBytes := nx * f64
+		typ := must(ddt.Hvector(nz, nx, int64(ny*rowBytes), ddt.Float64))
+		in := &Instance{
+			ImageLen: nz * ny * rowBytes,
+			Packed:   nz * rowBytes,
+			Type:     typ,
+		}
+		in.Walk = func(visit func(off, n int)) {
+			for k := 0; k < nz; k++ {
+				visit(k*ny*rowBytes, rowBytes)
+			}
+		}
+		return in
+	},
+}
+
+// ---------------------------------------------------------------------------
+// WRF_x_vec — weather model x-boundary slab over several 3-D fields.
+//
+// Four fields F[nk][nj][ni] share one image; the exchanged slab is
+// i in [0,2) of every (k,j) line of every field: a struct of strided
+// vectors walked by a four-deep loop nest of 16-byte pieces.
+var WRFxVec = &Kernel{
+	Name:      "WRF_x_vec",
+	Datatypes: "struct of strided vectors",
+	Loops:     "4 nested loops (non-contiguous)",
+	Regions:   false,
+	Build: func(scale int) *Instance {
+		const nf = 4
+		const halo = 2
+		ni := 32
+		nj := 16
+		nk := 16 * scale
+		fieldBytes := nk * nj * ni * f64
+		lineBytes := ni * f64
+
+		slab := must(ddt.Hvector(nk*nj, halo, int64(lineBytes), ddt.Float64))
+		displs := make([]int64, nf)
+		bls := make([]int, nf)
+		types := make([]*ddt.Type, nf)
+		for fIdx := 0; fIdx < nf; fIdx++ {
+			displs[fIdx] = int64(fIdx * fieldBytes)
+			bls[fIdx] = 1
+			types[fIdx] = slab
+		}
+		typ := must(ddt.Struct(bls, displs, types))
+
+		in := &Instance{
+			ImageLen: nf * fieldBytes,
+			Packed:   nf * nk * nj * halo * f64,
+			Type:     typ,
+		}
+		in.Walk = func(visit func(off, n int)) {
+			for fIdx := 0; fIdx < nf; fIdx++ {
+				base := fIdx * fieldBytes
+				for k := 0; k < nk; k++ {
+					for j := 0; j < nj; j++ {
+						for i := 0; i < halo; i++ {
+							visit(base+((k*nj+j)*ni+i)*f64, f64)
+						}
+					}
+				}
+			}
+		}
+		return in
+	},
+}
+
+// ---------------------------------------------------------------------------
+// WRF_y_vec — weather model y-boundary slab: larger contiguous runs.
+//
+// The slab j in [0,2) of every (field, k) plane: nf*nk*2 contiguous
+// ni-double lines, walked by a three-deep loop nest.
+var WRFyVec = &Kernel{
+	Name:      "WRF_y_vec",
+	Datatypes: "struct of strided vectors",
+	Loops:     "3 nested loops (non-contiguous)",
+	Regions:   false,
+	Build: func(scale int) *Instance {
+		const nf = 4
+		const halo = 2
+		ni := 64
+		nj := 16
+		nk := 16 * scale
+		fieldBytes := nk * nj * ni * f64
+		lineBytes := ni * f64
+
+		plane := must(ddt.Hvector(nk, halo*ni, int64(nj*lineBytes), ddt.Float64))
+		displs := make([]int64, nf)
+		bls := make([]int, nf)
+		types := make([]*ddt.Type, nf)
+		for fIdx := 0; fIdx < nf; fIdx++ {
+			displs[fIdx] = int64(fIdx * fieldBytes)
+			bls[fIdx] = 1
+			types[fIdx] = plane
+		}
+		typ := must(ddt.Struct(bls, displs, types))
+
+		in := &Instance{
+			ImageLen: nf * fieldBytes,
+			Packed:   nf * nk * halo * ni * f64,
+			Type:     typ,
+		}
+		in.Walk = func(visit func(off, n int)) {
+			for fIdx := 0; fIdx < nf; fIdx++ {
+				base := fIdx * fieldBytes
+				for k := 0; k < nk; k++ {
+					for j := 0; j < halo; j++ {
+						visit(base+(k*nj+j)*ni*f64, ni*f64)
+					}
+				}
+			}
+		}
+		return in
+	},
+}

@@ -1,0 +1,82 @@
+package ddtbench
+
+import (
+	"fmt"
+
+	"mpicd/internal/core"
+)
+
+// Endpoint binds a kernel instance to one Figure 10 method on one rank,
+// holding whatever scratch space the method needs so steady-state
+// exchanges allocate nothing.
+type Endpoint struct {
+	In      *Instance
+	M       Method
+	dt      *core.Datatype
+	scratch []byte
+}
+
+// NewEndpoint prepares an endpoint for (instance, method).
+func NewEndpoint(in *Instance, m Method) (*Endpoint, error) {
+	e := &Endpoint{In: in, M: m}
+	switch m {
+	case MethodReference:
+		e.scratch = make([]byte, in.Packed)
+	case MethodDDT:
+		e.dt = core.FromDDT(in.Type)
+	case MethodDDTPack, MethodManualPack:
+		e.scratch = make([]byte, in.Packed)
+		e.dt = core.FromDDT(in.Type)
+	case MethodCustomPack, MethodCustomRegions, MethodCustomCoro:
+		if m == MethodCustomRegions && !in.Kernel.Regions {
+			return nil, fmt.Errorf("ddtbench: %s does not support memory regions", in.Kernel.Name)
+		}
+		e.dt = in.CustomType(m)
+	default:
+		return nil, fmt.Errorf("ddtbench: unknown method %q", m)
+	}
+	return e, nil
+}
+
+// Send transmits one exchange from img.
+func (e *Endpoint) Send(c *core.Comm, img []byte, dst, tag int) error {
+	switch e.M {
+	case MethodReference:
+		return c.Send(e.scratch, int64(e.In.Packed), core.TypeBytes, dst, tag)
+	case MethodDDT, MethodCustomPack, MethodCustomRegions, MethodCustomCoro:
+		return c.Send(img, 1, e.dt, dst, tag)
+	case MethodDDTPack:
+		if _, err := core.Pack(img, 1, e.dt, e.scratch); err != nil {
+			return err
+		}
+		return c.Send(e.scratch, -1, core.TypeBytes, dst, tag)
+	case MethodManualPack:
+		e.In.ManualPack(img, e.scratch)
+		return c.Send(e.scratch, -1, core.TypeBytes, dst, tag)
+	}
+	return fmt.Errorf("ddtbench: unknown method %q", e.M)
+}
+
+// Recv receives one exchange into img.
+func (e *Endpoint) Recv(c *core.Comm, img []byte, src, tag int) error {
+	switch e.M {
+	case MethodReference:
+		_, err := c.Recv(e.scratch, int64(e.In.Packed), core.TypeBytes, src, tag)
+		return err
+	case MethodDDT, MethodCustomPack, MethodCustomRegions, MethodCustomCoro:
+		_, err := c.Recv(img, 1, e.dt, src, tag)
+		return err
+	case MethodDDTPack:
+		if _, err := c.Recv(e.scratch, -1, core.TypeBytes, src, tag); err != nil {
+			return err
+		}
+		return core.Unpack(e.scratch, img, 1, e.dt)
+	case MethodManualPack:
+		if _, err := c.Recv(e.scratch, -1, core.TypeBytes, src, tag); err != nil {
+			return err
+		}
+		e.In.ManualUnpack(e.scratch, img)
+		return nil
+	}
+	return fmt.Errorf("ddtbench: unknown method %q", e.M)
+}

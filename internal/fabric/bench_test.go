@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks documenting the copy economics of the fabric: eager sends
+// pay staging copies, Get pulls move bytes directly between direct
+// endpoints, and generic endpoints add callback passes.
+
+func BenchmarkInprocSendRecv(b *testing.B) {
+	for _, size := range []int{64, 4096, 16384} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			f := NewInproc(2, Config{})
+			defer f.Close()
+			payload := make([]byte, size)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < b.N; i++ {
+					pkt, ok := f.NIC(1).Recv()
+					if !ok {
+						return
+					}
+					pkt.Release()
+				}
+			}()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.NIC(0).Send(1, Header{}, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+		})
+	}
+}
+
+func benchGet(b *testing.B, src Source, sink Sink, n int64) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	key := f.NIC(0).Register(src)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.NIC(1).Get(0, key, 0, sink, 0, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetDirectToDirect(b *testing.B) {
+	const n = 1 << 20
+	benchGet(b, Bytes(make([]byte, n)), Bytes(make([]byte, n)), n)
+}
+
+func BenchmarkGetIovToDirect(b *testing.B) {
+	const n = 1 << 20
+	regions := make([][]byte, 256)
+	for i := range regions {
+		regions[i] = make([]byte, n/256)
+	}
+	benchGet(b, NewIov(regions), Bytes(make([]byte, n)), n)
+}
+
+func BenchmarkGetManyTinyRegions(b *testing.B) {
+	// The NAS_MG_x shape: thousands of 8-byte regions.
+	const n = 1 << 17
+	regions := make([][]byte, n/8)
+	for i := range regions {
+		regions[i] = make([]byte, 8)
+	}
+	benchGet(b, NewIov(regions), Bytes(make([]byte, n)), n)
+}
+
+func BenchmarkGetGenericBounce(b *testing.B) {
+	const n = 1 << 20
+	src := nonDirectSource{Bytes(make([]byte, n))}
+	sink := nonDirectSink{Bytes(make([]byte, n))}
+	benchGet(b, src, sink, n)
+}
+
+func BenchmarkTransferLoopback(b *testing.B) {
+	const n = 1 << 20
+	src := Bytes(make([]byte, n))
+	dst := Bytes(make([]byte, n))
+	bounce := make([]byte, DefaultFragSize)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Transfer(src, 0, dst, 0, n, bounce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

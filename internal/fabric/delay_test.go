@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// The synthetic delay knobs model per-packet and per-window costs of a
+// real interconnect; these tests pin down that they actually charge time.
+
+func TestPerPacketDelayCharged(t *testing.T) {
+	const delay = 200 * time.Microsecond
+	const packets = 20
+	f := NewInproc(2, Config{PerPacket: delay})
+	defer f.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < packets; i++ {
+			pkt, ok := f.NIC(1).Recv()
+			if !ok {
+				return
+			}
+			pkt.Release()
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < packets; i++ {
+		if err := f.NIC(0).Send(1, Header{}, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if elapsed := time.Since(start); elapsed < packets*delay {
+		t.Fatalf("sent %d packets in %v; per-packet delay of %v not charged", packets, elapsed, delay)
+	}
+}
+
+func TestPerGetDelayCharged(t *testing.T) {
+	const delay = 100 * time.Microsecond
+	f := NewInproc(2, Config{PerGet: delay, FragSize: 1024})
+	defer f.Close()
+	data := make([]byte, 16*1024) // 16 windows
+	key := f.NIC(0).Register(Bytes(data))
+	out := make([]byte, len(data))
+	start := time.Now()
+	if err := f.NIC(1).Get(0, key, 0, Bytes(out), 0, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 16*delay {
+		t.Fatalf("pull took %v; per-window delay of %v not charged", elapsed, delay)
+	}
+}
+
+func TestSpinPrecision(t *testing.T) {
+	start := time.Now()
+	spin(300 * time.Microsecond)
+	if got := time.Since(start); got < 300*time.Microsecond {
+		t.Fatalf("spin returned after %v", got)
+	}
+	spin(0)  // no-op
+	spin(-1) // no-op
+}

@@ -1,0 +1,183 @@
+// Package fabric provides the simulated network substrate underneath the
+// UCP-like transport layer.
+//
+// The paper's prototype ran on two InfiniBand-connected nodes through
+// UCX/UCP. This package substitutes a fabric abstraction with two
+// providers:
+//
+//   - inproc: ranks are goroutines in one process; links are channels and
+//     every wire crossing is charged an explicit staging copy, exactly like
+//     a NIC moving bytes through its send/receive rings. Rendezvous
+//     transfers use a registered-memory "Get" that copies directly from the
+//     remote Source into the local Sink (the shared-memory analogue of an
+//     RDMA read).
+//   - tcp: ranks are separate processes; packets travel over real sockets
+//     with gather writes (net.Buffers, the writev analogue of an iovec
+//     send) and the Get primitive is implemented as a request/response
+//     protocol.
+//
+// The copy accounting is what makes the paper's results reproducible:
+// packed sends pay user-pack + wire + user-unpack copies while region
+// (iovec) sends let the wire read user memory directly.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind identifies the protocol-level meaning of a packet. The fabric does
+// not interpret it; the transport layer above defines the values.
+type Kind uint8
+
+// Flags carried in a packet header.
+const (
+	// FlagUnordered marks a packet that the fabric may reorder relative to
+	// other unordered packets on the same link (used to exercise the
+	// custom-datatype inorder contract).
+	FlagUnordered uint8 = 1 << iota
+)
+
+// Header is the fixed-size packet header. The transport layer owns the
+// interpretation of every field except From, which the fabric fills in.
+type Header struct {
+	Kind   Kind
+	Flags  uint8
+	Tag    uint64
+	MsgID  uint64
+	Offset int64 // byte offset of this fragment within its message
+	Total  int64 // total message payload bytes
+	Aux0   int64 // transport-defined (e.g. packed-part length)
+	Aux1   int64 // transport-defined (e.g. remote memory key)
+}
+
+// headerWireSize is the encoded size of a Header on byte-stream providers.
+const headerWireSize = 1 + 1 + 8 + 8 + 8 + 8 + 8 + 8
+
+// Packet is a received wire buffer. Payload aliases fabric-owned memory and
+// is valid only until Release is called; receivers must copy out (or consume
+// through a Sink) before releasing.
+type Packet struct {
+	From    int
+	Hdr     Header
+	Payload []byte
+	release func()
+}
+
+// Release returns the wire buffer to the fabric. It is safe to call on the
+// zero value and to call exactly once per received packet.
+func (p *Packet) Release() {
+	if p.release != nil {
+		p.release()
+		p.release = nil
+	}
+}
+
+// NIC is one rank's attachment to the fabric.
+//
+// Send-side calls copy bytes into fabric-owned wire buffers (the staging
+// copy every real NIC pays on the host side unless it does zero-copy DMA).
+// Get is the zero-copy path: it moves bytes from a remote registered Source
+// into a local Sink with the minimum number of copies the endpoints allow
+// (one when both expose direct windows).
+type NIC interface {
+	// Rank returns this NIC's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks on the fabric.
+	Size() int
+
+	// Send copies the payload slices, in order, into a single wire buffer
+	// and delivers it to rank `to`. The total payload must not exceed
+	// MaxFragSize. Gather semantics: the scatter list is flattened on the
+	// wire, exactly like writev.
+	Send(to int, hdr Header, payload ...[]byte) error
+
+	// SendFrom reads up to n bytes at offset off from src into the wire
+	// buffer (one staging copy) and delivers the fragment to rank `to`.
+	// It returns the number of bytes actually packed and sent, which may
+	// be less than n when the source packs partially (the custom-datatype
+	// pack callback is allowed to underfill a fragment). A zero-byte pack
+	// before the source is exhausted is reported as ErrShortTransfer.
+	SendFrom(to int, hdr Header, src Source, off, n int64) (int64, error)
+
+	// Recv blocks for the next inbound packet. ok is false after Close.
+	Recv() (pkt *Packet, ok bool)
+
+	// Register exposes src for remote Get operations and returns its key.
+	Register(src Source) uint64
+	// Deregister revokes a key returned by Register.
+	Deregister(key uint64)
+	// Get pulls n bytes at offset off of the remote Source registered
+	// under key at rank `from`, writing them at offset sinkOff of sink.
+	Get(from int, key uint64, off int64, sink Sink, sinkOff, n int64) error
+
+	// Close detaches the NIC; pending and future Recv calls return ok=false.
+	Close() error
+}
+
+// Config tunes fabric behaviour. The zero value is usable; NewConfig fills
+// in defaults.
+type Config struct {
+	// FragSize is the maximum wire fragment (MTU) in bytes.
+	FragSize int
+	// InboxDepth is the per-link receive queue depth in packets.
+	InboxDepth int
+	// OutOfOrder enables reordering of FlagUnordered packets, with
+	// deterministic behaviour derived from Seed.
+	OutOfOrder bool
+	// Seed drives the out-of-order shuffle.
+	Seed int64
+	// PerPacket is an artificial per-packet latency (busy-wait) used to
+	// model link/NIC per-message overhead. Zero disables it.
+	PerPacket time.Duration
+	// PerGet is an artificial per-Get-window overhead modelling the RDMA
+	// read round trip. Zero disables it.
+	PerGet time.Duration
+}
+
+// DefaultFragSize matches a typical transport bounce-buffer size.
+const DefaultFragSize = 16 * 1024
+
+// MaxFragSize bounds a single wire fragment across all providers.
+const MaxFragSize = 1 << 20
+
+// NewConfig returns cfg with zero fields replaced by defaults.
+func NewConfig(cfg Config) Config {
+	if cfg.FragSize <= 0 {
+		cfg.FragSize = DefaultFragSize
+	}
+	if cfg.FragSize > MaxFragSize {
+		cfg.FragSize = MaxFragSize
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 1024
+	}
+	return cfg
+}
+
+// ErrClosed is returned by operations on a closed NIC.
+var ErrClosed = errors.New("fabric: NIC closed")
+
+// ErrBadKey is returned by Get when the remote key is unknown.
+var ErrBadKey = errors.New("fabric: unknown memory key")
+
+// ErrShortTransfer is returned when a Source or Sink ends before the
+// requested byte count was moved.
+var ErrShortTransfer = errors.New("fabric: short transfer")
+
+func rangeErr(what string, rank, size int) error {
+	return fmt.Errorf("fabric: %s rank %d out of range [0,%d)", what, rank, size)
+}
+
+// spin busy-waits for roughly d. Sub-microsecond sleeps are not achievable
+// with the runtime timer, and the benchmarks need stable per-packet costs,
+// so a calibrated spin is used instead.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

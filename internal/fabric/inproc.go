@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Inproc is an in-process fabric: every rank is a goroutine, links are
+// channels, and rendezvous Gets read the remote Source directly (the
+// shared-memory analogue of an RDMA read).
+type Inproc struct {
+	cfg  Config
+	nics []*inprocNIC
+	pool sync.Pool // *[]byte wire buffers of cfg.FragSize
+
+	regMu   sync.RWMutex
+	regs    map[regKey]Source
+	nextKey atomic.Uint64
+}
+
+type regKey struct {
+	rank int
+	key  uint64
+}
+
+// NewInproc creates an in-process fabric with n ranks.
+func NewInproc(n int, cfg Config) *Inproc {
+	cfg = NewConfig(cfg)
+	f := &Inproc{
+		cfg:  cfg,
+		regs: make(map[regKey]Source),
+	}
+	f.pool.New = func() any {
+		b := make([]byte, cfg.FragSize)
+		return &b
+	}
+	f.nics = make([]*inprocNIC, n)
+	for i := range f.nics {
+		f.nics[i] = &inprocNIC{
+			fab:   f,
+			rank:  i,
+			inbox: make(chan *Packet, cfg.InboxDepth),
+			done:  make(chan struct{}),
+		}
+		if cfg.OutOfOrder {
+			f.nics[i].rng = rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		}
+	}
+	return f
+}
+
+// NIC returns rank's attachment.
+func (f *Inproc) NIC(rank int) NIC { return f.nics[rank] }
+
+// Size returns the number of ranks.
+func (f *Inproc) Size() int { return len(f.nics) }
+
+// Close closes every NIC on the fabric.
+func (f *Inproc) Close() {
+	for _, n := range f.nics {
+		n.Close()
+	}
+}
+
+func (f *Inproc) getBuf(n int) *[]byte {
+	if n <= f.cfg.FragSize {
+		return f.pool.Get().(*[]byte)
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+func (f *Inproc) putBuf(b *[]byte) {
+	if cap(*b) == f.cfg.FragSize {
+		*b = (*b)[:f.cfg.FragSize]
+		f.pool.Put(b)
+	}
+}
+
+type inprocNIC struct {
+	fab   *Inproc
+	rank  int
+	inbox chan *Packet
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+
+	// held implements deterministic adjacent-swap reordering of
+	// FlagUnordered packets when cfg.OutOfOrder is set.
+	held     *Packet
+	heldDst  int
+	rng      *rand.Rand
+	sendMu   sync.Mutex
+	closeOne sync.Once
+}
+
+func (n *inprocNIC) Rank() int { return n.rank }
+func (n *inprocNIC) Size() int { return len(n.fab.nics) }
+
+func (n *inprocNIC) Send(to int, hdr Header, payload ...[]byte) error {
+	total := 0
+	for _, p := range payload {
+		total += len(p)
+	}
+	if total > MaxFragSize {
+		return fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", total, MaxFragSize)
+	}
+	buf := n.fab.getBuf(total)
+	w := (*buf)[:0]
+	for _, p := range payload {
+		w = append(w, p...) // staging copy into the wire buffer
+	}
+	return n.deliver(to, hdr, w, buf)
+}
+
+func (n *inprocNIC) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, error) {
+	if size > MaxFragSize {
+		return 0, fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", size, MaxFragSize)
+	}
+	buf := n.fab.getBuf(int(size))
+	w := (*buf)[:size]
+	got, err := src.ReadAt(w, off) // staging copy (packing) into the wire buffer
+	if err != nil && err != io.EOF {
+		n.fab.putBuf(buf)
+		return 0, err
+	}
+	if got == 0 && size > 0 {
+		n.fab.putBuf(buf)
+		return 0, ErrShortTransfer
+	}
+	return int64(got), n.deliver(to, hdr, w[:got], buf)
+}
+
+// deliver enqueues the packet, applying the out-of-order shuffle when
+// enabled. Only packets flagged FlagUnordered may be swapped with the
+// immediately following packet to the same destination; an ordered packet
+// always flushes any held packet first, so transports that mark their final
+// fragment ordered get a bounded reorder window.
+func (n *inprocNIC) deliver(to int, hdr Header, payload []byte, buf *[]byte) error {
+	if to < 0 || to >= len(n.fab.nics) {
+		n.fab.putBuf(buf)
+		return rangeErr("destination", to, len(n.fab.nics))
+	}
+	spin(n.fab.cfg.PerPacket)
+	pkt := &Packet{
+		From:    n.rank,
+		Hdr:     hdr,
+		Payload: payload,
+		release: func() { n.fab.putBuf(buf) },
+	}
+	if n.rng == nil {
+		return n.enqueue(to, pkt)
+	}
+
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	if n.held != nil {
+		if n.heldDst == to {
+			// Swap: deliver the new packet before the held one.
+			if err := n.enqueue(to, pkt); err != nil {
+				return err
+			}
+			held := n.held
+			n.held = nil
+			return n.enqueue(to, held)
+		}
+		held, dst := n.held, n.heldDst
+		n.held = nil
+		if err := n.enqueue(dst, held); err != nil {
+			return err
+		}
+	}
+	if hdr.Flags&FlagUnordered != 0 && n.rng.Intn(2) == 0 {
+		n.held = pkt
+		n.heldDst = to
+		return nil
+	}
+	return n.enqueue(to, pkt)
+}
+
+func (n *inprocNIC) enqueue(to int, pkt *Packet) error {
+	peer := n.fab.nics[to]
+	select {
+	case <-peer.done:
+		pkt.Release()
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-peer.done:
+		pkt.Release()
+		return ErrClosed
+	case peer.inbox <- pkt:
+		return nil
+	}
+}
+
+func (n *inprocNIC) Recv() (*Packet, bool) {
+	select {
+	case pkt := <-n.inbox:
+		return pkt, true
+	case <-n.done:
+		// Drain anything that raced in before close.
+		select {
+		case pkt := <-n.inbox:
+			return pkt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (n *inprocNIC) Register(src Source) uint64 {
+	key := n.fab.nextKey.Add(1)
+	n.fab.regMu.Lock()
+	n.fab.regs[regKey{n.rank, key}] = src
+	n.fab.regMu.Unlock()
+	return key
+}
+
+func (n *inprocNIC) Deregister(key uint64) {
+	n.fab.regMu.Lock()
+	delete(n.fab.regs, regKey{n.rank, key})
+	n.fab.regMu.Unlock()
+}
+
+func (n *inprocNIC) Get(from int, key uint64, off int64, sink Sink, sinkOff, size int64) error {
+	if from < 0 || from >= len(n.fab.nics) {
+		return rangeErr("source", from, len(n.fab.nics))
+	}
+	n.fab.regMu.RLock()
+	src, ok := n.fab.regs[regKey{from, key}]
+	n.fab.regMu.RUnlock()
+	if !ok {
+		return ErrBadKey
+	}
+	bounce := n.fab.getBuf(n.fab.cfg.FragSize)
+	defer n.fab.putBuf(bounce)
+	perWindow := func() { spin(n.fab.cfg.PerGet) }
+	if n.fab.cfg.PerGet == 0 {
+		perWindow = nil
+	}
+	return pull(src, off, sink, sinkOff, size, (*bounce)[:n.fab.cfg.FragSize], perWindow)
+}
+
+func (n *inprocNIC) Close() error {
+	n.closeOne.Do(func() {
+		n.sendMu.Lock()
+		if n.held != nil {
+			held, dst := n.held, n.heldDst
+			n.held = nil
+			_ = n.enqueue(dst, held)
+		}
+		n.sendMu.Unlock()
+		n.mu.Lock()
+		n.closed = true
+		close(n.done)
+		n.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestInprocSendRecv(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	a, b := f.NIC(0), f.NIC(1)
+
+	payload := make([]byte, 1000)
+	fillPattern(payload, 1)
+	hdr := Header{Kind: 3, Tag: 42, MsgID: 7, Total: 1000}
+	if err := a.Send(1, hdr, payload); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := b.Recv()
+	if !ok {
+		t.Fatal("Recv failed")
+	}
+	defer pkt.Release()
+	if pkt.From != 0 || pkt.Hdr != hdr {
+		t.Fatalf("got From=%d Hdr=%+v", pkt.From, pkt.Hdr)
+	}
+	if !bytes.Equal(pkt.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestInprocGatherSend(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	p1 := []byte("hello, ")
+	p2 := []byte("world")
+	if err := f.NIC(0).Send(1, Header{}, p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	pkt, _ := f.NIC(1).Recv()
+	defer pkt.Release()
+	if string(pkt.Payload) != "hello, world" {
+		t.Fatalf("gather payload = %q", pkt.Payload)
+	}
+}
+
+func TestInprocSendFrom(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	data := make([]byte, 500)
+	fillPattern(data, 2)
+	n, err := f.NIC(0).SendFrom(1, Header{}, Bytes(data), 100, 200)
+	if err != nil || n != 200 {
+		t.Fatalf("SendFrom = %d, %v", n, err)
+	}
+	pkt, _ := f.NIC(1).Recv()
+	defer pkt.Release()
+	if !bytes.Equal(pkt.Payload, data[100:300]) {
+		t.Fatal("SendFrom slice mismatch")
+	}
+}
+
+func TestInprocPerLinkFIFO(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := f.NIC(0).Send(1, Header{MsgID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		pkt, ok := f.NIC(1).Recv()
+		if !ok {
+			t.Fatal("early close")
+		}
+		if pkt.Hdr.MsgID != uint64(i) {
+			t.Fatalf("packet %d arrived with MsgID %d: FIFO violated", i, pkt.Hdr.MsgID)
+		}
+		pkt.Release()
+	}
+}
+
+func TestInprocRegisterGet(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	data := make([]byte, 100000)
+	fillPattern(data, 3)
+	key := f.NIC(0).Register(Bytes(data))
+	out := make([]byte, 100000)
+	if err := f.NIC(1).Get(0, key, 0, Bytes(out), 0, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("Get content mismatch")
+	}
+	// Partial, offset Get.
+	out2 := make([]byte, 500)
+	if err := f.NIC(1).Get(0, key, 1234, Bytes(out2), 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2, data[1234:1734]) {
+		t.Fatal("partial Get mismatch")
+	}
+	f.NIC(0).Deregister(key)
+	if err := f.NIC(1).Get(0, key, 0, Bytes(out2), 0, 10); err != ErrBadKey {
+		t.Fatalf("Get after Deregister err = %v; want ErrBadKey", err)
+	}
+}
+
+func TestInprocGetIovToIov(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	src, all := makeIov(t, 100, 3, 57, 1000)
+	dst, _ := makeIov(t, 60, 1100)
+	key := f.NIC(0).Register(src)
+	if err := f.NIC(1).Get(0, key, 0, dst, 0, src.Size()); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(all))
+	if _, err := dst.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, all) {
+		t.Fatal("iov-to-iov Get mismatch")
+	}
+}
+
+func TestInprocCloseUnblocksRecv(t *testing.T) {
+	f := NewInproc(1, Config{})
+	nic := f.NIC(0)
+	done := make(chan bool)
+	go func() {
+		_, ok := nic.Recv()
+		done <- ok
+	}()
+	nic.Close()
+	if ok := <-done; ok {
+		t.Fatal("Recv should report !ok after Close")
+	}
+	if err := nic.Send(0, Header{}); err != ErrClosed {
+		t.Fatalf("Send to closed NIC err = %v; want ErrClosed", err)
+	}
+}
+
+func TestInprocConcurrentSenders(t *testing.T) {
+	f := NewInproc(3, Config{})
+	defer f.Close()
+	const per = 100
+	var wg sync.WaitGroup
+	for src := 0; src < 2; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			payload := make([]byte, 64)
+			for i := 0; i < per; i++ {
+				if err := f.NIC(src).Send(2, Header{Tag: uint64(src), MsgID: uint64(i)}, payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(src)
+	}
+	seen := map[uint64]uint64{}
+	for i := 0; i < 2*per; i++ {
+		pkt, ok := f.NIC(2).Recv()
+		if !ok {
+			t.Fatal("early close")
+		}
+		// Per-source FIFO must hold even with interleaving.
+		if pkt.Hdr.MsgID != seen[pkt.Hdr.Tag] {
+			t.Fatalf("source %d: got MsgID %d, want %d", pkt.Hdr.Tag, pkt.Hdr.MsgID, seen[pkt.Hdr.Tag])
+		}
+		seen[pkt.Hdr.Tag]++
+		pkt.Release()
+	}
+	wg.Wait()
+}
+
+func TestInprocOutOfOrderReordersUnordered(t *testing.T) {
+	f := NewInproc(2, Config{OutOfOrder: true, Seed: 42})
+	defer f.Close()
+	const n = 64
+	for i := 0; i < n; i++ {
+		hdr := Header{MsgID: uint64(i)}
+		if i < n-1 {
+			hdr.Flags = FlagUnordered
+		}
+		if err := f.NIC(0).Send(1, hdr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []uint64
+	for i := 0; i < n; i++ {
+		pkt, ok := f.NIC(1).Recv()
+		if !ok {
+			t.Fatal("early close")
+		}
+		order = append(order, pkt.Hdr.MsgID)
+		pkt.Release()
+	}
+	// All packets arrive exactly once.
+	seen := make([]bool, n)
+	swapped := false
+	for i, id := range order {
+		if seen[id] {
+			t.Fatalf("duplicate MsgID %d", id)
+		}
+		seen[id] = true
+		if uint64(i) != id {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Fatal("OutOfOrder fabric never reordered; seed produced identity order")
+	}
+	// The ordered final packet must still arrive last.
+	if order[n-1] != n-1 {
+		t.Fatalf("ordered packet arrived at position != last: %v", order)
+	}
+}
+
+func TestInprocLargeSingleFragmentRejected(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	big := make([]byte, MaxFragSize+1)
+	if err := f.NIC(0).Send(1, Header{}, big); err == nil {
+		t.Fatal("oversized fragment should be rejected")
+	}
+}

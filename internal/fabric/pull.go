@@ -1,0 +1,121 @@
+package fabric
+
+import "io"
+
+// Transfer moves n bytes from src[off:] into sink[sinkOff:] without
+// touching the wire, using direct windows when both ends allow it. It is
+// the self-send path: the loopback analogue of a Get.
+func Transfer(src Source, off int64, sink Sink, sinkOff, n int64, bounce []byte) error {
+	if len(bounce) == 0 {
+		bounce = make([]byte, DefaultFragSize)
+	}
+	return pull(src, off, sink, sinkOff, n, bounce, nil)
+}
+
+// pull moves n bytes from src[off:] into sink[sinkOff:], using direct
+// memory windows on both ends when available. This is the core of the
+// rendezvous (RDMA-read analogue) path and is shared by providers.
+//
+// Direct access is re-evaluated per window because composite streams mix
+// direct and callback-backed ranges (a custom datatype's wire image is a
+// packed part followed by raw regions).
+//
+// Copy accounting:
+//   - direct source + direct sink: one copy per byte;
+//   - one generic end: the generic callback reads from / writes into the
+//     other end's window directly, still one pass over the bytes;
+//   - both generic: bounce through a staging buffer, two passes.
+//
+// bounce must be non-empty; it bounds the window size per iteration.
+func pull(src Source, off int64, sink Sink, sinkOff, n int64, bounce []byte, perWindow func()) error {
+	ds, _ := src.(DirectSource)
+	dk, _ := sink.(DirectSink)
+	for n > 0 {
+		if perWindow != nil {
+			perWindow()
+		}
+		step := int64(len(bounce))
+		if step > n {
+			step = n
+		}
+		var (
+			sv     []byte
+			dv     []byte
+			srcOK  bool
+			sinkOK bool
+		)
+		if ds != nil {
+			sv, srcOK = ds.Window(off, step)
+			if srcOK && len(sv) == 0 {
+				srcOK = false
+			}
+		}
+		switch {
+		case srcOK:
+			if dk != nil {
+				dv, sinkOK = dk.Window(sinkOff, int64(len(sv)))
+				if sinkOK && len(dv) == 0 {
+					sinkOK = false
+				}
+			}
+			var m int
+			if sinkOK {
+				m = copy(dv, sv)
+			} else {
+				// Generic sink unpacks straight from the source window.
+				var err error
+				m, err = sink.WriteAt(sv, sinkOff)
+				if err != nil {
+					return err
+				}
+			}
+			if m == 0 {
+				return ErrShortTransfer
+			}
+			off += int64(m)
+			sinkOff += int64(m)
+			n -= int64(m)
+		default:
+			if dk != nil {
+				dv, sinkOK = dk.Window(sinkOff, step)
+				if sinkOK && len(dv) == 0 {
+					sinkOK = false
+				}
+			}
+			if sinkOK {
+				// Generic source packs straight into the destination window.
+				m, err := src.ReadAt(dv, off)
+				if err != nil && err != io.EOF {
+					return err
+				}
+				if m == 0 {
+					return ErrShortTransfer
+				}
+				off += int64(m)
+				sinkOff += int64(m)
+				n -= int64(m)
+				continue
+			}
+			// Both ends are callback-driven: stage through the bounce
+			// buffer (pack copy + unpack copy).
+			m, err := src.ReadAt(bounce[:step], off)
+			if err != nil && err != io.EOF {
+				return err
+			}
+			if m == 0 {
+				return ErrShortTransfer
+			}
+			w, err := sink.WriteAt(bounce[:m], sinkOff)
+			if err != nil {
+				return err
+			}
+			if w != m {
+				return ErrShortTransfer
+			}
+			off += int64(m)
+			sinkOff += int64(m)
+			n -= int64(m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,440 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reserved header kinds used internally by byte-stream providers for the
+// Get (RDMA-read emulation) protocol. Transports must keep their own kinds
+// below kindReserved.
+const (
+	kindReserved Kind = 0xF0
+	kindGetReq   Kind = 0xF1
+	kindGetResp  Kind = 0xF2
+	kindGetErr   Kind = 0xF3
+)
+
+// TCP is a fabric provider connecting separate processes over real
+// sockets. Gather sends use net.Buffers (writev) so region lists reach the
+// kernel without an intermediate application copy, mirroring how UCX hands
+// an iovec to the verbs layer.
+type TCP struct {
+	cfg   Config
+	rank  int
+	addrs []string
+
+	ln    net.Listener
+	conns []*tcpConn
+	inbox chan *Packet
+	done  chan struct{}
+	once  sync.Once
+
+	regMu   sync.RWMutex
+	regs    map[uint64]Source
+	nextKey atomic.Uint64
+
+	getMu   sync.Mutex
+	gets    map[uint64]*tcpGet
+	nextGet atomic.Uint64
+}
+
+type tcpConn struct {
+	peer int
+	c    net.Conn
+	wmu  sync.Mutex
+}
+
+type tcpGet struct {
+	sink    Sink
+	sinkOff int64 // sink offset corresponding to remote offset 0 of this get
+	left    int64
+	done    chan error
+}
+
+// DialTimeout bounds full-mesh connection establishment.
+const DialTimeout = 30 * time.Second
+
+// NewTCP attaches rank to a TCP fabric whose rank i listens at addrs[i].
+// Establishment is deterministic: rank i accepts connections from every
+// higher rank and dials every lower rank. The call blocks until the full
+// mesh is up.
+func NewTCP(rank int, addrs []string, cfg Config) (*TCP, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, rangeErr("local", rank, len(addrs))
+	}
+	cfg = NewConfig(cfg)
+	t := &TCP{
+		cfg:   cfg,
+		rank:  rank,
+		addrs: addrs,
+		conns: make([]*tcpConn, len(addrs)),
+		inbox: make(chan *Packet, cfg.InboxDepth),
+		done:  make(chan struct{}),
+		regs:  make(map[uint64]Source),
+		gets:  make(map[uint64]*tcpGet),
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("fabric: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	t.ln = ln
+
+	errc := make(chan error, len(addrs))
+	var wg sync.WaitGroup
+	// Accept from higher ranks.
+	higher := len(addrs) - rank - 1
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < higher; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				errc <- err
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(c, hello[:]); err != nil {
+				errc <- err
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer <= rank || peer >= len(addrs) {
+				errc <- fmt.Errorf("fabric: unexpected hello from rank %d", peer)
+				return
+			}
+			t.conns[peer] = &tcpConn{peer: peer, c: c}
+		}
+	}()
+	// Dial lower ranks.
+	for peer := 0; peer < rank; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			deadline := time.Now().Add(DialTimeout)
+			var c net.Conn
+			var err error
+			for {
+				c, err = net.DialTimeout("tcp", addrs[peer], time.Second)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errc <- fmt.Errorf("fabric: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			if _, err := c.Write(hello[:]); err != nil {
+				errc <- err
+				return
+			}
+			t.conns[peer] = &tcpConn{peer: peer, c: c}
+		}(peer)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Close()
+		return nil, err
+	default:
+	}
+	for peer, conn := range t.conns {
+		if peer == rank || conn == nil {
+			continue
+		}
+		go t.readLoop(conn)
+	}
+	return t, nil
+}
+
+func (t *TCP) Rank() int { return t.rank }
+func (t *TCP) Size() int { return len(t.addrs) }
+
+func encodeHeader(b *[headerWireSize]byte, hdr Header, payloadLen int) {
+	b[0] = byte(hdr.Kind)
+	b[1] = hdr.Flags
+	binary.LittleEndian.PutUint64(b[2:], hdr.Tag)
+	binary.LittleEndian.PutUint64(b[10:], hdr.MsgID)
+	binary.LittleEndian.PutUint64(b[18:], uint64(hdr.Offset))
+	binary.LittleEndian.PutUint64(b[26:], uint64(hdr.Total))
+	binary.LittleEndian.PutUint64(b[34:], uint64(hdr.Aux0))
+	// Aux1's top bits are never used by transports, so the wire encoding
+	// borrows no extra space: payload length travels in its own field.
+	binary.LittleEndian.PutUint64(b[42:], uint64(hdr.Aux1))
+	_ = payloadLen
+}
+
+func decodeHeader(b []byte) Header {
+	return Header{
+		Kind:   Kind(b[0]),
+		Flags:  b[1],
+		Tag:    binary.LittleEndian.Uint64(b[2:]),
+		MsgID:  binary.LittleEndian.Uint64(b[10:]),
+		Offset: int64(binary.LittleEndian.Uint64(b[18:])),
+		Total:  int64(binary.LittleEndian.Uint64(b[26:])),
+		Aux0:   int64(binary.LittleEndian.Uint64(b[34:])),
+		Aux1:   int64(binary.LittleEndian.Uint64(b[42:])),
+	}
+}
+
+// writeFrame sends one length-prefixed frame using a gather write.
+func (t *TCP) writeFrame(conn *tcpConn, hdr Header, payload ...[]byte) error {
+	total := 0
+	for _, p := range payload {
+		total += len(p)
+	}
+	if total > MaxFragSize {
+		return fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", total, MaxFragSize)
+	}
+	var pre [4 + headerWireSize]byte
+	binary.LittleEndian.PutUint32(pre[:4], uint32(total))
+	var hb [headerWireSize]byte
+	encodeHeader(&hb, hdr, total)
+	copy(pre[4:], hb[:])
+	bufs := make(net.Buffers, 0, 1+len(payload))
+	bufs = append(bufs, pre[:])
+	for _, p := range payload {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	spin(t.cfg.PerPacket)
+	conn.wmu.Lock()
+	defer conn.wmu.Unlock()
+	_, err := bufs.WriteTo(conn.c)
+	return err
+}
+
+func (t *TCP) Send(to int, hdr Header, payload ...[]byte) error {
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	return t.writeFrame(conn, hdr, payload...)
+}
+
+func (t *TCP) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, error) {
+	conn, err := t.conn(to)
+	if err != nil {
+		return 0, err
+	}
+	if size > MaxFragSize {
+		return 0, fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", size, MaxFragSize)
+	}
+	// If the source exposes direct windows, gather them straight into the
+	// socket; otherwise pack into a staging buffer first.
+	if ds, ok := src.(DirectSource); ok {
+		bufs := make([][]byte, 0, 8)
+		at, left := off, size
+		for left > 0 {
+			w, ok := ds.Window(at, left)
+			if !ok || len(w) == 0 {
+				bufs = nil
+				break
+			}
+			bufs = append(bufs, w)
+			at += int64(len(w))
+			left -= int64(len(w))
+		}
+		if bufs != nil {
+			return size, t.writeFrame(conn, hdr, bufs...)
+		}
+	}
+	buf := make([]byte, size)
+	got, err := src.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return 0, err
+	}
+	if got == 0 && size > 0 {
+		return 0, ErrShortTransfer
+	}
+	return int64(got), t.writeFrame(conn, hdr, buf[:got])
+}
+
+func (t *TCP) conn(to int) (*tcpConn, error) {
+	if to < 0 || to >= len(t.conns) {
+		return nil, rangeErr("destination", to, len(t.conns))
+	}
+	if to == t.rank {
+		return nil, errors.New("fabric: self-send not supported over TCP provider")
+	}
+	c := t.conns[to]
+	if c == nil {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+func (t *TCP) Recv() (*Packet, bool) {
+	select {
+	case pkt := <-t.inbox:
+		return pkt, true
+	case <-t.done:
+		select {
+		case pkt := <-t.inbox:
+			return pkt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (t *TCP) Register(src Source) uint64 {
+	key := t.nextKey.Add(1)
+	t.regMu.Lock()
+	t.regs[key] = src
+	t.regMu.Unlock()
+	return key
+}
+
+func (t *TCP) Deregister(key uint64) {
+	t.regMu.Lock()
+	delete(t.regs, key)
+	t.regMu.Unlock()
+}
+
+func (t *TCP) Get(from int, key uint64, off int64, sink Sink, sinkOff, size int64) error {
+	if size == 0 {
+		return nil
+	}
+	conn, err := t.conn(from)
+	if err != nil {
+		return err
+	}
+	id := t.nextGet.Add(1)
+	g := &tcpGet{sink: sink, sinkOff: sinkOff - off, left: size, done: make(chan error, 1)}
+	t.getMu.Lock()
+	t.gets[id] = g
+	t.getMu.Unlock()
+	defer func() {
+		t.getMu.Lock()
+		delete(t.gets, id)
+		t.getMu.Unlock()
+	}()
+	req := Header{Kind: kindGetReq, MsgID: id, Offset: off, Total: size, Aux1: int64(key)}
+	if err := t.writeFrame(conn, req); err != nil {
+		return err
+	}
+	select {
+	case err := <-g.done:
+		return err
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+// serveGet streams a registered source back to the requester in fragments.
+func (t *TCP) serveGet(conn *tcpConn, hdr Header) {
+	key := uint64(hdr.Aux1)
+	t.regMu.RLock()
+	src, ok := t.regs[key]
+	t.regMu.RUnlock()
+	fail := func(msg string) {
+		_ = t.writeFrame(conn, Header{Kind: kindGetErr, MsgID: hdr.MsgID}, []byte(msg))
+	}
+	if !ok {
+		fail(ErrBadKey.Error())
+		return
+	}
+	off, left := hdr.Offset, hdr.Total
+	buf := make([]byte, t.cfg.FragSize)
+	for left > 0 {
+		step := int64(len(buf))
+		if step > left {
+			step = left
+		}
+		n, err := src.ReadAt(buf[:step], off)
+		if err != nil && err != io.EOF {
+			fail(err.Error())
+			return
+		}
+		if n == 0 {
+			fail(ErrShortTransfer.Error())
+			return
+		}
+		resp := Header{Kind: kindGetResp, MsgID: hdr.MsgID, Offset: off, Total: hdr.Total}
+		if err := t.writeFrame(conn, resp, buf[:n]); err != nil {
+			return
+		}
+		off += int64(n)
+		left -= int64(n)
+	}
+}
+
+func (t *TCP) readLoop(conn *tcpConn) {
+	br := conn.c
+	var pre [4 + headerWireSize]byte
+	for {
+		if _, err := io.ReadFull(br, pre[:]); err != nil {
+			t.Close()
+			return
+		}
+		plen := int(binary.LittleEndian.Uint32(pre[:4]))
+		hdr := decodeHeader(pre[4:])
+		var payload []byte
+		if plen > 0 {
+			payload = make([]byte, plen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				t.Close()
+				return
+			}
+		}
+		switch hdr.Kind {
+		case kindGetReq:
+			go t.serveGet(conn, hdr)
+		case kindGetResp:
+			t.getMu.Lock()
+			g := t.gets[hdr.MsgID]
+			t.getMu.Unlock()
+			if g == nil {
+				continue
+			}
+			if _, err := g.sink.WriteAt(payload, g.sinkOff+hdr.Offset); err != nil {
+				g.done <- err
+				continue
+			}
+			if atomic.AddInt64(&g.left, -int64(plen)) <= 0 {
+				g.done <- nil
+			}
+		case kindGetErr:
+			t.getMu.Lock()
+			g := t.gets[hdr.MsgID]
+			t.getMu.Unlock()
+			if g != nil {
+				g.done <- errors.New("fabric: remote get: " + string(payload))
+			}
+		default:
+			pkt := &Packet{From: conn.peer, Hdr: hdr, Payload: payload}
+			select {
+			case t.inbox <- pkt:
+			case <-t.done:
+				return
+			}
+		}
+	}
+}
+
+// Close shuts the provider down and closes all sockets.
+func (t *TCP) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, c := range t.conns {
+			if c != nil {
+				c.c.Close()
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n distinct loopback ports and returns their addresses.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// dialMesh brings up an n-rank TCP fabric on loopback.
+func dialMesh(t *testing.T, n int, cfg Config) []*TCP {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	nics := make([]*TCP, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nic, err := NewTCP(i, addrs, cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("rank %d: %w", i, err)
+				return
+			}
+			nics[i] = nic
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	t.Cleanup(func() {
+		for _, nic := range nics {
+			if nic != nil {
+				nic.Close()
+			}
+		}
+	})
+	return nics
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	nics := dialMesh(t, 2, Config{})
+	payload := make([]byte, 3000)
+	fillPattern(payload, 4)
+	hdr := Header{Kind: 5, Tag: 99, MsgID: 1, Offset: 10, Total: 3000, Aux0: -7, Aux1: 12345}
+	if err := nics[0].Send(1, hdr, payload); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := nics[1].Recv()
+	if !ok {
+		t.Fatal("Recv failed")
+	}
+	if pkt.From != 0 || pkt.Hdr != hdr {
+		t.Fatalf("header roundtrip: got From=%d %+v", pkt.From, pkt.Hdr)
+	}
+	if !bytes.Equal(pkt.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestTCPGatherSendFromIov(t *testing.T) {
+	nics := dialMesh(t, 2, Config{})
+	src, all := makeIov(t, 7, 1000, 13)
+	if n, err := nics[0].SendFrom(1, Header{Total: src.Size()}, src, 0, src.Size()); err != nil || n != src.Size() {
+		t.Fatalf("SendFrom = %d, %v", n, err)
+	}
+	pkt, _ := nics[1].Recv()
+	if !bytes.Equal(pkt.Payload, all) {
+		t.Fatal("iov gather over TCP mismatch")
+	}
+}
+
+func TestTCPSendFromGeneric(t *testing.T) {
+	nics := dialMesh(t, 2, Config{})
+	data := make([]byte, 900)
+	fillPattern(data, 6)
+	src := nonDirectSource{Bytes(data)}
+	if n, err := nics[0].SendFrom(1, Header{}, src, 100, 700); err != nil || n != 700 {
+		t.Fatalf("SendFrom = %d, %v", n, err)
+	}
+	pkt, _ := nics[1].Recv()
+	if !bytes.Equal(pkt.Payload, data[100:800]) {
+		t.Fatal("generic SendFrom over TCP mismatch")
+	}
+}
+
+func TestTCPRegisterGet(t *testing.T) {
+	nics := dialMesh(t, 2, Config{FragSize: 1024})
+	data := make([]byte, 10000)
+	fillPattern(data, 8)
+	key := nics[0].Register(Bytes(data))
+	out := make([]byte, 10000)
+	if err := nics[1].Get(0, key, 0, Bytes(out), 0, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("TCP Get mismatch")
+	}
+	// Offset get into a shifted sink position.
+	out2 := make([]byte, 600)
+	if err := nics[1].Get(0, key, 500, Bytes(out2), 100, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2[100:], data[500:1000]) {
+		t.Fatal("offset TCP Get mismatch")
+	}
+	if err := nics[1].Get(0, key+100, 0, Bytes(out2), 0, 1); err == nil {
+		t.Fatal("Get with bad key should fail")
+	}
+}
+
+func TestTCPThreeRankMesh(t *testing.T) {
+	nics := dialMesh(t, 3, Config{})
+	// Every rank sends to every other rank.
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			if src == dst {
+				continue
+			}
+			hdr := Header{Tag: uint64(src*10 + dst)}
+			if err := nics[src].Send(dst, hdr, []byte{byte(src)}); err != nil {
+				t.Fatalf("send %d->%d: %v", src, dst, err)
+			}
+		}
+	}
+	for dst := 0; dst < 3; dst++ {
+		got := map[uint64]bool{}
+		for i := 0; i < 2; i++ {
+			pkt, ok := nics[dst].Recv()
+			if !ok {
+				t.Fatal("early close")
+			}
+			if int(pkt.Payload[0]) != pkt.From {
+				t.Fatal("payload/source mismatch")
+			}
+			got[pkt.Hdr.Tag] = true
+		}
+		if len(got) != 2 {
+			t.Fatalf("rank %d received %d distinct messages", dst, len(got))
+		}
+	}
+}
+
+func TestTCPSelfSendRejected(t *testing.T) {
+	nics := dialMesh(t, 2, Config{})
+	if err := nics[0].Send(0, Header{}); err == nil {
+		t.Fatal("self-send over TCP should be rejected")
+	}
+}

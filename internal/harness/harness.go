@@ -1,0 +1,242 @@
+// Package harness drives the paper's evaluation: pingpong latency and
+// streaming bandwidth measurements (OSU-micro-benchmark style, as in
+// Section V), statistics over repeated runs (the paper averages four runs
+// and shows error bars), and generators that reproduce every figure and
+// table of the evaluation section as printable series.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"mpicd/internal/core"
+)
+
+// Op is one transfer method bound to concrete buffers: the unit every
+// measurement drives. Send and Recv move one message; Bytes is the
+// payload size used for bandwidth accounting.
+type Op struct {
+	Name  string
+	Bytes int64
+	Send  func(c *core.Comm, dst, tag int) error
+	Recv  func(c *core.Comm, src, tag int) error
+}
+
+// Config scales measurement effort.
+type Config struct {
+	// Runs is the number of repeated measurements (the paper uses 4).
+	Runs int
+	// Warmup iterations before timing starts.
+	Warmup int
+	// Iters timed iterations per run.
+	Iters int
+	// MaxBytes caps sweep sizes so quick runs stay quick.
+	MaxBytes int64
+	// Opt configures the in-process world.
+	Opt core.Options
+}
+
+// Quick is the configuration used by tests and -short runs.
+var Quick = Config{Runs: 1, Warmup: 2, Iters: 6, MaxBytes: 1 << 18}
+
+// Full approximates the paper's methodology (4 runs, error bars).
+var Full = Config{Runs: 4, Warmup: 10, Iters: 60, MaxBytes: 1 << 24}
+
+// Stats returns the mean and standard deviation of runs.
+func Stats(runs []float64) (mean, dev float64) {
+	if len(runs) == 0 {
+		return 0, 0
+	}
+	for _, v := range runs {
+		mean += v
+	}
+	mean /= float64(len(runs))
+	if len(runs) > 1 {
+		for _, v := range runs {
+			dev += (v - mean) * (v - mean)
+		}
+		dev = math.Sqrt(dev / float64(len(runs)-1))
+	}
+	return mean, dev
+}
+
+// MeasureLatency returns the mean half-round-trip latency of op in
+// microseconds, with its spread over cfg.Runs runs.
+func MeasureLatency(cfg Config, op Op) (mean, dev float64, err error) {
+	runs := make([]float64, 0, cfg.Runs)
+	err = core.Run(2, cfg.Opt, func(c *core.Comm) error {
+		peer := 1 - c.Rank()
+		for r := 0; r < cfg.Runs; r++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			var start time.Time
+			for i := 0; i < cfg.Warmup+cfg.Iters; i++ {
+				if i == cfg.Warmup && c.Rank() == 0 {
+					start = time.Now()
+				}
+				if c.Rank() == 0 {
+					if err := op.Send(c, peer, 1); err != nil {
+						return err
+					}
+					if err := op.Recv(c, peer, 2); err != nil {
+						return err
+					}
+				} else {
+					if err := op.Recv(c, peer, 1); err != nil {
+						return err
+					}
+					if err := op.Send(c, peer, 2); err != nil {
+						return err
+					}
+				}
+			}
+			if c.Rank() == 0 {
+				elapsed := time.Since(start)
+				runs = append(runs, elapsed.Seconds()/float64(cfg.Iters)/2*1e6)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	mean, dev = Stats(runs)
+	return mean, dev, nil
+}
+
+// MeasureBandwidth returns the mean streaming bandwidth of op in MB/s
+// (10^6 bytes per second), with its spread: the sender streams Iters
+// messages, the receiver acknowledges the batch.
+func MeasureBandwidth(cfg Config, op Op) (mean, dev float64, err error) {
+	runs := make([]float64, 0, cfg.Runs)
+	ack := make([]byte, 1)
+	err = core.Run(2, cfg.Opt, func(c *core.Comm) error {
+		peer := 1 - c.Rank()
+		batch := func(n int) error {
+			for i := 0; i < n; i++ {
+				if c.Rank() == 0 {
+					if err := op.Send(c, peer, 1); err != nil {
+						return err
+					}
+				} else {
+					if err := op.Recv(c, peer, 1); err != nil {
+						return err
+					}
+				}
+			}
+			// Close the batch with an ack so timing covers delivery.
+			if c.Rank() == 0 {
+				_, err := c.Recv(ack, 1, core.TypeBytes, peer, 3)
+				return err
+			}
+			return c.Send(ack, 1, core.TypeBytes, peer, 3)
+		}
+		for r := 0; r < cfg.Runs; r++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if err := batch(cfg.Warmup); err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := batch(cfg.Iters); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				elapsed := time.Since(start).Seconds()
+				runs = append(runs, float64(op.Bytes)*float64(cfg.Iters)/elapsed/1e6)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	mean, dev = Stats(runs)
+	return mean, dev, nil
+}
+
+// Point is one measured value at an x position.
+type Point struct {
+	X   int64
+	Val float64
+	Dev float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one reproduced plot: labelled series over a common x axis.
+type Figure struct {
+	ID     string // e.g. "fig1"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// Add appends a point to the named series, creating it on first use.
+func (f *Figure) Add(label string, p Point) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			s.Points = append(s.Points, p)
+			return
+		}
+	}
+	f.Series = append(f.Series, &Series{Label: label, Points: []Point{p}})
+}
+
+// Print renders the figure as an aligned table: one row per x value, one
+// column per series ("value ±dev").
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	// Collect the x axis (union over series, in first-seen order).
+	var xs []int64
+	seen := map[int64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %22s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%12d", x)
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.2f ±%.2f", p.Val, p.Dev)
+					break
+				}
+			}
+			fmt.Fprintf(w, " %22s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Sizes returns powers of two in [lo, hi] capped at max (0 = no cap).
+func Sizes(lo, hi, max int64) []int64 {
+	var out []int64
+	for s := lo; s <= hi; s *= 2 {
+		if max > 0 && s > max {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddtbench"
+)
+
+// tiny is a minimal config so figure generators stay fast under test.
+var tiny = Config{Runs: 2, Warmup: 1, Iters: 3, MaxBytes: 1 << 13}
+
+func TestStats(t *testing.T) {
+	mean, dev := Stats([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if dev < 2.0 || dev > 2.2 { // sample stddev of that set is ~2.14
+		t.Fatalf("dev = %v", dev)
+	}
+	if m, d := Stats(nil); m != 0 || d != 0 {
+		t.Fatal("empty stats")
+	}
+	if m, d := Stats([]float64{3}); m != 3 || d != 0 {
+		t.Fatal("single-run stats")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	got := Sizes(64, 1<<20, 256)
+	if len(got) != 3 || got[0] != 64 || got[2] != 256 {
+		t.Fatalf("Sizes = %v", got)
+	}
+	if got := Sizes(8, 8, 0); len(got) != 1 {
+		t.Fatalf("uncapped Sizes = %v", got)
+	}
+}
+
+func TestMeasureLatencySanity(t *testing.T) {
+	op := PickleOp("roofline", nil, 512)
+	mean, _, err := MeasureLatency(tiny, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || mean > 1e6 {
+		t.Fatalf("latency = %v us", mean)
+	}
+}
+
+func TestMeasureBandwidthSanity(t *testing.T) {
+	op := PickleOp("roofline", nil, 64*1024)
+	mean, _, err := MeasureBandwidth(tiny, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Fatalf("bandwidth = %v MB/s", mean)
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	f := &Figure{ID: "figX", Title: "demo", XLabel: "bytes", YLabel: "us"}
+	f.Add("a", Point{X: 64, Val: 1.5, Dev: 0.1})
+	f.Add("a", Point{X: 128, Val: 2.5, Dev: 0.2})
+	f.Add("b", Point{X: 64, Val: 3.5, Dev: 0.3})
+	var buf bytes.Buffer
+	f.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"figX", "bytes", "a", "b", "1.50", "3.50", "128"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tb := TableI()
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"LAMMPS", "MILC", "WRF_y_vec", "strided vector", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestAllOpsTransfer(t *testing.T) {
+	// Every op used by the figures must move a message without error.
+	ops := []Op{
+		DoubleVecOp("custom", 4096, 256),
+		DoubleVecOp("manual-pack", 4096, 256),
+		DoubleVecOp("rsmpi-bytes-baseline", 4096, 256),
+		StructOp(structVecSpec, "custom", 2),
+		StructOp(structVecSpec, "packed", 2),
+		StructOp(structVecSpec, "rsmpi", 2),
+		StructOp(structSimpleSpec, "custom", 10),
+		StructOp(structSimpleSpec, "packed", 10),
+		StructOp(structSimpleSpec, "rsmpi", 10),
+		StructOp(structSimpleNoGapSpec, "custom", 10),
+		StructOp(structSimpleNoGapSpec, "rsmpi", 10),
+	}
+	for _, m := range pickleMethods {
+		ops = append(ops, PickleOp(m, map[string]any{"x": int64(1)}, 16))
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			err := core.Run(2, core.Options{}, func(c *core.Comm) error {
+				if c.Rank() == 0 {
+					return op.Send(c, 1, 1)
+				}
+				return op.Recv(c, 0, 1)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	f, err := Fig5(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("fig5 series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Label)
+		}
+		for _, p := range s.Points {
+			if p.Val <= 0 {
+				t.Fatalf("series %s has nonpositive latency at %d", s.Label, p.X)
+			}
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	f, err := Fig8(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("fig8 series = %d", len(f.Series))
+	}
+}
+
+func TestFig10QuickSingleKernel(t *testing.T) {
+	// A full Fig10 is slow; drive one kernel/method pair through the
+	// table machinery instead.
+	in := ddtbench.NASMGy.Instance(1)
+	op, err := DDTBenchOp(in, ddtbench.MethodCustomRegions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := MeasureBandwidth(tiny, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Fatalf("bandwidth = %v", mean)
+	}
+}

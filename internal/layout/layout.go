@@ -1,0 +1,84 @@
+// Package layout manipulates C-layout byte images: application buffers
+// laid out exactly as a C compiler (or Rust's #[repr(C)]) would lay out
+// the corresponding structs and arrays, including alignment gaps.
+//
+// Go cannot expose raw pointers into typed slices without unsafe, so the
+// reproduction keeps "application memory" as []byte and reads/writes typed
+// fields through these little-endian accessors. The derived-datatype
+// engine (package ddt), the manual-pack baselines and the custom-datatype
+// handlers all operate on the same images, so every method moves exactly
+// the same bytes the paper's Rust/C code moved.
+package layout
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// I32 reads a little-endian int32 at off.
+func I32(b []byte, off int) int32 { return int32(binary.LittleEndian.Uint32(b[off:])) }
+
+// PutI32 writes a little-endian int32 at off.
+func PutI32(b []byte, off int, v int32) { binary.LittleEndian.PutUint32(b[off:], uint32(v)) }
+
+// I64 reads a little-endian int64 at off.
+func I64(b []byte, off int) int64 { return int64(binary.LittleEndian.Uint64(b[off:])) }
+
+// PutI64 writes a little-endian int64 at off.
+func PutI64(b []byte, off int, v int64) { binary.LittleEndian.PutUint64(b[off:], uint64(v)) }
+
+// F64 reads a little-endian float64 at off.
+func F64(b []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+}
+
+// PutF64 writes a little-endian float64 at off.
+func PutF64(b []byte, off int, v float64) {
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+}
+
+// F32 reads a little-endian float32 at off.
+func F32(b []byte, off int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+}
+
+// PutF32 writes a little-endian float32 at off.
+func PutF32(b []byte, off int, v float32) {
+	binary.LittleEndian.PutUint32(b[off:], math.Float32bits(v))
+}
+
+// Float64Image converts a float64 slice to its byte image.
+func Float64Image(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		PutF64(b, 8*i, v)
+	}
+	return b
+}
+
+// Float64s converts a byte image back to float64 values.
+func Float64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = F64(b, 8*i)
+	}
+	return out
+}
+
+// Int32Image converts an int32 slice to its byte image.
+func Int32Image(vals []int32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		PutI32(b, 4*i, v)
+	}
+	return b
+}
+
+// Int32s converts a byte image back to int32 values.
+func Int32s(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = I32(b, 4*i)
+	}
+	return out
+}

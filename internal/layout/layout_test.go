@@ -1,0 +1,82 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundtrips(t *testing.T) {
+	b := make([]byte, 64)
+	PutI32(b, 0, -123456789)
+	if I32(b, 0) != -123456789 {
+		t.Fatal("int32 roundtrip")
+	}
+	PutI64(b, 8, math.MinInt64)
+	if I64(b, 8) != math.MinInt64 {
+		t.Fatal("int64 roundtrip")
+	}
+	PutF64(b, 16, -math.Pi)
+	if F64(b, 16) != -math.Pi {
+		t.Fatal("float64 roundtrip")
+	}
+	PutF32(b, 24, 2.5)
+	if F32(b, 24) != 2.5 {
+		t.Fatal("float32 roundtrip")
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	b := make([]byte, 4)
+	PutI32(b, 0, 0x01020304)
+	if b[0] != 4 || b[1] != 3 || b[2] != 2 || b[3] != 1 {
+		t.Fatalf("not little-endian: % x", b)
+	}
+}
+
+func TestUnalignedOffsets(t *testing.T) {
+	// C-layout images address fields at arbitrary byte offsets.
+	b := make([]byte, 32)
+	PutF64(b, 3, 42.25)
+	if F64(b, 3) != 42.25 {
+		t.Fatal("unaligned float64")
+	}
+	PutI32(b, 13, 7)
+	if I32(b, 13) != 7 {
+		t.Fatal("unaligned int32")
+	}
+}
+
+func TestSliceImageRoundtrips(t *testing.T) {
+	f := []float64{0, -1.5, math.Inf(1), math.SmallestNonzeroFloat64}
+	img := Float64Image(f)
+	if len(img) != 32 {
+		t.Fatalf("image len = %d", len(img))
+	}
+	got := Float64s(img)
+	for i := range f {
+		if got[i] != f[i] {
+			t.Fatalf("float64s[%d] = %v", i, got[i])
+		}
+	}
+	is := []int32{1, -2, math.MaxInt32, math.MinInt32}
+	if got := Int32s(Int32Image(is)); len(got) != 4 || got[3] != math.MinInt32 {
+		t.Fatalf("int32s = %v", got)
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	check := func(v int64, f float64, off uint8) bool {
+		b := make([]byte, 300)
+		o := int(off)
+		PutI64(b, o, v)
+		if I64(b, o) != v {
+			return false
+		}
+		PutF64(b, o+8, f)
+		return math.IsNaN(f) && math.IsNaN(F64(b, o+8)) || F64(b, o+8) == f
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

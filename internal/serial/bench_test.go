@@ -1,0 +1,85 @@
+package serial
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks documenting the serialization costs the Python evaluation
+// turns on: full in-band serialization copies every payload byte, while
+// out-of-band mode touches only the small header.
+
+func BenchmarkDumpsInBand(b *testing.B) {
+	for _, size := range []int{4 << 10, 1 << 20} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			obj := NewFloat64Array(size/8, 1)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Dumps(obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDumpsOOB(b *testing.B) {
+	for _, size := range []int{4 << 10, 1 << 20} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			obj := NewFloat64Array(size/8, 1)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := DumpsOOB(obj, DefaultThreshold); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLoadsOOBZeroCopy(b *testing.B) {
+	obj := NewFloat64Array(1<<17, 1)
+	header, oob, _ := DumpsOOB(obj, DefaultThreshold)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadsOOB(header, oob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComplexObjectOOB(b *testing.B) {
+	list := make([]any, 8)
+	for i := range list {
+		list[i] = NewFloat64Array(128*1024/8, byte(i))
+	}
+	obj := map[string]any{"arrays": list, "meta": "m"}
+	b.SetBytes(8 * 128 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		header, oob, err := DumpsOOB(obj, DefaultThreshold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadsOOB(header, oob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferLens(b *testing.B) {
+	list := make([]any, 64)
+	for i := range list {
+		list[i] = NewFloat64Array(1024, byte(i))
+	}
+	header, _, _ := DumpsOOB(list, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BufferLens(header); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

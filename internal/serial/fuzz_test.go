@@ -1,0 +1,47 @@
+package serial
+
+import (
+	"testing"
+)
+
+// FuzzLoads hardens the deserializer against hostile streams: whatever
+// the input, Loads must return an error or a value — never panic or
+// over-read. (Serialized data crosses trust boundaries in MPI programs.)
+func FuzzLoads(f *testing.F) {
+	seedValues := []any{
+		nil, true, int64(-1), 3.14, "string", Buffer{1, 2, 3},
+		[]any{int64(1), "two"},
+		map[string]any{"k": Buffer("v")},
+		NewFloat64Array(16, 1),
+	}
+	for _, v := range seedValues {
+		data, err := Dumps(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		header, _, err := DumpsOOB(v, 8)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(header)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must not panic; errors are fine.
+		v, err := Loads(data)
+		if err == nil {
+			// A decoded value must re-encode (the model is closed).
+			if _, err := Dumps(v); err != nil {
+				t.Fatalf("decoded value %#v does not re-encode: %v", v, err)
+			}
+		}
+		// The length scanner must agree with the decoder on validity for
+		// streams without buffer references.
+		_, _ = BufferLens(data)
+		// OOB decoding with no buffers must reject streams that
+		// reference them rather than panic.
+		_, _ = LoadsOOB(data, nil)
+	})
+}

@@ -1,0 +1,258 @@
+package serial
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundtrips(t *testing.T) {
+	cases := []any{
+		nil, true, false, int64(0), int64(-42), int64(1) << 60,
+		3.14159, -0.0, "", "hello, world", Buffer{}, Buffer{1, 2, 3},
+	}
+	for i, v := range cases {
+		data, err := Dumps(v)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := Loads(data)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, v) && !(v == nil && got == nil) {
+			t.Fatalf("case %d: %#v != %#v", i, got, v)
+		}
+	}
+}
+
+func TestIntWidthsNormalize(t *testing.T) {
+	for _, v := range []any{int(7), int32(7), int64(7)} {
+		data, _ := Dumps(v)
+		got, err := Loads(data)
+		if err != nil || got != int64(7) {
+			t.Fatalf("%T: got %#v, %v", v, got, err)
+		}
+	}
+}
+
+func TestCompositeRoundtrip(t *testing.T) {
+	v := []any{
+		"metadata",
+		int64(123),
+		map[string]any{"a": 1.5, "b": []any{true, nil}, "c": "x"},
+		Buffer("payload-bytes"),
+	}
+	data, err := Dumps(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Loads(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestNDArrayRoundtrip(t *testing.T) {
+	a := &NDArray{DType: "float64", Shape: []int64{4, 8}, Data: Buffer("0123456789")}
+	data, err := Dumps(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Loads(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.(*NDArray)
+	if b.DType != "float64" || !reflect.DeepEqual(b.Shape, a.Shape) || !bytes.Equal(b.Data, a.Data) {
+		t.Fatalf("got %#v", b)
+	}
+}
+
+func TestNDArrayHeaderIsSmall(t *testing.T) {
+	// The paper notes pickle's NumPy header is ~120 bytes — small against
+	// the array. Our header must stay the same order of magnitude.
+	a := NewFloat64Array(1<<20, 1)
+	header, oob, err := DumpsOOB(a, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oob) != 1 || len(oob[0]) != 8<<20 {
+		t.Fatalf("oob = %d buffers", len(oob))
+	}
+	if len(header) > 200 {
+		t.Fatalf("header is %d bytes; want well under 200", len(header))
+	}
+}
+
+func TestOOBThreshold(t *testing.T) {
+	small := Buffer(make([]byte, 100))
+	big := Buffer(make([]byte, 10000))
+	v := []any{small, big}
+	header, oob, err := DumpsOOB(v, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oob) != 1 || len(oob[0]) != 10000 {
+		t.Fatalf("threshold hoisted %d buffers", len(oob))
+	}
+	got, err := LoadsOOB(header, oob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := got.([]any)
+	if len(lv[0].(Buffer)) != 100 || len(lv[1].(Buffer)) != 10000 {
+		t.Fatal("mixed in/out-of-band roundtrip mismatch")
+	}
+}
+
+func TestOOBZeroCopyAliasing(t *testing.T) {
+	big := Buffer(make([]byte, 5000))
+	header, oob, _ := DumpsOOB(big, 100)
+	got, err := LoadsOOB(header, oob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := got.(Buffer)
+	// Decoded buffer aliases the supplied OOB memory: writing through one
+	// is visible through the other.
+	oob[0][0] = 0xEE
+	if gb[0] != 0xEE {
+		t.Fatal("decoded buffer is a copy, not a zero-copy alias")
+	}
+	// The encoder side also aliases the original (no copy on encode).
+	if &oob[0][0] != &big[0] {
+		t.Fatal("encoder copied the out-of-band buffer")
+	}
+}
+
+func TestBufferLens(t *testing.T) {
+	v := map[string]any{
+		"x":    NewFloat64Array(1000, 1),
+		"meta": "hello",
+		"list": []any{NewFloat64Array(200, 2), Buffer(make([]byte, 50))},
+	}
+	header, oob, err := DumpsOOB(v, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens, err := BufferLens(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lens) != len(oob) {
+		t.Fatalf("BufferLens found %d, oob has %d", len(lens), len(oob))
+	}
+	for i := range lens {
+		if lens[i] != int64(len(oob[i])) {
+			t.Fatalf("len[%d] = %d, want %d", i, lens[i], len(oob[i]))
+		}
+	}
+}
+
+func TestMissingOOBBufferFails(t *testing.T) {
+	big := Buffer(make([]byte, 5000))
+	header, _, _ := DumpsOOB(big, 100)
+	if _, err := LoadsOOB(header, nil); err == nil {
+		t.Fatal("decode without buffers must fail")
+	}
+	if _, err := LoadsOOB(header, []Buffer{make(Buffer, 3)}); err == nil {
+		t.Fatal("decode with wrong-size buffer must fail")
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	good, _ := Dumps([]any{"x", int64(1)})
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Loads(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 0xFF
+	if _, err := Loads(bad); err == nil {
+		t.Fatal("bad tag accepted")
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	if _, err := Dumps(struct{ X int }{1}); err == nil {
+		t.Fatal("arbitrary structs must be rejected")
+	}
+	if _, err := Dumps(map[int]any{}); err == nil {
+		t.Fatal("non-string-keyed maps must be rejected")
+	}
+}
+
+// randomValue generates a random supported value of bounded depth.
+func randomValue(rng *rand.Rand, depth int) any {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return nil
+		case 1:
+			return rng.Intn(2) == 0
+		case 2:
+			return rng.Int63()
+		case 3:
+			return rng.Float64()
+		case 4:
+			return fmt.Sprintf("s%d", rng.Intn(1000))
+		default:
+			b := make(Buffer, rng.Intn(64))
+			rng.Read(b)
+			return b
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := rng.Intn(4)
+		l := make([]any, n)
+		for i := range l {
+			l[i] = randomValue(rng, depth-1)
+		}
+		return l
+	case 1:
+		n := rng.Intn(4)
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m[fmt.Sprintf("k%d", i)] = randomValue(rng, depth-1)
+		}
+		return m
+	default:
+		data := make(Buffer, rng.Intn(256))
+		rng.Read(data)
+		return &NDArray{DType: "int8", Shape: []int64{int64(len(data))}, Data: data}
+	}
+}
+
+// Property: every supported value roundtrips through both modes.
+func TestRoundtripProperty(t *testing.T) {
+	check := func(seed int64, threshold uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng, rng.Intn(4))
+		inband, err := Dumps(v)
+		if err != nil {
+			return false
+		}
+		got, err := Loads(inband)
+		if err != nil || !reflect.DeepEqual(got, v) {
+			return false
+		}
+		header, oob, err := DumpsOOB(v, int(threshold))
+		if err != nil {
+			return false
+		}
+		got2, err := LoadsOOB(header, oob)
+		return err == nil && reflect.DeepEqual(got2, v)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package ucp
+
+import (
+	"fmt"
+	"testing"
+
+	"mpicd/internal/fabric"
+)
+
+// benchPingpong times half-round-trips of (dt, bufs) between two workers.
+func benchPingpong(b *testing.B, cfg Config, dt Datatype, sbuf, rbuf any, count int64, bytes int64) {
+	f := fabric.NewInproc(2, fabric.Config{})
+	a := NewWorker(f.NIC(0), cfg)
+	w := NewWorker(f.NIC(1), cfg)
+	defer a.Close()
+	defer w.Close()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			rr, err := w.Recv(0, 1, ^Tag(0), dt, rbuf, count)
+			if err == nil {
+				err = rr.Wait()
+			}
+			if err != nil {
+				done <- err
+				return
+			}
+			sr, err := w.Send(0, 2, dt, rbuf, count, 0, ProtoAuto)
+			if err == nil {
+				err = sr.Wait()
+			}
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	b.SetBytes(2 * bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := a.Send(1, 1, dt, sbuf, count, 0, ProtoAuto)
+		if err == nil {
+			err = sr.Wait()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, err := a.Recv(1, 2, ^Tag(0), dt, sbuf, count)
+		if err == nil {
+			err = rr.Wait()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkContigEagerVsRndv shows the protocol split around the
+// threshold the paper's Figure 7 dip comes from.
+func BenchmarkContigEagerVsRndv(b *testing.B) {
+	for _, size := range []int{1024, 16 * 1024, 32 * 1024, 64 * 1024, 1 << 20} {
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			sbuf := make([]byte, size)
+			rbuf := make([]byte, size)
+			benchPingpong(b, Config{}, Contig{}, sbuf, rbuf, int64(size), int64(size))
+		})
+	}
+}
+
+// BenchmarkIovRegions measures region-list transfers for few-large vs
+// many-small shapes.
+func BenchmarkIovRegions(b *testing.B) {
+	const total = 1 << 20
+	for _, regions := range []int{4, 64, 1024, 16384} {
+		b.Run(fmt.Sprintf("regions-%d", regions), func(b *testing.B) {
+			mk := func() [][]byte {
+				out := make([][]byte, regions)
+				for i := range out {
+					out[i] = make([]byte, total/regions)
+				}
+				return out
+			}
+			benchPingpong(b, Config{}, Iov{}, mk(), mk(), -1, total)
+		})
+	}
+}
+
+// BenchmarkGenericCallbacks measures the callback-packed path against the
+// contiguous fast path at the same size.
+func BenchmarkGenericCallbacks(b *testing.B) {
+	const size = 1 << 20
+	ops := &xorOps{key: 0}
+	sbuf := make([]byte, size)
+	rbuf := make([]byte, size)
+	b.Run("generic", func(b *testing.B) {
+		benchPingpong(b, Config{}, Generic{Ops: ops}, sbuf, rbuf, size, size)
+	})
+	b.Run("contig", func(b *testing.B) {
+		benchPingpong(b, Config{}, Contig{}, sbuf, rbuf, size, size)
+	})
+}
+
+// BenchmarkMessageRate measures small-message throughput (matching-path
+// overhead).
+func BenchmarkMessageRate(b *testing.B) {
+	sbuf := make([]byte, 8)
+	rbuf := make([]byte, 8)
+	benchPingpong(b, Config{}, Contig{}, sbuf, rbuf, 8, 8)
+}

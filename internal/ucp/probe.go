@@ -1,0 +1,83 @@
+package ucp
+
+import "fmt"
+
+// Message describes a probed inbound message. A Message returned by Mprobe
+// is claimed: it is no longer visible to matching and must be consumed with
+// MRecv (the MPI_Mprobe/MPI_Mrecv pattern the paper's Python discussion
+// revolves around).
+type Message struct {
+	From  int
+	Tag   Tag
+	Total int64
+	Aux0  int64
+
+	w       *Worker
+	msg     *unexMsg
+	claimed bool
+}
+
+// Probe looks for an inbound message matching (from, tag, mask) without
+// removing it. With block set it waits for one; otherwise it returns nil
+// when nothing matches.
+func (w *Worker) Probe(from int, tag, mask Tag, block bool) (*Message, error) {
+	return w.probe(from, tag, mask, block, false)
+}
+
+// Mprobe is Probe plus claim: the matched message is removed from the
+// unexpected queue and reserved for a later MRecv.
+func (w *Worker) Mprobe(from int, tag, mask Tag, block bool) (*Message, error) {
+	return w.probe(from, tag, mask, block, true)
+}
+
+func (w *Worker) probe(from int, tag, mask Tag, block, claim bool) (*Message, error) {
+	probeReq := &Request{tag: tag, mask: mask, from: from}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.closed {
+			return nil, ErrWorkerClosed
+		}
+		for i, m := range w.unexpected {
+			if !matches(probeReq, m.from, m.tag) {
+				continue
+			}
+			info := &Message{From: m.from, Tag: m.tag, Total: m.total, Aux0: m.aux0, w: w, msg: m}
+			if claim {
+				w.unexpected = append(w.unexpected[:i], w.unexpected[i+1:]...)
+				m.claimed = true
+				info.claimed = true
+				if m.selfSrc == nil && !m.rndv {
+					// Eager fragments keep arriving; route them here.
+					w.claimed[msgKey{m.from, m.id}] = m
+				}
+			}
+			return info, nil
+		}
+		if !block {
+			return nil, nil
+		}
+		w.cond.Wait()
+	}
+}
+
+// MRecv receives a message claimed by Mprobe into (buf, count) with
+// datatype dt.
+func (w *Worker) MRecv(m *Message, dt Datatype, buf any, count int64) (*Request, error) {
+	if m == nil || !m.claimed || m.w != w {
+		return nil, fmt.Errorf("ucp: MRecv requires a message claimed by Mprobe on this worker")
+	}
+	req := newRequest(w)
+	req.dt = dt
+	req.buf = buf
+	req.count = count
+	m.claimed = false
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrWorkerClosed
+	}
+	delete(w.claimed, msgKey{m.msg.from, m.msg.id})
+	w.startRecvLocked(req, m.msg) // releases w.mu
+	return req, nil
+}

@@ -1,0 +1,109 @@
+package ucp
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCanceled is reported by requests removed with CancelRecv.
+var ErrCanceled = errors.New("ucp: request canceled")
+
+// Request tracks one in-flight send or receive.
+type Request struct {
+	w      *Worker
+	isSend bool
+
+	// Matching criteria (receives only).
+	tag  Tag
+	mask Tag
+	from int // -1 means any source
+
+	dt    Datatype
+	buf   any
+	count int64
+
+	mu        sync.Mutex
+	done      chan struct{}
+	err       error
+	completed bool
+
+	// Completion status.
+	srcRank int
+	srcTag  Tag
+	total   int64
+	aux0    int64
+}
+
+func newRequest(w *Worker) *Request {
+	return &Request{w: w, done: make(chan struct{}), srcRank: -1}
+}
+
+// complete finishes the request exactly once.
+func (r *Request) complete(from int, tag Tag, total, aux0 int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.completed {
+		return
+	}
+	r.completed = true
+	r.srcRank = from
+	r.srcTag = tag
+	r.total = total
+	r.aux0 = aux0
+	r.err = err
+	close(r.done)
+}
+
+// Wait blocks until the request completes and returns its error.
+func (r *Request) Wait() error {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Test reports whether the request has completed, without blocking.
+func (r *Request) Test() (bool, error) {
+	select {
+	case <-r.done:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return true, r.err
+	default:
+		return false, nil
+	}
+}
+
+// Done exposes the completion channel for select-based progress.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// Status returns the source rank, matched tag and transferred byte count.
+// Valid only after completion.
+func (r *Request) Status() (from int, tag Tag, n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srcRank, r.srcTag, r.total
+}
+
+// Aux returns the sender-provided auxiliary word (the point-to-point layer
+// uses it to carry the packed-part length of custom datatypes). Valid only
+// after completion.
+func (r *Request) Aux() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aux0
+}
+
+// WaitAll waits on every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

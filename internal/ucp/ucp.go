@@ -1,0 +1,98 @@
+// Package ucp implements a UCP-like transport layer: workers, endpoints,
+// 64-bit tag matching with masks, and the three datatype classes the
+// paper's prototype used from UCX — contiguous buffers
+// (UCP_DATATYPE_CONTIG), scatter/gather region lists (UCP_DATATYPE_IOV)
+// and callback-driven generic types (UCP_DATATYPE_GENERIC).
+//
+// Two protocols move bytes, chosen per message:
+//
+//   - eager: the sender streams fragments through fabric wire buffers and
+//     completes locally; unmatched fragments are buffered on the receiver
+//     (the unexpected queue).
+//   - rendezvous: the sender registers its Source and sends an RTS; the
+//     matched receiver pulls the bytes with the fabric's Get (RDMA-read
+//     analogue) and acknowledges with a FIN. This is the zero-copy path
+//     region-based custom datatypes rely on.
+//
+// The eager→rendezvous threshold is configurable; region-bearing (iov)
+// messages switch to rendezvous much earlier because only the pull path
+// avoids the staging copies (this reproduces the paper's observation that
+// the custom API is insensitive to the UCX eager/rendezvous switchover).
+package ucp
+
+import (
+	"errors"
+
+	"mpicd/internal/fabric"
+)
+
+// Protocol kinds carried in fabric headers (all below fabric's reserved
+// range).
+const (
+	kindEager fabric.Kind = 1 + iota // message fragment
+	kindRTS                          // rendezvous request-to-send
+	kindFIN                          // rendezvous completion ack
+)
+
+// Tag is the 64-bit transport matching tag. Layers above define its bit
+// layout; matching uses masks.
+type Tag uint64
+
+// Proto selects the wire protocol for one send.
+type Proto int
+
+// Protocol selection hints.
+const (
+	// ProtoAuto picks eager below the rendezvous threshold and rendezvous
+	// above it, with the iov threshold applied to direct (region) sources.
+	ProtoAuto Proto = iota
+	// ProtoEager forces the eager path.
+	ProtoEager
+	// ProtoRndv forces the rendezvous path.
+	ProtoRndv
+)
+
+// Config tunes the transport.
+type Config struct {
+	// RndvThresh is the eager→rendezvous switch in bytes for generic and
+	// contiguous messages (default 32 KiB, the classic UCX value the paper
+	// observes a manual-pack dip at).
+	RndvThresh int64
+	// IovRndvMin is the size at which region-bearing (direct,
+	// non-contiguous) messages switch to rendezvous (default 8 KiB).
+	// Below it regions are gathered into eager fragments; above it the
+	// pull path transfers them zero-copy.
+	IovRndvMin int64
+	// FragSize is the eager fragment payload size; defaults to the
+	// fabric's default fragment size.
+	FragSize int
+}
+
+// DefaultRndvThresh is the default eager→rendezvous threshold (32 KiB).
+const DefaultRndvThresh = 32 * 1024
+
+// DefaultIovRndvMin is the default rendezvous threshold for region lists.
+const DefaultIovRndvMin = 8 * 1024
+
+func (c Config) withDefaults() Config {
+	if c.RndvThresh <= 0 {
+		c.RndvThresh = DefaultRndvThresh
+	}
+	if c.IovRndvMin <= 0 {
+		c.IovRndvMin = DefaultIovRndvMin
+	}
+	if c.FragSize <= 0 {
+		c.FragSize = fabric.DefaultFragSize
+	}
+	if c.FragSize > fabric.MaxFragSize {
+		c.FragSize = fabric.MaxFragSize
+	}
+	return c
+}
+
+// ErrWorkerClosed is returned by operations on a closed worker.
+var ErrWorkerClosed = errors.New("ucp: worker closed")
+
+// ErrTruncated is returned when an incoming message is larger than the
+// posted receive buffer.
+var ErrTruncated = errors.New("ucp: message truncated (receive buffer too small)")

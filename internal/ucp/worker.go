@@ -1,0 +1,770 @@
+package ucp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mpicd/internal/fabric"
+)
+
+// Worker is one rank's transport engine: it owns a NIC, a progress
+// goroutine, and the two matching queues (posted receives and unexpected
+// messages) every MPI implementation carries.
+type Worker struct {
+	nic fabric.NIC
+	cfg Config
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	posted     []*Request
+	unexpected []*unexMsg
+	active     map[msgKey]*recvOp  // matched receives still consuming fragments
+	claimed    map[msgKey]*unexMsg // mprobe-claimed messages still buffering
+	sends      map[uint64]*sendOp  // rendezvous sends awaiting FIN
+	closed     bool
+
+	nextMsg atomic.Uint64
+	wg      sync.WaitGroup
+	stats   WorkerStats
+}
+
+// WorkerStats counts protocol events; all fields are cumulative.
+type WorkerStats struct {
+	EagerSends     atomic.Int64 // messages sent through the eager path
+	RndvSends      atomic.Int64 // messages sent through rendezvous
+	SelfSends      atomic.Int64 // loopback messages
+	EagerFragments atomic.Int64 // eager fragments put on the wire
+	UnexpectedHits atomic.Int64 // receives that matched the unexpected queue
+	PostedHits     atomic.Int64 // messages that matched a posted receive
+}
+
+// Stats exposes the worker's protocol counters.
+func (w *Worker) Stats() *WorkerStats { return &w.stats }
+
+type msgKey struct {
+	from int
+	id   uint64
+}
+
+// sendOp is a rendezvous send awaiting its FIN.
+type sendOp struct {
+	req *Request
+	src SendState
+	key uint64
+}
+
+// unexMsg is an inbound message that arrived before a matching receive was
+// posted (or a local self-send awaiting a match).
+type unexMsg struct {
+	from  int
+	id    uint64
+	tag   Tag
+	total int64
+	aux0  int64
+
+	// Exactly one of these delivery modes applies.
+	rndvKey  uint64 // rendezvous: remote memory key (valid if rndv)
+	rndv     bool
+	frags    []*fabric.Packet // eager: buffered fragments in arrival order
+	buffered int64
+	selfSrc  SendState // self-send: local source
+	selfReq  *Request  // self-send: the sender's request
+	errored  error     // abort received before match
+	claimed  bool
+}
+
+// recvOp is a matched receive consuming data. Its mutable fields are
+// guarded by mu so that the goroutine that matched the message can drain
+// buffered fragments while the progress goroutine routes live ones.
+type recvOp struct {
+	req   *Request
+	from  int
+	id    uint64
+	tag   Tag
+	total int64 // incoming message size
+	aux0  int64
+
+	mu         sync.Mutex
+	sink       RecvState // nil when sink construction failed
+	received   int64
+	discard    bool  // stop delivering; drain remaining fragments
+	failure    error // first failure
+	finished   bool
+	sequential bool
+	next       int64
+	pending    map[int64]*fabric.Packet
+}
+
+// NewWorker attaches a transport worker to a NIC and starts its progress
+// goroutine.
+func NewWorker(nic fabric.NIC, cfg Config) *Worker {
+	w := &Worker{
+		nic:     nic,
+		cfg:     cfg.withDefaults(),
+		active:  make(map[msgKey]*recvOp),
+		claimed: make(map[msgKey]*unexMsg),
+		sends:   make(map[uint64]*sendOp),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.wg.Add(1)
+	go w.loop()
+	return w
+}
+
+// Rank returns the worker's fabric rank.
+func (w *Worker) Rank() int { return w.nic.Rank() }
+
+// Size returns the number of ranks on the fabric.
+func (w *Worker) Size() int { return w.nic.Size() }
+
+// Close shuts the worker down. In-flight operations complete with errors.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	posted := w.posted
+	w.posted = nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, r := range posted {
+		r.complete(-1, 0, 0, 0, ErrWorkerClosed)
+	}
+	w.nic.Close()
+	w.wg.Wait()
+}
+
+const (
+	kindAbort fabric.Kind = 10 // sender-side pack failure notification
+)
+
+// Send starts a tagged send of (buf, count) with datatype dt to rank dst.
+// aux is an opaque value delivered to the receiver alongside the message
+// (the point-to-point layer uses it for the custom-datatype packed-part
+// length). proto selects or forces the wire protocol.
+func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux int64, proto Proto) (*Request, error) {
+	if dst < 0 || dst >= w.Size() {
+		return nil, fmt.Errorf("ucp: destination rank %d out of range [0,%d)", dst, w.Size())
+	}
+	src, err := dt.SendState(buf, count)
+	if err != nil {
+		return nil, err
+	}
+	req := newRequest(w)
+	req.isSend = true
+	total := src.Size()
+	id := w.nextMsg.Add(1)
+	if ap, ok := src.(AuxProvider); ok {
+		aux = ap.Aux()
+	}
+
+	if dst == w.Rank() {
+		w.stats.SelfSends.Add(1)
+		w.selfSend(req, src, Tag(tag), total, aux, id)
+		return req, nil
+	}
+
+	useRndv := false
+	switch proto {
+	case ProtoRndv:
+		useRndv = true
+	case ProtoEager:
+	default:
+		if pc, ok := src.(ProtoChooser); ok {
+			proto = pc.ChooseProto(total, w.cfg.RndvThresh, w.cfg.IovRndvMin)
+		}
+		switch {
+		case proto == ProtoRndv:
+			useRndv = true
+		case proto == ProtoEager:
+		case total > w.cfg.RndvThresh:
+			useRndv = true
+		default:
+			if rc, ok := fabric.Source(src).(fabric.RegionCounter); ok && rc.NumRegions() > 1 && total >= w.cfg.IovRndvMin {
+				// Region lists only reach zero-copy through the pull path.
+				useRndv = true
+			}
+		}
+	}
+
+	if useRndv {
+		w.stats.RndvSends.Add(1)
+		key := w.nic.Register(src)
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			w.nic.Deregister(key)
+			src.Finish()
+			return nil, ErrWorkerClosed
+		}
+		w.sends[id] = &sendOp{req: req, src: src, key: key}
+		w.mu.Unlock()
+		hdr := fabric.Header{Kind: kindRTS, Tag: uint64(tag), MsgID: id, Total: total, Aux0: aux, Aux1: int64(key)}
+		if err := w.nic.Send(dst, hdr); err != nil {
+			w.mu.Lock()
+			delete(w.sends, id)
+			w.mu.Unlock()
+			w.nic.Deregister(key)
+			src.Finish()
+			return nil, err
+		}
+		return req, nil
+	}
+
+	// Eager: stream fragments and complete locally.
+	w.stats.EagerSends.Add(1)
+	err = w.eagerSend(dst, tag, id, total, aux, src)
+	if ferr := src.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		// Notify the receiver so a matched receive does not hang.
+		_ = w.nic.Send(dst, fabric.Header{Kind: kindAbort, Tag: uint64(tag), MsgID: id, Total: total, Aux0: aux}, []byte(err.Error()))
+		req.complete(dst, tag, 0, aux, err)
+		return req, err
+	}
+	req.complete(dst, tag, total, aux, nil)
+	return req, nil
+}
+
+func (w *Worker) eagerSend(dst int, tag Tag, id uint64, total, aux int64, src SendState) error {
+	if total == 0 {
+		hdr := fabric.Header{Kind: kindEager, Tag: uint64(tag), MsgID: id, Offset: 0, Total: 0, Aux0: aux}
+		return w.nic.Send(dst, hdr)
+	}
+	off := int64(0)
+	frag := int64(w.cfg.FragSize)
+	for off < total {
+		n := frag
+		if rem := total - off; n > rem {
+			n = rem
+		}
+		hdr := fabric.Header{Kind: kindEager, Tag: uint64(tag), MsgID: id, Offset: off, Total: total, Aux0: aux}
+		if off > 0 && off+n < total {
+			hdr.Flags = fabric.FlagUnordered
+		}
+		sent, err := w.nic.SendFrom(dst, hdr, src, off, n)
+		if err != nil {
+			return err
+		}
+		w.stats.EagerFragments.Add(1)
+		off += sent
+	}
+	return nil
+}
+
+// selfSend queues a local message for matching without touching the wire.
+func (w *Worker) selfSend(req *Request, src SendState, tag Tag, total, aux int64, id uint64) {
+	m := &unexMsg{from: w.Rank(), id: id, tag: tag, total: total, aux0: aux, selfSrc: src, selfReq: req}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		src.Finish()
+		req.complete(-1, 0, 0, 0, ErrWorkerClosed)
+		return
+	}
+	if r := w.matchPosted(m); r != nil {
+		w.startRecvLocked(r, m) // releases w.mu
+		return
+	}
+	w.unexpected = append(w.unexpected, m)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Recv posts a tagged receive. from restricts the source rank (-1 accepts
+// any). mask selects which tag bits participate in matching (use ^Tag(0)
+// for exact matching).
+func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64) (*Request, error) {
+	req := newRequest(w)
+	req.tag = tag
+	req.mask = mask
+	req.from = from
+	req.dt = dt
+	req.buf = buf
+	req.count = count
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrWorkerClosed
+	}
+	if m := w.matchUnexpected(req); m != nil {
+		w.stats.UnexpectedHits.Add(1)
+		w.startRecvLocked(req, m) // releases w.mu
+		return req, nil
+	}
+	w.posted = append(w.posted, req)
+	w.mu.Unlock()
+	return req, nil
+}
+
+// CancelRecv removes a posted receive that has not matched yet. It reports
+// whether the cancellation won the race with an incoming message.
+func (w *Worker) CancelRecv(req *Request) bool {
+	w.mu.Lock()
+	for i, r := range w.posted {
+		if r == req {
+			w.posted = append(w.posted[:i], w.posted[i+1:]...)
+			w.mu.Unlock()
+			req.complete(-1, 0, 0, 0, ErrCanceled)
+			return true
+		}
+	}
+	w.mu.Unlock()
+	return false
+}
+
+// matches reports whether message metadata satisfies a posted receive.
+func matches(req *Request, from int, tag Tag) bool {
+	if req.from >= 0 && req.from != from {
+		return false
+	}
+	return (tag & req.mask) == (req.tag & req.mask)
+}
+
+// matchPosted finds and removes the first posted receive matching m.
+// Caller holds w.mu.
+func (w *Worker) matchPosted(m *unexMsg) *Request {
+	for i, r := range w.posted {
+		if matches(r, m.from, m.tag) {
+			w.posted = append(w.posted[:i], w.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// matchUnexpected finds and removes the first unexpected message matching
+// req. Caller holds w.mu.
+func (w *Worker) matchUnexpected(req *Request) *unexMsg {
+	for i, m := range w.unexpected {
+		if matches(req, m.from, m.tag) {
+			w.unexpected = append(w.unexpected[:i], w.unexpected[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// startRecvLocked binds a matched (request, message) pair and begins
+// delivery. The caller must hold w.mu; it is released on return. For
+// partially-arrived eager messages the new receive op is registered in the
+// active table before w.mu drops, so live fragments routed by the progress
+// goroutine serialize with the buffered-fragment drain through op.mu.
+func (w *Worker) startRecvLocked(req *Request, m *unexMsg) {
+	if m.errored != nil {
+		w.mu.Unlock()
+		w.releaseFrags(m)
+		req.complete(m.from, m.tag, 0, m.aux0, m.errored)
+		return
+	}
+	op := &recvOp{
+		req:   req,
+		from:  m.from,
+		id:    m.id,
+		tag:   m.tag,
+		total: m.total,
+		aux0:  m.aux0,
+	}
+	key := msgKey{m.from, m.id}
+	eager := m.selfSrc == nil && !m.rndv
+	op.mu.Lock()
+	if eager && m.total > 0 {
+		w.active[key] = op
+	}
+	w.mu.Unlock()
+
+	// Build the sink outside w.mu: datatype state construction may run
+	// user callbacks.
+	sink, err := req.dt.RecvState(req.buf, req.count, RecvInfo{From: m.from, Tag: m.tag, Total: m.total, Aux: m.aux0})
+	if err != nil {
+		op.discard = true
+		op.failure = err
+	} else {
+		op.sink = sink
+		if ss, ok := fabric.Sink(sink).(fabric.SequentialSink); ok && ss.Sequential() {
+			op.sequential = true
+			op.pending = make(map[int64]*fabric.Packet)
+		}
+		if m.total > sink.Size() {
+			op.discard = true
+			op.failure = fmt.Errorf("%w: %d bytes incoming, %d byte buffer", ErrTruncated, m.total, sink.Size())
+		}
+	}
+
+	switch {
+	case m.selfSrc != nil:
+		op.mu.Unlock()
+		w.wg.Add(1)
+		go w.runSelf(op, m)
+	case m.rndv:
+		op.mu.Unlock()
+		w.wg.Add(1)
+		go w.runPull(op, m.rndvKey)
+	default:
+		done := false
+		for _, pkt := range m.frags {
+			if w.feedLocked(op, pkt) {
+				done = true
+			}
+		}
+		m.frags = nil
+		if m.total == 0 && !op.finished {
+			op.finished = true
+			done = true
+		}
+		op.mu.Unlock()
+		if done {
+			w.mu.Lock()
+			delete(w.active, key)
+			w.mu.Unlock()
+			w.finishRecv(op)
+		}
+	}
+}
+
+// runSelf completes a matched self-send by local transfer.
+func (w *Worker) runSelf(op *recvOp, m *unexMsg) {
+	defer w.wg.Done()
+	err := op.failure
+	n := op.total
+	if err == nil && n > 0 {
+		err = fabric.Transfer(m.selfSrc, 0, op.sink, 0, n, nil)
+	}
+	if err != nil {
+		n = 0
+	}
+	if op.sink != nil {
+		if ferr := op.sink.Finish(); err == nil {
+			err = ferr
+		}
+	}
+	op.req.complete(op.from, op.tag, n, op.aux0, err)
+	w.finishSelf(m, err)
+}
+
+// finishSelf completes the send side of a self message, if any.
+func (w *Worker) finishSelf(m *unexMsg, err error) {
+	if m.selfSrc == nil {
+		return
+	}
+	if ferr := m.selfSrc.Finish(); err == nil {
+		err = ferr
+	}
+	m.selfReq.complete(w.Rank(), m.tag, m.total, m.aux0, err)
+	m.selfSrc = nil
+}
+
+// runPull executes the rendezvous receive: pull, FIN, complete.
+func (w *Worker) runPull(op *recvOp, key uint64) {
+	defer w.wg.Done()
+	err := op.failure
+	n := op.total
+	if err == nil && n > 0 {
+		err = w.nic.Get(op.from, key, 0, op.sink, 0, n)
+	}
+	status := int64(0)
+	if err != nil {
+		status = 1
+		n = 0
+	}
+	_ = w.nic.Send(op.from, fabric.Header{Kind: kindFIN, MsgID: op.id, Aux0: status})
+	if op.sink != nil {
+		if ferr := op.sink.Finish(); err == nil {
+			err = ferr
+		}
+	}
+	op.req.complete(op.from, op.tag, n, op.aux0, err)
+}
+
+// feedLocked delivers one eager fragment. Caller holds op.mu. It returns
+// true exactly once, for the call that completes the message.
+func (w *Worker) feedLocked(op *recvOp, pkt *fabric.Packet) bool {
+	if op.finished {
+		pkt.Release()
+		return false
+	}
+	write := func(p *fabric.Packet) {
+		got := int64(len(p.Payload))
+		if !op.discard {
+			if _, err := op.sink.WriteAt(p.Payload, p.Hdr.Offset); err != nil {
+				op.discard = true
+				op.failure = err
+			}
+		}
+		p.Release()
+		op.received += got
+	}
+	if !op.sequential || op.discard {
+		write(pkt)
+	} else {
+		if pkt.Hdr.Offset != op.next {
+			op.pending[pkt.Hdr.Offset] = pkt
+			return false
+		}
+		op.next = pkt.Hdr.Offset + int64(len(pkt.Payload))
+		write(pkt)
+		for {
+			p, ok := op.pending[op.next]
+			if !ok {
+				break
+			}
+			delete(op.pending, op.next)
+			op.next = p.Hdr.Offset + int64(len(p.Payload))
+			write(p)
+		}
+	}
+	if op.received >= op.total && !op.finished {
+		op.finished = true
+		return true
+	}
+	return false
+}
+
+// finishRecv completes an eager receive after its final fragment (or an
+// abort). Caller must not hold op.mu or w.mu.
+func (w *Worker) finishRecv(op *recvOp) {
+	err := op.failure
+	n := op.received
+	if err != nil {
+		n = 0
+	}
+	if op.sink != nil {
+		if ferr := op.sink.Finish(); err == nil {
+			err = ferr
+		}
+	}
+	op.req.complete(op.from, op.tag, n, op.aux0, err)
+}
+
+// releaseFrags returns any buffered wire buffers of an unmatched message.
+func (w *Worker) releaseFrags(m *unexMsg) {
+	for _, pkt := range m.frags {
+		pkt.Release()
+	}
+	m.frags = nil
+}
+
+// loop is the progress goroutine: it turns wire packets into matching and
+// delivery events.
+func (w *Worker) loop() {
+	defer w.wg.Done()
+	for {
+		pkt, ok := w.nic.Recv()
+		if !ok {
+			w.drainOnClose()
+			return
+		}
+		w.handle(pkt)
+	}
+}
+
+// drainOnClose fails everything still in flight when the NIC closes.
+func (w *Worker) drainOnClose() {
+	w.mu.Lock()
+	active := w.active
+	w.active = make(map[msgKey]*recvOp)
+	sends := w.sends
+	w.sends = make(map[uint64]*sendOp)
+	unex := w.unexpected
+	w.unexpected = nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, op := range active {
+		op.mu.Lock()
+		already := op.finished
+		op.finished = true
+		if op.failure == nil {
+			op.failure = ErrWorkerClosed
+		}
+		op.mu.Unlock()
+		if !already {
+			w.finishRecv(op)
+		}
+	}
+	for _, s := range sends {
+		w.nic.Deregister(s.key)
+		s.src.Finish()
+		s.req.complete(-1, 0, 0, 0, ErrWorkerClosed)
+	}
+	for _, m := range unex {
+		w.releaseFrags(m)
+		w.finishSelf(m, ErrWorkerClosed)
+	}
+}
+
+func (w *Worker) handle(pkt *fabric.Packet) {
+	switch pkt.Hdr.Kind {
+	case kindEager:
+		w.handleEager(pkt)
+	case kindRTS:
+		w.handleRTS(pkt)
+	case kindFIN:
+		w.handleFIN(pkt)
+	case kindAbort:
+		w.handleAbort(pkt)
+	default:
+		pkt.Release()
+	}
+}
+
+func (w *Worker) handleEager(pkt *fabric.Packet) {
+	key := msgKey{pkt.From, pkt.Hdr.MsgID}
+	w.mu.Lock()
+	if op, ok := w.active[key]; ok {
+		w.mu.Unlock()
+		op.mu.Lock()
+		done := w.feedLocked(op, pkt)
+		op.mu.Unlock()
+		if done {
+			w.mu.Lock()
+			delete(w.active, key)
+			w.mu.Unlock()
+			w.finishRecv(op)
+		}
+		return
+	}
+	if m, ok := w.claimed[key]; ok {
+		m.frags = append(m.frags, pkt)
+		m.buffered += int64(len(pkt.Payload))
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
+	}
+	if pkt.Hdr.Offset == 0 {
+		// First fragment: try to match.
+		m := &unexMsg{
+			from:  pkt.From,
+			id:    pkt.Hdr.MsgID,
+			tag:   Tag(pkt.Hdr.Tag),
+			total: pkt.Hdr.Total,
+			aux0:  pkt.Hdr.Aux0,
+		}
+		if pkt.Hdr.Total > 0 {
+			m.frags = []*fabric.Packet{pkt}
+			m.buffered = int64(len(pkt.Payload))
+		} else {
+			pkt.Release()
+		}
+		if req := w.matchPosted(m); req != nil {
+			w.stats.PostedHits.Add(1)
+			w.startRecvLocked(req, m) // releases w.mu
+			return
+		}
+		w.unexpected = append(w.unexpected, m)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
+	}
+	// Later fragment of an unmatched message: buffer onto its entry.
+	for _, m := range w.unexpected {
+		if m.from == pkt.From && m.id == pkt.Hdr.MsgID {
+			m.frags = append(m.frags, pkt)
+			m.buffered += int64(len(pkt.Payload))
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		}
+	}
+	w.mu.Unlock()
+	// No home for this fragment (message was dropped); discard.
+	pkt.Release()
+}
+
+func (w *Worker) handleRTS(pkt *fabric.Packet) {
+	m := &unexMsg{
+		from:    pkt.From,
+		id:      pkt.Hdr.MsgID,
+		tag:     Tag(pkt.Hdr.Tag),
+		total:   pkt.Hdr.Total,
+		aux0:    pkt.Hdr.Aux0,
+		rndv:    true,
+		rndvKey: uint64(pkt.Hdr.Aux1),
+	}
+	pkt.Release()
+	w.mu.Lock()
+	if req := w.matchPosted(m); req != nil {
+		w.stats.PostedHits.Add(1)
+		w.startRecvLocked(req, m) // releases w.mu
+		return
+	}
+	w.unexpected = append(w.unexpected, m)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *Worker) handleFIN(pkt *fabric.Packet) {
+	id := pkt.Hdr.MsgID
+	status := pkt.Hdr.Aux0
+	pkt.Release()
+	w.mu.Lock()
+	s, ok := w.sends[id]
+	if ok {
+		delete(w.sends, id)
+	}
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	w.nic.Deregister(s.key)
+	total := s.src.Size()
+	err := s.src.Finish()
+	if status != 0 && err == nil {
+		err = errors.New("ucp: remote receive failed during rendezvous pull")
+	}
+	s.req.complete(-1, 0, total, 0, err)
+}
+
+func (w *Worker) handleAbort(pkt *fabric.Packet) {
+	key := msgKey{pkt.From, pkt.Hdr.MsgID}
+	err := fmt.Errorf("ucp: sender aborted: %s", string(pkt.Payload))
+	w.mu.Lock()
+	if op, ok := w.active[key]; ok {
+		delete(w.active, key)
+		w.mu.Unlock()
+		pkt.Release()
+		op.mu.Lock()
+		already := op.finished
+		op.finished = true
+		op.discard = true
+		if op.failure == nil {
+			op.failure = err
+		}
+		op.mu.Unlock()
+		if !already {
+			w.finishRecv(op)
+		}
+		return
+	}
+	if m, ok := w.claimed[key]; ok {
+		m.errored = err
+		w.releaseFrags(m)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		pkt.Release()
+		return
+	}
+	for _, m := range w.unexpected {
+		if m.from == pkt.From && m.id == pkt.Hdr.MsgID {
+			m.errored = err
+			w.releaseFrags(m)
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			pkt.Release()
+			return
+		}
+	}
+	// Abort for a message whose first fragment never arrived (or was
+	// already consumed): record it as an errored unexpected message so a
+	// future receive fails instead of hanging.
+	m := &unexMsg{from: pkt.From, id: pkt.Hdr.MsgID, tag: Tag(pkt.Hdr.Tag), total: pkt.Hdr.Total, aux0: pkt.Hdr.Aux0, errored: err}
+	w.unexpected = append(w.unexpected, m)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	pkt.Release()
+}

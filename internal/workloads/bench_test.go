@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"testing"
+
+	"mpicd/internal/core"
+)
+
+// Local packing costs (no communication): the raw loop work behind the
+// paper's methods.
+
+func BenchmarkManualPackStructSimple(b *testing.B) {
+	const count = 32768
+	img := make([]byte, count*StructSimpleExtent)
+	FillStructSimple(img, count, 1)
+	dst := make([]byte, count*StructSimplePacked)
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackStructSimple(img, count, dst)
+	}
+}
+
+func BenchmarkHandlerPackStructSimple(b *testing.B) {
+	// The custom handler's pack callback over the same data: must stay
+	// within range of the hand-written loop.
+	const count = 32768
+	img := make([]byte, count*StructSimpleExtent)
+	FillStructSimple(img, count, 1)
+	dst := make([]byte, count*StructSimplePacked)
+	dt := StructSimpleCustom()
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Pack(img, count, dt, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnginePackStructSimple(b *testing.B) {
+	// The derived-datatype engine on the same data (the rsmpi path).
+	const count = 32768
+	img := make([]byte, count*StructSimpleExtent)
+	FillStructSimple(img, count, 1)
+	dst := make([]byte, count*StructSimplePacked)
+	t := StructSimpleType()
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Pack(img, count, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackDoubleVec(b *testing.B) {
+	vecs := NewDoubleVec(1<<20, 1024, 1)
+	dst := make([]byte, PackedDoubleVecSize(vecs))
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackDoubleVec(vecs, dst)
+	}
+}
+
+func BenchmarkUnpackDoubleVec(b *testing.B) {
+	vecs := NewDoubleVec(1<<20, 1024, 1)
+	buf := make([]byte, PackedDoubleVecSize(vecs))
+	PackDoubleVec(vecs, buf)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnpackDoubleVec(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,617 @@
+// Package workloads defines the datatypes of the paper's Rust evaluation
+// (Section V.A) together with every transfer method benchmarked against
+// them:
+//
+//   - double-vec          — Vec<Vec<i32>>, a dynamic list of heap vectors
+//     (Listing: "double-vector type"); custom datatype with a packed
+//     length header plus one region per subvector, versus manual packing
+//     into a single buffer, versus a raw-bytes baseline;
+//   - struct-vec          — Listing 6: three i32s, an alignment gap, an
+//     f64, and a 2048-element i32 array; packed fields + one region;
+//   - struct-simple       — Listing 7: the same without the array (packing
+//     only, exercising the gap);
+//   - struct-simple-no-gap — Listing 8: no gap, fully contiguous.
+//
+// Struct buffers are C-layout byte images (see package layout), so the
+// derived-datatype baseline, the manual packing loops and the custom
+// handlers all move exactly the bytes the paper's #[repr(C)] Rust structs
+// contain.
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+)
+
+// Count aliases the MPI count type.
+type Count = core.Count
+
+// ---------------------------------------------------------------------------
+// struct layouts (Listings 6-8)
+
+// StructVec layout constants: {a,b,c: i32 @ 0,4,8; gap @ 12; d: f64 @ 16;
+// data: [2048]i32 @ 24}.
+const (
+	StructVecDataLen = 2048
+	StructVecExtent  = 24 + 4*StructVecDataLen
+	StructVecPacked  = 12 + 8 + 4*StructVecDataLen // gap elided
+	structVecFields  = 20                          // a,b,c,d packed bytes
+)
+
+// StructSimple layout: {a,b,c: i32 @ 0,4,8; gap @ 12; d: f64 @ 16}.
+const (
+	StructSimpleExtent = 24
+	StructSimplePacked = 20
+)
+
+// StructSimpleNoGap layout: {a,b: i32 @ 0,4; c: f64 @ 8}.
+const (
+	StructSimpleNoGapExtent = 16
+	StructSimpleNoGapPacked = 16
+)
+
+// StructVecType returns the derived datatype for struct-vec (what RSMPI's
+// derive macro would build for Listing 6).
+func StructVecType() *ddt.Type {
+	t, err := ddt.Struct(
+		[]int{3, 1, StructVecDataLen},
+		[]int64{0, 16, 24},
+		[]*ddt.Type{ddt.Int32, ddt.Float64, ddt.Int32},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// StructSimpleType returns the derived datatype for struct-simple
+// (Listing 7): the interior gap forces two runs per element.
+func StructSimpleType() *ddt.Type {
+	t, err := ddt.Struct([]int{3, 1}, []int64{0, 16}, []*ddt.Type{ddt.Int32, ddt.Float64})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// StructSimpleNoGapType returns the derived datatype for
+// struct-simple-no-gap (Listing 8): fully contiguous.
+func StructSimpleNoGapType() *ddt.Type {
+	t, err := ddt.Struct([]int{2, 1}, []int64{0, 8}, []*ddt.Type{ddt.Int32, ddt.Float64})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FillStructVec writes count deterministic struct-vec elements into image.
+func FillStructVec(image []byte, count int, seed int32) {
+	for e := 0; e < count; e++ {
+		base := e * StructVecExtent
+		layout.PutI32(image, base+0, seed+int32(3*e))
+		layout.PutI32(image, base+4, seed+int32(3*e+1))
+		layout.PutI32(image, base+8, seed+int32(3*e+2))
+		layout.PutF64(image, base+16, float64(seed)+float64(e)/16)
+		for i := 0; i < StructVecDataLen; i++ {
+			layout.PutI32(image, base+24+4*i, seed^int32(e*StructVecDataLen+i))
+		}
+	}
+}
+
+// FillStructSimple writes count deterministic struct-simple elements.
+func FillStructSimple(image []byte, count int, seed int32) {
+	for e := 0; e < count; e++ {
+		base := e * StructSimpleExtent
+		layout.PutI32(image, base+0, seed+int32(3*e))
+		layout.PutI32(image, base+4, seed+int32(3*e+1))
+		layout.PutI32(image, base+8, seed+int32(3*e+2))
+		layout.PutF64(image, base+16, float64(seed)+float64(e)/16)
+	}
+}
+
+// FillStructSimpleNoGap writes count deterministic no-gap elements.
+func FillStructSimpleNoGap(image []byte, count int, seed int32) {
+	for e := 0; e < count; e++ {
+		base := e * StructSimpleNoGapExtent
+		layout.PutI32(image, base+0, seed+int32(2*e))
+		layout.PutI32(image, base+4, seed+int32(2*e+1))
+		layout.PutF64(image, base+8, float64(seed)+float64(e)/16)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// manual packing loops (the paper's "manual-pack"/"packed" method)
+
+// PackStructVec packs count elements field by field, eliding the gap —
+// the hand-written loop an application would use before sending bytes.
+func PackStructVec(image []byte, count int, dst []byte) int {
+	w := 0
+	for e := 0; e < count; e++ {
+		base := e * StructVecExtent
+		w += copy(dst[w:], image[base:base+12])    // a, b, c
+		w += copy(dst[w:], image[base+16:base+24]) // d
+		w += copy(dst[w:], image[base+24:base+24+4*StructVecDataLen])
+	}
+	return w
+}
+
+// UnpackStructVec reverses PackStructVec.
+func UnpackStructVec(src []byte, image []byte, count int) {
+	r := 0
+	for e := 0; e < count; e++ {
+		base := e * StructVecExtent
+		r += copy(image[base:base+12], src[r:r+12])
+		r += copy(image[base+16:base+24], src[r:r+8])
+		r += copy(image[base+24:base+24+4*StructVecDataLen], src[r:r+4*StructVecDataLen])
+	}
+}
+
+// PackStructSimple packs count struct-simple elements (20 bytes each).
+func PackStructSimple(image []byte, count int, dst []byte) int {
+	w := 0
+	for e := 0; e < count; e++ {
+		base := e * StructSimpleExtent
+		w += copy(dst[w:], image[base:base+12])
+		w += copy(dst[w:], image[base+16:base+24])
+	}
+	return w
+}
+
+// UnpackStructSimple reverses PackStructSimple.
+func UnpackStructSimple(src []byte, image []byte, count int) {
+	r := 0
+	for e := 0; e < count; e++ {
+		base := e * StructSimpleExtent
+		r += copy(image[base:base+12], src[r:r+12])
+		r += copy(image[base+16:base+24], src[r:r+8])
+	}
+}
+
+// PackStructSimpleNoGap is a single copy: the type is contiguous.
+func PackStructSimpleNoGap(image []byte, count int, dst []byte) int {
+	return copy(dst, image[:count*StructSimpleNoGapExtent])
+}
+
+// UnpackStructSimpleNoGap reverses PackStructSimpleNoGap.
+func UnpackStructSimpleNoGap(src []byte, image []byte, count int) {
+	copy(image[:count*StructSimpleNoGapExtent], src)
+}
+
+// ---------------------------------------------------------------------------
+// custom datatype handlers
+
+// structImageHandler is the custom handler shared by the three struct
+// types: it packs `packedFields` bytes per element from the runs before
+// the data array, and exposes `regionLen` bytes per element as a region.
+// Buffers are []byte images.
+type structImageHandler struct {
+	extent    int   // bytes per element in memory
+	fieldRuns []run // packed field runs within one element
+	fieldSize int   // sum of fieldRuns lengths
+	regionOff int   // offset of the region within an element (-1: none)
+	regionLen int
+}
+
+type run struct{ off, len int }
+
+func (h *structImageHandler) image(buf any, count Count) ([]byte, error) {
+	b, ok := buf.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("workloads: expected []byte image, got %T", buf)
+	}
+	if int64(len(b)) < count*int64(h.extent) {
+		return nil, fmt.Errorf("workloads: image of %d bytes cannot hold %d elements", len(b), count)
+	}
+	return b, nil
+}
+
+func (h *structImageHandler) State(buf any, count Count) (any, error) {
+	return h.image(buf, count)
+}
+
+func (h *structImageHandler) FreeState(any) error { return nil }
+
+func (h *structImageHandler) PackedSize(_, _ any, count Count) (Count, error) {
+	return count * Count(h.fieldSize), nil
+}
+
+// Pack is specialized the way an application's own pack callback would
+// be: whole elements move with fixed-size copies (the compiler lowers
+// constant-length copies to wide moves), and only the fragment-boundary
+// elements take the generic run walk. The paper's Rust handlers are
+// per-type trait implementations with exactly this character.
+func (h *structImageHandler) Pack(state, _ any, count, offset Count, dst []byte) (Count, error) {
+	img := state.([]byte)
+	total := count * Count(h.fieldSize)
+	if rem := total - offset; Count(len(dst)) > rem {
+		dst = dst[:rem]
+	}
+	var used Count
+	// Leading partial element.
+	if within := int(offset) % h.fieldSize; within != 0 {
+		used += h.packSlow(img, offset, dst)
+	}
+	// Bulk: whole elements with fixed 12+8-byte field copies.
+	if h.fieldSize == 20 && len(h.fieldRuns) == 2 {
+		e := int(offset+used) / 20
+		base := e * h.extent
+		for used+20 <= Count(len(dst)) {
+			w := used
+			copy(dst[w:w+12], img[base:base+12])
+			copy(dst[w+12:w+20], img[base+16:base+24])
+			used += 20
+			base += h.extent
+		}
+	}
+	// Trailing partial element (or non-20-byte layouts entirely).
+	for used < Count(len(dst)) {
+		n := h.packSlow(img, offset+used, dst[used:])
+		if n == 0 {
+			break
+		}
+		used += n
+	}
+	return used, nil
+}
+
+// packSlow packs at most one element's worth of bytes at offset.
+func (h *structImageHandler) packSlow(img []byte, offset Count, dst []byte) Count {
+	e := int(offset) / h.fieldSize
+	within := int(offset) % h.fieldSize
+	base := e * h.extent
+	var used Count
+	for _, r := range h.fieldRuns {
+		if within >= r.len {
+			within -= r.len
+			continue
+		}
+		n := copy(dst[used:], img[base+r.off+within:base+r.off+r.len])
+		used += Count(n)
+		within = 0
+		if used == Count(len(dst)) {
+			break
+		}
+	}
+	return used
+}
+
+func (h *structImageHandler) Unpack(state, _ any, count, offset Count, src []byte) error {
+	img := state.([]byte)
+	if offset+Count(len(src)) > count*Count(h.fieldSize) {
+		return errors.New("workloads: unpack past end")
+	}
+	// Leading partial element.
+	if within := int(offset) % h.fieldSize; within != 0 {
+		n := h.unpackSlow(img, offset, src)
+		src = src[n:]
+		offset += n
+	}
+	// Bulk whole elements.
+	if h.fieldSize == 20 && len(h.fieldRuns) == 2 {
+		base := int(offset) / 20 * h.extent
+		for len(src) >= 20 {
+			copy(img[base:base+12], src[:12])
+			copy(img[base+16:base+24], src[12:20])
+			src = src[20:]
+			offset += 20
+			base += h.extent
+		}
+	}
+	for len(src) > 0 {
+		n := h.unpackSlow(img, offset, src)
+		if n == 0 {
+			break
+		}
+		src = src[n:]
+		offset += n
+	}
+	return nil
+}
+
+// unpackSlow consumes at most one element's worth of bytes at offset.
+func (h *structImageHandler) unpackSlow(img []byte, offset Count, src []byte) Count {
+	e := int(offset) / h.fieldSize
+	within := int(offset) % h.fieldSize
+	base := e * h.extent
+	var used Count
+	for _, r := range h.fieldRuns {
+		if len(src) == 0 {
+			break
+		}
+		if within >= r.len {
+			within -= r.len
+			continue
+		}
+		n := copy(img[base+r.off+within:base+r.off+r.len], src)
+		src = src[n:]
+		used += Count(n)
+		within = 0
+	}
+	return used
+}
+
+func (h *structImageHandler) RegionCount(_, _ any, count Count) (Count, error) {
+	if h.regionOff < 0 {
+		return 0, nil
+	}
+	return count, nil
+}
+
+func (h *structImageHandler) Regions(state, _ any, count Count, regions [][]byte) error {
+	if h.regionOff < 0 {
+		return nil
+	}
+	img := state.([]byte)
+	for e := Count(0); e < count; e++ {
+		base := int(e) * h.extent
+		regions[e] = img[base+h.regionOff : base+h.regionOff+h.regionLen]
+	}
+	return nil
+}
+
+// StructVecCustom returns the custom datatype for struct-vec: fields
+// packed, data array exposed as a region per element. This is how the
+// paper's custom method treats the type "as if it contained a vector".
+func StructVecCustom() *core.Datatype {
+	return core.TypeCreateCustom(&structImageHandler{
+		extent:    StructVecExtent,
+		fieldRuns: []run{{0, 12}, {16, 8}},
+		fieldSize: structVecFields,
+		regionOff: 24,
+		regionLen: 4 * StructVecDataLen,
+	}, core.WithName("struct-vec-custom"))
+}
+
+// StructSimpleCustom returns the custom datatype for struct-simple: pure
+// packing, no regions.
+func StructSimpleCustom() *core.Datatype {
+	return core.TypeCreateCustom(&structImageHandler{
+		extent:    StructSimpleExtent,
+		fieldRuns: []run{{0, 12}, {16, 8}},
+		fieldSize: StructSimplePacked,
+		regionOff: -1,
+	}, core.WithName("struct-simple-custom"))
+}
+
+// StructSimpleNoGapCustom returns the custom datatype for the contiguous
+// no-gap struct: a single region per buffer, no packing at all.
+func StructSimpleNoGapCustom() *core.Datatype {
+	return core.TypeCreateCustom(&noGapHandler{}, core.WithName("struct-simple-no-gap-custom"))
+}
+
+// noGapHandler exposes the whole contiguous image as one region.
+type noGapHandler struct{}
+
+func (noGapHandler) State(buf any, count Count) (any, error) {
+	b, ok := buf.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("workloads: expected []byte image, got %T", buf)
+	}
+	need := count * StructSimpleNoGapExtent
+	if int64(len(b)) < need {
+		return nil, fmt.Errorf("workloads: image of %d bytes cannot hold %d elements", len(b), count)
+	}
+	return b[:need], nil
+}
+
+func (noGapHandler) FreeState(any) error                         { return nil }
+func (noGapHandler) PackedSize(_, _ any, _ Count) (Count, error) { return 0, nil }
+func (noGapHandler) Pack(_, _ any, _, _ Count, _ []byte) (Count, error) {
+	return 0, nil
+}
+func (noGapHandler) Unpack(_, _ any, _, _ Count, _ []byte) error  { return nil }
+func (noGapHandler) RegionCount(_, _ any, _ Count) (Count, error) { return 1, nil }
+func (noGapHandler) Regions(state, _ any, _ Count, regions [][]byte) error {
+	regions[0] = state.([]byte)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// double-vec (Vec<Vec<i32>>)
+
+// NewDoubleVec builds a double-vector of total bytes split into subvectors
+// of subvec bytes each (the paper's sub-vector length); a total smaller
+// than subvec yields a single subvector of the full size.
+func NewDoubleVec(total, subvec int, seed byte) [][]byte {
+	if total <= subvec {
+		v := make([]byte, total)
+		fillBytes(v, seed)
+		return [][]byte{v}
+	}
+	n := total / subvec
+	vecs := make([][]byte, 0, n+1)
+	remaining := total
+	for remaining > 0 {
+		sz := subvec
+		if sz > remaining {
+			sz = remaining
+		}
+		v := make([]byte, sz)
+		fillBytes(v, seed+byte(len(vecs)))
+		vecs = append(vecs, v)
+		remaining -= sz
+	}
+	return vecs
+}
+
+func fillBytes(b []byte, seed byte) {
+	for i := range b {
+		b[i] = byte(i)*31 + seed
+	}
+}
+
+// DoubleVecBytes returns the total payload bytes of a double-vector.
+func DoubleVecBytes(v [][]byte) int {
+	n := 0
+	for _, s := range v {
+		n += len(s)
+	}
+	return n
+}
+
+// doubleVecHandler is the custom handler for [][]byte on the send side and
+// *[][]byte on the receive side. The packed part carries the subvector
+// count and lengths; each subvector is a memory region. Because the
+// receive-side region layout is only known after the header is unpacked,
+// the type requires in-order delivery (the paper's inorder flag).
+type doubleVecHandler struct{}
+
+type dvState struct {
+	vecs   [][]byte  // send side (or materialized receive)
+	out    *[][]byte // receive side destination
+	header []byte    // receive: staged header bytes
+	got    Count     // receive: header bytes seen
+}
+
+func dvHeaderSize(n int) Count { return Count(8 * (n + 1)) }
+
+func (doubleVecHandler) State(buf any, _ Count) (any, error) {
+	switch v := buf.(type) {
+	case [][]byte:
+		return &dvState{vecs: v}, nil
+	case *[][]byte:
+		return &dvState{out: v}, nil
+	default:
+		return nil, fmt.Errorf("workloads: double-vec buffer must be [][]byte or *[][]byte, got %T", buf)
+	}
+}
+
+func (doubleVecHandler) FreeState(any) error { return nil }
+
+func (s *dvState) sendVecs() ([][]byte, error) {
+	if s.vecs != nil {
+		return s.vecs, nil
+	}
+	if s.out != nil && *s.out != nil {
+		return *s.out, nil
+	}
+	return nil, errors.New("workloads: double-vec buffer holds no data to pack")
+}
+
+func (doubleVecHandler) PackedSize(state, _ any, _ Count) (Count, error) {
+	vecs, err := state.(*dvState).sendVecs()
+	if err != nil {
+		return 0, err
+	}
+	return dvHeaderSize(len(vecs)), nil
+}
+
+func (doubleVecHandler) Pack(state, _ any, _, offset Count, dst []byte) (Count, error) {
+	vecs, err := state.(*dvState).sendVecs()
+	if err != nil {
+		return 0, err
+	}
+	hdr := make([]byte, dvHeaderSize(len(vecs)))
+	layout.PutI64(hdr, 0, int64(len(vecs)))
+	for i, v := range vecs {
+		layout.PutI64(hdr, 8*(i+1), int64(len(v)))
+	}
+	return Count(copy(dst, hdr[offset:])), nil
+}
+
+func (doubleVecHandler) Unpack(state, _ any, _, offset Count, src []byte) error {
+	s := state.(*dvState)
+	if s.out == nil {
+		return errors.New("workloads: unpack into a send-side double-vec")
+	}
+	if s.header == nil {
+		s.header = make([]byte, 8)
+	}
+	if offset < 8 {
+		n := copy(s.header[offset:8], src)
+		s.got += Count(n)
+		src = src[n:]
+		offset += Count(n)
+	}
+	if s.got >= 8 && len(s.header) == 8 {
+		n := int(layout.I64(s.header, 0))
+		grown := make([]byte, dvHeaderSize(n))
+		copy(grown, s.header)
+		s.header = grown
+	}
+	if len(src) > 0 {
+		copy(s.header[offset:], src)
+		s.got += Count(len(src))
+	}
+	if len(s.header) > 8 && s.got == Count(len(s.header)) {
+		n := int(layout.I64(s.header, 0))
+		vecs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			vecs[i] = make([]byte, layout.I64(s.header, 8*(i+1)))
+		}
+		*s.out = vecs
+	}
+	return nil
+}
+
+func (doubleVecHandler) RegionCount(state, _ any, _ Count) (Count, error) {
+	s := state.(*dvState)
+	vecs, err := s.sendVecs()
+	if err != nil {
+		return 0, err
+	}
+	return Count(len(vecs)), nil
+}
+
+func (doubleVecHandler) Regions(state, _ any, _ Count, regions [][]byte) error {
+	s := state.(*dvState)
+	vecs, err := s.sendVecs()
+	if err != nil {
+		return err
+	}
+	for i := range regions {
+		regions[i] = vecs[i]
+	}
+	return nil
+}
+
+// DoubleVecCustom returns the custom datatype for Vec<Vec<i32>>.
+func DoubleVecCustom() *core.Datatype {
+	return core.TypeCreateCustom(doubleVecHandler{}, core.WithInOrder(), core.WithName("double-vec-custom"))
+}
+
+// PackDoubleVec serializes a double-vector into one buffer: the manual-
+// pack baseline. Layout matches the custom wire image (header + data).
+func PackDoubleVec(vecs [][]byte, dst []byte) int {
+	layout.PutI64(dst, 0, int64(len(vecs)))
+	w := int(dvHeaderSize(len(vecs)))
+	for i, v := range vecs {
+		layout.PutI64(dst, 8*(i+1), int64(len(v)))
+	}
+	for _, v := range vecs {
+		w += copy(dst[w:], v)
+	}
+	return w
+}
+
+// PackedDoubleVecSize returns the manual-pack buffer size for vecs.
+func PackedDoubleVecSize(vecs [][]byte) int {
+	return int(dvHeaderSize(len(vecs))) + DoubleVecBytes(vecs)
+}
+
+// UnpackDoubleVec reverses PackDoubleVec, allocating the subvectors.
+func UnpackDoubleVec(src []byte) ([][]byte, error) {
+	if len(src) < 8 {
+		return nil, errors.New("workloads: double-vec buffer too short")
+	}
+	n := int(layout.I64(src, 0))
+	if n < 0 || int64(dvHeaderSize(n)) > int64(len(src)) {
+		return nil, errors.New("workloads: corrupt double-vec header")
+	}
+	r := int(dvHeaderSize(n))
+	vecs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		l := int(layout.I64(src, 8*(i+1)))
+		if l < 0 || r+l > len(src) {
+			return nil, errors.New("workloads: corrupt double-vec length")
+		}
+		vecs[i] = make([]byte, l)
+		copy(vecs[i], src[r:r+l])
+		r += l
+	}
+	return vecs, nil
+}

@@ -1,0 +1,287 @@
+package workloads
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpicd/internal/core"
+	"mpicd/internal/layout"
+)
+
+func run2(t *testing.T, rank0, rank1 func(c *core.Comm) error) {
+	t.Helper()
+	err := core.Run(2, core.Options{}, func(c *core.Comm) error {
+		if c.Rank() == 0 {
+			return rank0(c)
+		}
+		return rank1(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructLayoutsAgreeWithDDT(t *testing.T) {
+	if got := StructVecType().Extent(); got != StructVecExtent {
+		t.Fatalf("struct-vec extent = %d", got)
+	}
+	if got := StructVecType().Size(); got != StructVecPacked {
+		t.Fatalf("struct-vec size = %d", got)
+	}
+	if got := StructSimpleType().Extent(); got != StructSimpleExtent {
+		t.Fatalf("struct-simple extent = %d", got)
+	}
+	if got := StructSimpleType().Size(); got != StructSimplePacked {
+		t.Fatalf("struct-simple size = %d", got)
+	}
+	if !StructSimpleNoGapType().Contig() {
+		t.Fatal("no-gap struct must be contiguous")
+	}
+	if StructSimpleType().Contig() {
+		t.Fatal("gapped struct must not be contiguous")
+	}
+}
+
+func TestManualPackMatchesDDTPack(t *testing.T) {
+	const count = 13
+	img := make([]byte, count*StructVecExtent)
+	FillStructVec(img, count, 7)
+	manual := make([]byte, count*StructVecPacked)
+	if n := PackStructVec(img, count, manual); n != len(manual) {
+		t.Fatalf("manual pack wrote %d of %d", n, len(manual))
+	}
+	engine := make([]byte, count*StructVecPacked)
+	if _, err := StructVecType().Pack(img, count, engine); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manual, engine) {
+		t.Fatal("manual pack and datatype engine disagree for struct-vec")
+	}
+
+	img2 := make([]byte, count*StructSimpleExtent)
+	FillStructSimple(img2, count, 9)
+	m2 := make([]byte, count*StructSimplePacked)
+	PackStructSimple(img2, count, m2)
+	e2 := make([]byte, count*StructSimplePacked)
+	StructSimpleType().Pack(img2, count, e2)
+	if !bytes.Equal(m2, e2) {
+		t.Fatal("manual pack and engine disagree for struct-simple")
+	}
+}
+
+func TestManualUnpackRoundtrip(t *testing.T) {
+	const count = 9
+	img := make([]byte, count*StructVecExtent)
+	FillStructVec(img, count, 3)
+	packed := make([]byte, count*StructVecPacked)
+	PackStructVec(img, count, packed)
+	out := make([]byte, count*StructVecExtent)
+	UnpackStructVec(packed, out, count)
+	repacked := make([]byte, count*StructVecPacked)
+	PackStructVec(out, count, repacked)
+	if !bytes.Equal(repacked, packed) {
+		t.Fatal("struct-vec manual roundtrip mismatch")
+	}
+}
+
+// sendRecvCustom transfers an image with the custom datatype and returns
+// the received image.
+func sendRecvCustom(t *testing.T, dt *core.Datatype, img []byte, count int, extent int) []byte {
+	t.Helper()
+	out := make([]byte, count*extent)
+	run2(t,
+		func(c *core.Comm) error { return c.Send(img, Count(count), dt, 1, 1) },
+		func(c *core.Comm) error {
+			_, err := c.Recv(out, Count(count), dt, 0, 1)
+			return err
+		})
+	return out
+}
+
+func TestStructVecCustomTransfer(t *testing.T) {
+	for _, count := range []int{1, 4, 33} {
+		t.Run(fmt.Sprint(count), func(t *testing.T) {
+			img := make([]byte, count*StructVecExtent)
+			FillStructVec(img, count, 11)
+			out := sendRecvCustom(t, StructVecCustom(), img, count, StructVecExtent)
+			a := make([]byte, count*StructVecPacked)
+			b := make([]byte, count*StructVecPacked)
+			PackStructVec(img, count, a)
+			PackStructVec(out, count, b)
+			if !bytes.Equal(a, b) {
+				t.Fatal("custom struct-vec transfer mismatch")
+			}
+		})
+	}
+}
+
+func TestStructSimpleCustomTransfer(t *testing.T) {
+	const count = 100
+	img := make([]byte, count*StructSimpleExtent)
+	FillStructSimple(img, count, 5)
+	out := sendRecvCustom(t, StructSimpleCustom(), img, count, StructSimpleExtent)
+	a := make([]byte, count*StructSimplePacked)
+	b := make([]byte, count*StructSimplePacked)
+	PackStructSimple(img, count, a)
+	PackStructSimple(out, count, b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("custom struct-simple transfer mismatch")
+	}
+}
+
+func TestStructSimpleNoGapCustomTransfer(t *testing.T) {
+	const count = 64
+	img := make([]byte, count*StructSimpleNoGapExtent)
+	FillStructSimpleNoGap(img, count, 2)
+	out := sendRecvCustom(t, StructSimpleNoGapCustom(), img, count, StructSimpleNoGapExtent)
+	if !bytes.Equal(out, img) {
+		t.Fatal("no-gap custom transfer mismatch")
+	}
+}
+
+func TestStructVecDerivedTransfer(t *testing.T) {
+	// The rsmpi baseline path: derived datatype through the engine.
+	const count = 8
+	img := make([]byte, count*StructVecExtent)
+	FillStructVec(img, count, 4)
+	dt := core.FromDDT(StructVecType())
+	out := make([]byte, count*StructVecExtent)
+	run2(t,
+		func(c *core.Comm) error { return c.Send(img, count, dt, 1, 1) },
+		func(c *core.Comm) error {
+			_, err := c.Recv(out, count, dt, 0, 1)
+			return err
+		})
+	a := make([]byte, count*StructVecPacked)
+	b := make([]byte, count*StructVecPacked)
+	PackStructVec(img, count, a)
+	PackStructVec(out, count, b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("derived struct-vec transfer mismatch")
+	}
+}
+
+func TestDoubleVecGenerator(t *testing.T) {
+	v := NewDoubleVec(10000, 1024, 1)
+	if DoubleVecBytes(v) != 10000 {
+		t.Fatalf("total = %d", DoubleVecBytes(v))
+	}
+	if len(v) != 10 {
+		t.Fatalf("subvectors = %d", len(v))
+	}
+	if len(v[9]) != 10000-9*1024 {
+		t.Fatalf("tail = %d", len(v[9]))
+	}
+	small := NewDoubleVec(100, 1024, 1)
+	if len(small) != 1 || len(small[0]) != 100 {
+		t.Fatal("sub-message-size double-vec should be a single subvector")
+	}
+}
+
+func TestDoubleVecManualRoundtrip(t *testing.T) {
+	check := func(totalRaw uint16, subRaw uint8) bool {
+		total := int(totalRaw)%50000 + 1
+		sub := int(subRaw)%2000 + 1
+		v := NewDoubleVec(total, sub, 3)
+		buf := make([]byte, PackedDoubleVecSize(v))
+		if PackDoubleVec(v, buf) != len(buf) {
+			return false
+		}
+		out, err := UnpackDoubleVec(buf)
+		if err != nil || len(out) != len(v) {
+			return false
+		}
+		for i := range v {
+			if !bytes.Equal(out[i], v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleVecCustomTransfer(t *testing.T) {
+	dt := DoubleVecCustom()
+	for _, tc := range []struct{ total, sub int }{
+		{64, 64}, {4096, 256}, {1 << 20, 1024}, {100, 4096},
+	} {
+		t.Run(fmt.Sprintf("%d_%d", tc.total, tc.sub), func(t *testing.T) {
+			send := NewDoubleVec(tc.total, tc.sub, 9)
+			run2(t,
+				func(c *core.Comm) error { return c.Send(send, 1, dt, 1, 1) },
+				func(c *core.Comm) error {
+					var recv [][]byte
+					if _, err := c.Recv(&recv, 1, dt, 0, 1); err != nil {
+						return err
+					}
+					if len(recv) != len(send) {
+						return fmt.Errorf("subvectors = %d, want %d", len(recv), len(send))
+					}
+					for i := range send {
+						if !bytes.Equal(recv[i], send[i]) {
+							return fmt.Errorf("subvector %d mismatch", i)
+						}
+					}
+					return nil
+				})
+		})
+	}
+}
+
+func TestDoubleVecManualTransfer(t *testing.T) {
+	// The manual-pack method: pack, send bytes (with mprobe sizing on the
+	// receive side), unpack.
+	send := NewDoubleVec(100000, 512, 7)
+	run2(t,
+		func(c *core.Comm) error {
+			buf := make([]byte, PackedDoubleVecSize(send))
+			PackDoubleVec(send, buf)
+			return c.Send(buf, -1, core.TypeBytes, 1, 1)
+		},
+		func(c *core.Comm) error {
+			m, err := c.Mprobe(0, 1)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, m.Bytes)
+			if _, err := c.MRecv(m, buf, -1, core.TypeBytes); err != nil {
+				return err
+			}
+			recv, err := UnpackDoubleVec(buf)
+			if err != nil {
+				return err
+			}
+			if len(recv) != len(send) {
+				return errors.New("length mismatch")
+			}
+			for i := range send {
+				if !bytes.Equal(recv[i], send[i]) {
+					return fmt.Errorf("subvector %d mismatch", i)
+				}
+			}
+			return nil
+		})
+}
+
+func TestFieldValuesSurviveCustomTransfer(t *testing.T) {
+	// Value-level check (not just byte equality) for struct-simple.
+	const count = 3
+	img := make([]byte, count*StructSimpleExtent)
+	FillStructSimple(img, count, 21)
+	out := sendRecvCustom(t, StructSimpleCustom(), img, count, StructSimpleExtent)
+	for e := 0; e < count; e++ {
+		base := e * StructSimpleExtent
+		if layout.I32(out, base) != 21+int32(3*e) {
+			t.Fatalf("element %d field a = %d", e, layout.I32(out, base))
+		}
+		if layout.F64(out, base+16) != 21+float64(e)/16 {
+			t.Fatalf("element %d field d = %v", e, layout.F64(out, base+16))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"mpicd/internal/core"
+	"mpicd/internal/ddt"
+)
+
+// This file re-exports the classic derived-datatype interface — the
+// baseline the paper's custom API is compared against. Derived types
+// operate on []byte images laid out exactly like the corresponding C
+// structures (see the Int32/Float64/... element types and the layout
+// helper functions in examples).
+
+// DDT is an immutable derived datatype (typemap over a C-layout image).
+type DDT = ddt.Type
+
+// Predefined element types.
+var (
+	Byte       = ddt.Byte
+	Int8       = ddt.Int8
+	Int16      = ddt.Int16
+	Int32      = ddt.Int32
+	Int64      = ddt.Int64
+	Uint64     = ddt.Uint64
+	Float32    = ddt.Float32
+	Float64    = ddt.Float64
+	Complex128 = ddt.Complex128
+)
+
+// FromDDT wraps a derived datatype for use in communication calls.
+func FromDDT(t *DDT) *Datatype { return core.FromDDT(t) }
+
+// Contiguous mirrors MPI_Type_contiguous.
+func Contiguous(count int, base *DDT) (*DDT, error) { return ddt.Contiguous(count, base) }
+
+// Vector mirrors MPI_Type_vector (stride in elements).
+func Vector(count, blocklen, stride int, base *DDT) (*DDT, error) {
+	return ddt.Vector(count, blocklen, stride, base)
+}
+
+// Hvector mirrors MPI_Type_create_hvector (stride in bytes).
+func Hvector(count, blocklen int, stride int64, base *DDT) (*DDT, error) {
+	return ddt.Hvector(count, blocklen, stride, base)
+}
+
+// Indexed mirrors MPI_Type_indexed (displacements in elements).
+func Indexed(blocklens, displs []int, base *DDT) (*DDT, error) {
+	return ddt.Indexed(blocklens, displs, base)
+}
+
+// Hindexed mirrors MPI_Type_create_hindexed (displacements in bytes).
+func Hindexed(blocklens []int, displs []int64, base *DDT) (*DDT, error) {
+	return ddt.Hindexed(blocklens, displs, base)
+}
+
+// IndexedBlock mirrors MPI_Type_create_indexed_block.
+func IndexedBlock(blocklen int, displs []int, base *DDT) (*DDT, error) {
+	return ddt.IndexedBlock(blocklen, displs, base)
+}
+
+// Struct mirrors MPI_Type_create_struct.
+func Struct(blocklens []int, displs []int64, types []*DDT) (*DDT, error) {
+	return ddt.Struct(blocklens, displs, types)
+}
+
+// Subarray mirrors MPI_Type_create_subarray (C order).
+func Subarray(sizes, subsizes, starts []int, base *DDT) (*DDT, error) {
+	return ddt.Subarray(sizes, subsizes, starts, base)
+}
+
+// Resized mirrors MPI_Type_create_resized with a zero lower bound.
+func Resized(base *DDT, extent int64) (*DDT, error) { return ddt.Resized(base, extent) }
+
+// TypeEqual reports transfer-equivalence of two derived datatypes (same
+// packed size, extent and flattened typemap).
+func TypeEqual(a, b *DDT) bool { return ddt.Equal(a, b) }
+
+// MarshalType serializes a derived datatype's description so another
+// process can rebuild it (see Comm.SendType / Comm.RecvType).
+func MarshalType(t *DDT) []byte { return t.Marshal() }
+
+// UnmarshalType reconstructs a datatype marshalled with MarshalType.
+func UnmarshalType(data []byte) (*DDT, error) { return ddt.Unmarshal(data) }

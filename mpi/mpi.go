@@ -1,0 +1,172 @@
+// Package mpi is the public API of the mpicd-go reproduction — the
+// analogue of the paper's mpicd-capi layer. It exposes a simplified
+// MPI-style interface with the paper's custom datatype extension:
+//
+//	handler := myHandler{}                       // implements mpi.CustomHandler
+//	dt := mpi.TypeCreateCustom(handler,          // MPI_Type_create_custom
+//	    mpi.WithInOrder())                       // the paper's inorder flag
+//	err := comm.Send(buf, 1, dt, dst, tag)       // one MPI message: packed
+//	                                             // part + zero-copy regions
+//
+// Worlds can run in-process (mpi.Run spawns one goroutine per rank — the
+// moral equivalent of mpirun for tests, examples and benchmarks) or span
+// processes over TCP (ConnectTCP).
+//
+// Classic derived datatypes (the baseline the paper compares against) are
+// available through the re-exported constructors (Contiguous, Vector,
+// Struct, ...) and FromDDT.
+package mpi
+
+import (
+	"io"
+
+	"mpicd/internal/core"
+	"mpicd/internal/fabric"
+	"mpicd/internal/ucp"
+)
+
+// Count is the element/byte count type (MPI_Count).
+type Count = core.Count
+
+// Comm is a communicator; see the point-to-point (Send, Recv, Isend,
+// Irecv, SendRecv, Probe, Mprobe, MRecv) and collective (Barrier, Bcast,
+// Reduce, Allreduce, Gather, Allgather, Scatter, Alltoall, Dup, Split)
+// methods.
+type Comm = core.Comm
+
+// Datatype describes how buffers serialize: TypeBytes, FromDDT or
+// TypeCreateCustom.
+type Datatype = core.Datatype
+
+// CustomHandler is the callback set behind TypeCreateCustom — the Go
+// mirror of the paper's MPI_Type_create_custom callbacks (state, query,
+// pack, unpack, region count, regions).
+type CustomHandler = core.CustomHandler
+
+// Status describes a completed receive (source, tag, byte count).
+type Status = core.Status
+
+// Request is a pending nonblocking operation.
+type Request = core.Request
+
+// Message is a matched message claimed by Mprobe.
+type Message = core.Message
+
+// Options configures an in-process world.
+type Options = core.Options
+
+// System is an in-process world of ranks.
+type System = core.System
+
+// Wildcards.
+const (
+	AnySource = core.AnySource
+	AnyTag    = core.AnyTag
+)
+
+// MaxTag is the largest usable tag value.
+const MaxTag = core.MaxTag
+
+// ErrTruncated reports a receive buffer smaller than the incoming
+// message.
+var ErrTruncated = core.ErrTruncated
+
+// TypeBytes is the predefined byte datatype (MPI_BYTE): buffers are
+// []byte, counts are byte counts, and a negative count means the whole
+// slice.
+var TypeBytes = core.TypeBytes
+
+// TypeCreateCustom builds a datatype from an application serialization
+// handler (the paper's proposed API).
+func TypeCreateCustom(h CustomHandler, opts ...core.CustomOption) *Datatype {
+	return core.TypeCreateCustom(h, opts...)
+}
+
+// WithInOrder requires in-order unpack delivery (set it when the receive
+// region layout depends on unpacked metadata).
+func WithInOrder() core.CustomOption { return core.WithInOrder() }
+
+// WithName names a custom datatype for diagnostics.
+func WithName(name string) core.CustomOption { return core.WithName(name) }
+
+// Run executes fn once per rank over a fresh in-process world and returns
+// the first rank error (the mpirun analogue).
+func Run(n int, opt Options, fn func(c *Comm) error) error {
+	return core.Run(n, opt, fn)
+}
+
+// NewSystem brings up an in-process world whose communicators are
+// retrieved with System.Comm(rank). Close it when done.
+func NewSystem(n int, opt Options) *System { return core.NewSystem(n, opt) }
+
+// WaitAll waits on requests and returns the first error.
+func WaitAll(reqs ...*Request) error { return core.WaitAll(reqs...) }
+
+// WaitAny blocks until one request completes, returning its index and
+// status (MPI_Waitany). Nil entries are ignored.
+func WaitAny(reqs ...*Request) (int, Status, error) { return core.WaitAny(reqs...) }
+
+// PersistentRequest is a reusable operation binding created with
+// Comm.SendInit / Comm.RecvInit and launched with Start (MPI_Start).
+type PersistentRequest = core.PersistentRequest
+
+// CartComm is a communicator with an attached Cartesian topology
+// (Comm.CartCreate); see Coords, CartRank, Shift, NeighborSendRecv.
+type CartComm = core.CartComm
+
+// ProcNull is the null-neighbor rank at non-periodic topology boundaries.
+const ProcNull = core.ProcNull
+
+// StartAll starts a set of persistent requests (MPI_Startall).
+func StartAll(ps ...*PersistentRequest) error { return core.StartAll(ps...) }
+
+// WaitAllPersistent waits for every started persistent instance.
+func WaitAllPersistent(ps ...*PersistentRequest) error { return core.WaitAllPersistent(ps...) }
+
+// Pack serializes (buf, count, dt) into dst (MPI_Pack).
+func Pack(buf any, count Count, dt *Datatype, dst []byte) (Count, error) {
+	return core.Pack(buf, count, dt, dst)
+}
+
+// Unpack deserializes src into (buf, count, dt) (MPI_Unpack).
+func Unpack(src []byte, buf any, count Count, dt *Datatype) error {
+	return core.Unpack(src, buf, count, dt)
+}
+
+// PackedSize returns the packed size of (buf, count, dt) (MPI_Pack_size).
+func PackedSize(buf any, count Count, dt *Datatype) (Count, error) {
+	return core.PackedSize(buf, count, dt)
+}
+
+// Reduction operators for Reduce/Allreduce.
+var (
+	OpSumFloat64 = core.OpSumFloat64
+	OpSumInt64   = core.OpSumInt64
+	OpMaxInt64   = core.OpMaxInt64
+)
+
+// TCPWorld is a world communicator whose ranks are separate processes
+// connected over TCP.
+type TCPWorld struct {
+	Comm   *Comm
+	worker *ucp.Worker
+	nic    io.Closer
+}
+
+// ConnectTCP joins a TCP world: rank i of addrs listens at addrs[i]; the
+// call blocks until the full mesh is connected. Options' fabric
+// configuration applies (fragment sizes, thresholds).
+func ConnectTCP(rank int, addrs []string, opt Options) (*TCPWorld, error) {
+	nic, err := fabric.NewTCP(rank, addrs, opt.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	w := ucp.NewWorker(nic, opt.UCP)
+	return &TCPWorld{Comm: core.NewComm(w), worker: w, nic: nic}, nil
+}
+
+// Close leaves the world.
+func (t *TCPWorld) Close() error {
+	t.worker.Close()
+	return nil
+}

@@ -1,0 +1,215 @@
+package mpi_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"mpicd/mpi"
+)
+
+func TestFacadeSendRecv(t *testing.T) {
+	data := []byte("through the facade")
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(data, -1, mpi.TypeBytes, 1, 5)
+		}
+		out := make([]byte, len(data))
+		st, err := c.Recv(out, -1, mpi.TypeBytes, mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 5 || !bytes.Equal(out, data) {
+			return fmt.Errorf("status %+v / payload %q", st, out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDerivedTypes(t *testing.T) {
+	st, err := mpi.Struct([]int{3, 1}, []int64{0, 16}, []*mpi.DDT{mpi.Int32, mpi.Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 20 || st.Extent() != 24 {
+		t.Fatalf("struct metadata: size %d extent %d", st.Size(), st.Extent())
+	}
+	dt := mpi.FromDDT(st)
+	img := make([]byte, st.Span(4))
+	for i := range img {
+		img[i] = byte(i)
+	}
+	packed := make([]byte, st.PackedSize(4))
+	if _, err := mpi.Pack(img, 4, dt, packed); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, st.Span(4))
+	if err := mpi.Unpack(packed, out, 4, dt); err != nil {
+		t.Fatal(err)
+	}
+	repacked := make([]byte, len(packed))
+	if _, err := mpi.Pack(out, 4, dt, repacked); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repacked, packed) {
+		t.Fatal("facade pack/unpack roundtrip mismatch")
+	}
+}
+
+// facadeHandler is a minimal custom handler defined purely against the
+// public API: it sends a length-prefixed byte slice.
+type facadeHandler struct{}
+
+type facadeBuf struct {
+	Data []byte
+}
+
+func (facadeHandler) State(buf any, _ mpi.Count) (any, error) {
+	b, ok := buf.(*facadeBuf)
+	if !ok {
+		return nil, errors.New("want *facadeBuf")
+	}
+	return b, nil
+}
+
+func (facadeHandler) FreeState(any) error { return nil }
+
+func (facadeHandler) PackedSize(_, _ any, _ mpi.Count) (mpi.Count, error) { return 8, nil }
+
+func (facadeHandler) Pack(state, _ any, _, offset mpi.Count, dst []byte) (mpi.Count, error) {
+	b := state.(*facadeBuf)
+	var hdr [8]byte
+	n := len(b.Data)
+	for i := 0; i < 8; i++ {
+		hdr[i] = byte(n >> (8 * i))
+	}
+	return mpi.Count(copy(dst, hdr[offset:])), nil
+}
+
+func (facadeHandler) Unpack(state, _ any, _, offset mpi.Count, src []byte) error {
+	b := state.(*facadeBuf)
+	if b.Data == nil {
+		b.Data = make([]byte, 8)
+	}
+	copy(b.Data[offset:8], src)
+	if offset+mpi.Count(len(src)) == 8 {
+		n := 0
+		for i := 7; i >= 0; i-- {
+			n = n<<8 | int(b.Data[i])
+		}
+		b.Data = make([]byte, n)
+	}
+	return nil
+}
+
+func (facadeHandler) RegionCount(state, _ any, _ mpi.Count) (mpi.Count, error) {
+	return 1, nil
+}
+
+func (facadeHandler) Regions(state, _ any, _ mpi.Count, regions [][]byte) error {
+	regions[0] = state.(*facadeBuf).Data
+	return nil
+}
+
+func TestFacadeCustomDatatype(t *testing.T) {
+	dt := mpi.TypeCreateCustom(facadeHandler{}, mpi.WithInOrder(), mpi.WithName("length-prefixed"))
+	payload := make([]byte, 100000)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(&facadeBuf{Data: payload}, 1, dt, 1, 1)
+		}
+		var rb facadeBuf
+		if _, err := c.Recv(&rb, 1, dt, 0, 1); err != nil {
+			return err
+		}
+		if !bytes.Equal(rb.Data, payload) {
+			return errors.New("custom facade transfer mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCollectives(t *testing.T) {
+	err := mpi.Run(4, mpi.Options{}, func(c *mpi.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		buf := make([]byte, 8)
+		if c.Rank() == 2 {
+			copy(buf, "rooted!!")
+		}
+		if err := c.Bcast(buf, -1, mpi.TypeBytes, 2); err != nil {
+			return err
+		}
+		if string(buf) != "rooted!!" {
+			return fmt.Errorf("bcast got %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPWorldTwoProcessesSimulated(t *testing.T) {
+	// Two "processes" (goroutines with independent TCP stacks) join a
+	// real-socket world through the public API.
+	addrs := make([]string, 2)
+	lns := make([]net.Listener, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			world, err := mpi.ConnectTCP(rank, addrs, mpi.Options{})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer world.Close()
+			c := world.Comm
+			if rank == 0 {
+				errs[rank] = c.Send([]byte("over tcp"), -1, mpi.TypeBytes, 1, 9)
+				return
+			}
+			out := make([]byte, 8)
+			if _, err := c.Recv(out, -1, mpi.TypeBytes, 0, 9); err != nil {
+				errs[rank] = err
+				return
+			}
+			if string(out) != "over tcp" {
+				errs[rank] = fmt.Errorf("got %q", out)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package obj moves serialized objects over MPI — the public face of the
+// paper's Python evaluation (Section V.B). It wraps the pickle-5-style
+// serializer (in-band header + out-of-band buffers) and offers the three
+// transfer strategies the paper compares:
+//
+//	SendBasic/RecvBasic — everything in one in-band byte stream
+//	                      (pickle-basic: simple, but serialization copies
+//	                      every payload byte twice);
+//	SendOOB/RecvOOB     — header message plus one message per large
+//	                      buffer (pickle-oob: today's multi-message
+//	                      binding protocol, with tag-space hazards under
+//	                      threads);
+//	Send/Recv           — the paper's custom datatype: header packed plus
+//	                      buffers as zero-copy regions, one atomic MPI
+//	                      message (pickle-oob-cdt).
+//
+// Supported values: nil, bool, int64 (int/int32 normalize), float64,
+// string, obj.Buffer ([]byte eligible for out-of-band transfer), []any,
+// map[string]any, and *obj.NDArray (the NumPy stand-in).
+package obj
+
+import (
+	"mpicd/internal/serial"
+	"mpicd/mpi"
+)
+
+// Buffer is a byte payload eligible for zero-copy (out-of-band)
+// treatment, like pickle.PickleBuffer.
+type Buffer = serial.Buffer
+
+// NDArray models a NumPy array: dtype, shape and a flat Buffer.
+type NDArray = serial.NDArray
+
+// NewFloat64Array builds a deterministic 1-D float64 array (test data).
+func NewFloat64Array(n int, seed byte) *NDArray { return serial.NewFloat64Array(n, seed) }
+
+// DefaultThreshold is the byte size above which buffers go out-of-band.
+const DefaultThreshold = serial.DefaultThreshold
+
+// Dumps serializes v fully in-band.
+func Dumps(v any) ([]byte, error) { return serial.Dumps(v) }
+
+// Loads deserializes an in-band stream.
+func Loads(data []byte) (any, error) { return serial.Loads(data) }
+
+// DumpsOOB serializes v with out-of-band buffers above threshold bytes.
+func DumpsOOB(v any, threshold int) ([]byte, []Buffer, error) {
+	return serial.DumpsOOB(v, threshold)
+}
+
+// LoadsOOB deserializes a stream with its out-of-band buffers (decoded
+// Buffers alias oob — zero copy).
+func LoadsOOB(header []byte, oob []Buffer) (any, error) { return serial.LoadsOOB(header, oob) }
+
+// Type returns the custom datatype that carries a serialized object as
+// one MPI message. Buffers for it are *Msg values.
+func Type() *mpi.Datatype { return serial.ObjectType() }
+
+// Msg is the buffer type for Type: set Value to send; pass an empty Msg
+// to receive and call Decode afterwards.
+type Msg = serial.Msg
+
+// Send transfers v in a single MPI message via the custom datatype.
+func Send(c *mpi.Comm, v any, dst, tag int) error {
+	return serial.SendCDT(c, v, dst, tag, DefaultThreshold)
+}
+
+// Recv receives an object sent with Send.
+func Recv(c *mpi.Comm, src, tag int) (any, error) {
+	return serial.RecvCDT(c, src, tag)
+}
+
+// SendBasic transfers v fully in-band (one message, everything copied).
+func SendBasic(c *mpi.Comm, v any, dst, tag int) error {
+	return serial.SendBasic(c, v, dst, tag)
+}
+
+// RecvBasic receives an object sent with SendBasic, sizing the
+// allocation with Mprobe.
+func RecvBasic(c *mpi.Comm, src, tag int) (any, error) {
+	return serial.RecvBasic(c, src, tag)
+}
+
+// SendOOB transfers v as a header message plus one message per large
+// buffer (the multi-message protocol bindings use today).
+func SendOOB(c *mpi.Comm, v any, dst, tag int) error {
+	return serial.SendOOB(c, v, dst, tag, DefaultThreshold)
+}
+
+// RecvOOB receives an object sent with SendOOB.
+func RecvOOB(c *mpi.Comm, src, tag int) (any, error) {
+	return serial.RecvOOB(c, src, tag)
+}

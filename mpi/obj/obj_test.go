@@ -1,0 +1,112 @@
+package obj_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mpicd/mpi"
+	"mpicd/mpi/obj"
+)
+
+func sample() map[string]any {
+	return map[string]any{
+		"name": "experiment",
+		"step": int64(12),
+		"grid": obj.NewFloat64Array(64*1024, 3),
+		"tags": []any{"a", true, nil, 2.5},
+	}
+}
+
+func TestPublicStrategiesRoundtrip(t *testing.T) {
+	type method struct {
+		name string
+		send func(c *mpi.Comm, v any) error
+		recv func(c *mpi.Comm) (any, error)
+	}
+	methods := []method{
+		{"cdt", func(c *mpi.Comm, v any) error { return obj.Send(c, v, 1, 1) },
+			func(c *mpi.Comm) (any, error) { return obj.Recv(c, 0, 1) }},
+		{"basic", func(c *mpi.Comm, v any) error { return obj.SendBasic(c, v, 1, 1) },
+			func(c *mpi.Comm) (any, error) { return obj.RecvBasic(c, 0, 1) }},
+		{"oob", func(c *mpi.Comm, v any) error { return obj.SendOOB(c, v, 1, 1) },
+			func(c *mpi.Comm) (any, error) { return obj.RecvOOB(c, 0, 1) }},
+	}
+	for _, m := range methods {
+		t.Run(m.name, func(t *testing.T) {
+			want := sample()
+			err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+				if c.Rank() == 0 {
+					return m.send(c, want)
+				}
+				got, err := m.recv(c)
+				if err != nil {
+					return err
+				}
+				if !reflect.DeepEqual(got, want) {
+					return fmt.Errorf("%s roundtrip mismatch", m.name)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPublicDumpsLoads(t *testing.T) {
+	v := sample()
+	// In-band.
+	data, err := obj.Dumps(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj.Loads(data)
+	if err != nil || !reflect.DeepEqual(got, v) {
+		t.Fatalf("in-band roundtrip: %v", err)
+	}
+	// Out-of-band: big array hoisted, header small.
+	header, oob, err := obj.DumpsOOB(v, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oob) != 1 || len(header) > 256 {
+		t.Fatalf("oob split: %d buffers, %d header bytes", len(oob), len(header))
+	}
+	got, err = obj.LoadsOOB(header, oob)
+	if err != nil || !reflect.DeepEqual(got, v) {
+		t.Fatalf("oob roundtrip: %v", err)
+	}
+}
+
+func TestPublicMsgType(t *testing.T) {
+	// Direct use of the custom datatype with nonblocking calls.
+	want := sample()
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			r, err := c.Isend(&obj.Msg{Value: want}, 1, obj.Type(), 1, 9)
+			if err != nil {
+				return err
+			}
+			_, err = r.Wait()
+			return err
+		}
+		var m obj.Msg
+		if _, err := c.Recv(&m, 1, obj.Type(), 0, 9); err != nil {
+			return err
+		}
+		got, err := m.Decode()
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, want) {
+			return errors.New("msg-type roundtrip mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
