@@ -113,6 +113,38 @@ func BenchmarkAblationRegionCoalescing(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationPullStripes sweeps the striped-rendezvous fan-out
+// (Config.PullStripes) over large transfers. struct-vec exposes regions
+// and packs under the non-inorder contract, so stripes engage; double-vec
+// is declared inorder and must fall back to one sequential pull at every
+// setting — its flat curve is the correctness baseline. The 32 KiB point
+// stays under PullStripeThresh and pins the no-regression claim for small
+// messages. Wall-clock gains need real cores: on GOMAXPROCS=1 the stripes
+// time-slice and the sweep only shows the fan-out overhead staying flat.
+func BenchmarkAblationPullStripes(b *testing.B) {
+	sizes := []int{32 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	ops := []struct {
+		name string
+		op   func(size int) harness.Op
+	}{
+		{"struct-vec", func(size int) harness.Op { return harness.StructVecOp("custom", size) }},
+		{"double-vec-inorder", func(size int) harness.Op { return harness.DoubleVecOp("custom", size, 1024) }},
+	}
+	for _, o := range ops {
+		for _, size := range sizes {
+			for _, stripes := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/size-%dK/stripes-%d", o.name, size/1024, stripes), func(b *testing.B) {
+					opt := core.Options{UCP: ucp.Config{
+						PullStripes:      stripes,
+						PullStripeThresh: ucp.DefaultPullStripeThresh,
+					}}
+					benchOpWith(b, opt, o.op(size))
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationContigFastPath measures the derived-datatype engine's
 // contiguous shortcut against the generic walk on the same bytes.
 func BenchmarkAblationContigFastPath(b *testing.B) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mpicd/internal/ddt"
 	"mpicd/internal/fabric"
@@ -31,6 +32,12 @@ type Count = int64
 // (the paper's MPI_SUCCESS / error-value convention). On the receive side
 // the same handler runs against the receive buffer: Unpack reconstructs
 // the packed part and Regions returns writable destination regions.
+//
+// Concurrency contract: unless the type is created WithInOrder, Pack and
+// Unpack must tolerate being called at arbitrary — including concurrent —
+// disjoint offsets against one state. The transport exploits this to
+// stripe large rendezvous pulls across cores; inorder types are always
+// driven sequentially at strictly increasing offsets.
 type CustomHandler interface {
 	// State allocates per-operation state for (buf, count); it may return
 	// nil for stateless types.
@@ -418,14 +425,20 @@ func (u *unpackSink) WriteAt(src []byte, off int64) (int, error) {
 
 // lazyRegionSink resolves receive regions on first access, which — under
 // in-order delivery — happens only after the packed part was unpacked.
+// It reports Sequential, so the transport never stripes across it; the
+// mutex only guards the one-shot resolution against misuse.
 type lazyRegionSink struct {
 	size    int64
 	resolve func() (*fabric.Iov, error)
-	iov     *fabric.Iov
-	err     error
+
+	mu  sync.Mutex
+	iov *fabric.Iov
+	err error
 }
 
 func (l *lazyRegionSink) materialize() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.iov == nil && l.err == nil {
 		l.iov, l.err = l.resolve()
 	}

@@ -3,7 +3,34 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 )
+
+// regionScratch recycles the region-slice scratch PackedSize and Unpack
+// hand to handler.Regions, keeping the custom-datatype hot path free of
+// per-call allocations. Slices are cleared before being pooled so no
+// application memory is retained.
+var regionScratch = sync.Pool{New: func() any { return new([][]byte) }}
+
+// getRegionScratch returns a pooled region slice of length n.
+func getRegionScratch(n Count) *[][]byte {
+	sp := regionScratch.Get().(*[][]byte)
+	if int64(cap(*sp)) < n {
+		*sp = make([][]byte, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+// putRegionScratch drops region references and recycles the slice.
+func putRegionScratch(sp *[][]byte) {
+	s := *sp
+	for i := range s {
+		s[i] = nil
+	}
+	*sp = s[:0]
+	regionScratch.Put(sp)
+}
 
 // PackedSize returns the packed byte size of count elements of dt
 // (MPI_Pack_size). For custom datatypes it runs the handler's query
@@ -36,7 +63,9 @@ func PackedSize(buf any, count Count, dt *Datatype) (Count, error) {
 		if err != nil {
 			return 0, err
 		}
-		regions := make([][]byte, nreg)
+		sp := getRegionScratch(nreg)
+		defer putRegionScratch(sp)
+		regions := *sp
 		if nreg > 0 {
 			if err := h.Regions(state, buf, count, regions); err != nil {
 				return 0, err
@@ -150,7 +179,9 @@ func Unpack(src []byte, buf any, count Count, dt *Datatype) error {
 		if err != nil {
 			return err
 		}
-		regions := make([][]byte, nreg)
+		sp := getRegionScratch(nreg)
+		defer putRegionScratch(sp)
+		regions := *sp
 		if nreg > 0 {
 			if err := h.Regions(state, buf, count, regions); err != nil {
 				return err

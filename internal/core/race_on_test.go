@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-pinning tests skip under it because instrumentation changes
+// allocation counts.
+const raceEnabled = true

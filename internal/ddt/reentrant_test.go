@@ -1,0 +1,119 @@
+package ddt
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// The striped rendezvous path calls PackAt/UnpackAt concurrently at
+// disjoint offsets of one Type. These tests pin the property the engine
+// already has — the walk is immutable (prefix tables computed at
+// construction, no per-call state on Type) — so a future "optimization"
+// that adds mutable cursor state to the type trips the race detector and
+// these comparisons.
+
+func reentrantType(t *testing.T) *Type {
+	t.Helper()
+	// Gapped vector: 3 doubles every 5, a non-contiguous walk.
+	v, err := Vector(4, 3, 5, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPackAtReentrant(t *testing.T) {
+	typ := reentrantType(t)
+	const count = 64
+	src := make([]byte, typ.Span(count))
+	for i := range src {
+		src[i] = byte(i*7 + 3)
+	}
+	total := typ.PackedSize(count)
+	want := make([]byte, total)
+	if _, err := typ.Pack(src, count, want); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, total)
+	const stripes = 8
+	chunk := (total + stripes - 1) / stripes
+	var wg sync.WaitGroup
+	for off := int64(0); off < total; off += chunk {
+		span := chunk
+		if rem := total - off; span > rem {
+			span = rem
+		}
+		wg.Add(1)
+		go func(off, span int64) {
+			defer wg.Done()
+			// Each stripe walks its range in small, misaligned steps so
+			// stripes interleave mid-run and mid-element.
+			for at := off; at < off+span; {
+				step := int64(13)
+				if rem := off + span - at; step > rem {
+					step = rem
+				}
+				n, err := typ.PackAt(src, count, at, got[at:at+step])
+				if err != nil && n == 0 {
+					t.Errorf("PackAt(%d): %v", at, err)
+					return
+				}
+				at += int64(n)
+			}
+		}(off, span)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, want) {
+		t.Fatal("concurrent striped PackAt diverged from sequential Pack")
+	}
+}
+
+func TestUnpackAtReentrant(t *testing.T) {
+	typ := reentrantType(t)
+	const count = 64
+	src := make([]byte, typ.Span(count))
+	for i := range src {
+		src[i] = byte(i*11 + 5)
+	}
+	total := typ.PackedSize(count)
+	packed := make([]byte, total)
+	if _, err := typ.Pack(src, count, packed); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, typ.Span(count))
+	if err := typ.Unpack(want, count, packed); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, typ.Span(count))
+	const stripes = 8
+	chunk := (total + stripes - 1) / stripes
+	var wg sync.WaitGroup
+	for off := int64(0); off < total; off += chunk {
+		span := chunk
+		if rem := total - off; span > rem {
+			span = rem
+		}
+		wg.Add(1)
+		go func(off, span int64) {
+			defer wg.Done()
+			for at := off; at < off+span; {
+				step := int64(17)
+				if rem := off + span - at; step > rem {
+					step = rem
+				}
+				if err := typ.UnpackAt(got, count, at, packed[at:at+step]); err != nil {
+					t.Errorf("UnpackAt(%d): %v", at, err)
+					return
+				}
+				at += step
+			}
+		}(off, span)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, want) {
+		t.Fatal("concurrent striped UnpackAt diverged from sequential Unpack")
+	}
+}

@@ -14,7 +14,7 @@ import (
 type Inproc struct {
 	cfg  Config
 	nics []*inprocNIC
-	pool sync.Pool // *[]byte wire buffers of cfg.FragSize
+	pool *bufPool // wire buffers in FragSize-multiple size classes
 
 	regMu   sync.RWMutex
 	regs    map[regKey]Source
@@ -31,11 +31,8 @@ func NewInproc(n int, cfg Config) *Inproc {
 	cfg = NewConfig(cfg)
 	f := &Inproc{
 		cfg:  cfg,
+		pool: newBufPool(cfg.FragSize),
 		regs: make(map[regKey]Source),
-	}
-	f.pool.New = func() any {
-		b := make([]byte, cfg.FragSize)
-		return &b
 	}
 	f.nics = make([]*inprocNIC, n)
 	for i := range f.nics {
@@ -65,20 +62,9 @@ func (f *Inproc) Close() {
 	}
 }
 
-func (f *Inproc) getBuf(n int) *[]byte {
-	if n <= f.cfg.FragSize {
-		return f.pool.Get().(*[]byte)
-	}
-	b := make([]byte, n)
-	return &b
-}
+func (f *Inproc) getBuf(n int) *[]byte { return f.pool.get(n) }
 
-func (f *Inproc) putBuf(b *[]byte) {
-	if cap(*b) == f.cfg.FragSize {
-		*b = (*b)[:f.cfg.FragSize]
-		f.pool.Put(b)
-	}
-}
+func (f *Inproc) putBuf(b *[]byte) { f.pool.put(b) }
 
 type inprocNIC struct {
 	fab   *Inproc

@@ -1,0 +1,63 @@
+package fabric
+
+import "sync"
+
+// bufPool recycles wire buffers in FragSize-multiple size classes: class
+// i holds buffers of capacity (i+1)*frag. Exact-FragSize buffers (the
+// common eager-fragment and bounce-buffer case) land in class 0;
+// oversized buffers — gather sends larger than one fragment, TCP frame
+// payloads — are rounded up to the next fragment multiple instead of
+// being thrown to the GC after every message.
+type bufPool struct {
+	frag    int
+	classes []sync.Pool
+}
+
+// newBufPool sizes the class table to cover every legal fragment
+// ([1, MaxFragSize] bytes); larger requests fall back to plain make and
+// are not recycled.
+func newBufPool(frag int) *bufPool {
+	if frag <= 0 {
+		frag = DefaultFragSize
+	}
+	n := (MaxFragSize + frag - 1) / frag
+	if n < 1 {
+		n = 1
+	}
+	return &bufPool{frag: frag, classes: make([]sync.Pool, n)}
+}
+
+// get returns a buffer with len == cap >= n. Callers slice to the size
+// they need.
+func (p *bufPool) get(n int) *[]byte {
+	if n <= 0 {
+		n = p.frag
+	}
+	ci := (n + p.frag - 1) / p.frag
+	if ci > len(p.classes) {
+		b := make([]byte, n)
+		return &b
+	}
+	if v := p.classes[ci-1].Get(); v != nil {
+		b := v.(*[]byte)
+		*b = (*b)[:cap(*b)]
+		return b
+	}
+	b := make([]byte, ci*p.frag)
+	return &b
+}
+
+// put recycles a buffer obtained from get. Buffers whose capacity is not
+// a pooled class size (foreign or oversized allocations) are dropped.
+func (p *bufPool) put(b *[]byte) {
+	c := cap(*b)
+	if c < p.frag || c%p.frag != 0 {
+		return
+	}
+	ci := c / p.frag
+	if ci > len(p.classes) {
+		return
+	}
+	*b = (*b)[:c]
+	p.classes[ci-1].Put(b)
+}

@@ -1,0 +1,57 @@
+package fabric
+
+import "testing"
+
+func TestBufPoolSizing(t *testing.T) {
+	p := newBufPool(1024)
+	cases := []struct {
+		n       int
+		wantCap int
+	}{
+		{1, 1024},        // sub-fragment rounds up to one fragment
+		{1024, 1024},     // exact fragment
+		{1025, 2048},     // rounds up to the next fragment multiple
+		{3 * 1024, 3072}, // exact multiple
+	}
+	for _, c := range cases {
+		b := p.get(c.n)
+		if len(*b) < c.n {
+			t.Fatalf("get(%d): len %d too short", c.n, len(*b))
+		}
+		if cap(*b) != c.wantCap {
+			t.Fatalf("get(%d): cap %d, want %d", c.n, cap(*b), c.wantCap)
+		}
+		p.put(b)
+	}
+}
+
+// TestBufPoolRecyclesOversized pins the PR's pooling win: buffers larger
+// than one fragment are recycled instead of handed to the GC per message.
+func TestBufPoolRecyclesOversized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement")
+	}
+	p := newBufPool(16 * 1024)
+	for _, n := range []int{16 * 1024, 100 * 1024, MaxFragSize} {
+		avg := testing.AllocsPerRun(50, func() {
+			b := p.get(n)
+			p.put(b)
+		})
+		if avg > 0 {
+			t.Fatalf("get(%d)/put cycle allocates %.1f/op, want 0", n, avg)
+		}
+	}
+}
+
+func TestBufPoolDropsForeignBuffers(t *testing.T) {
+	p := newBufPool(1024)
+	odd := make([]byte, 1000) // not a class size: must be dropped, not pooled
+	p.put(&odd)
+	huge := make([]byte, 2*MaxFragSize)
+	p.put(&huge)
+	b := p.get(2 * MaxFragSize) // beyond the class table: plain allocation
+	if len(*b) != 2*MaxFragSize {
+		t.Fatalf("oversize get: len %d", len(*b))
+	}
+	p.put(b) // must not panic, silently dropped
+}

@@ -105,6 +105,10 @@ func (b Bytes) Window(off, n int64) ([]byte, bool) {
 // byte stream: region 0's bytes first, then region 1's, and so on. It is
 // both a Source and a Sink; the direction is decided by use. Iov is how
 // custom-datatype memory regions reach the wire without packing.
+//
+// The region table and cumulative-offset index are immutable after
+// construction, so ReadAt/WriteAt/Window are safe to call concurrently
+// at disjoint offsets — the property striped rendezvous pulls rely on.
 type Iov struct {
 	regions [][]byte
 	// cum[i] is the virtual offset of regions[i]; cum[len(regions)] is the
@@ -204,6 +208,11 @@ type concatPart struct {
 // Concat composes several Sources (or Sinks) into one virtual byte stream.
 // The point-to-point engine uses it to lay out a custom-datatype message as
 // the packed part followed by the raw memory regions.
+//
+// Like Iov, the part table is immutable after construction and the
+// offset→part lookup is a binary search over it, so concurrent access at
+// disjoint offsets is lock-free as long as the parts themselves allow it
+// (sequential composites are exempt: the transport never stripes them).
 type Concat struct {
 	parts      []concatPart
 	total      int64

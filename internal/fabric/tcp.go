@@ -29,6 +29,7 @@ type TCP struct {
 	cfg   Config
 	rank  int
 	addrs []string
+	pool  *bufPool // frame payload and staging buffers
 
 	ln    net.Listener
 	conns []*tcpConn
@@ -74,6 +75,7 @@ func NewTCP(rank int, addrs []string, cfg Config) (*TCP, error) {
 		cfg:   cfg,
 		rank:  rank,
 		addrs: addrs,
+		pool:  newBufPool(cfg.FragSize),
 		conns: make([]*tcpConn, len(addrs)),
 		inbox: make(chan *Packet, cfg.InboxDepth),
 		done:  make(chan struct{}),
@@ -249,15 +251,17 @@ func (t *TCP) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, 
 			return size, t.writeFrame(conn, hdr, bufs...)
 		}
 	}
-	buf := make([]byte, size)
-	got, err := src.ReadAt(buf, off)
+	buf := t.pool.get(int(size))
+	defer t.pool.put(buf)
+	staging := (*buf)[:size]
+	got, err := src.ReadAt(staging, off)
 	if err != nil && err != io.EOF {
 		return 0, err
 	}
 	if got == 0 && size > 0 {
 		return 0, ErrShortTransfer
 	}
-	return int64(got), t.writeFrame(conn, hdr, buf[:got])
+	return int64(got), t.writeFrame(conn, hdr, staging[:got])
 }
 
 func (t *TCP) conn(to int) (*tcpConn, error) {
@@ -346,7 +350,9 @@ func (t *TCP) serveGet(conn *tcpConn, hdr Header) {
 		return
 	}
 	off, left := hdr.Offset, hdr.Total
-	buf := make([]byte, t.cfg.FragSize)
+	pb := t.pool.get(t.cfg.FragSize)
+	defer t.pool.put(pb)
+	buf := (*pb)[:t.cfg.FragSize]
 	for left > 0 {
 		step := int64(len(buf))
 		if step > left {
@@ -381,24 +387,38 @@ func (t *TCP) readLoop(conn *tcpConn) {
 		plen := int(binary.LittleEndian.Uint32(pre[:4]))
 		hdr := decodeHeader(pre[4:])
 		var payload []byte
+		var pbuf *[]byte
 		if plen > 0 {
-			payload = make([]byte, plen)
+			pbuf = t.pool.get(plen)
+			payload = (*pbuf)[:plen]
 			if _, err := io.ReadFull(br, payload); err != nil {
+				t.pool.put(pbuf)
 				t.Close()
 				return
 			}
 		}
+		// Frames consumed inline return their buffer here; inbox packets
+		// carry it until the transport calls Release.
+		putback := func() {
+			if pbuf != nil {
+				t.pool.put(pbuf)
+			}
+		}
 		switch hdr.Kind {
 		case kindGetReq:
+			putback()
 			go t.serveGet(conn, hdr)
 		case kindGetResp:
 			t.getMu.Lock()
 			g := t.gets[hdr.MsgID]
 			t.getMu.Unlock()
 			if g == nil {
+				putback()
 				continue
 			}
-			if _, err := g.sink.WriteAt(payload, g.sinkOff+hdr.Offset); err != nil {
+			_, err := g.sink.WriteAt(payload, g.sinkOff+hdr.Offset)
+			putback()
+			if err != nil {
 				g.done <- err
 				continue
 			}
@@ -412,11 +432,13 @@ func (t *TCP) readLoop(conn *tcpConn) {
 			if g != nil {
 				g.done <- errors.New("fabric: remote get: " + string(payload))
 			}
+			putback()
 		default:
-			pkt := &Packet{From: conn.peer, Hdr: hdr, Payload: payload}
+			pkt := &Packet{From: conn.peer, Hdr: hdr, Payload: payload, release: putback}
 			select {
 			case t.inbox <- pkt:
 			case <-t.done:
+				putback()
 				return
 			}
 		}

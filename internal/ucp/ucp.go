@@ -22,6 +22,7 @@ package ucp
 
 import (
 	"errors"
+	"runtime"
 
 	"mpicd/internal/fabric"
 )
@@ -66,6 +67,16 @@ type Config struct {
 	// FragSize is the eager fragment payload size; defaults to the
 	// fabric's default fragment size.
 	FragSize int
+	// PullStripes is the number of concurrent stripes a rendezvous pull
+	// may be split into when the message is at least PullStripeThresh
+	// bytes and the receive datatype tolerates out-of-order delivery
+	// (the custom-datatype inorder contract forces sequential pulls).
+	// Zero selects min(GOMAXPROCS, 4); 1 disables striping.
+	PullStripes int
+	// PullStripeThresh is the minimum rendezvous message size eligible
+	// for striped pulls (default 256 KiB). Smaller pulls always run as a
+	// single sequential Get, so short transfers pay no goroutine cost.
+	PullStripeThresh int64
 }
 
 // DefaultRndvThresh is the default eager→rendezvous threshold (32 KiB).
@@ -73,6 +84,27 @@ const DefaultRndvThresh = 32 * 1024
 
 // DefaultIovRndvMin is the default rendezvous threshold for region lists.
 const DefaultIovRndvMin = 8 * 1024
+
+// DefaultPullStripeThresh is the default minimum message size for striped
+// rendezvous pulls (256 KiB).
+const DefaultPullStripeThresh = 256 * 1024
+
+// maxDefaultPullStripes caps the automatic stripe count: past a few
+// stripes a pull is memory-bandwidth-bound, not core-bound.
+const maxDefaultPullStripes = 4
+
+// DefaultPullStripes returns the automatic stripe count:
+// min(GOMAXPROCS, 4).
+func DefaultPullStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxDefaultPullStripes {
+		n = maxDefaultPullStripes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 func (c Config) withDefaults() Config {
 	if c.RndvThresh <= 0 {
@@ -86,6 +118,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FragSize > fabric.MaxFragSize {
 		c.FragSize = fabric.MaxFragSize
+	}
+	if c.PullStripes == 0 {
+		c.PullStripes = DefaultPullStripes()
+	}
+	if c.PullStripes < 1 {
+		c.PullStripes = 1
+	}
+	if c.PullStripeThresh <= 0 {
+		c.PullStripeThresh = DefaultPullStripeThresh
 	}
 	return c
 }

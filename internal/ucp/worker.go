@@ -38,6 +38,10 @@ type WorkerStats struct {
 	EagerFragments atomic.Int64 // eager fragments put on the wire
 	UnexpectedHits atomic.Int64 // receives that matched the unexpected queue
 	PostedHits     atomic.Int64 // messages that matched a posted receive
+
+	SequentialPulls atomic.Int64 // rendezvous pulls run as one sequential Get
+	StripedPulls    atomic.Int64 // rendezvous pulls split into concurrent stripes
+	PullStripeSegs  atomic.Int64 // total stripe segments issued by striped pulls
 }
 
 // Stats exposes the worker's protocol counters.
@@ -460,13 +464,14 @@ func (w *Worker) finishSelf(m *unexMsg, err error) {
 	m.selfSrc = nil
 }
 
-// runPull executes the rendezvous receive: pull, FIN, complete.
+// runPull executes the rendezvous receive: pull (striped when the
+// datatype contract allows), FIN after every byte landed, complete.
 func (w *Worker) runPull(op *recvOp, key uint64) {
 	defer w.wg.Done()
 	err := op.failure
 	n := op.total
 	if err == nil && n > 0 {
-		err = w.nic.Get(op.from, key, 0, op.sink, 0, n)
+		err = w.pullBody(op, key, n)
 	}
 	status := int64(0)
 	if err != nil {
@@ -480,6 +485,58 @@ func (w *Worker) runPull(op *recvOp, key uint64) {
 		}
 	}
 	op.req.complete(op.from, op.tag, n, op.aux0, err)
+}
+
+// pullBody moves the rendezvous message body. Transfers of at least
+// PullStripeThresh bytes whose sink tolerates out-of-order delivery are
+// split into PullStripes byte ranges pulled concurrently, putting
+// multiple cores on the sender-side pack (ReadAt) and receiver-side
+// unpack (WriteAt) of one message. Sequential sinks — the inorder
+// contract — and small transfers take the single-Get path unchanged.
+//
+// The stripe fan-out relies on both endpoints being safe for concurrent
+// access at disjoint offsets: sources/sinks built from memory windows
+// (Bytes, Iov, Concat over them) index immutable layout tables, and
+// non-inorder pack/unpack callbacks accept arbitrary-offset fragments by
+// contract, so disjoint stripes never share mutable state.
+func (w *Worker) pullBody(op *recvOp, key uint64, n int64) error {
+	stripes := int64(w.cfg.PullStripes)
+	if op.sequential || stripes <= 1 || n < w.cfg.PullStripeThresh {
+		w.stats.SequentialPulls.Add(1)
+		return w.nic.Get(op.from, key, 0, op.sink, 0, n)
+	}
+	if stripes > n {
+		stripes = n
+	}
+	chunk := (n + stripes - 1) / stripes
+	w.stats.StripedPulls.Add(1)
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	for off := int64(0); off < n; off += chunk {
+		span := chunk
+		if rem := n - off; span > rem {
+			span = rem
+		}
+		w.stats.PullStripeSegs.Add(1)
+		wg.Add(1)
+		go func(off, span int64) {
+			defer wg.Done()
+			if err := w.nic.Get(op.from, key, off, op.sink, off, span); err != nil {
+				errMu.Lock()
+				if first == nil {
+					first = err
+				}
+				errMu.Unlock()
+			}
+		}(off, span)
+	}
+	// Join every stripe before returning: the FIN that releases the
+	// sender's registration must not race an in-flight stripe.
+	wg.Wait()
+	return first
 }
 
 // feedLocked delivers one eager fragment. Caller holds op.mu. It returns
