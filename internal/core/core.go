@@ -34,10 +34,26 @@ const MaxTag = 1<<31 - 1
 // ErrTruncated re-exports the transport truncation error.
 var ErrTruncated = ucp.ErrTruncated
 
+// Error taxonomy re-exports, so applications can classify failures with
+// errors.Is without importing the transport packages.
+var (
+	// ErrTimeout reports a request that exceeded its deadline or exhausted
+	// its retransmission budget.
+	ErrTimeout = ucp.ErrTimeout
+	// ErrLinkDown reports a broken or injected-down fabric link.
+	ErrLinkDown = ucp.ErrLinkDown
+	// ErrCorrupt reports a payload that failed its checksum.
+	ErrCorrupt = ucp.ErrCorrupt
+)
+
 // Options configures a System.
 type Options struct {
 	Fabric fabric.Config
 	UCP    ucp.Config
+	// WrapNIC, when set, wraps each rank's NIC before the transport worker
+	// is built — the hook fault-injection harnesses use to interpose a
+	// fabric.FaultNIC per rank.
+	WrapNIC func(rank int, nic fabric.NIC) fabric.NIC
 }
 
 // System owns an in-process world: one fabric and one transport worker
@@ -56,7 +72,11 @@ func NewSystem(n int, opt Options) *System {
 	s.workers = make([]*ucp.Worker, n)
 	s.comms = make([]*Comm, n)
 	for i := 0; i < n; i++ {
-		s.workers[i] = ucp.NewWorker(s.fab.NIC(i), opt.UCP)
+		nic := fabric.NIC(s.fab.NIC(i))
+		if opt.WrapNIC != nil {
+			nic = opt.WrapNIC(i, nic)
+		}
+		s.workers[i] = ucp.NewWorker(nic, opt.UCP)
 		s.comms[i] = newWorldComm(s.workers[i])
 	}
 	return s

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFaultExactlyOnceProperty is the robustness property check: under a
+// randomly seeded drop+duplicate+reorder+corrupt+truncate plan, every
+// transfer — eager and rendezvous, contiguous and custom-with-regions and
+// inorder-generic — is delivered exactly once with intact bytes. The
+// reliability layer (checksums, retransmission, duplicate suppression)
+// must make the lossy fabric indistinguishable from a perfect one.
+func TestFaultExactlyOnceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property check is slow under fault injection")
+	}
+	dtRegions := TypeCreateCustom(recVecHandler{})
+	dtInorder := TypeCreateCustom(dvHandler{}, WithInOrder())
+
+	check := func(seed int64, sizeRaw uint16, shape uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(sizeRaw)%40000 + 1
+		opt := faultOptions(seed)
+		switch shape % 3 {
+		case 0: // contiguous bytes (eager or rendezvous depending on size)
+			data := pattern(size, byte(seed))
+			ok := true
+			err := Run(2, opt, func(c *Comm) error {
+				if c.Rank() == 0 {
+					return c.Send(data, -1, TypeBytes, 1, 1)
+				}
+				out := make([]byte, size)
+				st, err := c.Recv(out, -1, TypeBytes, 0, 1)
+				if err != nil {
+					return err
+				}
+				ok = st.Bytes == Count(size) && bytes.Equal(out, data)
+				return nil
+			})
+			return err == nil && ok
+		case 1: // custom with memory regions
+			send := &recVec{A: int32(seed), B: -1, D: 2.5, Data: pattern(size, byte(seed>>8))}
+			ok := true
+			err := Run(2, opt, func(c *Comm) error {
+				if c.Rank() == 0 {
+					return c.Send(send, 1, dtRegions, 1, 1)
+				}
+				recv := &recVec{Data: make([]byte, size)}
+				if _, err := c.Recv(recv, 1, dtRegions, 0, 1); err != nil {
+					return err
+				}
+				ok = recv.A == send.A && recv.B == send.B && recv.D == send.D &&
+					bytes.Equal(recv.Data, send.Data)
+				return nil
+			})
+			return err == nil && ok
+		default: // inorder dynamic double-vector
+			n := rng.Intn(6) + 1
+			send := make([][]byte, n)
+			for i := range send {
+				send[i] = make([]byte, rng.Intn(size+1))
+				rng.Read(send[i])
+			}
+			ok := true
+			err := Run(2, opt, func(c *Comm) error {
+				if c.Rank() == 0 {
+					return c.Send(send, 1, dtInorder, 1, 1)
+				}
+				var recv [][]byte
+				if _, err := c.Recv(&recv, 1, dtInorder, 0, 1); err != nil {
+					return err
+				}
+				if len(recv) != n {
+					ok = false
+					return nil
+				}
+				for i := range send {
+					if !bytes.Equal(recv[i], send[i]) {
+						ok = false
+						return nil
+					}
+				}
+				return nil
+			})
+			return err == nil && ok
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 24}); err != nil {
+		t.Fatal(err)
+	}
+}

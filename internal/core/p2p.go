@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mpicd/internal/ucp"
 )
@@ -43,6 +44,17 @@ type Request struct {
 // for sends).
 func (r *Request) Wait() (Status, error) {
 	err := r.r.Wait()
+	return r.status(), err
+}
+
+// WaitTimeout blocks until completion or until d elapses, returning
+// ErrTimeout in the latter case. The operation is not canceled; a late
+// completion can still be observed with Test or Wait.
+func (r *Request) WaitTimeout(d time.Duration) (Status, error) {
+	err := r.r.WaitTimeout(d)
+	if err == ucp.ErrTimeout {
+		return Status{}, err
+	}
 	return r.status(), err
 }
 

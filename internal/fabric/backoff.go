@@ -1,0 +1,71 @@
+package fabric
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes exponentially growing retry delays with bounded
+// jitter. It is shared by every retry loop in the stack: TCP dial and
+// redial, control-message retransmission in the transport layer, and
+// rendezvous Get retries. The zero value is usable and picks the
+// defaults below.
+type Backoff struct {
+	// Base is the delay before the first retry (default 10ms).
+	Base time.Duration
+	// Max caps the grown delay before jitter (default 1s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the delay randomized, in [0, 1]
+	// (default 0.25): the returned delay is uniform in
+	// [d*(1-Jitter), d*(1+Jitter)], clamped to Max.
+	Jitter float64
+}
+
+// DefaultBackoff are the shared retry defaults.
+var DefaultBackoff = Backoff{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = DefaultBackoff.Base
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultBackoff.Max
+	}
+	if b.Max < b.Base {
+		b.Max = b.Base
+	}
+	if b.Factor < 1 {
+		b.Factor = DefaultBackoff.Factor
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = DefaultBackoff.Jitter
+	}
+	return b
+}
+
+// Delay returns the delay before retry number attempt (0-based). rng
+// supplies the jitter source so callers control determinism; a nil rng
+// disables jitter.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if rng != nil && b.Jitter > 0 {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

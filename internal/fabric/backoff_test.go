@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i, nil); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: got %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		d := b.Delay(1, rng) // nominal 200ms, jittered to [100ms, 300ms]
+		if d < 100*time.Millisecond || d > 300*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [100ms, 300ms]", d)
+		}
+	}
+	// Jitter never exceeds Max.
+	for i := 0; i < 200; i++ {
+		if d := b.Delay(10, rng); d > time.Second {
+			t.Fatalf("delay %v exceeds cap", d)
+		}
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Max: 500 * time.Millisecond, Factor: 2, Jitter: 0.3}
+	a := rand.New(rand.NewSource(7))
+	c := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		if da, dc := b.Delay(i, a), b.Delay(i, c); da != dc {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, dc)
+		}
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	d0 := b.Delay(0, nil)
+	if d0 != DefaultBackoff.Base {
+		t.Fatalf("zero-value first delay = %v, want %v", d0, DefaultBackoff.Base)
+	}
+	if d := b.Delay(30, nil); d != DefaultBackoff.Max {
+		t.Fatalf("zero-value capped delay = %v, want %v", d, DefaultBackoff.Max)
+	}
+}

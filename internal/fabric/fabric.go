@@ -24,6 +24,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"time"
 )
 
@@ -134,6 +135,12 @@ type Config struct {
 	// PerGet is an artificial per-Get-window overhead modelling the RDMA
 	// read round trip. Zero disables it.
 	PerGet time.Duration
+	// Checksum enables CRC32C integrity protection on byte-stream
+	// providers: TCP Get responses carry a per-frame checksum verified
+	// before the payload touches the sink (a mismatch fails the Get with
+	// ErrCorrupt so the transport can retry). The in-process provider
+	// moves bytes memory-to-memory and ignores it.
+	Checksum bool
 }
 
 // DefaultFragSize matches a typical transport bounce-buffer size.
@@ -165,6 +172,23 @@ var ErrBadKey = errors.New("fabric: unknown memory key")
 // ErrShortTransfer is returned when a Source or Sink ends before the
 // requested byte count was moved.
 var ErrShortTransfer = errors.New("fabric: short transfer")
+
+// ErrLinkDown is returned when the path to a peer is (possibly
+// transiently) unavailable: a TCP connection broke and has not been
+// redialed yet, or a fault plan has taken the link down. Callers may
+// retry after a backoff.
+var ErrLinkDown = errors.New("fabric: link down")
+
+// ErrCorrupt is returned when a checksum-protected transfer fails
+// integrity verification. The payload was discarded before delivery, so
+// retrying is safe.
+var ErrCorrupt = errors.New("fabric: payload corrupted (checksum mismatch)")
+
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32 computes the Castagnoli CRC32 the stack uses for payload
+// integrity (fast on amd64/arm64 via the hardware instruction).
+func CRC32(b []byte) uint32 { return crc32.Checksum(b, crcTab) }
 
 func rangeErr(what string, rank, size int) error {
 	return fmt.Errorf("fabric: %s rank %d out of range [0,%d)", what, rank, size)

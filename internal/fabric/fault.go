@@ -1,0 +1,395 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements a deterministic fault-injection provider: a NIC
+// wrapper that perturbs traffic according to a seeded FaultPlan. It is
+// the adversary the transport layer's recovery machinery (checksums,
+// retransmission, duplicate suppression, Get retries) is tested against.
+
+// FaultAction identifies one kind of injected fault.
+type FaultAction int
+
+// Injectable faults. Drop..Truncate apply to outbound packets (Send and
+// SendFrom); FailGet applies to Get; LinkDown silently discards every
+// subsequent send to the peer (and fails Gets from it) for a bounded
+// number of operations.
+const (
+	// Drop discards the packet.
+	Drop FaultAction = iota
+	// Duplicate delivers the packet twice.
+	Duplicate
+	// Reorder holds the packet and delivers it after the next send (the
+	// hold flushes on the next send to any peer and on Close).
+	Reorder
+	// Delay sleeps Rule.Delay before delivering.
+	Delay
+	// Corrupt flips one payload byte (chosen by the seeded RNG).
+	Corrupt
+	// Truncate cuts Rule.Bytes (default 1) bytes off the payload tail.
+	Truncate
+	// FailGet fails a Get with Rule.Err (default ErrLinkDown).
+	FailGet
+	// LinkDown drops the firing send and the next Rule.Down sends to the
+	// peer, and fails Gets from it; Down < 0 keeps the link down forever.
+	LinkDown
+)
+
+func (a FaultAction) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Delay:
+		return "delay"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case FailGet:
+		return "fail-get"
+	case LinkDown:
+		return "link-down"
+	}
+	return fmt.Sprintf("FaultAction(%d)", int(a))
+}
+
+// FaultRule is one per-link fault in a plan. Rules are evaluated in plan
+// order against every eligible operation; the first rule that fires wins
+// for that operation.
+type FaultRule struct {
+	// Peer restricts the rule to traffic to/from one rank; -1 matches any.
+	Peer int
+	// Kinds restricts packet rules to specific header kinds (e.g. only
+	// control messages); empty matches every kind. Ignored by FailGet.
+	Kinds []Kind
+	// Action selects the fault.
+	Action FaultAction
+	// Prob is the per-operation firing probability in [0, 1]. Zero never
+	// fires (use 1 for always).
+	Prob float64
+	// Count caps how many times the rule fires; 0 means unlimited.
+	Count int
+	// Delay is the injected latency for Delay rules.
+	Delay time.Duration
+	// Bytes is how much Truncate cuts (default 1).
+	Bytes int
+	// Down is the LinkDown duration in sends (negative = forever).
+	Down int
+	// Err overrides the error FailGet injects (default ErrLinkDown).
+	Err error
+}
+
+// FaultPlan is a seeded set of fault rules. The same plan and seed
+// produce the same fault decisions for the same operation sequence.
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+}
+
+// FaultStats counts fired faults; all fields are cumulative.
+type FaultStats struct {
+	Dropped    atomic.Int64 // packets discarded by Drop
+	Duplicated atomic.Int64 // packets delivered twice
+	Reordered  atomic.Int64 // packets held for late delivery
+	Delayed    atomic.Int64 // packets delayed
+	Corrupted  atomic.Int64 // packets with a flipped payload byte
+	Truncated  atomic.Int64 // packets with a shortened payload
+	GetsFailed atomic.Int64 // Gets failed by FailGet or a down link
+	DownDrops  atomic.Int64 // packets discarded because the link was down
+	LinkDowns  atomic.Int64 // times a LinkDown rule fired
+}
+
+// FaultNIC wraps a NIC and applies a FaultPlan to its traffic. Recv,
+// Register and Deregister pass through untouched; Send, SendFrom and Get
+// run the plan. All fault decisions come from one seeded RNG, so a fixed
+// plan is reproducible for a fixed operation order.
+type FaultNIC struct {
+	inner NIC
+	rules []FaultRule
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	fired []int       // per-rule fire counts
+	down  map[int]int // peer -> remaining down-sends (negative = forever)
+	held  *heldSend
+	stats FaultStats
+}
+
+type heldSend struct {
+	to      int
+	hdr     Header
+	payload []byte
+}
+
+// WrapFault wraps nic with a fault plan. The rule list is copied.
+func WrapFault(nic NIC, plan FaultPlan) *FaultNIC {
+	return &FaultNIC{
+		inner: nic,
+		rules: append([]FaultRule(nil), plan.Rules...),
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		fired: make([]int, len(plan.Rules)),
+		down:  make(map[int]int),
+	}
+}
+
+// Stats exposes the fired-fault counters.
+func (f *FaultNIC) Stats() *FaultStats { return &f.stats }
+
+// RuleFired reports how many times rule i has fired.
+func (f *FaultNIC) RuleFired(i int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired[i]
+}
+
+// Rank implements NIC.
+func (f *FaultNIC) Rank() int { return f.inner.Rank() }
+
+// Size implements NIC.
+func (f *FaultNIC) Size() int { return f.inner.Size() }
+
+// Recv implements NIC (pass-through).
+func (f *FaultNIC) Recv() (*Packet, bool) { return f.inner.Recv() }
+
+// Register implements NIC (pass-through).
+func (f *FaultNIC) Register(src Source) uint64 { return f.inner.Register(src) }
+
+// Deregister implements NIC (pass-through).
+func (f *FaultNIC) Deregister(key uint64) { f.inner.Deregister(key) }
+
+// Close flushes any held (reordered) packet and closes the inner NIC.
+func (f *FaultNIC) Close() error {
+	f.mu.Lock()
+	held := f.held
+	f.held = nil
+	f.mu.Unlock()
+	if held != nil {
+		_ = f.inner.Send(held.to, held.hdr, held.payload)
+	}
+	return f.inner.Close()
+}
+
+// Send implements NIC: the payload is flattened, run through the plan,
+// and forwarded (or dropped/duplicated/held/corrupted) accordingly.
+func (f *FaultNIC) Send(to int, hdr Header, payload ...[]byte) error {
+	total := 0
+	for _, p := range payload {
+		total += len(p)
+	}
+	flat := make([]byte, 0, total)
+	for _, p := range payload {
+		flat = append(flat, p...)
+	}
+	return f.apply(to, hdr, flat)
+}
+
+// SendFrom implements NIC by staging the source bytes locally (so the
+// plan can corrupt or truncate them) and forwarding through Send logic.
+// Partial packs keep SendFrom semantics: the packed byte count is
+// returned even when the packet is then dropped, exactly as a lossy wire
+// would behave.
+func (f *FaultNIC) SendFrom(to int, hdr Header, src Source, off, n int64) (int64, error) {
+	if n > MaxFragSize {
+		return 0, fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", n, MaxFragSize)
+	}
+	buf := make([]byte, n)
+	got, err := src.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return 0, err
+	}
+	if got == 0 && n > 0 {
+		return 0, ErrShortTransfer
+	}
+	if err := f.apply(to, hdr, buf[:got]); err != nil {
+		return 0, err
+	}
+	return int64(got), nil
+}
+
+// Get implements NIC. FailGet rules and down links inject errors; a
+// successful call passes through to the inner NIC untouched (in-process
+// Gets are memory moves — detected corruption is modelled as a failed
+// Get, the way a checksum-verifying byte-stream provider surfaces it).
+func (f *FaultNIC) Get(from int, key uint64, off int64, sink Sink, sinkOff, n int64) error {
+	f.mu.Lock()
+	if d, ok := f.down[from]; ok && d != 0 {
+		f.mu.Unlock()
+		f.stats.GetsFailed.Add(1)
+		return fmt.Errorf("%w: fault plan holds link to rank %d down", ErrLinkDown, from)
+	}
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Action != FailGet || !f.ruleEligibleLocked(i, from) {
+			continue
+		}
+		if f.rng.Float64() >= r.Prob {
+			continue
+		}
+		f.fired[i]++
+		f.mu.Unlock()
+		f.stats.GetsFailed.Add(1)
+		if r.Err != nil {
+			return r.Err
+		}
+		return fmt.Errorf("%w: injected get failure", ErrLinkDown)
+	}
+	f.mu.Unlock()
+	return f.inner.Get(from, key, off, sink, sinkOff, n)
+}
+
+// ruleEligibleLocked reports whether rule i may still fire for peer.
+func (f *FaultNIC) ruleEligibleLocked(i, peer int) bool {
+	r := &f.rules[i]
+	if r.Peer >= 0 && r.Peer != peer {
+		return false
+	}
+	return r.Count == 0 || f.fired[i] < r.Count
+}
+
+func kindMatches(kinds []Kind, k Kind) bool {
+	if len(kinds) == 0 {
+		return true
+	}
+	for _, want := range kinds {
+		if want == k {
+			return true
+		}
+	}
+	return false
+}
+
+// apply runs the plan against one outbound packet. f owns payload.
+func (f *FaultNIC) apply(to int, hdr Header, payload []byte) error {
+	f.mu.Lock()
+	// A held (reordered) packet flushes on the next send: after the new
+	// packet when both target the same peer (the swap), before it
+	// otherwise (so holds cannot starve).
+	held := f.held
+	f.held = nil
+	if held != nil && held.to != to {
+		f.mu.Unlock()
+		if err := f.inner.Send(held.to, held.hdr, held.payload); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		held = nil
+	}
+	flushHeld := func(err error) error {
+		if held == nil {
+			return err
+		}
+		if serr := f.inner.Send(held.to, held.hdr, held.payload); err == nil {
+			err = serr
+		}
+		return err
+	}
+
+	if d, ok := f.down[to]; ok && d != 0 {
+		if d > 0 {
+			f.down[to] = d - 1
+		}
+		f.mu.Unlock()
+		f.stats.DownDrops.Add(1)
+		return flushHeld(nil)
+	}
+
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Action == FailGet || !f.ruleEligibleLocked(i, to) {
+			continue
+		}
+		if !kindMatches(r.Kinds, hdr.Kind) {
+			continue
+		}
+		if f.rng.Float64() >= r.Prob {
+			continue
+		}
+		f.fired[i]++
+		switch r.Action {
+		case Drop:
+			f.mu.Unlock()
+			f.stats.Dropped.Add(1)
+			return flushHeld(nil)
+		case Duplicate:
+			f.mu.Unlock()
+			f.stats.Duplicated.Add(1)
+			if err := f.inner.Send(to, hdr, payload); err != nil {
+				return flushHeld(err)
+			}
+			return flushHeld(f.inner.Send(to, hdr, payload))
+		case Reorder:
+			if held == nil {
+				f.held = &heldSend{to: to, hdr: hdr, payload: payload}
+				f.mu.Unlock()
+				f.stats.Reordered.Add(1)
+				return nil
+			}
+			// Already flushing a same-peer hold: deliver new-then-held,
+			// which is itself a reorder of the held packet.
+			f.mu.Unlock()
+			f.stats.Reordered.Add(1)
+			if err := f.inner.Send(to, hdr, payload); err != nil {
+				return flushHeld(err)
+			}
+			return flushHeld(nil)
+		case Delay:
+			f.mu.Unlock()
+			f.stats.Delayed.Add(1)
+			time.Sleep(r.Delay)
+			if err := f.inner.Send(to, hdr, payload); err != nil {
+				return flushHeld(err)
+			}
+			return flushHeld(nil)
+		case Corrupt:
+			if len(payload) > 0 {
+				payload[f.rng.Intn(len(payload))] ^= 0xFF
+				f.stats.Corrupted.Add(1)
+			}
+			f.mu.Unlock()
+			if err := f.inner.Send(to, hdr, payload); err != nil {
+				return flushHeld(err)
+			}
+			return flushHeld(nil)
+		case Truncate:
+			cut := r.Bytes
+			if cut <= 0 {
+				cut = 1
+			}
+			if cut > len(payload) {
+				cut = len(payload)
+			}
+			payload = payload[:len(payload)-cut]
+			f.stats.Truncated.Add(1)
+			f.mu.Unlock()
+			if err := f.inner.Send(to, hdr, payload); err != nil {
+				return flushHeld(err)
+			}
+			return flushHeld(nil)
+		case LinkDown:
+			f.down[to] = r.Down
+			if r.Down == 0 {
+				f.down[to] = 1
+			}
+			f.mu.Unlock()
+			f.stats.LinkDowns.Add(1)
+			f.stats.DownDrops.Add(1)
+			return flushHeld(nil)
+		}
+	}
+	f.mu.Unlock()
+	if err := f.inner.Send(to, hdr, payload); err != nil {
+		return flushHeld(err)
+	}
+	return flushHeld(nil)
+}

@@ -1,0 +1,258 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// faultPair brings up a 2-rank inproc fabric with rank 0 wrapped in a
+// fault plan; returns the wrapped sender and the raw receiver NIC.
+func faultPair(t *testing.T, plan FaultPlan) (*FaultNIC, NIC, func()) {
+	t.Helper()
+	f := NewInproc(2, Config{})
+	fn := WrapFault(f.NIC(0), plan)
+	cleanup := func() {
+		fn.Close()
+		f.Close()
+	}
+	return fn, f.NIC(1), cleanup
+}
+
+// recvN drains exactly n packets, returning their payload copies in
+// arrival order.
+func recvN(t *testing.T, nic NIC, n int, timeout time.Duration) [][]byte {
+	t.Helper()
+	got := make([][]byte, 0, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(got) < n {
+			pkt, ok := nic.Recv()
+			if !ok {
+				return
+			}
+			got = append(got, append([]byte(nil), pkt.Payload...))
+			pkt.Release()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatalf("received %d of %d packets before timeout", len(got), n)
+	}
+	return got
+}
+
+func TestFaultDrop(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: -1, Action: Drop, Prob: 1, Count: 1},
+	}})
+	defer cleanup()
+	if err := fn.Send(1, Header{}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Send(1, Header{}, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	got := recvN(t, rx, 1, time.Second)
+	if got[0][0] != 2 {
+		t.Fatalf("first delivered byte = %d, want 2 (first packet dropped)", got[0][0])
+	}
+	if fn.Stats().Dropped.Load() != 1 || fn.RuleFired(0) != 1 {
+		t.Fatal("drop counter did not fire exactly once")
+	}
+}
+
+func TestFaultDuplicate(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: -1, Action: Duplicate, Prob: 1, Count: 1},
+	}})
+	defer cleanup()
+	if err := fn.Send(1, Header{}, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	got := recvN(t, rx, 2, time.Second)
+	if got[0][0] != 7 || got[1][0] != 7 {
+		t.Fatal("duplicate did not deliver the packet twice")
+	}
+	if fn.Stats().Duplicated.Load() != 1 {
+		t.Fatal("duplicate counter did not fire")
+	}
+}
+
+func TestFaultReorderSwapsAdjacent(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: -1, Action: Reorder, Prob: 1, Count: 1},
+	}})
+	defer cleanup()
+	if err := fn.Send(1, Header{}, []byte{1}); err != nil { // held
+		t.Fatal(err)
+	}
+	if err := fn.Send(1, Header{}, []byte{2}); err != nil { // flushes: 2 then 1
+		t.Fatal(err)
+	}
+	got := recvN(t, rx, 2, time.Second)
+	if got[0][0] != 2 || got[1][0] != 1 {
+		t.Fatalf("order = %d,%d; want 2,1", got[0][0], got[1][0])
+	}
+}
+
+func TestFaultReorderFlushOnClose(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: -1, Action: Reorder, Prob: 1, Count: 1},
+	}})
+	defer cleanup()
+	if err := fn.Send(1, Header{}, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	fn.Close()
+	got := recvN(t, rx, 1, time.Second)
+	if got[0][0] != 9 {
+		t.Fatal("held packet not flushed on Close")
+	}
+}
+
+func TestFaultCorruptAndTruncate(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 3, Rules: []FaultRule{
+		{Peer: -1, Action: Corrupt, Prob: 1, Count: 1},
+		{Peer: -1, Action: Truncate, Prob: 1, Count: 1, Bytes: 3},
+	}})
+	defer cleanup()
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := fn.Send(1, Header{}, append([]byte(nil), orig...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Send(1, Header{}, append([]byte(nil), orig...)); err != nil {
+		t.Fatal(err)
+	}
+	got := recvN(t, rx, 2, time.Second)
+	if bytes.Equal(got[0], orig) {
+		t.Fatal("corrupt rule left payload intact")
+	}
+	if len(got[0]) != len(orig) {
+		t.Fatal("corrupt rule changed payload length")
+	}
+	if len(got[1]) != len(orig)-3 || !bytes.Equal(got[1], orig[:5]) {
+		t.Fatalf("truncate produced %v", got[1])
+	}
+	if fn.Stats().Corrupted.Load() != 1 || fn.Stats().Truncated.Load() != 1 {
+		t.Fatal("corrupt/truncate counters wrong")
+	}
+}
+
+func TestFaultKindFilter(t *testing.T) {
+	const ctrl Kind = 5
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: -1, Kinds: []Kind{ctrl}, Action: Drop, Prob: 1},
+	}})
+	defer cleanup()
+	if err := fn.Send(1, Header{Kind: ctrl}, []byte{1}); err != nil { // dropped
+		t.Fatal(err)
+	}
+	if err := fn.Send(1, Header{Kind: 6}, []byte{2}); err != nil { // passes
+		t.Fatal(err)
+	}
+	got := recvN(t, rx, 1, time.Second)
+	if got[0][0] != 2 {
+		t.Fatal("kind filter dropped the wrong packet")
+	}
+}
+
+func TestFaultLinkDown(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: 1, Action: LinkDown, Prob: 1, Count: 1, Down: 2},
+	}})
+	defer cleanup()
+	// Firing send + 2 more are dropped; the 4th passes.
+	for i := byte(1); i <= 4; i++ {
+		if err := fn.Send(1, Header{}, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := recvN(t, rx, 1, time.Second)
+	if got[0][0] != 4 {
+		t.Fatalf("delivered byte %d, want 4", got[0][0])
+	}
+	if fn.Stats().DownDrops.Load() != 3 {
+		t.Fatalf("DownDrops = %d, want 3", fn.Stats().DownDrops.Load())
+	}
+}
+
+func TestFaultFailGetAndDownGet(t *testing.T) {
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	fn := WrapFault(f.NIC(1), FaultPlan{Seed: 2, Rules: []FaultRule{
+		{Peer: 0, Action: FailGet, Prob: 1, Count: 2},
+	}})
+	defer fn.Close()
+	data := []byte("hello fault world")
+	key := f.NIC(0).Register(Bytes(data))
+	out := make([]byte, len(data))
+	for i := 0; i < 2; i++ {
+		if err := fn.Get(0, key, 0, Bytes(out), 0, int64(len(data))); !errors.Is(err, ErrLinkDown) {
+			t.Fatalf("attempt %d: err = %v, want ErrLinkDown", i, err)
+		}
+	}
+	if err := fn.Get(0, key, 0, Bytes(out), 0, int64(len(data))); err != nil {
+		t.Fatalf("get after rule exhausted: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("get payload mismatch")
+	}
+	if fn.Stats().GetsFailed.Load() != 2 {
+		t.Fatal("GetsFailed counter wrong")
+	}
+}
+
+func TestFaultSendFromStagesAndInjects(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 5, Rules: []FaultRule{
+		{Peer: -1, Action: Corrupt, Prob: 1, Count: 1},
+	}})
+	defer cleanup()
+	src := Bytes([]byte{10, 20, 30, 40})
+	n, err := fn.SendFrom(1, Header{}, src, 0, 4)
+	if err != nil || n != 4 {
+		t.Fatalf("SendFrom = (%d, %v)", n, err)
+	}
+	got := recvN(t, rx, 1, time.Second)
+	if bytes.Equal(got[0], []byte(src)) {
+		t.Fatal("SendFrom payload was not corrupted")
+	}
+}
+
+// TestFaultDeterminism pins that identical plans over identical
+// operation sequences make identical decisions: the delivered packet
+// stream (content and order) is byte-identical across runs.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() []byte {
+		plan := FaultPlan{Seed: 99, Rules: []FaultRule{
+			{Peer: -1, Action: Drop, Prob: 0.3},
+			{Peer: -1, Action: Duplicate, Prob: 0.3},
+		}}
+		fn, rx, cleanup := faultPair(t, plan)
+		defer cleanup()
+		const sends = 50
+		for i := byte(0); i < sends; i++ {
+			if err := fn.Send(1, Header{}, []byte{i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Send-side decisions are deterministic, so the delivered count
+		// is exactly sends - drops + duplicates.
+		expect := sends - int(fn.Stats().Dropped.Load()) + int(fn.Stats().Duplicated.Load())
+		if expect == 0 || expect == sends {
+			t.Fatalf("plan fired implausibly: %d of %d delivered", expect, sends)
+		}
+		var order []byte
+		for _, p := range recvN(t, rx, expect, 2*time.Second) {
+			order = append(order, p...)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+}

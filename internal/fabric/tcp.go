@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,13 @@ const (
 // sockets. Gather sends use net.Buffers (writev) so region lists reach the
 // kernel without an intermediate application copy, mirroring how UCX hands
 // an iovec to the verbs layer.
+//
+// Broken connections are redialed with exponential backoff by the side
+// that originally dialed (the higher rank); the accept side keeps its
+// listener open for the lifetime of the provider and installs
+// replacement connections as they arrive. While a link is down, sends to
+// and Gets from that peer fail with ErrLinkDown so the transport layer
+// can retry.
 type TCP struct {
 	cfg   Config
 	rank  int
@@ -32,10 +40,16 @@ type TCP struct {
 	pool  *bufPool // frame payload and staging buffers
 
 	ln    net.Listener
-	conns []*tcpConn
 	inbox chan *Packet
 	done  chan struct{}
 	once  sync.Once
+
+	// connsMu guards conns and redialing: accept-side installs,
+	// dial-side installs and disconnect teardown all mutate the
+	// connection map from different goroutines.
+	connsMu   sync.RWMutex
+	conns     []*tcpConn
+	redialing map[int]bool
 
 	regMu   sync.RWMutex
 	regs    map[uint64]Source
@@ -53,115 +67,230 @@ type tcpConn struct {
 }
 
 type tcpGet struct {
+	peer    int
 	sink    Sink
 	sinkOff int64 // sink offset corresponding to remote offset 0 of this get
 	left    int64
 	done    chan error
 }
 
-// DialTimeout bounds full-mesh connection establishment.
-const DialTimeout = 30 * time.Second
+// DialTimeout bounds full-mesh connection establishment and each redial
+// campaign after a connection breaks. A variable so tests can shorten it.
+var DialTimeout = 30 * time.Second
+
+// DialBackoff paces connection attempts during establishment and redial.
+var DialBackoff = Backoff{Base: 20 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25}
 
 // NewTCP attaches rank to a TCP fabric whose rank i listens at addrs[i].
 // Establishment is deterministic: rank i accepts connections from every
 // higher rank and dials every lower rank. The call blocks until the full
-// mesh is up.
+// mesh is up or DialTimeout passes, in which case the error names every
+// missing peer.
 func NewTCP(rank int, addrs []string, cfg Config) (*TCP, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, rangeErr("local", rank, len(addrs))
 	}
 	cfg = NewConfig(cfg)
 	t := &TCP{
-		cfg:   cfg,
-		rank:  rank,
-		addrs: addrs,
-		pool:  newBufPool(cfg.FragSize),
-		conns: make([]*tcpConn, len(addrs)),
-		inbox: make(chan *Packet, cfg.InboxDepth),
-		done:  make(chan struct{}),
-		regs:  make(map[uint64]Source),
-		gets:  make(map[uint64]*tcpGet),
+		cfg:       cfg,
+		rank:      rank,
+		addrs:     addrs,
+		pool:      newBufPool(cfg.FragSize),
+		conns:     make([]*tcpConn, len(addrs)),
+		redialing: make(map[int]bool),
+		inbox:     make(chan *Packet, cfg.InboxDepth),
+		done:      make(chan struct{}),
+		regs:      make(map[uint64]Source),
+		gets:      make(map[uint64]*tcpGet),
 	}
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("fabric: rank %d listen %s: %w", rank, addrs[rank], err)
 	}
 	t.ln = ln
+	go t.acceptLoop()
 
-	errc := make(chan error, len(addrs))
-	var wg sync.WaitGroup
-	// Accept from higher ranks.
-	higher := len(addrs) - rank - 1
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < higher; i++ {
-			c, err := ln.Accept()
-			if err != nil {
-				errc <- err
-				return
-			}
-			var hello [4]byte
-			if _, err := io.ReadFull(c, hello[:]); err != nil {
-				errc <- err
-				return
-			}
-			peer := int(binary.LittleEndian.Uint32(hello[:]))
-			if peer <= rank || peer >= len(addrs) {
-				errc <- fmt.Errorf("fabric: unexpected hello from rank %d", peer)
-				return
-			}
-			t.conns[peer] = &tcpConn{peer: peer, c: c}
-		}
-	}()
-	// Dial lower ranks.
+	// Dial every lower rank concurrently.
+	errc := make(chan error, rank)
 	for peer := 0; peer < rank; peer++ {
-		wg.Add(1)
 		go func(peer int) {
-			defer wg.Done()
-			deadline := time.Now().Add(DialTimeout)
-			var c net.Conn
-			var err error
-			for {
-				c, err = net.DialTimeout("tcp", addrs[peer], time.Second)
-				if err == nil {
-					break
-				}
-				if time.Now().After(deadline) {
-					errc <- fmt.Errorf("fabric: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
-					return
-				}
-				time.Sleep(20 * time.Millisecond)
-			}
-			var hello [4]byte
-			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
-			if _, err := c.Write(hello[:]); err != nil {
-				errc <- err
-				return
-			}
-			t.conns[peer] = &tcpConn{peer: peer, c: c}
+			errc <- t.dialPeer(peer)
 		}(peer)
 	}
-	wg.Wait()
+	deadline := time.Now().Add(DialTimeout)
+	for {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Close()
+				return nil, err
+			}
+			continue
+		default:
+		}
+		if missing := t.missingPeers(); len(missing) == 0 {
+			return t, nil
+		} else if time.Now().After(deadline) {
+			t.Close()
+			return nil, fmt.Errorf("fabric: rank %d mesh incomplete after %v: missing peer(s) %v",
+				rank, DialTimeout, missing)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// missingPeers lists every rank the full mesh still lacks a connection to.
+func (t *TCP) missingPeers() []int {
+	t.connsMu.RLock()
+	defer t.connsMu.RUnlock()
+	var missing []int
+	for peer, conn := range t.conns {
+		if peer != t.rank && conn == nil {
+			missing = append(missing, peer)
+		}
+	}
+	return missing
+}
+
+// acceptLoop installs inbound connections (initial mesh and redials from
+// higher ranks) for the provider's lifetime.
+func (t *TCP) acceptLoop() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		go t.handleHello(c)
+	}
+}
+
+// handleHello validates an inbound connection's rank announcement and
+// installs it. Only higher ranks dial us; anything else is dropped (the
+// dialer will retry, and mesh establishment reports who is missing).
+func (t *TCP) handleHello(c net.Conn) {
+	var hello [4]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		c.Close()
+		return
+	}
+	peer := int(binary.LittleEndian.Uint32(hello[:]))
+	if peer <= t.rank || peer >= len(t.addrs) {
+		c.Close()
+		return
+	}
+	t.installConn(peer, c)
+}
+
+// dialPeer connects to a lower rank, retrying with backoff until
+// DialTimeout. Used for both initial establishment and redial.
+func (t *TCP) dialPeer(peer int) error {
+	rng := rand.New(rand.NewSource(int64(t.rank)<<20 ^ int64(peer)))
+	deadline := time.Now().Add(DialTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-t.done:
+			return ErrClosed
+		default:
+		}
+		c, err := net.DialTimeout("tcp", t.addrs[peer], time.Second)
+		if err == nil {
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(t.rank))
+			if _, werr := c.Write(hello[:]); werr == nil {
+				t.installConn(peer, c)
+				return nil
+			} else {
+				err = werr
+				c.Close()
+			}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fabric: rank %d dial rank %d (%s): %w", t.rank, peer, t.addrs[peer], lastErr)
+		}
+		d := DialBackoff.Delay(attempt, rng)
+		select {
+		case <-t.done:
+			return ErrClosed
+		case <-time.After(d):
+		}
+	}
+}
+
+// installConn publishes a connection for peer (replacing any broken
+// predecessor) and starts its read loop.
+func (t *TCP) installConn(peer int, c net.Conn) {
+	conn := &tcpConn{peer: peer, c: c}
+	t.connsMu.Lock()
+	old := t.conns[peer]
+	t.conns[peer] = conn
+	delete(t.redialing, peer)
+	t.connsMu.Unlock()
+	if old != nil {
+		old.c.Close()
+	}
+	go t.readLoop(conn)
+}
+
+// dropConn tears down a broken connection, fails its outstanding Gets
+// with ErrLinkDown, and — when this side originally dialed the peer —
+// starts a redial campaign. The accept side instead waits for the peer
+// to dial back in.
+func (t *TCP) dropConn(conn *tcpConn) {
 	select {
-	case err := <-errc:
-		t.Close()
-		return nil, err
+	case <-t.done:
+		return
 	default:
 	}
-	for peer, conn := range t.conns {
-		if peer == rank || conn == nil {
+	t.connsMu.Lock()
+	if t.conns[conn.peer] != conn {
+		// Already replaced or dropped by a concurrent failure.
+		t.connsMu.Unlock()
+		conn.c.Close()
+		return
+	}
+	t.conns[conn.peer] = nil
+	redial := t.rank > conn.peer && !t.redialing[conn.peer]
+	if redial {
+		t.redialing[conn.peer] = true
+	}
+	t.connsMu.Unlock()
+	conn.c.Close()
+	t.failGets(conn.peer)
+	if redial {
+		go func() {
+			if err := t.dialPeer(conn.peer); err != nil {
+				// Give up: the link stays down and sends keep
+				// returning ErrLinkDown.
+				t.connsMu.Lock()
+				delete(t.redialing, conn.peer)
+				t.connsMu.Unlock()
+			}
+		}()
+	}
+}
+
+// failGets fails every outstanding Get against peer so pullers blocked
+// on a dead connection unblock and can retry.
+func (t *TCP) failGets(peer int) {
+	t.getMu.Lock()
+	defer t.getMu.Unlock()
+	for _, g := range t.gets {
+		if g.peer != peer {
 			continue
 		}
-		go t.readLoop(conn)
+		select {
+		case g.done <- fmt.Errorf("%w: connection to rank %d broke mid-pull", ErrLinkDown, peer):
+		default:
+		}
 	}
-	return t, nil
 }
 
 func (t *TCP) Rank() int { return t.rank }
 func (t *TCP) Size() int { return len(t.addrs) }
 
-func encodeHeader(b *[headerWireSize]byte, hdr Header, payloadLen int) {
+func encodeHeader(b *[headerWireSize]byte, hdr Header) {
 	b[0] = byte(hdr.Kind)
 	b[1] = hdr.Flags
 	binary.LittleEndian.PutUint64(b[2:], hdr.Tag)
@@ -169,10 +298,7 @@ func encodeHeader(b *[headerWireSize]byte, hdr Header, payloadLen int) {
 	binary.LittleEndian.PutUint64(b[18:], uint64(hdr.Offset))
 	binary.LittleEndian.PutUint64(b[26:], uint64(hdr.Total))
 	binary.LittleEndian.PutUint64(b[34:], uint64(hdr.Aux0))
-	// Aux1's top bits are never used by transports, so the wire encoding
-	// borrows no extra space: payload length travels in its own field.
 	binary.LittleEndian.PutUint64(b[42:], uint64(hdr.Aux1))
-	_ = payloadLen
 }
 
 func decodeHeader(b []byte) Header {
@@ -188,7 +314,9 @@ func decodeHeader(b []byte) Header {
 	}
 }
 
-// writeFrame sends one length-prefixed frame using a gather write.
+// writeFrame sends one length-prefixed frame using a gather write. A
+// socket failure tears the connection down (starting redial where this
+// side dials) and reports ErrLinkDown.
 func (t *TCP) writeFrame(conn *tcpConn, hdr Header, payload ...[]byte) error {
 	total := 0
 	for _, p := range payload {
@@ -200,7 +328,7 @@ func (t *TCP) writeFrame(conn *tcpConn, hdr Header, payload ...[]byte) error {
 	var pre [4 + headerWireSize]byte
 	binary.LittleEndian.PutUint32(pre[:4], uint32(total))
 	var hb [headerWireSize]byte
-	encodeHeader(&hb, hdr, total)
+	encodeHeader(&hb, hdr)
 	copy(pre[4:], hb[:])
 	bufs := make(net.Buffers, 0, 1+len(payload))
 	bufs = append(bufs, pre[:])
@@ -211,9 +339,13 @@ func (t *TCP) writeFrame(conn *tcpConn, hdr Header, payload ...[]byte) error {
 	}
 	spin(t.cfg.PerPacket)
 	conn.wmu.Lock()
-	defer conn.wmu.Unlock()
 	_, err := bufs.WriteTo(conn.c)
-	return err
+	conn.wmu.Unlock()
+	if err != nil {
+		t.dropConn(conn)
+		return fmt.Errorf("%w: write to rank %d: %v", ErrLinkDown, conn.peer, err)
+	}
+	return nil
 }
 
 func (t *TCP) Send(to int, hdr Header, payload ...[]byte) error {
@@ -265,15 +397,22 @@ func (t *TCP) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, 
 }
 
 func (t *TCP) conn(to int) (*tcpConn, error) {
-	if to < 0 || to >= len(t.conns) {
-		return nil, rangeErr("destination", to, len(t.conns))
+	if to < 0 || to >= len(t.addrs) {
+		return nil, rangeErr("destination", to, len(t.addrs))
 	}
 	if to == t.rank {
 		return nil, errors.New("fabric: self-send not supported over TCP provider")
 	}
+	t.connsMu.RLock()
 	c := t.conns[to]
+	t.connsMu.RUnlock()
 	if c == nil {
-		return nil, ErrClosed
+		select {
+		case <-t.done:
+			return nil, ErrClosed
+		default:
+			return nil, fmt.Errorf("%w: no connection to rank %d", ErrLinkDown, to)
+		}
 	}
 	return c, nil
 }
@@ -315,7 +454,7 @@ func (t *TCP) Get(from int, key uint64, off int64, sink Sink, sinkOff, size int6
 		return err
 	}
 	id := t.nextGet.Add(1)
-	g := &tcpGet{sink: sink, sinkOff: sinkOff - off, left: size, done: make(chan error, 1)}
+	g := &tcpGet{peer: from, sink: sink, sinkOff: sinkOff - off, left: size, done: make(chan error, 1)}
 	t.getMu.Lock()
 	t.gets[id] = g
 	t.getMu.Unlock()
@@ -337,6 +476,8 @@ func (t *TCP) Get(from int, key uint64, off int64, sink Sink, sinkOff, size int6
 }
 
 // serveGet streams a registered source back to the requester in fragments.
+// With Config.Checksum set, every response frame carries a CRC32C of its
+// payload in Aux0 for verification before delivery.
 func (t *TCP) serveGet(conn *tcpConn, hdr Header) {
 	key := uint64(hdr.Aux1)
 	t.regMu.RLock()
@@ -368,6 +509,9 @@ func (t *TCP) serveGet(conn *tcpConn, hdr Header) {
 			return
 		}
 		resp := Header{Kind: kindGetResp, MsgID: hdr.MsgID, Offset: off, Total: hdr.Total}
+		if t.cfg.Checksum {
+			resp.Aux0 = int64(CRC32(buf[:n]))
+		}
 		if err := t.writeFrame(conn, resp, buf[:n]); err != nil {
 			return
 		}
@@ -381,7 +525,7 @@ func (t *TCP) readLoop(conn *tcpConn) {
 	var pre [4 + headerWireSize]byte
 	for {
 		if _, err := io.ReadFull(br, pre[:]); err != nil {
-			t.Close()
+			t.dropConn(conn)
 			return
 		}
 		plen := int(binary.LittleEndian.Uint32(pre[:4]))
@@ -393,7 +537,7 @@ func (t *TCP) readLoop(conn *tcpConn) {
 			payload = (*pbuf)[:plen]
 			if _, err := io.ReadFull(br, payload); err != nil {
 				t.pool.put(pbuf)
-				t.Close()
+				t.dropConn(conn)
 				return
 			}
 		}
@@ -414,6 +558,14 @@ func (t *TCP) readLoop(conn *tcpConn) {
 			t.getMu.Unlock()
 			if g == nil {
 				putback()
+				continue
+			}
+			if t.cfg.Checksum && CRC32(payload) != uint32(uint64(hdr.Aux0)) {
+				putback()
+				select {
+				case g.done <- fmt.Errorf("%w: rendezvous pull frame at offset %d", ErrCorrupt, hdr.Offset):
+				default:
+				}
 				continue
 			}
 			_, err := g.sink.WriteAt(payload, g.sinkOff+hdr.Offset)
@@ -452,7 +604,10 @@ func (t *TCP) Close() error {
 		if t.ln != nil {
 			t.ln.Close()
 		}
-		for _, c := range t.conns {
+		t.connsMu.Lock()
+		conns := append([]*tcpConn(nil), t.conns...)
+		t.connsMu.Unlock()
+		for _, c := range conns {
 			if c != nil {
 				c.c.Close()
 			}

@@ -2,10 +2,13 @@ package fabric
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // freeAddrs reserves n distinct loopback ports and returns their addresses.
@@ -170,5 +173,74 @@ func TestTCPSelfSendRejected(t *testing.T) {
 	nics := dialMesh(t, 2, Config{})
 	if err := nics[0].Send(0, Header{}); err == nil {
 		t.Fatal("self-send over TCP should be rejected")
+	}
+}
+
+func TestTCPMeshIncompleteNamesMissingPeer(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	saved := DialTimeout
+	DialTimeout = 300 * time.Millisecond
+	defer func() { DialTimeout = saved }()
+	// Rank 1 never comes up, so rank 0's accept-side mesh stays incomplete.
+	_, err := NewTCP(0, addrs, Config{})
+	if err == nil {
+		t.Fatal("mesh with absent peer should fail")
+	}
+	if !strings.Contains(err.Error(), "missing peer(s) [1]") {
+		t.Fatalf("error does not name the missing peer: %v", err)
+	}
+}
+
+func TestTCPRedialAfterDisconnect(t *testing.T) {
+	nics := dialMesh(t, 2, Config{})
+	if err := nics[0].Send(1, Header{Tag: 1}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if pkt, ok := nics[1].Recv(); !ok || pkt.Payload[0] != 1 {
+		t.Fatal("pre-break send failed")
+	}
+	// Sever the socket out from under both sides. Rank 1 dialed rank 0,
+	// so rank 1 redials and rank 0's accept loop re-installs.
+	nics[1].connsMu.RLock()
+	conn := nics[1].conns[0]
+	nics[1].connsMu.RUnlock()
+	conn.c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := nics[1].Send(0, Header{Tag: 2}, []byte{2})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrLinkDown) {
+			t.Fatalf("send during redial: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link did not come back within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if pkt, ok := nics[0].Recv(); !ok || pkt.Payload[0] != 2 {
+		t.Fatal("post-redial send failed")
+	}
+	// The reverse direction works over the replacement connection too.
+	if err := nics[0].Send(1, Header{Tag: 3}, []byte{3}); err != nil {
+		t.Fatalf("reverse send after redial: %v", err)
+	}
+	if pkt, ok := nics[1].Recv(); !ok || pkt.Payload[0] != 3 {
+		t.Fatal("reverse delivery after redial failed")
+	}
+}
+
+func TestTCPGetChecksum(t *testing.T) {
+	nics := dialMesh(t, 2, Config{FragSize: 1024, Checksum: true})
+	data := make([]byte, 10000)
+	fillPattern(data, 9)
+	key := nics[0].Register(Bytes(data))
+	out := make([]byte, len(data))
+	if err := nics[1].Get(0, key, 0, Bytes(out), 0, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("checksummed TCP Get mismatch")
 	}
 }

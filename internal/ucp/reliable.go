@@ -1,0 +1,502 @@
+package ucp
+
+// Reliability machinery: retransmission of unacknowledged sends, duplicate
+// suppression on the receiver, fragment checksums, deadline enforcement
+// and reaping of stale abort records. Everything here is driven by the
+// worker's janitor goroutine, which only runs when Config.Reliable or
+// Config.ReqTimeout asks for it — plain lossless runs carry none of the
+// cost.
+//
+// The protocol is sender-driven: a reliable eager send retains the packed
+// message and retransmits all of it until the receiver's ack arrives; a
+// reliable rendezvous send retransmits the RTS until the FIN arrives (a
+// lost FIN is recovered because the receiver answers a duplicate RTS for
+// a completed message by resending the FIN). The receiver keeps a bounded
+// set of recently completed message ids so duplicates trigger an ack or
+// FIN resend instead of a second delivery — together this gives
+// exactly-once completion on both sides for any pattern of packet drop,
+// duplication and reordering, and bounded-time failure (ErrTimeout) when
+// the peer is unreachable.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"mpicd/internal/fabric"
+)
+
+// Header flag bits layered on fabric.Flags by the transport.
+const (
+	// flagReliable marks an eager fragment whose sender expects an ack.
+	flagReliable uint8 = 1 << 6
+	// flagCRC marks an eager fragment whose header Aux1 carries a CRC32C
+	// of the payload.
+	flagCRC uint8 = 1 << 7
+)
+
+// janitorTick is the sweep period for retransmits, deadlines and reaping.
+const janitorTick = 2 * time.Millisecond
+
+// completedCap bounds the per-worker duplicate-suppression set. Older
+// entries are evicted FIFO; a duplicate arriving after eviction would be
+// redelivered, so the cap is sized far above any plausible retransmit
+// window.
+const completedCap = 4096
+
+// doneRec remembers how a completed wire message finished so duplicates
+// can be answered without redelivery.
+type doneRec struct {
+	kind   fabric.Kind // kindEagerAck or kindFIN
+	status int64       // 0 success, 1 failure
+}
+
+// rexmitEntry is one unacknowledged send awaiting ack (eager) or FIN
+// (rendezvous RTS).
+type rexmitEntry struct {
+	dst      int
+	tag      Tag
+	id       uint64
+	total    int64
+	aux      int64
+	req      *Request
+	payload  []byte        // retained packed message (eager); nil for RTS
+	hdr      fabric.Header // control header to resend (RTS); unused for eager
+	eager    bool
+	attempts int
+	next     time.Time
+}
+
+// startJanitor launches the sweep goroutine when the configuration needs
+// one.
+func (w *Worker) startJanitor() {
+	if !w.cfg.Reliable && w.cfg.ReqTimeout <= 0 {
+		return
+	}
+	w.wg.Add(1)
+	go w.janitor()
+}
+
+func (w *Worker) janitor() {
+	defer w.wg.Done()
+	t := time.NewTicker(janitorTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.quit:
+			return
+		case now := <-t.C:
+			w.sweep(now)
+		}
+	}
+}
+
+// sweep advances the reliability state machine one tick: resend overdue
+// unacknowledged messages, fail requests past their deadline or
+// retransmission budget, and reap stale errored unexpected entries. All
+// fabric sends and request completions happen after w.mu is released.
+func (w *Worker) sweep(now time.Time) {
+	type expiredSend struct {
+		e *rexmitEntry
+		s *sendOp // the rendezvous send to tear down; nil for eager
+	}
+	var (
+		resend  []*rexmitEntry
+		expired []expiredSend
+		timedCb []func()
+	)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	for id, e := range w.rexmit {
+		if now.Before(e.next) {
+			continue
+		}
+		if e.attempts >= w.cfg.RexmitRetries {
+			delete(w.rexmit, id)
+			var s *sendOp
+			if !e.eager {
+				s = w.sends[id]
+				delete(w.sends, id)
+			}
+			expired = append(expired, expiredSend{e, s})
+			continue
+		}
+		e.attempts++
+		e.next = now.Add(w.rexmitBackoff().Delay(e.attempts, w.rng))
+		resend = append(resend, e)
+	}
+	if w.cfg.ReqTimeout > 0 {
+		// Posted receives that never matched.
+		kept := w.posted[:0]
+		for _, r := range w.posted {
+			if !r.deadline.IsZero() && now.After(r.deadline) {
+				req := r
+				timedCb = append(timedCb, func() {
+					w.stats.Timeouts.Add(1)
+					req.complete(-1, 0, 0, 0, ErrTimeout)
+				})
+				continue
+			}
+			kept = append(kept, r)
+		}
+		w.posted = kept
+		// Matched eager receives whose remaining fragments never came.
+		for key, op := range w.active {
+			if op.req.deadline.IsZero() || now.Before(op.req.deadline) {
+				continue
+			}
+			delete(w.active, key)
+			expiredOp := op
+			timedCb = append(timedCb, func() {
+				expiredOp.mu.Lock()
+				already := expiredOp.finished
+				expiredOp.finished = true
+				expiredOp.discard = true
+				if expiredOp.failure == nil {
+					expiredOp.failure = ErrTimeout
+				}
+				for _, p := range expiredOp.pending {
+					p.Release()
+				}
+				expiredOp.pending = nil
+				expiredOp.mu.Unlock()
+				if !already {
+					w.stats.Timeouts.Add(1)
+					w.finishRecv(expiredOp)
+				}
+			})
+		}
+	}
+	// Reap errored unexpected entries no receive ever claimed.
+	if n := len(w.unexpected); n > 0 {
+		kept := w.unexpected[:0]
+		for _, m := range w.unexpected {
+			if m.errored != nil && !m.erroredAt.IsZero() && now.Sub(m.erroredAt) > w.cfg.AbortLinger {
+				w.stats.AbortsReaped.Add(1)
+				reaped := m
+				timedCb = append(timedCb, func() { w.releaseFrags(reaped) })
+				continue
+			}
+			kept = append(kept, m)
+		}
+		w.unexpected = kept
+	}
+	w.mu.Unlock()
+
+	for _, e := range resend {
+		w.stats.Retransmits.Add(1)
+		if e.eager {
+			w.sendEagerFrags(e.dst, e.tag, e.id, e.total, e.aux, e.payload)
+		} else {
+			_ = w.nic.Send(e.dst, e.hdr)
+		}
+	}
+	for _, x := range expired {
+		w.stats.Timeouts.Add(1)
+		if x.s != nil {
+			w.nic.Deregister(x.s.key)
+			x.s.src.Finish()
+		}
+		x.e.req.complete(x.e.dst, x.e.tag, 0, x.e.aux, ErrTimeout)
+	}
+	for _, cb := range timedCb {
+		cb()
+	}
+}
+
+func (w *Worker) rexmitBackoff() fabric.Backoff {
+	return fabric.Backoff{Base: w.cfg.RexmitBase, Max: w.cfg.RexmitMax, Factor: 2, Jitter: 0.25}
+}
+
+// trackRexmit registers an unacknowledged send with the janitor. Caller
+// must not hold w.mu.
+func (w *Worker) trackRexmit(e *rexmitEntry) error {
+	e.next = time.Now().Add(w.rexmitBackoff().Delay(0, nil))
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWorkerClosed
+	}
+	w.rexmit[e.id] = e
+	w.mu.Unlock()
+	return nil
+}
+
+// ackRexmit resolves the rexmit entry for id, completing its request with
+// the acknowledged status. Duplicate acks find no entry and are ignored.
+func (w *Worker) ackRexmit(id uint64, status int64) {
+	w.mu.Lock()
+	e, ok := w.rexmit[id]
+	if ok {
+		delete(w.rexmit, id)
+	}
+	w.mu.Unlock()
+	if !ok || !e.eager {
+		return
+	}
+	var err error
+	if status != 0 {
+		err = errors.New("ucp: remote receive failed (eager ack)")
+	}
+	e.req.complete(e.dst, e.tag, e.total, e.aux, err)
+}
+
+// eagerSendReliable packs the whole message into a retained buffer (a
+// sequential pass, legal for every source class including inorder custom
+// types), then streams checksummed fragments that the janitor retransmits
+// until the receiver acks. Fragment-level send errors are deliberately
+// ignored: a down link is exactly what retransmission is for.
+func (w *Worker) eagerSendReliable(dst int, tag Tag, id uint64, total, aux int64, src SendState, req *Request) error {
+	buf := make([]byte, total)
+	frag := int64(w.cfg.FragSize)
+	for off := int64(0); off < total; {
+		n := frag
+		if rem := total - off; n > rem {
+			n = rem
+		}
+		got, err := src.ReadAt(buf[off:off+n], off)
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if got == 0 {
+			return fabric.ErrShortTransfer
+		}
+		off += int64(got)
+	}
+	if err := w.trackRexmit(&rexmitEntry{dst: dst, tag: tag, id: id, total: total, aux: aux, req: req, payload: buf, eager: true}); err != nil {
+		return err
+	}
+	w.sendEagerFrags(dst, tag, id, total, aux, buf)
+	return nil
+}
+
+// sendEagerFrags streams one full copy of a retained eager message.
+func (w *Worker) sendEagerFrags(dst int, tag Tag, id uint64, total, aux int64, buf []byte) {
+	frag := int64(w.cfg.FragSize)
+	off := int64(0)
+	for {
+		n := frag
+		if rem := total - off; n > rem {
+			n = rem
+		}
+		hdr := fabric.Header{Kind: kindEager, Flags: flagReliable, Tag: uint64(tag), MsgID: id, Offset: off, Total: total, Aux0: aux}
+		if off > 0 && off+n < total {
+			hdr.Flags |= fabric.FlagUnordered
+		}
+		payload := buf[off : off+n]
+		if w.cfg.Checksum {
+			hdr.Flags |= flagCRC
+			hdr.Aux1 = int64(fabric.CRC32(payload))
+		}
+		if err := w.nic.Send(dst, hdr, payload); err == nil {
+			w.stats.EagerFragments.Add(1)
+		}
+		off += n
+		if off >= total {
+			return
+		}
+	}
+}
+
+// recordCompleted remembers how a wire message finished so later
+// duplicates can be answered without redelivery. Caller must not hold
+// w.mu. No-op unless Reliable.
+func (w *Worker) recordCompleted(key msgKey, kind fabric.Kind, status int64) {
+	if !w.cfg.Reliable {
+		return
+	}
+	w.mu.Lock()
+	if _, ok := w.completed[key]; !ok {
+		w.completed[key] = doneRec{kind: kind, status: status}
+		w.completedFIFO = append(w.completedFIFO, key)
+		if len(w.completedFIFO) > completedCap {
+			evict := w.completedFIFO[0]
+			w.completedFIFO = w.completedFIFO[1:]
+			delete(w.completed, evict)
+		}
+	}
+	w.mu.Unlock()
+}
+
+// completedStatus looks up the duplicate-suppression record for key.
+func (w *Worker) completedStatus(key msgKey) (doneRec, bool) {
+	if !w.cfg.Reliable {
+		return doneRec{}, false
+	}
+	w.mu.Lock()
+	rec, ok := w.completed[key]
+	w.mu.Unlock()
+	return rec, ok
+}
+
+// verifyFragCRC checks a checksummed eager fragment. It reports whether
+// the fragment should be delivered; on mismatch the packet is consumed:
+// dropped when retransmission will recover it, or converted into a
+// receive failure when it will not.
+func (w *Worker) verifyFragCRC(pkt *fabric.Packet) bool {
+	if pkt.Hdr.Flags&flagCRC == 0 || len(pkt.Payload) == 0 {
+		return true
+	}
+	if fabric.CRC32(pkt.Payload) == uint32(uint64(pkt.Hdr.Aux1)) {
+		return true
+	}
+	w.stats.CorruptDrops.Add(1)
+	if pkt.Hdr.Flags&flagReliable != 0 {
+		// The sender retains the message; a retransmitted copy replaces
+		// this fragment.
+		pkt.Release()
+		return false
+	}
+	w.failEagerFrag(pkt)
+	return false
+}
+
+// failEagerFrag routes a corrupt unreliable fragment as a receive
+// failure: the payload is untrustworthy, but the header still identifies
+// the message, so the matching receive fails with ErrCorrupt instead of
+// hanging on a byte count that never completes.
+func (w *Worker) failEagerFrag(pkt *fabric.Packet) {
+	key := msgKey{pkt.From, pkt.Hdr.MsgID}
+	err := errorCorruptFrag(pkt.Hdr.Offset)
+	w.mu.Lock()
+	if op, ok := w.active[key]; ok {
+		w.mu.Unlock()
+		op.mu.Lock()
+		op.discard = true
+		if op.failure == nil {
+			op.failure = err
+		}
+		done := w.feedLocked(op, pkt)
+		op.mu.Unlock()
+		if done {
+			w.finishRecv(op)
+			w.mu.Lock()
+			delete(w.active, key)
+			w.mu.Unlock()
+		}
+		return
+	}
+	if m := w.findBuffered(key); m != nil {
+		if m.errored == nil {
+			m.errored = err
+			m.erroredAt = time.Now()
+		}
+		w.releaseFrags(m)
+		// Keep counting so nothing downstream waits on this message.
+		m.buffered += int64(len(pkt.Payload))
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		pkt.Release()
+		return
+	}
+	// First sign of this message: record it as errored so a receive that
+	// matches it fails promptly.
+	m := &unexMsg{
+		from: pkt.From, id: pkt.Hdr.MsgID, tag: Tag(pkt.Hdr.Tag),
+		total: pkt.Hdr.Total, aux0: pkt.Hdr.Aux0,
+		errored: err, erroredAt: time.Now(),
+	}
+	if req := w.matchPosted(m); req != nil {
+		w.startRecvLocked(req, m) // releases w.mu
+		pkt.Release()
+		return
+	}
+	w.unexpected = append(w.unexpected, m)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	pkt.Release()
+}
+
+func errorCorruptFrag(off int64) error {
+	return fmt.Errorf("%w: eager fragment at offset %d failed checksum", ErrCorrupt, off)
+}
+
+// findBuffered locates an unexpected or claimed entry for key. Caller
+// holds w.mu.
+func (w *Worker) findBuffered(key msgKey) *unexMsg {
+	if m, ok := w.claimed[key]; ok {
+		return m
+	}
+	for _, m := range w.unexpected {
+		if m.from == key.from && m.id == key.id {
+			return m
+		}
+	}
+	return nil
+}
+
+// addFragDedup appends an eager fragment to a buffered message, dropping
+// it when an equal-or-longer copy of the same offset is already held
+// (retransmissions resend whole messages). Returns the payload bytes
+// newly buffered. Caller holds w.mu.
+func (w *Worker) addFragDedup(m *unexMsg, pkt *fabric.Packet) int64 {
+	if w.cfg.Reliable {
+		for i, f := range m.frags {
+			if f.Hdr.Offset != pkt.Hdr.Offset {
+				continue
+			}
+			if len(f.Payload) >= len(pkt.Payload) {
+				w.stats.DupFrags.Add(1)
+				pkt.Release()
+				return 0
+			}
+			// The held copy was truncated; the new one supersedes it.
+			delta := int64(len(pkt.Payload) - len(f.Payload))
+			f.Release()
+			m.frags[i] = pkt
+			return delta
+		}
+	}
+	m.frags = append(m.frags, pkt)
+	return int64(len(pkt.Payload))
+}
+
+// sendAck acknowledges a completed reliable eager message.
+func (w *Worker) sendAck(to int, id uint64, status int64) {
+	w.stats.AcksSent.Add(1)
+	_ = w.nic.Send(to, fabric.Header{Kind: kindEagerAck, MsgID: id, Aux0: status})
+}
+
+// handleEagerAck completes the sender side of a reliable eager message.
+func (w *Worker) handleEagerAck(pkt *fabric.Packet) {
+	id := pkt.Hdr.MsgID
+	status := pkt.Hdr.Aux0
+	pkt.Release()
+	w.ackRexmit(id, status)
+}
+
+// getRetry wraps a rendezvous Get with bounded retries for transient
+// failures (link down, corrupt frame). Unrecoverable errors — unknown
+// key, closed NIC — and sequential sinks (which cannot rewind) pass
+// straight through.
+func (w *Worker) getRetry(from int, key uint64, off int64, sink fabric.Sink, sinkOff, n int64, sequential bool) error {
+	err := w.nic.Get(from, key, off, sink, sinkOff, n)
+	if err == nil || sequential || w.cfg.GetRetries <= 0 ||
+		errors.Is(err, fabric.ErrBadKey) || errors.Is(err, fabric.ErrClosed) {
+		return err
+	}
+	bo := w.rexmitBackoff()
+	rng := rand.New(rand.NewSource(int64(key)<<20 ^ off ^ n))
+	for attempt := 0; attempt < w.cfg.GetRetries; attempt++ {
+		t := time.NewTimer(bo.Delay(attempt, rng))
+		select {
+		case <-w.quit:
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+		w.stats.GetRetries.Add(1)
+		if err = w.nic.Get(from, key, off, sink, sinkOff, n); err == nil {
+			return nil
+		}
+		if errors.Is(err, fabric.ErrBadKey) || errors.Is(err, fabric.ErrClosed) {
+			return err
+		}
+	}
+	return err
+}

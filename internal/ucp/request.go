@@ -3,6 +3,7 @@ package ucp
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrCanceled is reported by requests removed with CancelRecv.
@@ -21,6 +22,10 @@ type Request struct {
 	dt    Datatype
 	buf   any
 	count int64
+
+	// deadline, when non-zero, is enforced by the worker's janitor: an
+	// incomplete request past it fails with ErrTimeout.
+	deadline time.Time
 
 	mu        sync.Mutex
 	done      chan struct{}
@@ -60,6 +65,23 @@ func (r *Request) Wait() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.err
+}
+
+// WaitTimeout blocks until the request completes or d elapses, returning
+// ErrTimeout in the latter case. The request itself is not canceled — a
+// late completion still lands and can be observed with Test or Wait —
+// so callers get a bounded wait even when the peer's link is down.
+func (r *Request) WaitTimeout(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.err
+	case <-t.C:
+		return ErrTimeout
+	}
 }
 
 // Test reports whether the request has completed, without blocking.

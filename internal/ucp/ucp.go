@@ -23,6 +23,7 @@ package ucp
 import (
 	"errors"
 	"runtime"
+	"time"
 
 	"mpicd/internal/fabric"
 )
@@ -77,6 +78,41 @@ type Config struct {
 	// for striped pulls (default 256 KiB). Smaller pulls always run as a
 	// single sequential Get, so short transfers pay no goroutine cost.
 	PullStripeThresh int64
+
+	// Reliable enables the loss-tolerant protocol: eager messages are
+	// retained on the sender and retransmitted until acknowledged,
+	// rendezvous RTS control messages are retransmitted until the FIN
+	// arrives, and the receiver suppresses the resulting duplicates so
+	// every message is delivered exactly once. Off by default: the
+	// in-process fabric never loses packets, so plain runs pay nothing.
+	Reliable bool
+	// Checksum protects eager fragment payloads with a CRC32C carried in
+	// the fragment header. Corrupt fragments are dropped (and recovered
+	// by retransmission when Reliable is set) or fail the receive with
+	// ErrCorrupt. Rendezvous pull frames are protected separately by
+	// fabric.Config.Checksum on byte-stream providers.
+	Checksum bool
+	// ReqTimeout bounds how long a posted receive may wait unmatched and
+	// how long a matched eager receive may wait for its remaining
+	// fragments before failing with ErrTimeout. Zero disables deadlines.
+	ReqTimeout time.Duration
+	// RexmitBase and RexmitMax bound the exponential backoff between
+	// retransmissions of unacknowledged messages (defaults 3ms / 200ms).
+	RexmitBase time.Duration
+	RexmitMax  time.Duration
+	// RexmitRetries is how many retransmission rounds are attempted
+	// before the send fails with ErrTimeout (default 12).
+	RexmitRetries int
+	// GetRetries is how many times a failed rendezvous Get (link down,
+	// corrupt frame) is retried with backoff before the pull degrades or
+	// fails (default 3). Sequential (inorder) sinks never retry: their
+	// contract forbids rewinding.
+	GetRetries int
+	// AbortLinger is how long an errored unmatched message is kept for a
+	// late receive to observe before the janitor reaps it (default 2s).
+	// Reaping requires the janitor, which runs when Reliable or
+	// ReqTimeout is set.
+	AbortLinger time.Duration
 }
 
 // DefaultRndvThresh is the default eager→rendezvous threshold (32 KiB).
@@ -128,6 +164,23 @@ func (c Config) withDefaults() Config {
 	if c.PullStripeThresh <= 0 {
 		c.PullStripeThresh = DefaultPullStripeThresh
 	}
+	if c.RexmitBase <= 0 {
+		c.RexmitBase = 3 * time.Millisecond
+	}
+	if c.RexmitMax <= 0 {
+		c.RexmitMax = 200 * time.Millisecond
+	}
+	if c.RexmitRetries <= 0 {
+		c.RexmitRetries = 12
+	}
+	if c.GetRetries < 0 {
+		c.GetRetries = 0
+	} else if c.GetRetries == 0 {
+		c.GetRetries = 3
+	}
+	if c.AbortLinger <= 0 {
+		c.AbortLinger = 2 * time.Second
+	}
 	return c
 }
 
@@ -137,3 +190,16 @@ var ErrWorkerClosed = errors.New("ucp: worker closed")
 // ErrTruncated is returned when an incoming message is larger than the
 // posted receive buffer.
 var ErrTruncated = errors.New("ucp: message truncated (receive buffer too small)")
+
+// ErrTimeout is returned when a request exceeds its deadline: a posted
+// receive that never matched within Config.ReqTimeout, a matched receive
+// whose remaining fragments never arrived, a send whose retransmission
+// budget ran out, or a Request.WaitTimeout that expired.
+var ErrTimeout = errors.New("ucp: request timed out")
+
+// ErrLinkDown re-exports the fabric-level link failure so transport users
+// can test for it without importing fabric.
+var ErrLinkDown = fabric.ErrLinkDown
+
+// ErrCorrupt re-exports the fabric-level integrity failure.
+var ErrCorrupt = fabric.ErrCorrupt

@@ -3,8 +3,11 @@ package ucp
 import (
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mpicd/internal/fabric"
 )
@@ -23,8 +26,16 @@ type Worker struct {
 	active     map[msgKey]*recvOp  // matched receives still consuming fragments
 	claimed    map[msgKey]*unexMsg // mprobe-claimed messages still buffering
 	sends      map[uint64]*sendOp  // rendezvous sends awaiting FIN
+	pulls      map[msgKey]*recvOp  // rendezvous receives mid-pull (dup RTS suppression)
 	closed     bool
 
+	// Reliability state (see reliable.go), guarded by mu.
+	rexmit        map[uint64]*rexmitEntry // unacknowledged sends by msg id
+	completed     map[msgKey]doneRec      // recently finished wire messages
+	completedFIFO []msgKey
+	rng           *rand.Rand // retransmit jitter; guarded by mu
+
+	quit    chan struct{} // stops the janitor
 	nextMsg atomic.Uint64
 	wg      sync.WaitGroup
 	stats   WorkerStats
@@ -42,6 +53,16 @@ type WorkerStats struct {
 	SequentialPulls atomic.Int64 // rendezvous pulls run as one sequential Get
 	StripedPulls    atomic.Int64 // rendezvous pulls split into concurrent stripes
 	PullStripeSegs  atomic.Int64 // total stripe segments issued by striped pulls
+
+	Retransmits     atomic.Int64 // resend rounds issued by the janitor
+	AcksSent        atomic.Int64 // eager acks sent (including resends)
+	DupFrags        atomic.Int64 // duplicate eager fragments suppressed
+	DupRTS          atomic.Int64 // duplicate RTS control messages suppressed
+	CorruptDrops    atomic.Int64 // eager fragments that failed their checksum
+	GetRetries      atomic.Int64 // rendezvous Get attempts beyond the first
+	StripeFallbacks atomic.Int64 // striped pulls degraded to one sequential Get
+	Timeouts        atomic.Int64 // requests failed with ErrTimeout
+	AbortsReaped    atomic.Int64 // stale errored unexpected entries reaped
 }
 
 // Stats exposes the worker's protocol counters.
@@ -73,10 +94,12 @@ type unexMsg struct {
 	rndv     bool
 	frags    []*fabric.Packet // eager: buffered fragments in arrival order
 	buffered int64
-	selfSrc  SendState // self-send: local source
-	selfReq  *Request  // self-send: the sender's request
-	errored  error     // abort received before match
-	claimed  bool
+	selfSrc   SendState // self-send: local source
+	selfReq   *Request  // self-send: the sender's request
+	errored   error     // abort received before match
+	erroredAt time.Time // when errored was set (janitor reaping)
+	reliable  bool      // sender expects an ack (reliable eager)
+	claimed   bool
 }
 
 // recvOp is a matched receive consuming data. Its mutable fields are
@@ -90,6 +113,9 @@ type recvOp struct {
 	total int64 // incoming message size
 	aux0  int64
 
+	wireEager bool // eager message from a remote rank (ack/dedup applies)
+	reliable  bool // sender expects an ack on completion
+
 	mu         sync.Mutex
 	sink       RecvState // nil when sink construction failed
 	received   int64
@@ -99,6 +125,10 @@ type recvOp struct {
 	sequential bool
 	next       int64
 	pending    map[int64]*fabric.Packet
+	// seen dedups retransmitted fragments for non-sequential sinks:
+	// offset → longest payload accepted there (a truncated fragment may
+	// be superseded by its full retransmission).
+	seen map[int64]int64
 }
 
 // NewWorker attaches a transport worker to a NIC and starts its progress
@@ -110,10 +140,18 @@ func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 		active:  make(map[msgKey]*recvOp),
 		claimed: make(map[msgKey]*unexMsg),
 		sends:   make(map[uint64]*sendOp),
+		pulls:   make(map[msgKey]*recvOp),
+		rexmit:  make(map[uint64]*rexmitEntry),
+		quit:    make(chan struct{}),
+	}
+	if w.cfg.Reliable {
+		w.completed = make(map[msgKey]doneRec, completedCap)
+		w.rng = rand.New(rand.NewSource(int64(nic.Rank())<<32 | 0x5eed))
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.wg.Add(1)
 	go w.loop()
+	w.startJanitor()
 	return w
 }
 
@@ -135,6 +173,7 @@ func (w *Worker) Close() {
 	w.posted = nil
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	close(w.quit)
 	for _, r := range posted {
 		r.complete(-1, 0, 0, 0, ErrWorkerClosed)
 	}
@@ -143,7 +182,8 @@ func (w *Worker) Close() {
 }
 
 const (
-	kindAbort fabric.Kind = 10 // sender-side pack failure notification
+	kindAbort    fabric.Kind = 10 // sender-side pack failure notification
+	kindEagerAck fabric.Kind = 11 // reliable eager completion ack (status in Aux0)
 )
 
 // Send starts a tagged send of (buf, count) with datatype dt to rank dst.
@@ -208,6 +248,20 @@ func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux i
 		w.sends[id] = &sendOp{req: req, src: src, key: key}
 		w.mu.Unlock()
 		hdr := fabric.Header{Kind: kindRTS, Tag: uint64(tag), MsgID: id, Total: total, Aux0: aux, Aux1: int64(key)}
+		if w.cfg.Reliable {
+			// The janitor retransmits the RTS until the FIN arrives, so
+			// even a failed first send (link down) just waits its turn.
+			if err := w.trackRexmit(&rexmitEntry{dst: dst, tag: tag, id: id, total: total, aux: aux, req: req, hdr: hdr}); err != nil {
+				w.mu.Lock()
+				delete(w.sends, id)
+				w.mu.Unlock()
+				w.nic.Deregister(key)
+				src.Finish()
+				return nil, err
+			}
+			_ = w.nic.Send(dst, hdr)
+			return req, nil
+		}
 		if err := w.nic.Send(dst, hdr); err != nil {
 			w.mu.Lock()
 			delete(w.sends, id)
@@ -219,9 +273,14 @@ func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux i
 		return req, nil
 	}
 
-	// Eager: stream fragments and complete locally.
+	// Eager: stream fragments and complete locally — or, when Reliable,
+	// retain the packed message and complete on the receiver's ack.
 	w.stats.EagerSends.Add(1)
-	err = w.eagerSend(dst, tag, id, total, aux, src)
+	if w.cfg.Reliable {
+		err = w.eagerSendReliable(dst, tag, id, total, aux, src, req)
+	} else {
+		err = w.eagerSend(dst, tag, id, total, aux, src)
+	}
 	if ferr := src.Finish(); err == nil {
 		err = ferr
 	}
@@ -231,7 +290,9 @@ func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux i
 		req.complete(dst, tag, 0, aux, err)
 		return req, err
 	}
-	req.complete(dst, tag, total, aux, nil)
+	if !w.cfg.Reliable {
+		req.complete(dst, tag, total, aux, nil)
+	}
 	return req, nil
 }
 
@@ -242,6 +303,13 @@ func (w *Worker) eagerSend(dst int, tag Tag, id uint64, total, aux int64, src Se
 	}
 	off := int64(0)
 	frag := int64(w.cfg.FragSize)
+	// Checksummed fragments must be staged so the CRC covers exactly the
+	// bytes on the wire; this trades the zero-copy SendFrom path for
+	// integrity (the checksum-ablation benchmark quantifies the cost).
+	var staging []byte
+	if w.cfg.Checksum {
+		staging = make([]byte, frag)
+	}
 	for off < total {
 		n := frag
 		if rem := total - off; n > rem {
@@ -251,7 +319,24 @@ func (w *Worker) eagerSend(dst int, tag Tag, id uint64, total, aux int64, src Se
 		if off > 0 && off+n < total {
 			hdr.Flags = fabric.FlagUnordered
 		}
-		sent, err := w.nic.SendFrom(dst, hdr, src, off, n)
+		var sent int64
+		var err error
+		if staging != nil {
+			var got int
+			got, err = src.ReadAt(staging[:n], off)
+			if err != nil && err != io.EOF {
+				return err
+			}
+			if got == 0 {
+				return fabric.ErrShortTransfer
+			}
+			hdr.Flags |= flagCRC
+			hdr.Aux1 = int64(fabric.CRC32(staging[:got]))
+			sent = int64(got)
+			err = w.nic.Send(dst, hdr, staging[:got])
+		} else {
+			sent, err = w.nic.SendFrom(dst, hdr, src, off, n)
+		}
 		if err != nil {
 			return err
 		}
@@ -291,6 +376,9 @@ func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64
 	req.dt = dt
 	req.buf = buf
 	req.count = count
+	if w.cfg.ReqTimeout > 0 {
+		req.deadline = time.Now().Add(w.cfg.ReqTimeout)
+	}
 
 	w.mu.Lock()
 	if w.closed {
@@ -377,9 +465,14 @@ func (w *Worker) startRecvLocked(req *Request, m *unexMsg) {
 	}
 	key := msgKey{m.from, m.id}
 	eager := m.selfSrc == nil && !m.rndv
+	op.wireEager = eager
+	op.reliable = m.reliable
 	op.mu.Lock()
 	if eager && m.total > 0 {
 		w.active[key] = op
+	}
+	if m.rndv {
+		w.pulls[key] = op
 	}
 	w.mu.Unlock()
 
@@ -399,6 +492,9 @@ func (w *Worker) startRecvLocked(req *Request, m *unexMsg) {
 			op.discard = true
 			op.failure = fmt.Errorf("%w: %d bytes incoming, %d byte buffer", ErrTruncated, m.total, sink.Size())
 		}
+	}
+	if w.cfg.Reliable && eager && !op.sequential {
+		op.seen = make(map[int64]int64)
 	}
 
 	switch {
@@ -424,10 +520,10 @@ func (w *Worker) startRecvLocked(req *Request, m *unexMsg) {
 		}
 		op.mu.Unlock()
 		if done {
+			w.finishRecv(op)
 			w.mu.Lock()
 			delete(w.active, key)
 			w.mu.Unlock()
-			w.finishRecv(op)
 		}
 	}
 }
@@ -478,6 +574,14 @@ func (w *Worker) runPull(op *recvOp, key uint64) {
 		status = 1
 		n = 0
 	}
+	mk := msgKey{op.from, op.id}
+	// Record completion before dropping the pull entry: handleRTS checks
+	// both under one lock, so a retransmitted RTS always finds at least
+	// one of them and never redelivers.
+	w.recordCompleted(mk, kindFIN, status)
+	w.mu.Lock()
+	delete(w.pulls, mk)
+	w.mu.Unlock()
 	_ = w.nic.Send(op.from, fabric.Header{Kind: kindFIN, MsgID: op.id, Aux0: status})
 	if op.sink != nil {
 		if ferr := op.sink.Finish(); err == nil {
@@ -503,7 +607,7 @@ func (w *Worker) pullBody(op *recvOp, key uint64, n int64) error {
 	stripes := int64(w.cfg.PullStripes)
 	if op.sequential || stripes <= 1 || n < w.cfg.PullStripeThresh {
 		w.stats.SequentialPulls.Add(1)
-		return w.nic.Get(op.from, key, 0, op.sink, 0, n)
+		return w.getRetry(op.from, key, 0, op.sink, 0, n, op.sequential)
 	}
 	if stripes > n {
 		stripes = n
@@ -524,7 +628,7 @@ func (w *Worker) pullBody(op *recvOp, key uint64, n int64) error {
 		wg.Add(1)
 		go func(off, span int64) {
 			defer wg.Done()
-			if err := w.nic.Get(op.from, key, off, op.sink, off, span); err != nil {
+			if err := w.getRetry(op.from, key, off, op.sink, off, span, false); err != nil {
 				errMu.Lock()
 				if first == nil {
 					first = err
@@ -536,7 +640,18 @@ func (w *Worker) pullBody(op *recvOp, key uint64, n int64) error {
 	// Join every stripe before returning: the FIN that releases the
 	// sender's registration must not race an in-flight stripe.
 	wg.Wait()
-	return first
+	if first == nil {
+		return nil
+	}
+	if errors.Is(first, fabric.ErrBadKey) || errors.Is(first, fabric.ErrClosed) {
+		return first
+	}
+	// Graceful degradation: a stripe exhausted its retries, so re-pull
+	// the whole range as one sequential Get. Non-sequential sinks accept
+	// rewrites at already-covered offsets, so restarting from zero is
+	// contract-safe.
+	w.stats.StripeFallbacks.Add(1)
+	return w.getRetry(op.from, key, 0, op.sink, 0, n, false)
 }
 
 // feedLocked delivers one eager fragment. Caller holds op.mu. It returns
@@ -548,6 +663,21 @@ func (w *Worker) feedLocked(op *recvOp, pkt *fabric.Packet) bool {
 	}
 	write := func(p *fabric.Packet) {
 		got := int64(len(p.Payload))
+		if op.seen != nil {
+			prev, dup := op.seen[p.Hdr.Offset]
+			if dup && prev >= got {
+				// Full duplicate of an accepted fragment.
+				w.stats.DupFrags.Add(1)
+				p.Release()
+				return
+			}
+			op.seen[p.Hdr.Offset] = got
+			if dup {
+				// A truncated copy was accepted earlier; this complete
+				// retransmission supersedes it — count only the delta.
+				got -= prev
+			}
+		}
 		if !op.discard {
 			if _, err := op.sink.WriteAt(p.Payload, p.Hdr.Offset); err != nil {
 				op.discard = true
@@ -560,7 +690,22 @@ func (w *Worker) feedLocked(op *recvOp, pkt *fabric.Packet) bool {
 	if !op.sequential || op.discard {
 		write(pkt)
 	} else {
+		if pkt.Hdr.Offset < op.next {
+			// Sequential sinks already consumed this range; duplicate.
+			w.stats.DupFrags.Add(1)
+			pkt.Release()
+			return false
+		}
 		if pkt.Hdr.Offset != op.next {
+			if held, ok := op.pending[pkt.Hdr.Offset]; ok {
+				// Keep whichever copy carries more bytes.
+				if len(held.Payload) >= len(pkt.Payload) {
+					w.stats.DupFrags.Add(1)
+					pkt.Release()
+					return false
+				}
+				held.Release()
+			}
 			op.pending[pkt.Hdr.Offset] = pkt
 			return false
 		}
@@ -596,6 +741,18 @@ func (w *Worker) finishRecv(op *recvOp) {
 			err = ferr
 		}
 	}
+	if op.wireEager {
+		status := int64(0)
+		if err != nil {
+			status = 1
+		}
+		// Record before the ack leaves so a duplicate fragment racing the
+		// ack finds the completion record.
+		w.recordCompleted(msgKey{op.from, op.id}, kindEagerAck, status)
+		if op.reliable {
+			w.sendAck(op.from, op.id, status)
+		}
+	}
 	op.req.complete(op.from, op.tag, n, op.aux0, err)
 }
 
@@ -628,6 +785,8 @@ func (w *Worker) drainOnClose() {
 	w.active = make(map[msgKey]*recvOp)
 	sends := w.sends
 	w.sends = make(map[uint64]*sendOp)
+	rexmit := w.rexmit
+	w.rexmit = make(map[uint64]*rexmitEntry)
 	unex := w.unexpected
 	w.unexpected = nil
 	w.cond.Broadcast()
@@ -649,6 +808,11 @@ func (w *Worker) drainOnClose() {
 		s.src.Finish()
 		s.req.complete(-1, 0, 0, 0, ErrWorkerClosed)
 	}
+	for _, e := range rexmit {
+		// Rendezvous entries share a request with the sends map above
+		// (complete is idempotent); reliable eager entries are only here.
+		e.req.complete(-1, 0, 0, 0, ErrWorkerClosed)
+	}
 	for _, m := range unex {
 		w.releaseFrags(m)
 		w.finishSelf(m, ErrWorkerClosed)
@@ -665,42 +829,78 @@ func (w *Worker) handle(pkt *fabric.Packet) {
 		w.handleFIN(pkt)
 	case kindAbort:
 		w.handleAbort(pkt)
+	case kindEagerAck:
+		w.handleEagerAck(pkt)
 	default:
 		pkt.Release()
 	}
 }
 
 func (w *Worker) handleEager(pkt *fabric.Packet) {
+	if !w.verifyFragCRC(pkt) {
+		return // consumed: dropped for retransmit, or routed as a failure
+	}
 	key := msgKey{pkt.From, pkt.Hdr.MsgID}
+	reliable := pkt.Hdr.Flags&flagReliable != 0
 	w.mu.Lock()
+	// A fragment of an already-completed message is a retransmission that
+	// crossed our ack on the wire: answer with a fresh ack, do not
+	// redeliver. Checked in the same critical section as the active table
+	// — completion records the message before removing it from active, so
+	// a duplicate always hits one of the two.
+	if w.cfg.Reliable {
+		if rec, ok := w.completed[key]; ok {
+			w.mu.Unlock()
+			w.stats.DupFrags.Add(1)
+			pkt.Release()
+			if reliable && rec.kind == kindEagerAck {
+				w.sendAck(key.from, key.id, rec.status)
+			}
+			return
+		}
+	}
 	if op, ok := w.active[key]; ok {
 		w.mu.Unlock()
 		op.mu.Lock()
 		done := w.feedLocked(op, pkt)
 		op.mu.Unlock()
 		if done {
+			// finishRecv records the completion before the entry leaves
+			// the active table; late duplicates meanwhile bounce off the
+			// op's finished flag.
+			w.finishRecv(op)
 			w.mu.Lock()
 			delete(w.active, key)
 			w.mu.Unlock()
-			w.finishRecv(op)
 		}
 		return
 	}
 	if m, ok := w.claimed[key]; ok {
-		m.frags = append(m.frags, pkt)
-		m.buffered += int64(len(pkt.Payload))
+		m.reliable = m.reliable || reliable
+		m.buffered += w.addFragDedup(m, pkt)
 		w.cond.Broadcast()
 		w.mu.Unlock()
 		return
 	}
 	if pkt.Hdr.Offset == 0 {
-		// First fragment: try to match.
+		// First fragment: try to match — unless a retransmitted first
+		// fragment raced ahead and the message is already buffered.
+		if w.cfg.Reliable {
+			if m := w.findBuffered(key); m != nil {
+				m.reliable = m.reliable || reliable
+				m.buffered += w.addFragDedup(m, pkt)
+				w.cond.Broadcast()
+				w.mu.Unlock()
+				return
+			}
+		}
 		m := &unexMsg{
-			from:  pkt.From,
-			id:    pkt.Hdr.MsgID,
-			tag:   Tag(pkt.Hdr.Tag),
-			total: pkt.Hdr.Total,
-			aux0:  pkt.Hdr.Aux0,
+			from:     pkt.From,
+			id:       pkt.Hdr.MsgID,
+			tag:      Tag(pkt.Hdr.Tag),
+			total:    pkt.Hdr.Total,
+			aux0:     pkt.Hdr.Aux0,
+			reliable: reliable,
 		}
 		if pkt.Hdr.Total > 0 {
 			m.frags = []*fabric.Packet{pkt}
@@ -721,12 +921,36 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 	// Later fragment of an unmatched message: buffer onto its entry.
 	for _, m := range w.unexpected {
 		if m.from == pkt.From && m.id == pkt.Hdr.MsgID {
-			m.frags = append(m.frags, pkt)
-			m.buffered += int64(len(pkt.Payload))
+			m.reliable = m.reliable || reliable
+			m.buffered += w.addFragDedup(m, pkt)
 			w.cond.Broadcast()
 			w.mu.Unlock()
 			return
 		}
+	}
+	if w.cfg.Reliable && reliable {
+		// Out-of-order arrival: a later fragment beat the first one here.
+		// Hold it on a fresh entry so nothing is lost; matching still
+		// waits for the offset-0 fragment's metadata (same tag either way).
+		m := &unexMsg{
+			from:     pkt.From,
+			id:       pkt.Hdr.MsgID,
+			tag:      Tag(pkt.Hdr.Tag),
+			total:    pkt.Hdr.Total,
+			aux0:     pkt.Hdr.Aux0,
+			reliable: true,
+			frags:    []*fabric.Packet{pkt},
+			buffered: int64(len(pkt.Payload)),
+		}
+		if req := w.matchPosted(m); req != nil {
+			w.stats.PostedHits.Add(1)
+			w.startRecvLocked(req, m) // releases w.mu
+			return
+		}
+		w.unexpected = append(w.unexpected, m)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
 	}
 	w.mu.Unlock()
 	// No home for this fragment (message was dropped); discard.
@@ -734,6 +958,30 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 }
 
 func (w *Worker) handleRTS(pkt *fabric.Packet) {
+	key := msgKey{pkt.From, pkt.Hdr.MsgID}
+	if w.cfg.Reliable {
+		// Retransmitted RTS: if the pull already finished, the FIN was
+		// lost — resend it. If the pull is running or the message is
+		// still buffered awaiting a match, the original RTS is in hand.
+		// One critical section pairs with runPull's record-then-delete
+		// ordering so a duplicate always hits at least one check.
+		w.mu.Lock()
+		rec, done := w.completed[key]
+		_, running := w.pulls[key]
+		buffered := w.findBuffered(key) != nil
+		w.mu.Unlock()
+		if done && rec.kind == kindFIN {
+			w.stats.DupRTS.Add(1)
+			pkt.Release()
+			_ = w.nic.Send(key.from, fabric.Header{Kind: kindFIN, MsgID: key.id, Aux0: rec.status})
+			return
+		}
+		if running || buffered {
+			w.stats.DupRTS.Add(1)
+			pkt.Release()
+			return
+		}
+	}
 	m := &unexMsg{
 		from:    pkt.From,
 		id:      pkt.Hdr.MsgID,
@@ -764,6 +1012,7 @@ func (w *Worker) handleFIN(pkt *fabric.Packet) {
 	if ok {
 		delete(w.sends, id)
 	}
+	delete(w.rexmit, id) // stop retransmitting the RTS
 	w.mu.Unlock()
 	if !ok {
 		return
@@ -800,6 +1049,7 @@ func (w *Worker) handleAbort(pkt *fabric.Packet) {
 	}
 	if m, ok := w.claimed[key]; ok {
 		m.errored = err
+		m.erroredAt = time.Now()
 		w.releaseFrags(m)
 		w.cond.Broadcast()
 		w.mu.Unlock()
@@ -809,6 +1059,7 @@ func (w *Worker) handleAbort(pkt *fabric.Packet) {
 	for _, m := range w.unexpected {
 		if m.from == pkt.From && m.id == pkt.Hdr.MsgID {
 			m.errored = err
+			m.erroredAt = time.Now()
 			w.releaseFrags(m)
 			w.cond.Broadcast()
 			w.mu.Unlock()
@@ -818,8 +1069,9 @@ func (w *Worker) handleAbort(pkt *fabric.Packet) {
 	}
 	// Abort for a message whose first fragment never arrived (or was
 	// already consumed): record it as an errored unexpected message so a
-	// future receive fails instead of hanging.
-	m := &unexMsg{from: pkt.From, id: pkt.Hdr.MsgID, tag: Tag(pkt.Hdr.Tag), total: pkt.Hdr.Total, aux0: pkt.Hdr.Aux0, errored: err}
+	// future receive fails instead of hanging. The janitor reaps the
+	// entry after Config.AbortLinger if no receive ever claims it.
+	m := &unexMsg{from: pkt.From, id: pkt.Hdr.MsgID, tag: Tag(pkt.Hdr.Tag), total: pkt.Hdr.Total, aux0: pkt.Hdr.Aux0, errored: err, erroredAt: time.Now()}
 	w.unexpected = append(w.unexpected, m)
 	w.cond.Broadcast()
 	w.mu.Unlock()

@@ -71,6 +71,18 @@ const MaxTag = core.MaxTag
 // message.
 var ErrTruncated = core.ErrTruncated
 
+// Failure taxonomy, for classifying errors with errors.Is.
+var (
+	// ErrTimeout reports a request that exceeded its deadline
+	// (Options.UCP.ReqTimeout or Request.WaitTimeout) or exhausted its
+	// retransmission budget.
+	ErrTimeout = core.ErrTimeout
+	// ErrLinkDown reports a broken or deliberately downed fabric link.
+	ErrLinkDown = core.ErrLinkDown
+	// ErrCorrupt reports a payload that failed its checksum.
+	ErrCorrupt = core.ErrCorrupt
+)
+
 // TypeBytes is the predefined byte datatype (MPI_BYTE): buffers are
 // []byte, counts are byte counts, and a negative count means the whole
 // slice.
