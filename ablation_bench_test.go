@@ -10,6 +10,7 @@ import (
 	"mpicd/internal/core"
 	"mpicd/internal/ddtbench"
 	"mpicd/internal/harness"
+	"mpicd/internal/obs"
 	"mpicd/internal/ucp"
 )
 
@@ -141,6 +142,34 @@ func BenchmarkAblationPullStripes(b *testing.B) {
 					benchOpWith(b, opt, o.op(size))
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkAblationObs prices the observability layer on the latency
+// path: off (Config.Obs nil — one pointer check per instrumentation
+// site), metrics (registry counters, gauges and histograms) and trace
+// (metrics plus the per-message lifecycle ring). The 1 KiB point rides
+// eager, 64 KiB rides rendezvous. Allocations are reported: the off and
+// on variants must match — the layer adds timestamps and atomic bucket
+// increments, never per-message garbage (pinned by
+// TestObsEagerAllocsPinned in internal/core).
+func BenchmarkAblationObs(b *testing.B) {
+	modes := []struct {
+		name string
+		mk   func() *obs.Observer
+	}{
+		{"off", func() *obs.Observer { return nil }},
+		{"metrics", func() *obs.Observer { return obs.New(0) }},
+		{"trace", func() *obs.Observer { return obs.New(4096) }},
+	}
+	for _, size := range []int64{1 << 10, 64 << 10} {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("size-%dK/%s", size/1024, m.name), func(b *testing.B) {
+				b.ReportAllocs()
+				opt := core.Options{UCP: ucp.Config{Obs: m.mk()}}
+				benchOpWith(b, opt, harness.PickleOp("roofline", nil, size))
+			})
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"mpicd/internal/harness"
+	"mpicd/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced iterations and size sweep")
 	scale := flag.Int("scale", 1, "DDTBench size scale for figure 10")
 	runs := flag.Int("runs", 0, "override number of measurement runs")
+	stats := flag.String("stats", "", "dump transport metrics as JSON after the run: a file path, or - for stderr")
+	traceCap := flag.Int("trace", 0, "with -stats, also keep the last N per-message lifecycle events")
 	flag.Parse()
 
 	cfg := harness.Full
@@ -35,6 +38,11 @@ func main() {
 	}
 	if *runs > 0 {
 		cfg.Runs = *runs
+	}
+	var observer *obs.Observer
+	if *stats != "" {
+		observer = obs.New(*traceCap)
+		cfg.Opt.UCP.Obs = observer
 	}
 
 	figures := map[string]func() error{
@@ -73,6 +81,30 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if observer != nil {
+		if err := dumpStats(observer, *stats); err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpStats writes the accumulated metrics (and trace, when enabled) to
+// dest: a file path, or "-" for stderr so the dump does not interleave
+// with the figure tables on stdout.
+func dumpStats(o *obs.Observer, dest string) error {
+	if dest == "-" {
+		return o.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printFig(f *harness.Figure, err error) error {

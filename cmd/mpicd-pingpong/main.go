@@ -19,10 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
-	"mpicd/internal/core"
 	"mpicd/internal/harness"
 	"mpicd/mpi"
 )
@@ -35,7 +35,16 @@ func main() {
 	method := flag.String("method", "custom", "custom, packed/manual-pack or rsmpi")
 	maxSize := flag.Int64("max", 1<<20, "largest message size in bytes")
 	iters := flag.Int("iters", 100, "timed iterations per size")
+	stats := flag.String("stats", "", "dump transport metrics as JSON after the run: a file path, or - for stderr")
+	traceCap := flag.Int("trace", 0, "with -stats, also keep the last N per-message lifecycle events")
 	flag.Parse()
+
+	var observer *mpi.Observer
+	opt := mpi.Options{}
+	if *stats != "" {
+		observer = mpi.NewObserver(*traceCap)
+		opt.UCP.Obs = observer
+	}
 
 	op := func(size int64) harness.Op {
 		switch *typ {
@@ -98,7 +107,7 @@ func main() {
 
 	switch *transport {
 	case "inproc":
-		if err := mpi.Run(2, mpi.Options{}, run); err != nil {
+		if err := mpi.Run(2, opt, run); err != nil {
 			log.Fatal(err)
 		}
 	case "tcp":
@@ -106,7 +115,7 @@ func main() {
 		if len(list) != 2 {
 			log.Fatal("-addrs must list exactly two rank addresses")
 		}
-		world, err := mpi.ConnectTCP(*rank, list, core.Options{})
+		world, err := mpi.ConnectTCP(*rank, list, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,4 +126,27 @@ func main() {
 	default:
 		log.Fatalf("unknown -transport %q", *transport)
 	}
+	if observer != nil {
+		if err := dumpStats(observer, *stats); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// dumpStats writes the accumulated metrics (and trace, when enabled) to
+// dest: a file path, or "-" for stderr so the dump does not interleave
+// with the latency table on stdout.
+func dumpStats(o *mpi.Observer, dest string) error {
+	if dest == "-" {
+		return o.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

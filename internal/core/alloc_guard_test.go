@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"mpicd/internal/core"
+	"mpicd/internal/obs"
+	"mpicd/internal/ucp"
 )
 
 // Allocation ceilings for the eager small-message path, measured on the
@@ -77,6 +79,42 @@ func TestEagerSmallMessageAllocsPinned(t *testing.T) {
 	t.Logf("eager 1 KiB ping-pong: %.1f allocs/op", avg)
 	if avg > eagerPingPongAllocCeiling {
 		t.Fatalf("eager path allocates %.1f/op, ceiling %d", avg, eagerPingPongAllocCeiling)
+	}
+}
+
+// TestObsEagerAllocsPinned runs the same eager ping-pong with the full
+// observability layer enabled (metrics registry plus trace ring) and
+// holds it to the same ceiling as the uninstrumented path: counters are
+// atomics, histogram observation is a fixed-shape bucket increment, and
+// trace recording copies one fixed-size struct into a preallocated ring.
+func TestObsEagerAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	sys := core.NewSystem(2, core.Options{UCP: ucp.Config{Obs: obs.New(4096)}})
+	defer sys.Close()
+	const size = 1024
+	msg := make([]byte, size)
+	out := make([]byte, size)
+	buf := make([]byte, size)
+
+	avg := measureEcho(t, sys, 100,
+		func(c *core.Comm) error {
+			if err := c.Send(msg, -1, core.TypeBytes, 1, 1); err != nil {
+				return err
+			}
+			_, err := c.Recv(out, -1, core.TypeBytes, 1, 2)
+			return err
+		},
+		func(c *core.Comm) error {
+			if _, err := c.Recv(buf, -1, core.TypeBytes, 0, 1); err != nil {
+				return err
+			}
+			return c.Send(buf, -1, core.TypeBytes, 0, 2)
+		})
+	t.Logf("obs-enabled eager 1 KiB ping-pong: %.1f allocs/op", avg)
+	if avg > eagerPingPongAllocCeiling {
+		t.Fatalf("obs-enabled eager path allocates %.1f/op, ceiling %d", avg, eagerPingPongAllocCeiling)
 	}
 }
 

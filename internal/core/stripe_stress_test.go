@@ -212,11 +212,11 @@ func TestStripedCustomConcurrentPairs(t *testing.T) {
 			inner.Add(1)
 			go func() {
 				defer inner.Done()
-				if _, err := sys.Comm(2*p + 1).Recv(dst, size, dt, 2*p, 3); err != nil {
+				if _, err := sys.Comm(2*p+1).Recv(dst, size, dt, 2*p, 3); err != nil {
 					errs <- fmt.Errorf("pair %d recv: %w", p, err)
 				}
 			}()
-			if err := sys.Comm(2 * p).Send(src, size, dt, 2*p+1, 3); err != nil {
+			if err := sys.Comm(2*p).Send(src, size, dt, 2*p+1, 3); err != nil {
 				errs <- fmt.Errorf("pair %d send: %w", p, err)
 			}
 			inner.Wait()

@@ -50,13 +50,20 @@ func (b Backoff) withDefaults() Backoff {
 // disables jitter.
 func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	b = b.withDefaults()
+	// Clamp the exponent: past 63 doublings even a 1ns base exceeds any
+	// representable Max, and withDefaults admits Factor == 1, where the
+	// growth loop never hits Max and would otherwise iterate `attempt`
+	// times — an effective hang when a long-lived retry loop passes a
+	// huge attempt count.
+	if attempt > 63 {
+		attempt = 63
+	}
 	d := float64(b.Base)
-	for i := 0; i < attempt; i++ {
+	for i := 0; i < attempt && d < float64(b.Max); i++ {
 		d *= b.Factor
-		if d >= float64(b.Max) {
-			d = float64(b.Max)
-			break
-		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
 	}
 	if rng != nil && b.Jitter > 0 {
 		d *= 1 + b.Jitter*(2*rng.Float64()-1)

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -40,6 +41,39 @@ func TestBackoffDeterministicWithSeed(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		if da, dc := b.Delay(i, a), b.Delay(i, c); da != dc {
 			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, dc)
+		}
+	}
+}
+
+// Regression: the growth loop used to iterate `attempt` times with no
+// exponent clamp. withDefaults admits Factor == 1 (only < 1 is replaced),
+// where the early cap break never fires, so a huge attempt count — e.g.
+// from a long-lived retry loop against a partitioned peer — spun the loop
+// for minutes. The exponent is now clamped at 63 and the loop also stops
+// once the cap is reached.
+func TestBackoffHugeAttemptClamped(t *testing.T) {
+	cases := []Backoff{
+		{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0},
+		{Base: 10 * time.Millisecond, Max: time.Second, Factor: 1, Jitter: 0}, // constant backoff
+		{Base: time.Nanosecond, Max: time.Hour, Factor: 1.0000001, Jitter: 0},
+	}
+	for _, b := range cases {
+		for _, attempt := range []int{63, 64, 1 << 30, math.MaxInt} {
+			start := time.Now()
+			d := b.Delay(attempt, nil)
+			if took := time.Since(start); took > 100*time.Millisecond {
+				t.Fatalf("Factor=%v attempt=%d: Delay took %v (unclamped loop)", b.Factor, attempt, took)
+			}
+			if d <= 0 || d > b.Max {
+				t.Fatalf("Factor=%v attempt=%d: delay %v outside (0, %v]", b.Factor, attempt, d, b.Max)
+			}
+		}
+	}
+	// Factor == 1 means constant backoff: every attempt waits Base.
+	b := Backoff{Base: 25 * time.Millisecond, Max: time.Second, Factor: 1, Jitter: 0}
+	for _, attempt := range []int{0, 1, 63, math.MaxInt} {
+		if d := b.Delay(attempt, nil); d != 25*time.Millisecond {
+			t.Fatalf("Factor=1 attempt=%d: delay %v, want 25ms", attempt, d)
 		}
 	}
 }

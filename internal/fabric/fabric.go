@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"time"
+
+	"mpicd/internal/obs"
 )
 
 // Kind identifies the protocol-level meaning of a packet. The fabric does
@@ -141,6 +143,10 @@ type Config struct {
 	// ErrCorrupt so the transport can retry). The in-process provider
 	// moves bytes memory-to-memory and ignores it.
 	Checksum bool
+	// Obs, when non-nil, is the metrics registry providers report into
+	// (TCP registers link-health gauges under fabric.r<rank>.*). Nil
+	// disables provider-level observability at zero cost.
+	Obs *obs.Registry
 }
 
 // DefaultFragSize matches a typical transport bounce-buffer size.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mpicd/internal/obs"
 )
 
 // This file implements a deterministic fault-injection provider: a NIC
@@ -145,6 +147,39 @@ func WrapFault(nic NIC, plan FaultPlan) *FaultNIC {
 
 // Stats exposes the fired-fault counters.
 func (f *FaultNIC) Stats() *FaultStats { return &f.stats }
+
+// RegisterObs exposes the fired-fault counters as gauges under
+// fault.r<rank>.*, plus faults_total summing every injected fault, so a
+// stats dump shows exactly what adversity a run survived.
+func (f *FaultNIC) RegisterObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p := func(name string) string { return fmt.Sprintf("fault.r%d.%s", f.inner.Rank(), name) }
+	s := &f.stats
+	counters := []struct {
+		name string
+		fn   obs.Gauge
+	}{
+		{"dropped", s.Dropped.Load},
+		{"duplicated", s.Duplicated.Load},
+		{"reordered", s.Reordered.Load},
+		{"delayed", s.Delayed.Load},
+		{"corrupted", s.Corrupted.Load},
+		{"truncated", s.Truncated.Load},
+		{"gets_failed", s.GetsFailed.Load},
+		{"down_drops", s.DownDrops.Load},
+		{"link_downs", s.LinkDowns.Load},
+	}
+	for _, c := range counters {
+		reg.GaugeFunc(p(c.name), c.fn)
+	}
+	reg.GaugeFunc(p("faults_total"), func() int64 {
+		return s.Dropped.Load() + s.Duplicated.Load() + s.Reordered.Load() +
+			s.Delayed.Load() + s.Corrupted.Load() + s.Truncated.Load() +
+			s.GetsFailed.Load() + s.DownDrops.Load() + s.LinkDowns.Load()
+	})
+}
 
 // RuleFired reports how many times rule i has fired.
 func (f *FaultNIC) RuleFired(i int) int {

@@ -58,6 +58,12 @@ type TCP struct {
 	getMu   sync.Mutex
 	gets    map[uint64]*tcpGet
 	nextGet atomic.Uint64
+
+	// Link-health counters, exported as gauges when Config.Obs is set.
+	connDrops    atomic.Int64 // connections torn down after a socket failure
+	redials      atomic.Int64 // redial campaigns started
+	redialsOK    atomic.Int64 // redial campaigns that re-established the link
+	checksumErrs atomic.Int64 // Get frames rejected by CRC verification
 }
 
 type tcpConn struct {
@@ -108,6 +114,13 @@ func NewTCP(rank int, addrs []string, cfg Config) (*TCP, error) {
 		return nil, fmt.Errorf("fabric: rank %d listen %s: %w", rank, addrs[rank], err)
 	}
 	t.ln = ln
+	if reg := cfg.Obs; reg != nil {
+		p := func(name string) string { return fmt.Sprintf("fabric.r%d.%s", rank, name) }
+		reg.GaugeFunc(p("tcp_conn_drops"), t.connDrops.Load)
+		reg.GaugeFunc(p("tcp_redials"), t.redials.Load)
+		reg.GaugeFunc(p("tcp_redials_ok"), t.redialsOK.Load)
+		reg.GaugeFunc(p("tcp_checksum_errs"), t.checksumErrs.Load)
+	}
 	go t.acceptLoop()
 
 	// Dial every lower rank concurrently.
@@ -251,6 +264,7 @@ func (t *TCP) dropConn(conn *tcpConn) {
 		return
 	}
 	t.conns[conn.peer] = nil
+	t.connDrops.Add(1)
 	redial := t.rank > conn.peer && !t.redialing[conn.peer]
 	if redial {
 		t.redialing[conn.peer] = true
@@ -259,6 +273,7 @@ func (t *TCP) dropConn(conn *tcpConn) {
 	conn.c.Close()
 	t.failGets(conn.peer)
 	if redial {
+		t.redials.Add(1)
 		go func() {
 			if err := t.dialPeer(conn.peer); err != nil {
 				// Give up: the link stays down and sends keep
@@ -266,7 +281,9 @@ func (t *TCP) dropConn(conn *tcpConn) {
 				t.connsMu.Lock()
 				delete(t.redialing, conn.peer)
 				t.connsMu.Unlock()
+				return
 			}
+			t.redialsOK.Add(1)
 		}()
 	}
 }
@@ -561,6 +578,7 @@ func (t *TCP) readLoop(conn *tcpConn) {
 				continue
 			}
 			if t.cfg.Checksum && CRC32(payload) != uint32(uint64(hdr.Aux0)) {
+				t.checksumErrs.Add(1)
 				putback()
 				select {
 				case g.done <- fmt.Errorf("%w: rendezvous pull frame at offset %d", ErrCorrupt, hdr.Offset):

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the histogram bucket count: bucket i counts values v with
+// 2^(i-1) <= v < 2^i (bucket 0 counts v <= 0 and v == 1 lands in bucket
+// 1), so the full int64 range is covered without configuration. Sizes in
+// bytes and latencies in nanoseconds both fit naturally.
+const NumBuckets = 64
+
+// Histogram is a fixed-shape power-of-two histogram. Observe is lock-free
+// and allocation-free; the zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // v in [2^(b-1), 2^b)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// exclusive upper edge of the bucket holding the q-th observation. The
+// estimate is within a factor of two of the true value, which is enough
+// to spot latency cliffs.
+func (h *Histogram) Quantile(q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := 0; i < NumBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(NumBuckets - 1)
+}
+
+// bucketUpper returns the exclusive upper edge of bucket i.
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << i
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot.
+type HistBucket struct {
+	// Le is the exclusive upper bound of the bucket (0 for the <=0
+	// bucket).
+	Le int64 `json:"le"`
+	// N is the number of observations in the bucket.
+	N int64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time histogram copy. Only non-empty buckets
+// are materialized, so idle histograms encode compactly.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	P50     int64        `json:"p50"`
+	P99     int64        `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Concurrent observations may land between
+// field reads; totals are eventually consistent, never torn.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Le: bucketUpper(i), N: n})
+		}
+	}
+	return s
+}

@@ -92,7 +92,7 @@ func TestFaultMatrixEagerGeneric(t *testing.T) {
 			const size = 20000
 			for i, inorder := range []bool{false, true} {
 				ops := &xorOps{key: 0x3C}
-				data := pattern(size, byte(40 + i))
+				data := pattern(size, byte(40+i))
 				out := make([]byte, size)
 				rr, _ := b.Recv(0, Tag(i), exactMask, Generic{Ops: ops, InOrder: inorder}, out, size)
 				sr, err := a.Send(1, Tag(i), Generic{Ops: ops, InOrder: inorder}, data, size, 0, ProtoEager)

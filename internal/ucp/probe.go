@@ -1,6 +1,9 @@
 package ucp
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Message describes a probed inbound message. A Message returned by Mprobe
 // is claimed: it is no longer visible to matching and must be consumed with
@@ -19,7 +22,9 @@ type Message struct {
 
 // Probe looks for an inbound message matching (from, tag, mask) without
 // removing it. With block set it waits for one; otherwise it returns nil
-// when nothing matches.
+// when nothing matches. A blocking probe honors Config.ReqTimeout exactly
+// like Recv: when the deadline passes with no match it fails with
+// ErrTimeout instead of waiting forever on a dead peer.
 func (w *Worker) Probe(from int, tag, mask Tag, block bool) (*Message, error) {
 	return w.probe(from, tag, mask, block, false)
 }
@@ -32,6 +37,14 @@ func (w *Worker) Mprobe(from int, tag, mask Tag, block bool) (*Message, error) {
 
 func (w *Worker) probe(from int, tag, mask Tag, block, claim bool) (*Message, error) {
 	probeReq := &Request{tag: tag, mask: mask, from: from}
+	// Blocking probes carry the same deadline as receives. The janitor
+	// broadcasts w.cond every sweep tick (it always runs when ReqTimeout
+	// is configured), so a prober blocked on a dead peer wakes, observes
+	// the expired deadline and fails with ErrTimeout instead of hanging.
+	var deadline time.Time
+	if block && w.cfg.ReqTimeout > 0 {
+		deadline = time.Now().Add(w.cfg.ReqTimeout)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for {
@@ -57,6 +70,10 @@ func (w *Worker) probe(from int, tag, mask Tag, block, claim bool) (*Message, er
 		if !block {
 			return nil, nil
 		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			w.stats.Timeouts.Add(1)
+			return nil, ErrTimeout
+		}
 		w.cond.Wait()
 	}
 }
@@ -71,12 +88,17 @@ func (w *Worker) MRecv(m *Message, dt Datatype, buf any, count int64) (*Request,
 	req.dt = dt
 	req.buf = buf
 	req.count = count
-	m.claimed = false
+	req.obsStart = w.obsNow()
 	w.mu.Lock()
 	if w.closed {
+		// The claim is only consumed on success: failing here with the
+		// claim already cleared would strand the message — unreceivable
+		// (no longer claimed) and unprobeable (not in the unexpected
+		// queue).
 		w.mu.Unlock()
 		return nil, ErrWorkerClosed
 	}
+	m.claimed = false
 	delete(w.claimed, msgKey{m.msg.from, m.msg.id})
 	w.startRecvLocked(req, m.msg) // releases w.mu
 	return req, nil

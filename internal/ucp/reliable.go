@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mpicd/internal/fabric"
+	"mpicd/internal/obs"
 )
 
 // Header flag bits layered on fabric.Flags by the transport.
@@ -186,10 +187,14 @@ func (w *Worker) sweep(now time.Time) {
 		}
 		w.unexpected = kept
 	}
+	// Wake blocking probes so they re-check their deadlines (probe waits
+	// on w.cond rather than carrying a per-request deadline entry).
+	w.cond.Broadcast()
 	w.mu.Unlock()
 
 	for _, e := range resend {
 		w.stats.Retransmits.Add(1)
+		w.ev(obs.EvRexmit, e.dst, e.id, e.tag, e.total, int64(e.attempts))
 		if e.eager {
 			w.sendEagerFrags(e.dst, e.tag, e.id, e.total, e.aux, e.payload)
 		} else {
@@ -412,6 +417,18 @@ func (w *Worker) failEagerFrag(pkt *fabric.Packet) {
 	pkt.Release()
 }
 
+// timedGet is nic.Get plus the get_rtt_ns histogram observation when the
+// obs layer is enabled.
+func (w *Worker) timedGet(from int, key uint64, off int64, sink fabric.Sink, sinkOff, n int64) error {
+	if w.obs == nil {
+		return w.nic.Get(from, key, off, sink, sinkOff, n)
+	}
+	start := time.Now()
+	err := w.nic.Get(from, key, off, sink, sinkOff, n)
+	w.obs.getNS.Observe(time.Since(start).Nanoseconds())
+	return err
+}
+
 func errorCorruptFrag(off int64) error {
 	return fmt.Errorf("%w: eager fragment at offset %d failed checksum", ErrCorrupt, off)
 }
@@ -475,7 +492,7 @@ func (w *Worker) handleEagerAck(pkt *fabric.Packet) {
 // key, closed NIC — and sequential sinks (which cannot rewind) pass
 // straight through.
 func (w *Worker) getRetry(from int, key uint64, off int64, sink fabric.Sink, sinkOff, n int64, sequential bool) error {
-	err := w.nic.Get(from, key, off, sink, sinkOff, n)
+	err := w.timedGet(from, key, off, sink, sinkOff, n)
 	if err == nil || sequential || w.cfg.GetRetries <= 0 ||
 		errors.Is(err, fabric.ErrBadKey) || errors.Is(err, fabric.ErrClosed) {
 		return err
@@ -491,7 +508,7 @@ func (w *Worker) getRetry(from int, key uint64, off int64, sink fabric.Sink, sin
 		case <-t.C:
 		}
 		w.stats.GetRetries.Add(1)
-		if err = w.nic.Get(from, key, off, sink, sinkOff, n); err == nil {
+		if err = w.timedGet(from, key, off, sink, sinkOff, n); err == nil {
 			return nil
 		}
 		if errors.Is(err, fabric.ErrBadKey) || errors.Is(err, fabric.ErrClosed) {

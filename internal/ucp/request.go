@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"mpicd/internal/obs"
 )
 
 // ErrCanceled is reported by requests removed with CancelRecv.
@@ -26,6 +28,10 @@ type Request struct {
 	// deadline, when non-zero, is enforced by the worker's janitor: an
 	// incomplete request past it fails with ErrTimeout.
 	deadline time.Time
+
+	// Observability (set only when the worker's obs layer is enabled).
+	obsStart time.Time // post/send time, for the completion-latency histogram
+	msgID    uint64    // transport message id, once known (0 for unmatched receives)
 
 	mu        sync.Mutex
 	done      chan struct{}
@@ -57,6 +63,21 @@ func (r *Request) complete(from int, tag Tag, total, aux0 int64, err error) {
 	r.aux0 = aux0
 	r.err = err
 	close(r.done)
+	if o := r.w.obs; o != nil {
+		if !r.obsStart.IsZero() {
+			o.completeNS.Observe(time.Since(r.obsStart).Nanoseconds())
+		}
+		o.sizeBytes.Observe(total)
+		status := int64(0)
+		if err != nil {
+			status = 1
+		}
+		kind := obs.EvComplete
+		if err == ErrTimeout {
+			kind = obs.EvTimeout
+		}
+		r.w.ev(kind, from, r.msgID, tag, total, status)
+	}
 }
 
 // Wait blocks until the request completes and returns its error.

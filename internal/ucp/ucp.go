@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mpicd/internal/fabric"
+	"mpicd/internal/obs"
 )
 
 // Protocol kinds carried in fabric headers (all below fabric's reserved
@@ -113,6 +114,15 @@ type Config struct {
 	// Reaping requires the janitor, which runs when Reliable or
 	// ReqTimeout is set.
 	AbortLinger time.Duration
+
+	// Obs attaches the observability layer: the worker registers its
+	// counters, queue-depth gauges and latency/size histograms with
+	// Obs.Registry (under ucp.r<rank>.*) and, when Obs.Trace is set,
+	// records per-message lifecycle events into the ring. Nil (the
+	// default) disables observability entirely — the hot path pays one
+	// pointer check and allocates nothing extra (see
+	// BenchmarkAblationObs).
+	Obs *obs.Observer
 }
 
 // DefaultRndvThresh is the default eager→rendezvous threshold (32 KiB).

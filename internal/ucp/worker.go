@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mpicd/internal/fabric"
+	"mpicd/internal/obs"
 )
 
 // Worker is one rank's transport engine: it owns a NIC, a progress
@@ -39,6 +40,7 @@ type Worker struct {
 	nextMsg atomic.Uint64
 	wg      sync.WaitGroup
 	stats   WorkerStats
+	obs     *workerObs // nil when Config.Obs is unset (see obs.go)
 }
 
 // WorkerStats counts protocol events; all fields are cumulative.
@@ -49,6 +51,10 @@ type WorkerStats struct {
 	EagerFragments atomic.Int64 // eager fragments put on the wire
 	UnexpectedHits atomic.Int64 // receives that matched the unexpected queue
 	PostedHits     atomic.Int64 // messages that matched a posted receive
+
+	EagerBytes atomic.Int64 // payload bytes initiated through the eager path
+	RndvBytes  atomic.Int64 // payload bytes initiated through rendezvous
+	SelfBytes  atomic.Int64 // payload bytes initiated through loopback
 
 	SequentialPulls atomic.Int64 // rendezvous pulls run as one sequential Get
 	StripedPulls    atomic.Int64 // rendezvous pulls split into concurrent stripes
@@ -90,10 +96,10 @@ type unexMsg struct {
 	aux0  int64
 
 	// Exactly one of these delivery modes applies.
-	rndvKey  uint64 // rendezvous: remote memory key (valid if rndv)
-	rndv     bool
-	frags    []*fabric.Packet // eager: buffered fragments in arrival order
-	buffered int64
+	rndvKey   uint64 // rendezvous: remote memory key (valid if rndv)
+	rndv      bool
+	frags     []*fabric.Packet // eager: buffered fragments in arrival order
+	buffered  int64
 	selfSrc   SendState // self-send: local source
 	selfReq   *Request  // self-send: the sender's request
 	errored   error     // abort received before match
@@ -113,8 +119,9 @@ type recvOp struct {
 	total int64 // incoming message size
 	aux0  int64
 
-	wireEager bool // eager message from a remote rank (ack/dedup applies)
-	reliable  bool // sender expects an ack on completion
+	wireEager bool      // eager message from a remote rank (ack/dedup applies)
+	reliable  bool      // sender expects an ack on completion
+	start     time.Time // match time, for the unpack_ns histogram (zero when obs is off)
 
 	mu         sync.Mutex
 	sink       RecvState // nil when sink construction failed
@@ -149,6 +156,7 @@ func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 		w.rng = rand.New(rand.NewSource(int64(nic.Rank())<<32 | 0x5eed))
 	}
 	w.cond = sync.NewCond(&w.mu)
+	w.setupObs(w.cfg.Obs)
 	w.wg.Add(1)
 	go w.loop()
 	w.startJanitor()
@@ -202,12 +210,16 @@ func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux i
 	req.isSend = true
 	total := src.Size()
 	id := w.nextMsg.Add(1)
+	req.msgID = id
+	req.obsStart = w.obsNow()
 	if ap, ok := src.(AuxProvider); ok {
 		aux = ap.Aux()
 	}
 
 	if dst == w.Rank() {
 		w.stats.SelfSends.Add(1)
+		w.stats.SelfBytes.Add(total)
+		w.ev(obs.EvSend, dst, id, tag, total, traceProtoSelf)
 		w.selfSend(req, src, Tag(tag), total, aux, id)
 		return req, nil
 	}
@@ -237,6 +249,8 @@ func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux i
 
 	if useRndv {
 		w.stats.RndvSends.Add(1)
+		w.stats.RndvBytes.Add(total)
+		w.ev(obs.EvSend, dst, id, tag, total, traceProtoRndv)
 		key := w.nic.Register(src)
 		w.mu.Lock()
 		if w.closed {
@@ -276,10 +290,19 @@ func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux i
 	// Eager: stream fragments and complete locally — or, when Reliable,
 	// retain the packed message and complete on the receiver's ack.
 	w.stats.EagerSends.Add(1)
+	w.stats.EagerBytes.Add(total)
+	w.ev(obs.EvSend, dst, id, tag, total, traceProtoEager)
+	packStart := w.obsNow()
 	if w.cfg.Reliable {
 		err = w.eagerSendReliable(dst, tag, id, total, aux, src, req)
 	} else {
 		err = w.eagerSend(dst, tag, id, total, aux, src)
+	}
+	if w.obs != nil {
+		// The eager fragment loop interleaves pack (source reads /
+		// staging copies) with wire submission; the combined figure is
+		// the sender-side serialization cost per message.
+		w.obs.packNS.Observe(time.Since(packStart).Nanoseconds())
 	}
 	if ferr := src.Finish(); err == nil {
 		err = ferr
@@ -357,6 +380,7 @@ func (w *Worker) selfSend(req *Request, src SendState, tag Tag, total, aux int64
 		return
 	}
 	if r := w.matchPosted(m); r != nil {
+		w.ev(obs.EvMatch, m.from, m.id, m.tag, m.total, 1)
 		w.startRecvLocked(r, m) // releases w.mu
 		return
 	}
@@ -379,6 +403,8 @@ func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64
 	if w.cfg.ReqTimeout > 0 {
 		req.deadline = time.Now().Add(w.cfg.ReqTimeout)
 	}
+	req.obsStart = w.obsNow()
+	w.ev(obs.EvPost, from, 0, tag, 0, 0)
 
 	w.mu.Lock()
 	if w.closed {
@@ -387,6 +413,7 @@ func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64
 	}
 	if m := w.matchUnexpected(req); m != nil {
 		w.stats.UnexpectedHits.Add(1)
+		w.ev(obs.EvMatch, m.from, m.id, m.tag, m.total, 0)
 		w.startRecvLocked(req, m) // releases w.mu
 		return req, nil
 	}
@@ -462,7 +489,9 @@ func (w *Worker) startRecvLocked(req *Request, m *unexMsg) {
 		tag:   m.tag,
 		total: m.total,
 		aux0:  m.aux0,
+		start: w.obsNow(),
 	}
+	req.msgID = m.id
 	key := msgKey{m.from, m.id}
 	eager := m.selfSrc == nil && !m.rndv
 	op.wireEager = eager
@@ -614,6 +643,7 @@ func (w *Worker) pullBody(op *recvOp, key uint64, n int64) error {
 	}
 	chunk := (n + stripes - 1) / stripes
 	w.stats.StripedPulls.Add(1)
+	w.ev(obs.EvStripes, op.from, op.id, op.tag, n, (n+chunk-1)/chunk)
 	var (
 		wg    sync.WaitGroup
 		errMu sync.Mutex
@@ -740,6 +770,11 @@ func (w *Worker) finishRecv(op *recvOp) {
 		if ferr := op.sink.Finish(); err == nil {
 			err = ferr
 		}
+	}
+	if w.obs != nil && !op.start.IsZero() {
+		// Receiver-side delivery: match → every fragment consumed and the
+		// sink finished (buffered drain + live routing + unpack callbacks).
+		w.obs.unpackNS.Observe(time.Since(op.start).Nanoseconds())
 	}
 	if op.wireEager {
 		status := int64(0)
@@ -910,6 +945,7 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 		}
 		if req := w.matchPosted(m); req != nil {
 			w.stats.PostedHits.Add(1)
+			w.ev(obs.EvMatch, m.from, m.id, m.tag, m.total, 1)
 			w.startRecvLocked(req, m) // releases w.mu
 			return
 		}
@@ -944,6 +980,7 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 		}
 		if req := w.matchPosted(m); req != nil {
 			w.stats.PostedHits.Add(1)
+			w.ev(obs.EvMatch, m.from, m.id, m.tag, m.total, 1)
 			w.startRecvLocked(req, m) // releases w.mu
 			return
 		}
@@ -995,6 +1032,7 @@ func (w *Worker) handleRTS(pkt *fabric.Packet) {
 	w.mu.Lock()
 	if req := w.matchPosted(m); req != nil {
 		w.stats.PostedHits.Add(1)
+		w.ev(obs.EvMatch, m.from, m.id, m.tag, m.total, 1)
 		w.startRecvLocked(req, m) // releases w.mu
 		return
 	}

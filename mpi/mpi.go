@@ -22,6 +22,7 @@ import (
 
 	"mpicd/internal/core"
 	"mpicd/internal/fabric"
+	"mpicd/internal/obs"
 	"mpicd/internal/ucp"
 )
 
@@ -157,6 +158,23 @@ var (
 	OpMaxInt64   = core.OpMaxInt64
 )
 
+// Observer is the observability layer: a metrics registry of counters,
+// gauges and power-of-two-bucket histograms plus an optional bounded
+// per-message trace ring. Attach one with Options.UCP.Obs; dump it with
+// Observer.WriteJSON. Nil disables observability — the transport hot
+// path then pays a single pointer check.
+type Observer = obs.Observer
+
+// StatsSnapshot is a point-in-time copy of one rank's transport counters
+// and queue depths, from Comm.Worker().StatsSnapshot(). It needs no
+// Observer: protocol counters are always maintained.
+type StatsSnapshot = ucp.StatsSnapshot
+
+// NewObserver builds an Observer. traceCap > 0 additionally enables the
+// lifecycle trace ring holding the last traceCap events (rounded up to a
+// power of two); 0 records metrics only.
+func NewObserver(traceCap int) *Observer { return obs.New(traceCap) }
+
 // TCPWorld is a world communicator whose ranks are separate processes
 // connected over TCP.
 type TCPWorld struct {
@@ -169,6 +187,9 @@ type TCPWorld struct {
 // call blocks until the full mesh is connected. Options' fabric
 // configuration applies (fragment sizes, thresholds).
 func ConnectTCP(rank int, addrs []string, opt Options) (*TCPWorld, error) {
+	if o := opt.UCP.Obs; o != nil && opt.Fabric.Obs == nil {
+		opt.Fabric.Obs = o.Registry
+	}
 	nic, err := fabric.NewTCP(rank, addrs, opt.Fabric)
 	if err != nil {
 		return nil, err
