@@ -109,7 +109,9 @@ func main() {
 			field, next = next, field
 		}
 
-		// Global diagnostics: total heat via Allreduce.
+		// Global diagnostics: every rank gathers every rank's local heat
+		// with the engine's Allgather and reduces locally — the per-rank
+		// breakdown stays available for load diagnostics.
 		var local float64
 		for j := 1; j <= ny; j++ {
 			for i := 1; i <= nx; i++ {
@@ -118,13 +120,17 @@ func main() {
 		}
 		lbuf := make([]byte, 8)
 		layout.PutF64(lbuf, 0, local)
-		gbuf := make([]byte, 8)
-		if err := c.Allreduce(lbuf, gbuf, 1, mpi.FromDDT(mpi.Float64), mpi.OpSumFloat64); err != nil {
+		abuf := make([]byte, 8*ranks)
+		if err := c.Allgather(lbuf, 1, mpi.FromDDT(mpi.Float64), abuf); err != nil {
 			return err
+		}
+		var global float64
+		for r := 0; r < ranks; r++ {
+			global += layout.F64(abuf, 8*r)
 		}
 		if c.Rank() == 0 {
 			fmt.Printf("after %d steps on %d ranks: global |field| = %.3f\n",
-				steps, ranks, layout.F64(gbuf, 0))
+				steps, ranks, global)
 		}
 		return c.Barrier()
 	})

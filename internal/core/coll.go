@@ -2,127 +2,349 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mpicd/internal/layout"
 )
 
-// Collective operations built on point-to-point messaging. The paper
-// leaves collective integration of custom datatypes as future work; this
-// reproduction implements the classic algorithms (dissemination barrier,
-// binomial broadcast/reduce, linear gather/scatter, ring allgather,
-// pairwise alltoall) and lets Bcast carry any datatype, including custom
-// ones, since it reduces to point-to-point transfers.
+// Collective operations built on point-to-point messaging, organized as a
+// small engine:
+//
+//   - every collective runs in a reserved matching space (the collective
+//     tag bit + a per-communicator epoch; see colltag.go), so user traffic
+//     can never match-steal collective messages and back-to-back or
+//     concurrently outstanding collectives never cross-match;
+//   - algorithms are selected by message size (CollTuning): whole-message
+//     binomial trees for small payloads, a segment-pipelined binomial
+//     Bcast and a ring Allgather above PipelineThresh, and Rabenseifner's
+//     reduce-scatter + allgather Allreduce above RabenThresh — the classic
+//     Thakur et al. schedules;
+//   - reduction operators carry a Commutative property: non-commutative
+//     operators are combined strictly in rank order, whatever the root;
+//   - nonblocking variants (Ibarrier, Ibcast, Iallreduce, Iallgather; see
+//     icoll.go) reserve their epoch synchronously and run the same
+//     schedules on a per-call goroutine.
+//
+// Bcast still carries any datatype, including custom ones, since the
+// whole-message tree reduces to point-to-point transfers; the chunked
+// schedules engage only for fixed-size byte-image buffers.
 
-// collTagBase keeps collective traffic away from user tags; each
-// collective call on a communicator must be entered by all ranks in the
-// same order (standard MPI semantics).
-const collTagBase = MaxTag - 1024
+// byteView returns the []byte image of (buf, count, dt) when the datatype
+// is fixed-size and the buffer is a byte slice. Chunked schedules
+// (pipelined Bcast, ring Allgather, Rabenseifner) operate on such views
+// only; other buffers take the whole-message paths.
+func byteView(buf any, count Count, dt *Datatype) ([]byte, bool) {
+	es := dt.elemSize()
+	if es <= 0 {
+		return nil, false
+	}
+	b, ok := buf.([]byte)
+	if !ok {
+		return nil, false
+	}
+	n := count * es
+	if count < 0 {
+		if dt != TypeBytes {
+			return nil, false
+		}
+		n = int64(len(b))
+	}
+	if int64(len(b)) < n {
+		return nil, false
+	}
+	return b[:n], true
+}
+
+// fixedSize validates a fixed-size collective buffer pair and returns the
+// per-rank byte count.
+func (c *Comm) fixedSize(what string, count Count, dt *Datatype) (Count, error) {
+	es := dt.elemSize()
+	if es <= 0 {
+		return 0, fmt.Errorf("%w: %s requires a fixed-size datatype", ErrInvalidComm, what)
+	}
+	if count < 0 {
+		return 0, fmt.Errorf("%w: %s count %d", ErrInvalidComm, what, count)
+	}
+	return count * es, nil
+}
+
+// checkLen validates that a collective buffer holds at least need bytes,
+// returning an ErrInvalidComm-wrapped error instead of letting a later
+// slice expression panic.
+func checkLen(what string, buf []byte, need Count) error {
+	if int64(len(buf)) < need {
+		return fmt.Errorf("%w: %s buffer holds %d bytes, need %d", ErrInvalidComm, what, len(buf), need)
+	}
+	return nil
+}
 
 // Barrier blocks until every rank in the communicator has entered it
 // (dissemination algorithm, ceil(log2 n) rounds).
 func (c *Comm) Barrier() error {
+	return c.barrier(c.nextEpoch())
+}
+
+func (c *Comm) barrier(epoch uint64) error {
 	n := c.Size()
+	if n == 1 {
+		return nil
+	}
 	token := []byte{1}
 	recv := make([]byte, 1)
+	round := 0
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.rank + dist) % n
 		from := (c.rank - dist + n) % n
-		sr, err := c.Isend(token, 1, TypeBytes, to, collTagBase)
+		sr, err := c.collIsend(token, 1, TypeBytes, to, opBarrier, epoch, round)
 		if err != nil {
 			return err
 		}
-		if _, err := c.Recv(recv, 1, TypeBytes, from, collTagBase); err != nil {
+		if err := c.collRecv(recv, 1, TypeBytes, from, opBarrier, epoch, round); err != nil {
+			drainRequests([]*Request{sr})
 			return err
 		}
 		if _, err := sr.Wait(); err != nil {
 			return err
 		}
+		round++
 	}
 	return nil
 }
 
-// Bcast broadcasts count elements of dt at buf from root to all ranks
-// (binomial tree). Custom datatypes are supported: each hop re-serializes
-// from the local buffer.
+// Bcast broadcasts count elements of dt at buf from root to all ranks.
+// Small or non-byte-image payloads ride a whole-message binomial tree
+// (each hop re-serializes from the local buffer, so custom datatypes are
+// supported); byte-image payloads of at least CollTuning.PipelineThresh
+// bytes ride the segment-pipelined binomial tree, overlapping chunks
+// through Isend/Irecv windows.
 func (c *Comm) Bcast(buf any, count Count, dt *Datatype, root int) error {
+	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: bcast root %d", ErrInvalidComm, root)
 	}
-	if n == 1 {
+	return c.bcast(buf, count, dt, root, epoch)
+}
+
+func (c *Comm) bcast(buf any, count Count, dt *Datatype, root int, epoch uint64) error {
+	if c.Size() == 1 {
 		return nil
 	}
-	// Rotate so the root is virtual rank 0, then run the classic binomial
-	// tree: a rank receives on its lowest set bit and forwards on all
-	// lower bits.
+	if view, ok := byteView(buf, count, dt); ok && int64(len(view)) >= c.collTuning().PipelineThresh {
+		return c.bcastPipelined(view, root, epoch)
+	}
+	return c.bcastTree(buf, count, dt, root, epoch)
+}
+
+// binomialRelations computes a rank's parent and children in the binomial
+// tree rooted at root (virtual ranks rotate the root to 0): a rank
+// receives on its lowest set virtual-rank bit and forwards on all lower
+// bits. parent is -1 at the root.
+func (c *Comm) binomialRelations(root int) (parent int, children []int) {
+	n := c.Size()
 	vrank := (c.rank - root + n) % n
+	parent = -1
 	mask := 1
 	for mask < n {
 		if vrank&mask != 0 {
-			parent := ((vrank - mask) + root) % n
-			if _, err := c.Recv(buf, count, dt, parent, collTagBase+1); err != nil {
-				return err
-			}
+			parent = ((vrank - mask) + root) % n
 			break
 		}
 		mask <<= 1
 	}
-	for mask >>= 1; mask > 0; mask >>= 1 {
-		child := vrank + mask
-		if child >= n {
-			continue
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if vrank+m < n {
+			children = append(children, ((vrank+m)+root)%n)
 		}
-		dst := (child + root) % n
-		if err := c.Send(buf, count, dt, dst, collTagBase+1); err != nil {
+	}
+	return parent, children
+}
+
+// bcastTree is the whole-message binomial broadcast.
+func (c *Comm) bcastTree(buf any, count Count, dt *Datatype, root int, epoch uint64) error {
+	parent, children := c.binomialRelations(root)
+	if parent >= 0 {
+		if err := c.collRecv(buf, count, dt, parent, opBcast, epoch, 0); err != nil {
+			return err
+		}
+	}
+	for _, child := range children {
+		if err := c.collSend(buf, count, dt, child, opBcast, epoch, 0); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// ReduceOp combines src into dst element-wise; both are byte images of
-// count elements of dt.
-type ReduceOp func(dst, src []byte, count Count, dt *Datatype) error
+// bcastPipelined is the segment-pipelined binomial broadcast: the payload
+// is cut into CollTuning.ChunkBytes segments that flow down the tree in a
+// sliding window, so interior ranks forward segment s while still
+// receiving segment s+1 — the tree's hops overlap instead of serializing
+// on whole messages.
+func (c *Comm) bcastPipelined(buf []byte, root int, epoch uint64) error {
+	t := c.collTuning()
+	chunk := t.ChunkBytes
+	total := int64(len(buf))
+	nseg := int((total + chunk - 1) / chunk)
+	seg := func(s int) []byte {
+		lo := int64(s) * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		return buf[lo:hi]
+	}
+	parent, children := c.binomialRelations(root)
 
-// OpSumFloat64 sums float64 elements.
-var OpSumFloat64 ReduceOp = func(dst, src []byte, count Count, _ *Datatype) error {
-	for i := Count(0); i < count; i++ {
-		layout.PutF64(dst, int(8*i), layout.F64(dst, int(8*i))+layout.F64(src, int(8*i)))
+	window := t.Window
+	if window > nseg {
+		window = nseg
+	}
+	maxSends := window
+	if len(children) > 0 {
+		maxSends = window * len(children)
+	}
+
+	var recvs []*Request
+	var sends []*Request
+	fail := func(err error) error {
+		drainRequests(recvs)
+		drainRequests(sends)
+		return err
+	}
+
+	if parent >= 0 {
+		recvs = make([]*Request, window)
+		for s := 0; s < window; s++ {
+			r, err := c.collIrecv(seg(s), int64(len(seg(s))), TypeBytes, parent, opBcast, epoch, s)
+			if err != nil {
+				return fail(err)
+			}
+			recvs[s%window] = r
+		}
+	}
+	for s := 0; s < nseg; s++ {
+		if parent >= 0 {
+			if _, err := recvs[s%window].Wait(); err != nil {
+				recvs[s%window] = nil
+				return fail(err)
+			}
+			recvs[s%window] = nil
+			if next := s + window; next < nseg {
+				r, err := c.collIrecv(seg(next), int64(len(seg(next))), TypeBytes, parent, opBcast, epoch, next)
+				if err != nil {
+					return fail(err)
+				}
+				recvs[next%window] = r
+			}
+		}
+		for _, child := range children {
+			r, err := c.collIsend(seg(s), int64(len(seg(s))), TypeBytes, child, opBcast, epoch, s)
+			if err != nil {
+				return fail(err)
+			}
+			sends = append(sends, r)
+		}
+		for len(sends) > maxSends {
+			if _, err := sends[0].Wait(); err != nil {
+				sends = sends[1:]
+				return fail(err)
+			}
+			sends = sends[1:]
+		}
+	}
+	if err := WaitAll(sends...); err != nil {
+		return err
 	}
 	return nil
+}
+
+// ReduceOp is a reduction operator for Reduce and Allreduce.
+type ReduceOp struct {
+	// Combine merges src into dst element-wise (dst = dst ∘ src); both
+	// are byte images of count elements of dt.
+	Combine func(dst, src []byte, count Count, dt *Datatype) error
+	// Commutative declares dst ∘ src ≡ src ∘ dst. Commutative operators
+	// may be combined in any order (and qualify for the Rabenseifner
+	// schedule); non-commutative operators are combined strictly in rank
+	// order 0 ∘ 1 ∘ … ∘ n-1 — MPI's canonical evaluation order —
+	// whatever the root.
+	Commutative bool
+}
+
+// OpSumFloat64 sums float64 elements.
+var OpSumFloat64 = ReduceOp{
+	Commutative: true,
+	Combine: func(dst, src []byte, count Count, _ *Datatype) error {
+		for i := Count(0); i < count; i++ {
+			layout.PutF64(dst, int(8*i), layout.F64(dst, int(8*i))+layout.F64(src, int(8*i)))
+		}
+		return nil
+	},
 }
 
 // OpSumInt64 sums int64 elements.
-var OpSumInt64 ReduceOp = func(dst, src []byte, count Count, _ *Datatype) error {
-	for i := Count(0); i < count; i++ {
-		layout.PutI64(dst, int(8*i), layout.I64(dst, int(8*i))+layout.I64(src, int(8*i)))
-	}
-	return nil
+var OpSumInt64 = ReduceOp{
+	Commutative: true,
+	Combine: func(dst, src []byte, count Count, _ *Datatype) error {
+		for i := Count(0); i < count; i++ {
+			layout.PutI64(dst, int(8*i), layout.I64(dst, int(8*i))+layout.I64(src, int(8*i)))
+		}
+		return nil
+	},
 }
 
 // OpMaxInt64 keeps the element-wise maximum of int64 elements.
-var OpMaxInt64 ReduceOp = func(dst, src []byte, count Count, _ *Datatype) error {
-	for i := Count(0); i < count; i++ {
-		if v := layout.I64(src, int(8*i)); v > layout.I64(dst, int(8*i)) {
-			layout.PutI64(dst, int(8*i), v)
+var OpMaxInt64 = ReduceOp{
+	Commutative: true,
+	Combine: func(dst, src []byte, count Count, _ *Datatype) error {
+		for i := Count(0); i < count; i++ {
+			if v := layout.I64(src, int(8*i)); v > layout.I64(dst, int(8*i)) {
+				layout.PutI64(dst, int(8*i), v)
+			}
 		}
-	}
-	return nil
+		return nil
+	},
 }
 
 // Reduce combines count elements from every rank's sendBuf into recvBuf at
 // root using op (binomial tree). Buffers are byte images; recvBuf is only
-// written at root. sendBuf contents are preserved.
+// written at root. sendBuf contents are preserved. Non-commutative
+// operators are combined in rank order.
 func (c *Comm) Reduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp, root int) error {
+	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: reduce root %d", ErrInvalidComm, root)
 	}
-	es := dt.elemSize()
-	if es <= 0 {
-		return fmt.Errorf("%w: reduce requires a fixed-size datatype", ErrInvalidComm)
+	bytes, err := c.fixedSize("reduce", count, dt)
+	if err != nil {
+		return err
 	}
-	bytes := count * es
+	if err := checkLen("reduce send", sendBuf, bytes); err != nil {
+		return err
+	}
+	if c.rank == root {
+		if err := checkLen("reduce receive", recvBuf, bytes); err != nil {
+			return err
+		}
+	}
+	return c.reduce(sendBuf, recvBuf, bytes, count, dt, op, root, epoch)
+}
+
+func (c *Comm) reduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64) error {
+	if op.Commutative {
+		return c.reduceRotated(sendBuf, recvBuf, bytes, count, dt, op, root, epoch)
+	}
+	return c.reduceOrdered(sendBuf, recvBuf, bytes, count, dt, op, root, epoch)
+}
+
+// reduceRotated is the classic root-rotated binomial reduce: the root is
+// virtual rank 0, so the result lands at the root in ceil(log2 n) rounds.
+// Contributions combine in virtual-rank order, which is only rank order
+// for root 0 — hence commutative operators only.
+func (c *Comm) reduceRotated(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64) error {
+	n := c.Size()
 	acc := make([]byte, bytes)
 	copy(acc, sendBuf[:bytes])
 	tmp := make([]byte, bytes)
@@ -130,17 +352,17 @@ func (c *Comm) Reduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op Red
 	for mask := 1; mask < n; mask <<= 1 {
 		if vrank&mask != 0 {
 			dst := ((vrank - mask) + root) % n
-			return c.Send(acc, bytes, TypeBytes, dst, collTagBase+2)
+			return c.collSend(acc, bytes, TypeBytes, dst, opReduce, epoch, 0)
 		}
 		peer := vrank + mask
 		if peer >= n {
 			continue
 		}
 		src := (peer + root) % n
-		if _, err := c.Recv(tmp, bytes, TypeBytes, src, collTagBase+2); err != nil {
+		if err := c.collRecv(tmp, bytes, TypeBytes, src, opReduce, epoch, 0); err != nil {
 			return err
 		}
-		if err := op(acc, tmp, count, dt); err != nil {
+		if err := op.Combine(acc, tmp, count, dt); err != nil {
 			return err
 		}
 	}
@@ -150,32 +372,236 @@ func (c *Comm) Reduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op Red
 	return nil
 }
 
-// Allreduce is Reduce followed by Bcast.
+// reduceOrdered runs the binomial tree over actual ranks rooted at rank 0
+// — in that tree a parent's accumulator covers a contiguous rank range
+// and each received child accumulator covers the adjacent higher range,
+// so combining is exactly rank order 0 ∘ 1 ∘ … ∘ n-1 — then forwards the
+// result from rank 0 to the requested root.
+func (c *Comm) reduceOrdered(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64) error {
+	n := c.Size()
+	acc := make([]byte, bytes)
+	copy(acc, sendBuf[:bytes])
+	tmp := make([]byte, bytes)
+	for mask := 1; mask < n; mask <<= 1 {
+		if c.rank&mask != 0 {
+			if err := c.collSend(acc, bytes, TypeBytes, c.rank-mask, opReduce, epoch, 0); err != nil {
+				return err
+			}
+			acc = nil
+			break
+		}
+		peer := c.rank + mask
+		if peer >= n {
+			continue
+		}
+		if err := c.collRecv(tmp, bytes, TypeBytes, peer, opReduce, epoch, 0); err != nil {
+			return err
+		}
+		if err := op.Combine(acc, tmp, count, dt); err != nil {
+			return err
+		}
+	}
+	switch {
+	case root == 0:
+		if c.rank == 0 {
+			copy(recvBuf[:bytes], acc)
+		}
+	case c.rank == 0:
+		return c.collSend(acc, bytes, TypeBytes, root, opReduceRoot, epoch, 0)
+	case c.rank == root:
+		return c.collRecv(recvBuf[:bytes], bytes, TypeBytes, 0, opReduceRoot, epoch, 0)
+	}
+	return nil
+}
+
+// Allreduce combines count elements from every rank into every rank's
+// recvBuf. Commutative operators above CollTuning.RabenThresh bytes use
+// Rabenseifner's schedule (reduce-scatter by recursive halving, then
+// allgather by recursive doubling — bandwidth-optimal); everything else
+// runs reduce-to-0 + broadcast.
 func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp) error {
-	if err := c.Reduce(sendBuf, recvBuf, count, dt, op, 0); err != nil {
+	epoch := c.nextEpoch()
+	bytes, err := c.fixedSize("allreduce", count, dt)
+	if err != nil {
 		return err
 	}
+	if err := checkLen("allreduce send", sendBuf, bytes); err != nil {
+		return err
+	}
+	if err := checkLen("allreduce receive", recvBuf, bytes); err != nil {
+		return err
+	}
+	return c.allreduce(sendBuf, recvBuf, bytes, count, dt, op, epoch)
+}
+
+func (c *Comm) allreduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, epoch uint64) error {
+	n := c.Size()
+	if n == 1 {
+		copy(recvBuf[:bytes], sendBuf[:bytes])
+		return nil
+	}
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	if op.Commutative && bytes >= c.collTuning().RabenThresh && count >= Count(pof2) {
+		return c.allreduceRaben(sendBuf, recvBuf, bytes, count, dt, op, pof2, epoch)
+	}
+	if err := c.reduce(sendBuf, recvBuf, bytes, count, dt, op, 0, epoch); err != nil {
+		return err
+	}
+	return c.bcast(recvBuf[:bytes], bytes, TypeBytes, 0, epoch)
+}
+
+// allreduceRaben is Rabenseifner's allreduce. Non-power-of-two worlds
+// fold the rem = n - pof2 extra ranks into their even partners first, run
+// the power-of-two schedule on the survivors, and ship the result back.
+// Each rank then moves only ~2·(pof2-1)/pof2 of the vector instead of the
+// tree's log2(n) whole-vector hops.
+func (c *Comm) allreduceRaben(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, pof2 int, epoch uint64) error {
+	n := c.Size()
 	es := dt.elemSize()
-	return c.Bcast(recvBuf, count*es, TypeBytes, 0)
+	rem := n - pof2
+	copy(recvBuf[:bytes], sendBuf[:bytes])
+	tmp := make([]byte, bytes)
+
+	newrank := -1
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 1:
+		// Folded out: contribute to the even partner, then wait for the
+		// result at the end.
+		if err := c.collSend(recvBuf[:bytes], bytes, TypeBytes, c.rank-1, opAllreduceRem, epoch, 0); err != nil {
+			return err
+		}
+	case c.rank < 2*rem:
+		if err := c.collRecv(tmp, bytes, TypeBytes, c.rank+1, opAllreduceRem, epoch, 0); err != nil {
+			return err
+		}
+		if err := op.Combine(recvBuf, tmp, count, dt); err != nil {
+			return err
+		}
+		newrank = c.rank / 2
+	default:
+		newrank = c.rank - rem
+	}
+
+	if newrank >= 0 {
+		// peerRank maps a schedule rank back to a communicator rank.
+		peerRank := func(nr int) int {
+			if nr < rem {
+				return 2 * nr
+			}
+			return nr + rem
+		}
+		// Reduce-scatter by recursive halving over element ranges. Each
+		// step exchanges the non-kept half with the partner and reduces
+		// the kept half; the steps are recorded so the allgather phase
+		// can retrace them in reverse.
+		type halfStep struct {
+			partner      int // communicator rank
+			lo, mid, hi  Count
+			keepLow      bool
+		}
+		var steps []halfStep
+		lo, hi := Count(0), count
+		seq := 0
+		for dist := pof2 / 2; dist > 0; dist /= 2 {
+			partner := peerRank(newrank ^ dist)
+			mid := lo + (hi-lo)/2
+			keepLow := newrank&dist == 0
+			sendLo, sendHi := lo, mid
+			recvLo, recvHi := mid, hi
+			if keepLow {
+				sendLo, sendHi = mid, hi
+				recvLo, recvHi = lo, mid
+			}
+			sr, err := c.collIsend(recvBuf[sendLo*es:sendHi*es], (sendHi-sendLo)*es, TypeBytes, partner, opAllreduceRS, epoch, seq)
+			if err != nil {
+				return err
+			}
+			rb := (recvHi - recvLo) * es
+			if err := c.collRecv(tmp[:rb], rb, TypeBytes, partner, opAllreduceRS, epoch, seq); err != nil {
+				drainRequests([]*Request{sr})
+				return err
+			}
+			if _, err := sr.Wait(); err != nil {
+				return err
+			}
+			if err := op.Combine(recvBuf[recvLo*es:recvHi*es], tmp[:rb], recvHi-recvLo, dt); err != nil {
+				return err
+			}
+			steps = append(steps, halfStep{partner: partner, lo: lo, mid: mid, hi: hi, keepLow: keepLow})
+			if keepLow {
+				hi = mid
+			} else {
+				lo = mid
+			}
+			seq++
+		}
+		// Allgather by recursive doubling: retrace the halving steps in
+		// reverse, exchanging the owned range for the partner's
+		// complementary half until every rank holds the full vector.
+		for i := len(steps) - 1; i >= 0; i-- {
+			st := steps[i]
+			myLo, myHi := st.mid, st.hi
+			otherLo, otherHi := st.lo, st.mid
+			if st.keepLow {
+				myLo, myHi = st.lo, st.mid
+				otherLo, otherHi = st.mid, st.hi
+			}
+			sr, err := c.collIsend(recvBuf[myLo*es:myHi*es], (myHi-myLo)*es, TypeBytes, st.partner, opAllreduceAG, epoch, seq)
+			if err != nil {
+				return err
+			}
+			ob := (otherHi - otherLo) * es
+			if err := c.collRecv(recvBuf[otherLo*es:otherHi*es], ob, TypeBytes, st.partner, opAllreduceAG, epoch, seq); err != nil {
+				drainRequests([]*Request{sr})
+				return err
+			}
+			if _, err := sr.Wait(); err != nil {
+				return err
+			}
+			seq++
+		}
+	}
+
+	// Ship the full result to the folded-out odd ranks.
+	if c.rank < 2*rem {
+		if c.rank%2 == 0 {
+			return c.collSend(recvBuf[:bytes], bytes, TypeBytes, c.rank+1, opAllreduceRem, epoch, 1)
+		}
+		return c.collRecv(recvBuf[:bytes], bytes, TypeBytes, c.rank-1, opAllreduceRem, epoch, 1)
+	}
+	return nil
 }
 
 // Gather collects count elements from every rank into recvBuf at root
 // (rank i's contribution lands at offset i*count*size).
 func (c *Comm) Gather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte, root int) error {
+	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: gather root %d", ErrInvalidComm, root)
 	}
-	es := dt.elemSize()
-	if es <= 0 {
-		return fmt.Errorf("%w: gather requires a fixed-size datatype", ErrInvalidComm)
+	bytes, err := c.fixedSize("gather", count, dt)
+	if err != nil {
+		return err
 	}
-	bytes := count * es
+	if err := checkLen("gather send", sendBuf, bytes); err != nil {
+		return err
+	}
+	if c.rank == root {
+		if err := checkLen("gather receive", recvBuf, bytes*int64(n)); err != nil {
+			return err
+		}
+	}
+	return c.gather(sendBuf, recvBuf, bytes, root, epoch)
+}
+
+func (c *Comm) gather(sendBuf, recvBuf []byte, bytes Count, root int, epoch uint64) error {
+	n := c.Size()
 	if c.rank != root {
-		return c.Send(sendBuf, bytes, TypeBytes, root, collTagBase+3)
-	}
-	if int64(len(recvBuf)) < bytes*int64(n) {
-		return fmt.Errorf("%w: gather receive buffer too small", ErrInvalidComm)
+		return c.collSend(sendBuf[:bytes], bytes, TypeBytes, root, opGather, epoch, 0)
 	}
 	copy(recvBuf[int64(c.rank)*bytes:], sendBuf[:bytes])
 	reqs := make([]*Request, 0, n-1)
@@ -183,8 +609,9 @@ func (c *Comm) Gather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte,
 		if r == root {
 			continue
 		}
-		req, err := c.Irecv(recvBuf[int64(r)*bytes:int64(r+1)*bytes], bytes, TypeBytes, r, collTagBase+3)
+		req, err := c.collIrecv(recvBuf[int64(r)*bytes:int64(r+1)*bytes], bytes, TypeBytes, r, opGather, epoch, 0)
 		if err != nil {
+			drainRequests(reqs)
 			return err
 		}
 		reqs = append(reqs, req)
@@ -192,65 +619,161 @@ func (c *Comm) Gather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte,
 	return WaitAll(reqs...)
 }
 
-// Allgather is Gather to rank 0 followed by Bcast of the result.
+// Allgather gathers count elements from every rank into every rank's
+// recvBuf. Contributions of at least CollTuning.PipelineThresh bytes ride
+// the bandwidth-optimal ring (n-1 steps of one block each, neighbor
+// Isend/Irecv overlapped); smaller ones gather to rank 0 and broadcast.
 func (c *Comm) Allgather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) error {
-	if err := c.Gather(sendBuf, count, dt, recvBuf, 0); err != nil {
+	epoch := c.nextEpoch()
+	bytes, err := c.fixedSize("allgather", count, dt)
+	if err != nil {
 		return err
 	}
-	es := dt.elemSize()
-	return c.Bcast(recvBuf, count*es*int64(c.Size()), TypeBytes, 0)
+	if err := checkLen("allgather send", sendBuf, bytes); err != nil {
+		return err
+	}
+	if err := checkLen("allgather receive", recvBuf, bytes*int64(c.Size())); err != nil {
+		return err
+	}
+	return c.allgather(sendBuf, recvBuf, bytes, epoch)
+}
+
+func (c *Comm) allgather(sendBuf, recvBuf []byte, bytes Count, epoch uint64) error {
+	n := c.Size()
+	if n == 1 {
+		copy(recvBuf[:bytes], sendBuf[:bytes])
+		return nil
+	}
+	if bytes >= c.collTuning().PipelineThresh {
+		return c.allgatherRing(sendBuf, recvBuf, bytes, epoch)
+	}
+	if err := c.gather(sendBuf, recvBuf, bytes, 0, epoch); err != nil {
+		return err
+	}
+	return c.bcast(recvBuf[:bytes*int64(n)], bytes*int64(n), TypeBytes, 0, epoch)
+}
+
+// allgatherRing is the ring allgather: at step s every rank forwards the
+// block it received at step s-1 to its right neighbor while receiving the
+// next block from the left — each rank moves (n-1)/n of the result
+// instead of receiving it twice through a root.
+func (c *Comm) allgatherRing(sendBuf, recvBuf []byte, bytes Count, epoch uint64) error {
+	n := c.Size()
+	copy(recvBuf[int64(c.rank)*bytes:], sendBuf[:bytes])
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	window := c.collTuning().Window
+	var sends []*Request
+	fail := func(err error, extra ...*Request) error {
+		drainRequests(extra)
+		drainRequests(sends)
+		return err
+	}
+	for step := 0; step < n-1; step++ {
+		sb := int64(((c.rank-step)%n + n) % n)
+		rb := int64(((c.rank-step-1)%n + n) % n)
+		rr, err := c.collIrecv(recvBuf[rb*bytes:(rb+1)*bytes], bytes, TypeBytes, left, opAllgather, epoch, step)
+		if err != nil {
+			return fail(err)
+		}
+		sr, err := c.collIsend(recvBuf[sb*bytes:(sb+1)*bytes], bytes, TypeBytes, right, opAllgather, epoch, step)
+		if err != nil {
+			return fail(err, rr)
+		}
+		sends = append(sends, sr)
+		if _, err := rr.Wait(); err != nil {
+			return fail(err)
+		}
+		for len(sends) > window {
+			if _, err := sends[0].Wait(); err != nil {
+				sends = sends[1:]
+				return fail(err)
+			}
+			sends = sends[1:]
+		}
+	}
+	return WaitAll(sends...)
 }
 
 // Scatter distributes slices of sendBuf at root: rank i receives the
 // count elements at offset i*count*size into recvBuf.
 func (c *Comm) Scatter(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte, root int) error {
+	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: scatter root %d", ErrInvalidComm, root)
 	}
-	es := dt.elemSize()
-	if es <= 0 {
-		return fmt.Errorf("%w: scatter requires a fixed-size datatype", ErrInvalidComm)
+	bytes, err := c.fixedSize("scatter", count, dt)
+	if err != nil {
+		return err
 	}
-	bytes := count * es
+	if err := checkLen("scatter receive", recvBuf, bytes); err != nil {
+		return err
+	}
 	if c.rank == root {
-		reqs := make([]*Request, 0, n-1)
-		for r := 0; r < n; r++ {
-			part := sendBuf[int64(r)*bytes : int64(r+1)*bytes]
-			if r == root {
-				copy(recvBuf[:bytes], part)
-				continue
-			}
-			req, err := c.Isend(part, bytes, TypeBytes, r, collTagBase+4)
-			if err != nil {
-				return err
-			}
-			reqs = append(reqs, req)
+		if err := checkLen("scatter send", sendBuf, bytes*int64(n)); err != nil {
+			return err
 		}
-		return WaitAll(reqs...)
 	}
-	_, err := c.Recv(recvBuf, bytes, TypeBytes, root, collTagBase+4)
-	return err
+	return c.scatter(sendBuf, recvBuf, bytes, root, epoch)
+}
+
+func (c *Comm) scatter(sendBuf, recvBuf []byte, bytes Count, root int, epoch uint64) error {
+	n := c.Size()
+	if c.rank != root {
+		return c.collRecv(recvBuf[:bytes], bytes, TypeBytes, root, opScatter, epoch, 0)
+	}
+	reqs := make([]*Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		part := sendBuf[int64(r)*bytes : int64(r+1)*bytes]
+		if r == root {
+			copy(recvBuf[:bytes], part)
+			continue
+		}
+		req, err := c.collIsend(part, bytes, TypeBytes, r, opScatter, epoch, 0)
+		if err != nil {
+			drainRequests(reqs)
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return WaitAll(reqs...)
 }
 
 // Alltoall exchanges count elements with every rank: the block at offset
 // i*count*size of sendBuf goes to rank i, and rank i's block lands at the
 // same offset of recvBuf (pairwise exchange).
 func (c *Comm) Alltoall(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) error {
+	epoch := c.nextEpoch()
 	n := c.Size()
-	es := dt.elemSize()
-	if es <= 0 {
-		return fmt.Errorf("%w: alltoall requires a fixed-size datatype", ErrInvalidComm)
+	bytes, err := c.fixedSize("alltoall", count, dt)
+	if err != nil {
+		return err
 	}
-	bytes := count * es
+	if err := checkLen("alltoall send", sendBuf, bytes*int64(n)); err != nil {
+		return err
+	}
+	if err := checkLen("alltoall receive", recvBuf, bytes*int64(n)); err != nil {
+		return err
+	}
 	copy(recvBuf[int64(c.rank)*bytes:int64(c.rank+1)*bytes], sendBuf[int64(c.rank)*bytes:int64(c.rank+1)*bytes])
 	for step := 1; step < n; step++ {
 		dst := (c.rank + step) % n
 		src := (c.rank - step + n) % n
-		_, err := c.SendRecv(
-			sendBuf[int64(dst)*bytes:int64(dst+1)*bytes], bytes, TypeBytes, dst, collTagBase+5,
-			recvBuf[int64(src)*bytes:int64(src+1)*bytes], bytes, TypeBytes, src, collTagBase+5)
+		rr, err := c.collIrecv(recvBuf[int64(src)*bytes:int64(src+1)*bytes], bytes, TypeBytes, src, opAlltoall, epoch, step)
 		if err != nil {
+			return err
+		}
+		sr, err := c.collIsend(sendBuf[int64(dst)*bytes:int64(dst+1)*bytes], bytes, TypeBytes, dst, opAlltoall, epoch, step)
+		if err != nil {
+			drainRequests([]*Request{rr})
+			return err
+		}
+		if _, err := sr.Wait(); err != nil {
+			drainRequests([]*Request{rr})
+			return err
+		}
+		if _, err := rr.Wait(); err != nil {
 			return err
 		}
 	}
@@ -263,12 +786,16 @@ func (c *Comm) agreeCID() (uint64, error) {
 	local := make([]byte, 8)
 	layout.PutI64(local, 0, int64(*c.nextCID))
 	agreed := make([]byte, 8)
-	if err := c.Allreduce(local, agreed, 8, TypeBytes, func(dst, src []byte, _ Count, _ *Datatype) error {
-		if layout.I64(src, 0) > layout.I64(dst, 0) {
-			layout.PutI64(dst, 0, layout.I64(src, 0))
-		}
-		return nil
-	}); err != nil {
+	maxOp := ReduceOp{
+		Commutative: true,
+		Combine: func(dst, src []byte, _ Count, _ *Datatype) error {
+			if layout.I64(src, 0) > layout.I64(dst, 0) {
+				layout.PutI64(dst, 0, layout.I64(src, 0))
+			}
+			return nil
+		},
+	}
+	if err := c.Allreduce(local, agreed, 8, TypeBytes, maxOp); err != nil {
 		return 0, err
 	}
 	cid := uint64(layout.I64(agreed, 0))
@@ -289,7 +816,10 @@ func (c *Comm) Dup() (*Comm, error) {
 		return nil, err
 	}
 	group := append([]int(nil), c.group...)
-	return &Comm{w: c.w, ctx: cid, group: group, inverse: c.inverse, rank: c.rank, nextCID: c.nextCID}, nil
+	return &Comm{
+		w: c.w, ctx: cid, group: group, inverse: c.inverse, rank: c.rank,
+		nextCID: c.nextCID, collEpoch: new(atomic.Uint64), tuning: c.tuning,
+	}, nil
 }
 
 // Split partitions the communicator by color; ranks with equal color form
@@ -338,5 +868,8 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if myRank < 0 {
 		return nil, fmt.Errorf("%w: split: calling rank missing from its color group", ErrInvalidComm)
 	}
-	return &Comm{w: c.w, ctx: cid, group: group, inverse: inverse, rank: myRank, nextCID: c.nextCID}, nil
+	return &Comm{
+		w: c.w, ctx: cid, group: group, inverse: inverse, rank: myRank,
+		nextCID: c.nextCID, collEpoch: new(atomic.Uint64), tuning: c.tuning,
+	}, nil
 }

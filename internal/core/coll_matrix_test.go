@@ -1,0 +1,387 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"mpicd/internal/ddt"
+	"mpicd/internal/fabric"
+	"mpicd/internal/layout"
+	"mpicd/internal/ucp"
+)
+
+// tcpAddrs reserves n loopback addresses for a TCP-fabric world.
+func tcpAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// The collective correctness matrix: every collective × rank counts
+// {2,3,4,5,8} × payload sizes below, straddling and above the
+// algorithm-selection thresholds. Tuning is scaled down so the chunked
+// schedules (pipelined Bcast, ring Allgather, Rabenseifner Allreduce)
+// engage at test-sized payloads; the "straddle" size sits exactly at the
+// switch point.
+
+// matrixTuning shrinks the engine thresholds so small payloads exercise
+// the large-message schedules.
+var matrixTuning = CollTuning{
+	ChunkBytes:     4096,
+	PipelineThresh: 16384,
+	RabenThresh:    8192,
+	Window:         3,
+}
+
+var matrixSizes = []struct {
+	name  string
+	bytes int
+}{
+	{"small", 1 << 10},
+	{"straddle", 16384},    // exactly PipelineThresh; RabenThresh crossed
+	{"large", 1<<16 + 24},  // odd size: uneven chunk tails, odd halving splits
+}
+
+var matrixRanks = []int{2, 3, 4, 5, 8}
+
+// forEachMatrixCell trims the cross-product under -short.
+func forEachMatrixCell(t *testing.T, f func(t *testing.T, n, size int)) {
+	for _, n := range matrixRanks {
+		for _, sz := range matrixSizes {
+			if testing.Short() && n != 3 && sz.name != "large" {
+				continue
+			}
+			t.Run(fmt.Sprintf("n%d_%s", n, sz.name), func(t *testing.T) {
+				f(t, n, sz.bytes)
+			})
+		}
+	}
+}
+
+func TestMatrixBcast(t *testing.T) {
+	forEachMatrixCell(t, func(t *testing.T, n, size int) {
+		for _, root := range []int{0, n - 1} {
+			want := pattern(size, byte(root+1))
+			err := Run(n, Options{}, func(c *Comm) error {
+				c.SetCollTuning(matrixTuning)
+				buf := make([]byte, size)
+				if c.Rank() == root {
+					copy(buf, want)
+				}
+				if err := c.Bcast(buf, -1, TypeBytes, root); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, want) {
+					return fmt.Errorf("root %d: bcast payload mismatch", root)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestMatrixAllreduce(t *testing.T) {
+	forEachMatrixCell(t, func(t *testing.T, n, size int) {
+		count := size / 8
+		err := Run(n, Options{}, func(c *Comm) error {
+			c.SetCollTuning(matrixTuning)
+			vals := make([]float64, count)
+			for i := range vals {
+				vals[i] = float64(c.Rank()+1) * float64(i%97)
+			}
+			send := layout.Float64Image(vals)
+			recv := make([]byte, len(send))
+			if err := c.Allreduce(send, recv, Count(count), FromDDT(ddt.Float64), OpSumFloat64); err != nil {
+				return err
+			}
+			got := layout.Float64s(recv)
+			for i := range got {
+				want := 0.0
+				for r := 0; r < n; r++ {
+					want += float64(r+1) * float64(i%97)
+				}
+				if got[i] != want {
+					return fmt.Errorf("sum[%d] = %v, want %v", i, got[i], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMatrixReduce(t *testing.T) {
+	forEachMatrixCell(t, func(t *testing.T, n, size int) {
+		count := size / 8
+		root := n / 2
+		err := Run(n, Options{}, func(c *Comm) error {
+			c.SetCollTuning(matrixTuning)
+			send := make([]byte, size)
+			for i := 0; i < count; i++ {
+				layout.PutI64(send, 8*i, int64(c.Rank()*count+i))
+			}
+			recv := make([]byte, size)
+			if err := c.Reduce(send, recv, Count(count), FromDDT(ddt.Int64), OpSumInt64, root); err != nil {
+				return err
+			}
+			if c.Rank() == root {
+				for i := 0; i < count; i++ {
+					want := int64(0)
+					for r := 0; r < n; r++ {
+						want += int64(r*count + i)
+					}
+					if got := layout.I64(recv, 8*i); got != want {
+						return fmt.Errorf("sum[%d] = %d, want %d", i, got, want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMatrixAllgather(t *testing.T) {
+	forEachMatrixCell(t, func(t *testing.T, n, size int) {
+		err := Run(n, Options{}, func(c *Comm) error {
+			c.SetCollTuning(matrixTuning)
+			mine := pattern(size, byte(c.Rank()+1))
+			all := make([]byte, size*n)
+			if err := c.Allgather(mine, Count(size), TypeBytes, all); err != nil {
+				return err
+			}
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(all[r*size:(r+1)*size], pattern(size, byte(r+1))) {
+					return fmt.Errorf("allgather slot %d mismatch at rank %d", r, c.Rank())
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMatrixGatherScatter(t *testing.T) {
+	forEachMatrixCell(t, func(t *testing.T, n, size int) {
+		err := Run(n, Options{}, func(c *Comm) error {
+			c.SetCollTuning(matrixTuning)
+			mine := pattern(size, byte(c.Rank()+1))
+			all := make([]byte, size*n)
+			root := n - 1
+			if err := c.Gather(mine, Count(size), TypeBytes, all, root); err != nil {
+				return err
+			}
+			if c.Rank() == root {
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(all[r*size:(r+1)*size], pattern(size, byte(r+1))) {
+						return fmt.Errorf("gather slot %d mismatch", r)
+					}
+				}
+			}
+			out := make([]byte, size)
+			if err := c.Scatter(all, Count(size), TypeBytes, out, root); err != nil {
+				return err
+			}
+			if !bytes.Equal(out, mine) {
+				return errors.New("scatter returned wrong block")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMatrixAlltoall(t *testing.T) {
+	forEachMatrixCell(t, func(t *testing.T, n, size int) {
+		if size > 1<<14 && testing.Short() {
+			t.Skip("short mode")
+		}
+		err := Run(n, Options{}, func(c *Comm) error {
+			c.SetCollTuning(matrixTuning)
+			send := make([]byte, size*n)
+			for r := 0; r < n; r++ {
+				copy(send[r*size:(r+1)*size], pattern(size, byte(c.Rank()*10+r)))
+			}
+			recv := make([]byte, size*n)
+			if err := c.Alltoall(send, Count(size), TypeBytes, recv); err != nil {
+				return err
+			}
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(recv[r*size:(r+1)*size], pattern(size, byte(r*10+c.Rank()))) {
+					return fmt.Errorf("alltoall slot %d mismatch at rank %d", r, c.Rank())
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMatrixBarrierStress hammers back-to-back barriers across the rank
+// counts — the epoch separation keeps rounds from bleeding together.
+func TestMatrixBarrierStress(t *testing.T) {
+	for _, n := range matrixRanks {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			err := Run(n, Options{}, func(c *Comm) error {
+				for k := 0; k < 50; k++ {
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMatrixTCP runs a slice of the matrix over the TCP fabric: three
+// single-process ranks meshed through loopback sockets, exercising the
+// pipelined Bcast, ring Allgather and Rabenseifner Allreduce paths over a
+// real wire.
+func TestMatrixTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 3
+	const size = 1<<15 + 8
+	addrs := tcpAddrs(t, n)
+	want := pattern(size, 7)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(rank int) {
+			errs <- func() error {
+				nic, err := fabric.NewTCP(rank, addrs, fabric.Config{})
+				if err != nil {
+					return err
+				}
+				defer nic.Close()
+				w := ucp.NewWorker(nic, ucp.Config{})
+				defer w.Close()
+				c := NewComm(w)
+				c.SetCollTuning(matrixTuning)
+
+				buf := make([]byte, size)
+				if rank == 0 {
+					copy(buf, want)
+				}
+				if err := c.Bcast(buf, -1, TypeBytes, 0); err != nil {
+					return fmt.Errorf("bcast: %w", err)
+				}
+				if !bytes.Equal(buf, want) {
+					return errors.New("tcp bcast mismatch")
+				}
+
+				all := make([]byte, size*n)
+				if err := c.Allgather(pattern(size, byte(rank+1)), size, TypeBytes, all); err != nil {
+					return fmt.Errorf("allgather: %w", err)
+				}
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(all[r*size:(r+1)*size], pattern(size, byte(r+1))) {
+						return fmt.Errorf("tcp allgather slot %d mismatch", r)
+					}
+				}
+
+				count := size / 8
+				vals := make([]float64, count)
+				for i := range vals {
+					vals[i] = float64(rank + 1)
+				}
+				send := layout.Float64Image(vals)
+				recv := make([]byte, len(send))
+				if err := c.Allreduce(send, recv, Count(count), FromDDT(ddt.Float64), OpSumFloat64); err != nil {
+					return fmt.Errorf("allreduce: %w", err)
+				}
+				got := layout.Float64s(recv)
+				for i := range got {
+					if got[i] != 6 { // 1+2+3
+						return fmt.Errorf("tcp allreduce[%d] = %v", i, got[i])
+					}
+				}
+				return nil
+			}()
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBcastLinkDownNoHang is the fault-matrix case for collectives: a
+// link goes down mid-Bcast at rendezvous size, the affected rank surfaces
+// ErrLinkDown, and — with a request timeout bounding the root's sends —
+// nobody hangs.
+func TestBcastLinkDownNoHang(t *testing.T) {
+	const n = 4
+	const size = 1 << 16 // above RndvThresh: the receiver pulls via Get
+	opt := Options{
+		UCP: ucp.Config{ReqTimeout: 2 * time.Second}, // bounds collateral waits
+		WrapNIC: func(rank int, nic fabric.NIC) fabric.NIC {
+			if rank != 1 {
+				return nic
+			}
+			// Rank 1's rendezvous pulls from the root fail: link down.
+			return fabric.WrapFault(nic, fabric.FaultPlan{Seed: 1, Rules: []fabric.FaultRule{
+				{Peer: 0, Action: fabric.FailGet, Prob: 1},
+			}})
+		},
+	}
+	err := Run(n, opt, func(c *Comm) error {
+		buf := make([]byte, size)
+		if c.Rank() == 0 {
+			copy(buf, pattern(size, 3))
+		}
+		err := c.Bcast(buf, -1, TypeBytes, 0)
+		switch c.Rank() {
+		case 1:
+			if !errors.Is(err, ErrLinkDown) {
+				return fmt.Errorf("rank 1 bcast = %v, want ErrLinkDown", err)
+			}
+		case 0:
+			// The root's send to rank 1 fails too (the transport notifies
+			// the sender of the remote pull failure) or times out — any
+			// bounded outcome is fine; hanging is the bug.
+		default:
+			if err != nil {
+				return fmt.Errorf("rank %d bcast = %v", c.Rank(), err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mpicd/internal/fabric"
+	"mpicd/internal/layout"
+	"mpicd/internal/ucp"
+)
+
+// legacyCollTag is the user tag the pre-engine collectives stole their
+// matching space from (collTagBase = MaxTag-1024): a perfectly legal user
+// tag, which is exactly the bug.
+const legacyCollTag = MaxTag - 1024
+
+// TestUserTagCollectiveIsolation is the tag-collision regression test: a
+// user Send tagged legacyCollTag is queued at the peer before the peer
+// enters Barrier. Without the reserved collective bit the barrier receive
+// match-steals the user payload as its token (and the user Recv later
+// gets the stale token instead); with it, the two matching spaces cannot
+// interact.
+func TestUserTagCollectiveIsolation(t *testing.T) {
+	err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send([]byte{0xAA}, 1, TypeBytes, 1, legacyCollTag); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		// Let the user message land in the unexpected queue first, then
+		// run the collective before receiving it.
+		time.Sleep(20 * time.Millisecond)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		buf := make([]byte, 1)
+		st, err := c.Recv(buf, 1, TypeBytes, 0, legacyCollTag)
+		if err != nil {
+			return err
+		}
+		if buf[0] != 0xAA {
+			return fmt.Errorf("user recv got %#x — collective traffic crossed into the user tag space", buf[0])
+		}
+		if st.Tag != legacyCollTag {
+			return fmt.Errorf("user recv matched tag %d, want %d", st.Tag, legacyCollTag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnyTagExcludesCollective pins the wildcard side of the isolation: a
+// posted MPI_ANY_TAG receive must sit out a concurrent Barrier and match
+// only the user message sent afterwards.
+func TestAnyTagExcludesCollective(t *testing.T) {
+	err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Send([]byte{0x55}, 1, TypeBytes, 1, 7)
+		}
+		buf := make([]byte, 1)
+		rr, err := c.Irecv(buf, 1, TypeBytes, 0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		st, err := rr.Wait()
+		if err != nil {
+			return err
+		}
+		if buf[0] != 0x55 || st.Tag != 7 {
+			return fmt.Errorf("AnyTag recv got payload %#x tag %d — matched collective traffic", buf[0], st.Tag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// opConcat is a string-concat-style reduction: each element is a
+// length-prefixed string in a fixed 16-byte slot ([len:1][data:15]) and
+// Combine appends src's string to dst's. Associative but decidedly not
+// commutative — the canonical witness for rank-ordered combining.
+var opConcat = ReduceOp{
+	Commutative: false,
+	Combine: func(dst, src []byte, count Count, _ *Datatype) error {
+		dl, sl := int(dst[0]), int(src[0])
+		if dl+sl > 15 {
+			return errors.New("concat overflow")
+		}
+		copy(dst[1+dl:], src[1:1+sl])
+		dst[0] = byte(dl + sl)
+		return nil
+	},
+}
+
+// TestReduceNonCommutativeOrder is the combining-order regression test:
+// with root 2 the old rotated binomial tree combined contributions in
+// virtual-rank order (2,3,0,1 → "CDAB"); MPI requires canonical rank
+// order 0∘1∘…∘n-1 for non-commutative operators, i.e. "ABCD", whatever
+// the root.
+func TestReduceNonCommutativeOrder(t *testing.T) {
+	const n = 4
+	for root := 0; root < n; root++ {
+		t.Run(fmt.Sprintf("root%d", root), func(t *testing.T) {
+			err := Run(n, Options{}, func(c *Comm) error {
+				send := make([]byte, 16)
+				send[0] = 1
+				send[1] = byte('A' + c.Rank())
+				recv := make([]byte, 16)
+				if err := c.Reduce(send, recv, 16, TypeBytes, opConcat, root); err != nil {
+					return err
+				}
+				if c.Rank() == root {
+					got := string(recv[1 : 1+recv[0]])
+					if got != "ABCD" {
+						return fmt.Errorf("non-commutative reduce combined %q, want %q", got, "ABCD")
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllreduceNonCommutativeOrder extends the order guarantee to
+// Allreduce, which must refuse the Rabenseifner schedule for
+// non-commutative operators at any size.
+func TestAllreduceNonCommutativeOrder(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(c *Comm) error {
+		// Force the large-message path decision point.
+		c.SetCollTuning(CollTuning{RabenThresh: 1})
+		send := make([]byte, 16)
+		send[0] = 1
+		send[1] = byte('A' + c.Rank())
+		recv := make([]byte, 16)
+		if err := c.Allreduce(send, recv, 16, TypeBytes, opConcat); err != nil {
+			return err
+		}
+		if got := string(recv[1 : 1+recv[0]]); got != "ABCD" {
+			return fmt.Errorf("rank %d: non-commutative allreduce combined %q, want %q", c.Rank(), got, "ABCD")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendRecvNoRecvLeakOnSendError: when the send half fails
+// synchronously, the already-posted receive must be canceled — a later
+// user receive on the same tag must match new traffic, not feed a zombie
+// buffer from the failed call.
+func TestSendRecvNoRecvLeakOnSendError(t *testing.T) {
+	err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Wait for rank 1's failed SendRecv, then send the real payload.
+			if _, err := c.Recv(make([]byte, 1), 1, TypeBytes, 1, 2); err != nil {
+				return err
+			}
+			return c.Send([]byte{0x77}, 1, TypeBytes, 1, 3)
+		}
+		stale := make([]byte, 1)
+		_, err := c.SendRecv([]byte{9}, 1, TypeBytes, 99, 3, stale, 1, TypeBytes, 0, 3)
+		if err == nil {
+			return errors.New("SendRecv to rank 99 should fail")
+		}
+		if err := c.Send([]byte{1}, 1, TypeBytes, 0, 2); err != nil {
+			return err
+		}
+		fresh := make([]byte, 1)
+		rr, err := c.Irecv(fresh, 1, TypeBytes, 0, 3)
+		if err != nil {
+			return err
+		}
+		if _, err := rr.WaitTimeout(2 * time.Second); err != nil {
+			return fmt.Errorf("fresh recv starved — failed SendRecv leaked its posted receive: %w", err)
+		}
+		if fresh[0] != 0x77 || stale[0] != 0 {
+			return fmt.Errorf("payload landed in the wrong buffer: fresh=%#x stale=%#x", fresh[0], stale[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendRecvFaultErrorPath drives the same leak through the
+// fault-injection fabric: rank 1's link to rank 0 is down, so the send
+// half times out after the receive was posted. The error must surface
+// without hanging and without leaving the receive behind.
+func TestSendRecvFaultErrorPath(t *testing.T) {
+	release := make(chan struct{})
+	opt := Options{
+		UCP: ucp.Config{
+			Reliable:      true,
+			RexmitBase:    time.Millisecond,
+			RexmitMax:     5 * time.Millisecond,
+			RexmitRetries: 20,
+		},
+		WrapNIC: func(rank int, nic fabric.NIC) fabric.NIC {
+			if rank != 1 {
+				return nic
+			}
+			return fabric.WrapFault(nic, fabric.FaultPlan{Seed: 1, Rules: []fabric.FaultRule{
+				{Peer: 0, Action: fabric.LinkDown, Prob: 1, Count: 1, Down: -1},
+			}})
+		},
+	}
+	err := Run(2, opt, func(c *Comm) error {
+		if c.Rank() == 0 {
+			<-release
+			// The reverse link carries the payload fine but rank 1's acks
+			// die on its downed link, so tolerate the ack timeout.
+			if err := c.Send([]byte{0x66}, 1, TypeBytes, 1, 5); err != nil && !errors.Is(err, ErrTimeout) {
+				return err
+			}
+			return nil
+		}
+		stale := make([]byte, 1)
+		_, err := c.SendRecv(pattern(4000, 9), -1, TypeBytes, 0, 5, stale, 1, TypeBytes, 0, 5)
+		if err == nil {
+			return errors.New("SendRecv over a down link should fail")
+		}
+		close(release)
+		fresh := make([]byte, 1)
+		rr, err := c.Irecv(fresh, 1, TypeBytes, 0, 5)
+		if err != nil {
+			return err
+		}
+		if _, err := rr.WaitTimeout(2 * time.Second); err != nil {
+			return fmt.Errorf("fresh recv starved after failed SendRecv: %w", err)
+		}
+		if fresh[0] != 0x66 {
+			return fmt.Errorf("fresh recv got %#x", fresh[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectiveShortBuffers pins the up-front argument validation: short
+// buffers and bad roots return ErrInvalidComm-wrapped errors instead of
+// panicking mid-schedule. Every rank passes the same (bad) arguments, so
+// the failures are symmetric and nothing hangs.
+func TestCollectiveShortBuffers(t *testing.T) {
+	const n = 3
+	short := make([]byte, 4)
+	full := make([]byte, 64)
+	wide := make([]byte, 64*n)
+	cases := []struct {
+		name string
+		call func(c *Comm) error
+	}{
+		{"gather-short-send", func(c *Comm) error { return c.Gather(short, 64, TypeBytes, wide, 0) }},
+		{"gather-short-recv", func(c *Comm) error { return c.Gather(full, 64, TypeBytes, short, c.Rank()) }},
+		{"gather-bad-root", func(c *Comm) error { return c.Gather(full, 64, TypeBytes, wide, n) }},
+		{"scatter-short-send", func(c *Comm) error { return c.Scatter(short, 64, TypeBytes, full, c.Rank()) }},
+		{"scatter-short-recv", func(c *Comm) error { return c.Scatter(wide, 64, TypeBytes, short, 0) }},
+		{"alltoall-short-send", func(c *Comm) error { return c.Alltoall(full[:8], 64, TypeBytes, wide) }},
+		{"alltoall-short-recv", func(c *Comm) error { return c.Alltoall(wide, 64, TypeBytes, full) }},
+		{"allgather-short-recv", func(c *Comm) error { return c.Allgather(full, 64, TypeBytes, full) }},
+		{"allreduce-short-send", func(c *Comm) error { return c.Allreduce(short, full, 64, TypeBytes, OpSumInt64) }},
+		{"allreduce-short-recv", func(c *Comm) error { return c.Allreduce(full, short, 64, TypeBytes, OpSumInt64) }},
+		{"reduce-short-send", func(c *Comm) error { return c.Reduce(short, full, 64, TypeBytes, OpSumInt64, 0) }},
+		{"reduce-bad-root", func(c *Comm) error { return c.Reduce(full, full, 64, TypeBytes, OpSumInt64, -1) }},
+		{"bcast-bad-root", func(c *Comm) error { return c.Bcast(full, -1, TypeBytes, n+1) }},
+		{"gatherv-short-send", func(c *Comm) error {
+			return c.Gatherv(short, 64, wide, []Count{64, 64, 64}, []Count{0, 64, 128}, 0)
+		}},
+		{"gatherv-bad-displs", func(c *Comm) error {
+			return c.Gatherv(full, 64, wide, []Count{64, 64, 64}, []Count{0, 64, 1024}, c.Rank())
+		}},
+		{"scatterv-neg-count", func(c *Comm) error {
+			return c.Scatterv(wide, []Count{-1, 64, 64}, []Count{0, 64, 128}, full, 64, c.Rank())
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Run(n, Options{}, func(c *Comm) error {
+				if err := tc.call(c); !errors.Is(err, ErrInvalidComm) {
+					return fmt.Errorf("got %v, want ErrInvalidComm", err)
+				}
+				// The communicator must stay usable: a failed collective
+				// consumes its epoch on every rank symmetrically.
+				return c.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReduceFixedSizeRequired pins the custom-datatype guard: reductions
+// need a fixed element size to slice accumulators.
+func TestReduceFixedSizeRequired(t *testing.T) {
+	dt := TypeCreateCustom(dvHandler{})
+	err := Run(2, Options{}, func(c *Comm) error {
+		if err := c.Allreduce(make([]byte, 8), make([]byte, 8), 1, dt, OpSumInt64); !errors.Is(err, ErrInvalidComm) {
+			return fmt.Errorf("got %v, want ErrInvalidComm", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDupCollectiveEpochIsolation runs the same collective concurrently
+// on a communicator and its dup: identical (op, epoch, seq) tags on both,
+// separated only by the context id.
+func TestDupCollectiveEpochIsolation(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(c *Comm) error {
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		want1 := pattern(2048, 1)
+		want2 := pattern(2048, 2)
+		buf1 := make([]byte, 2048)
+		buf2 := make([]byte, 2048)
+		if c.Rank() == 0 {
+			copy(buf1, want1)
+			copy(buf2, want2)
+		}
+		// Interleave: start both broadcasts nonblocking on different
+		// comms, then complete them in reverse order.
+		r1, err := c.Ibcast(buf1, -1, TypeBytes, 0)
+		if err != nil {
+			return err
+		}
+		r2, err := dup.Ibcast(buf2, -1, TypeBytes, 0)
+		if err != nil {
+			return err
+		}
+		if err := r2.Wait(); err != nil {
+			return err
+		}
+		if err := r1.Wait(); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf1, want1) || !bytes.Equal(buf2, want2) {
+			return errors.New("collectives crossed between comm and dup")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackToBackCollectives pins the epoch separation for consecutive
+// blocking collectives carrying identical shapes: with per-call epochs a
+// slow rank cannot feed round k's traffic into round k+1.
+func TestBackToBackCollectives(t *testing.T) {
+	const n = 4
+	const rounds = 20
+	err := Run(n, Options{}, func(c *Comm) error {
+		buf := make([]byte, 8)
+		for k := 0; k < rounds; k++ {
+			if c.Rank() == 0 {
+				layout.PutI64(buf, 0, int64(k))
+			}
+			if err := c.Bcast(buf, -1, TypeBytes, 0); err != nil {
+				return err
+			}
+			if got := layout.I64(buf, 0); got != int64(k) {
+				return fmt.Errorf("round %d received round %d's payload", k, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"mpicd/internal/ucp"
+)
+
+// Collective matching space. A collective tag's low 32 bits are
+//
+//	[coll:1][op:5][epoch:18][seq:8]
+//
+// where coll is the reserved collective bit (core.go), op identifies the
+// collective phase (so composite collectives such as Allreduce =
+// reduce-scatter + allgather never cross-match their own phases), epoch
+// is the per-communicator collective call counter (so back-to-back and
+// concurrently outstanding nonblocking collectives never cross-match),
+// and seq numbers pipeline chunks and schedule steps within one phase.
+//
+// Collective receives always match the full 64-bit tag exactly — there
+// are no wildcards inside the collective space.
+const (
+	collOpShift    = 26
+	collOpMax      = 0x1F
+	collEpochShift = 8
+	collEpochMask  = 0x3FFFF // 18 bits; wraps, which is safe: no schedule
+	// keeps traffic in flight across 2^18 later collectives on one comm.
+	collSeqMask = 0xFF
+)
+
+// collOp identifies a collective phase in the tag's op field.
+type collOp uint64
+
+const (
+	opBarrier collOp = iota + 1
+	opBcast
+	opReduce
+	opReduceRoot // rank-0 -> root result forward of rank-ordered Reduce
+	opAllreduceRS
+	opAllreduceAG
+	opAllreduceRem // non-power-of-two pre/post exchange of Rabenseifner
+	opGather
+	opScatter
+	opAllgather
+	opAlltoall
+	opGatherv
+	opScatterv
+)
+
+// CollTuning configures the collective engine's algorithm selection.
+// Zero fields select the defaults; Dup and Split inherit the parent's
+// tuning.
+type CollTuning struct {
+	// ChunkBytes is the pipeline segment size for chunked schedules
+	// (default 128 KiB).
+	ChunkBytes int64
+	// PipelineThresh is the message size at which Bcast switches from
+	// whole-message binomial to the segment-pipelined binomial tree, and
+	// Allgather from gather+bcast to the ring schedule (default 256 KiB,
+	// counting the per-rank contribution for Allgather).
+	PipelineThresh int64
+	// RabenThresh is the message size at which commutative Allreduce
+	// switches from binomial reduce+bcast to Rabenseifner's
+	// reduce-scatter + allgather (default 64 KiB).
+	RabenThresh int64
+	// Window is the number of outstanding pipeline chunks per peer
+	// (default 4, minimum 1).
+	Window int
+}
+
+// Default collective-engine thresholds.
+const (
+	DefaultCollChunkBytes     = 128 * 1024
+	DefaultCollPipelineThresh = 256 * 1024
+	DefaultCollRabenThresh    = 64 * 1024
+	DefaultCollWindow         = 4
+)
+
+func (t CollTuning) withDefaults() CollTuning {
+	if t.ChunkBytes <= 0 {
+		t.ChunkBytes = DefaultCollChunkBytes
+	}
+	if t.PipelineThresh <= 0 {
+		t.PipelineThresh = DefaultCollPipelineThresh
+	}
+	if t.RabenThresh <= 0 {
+		t.RabenThresh = DefaultCollRabenThresh
+	}
+	if t.Window <= 0 {
+		t.Window = DefaultCollWindow
+	}
+	return t
+}
+
+// SetCollTuning replaces the communicator's collective thresholds. Like
+// every communicator-state change it must not race in-flight collectives;
+// benchmarks use it to pin one algorithm (e.g. a huge PipelineThresh
+// forces the naive schedules).
+func (c *Comm) SetCollTuning(t CollTuning) { c.tuning = t }
+
+// collTuning returns the effective (default-resolved) tuning.
+func (c *Comm) collTuning() CollTuning { return c.tuning.withDefaults() }
+
+// nextEpoch reserves the next collective epoch. Every public collective —
+// blocking or nonblocking — calls it exactly once, synchronously at call
+// time, so the caller's collective call order defines the epoch sequence
+// even when the schedule itself runs on a background goroutine.
+func (c *Comm) nextEpoch() uint64 { return c.collEpoch.Add(1) }
+
+// collTag builds the transport tag for collective traffic sent by this
+// rank in (op, epoch, seq).
+func (c *Comm) collTag(op collOp, epoch uint64, seq int) ucp.Tag {
+	low := collBit |
+		uint64(op)<<collOpShift |
+		(epoch&collEpochMask)<<collEpochShift |
+		uint64(seq)&collSeqMask
+	return ucp.Tag(c.ctx<<ctxShift | uint64(c.rank)<<srcShift | low)
+}
+
+// collMatch builds the exact-match criteria for collective traffic from
+// comm rank src in (op, epoch, seq).
+func (c *Comm) collMatch(src int, op collOp, epoch uint64, seq int) (from int, tag ucp.Tag) {
+	low := collBit |
+		uint64(op)<<collOpShift |
+		(epoch&collEpochMask)<<collEpochShift |
+		uint64(seq)&collSeqMask
+	return c.group[src], ucp.Tag(c.ctx<<ctxShift | uint64(src)<<srcShift | low)
+}
+
+// collIsend starts a nonblocking collective send to comm rank dst.
+func (c *Comm) collIsend(buf any, count Count, dt *Datatype, dst int, op collOp, epoch uint64, seq int) (*Request, error) {
+	if dst < 0 || dst >= len(c.group) {
+		return nil, fmt.Errorf("%w: collective destination rank %d", ErrInvalidComm, dst)
+	}
+	r, err := c.w.Send(c.group[dst], c.collTag(op, epoch, seq), dt.transport(), buf, count, 0, ucp.ProtoAuto)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{r: r, comm: c}, nil
+}
+
+// collSend is the blocking form of collIsend.
+func (c *Comm) collSend(buf any, count Count, dt *Datatype, dst int, op collOp, epoch uint64, seq int) error {
+	r, err := c.collIsend(buf, count, dt, dst, op, epoch, seq)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// collIrecv posts a nonblocking collective receive from comm rank src.
+// Collective receives match the full tag exactly.
+func (c *Comm) collIrecv(buf any, count Count, dt *Datatype, src int, op collOp, epoch uint64, seq int) (*Request, error) {
+	if src < 0 || src >= len(c.group) {
+		return nil, fmt.Errorf("%w: collective source rank %d", ErrInvalidComm, src)
+	}
+	from, tag := c.collMatch(src, op, epoch, seq)
+	r, err := c.w.Recv(from, tag, ^ucp.Tag(0), dt.transport(), buf, count)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{r: r, comm: c}, nil
+}
+
+// collRecv is the blocking form of collIrecv.
+func (c *Comm) collRecv(buf any, count Count, dt *Datatype, src int, op collOp, epoch uint64, seq int) error {
+	r, err := c.collIrecv(buf, count, dt, src, op, epoch, seq)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// drainRequests disposes of in-flight requests on an error path: posted
+// receives that have not matched are canceled; everything else (sends,
+// matched receives) is waited out so no request keeps referencing caller
+// buffers after the collective returns. Errors are discarded — the
+// caller is already failing with the primary error.
+func drainRequests(reqs []*Request) {
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if r.Cancel() {
+			continue
+		}
+		_, _ = r.Wait()
+	}
+}

@@ -31,19 +31,49 @@ func WaitAny(reqs ...*Request) (int, Status, error) {
 	return i, st, err
 }
 
+// checkSlices validates a counts/displs pair against a buffer, returning
+// the high-water extent.
+func checkSlices(what string, buf []byte, counts, displs []Count, n int) (Count, error) {
+	if len(counts) != n || len(displs) != n {
+		return 0, fmt.Errorf("%w: %s needs %d counts/displs", ErrInvalidComm, what, n)
+	}
+	total := Count(0)
+	for r := 0; r < n; r++ {
+		if counts[r] < 0 || displs[r] < 0 {
+			return 0, fmt.Errorf("%w: %s negative count/displ for rank %d", ErrInvalidComm, what, r)
+		}
+		if end := displs[r] + counts[r]; end > total {
+			total = end
+		}
+	}
+	if err := checkLen(what, buf, total); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
 // Gatherv collects counts[i] bytes from rank i into recvBuf at offsets
 // displs[i] at root (MPI_Gatherv over the byte type; derived types are
 // packed by the caller).
 func (c *Comm) Gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count, root int) error {
+	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: gatherv root %d", ErrInvalidComm, root)
 	}
-	if c.rank != root {
-		return c.Send(sendBuf[:sendCount], sendCount, TypeBytes, root, collTagBase+6)
+	if err := checkLen("gatherv send", sendBuf, sendCount); err != nil {
+		return err
 	}
-	if len(counts) != n || len(displs) != n {
-		return fmt.Errorf("%w: gatherv needs %d counts/displs", ErrInvalidComm, n)
+	return c.gatherv(sendBuf, sendCount, recvBuf, counts, displs, root, epoch)
+}
+
+func (c *Comm) gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count, root int, epoch uint64) error {
+	n := c.Size()
+	if c.rank != root {
+		return c.collSend(sendBuf[:sendCount], sendCount, TypeBytes, root, opGatherv, epoch, 0)
+	}
+	if _, err := checkSlices("gatherv receive", recvBuf, counts, displs, n); err != nil {
+		return err
 	}
 	reqs := make([]*Request, 0, n-1)
 	for r := 0; r < n; r++ {
@@ -52,8 +82,9 @@ func (c *Comm) Gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, 
 			copy(dst, sendBuf[:sendCount])
 			continue
 		}
-		req, err := c.Irecv(dst, counts[r], TypeBytes, r, collTagBase+6)
+		req, err := c.collIrecv(dst, counts[r], TypeBytes, r, opGatherv, epoch, 0)
 		if err != nil {
+			drainRequests(reqs)
 			return err
 		}
 		reqs = append(reqs, req)
@@ -64,16 +95,19 @@ func (c *Comm) Gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, 
 // Scatterv distributes counts[i] bytes at displs[i] of sendBuf to rank i
 // (MPI_Scatterv over the byte type).
 func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, recvCount Count, root int) error {
+	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: scatterv root %d", ErrInvalidComm, root)
 	}
-	if c.rank != root {
-		_, err := c.Recv(recvBuf[:recvCount], recvCount, TypeBytes, root, collTagBase+7)
+	if err := checkLen("scatterv receive", recvBuf, recvCount); err != nil {
 		return err
 	}
-	if len(counts) != n || len(displs) != n {
-		return fmt.Errorf("%w: scatterv needs %d counts/displs", ErrInvalidComm, n)
+	if c.rank != root {
+		return c.collRecv(recvBuf[:recvCount], recvCount, TypeBytes, root, opScatterv, epoch, 0)
+	}
+	if _, err := checkSlices("scatterv send", sendBuf, counts, displs, n); err != nil {
+		return err
 	}
 	reqs := make([]*Request, 0, n-1)
 	for r := 0; r < n; r++ {
@@ -82,8 +116,9 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, 
 			copy(recvBuf[:recvCount], part)
 			continue
 		}
-		req, err := c.Isend(part, counts[r], TypeBytes, r, collTagBase+7)
+		req, err := c.collIsend(part, counts[r], TypeBytes, r, opScatterv, epoch, 0)
 		if err != nil {
+			drainRequests(reqs)
 			return err
 		}
 		reqs = append(reqs, req)
@@ -94,16 +129,18 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, 
 // Allgatherv gathers variable contributions everywhere: counts/displs
 // must be identical on all ranks.
 func (c *Comm) Allgatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count) error {
-	if err := c.Gatherv(sendBuf, sendCount, recvBuf, counts, displs, 0); err != nil {
+	epoch := c.nextEpoch()
+	if err := checkLen("allgatherv send", sendBuf, sendCount); err != nil {
 		return err
 	}
-	total := Count(0)
-	for i, cnt := range counts {
-		if end := displs[i] + cnt; end > total {
-			total = end
-		}
+	total, err := checkSlices("allgatherv receive", recvBuf, counts, displs, c.Size())
+	if err != nil {
+		return err
 	}
-	return c.Bcast(recvBuf[:total], total, TypeBytes, 0)
+	if err := c.gatherv(sendBuf, sendCount, recvBuf, counts, displs, 0, epoch); err != nil {
+		return err
+	}
+	return c.bcast(recvBuf[:total], total, TypeBytes, 0, epoch)
 }
 
 // SendType ships a derived datatype description to another rank

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpicd/internal/fabric"
 	"mpicd/internal/ucp"
@@ -144,6 +145,18 @@ type Comm struct {
 	// collective agreement, so every rank derives the same context id for
 	// the same Dup/Split call.
 	nextCID *uint64
+
+	// collEpoch numbers this communicator's collective calls. Every rank
+	// enters collectives on a communicator in the same order (standard MPI
+	// semantics), so the per-rank counters agree; the epoch rides in the
+	// collective tag and keeps back-to-back and outstanding nonblocking
+	// collectives from cross-matching. Shared (by pointer) between Comm
+	// values only when they alias the same communicator.
+	collEpoch *atomic.Uint64
+
+	// tuning holds the collective-engine thresholds (zero fields mean
+	// defaults; see CollTuning).
+	tuning CollTuning
 }
 
 // worldCtx is the context id of the world communicator.
@@ -159,7 +172,10 @@ func newWorldComm(w *ucp.Worker) *Comm {
 		inverse[i] = i
 	}
 	next := uint64(worldCtx + 1)
-	return &Comm{w: w, ctx: worldCtx, group: group, inverse: inverse, rank: w.Rank(), nextCID: &next}
+	return &Comm{
+		w: w, ctx: worldCtx, group: group, inverse: inverse, rank: w.Rank(),
+		nextCID: &next, collEpoch: new(atomic.Uint64),
+	}
 }
 
 // NewComm builds a world communicator over an externally created transport
@@ -175,11 +191,22 @@ func (c *Comm) Size() int { return len(c.group) }
 // Worker exposes the underlying transport worker.
 func (c *Comm) Worker() *ucp.Worker { return c.w }
 
-// Tag word layout: [context:16][source comm rank:16][user tag:32].
+// Tag word layout: [context:16][source comm rank:16][coll:1][user tag:31].
+//
+// User tags occupy only 31 bits (MaxTag = 2^31-1), so bit 31 of the low
+// word is never set by point-to-point traffic. It is reserved as the
+// collective bit: every collective message carries it, and every user
+// receive — including MPI_ANY_TAG wildcards — masks it out with a zero
+// value. A user Send can therefore never match-steal collective traffic
+// and vice versa, structurally, for any tag value (the analogue of Open
+// MPI's negative collective tag space). See colltag.go for the layout of
+// the remaining 31 bits of a collective tag (op, epoch, sequence).
 const (
 	ctxShift = 48
 	srcShift = 32
 	tagMask  = (uint64(1) << srcShift) - 1
+	// collBit marks collective traffic within the low 32-bit tag field.
+	collBit = uint64(1) << 31
 )
 
 func (c *Comm) sendTag(utag int) ucp.Tag {
@@ -187,9 +214,10 @@ func (c *Comm) sendTag(utag int) ucp.Tag {
 }
 
 // recvMatch translates (src, utag) with wildcards into transport matching
-// criteria.
+// criteria. The collective bit always participates in matching with a
+// zero value, so user receives never observe collective traffic.
 func (c *Comm) recvMatch(src, utag int) (from int, tag, mask ucp.Tag, err error) {
-	mask = ucp.Tag(uint64(0xFFFF) << ctxShift)
+	mask = ucp.Tag(uint64(0xFFFF)<<ctxShift | collBit)
 	tag = ucp.Tag(c.ctx << ctxShift)
 	if src != AnySource {
 		if src < 0 || src >= len(c.group) {

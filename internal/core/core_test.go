@@ -366,7 +366,7 @@ func TestTagValidation(t *testing.T) {
 func TestReduceOpsOnImages(t *testing.T) {
 	a := layout.Float64Image([]float64{1, 2, 3})
 	b := layout.Float64Image([]float64{10, 20, 30})
-	if err := OpSumFloat64(a, b, 3, nil); err != nil {
+	if err := OpSumFloat64.Combine(a, b, 3, nil); err != nil {
 		t.Fatal(err)
 	}
 	got := layout.Float64s(a)

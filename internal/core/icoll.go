@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Nonblocking collectives (MPI_Ibarrier and friends). Each call reserves
+// its collective epoch synchronously — so the caller's call order defines
+// the matching sequence, exactly as for blocking collectives — and then
+// runs the same schedule the blocking form uses on a per-call goroutine.
+// Multiple nonblocking collectives may be outstanding on one communicator
+// at once; the epoch in every message tag keeps them from cross-matching.
+//
+// As in MPI, all ranks must start the same collectives in the same order
+// on a given communicator, and the buffers belong to the operation until
+// the handle completes.
+
+// CollRequest is a pending nonblocking collective. Its interface mirrors
+// Request (Wait/WaitTimeout/Test/Done), minus the Status — collectives
+// have no per-message status.
+type CollRequest struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the collective completes and returns its error.
+func (r *CollRequest) Wait() error {
+	<-r.done
+	return r.err
+}
+
+// WaitTimeout blocks until completion or until d elapses, returning
+// ErrTimeout in the latter case. The collective keeps running; a late
+// completion can still be observed with Test or Wait.
+func (r *CollRequest) WaitTimeout(d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-r.done:
+		return r.err
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// Test reports completion without blocking.
+func (r *CollRequest) Test() (bool, error) {
+	select {
+	case <-r.done:
+		return true, r.err
+	default:
+		return false, nil
+	}
+}
+
+// Done exposes the completion channel for select loops.
+func (r *CollRequest) Done() <-chan struct{} { return r.done }
+
+// startColl runs a collective schedule on its own goroutine.
+func startColl(run func() error) *CollRequest {
+	r := &CollRequest{done: make(chan struct{})}
+	go func() {
+		r.err = run()
+		close(r.done)
+	}()
+	return r
+}
+
+// Ibarrier starts a nonblocking barrier: the returned request completes
+// once every rank has entered its matching Ibarrier (or Barrier epoch —
+// but as in MPI, blocking and nonblocking calls must pair consistently
+// across ranks).
+func (c *Comm) Ibarrier() *CollRequest {
+	epoch := c.nextEpoch()
+	return startColl(func() error { return c.barrier(epoch) })
+}
+
+// Ibcast starts a nonblocking broadcast with Bcast's algorithm selection.
+// Argument errors are reported synchronously.
+func (c *Comm) Ibcast(buf any, count Count, dt *Datatype, root int) (*CollRequest, error) {
+	epoch := c.nextEpoch()
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("%w: ibcast root %d", ErrInvalidComm, root)
+	}
+	return startColl(func() error { return c.bcast(buf, count, dt, root, epoch) }), nil
+}
+
+// Iallreduce starts a nonblocking allreduce with Allreduce's algorithm
+// selection. Argument errors are reported synchronously.
+func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp) (*CollRequest, error) {
+	epoch := c.nextEpoch()
+	bytes, err := c.fixedSize("iallreduce", count, dt)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLen("iallreduce send", sendBuf, bytes); err != nil {
+		return nil, err
+	}
+	if err := checkLen("iallreduce receive", recvBuf, bytes); err != nil {
+		return nil, err
+	}
+	return startColl(func() error { return c.allreduce(sendBuf, recvBuf, bytes, count, dt, op, epoch) }), nil
+}
+
+// Iallgather starts a nonblocking allgather with Allgather's algorithm
+// selection. Argument errors are reported synchronously.
+func (c *Comm) Iallgather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) (*CollRequest, error) {
+	epoch := c.nextEpoch()
+	bytes, err := c.fixedSize("iallgather", count, dt)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLen("iallgather send", sendBuf, bytes); err != nil {
+		return nil, err
+	}
+	if err := checkLen("iallgather receive", recvBuf, bytes*int64(c.Size())); err != nil {
+		return nil, err
+	}
+	return startColl(func() error { return c.allgather(sendBuf, recvBuf, bytes, epoch) }), nil
+}

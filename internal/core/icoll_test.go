@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+)
+
+func TestIbarrier(t *testing.T) {
+	const n = 4
+	var entered atomic.Int32
+	err := Run(n, Options{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		entered.Add(1)
+		r := c.Ibarrier()
+		if err := r.Wait(); err != nil {
+			return err
+		}
+		if got := entered.Load(); got != n {
+			return fmt.Errorf("left Ibarrier with %d/%d ranks entered", got, n)
+		}
+		// Wait is idempotent and Test reports completion.
+		done, err := r.Test()
+		if !done || err != nil {
+			return fmt.Errorf("Test after Wait = (%v, %v)", done, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIbcastOverlapsUserTraffic runs point-to-point traffic while an
+// Ibcast is outstanding: the collective bit keeps them apart, and the
+// user exchange completes before the collective does.
+func TestIbcastOverlapsUserTraffic(t *testing.T) {
+	const size = 1 << 19 // large enough to keep the pipeline busy
+	want := pattern(size, 5)
+	err := Run(2, Options{}, func(c *Comm) error {
+		buf := make([]byte, size)
+		if c.Rank() == 0 {
+			copy(buf, want)
+		}
+		r, err := c.Ibcast(buf, -1, TypeBytes, 0)
+		if err != nil {
+			return err
+		}
+		// A full user ping-pong while the broadcast is in flight.
+		if c.Rank() == 0 {
+			if err := c.Send([]byte{1}, 1, TypeBytes, 1, 42); err != nil {
+				return err
+			}
+			if _, err := c.Recv(make([]byte, 1), 1, TypeBytes, 1, 43); err != nil {
+				return err
+			}
+		} else {
+			if _, err := c.Recv(make([]byte, 1), 1, TypeBytes, 0, 42); err != nil {
+				return err
+			}
+			if err := c.Send([]byte{2}, 1, TypeBytes, 0, 43); err != nil {
+				return err
+			}
+		}
+		if err := r.Wait(); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return errors.New("ibcast payload mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOutstandingNonblockingCollectives keeps several collectives in
+// flight at once on one communicator; per-call epochs keep their traffic
+// from cross-matching even though every schedule uses the same op codes.
+func TestOutstandingNonblockingCollectives(t *testing.T) {
+	const n = 4
+	const count = 256
+	err := Run(n, Options{}, func(c *Comm) error {
+		sendA := make([]byte, 8*count)
+		sendB := make([]byte, 8*count)
+		for i := 0; i < count; i++ {
+			layout.PutI64(sendA, 8*i, int64(c.Rank()))
+			layout.PutI64(sendB, 8*i, int64(c.Rank()*10))
+		}
+		recvA := make([]byte, 8*count)
+		recvB := make([]byte, 8*count)
+		mine := pattern(512, byte(c.Rank()+1))
+		all := make([]byte, 512*n)
+
+		ra, err := c.Iallreduce(sendA, recvA, count, FromDDT(ddt.Int64), OpSumInt64)
+		if err != nil {
+			return err
+		}
+		rb, err := c.Iallreduce(sendB, recvB, count, FromDDT(ddt.Int64), OpSumInt64)
+		if err != nil {
+			return err
+		}
+		rg, err := c.Iallgather(mine, 512, TypeBytes, all)
+		if err != nil {
+			return err
+		}
+		// Complete out of order.
+		if err := rg.Wait(); err != nil {
+			return err
+		}
+		if err := rb.Wait(); err != nil {
+			return err
+		}
+		if err := ra.Wait(); err != nil {
+			return err
+		}
+
+		wantA := int64(n * (n - 1) / 2)
+		for i := 0; i < count; i++ {
+			if got := layout.I64(recvA, 8*i); got != wantA {
+				return fmt.Errorf("allreduce A[%d] = %d, want %d", i, got, wantA)
+			}
+			if got := layout.I64(recvB, 8*i); got != wantA*10 {
+				return fmt.Errorf("allreduce B[%d] = %d, want %d", i, got, wantA*10)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if !bytes.Equal(all[r*512:(r+1)*512], pattern(512, byte(r+1))) {
+				return fmt.Errorf("allgather slot %d mismatch", r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIcollSynchronousValidation: argument errors surface synchronously,
+// and — because a failed call still consumes its epoch on every rank —
+// the communicator stays usable afterwards.
+func TestIcollSynchronousValidation(t *testing.T) {
+	err := Run(3, Options{}, func(c *Comm) error {
+		if _, err := c.Ibcast(make([]byte, 8), -1, TypeBytes, 9); !errors.Is(err, ErrInvalidComm) {
+			return fmt.Errorf("Ibcast bad root = %v, want ErrInvalidComm", err)
+		}
+		if _, err := c.Iallreduce(make([]byte, 4), make([]byte, 8), 1, FromDDT(ddt.Int64), OpSumInt64); !errors.Is(err, ErrInvalidComm) {
+			return fmt.Errorf("Iallreduce short send = %v, want ErrInvalidComm", err)
+		}
+		if _, err := c.Iallgather(make([]byte, 8), 8, TypeBytes, make([]byte, 8)); !errors.Is(err, ErrInvalidComm) {
+			return fmt.Errorf("Iallgather short recv = %v, want ErrInvalidComm", err)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollRequestWaitTimeout: an Ibarrier that cannot complete (one rank
+// holds back) times out instead of blocking forever, then completes once
+// the straggler arrives.
+func TestCollRequestWaitTimeout(t *testing.T) {
+	release := make(chan struct{})
+	err := Run(2, Options{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			<-release
+			return c.Ibarrier().Wait()
+		}
+		r := c.Ibarrier()
+		if err := r.WaitTimeout(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("WaitTimeout = %v, want ErrTimeout", err)
+		}
+		close(release)
+		select {
+		case <-r.Done():
+		case <-time.After(2 * time.Second):
+			return errors.New("Ibarrier never completed after release")
+		}
+		return r.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,14 @@ func (r *Request) status() Status {
 	return Status{Source: src, Tag: utag, Bytes: n, Aux: r.r.Aux()}
 }
 
+// Cancel removes a posted receive that has not matched yet, reporting
+// whether cancellation won the race with an incoming message (MPI_Cancel
+// for receives). Canceling a send or an already-matched receive returns
+// false; such requests must still be waited.
+func (r *Request) Cancel() bool {
+	return r.comm.w.CancelRecv(r.r)
+}
+
 // WaitAll waits for every request, returning the first error.
 func WaitAll(reqs ...*Request) error {
 	var first error
@@ -140,18 +148,28 @@ func (c *Comm) Recv(buf any, count Count, dt *Datatype, src, tag int) (Status, e
 	return r.Wait()
 }
 
-// SendRecv performs a combined send and receive (MPI_Sendrecv).
+// SendRecv performs a combined send and receive (MPI_Sendrecv). Every
+// error path disposes of the posted receive — canceling it if it has not
+// matched, draining it otherwise — so no failed SendRecv leaves a pending
+// operation referencing recvBuf behind.
 func (c *Comm) SendRecv(sendBuf any, sendCount Count, sendDT *Datatype, dst, sendTag int,
 	recvBuf any, recvCount Count, recvDT *Datatype, src, recvTag int) (Status, error) {
 	rr, err := c.Irecv(recvBuf, recvCount, recvDT, src, recvTag)
 	if err != nil {
 		return Status{}, err
 	}
+	discardRecv := func() {
+		if !rr.Cancel() {
+			_, _ = rr.Wait()
+		}
+	}
 	sr, err := c.Isend(sendBuf, sendCount, sendDT, dst, sendTag)
 	if err != nil {
+		discardRecv()
 		return Status{}, err
 	}
 	if _, err := sr.Wait(); err != nil {
+		discardRecv()
 		return Status{}, err
 	}
 	return rr.Wait()

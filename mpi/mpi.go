@@ -30,8 +30,9 @@ import (
 type Count = core.Count
 
 // Comm is a communicator; see the point-to-point (Send, Recv, Isend,
-// Irecv, SendRecv, Probe, Mprobe, MRecv) and collective (Barrier, Bcast,
+// Irecv, SendRecv, Probe, Mprobe, MRecv), collective (Barrier, Bcast,
 // Reduce, Allreduce, Gather, Allgather, Scatter, Alltoall, Dup, Split)
+// and nonblocking-collective (Ibarrier, Ibcast, Iallreduce, Iallgather)
 // methods.
 type Comm = core.Comm
 
@@ -151,11 +152,34 @@ func PackedSize(buf any, count Count, dt *Datatype) (Count, error) {
 	return core.PackedSize(buf, count, dt)
 }
 
+// ReduceOp is a reduction operator for Reduce/Allreduce: a Combine
+// function plus a Commutative property. Non-commutative operators are
+// combined strictly in rank order; commutative ones additionally qualify
+// for the Rabenseifner large-message Allreduce schedule.
+type ReduceOp = core.ReduceOp
+
 // Reduction operators for Reduce/Allreduce.
 var (
 	OpSumFloat64 = core.OpSumFloat64
 	OpSumInt64   = core.OpSumInt64
 	OpMaxInt64   = core.OpMaxInt64
+)
+
+// CollRequest is a pending nonblocking collective started with Ibarrier,
+// Ibcast, Iallreduce or Iallgather; complete it with Wait, WaitTimeout,
+// Test or a select on Done().
+type CollRequest = core.CollRequest
+
+// CollTuning configures the collective engine's algorithm-selection
+// thresholds (Comm.SetCollTuning); zero fields select the defaults.
+type CollTuning = core.CollTuning
+
+// Default collective-engine thresholds.
+const (
+	DefaultCollChunkBytes     = core.DefaultCollChunkBytes
+	DefaultCollPipelineThresh = core.DefaultCollPipelineThresh
+	DefaultCollRabenThresh    = core.DefaultCollRabenThresh
+	DefaultCollWindow         = core.DefaultCollWindow
 )
 
 // Observer is the observability layer: a metrics registry of counters,
