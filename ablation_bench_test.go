@@ -6,9 +6,11 @@ package mpicd_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"mpicd/internal/core"
 	"mpicd/internal/ddtbench"
+	"mpicd/internal/fabric"
 	"mpicd/internal/harness"
 	"mpicd/internal/obs"
 	"mpicd/internal/ucp"
@@ -184,4 +186,31 @@ func BenchmarkAblationContigFastPath(b *testing.B) {
 	b.Run("gapped-engine-walk", func(b *testing.B) {
 		benchOpWith(b, core.Options{}, harness.StructSimpleOp("rsmpi", size))
 	})
+}
+
+// BenchmarkAblationHeartbeat prices the liveness detector on the eager
+// latency path: off (Heartbeat.Period zero — the NIC is not wrapped at
+// all), and on at two probe cadences. With traffic flowing, detection is
+// piggybacked — one atomic last-seen store per inbound packet and a kind
+// check — and the prober never fires, so the on/off gap is the entire
+// per-message cost of failure detection. Allocations must match exactly
+// (pinned by TestHeartbeatEagerAllocsPinned in internal/core).
+func BenchmarkAblationHeartbeat(b *testing.B) {
+	modes := []struct {
+		name string
+		hb   fabric.DetectorConfig
+	}{
+		{"off", fabric.DetectorConfig{}},
+		{"period-100ms", fabric.DetectorConfig{Period: 100 * time.Millisecond}},
+		{"period-5ms", fabric.DetectorConfig{Period: 5 * time.Millisecond}},
+	}
+	for _, size := range []int64{1 << 10, 64 << 10} {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("size-%dK/%s", size/1024, m.name), func(b *testing.B) {
+				b.ReportAllocs()
+				opt := core.Options{UCP: ucp.Config{Heartbeat: m.hb}}
+				benchOpWith(b, opt, harness.PickleOp("roofline", nil, size))
+			})
+		}
+	}
 }

@@ -2,8 +2,10 @@ package core_test
 
 import (
 	"testing"
+	"time"
 
 	"mpicd/internal/core"
+	"mpicd/internal/fabric"
 	"mpicd/internal/obs"
 	"mpicd/internal/ucp"
 )
@@ -115,6 +117,45 @@ func TestObsEagerAllocsPinned(t *testing.T) {
 	t.Logf("obs-enabled eager 1 KiB ping-pong: %.1f allocs/op", avg)
 	if avg > eagerPingPongAllocCeiling {
 		t.Fatalf("obs-enabled eager path allocates %.1f/op, ceiling %d", avg, eagerPingPongAllocCeiling)
+	}
+}
+
+// TestHeartbeatEagerAllocsPinned runs the eager ping-pong with the
+// liveness detector enabled and holds it to the unchanged ceiling: with
+// traffic flowing, detection is piggybacked — one atomic last-seen store
+// and a kind check per inbound packet, no per-message garbage. The probe
+// period is kept long so the prober goroutine's own (off-path) sends
+// cannot blur the measurement.
+func TestHeartbeatEagerAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	sys := core.NewSystem(2, core.Options{UCP: ucp.Config{
+		Heartbeat: fabric.DetectorConfig{Period: time.Minute},
+	}})
+	defer sys.Close()
+	const size = 1024
+	msg := make([]byte, size)
+	out := make([]byte, size)
+	buf := make([]byte, size)
+
+	avg := measureEcho(t, sys, 100,
+		func(c *core.Comm) error {
+			if err := c.Send(msg, -1, core.TypeBytes, 1, 1); err != nil {
+				return err
+			}
+			_, err := c.Recv(out, -1, core.TypeBytes, 1, 2)
+			return err
+		},
+		func(c *core.Comm) error {
+			if _, err := c.Recv(buf, -1, core.TypeBytes, 0, 1); err != nil {
+				return err
+			}
+			return c.Send(buf, -1, core.TypeBytes, 0, 2)
+		})
+	t.Logf("heartbeat-enabled eager 1 KiB ping-pong: %.1f allocs/op", avg)
+	if avg > eagerPingPongAllocCeiling {
+		t.Fatalf("heartbeat-enabled eager path allocates %.1f/op, ceiling %d", avg, eagerPingPongAllocCeiling)
 	}
 }
 

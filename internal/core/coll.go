@@ -81,6 +81,9 @@ func checkLen(what string, buf []byte, need Count) error {
 // Barrier blocks until every rank in the communicator has entered it
 // (dissemination algorithm, ceil(log2 n) rounds).
 func (c *Comm) Barrier() error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	return c.barrier(c.nextEpoch())
 }
 
@@ -118,6 +121,9 @@ func (c *Comm) barrier(epoch uint64) error {
 // bytes ride the segment-pipelined binomial tree, overlapping chunks
 // through Isend/Irecv windows.
 func (c *Comm) Bcast(buf any, count Count, dt *Datatype, root int) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -312,6 +318,9 @@ var OpMaxInt64 = ReduceOp{
 // written at root. sendBuf contents are preserved. Non-commutative
 // operators are combined in rank order.
 func (c *Comm) Reduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp, root int) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -420,6 +429,9 @@ func (c *Comm) reduceOrdered(sendBuf, recvBuf []byte, bytes Count, count Count, 
 // allgather by recursive doubling — bandwidth-optimal); everything else
 // runs reduce-to-0 + broadcast.
 func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	bytes, err := c.fixedSize("allreduce", count, dt)
 	if err != nil {
@@ -578,6 +590,9 @@ func (c *Comm) allreduceRaben(sendBuf, recvBuf []byte, bytes Count, count Count,
 // Gather collects count elements from every rank into recvBuf at root
 // (rank i's contribution lands at offset i*count*size).
 func (c *Comm) Gather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte, root int) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -624,6 +639,9 @@ func (c *Comm) gather(sendBuf, recvBuf []byte, bytes Count, root int, epoch uint
 // the bandwidth-optimal ring (n-1 steps of one block each, neighbor
 // Isend/Irecv overlapped); smaller ones gather to rank 0 and broadcast.
 func (c *Comm) Allgather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	bytes, err := c.fixedSize("allgather", count, dt)
 	if err != nil {
@@ -698,6 +716,9 @@ func (c *Comm) allgatherRing(sendBuf, recvBuf []byte, bytes Count, epoch uint64)
 // Scatter distributes slices of sendBuf at root: rank i receives the
 // count elements at offset i*count*size into recvBuf.
 func (c *Comm) Scatter(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte, root int) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -744,6 +765,9 @@ func (c *Comm) scatter(sendBuf, recvBuf []byte, bytes Count, root int, epoch uin
 // i*count*size of sendBuf goes to rank i, and rank i's block lands at the
 // same offset of recvBuf (pairwise exchange).
 func (c *Comm) Alltoall(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	n := c.Size()
 	bytes, err := c.fixedSize("alltoall", count, dt)
@@ -811,21 +835,29 @@ func (c *Comm) agreeCID() (uint64, error) {
 // must not run concurrently from multiple goroutines of the same rank:
 // they advance a shared per-rank context-id counter.
 func (c *Comm) Dup() (*Comm, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	cid, err := c.agreeCID()
 	if err != nil {
 		return nil, err
 	}
 	group := append([]int(nil), c.group...)
-	return &Comm{
+	nc := &Comm{
 		w: c.w, ctx: cid, group: group, inverse: c.inverse, rank: c.rank,
 		nextCID: c.nextCID, collEpoch: new(atomic.Uint64), tuning: c.tuning,
-	}, nil
+	}
+	nc.initULFM()
+	return nc, nil
 }
 
 // Split partitions the communicator by color; ranks with equal color form
 // a new communicator ordered by (key, rank). A negative color returns nil
 // (MPI_UNDEFINED). Collective.
 func (c *Comm) Split(color, key int) (*Comm, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	n := c.Size()
 	mine := make([]byte, 16)
 	layout.PutI64(mine, 0, int64(color))
@@ -868,8 +900,10 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if myRank < 0 {
 		return nil, fmt.Errorf("%w: split: calling rank missing from its color group", ErrInvalidComm)
 	}
-	return &Comm{
+	nc := &Comm{
 		w: c.w, ctx: cid, group: group, inverse: inverse, rank: myRank,
 		nextCID: c.nextCID, collEpoch: new(atomic.Uint64), tuning: c.tuning,
-	}, nil
+	}
+	nc.initULFM()
+	return nc, nil
 }

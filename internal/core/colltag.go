@@ -47,6 +47,14 @@ const (
 	opScatterv
 )
 
+// Recovery control phases live at the top of the 5-bit op space, far from
+// the data collectives, so a revoked communicator can keep exchanging
+// control traffic while every data-phase receive is aborted (ulfm.go).
+const (
+	opRevoke collOp = collOpMax - iota // revocation notice flood
+	opAgree                            // fault-tolerant agreement rounds
+)
+
 // CollTuning configures the collective engine's algorithm selection.
 // Zero fields select the defaults; Dup and Split inherit the parent's
 // tuning.

@@ -56,6 +56,9 @@ func checkSlices(what string, buf []byte, counts, displs []Count, n int) (Count,
 // displs[i] at root (MPI_Gatherv over the byte type; derived types are
 // packed by the caller).
 func (c *Comm) Gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count, root int) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -95,6 +98,9 @@ func (c *Comm) gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, 
 // Scatterv distributes counts[i] bytes at displs[i] of sendBuf to rank i
 // (MPI_Scatterv over the byte type).
 func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, recvCount Count, root int) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	n := c.Size()
 	if root < 0 || root >= n {
@@ -129,6 +135,9 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, 
 // Allgatherv gathers variable contributions everywhere: counts/displs
 // must be identical on all ranks.
 func (c *Comm) Allgatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count) error {
+	if err := c.checkRevoked(); err != nil {
+		return err
+	}
 	epoch := c.nextEpoch()
 	if err := checkLen("allgatherv send", sendBuf, sendCount); err != nil {
 		return err

@@ -157,6 +157,11 @@ type Comm struct {
 	// tuning holds the collective-engine thresholds (zero fields mean
 	// defaults; see CollTuning).
 	tuning CollTuning
+
+	// rv holds the ULFM recovery state — revocation flag, agreement
+	// sequence, revoke-listener lifecycle (see ulfm.go). Set by initULFM
+	// at construction for every communicator.
+	rv *ulfmState
 }
 
 // worldCtx is the context id of the world communicator.
@@ -172,10 +177,12 @@ func newWorldComm(w *ucp.Worker) *Comm {
 		inverse[i] = i
 	}
 	next := uint64(worldCtx + 1)
-	return &Comm{
+	c := &Comm{
 		w: w, ctx: worldCtx, group: group, inverse: inverse, rank: w.Rank(),
 		nextCID: &next, collEpoch: new(atomic.Uint64),
 	}
+	c.initULFM()
+	return c
 }
 
 // NewComm builds a world communicator over an externally created transport

@@ -72,6 +72,11 @@ func startColl(run func() error) *CollRequest {
 // but as in MPI, blocking and nonblocking calls must pair consistently
 // across ranks).
 func (c *Comm) Ibarrier() *CollRequest {
+	if err := c.checkRevoked(); err != nil {
+		r := &CollRequest{done: make(chan struct{}), err: err}
+		close(r.done)
+		return r
+	}
 	epoch := c.nextEpoch()
 	return startColl(func() error { return c.barrier(epoch) })
 }
@@ -79,6 +84,9 @@ func (c *Comm) Ibarrier() *CollRequest {
 // Ibcast starts a nonblocking broadcast with Bcast's algorithm selection.
 // Argument errors are reported synchronously.
 func (c *Comm) Ibcast(buf any, count Count, dt *Datatype, root int) (*CollRequest, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	epoch := c.nextEpoch()
 	if root < 0 || root >= c.Size() {
 		return nil, fmt.Errorf("%w: ibcast root %d", ErrInvalidComm, root)
@@ -89,6 +97,9 @@ func (c *Comm) Ibcast(buf any, count Count, dt *Datatype, root int) (*CollReques
 // Iallreduce starts a nonblocking allreduce with Allreduce's algorithm
 // selection. Argument errors are reported synchronously.
 func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp) (*CollRequest, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	epoch := c.nextEpoch()
 	bytes, err := c.fixedSize("iallreduce", count, dt)
 	if err != nil {
@@ -106,6 +117,9 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op
 // Iallgather starts a nonblocking allgather with Allgather's algorithm
 // selection. Argument errors are reported synchronously.
 func (c *Comm) Iallgather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) (*CollRequest, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	epoch := c.nextEpoch()
 	bytes, err := c.fixedSize("iallgather", count, dt)
 	if err != nil {

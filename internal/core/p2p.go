@@ -84,23 +84,31 @@ func (r *Request) Cancel() bool {
 	return r.comm.w.CancelRecv(r.r)
 }
 
-// WaitAll waits for every request, returning the first error.
+// WaitAll waits for every request, returning the first error. After a
+// failure the remaining requests are disposed of rather than waited
+// blindly — a batch partner may be dead, and without a deadline its
+// receives would never complete: unmatched receives are canceled,
+// everything else is drained (the SendRecv error discipline applied to
+// batches).
 func WaitAll(reqs ...*Request) error {
-	var first error
-	for _, r := range reqs {
+	for i, r := range reqs {
 		if r == nil {
 			continue
 		}
-		if _, err := r.Wait(); err != nil && first == nil {
-			first = err
+		if _, err := r.Wait(); err != nil {
+			drainRequests(reqs[i+1:])
+			return err
 		}
 	}
-	return first
+	return nil
 }
 
 // Isend starts a nonblocking send of count elements of dt at buf to (dst,
 // tag).
 func (c *Comm) Isend(buf any, count Count, dt *Datatype, dst, tag int) (*Request, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	fdst, err := c.checkDst(dst)
 	if err != nil {
 		return nil, err
@@ -128,6 +136,9 @@ func (c *Comm) Send(buf any, count Count, dt *Datatype, dst, tag int) error {
 // Irecv posts a nonblocking receive of up to count elements of dt into buf
 // from (src, tag); src may be AnySource and tag AnyTag.
 func (c *Comm) Irecv(buf any, count Count, dt *Datatype, src, tag int) (*Request, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	from, t, mask, err := c.recvMatch(src, tag)
 	if err != nil {
 		return nil, err
@@ -190,6 +201,9 @@ func (c *Comm) probeStatus(m *ucp.Message) Status {
 // Probe blocks until a message matching (src, tag) is available and
 // returns its status without consuming it (MPI_Probe).
 func (c *Comm) Probe(src, tag int) (Status, error) {
+	if err := c.checkRevoked(); err != nil {
+		return Status{}, err
+	}
 	from, t, mask, err := c.recvMatch(src, tag)
 	if err != nil {
 		return Status{}, err
@@ -203,6 +217,9 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 
 // Iprobe is the nonblocking Probe; ok reports whether a message matched.
 func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	if err := c.checkRevoked(); err != nil {
+		return Status{}, false, err
+	}
 	from, t, mask, err := c.recvMatch(src, tag)
 	if err != nil {
 		return Status{}, false, err
@@ -218,6 +235,9 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 // later MRecv (MPI_Mprobe). This is the pattern Python bindings use to
 // size receive allocations for serialized objects.
 func (c *Comm) Mprobe(src, tag int) (*Message, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
 	from, t, mask, err := c.recvMatch(src, tag)
 	if err != nil {
 		return nil, err
@@ -231,6 +251,9 @@ func (c *Comm) Mprobe(src, tag int) (*Message, error) {
 
 // Improbe is the nonblocking Mprobe.
 func (c *Comm) Improbe(src, tag int) (*Message, bool, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, false, err
+	}
 	from, t, mask, err := c.recvMatch(src, tag)
 	if err != nil {
 		return nil, false, err

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Persistent-request fault coverage: the restartable bindings must hold
+// up under the lossy adversary (every restarted instance delivers
+// exactly once) and fail with the process-failure taxonomy when their
+// bound peer dies.
+
+// TestPersistentFaultMatrix drives a persistent ping stream through the
+// lossy world at eager and rendezvous sizes, for the CI-pinned seeds.
+func TestPersistentFaultMatrix(t *testing.T) {
+	for _, seed := range faultMatrixSeeds {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			for _, size := range []int{2048, 64 * 1024} { // eager and rendezvous
+				size := size
+				t.Run(fmt.Sprint(size), func(t *testing.T) {
+					const iters = 6
+					run2(t, faultOptions(seed),
+						func(c *Comm) error {
+							buf := make([]byte, size)
+							ps, err := c.SendInit(buf, -1, TypeBytes, 1, 3)
+							if err != nil {
+								return err
+							}
+							for i := 0; i < iters; i++ {
+								copy(buf, pattern(size, byte(i)))
+								if err := ps.Start(); err != nil {
+									return err
+								}
+								if _, err := ps.Wait(); err != nil {
+									return err
+								}
+							}
+							return nil
+						},
+						func(c *Comm) error {
+							buf := make([]byte, size)
+							pr, err := c.RecvInit(buf, -1, TypeBytes, 0, 3)
+							if err != nil {
+								return err
+							}
+							for i := 0; i < iters; i++ {
+								if err := pr.Start(); err != nil {
+									return err
+								}
+								st, err := pr.Wait()
+								if err != nil {
+									return err
+								}
+								if st.Bytes != Count(size) || !bytes.Equal(buf, pattern(size, byte(i))) {
+									return fmt.Errorf("instance %d corrupted", i)
+								}
+							}
+							return nil
+						})
+				})
+			}
+		})
+	}
+}
+
+// TestPersistentKillRank: a persistent binding whose peer dies. The
+// blocked receive instance fails with ErrProcFailed via the detector
+// (no ReqTimeout configured), a restarted send to the dead rank is
+// refused fast, and after revocation Start reports ErrRevoked.
+func TestPersistentKillRank(t *testing.T) {
+	const n = 3
+	opt, fns := killableWorld(n)
+	err := Run(n, opt, func(c *Comm) error {
+		switch c.Rank() {
+		case 2: // victim: serves one instance, then dies
+			buf := make([]byte, 1024)
+			pr, err := c.RecvInit(buf, -1, TypeBytes, 0, 5)
+			if err != nil {
+				return err
+			}
+			if err := pr.Start(); err != nil {
+				return err
+			}
+			if _, err := pr.Wait(); err != nil {
+				return err
+			}
+			fns[2].Kill()
+			return nil
+		case 0:
+			sbuf := make([]byte, 1024)
+			ps, err := c.SendInit(sbuf, -1, TypeBytes, 2, 5)
+			if err != nil {
+				return err
+			}
+			if err := ps.Start(); err != nil {
+				return err
+			}
+			if _, err := ps.Wait(); err != nil {
+				return err
+			}
+			// The victim is now dead. A persistent receive bound to it
+			// blocks until failure notification, not forever.
+			rbuf := make([]byte, 1024)
+			pr, err := c.RecvInit(rbuf, -1, TypeBytes, 2, 6)
+			if err != nil {
+				return err
+			}
+			if err := pr.Start(); err != nil {
+				if errors.Is(err, ErrProcFailed) {
+					return c.revokeAndCheck(ps)
+				}
+				return err
+			}
+			if _, err := pr.Wait(); !errors.Is(err, ErrProcFailed) {
+				return fmt.Errorf("persistent recv from killed rank = %v, want ErrProcFailed", err)
+			}
+			// Restarting the send binding toward the dead rank fails fast.
+			if err := ps.Start(); !errors.Is(err, ErrProcFailed) {
+				return fmt.Errorf("persistent send restart to killed rank = %v, want ErrProcFailed", err)
+			}
+			return c.revokeAndCheck(ps)
+		default:
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// revokeAndCheck finishes the kill scenario: after revocation every
+// persistent restart on the communicator reports ErrRevoked.
+func (c *Comm) revokeAndCheck(ps *PersistentRequest) error {
+	if err := c.Revoke(); err != nil {
+		return err
+	}
+	if err := ps.Start(); !errors.Is(err, ErrRevoked) {
+		return fmt.Errorf("persistent restart on revoked comm = %v, want ErrRevoked", err)
+	}
+	return nil
+}

@@ -31,8 +31,24 @@ import (
 )
 
 // Kind identifies the protocol-level meaning of a packet. The fabric does
-// not interpret it; the transport layer above defines the values.
+// not interpret it; the transport layer above defines the values below
+// the reserved range.
 type Kind uint8
+
+// Kinds at and above KindFabricReserved belong to fabric-level services;
+// transport layers must allocate their kinds below it. The heartbeat
+// detector (see Detector) owns the low half of the range (0xF0..0xF7);
+// byte-stream providers keep their internal frame kinds in the high half
+// (0xF8..) so their read loops never consume detector traffic.
+const (
+	KindFabricReserved Kind = 0xF0
+	// KindHeartbeatPing is a liveness probe; Aux0 carries the sender's
+	// send timestamp (ns) to be echoed back.
+	KindHeartbeatPing Kind = 0xF0
+	// KindHeartbeatPong answers a ping, echoing the probe timestamp in
+	// Aux0 so the prober can measure round-trip time.
+	KindHeartbeatPong Kind = 0xF1
+)
 
 // Flags carried in a packet header.
 const (
@@ -189,6 +205,11 @@ var ErrLinkDown = errors.New("fabric: link down")
 // integrity verification. The payload was discarded before delivery, so
 // retrying is safe.
 var ErrCorrupt = errors.New("fabric: payload corrupted (checksum mismatch)")
+
+// ErrRankDead is returned when an operation targets a rank that a fault
+// plan has permanently killed (see the Kill action). Unlike ErrLinkDown
+// it is not transient: the process is gone and retrying cannot succeed.
+var ErrRankDead = errors.New("fabric: rank dead")
 
 var crcTab = crc32.MakeTable(crc32.Castagnoli)
 

@@ -42,6 +42,13 @@ const (
 	// LinkDown drops the firing send and the next Rule.Down sends to the
 	// peer, and fails Gets from it; Down < 0 keeps the link down forever.
 	LinkDown
+	// Kill permanently deadens this NIC's rank for every peer and every
+	// operation: the firing send and all subsequent sends are discarded,
+	// and Gets fail with ErrRankDead. When the plan shares a KillSwitch,
+	// the death is global — every other FaultNIC on the same switch also
+	// drops traffic to the dead rank and fails Gets from it, which is what
+	// distinguishes process death from the per-peer LinkDown rule.
+	Kill
 )
 
 func (a FaultAction) String() string {
@@ -62,9 +69,48 @@ func (a FaultAction) String() string {
 		return "fail-get"
 	case LinkDown:
 		return "link-down"
+	case Kill:
+		return "kill"
 	}
 	return fmt.Sprintf("FaultAction(%d)", int(a))
 }
+
+// KillSwitch is the shared death registry of a fault-injected world: a
+// bitmask of permanently dead ranks consulted by every FaultNIC bound to
+// it. Sharing one switch across all ranks' plans is what makes a Kill
+// behave like process death — no peer can reach the dead rank in either
+// direction. Ranks >= 64 cannot be tracked (fault worlds are small).
+type KillSwitch struct {
+	mask atomic.Uint64
+}
+
+// NewKillSwitch returns an empty switch.
+func NewKillSwitch() *KillSwitch { return &KillSwitch{} }
+
+// Kill marks rank permanently dead. Idempotent.
+func (k *KillSwitch) Kill(rank int) {
+	if rank < 0 || rank >= 64 {
+		return
+	}
+	bit := uint64(1) << uint(rank)
+	for {
+		m := k.mask.Load()
+		if m&bit != 0 || k.mask.CompareAndSwap(m, m|bit) {
+			return
+		}
+	}
+}
+
+// Dead reports whether rank has been killed.
+func (k *KillSwitch) Dead(rank int) bool {
+	if rank < 0 || rank >= 64 {
+		return false
+	}
+	return k.mask.Load()&(uint64(1)<<uint(rank)) != 0
+}
+
+// Mask returns the dead-rank bitmask (bit i = rank i dead).
+func (k *KillSwitch) Mask() uint64 { return k.mask.Load() }
 
 // FaultRule is one per-link fault in a plan. Rules are evaluated in plan
 // order against every eligible operation; the first rule that fires wins
@@ -97,6 +143,12 @@ type FaultRule struct {
 type FaultPlan struct {
 	Seed  int64
 	Rules []FaultRule
+	// Kills, when non-nil, is the shared death registry: Kill rules (and
+	// FaultNIC.Kill calls) mark ranks dead on it, and every FaultNIC bound
+	// to the same switch enforces the death in both directions. Nil gives
+	// the NIC a private switch, which can only express "this rank went
+	// mute" — its peers will still deliver traffic *to* it.
+	Kills *KillSwitch
 }
 
 // FaultStats counts fired faults; all fields are cumulative.
@@ -110,6 +162,8 @@ type FaultStats struct {
 	GetsFailed atomic.Int64 // Gets failed by FailGet or a down link
 	DownDrops  atomic.Int64 // packets discarded because the link was down
 	LinkDowns  atomic.Int64 // times a LinkDown rule fired
+	Kills      atomic.Int64 // times a Kill rule (or Kill call) fired here
+	KillDrops  atomic.Int64 // packets discarded because a rank was dead
 }
 
 // FaultNIC wraps a NIC and applies a FaultPlan to its traffic. Recv,
@@ -119,6 +173,7 @@ type FaultStats struct {
 type FaultNIC struct {
 	inner NIC
 	rules []FaultRule
+	kills *KillSwitch
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -136,14 +191,36 @@ type heldSend struct {
 
 // WrapFault wraps nic with a fault plan. The rule list is copied.
 func WrapFault(nic NIC, plan FaultPlan) *FaultNIC {
+	ks := plan.Kills
+	if ks == nil {
+		ks = NewKillSwitch()
+	}
 	return &FaultNIC{
 		inner: nic,
 		rules: append([]FaultRule(nil), plan.Rules...),
+		kills: ks,
 		rng:   rand.New(rand.NewSource(plan.Seed)),
 		fired: make([]int, len(plan.Rules)),
 		down:  make(map[int]int),
 	}
 }
+
+// Kill marks this NIC's own rank permanently dead on its kill switch
+// (shared or private), exactly as if a Kill rule had fired: every
+// subsequent send from it is discarded and Gets involving it fail with
+// ErrRankDead. Tests use it to kill a rank at a precise point in the
+// protocol rather than after a rule-counted number of operations.
+func (f *FaultNIC) Kill() {
+	f.kills.Kill(f.inner.Rank())
+	f.stats.Kills.Add(1)
+	f.mu.Lock()
+	f.held = nil // a dead rank's in-flight (held) packet dies with it
+	f.mu.Unlock()
+}
+
+// Kills exposes the NIC's kill switch so tests and harnesses can share
+// it across ranks or kill ranks directly.
+func (f *FaultNIC) Kills() *KillSwitch { return f.kills }
 
 // Stats exposes the fired-fault counters.
 func (f *FaultNIC) Stats() *FaultStats { return &f.stats }
@@ -170,6 +247,8 @@ func (f *FaultNIC) RegisterObs(reg *obs.Registry) {
 		{"gets_failed", s.GetsFailed.Load},
 		{"down_drops", s.DownDrops.Load},
 		{"link_downs", s.LinkDowns.Load},
+		{"kills_fired", s.Kills.Load},
+		{"kill_drops", s.KillDrops.Load},
 	}
 	for _, c := range counters {
 		reg.GaugeFunc(p(c.name), c.fn)
@@ -177,7 +256,8 @@ func (f *FaultNIC) RegisterObs(reg *obs.Registry) {
 	reg.GaugeFunc(p("faults_total"), func() int64 {
 		return s.Dropped.Load() + s.Duplicated.Load() + s.Reordered.Load() +
 			s.Delayed.Load() + s.Corrupted.Load() + s.Truncated.Load() +
-			s.GetsFailed.Load() + s.DownDrops.Load() + s.LinkDowns.Load()
+			s.GetsFailed.Load() + s.DownDrops.Load() + s.LinkDowns.Load() +
+			s.Kills.Load() + s.KillDrops.Load()
 	})
 }
 
@@ -257,6 +337,12 @@ func (f *FaultNIC) SendFrom(to int, hdr Header, src Source, off, n int64) (int64
 // Gets are memory moves — detected corruption is modelled as a failed
 // Get, the way a checksum-verifying byte-stream provider surfaces it).
 func (f *FaultNIC) Get(from int, key uint64, off int64, sink Sink, sinkOff, n int64) error {
+	// A Get touching a dead rank's memory (or issued by a dead rank) fails
+	// permanently: the registration died with the process.
+	if f.kills.Dead(from) || f.kills.Dead(f.inner.Rank()) {
+		f.stats.GetsFailed.Add(1)
+		return fmt.Errorf("%w: rank %d killed by fault plan", ErrRankDead, from)
+	}
 	f.mu.Lock()
 	if d, ok := f.down[from]; ok && d != 0 {
 		f.mu.Unlock()
@@ -306,6 +392,19 @@ func kindMatches(kinds []Kind, k Kind) bool {
 
 // apply runs the plan against one outbound packet. f owns payload.
 func (f *FaultNIC) apply(to int, hdr Header, payload []byte) error {
+	// A dead endpoint on either side swallows the packet: a dead sender
+	// emits nothing, and nothing is deliverable to a dead receiver. No
+	// error — the sender of a real network learns of the death only
+	// through silence (or the liveness detector above).
+	if f.kills.Dead(f.inner.Rank()) || f.kills.Dead(to) {
+		f.stats.KillDrops.Add(1)
+		if f.kills.Dead(f.inner.Rank()) {
+			f.mu.Lock()
+			f.held = nil
+			f.mu.Unlock()
+		}
+		return nil
+	}
 	f.mu.Lock()
 	// A held (reordered) packet flushes on the next send: after the new
 	// packet when both target the same peer (the swap), before it
@@ -420,6 +519,15 @@ func (f *FaultNIC) apply(to int, hdr Header, payload []byte) error {
 			f.stats.LinkDowns.Add(1)
 			f.stats.DownDrops.Add(1)
 			return flushHeld(nil)
+		case Kill:
+			// The rank running this NIC dies: the firing packet and any
+			// held packet vanish with it.
+			f.held = nil
+			f.mu.Unlock()
+			f.kills.Kill(f.inner.Rank())
+			f.stats.Kills.Add(1)
+			f.stats.KillDrops.Add(1)
+			return nil
 		}
 	}
 	f.mu.Unlock()

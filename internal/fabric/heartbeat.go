@@ -1,0 +1,290 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpicd/internal/obs"
+)
+
+// This file implements the heartbeat/liveness service: a NIC wrapper
+// that tracks per-peer last-seen times (piggybacked on every inbound
+// packet, so a busy link never pays an explicit probe) and sends
+// ping/pong probes to quiet peers. A peer silent past SuspectAfter is
+// suspected; past DeadAfter it is declared dead, permanently, and the
+// OnDead callback fires — the transport layer above turns that into
+// failure notification for blocked operations.
+
+// DetectorConfig tunes the liveness detector. The zero value disables
+// it (Period == 0); NewDetectorConfig fills defaults for enabled ones.
+type DetectorConfig struct {
+	// Period is the probe cadence: a peer not heard from within one
+	// period is pinged every tick. Zero disables the detector.
+	Period time.Duration
+	// SuspectAfter is the silence after which a peer is suspected
+	// (default 4×Period).
+	SuspectAfter time.Duration
+	// DeadAfter is the silence after which a peer is declared dead
+	// (default 10×Period). Death is permanent: a late packet from a
+	// declared-dead peer is still delivered but cannot resurrect it.
+	DeadAfter time.Duration
+	// Obs, when non-nil, receives hb.r<rank>.peers_suspected and
+	// hb.r<rank>.peers_dead gauges plus an hb.r<rank>.rtt_ns histogram
+	// of probe round-trip times.
+	Obs *obs.Registry
+}
+
+// NewDetectorConfig returns cfg with zero thresholds defaulted.
+func NewDetectorConfig(cfg DetectorConfig) DetectorConfig {
+	if cfg.Period <= 0 {
+		return cfg
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 4 * cfg.Period
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 10 * cfg.Period
+	}
+	if cfg.DeadAfter < cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter
+	}
+	return cfg
+}
+
+// Peer liveness states.
+const (
+	peerAlive int32 = iota
+	peerSuspect
+	peerDead
+)
+
+// Detector wraps a NIC with the heartbeat service. All NIC methods pass
+// through; Recv additionally consumes heartbeat packets (answering
+// pings, timing pongs) and refreshes the sender's last-seen stamp with
+// one atomic store — no allocation, no lock — so detection costs the
+// data path almost nothing.
+type Detector struct {
+	inner NIC
+	cfg   DetectorConfig
+
+	lastSeen []atomic.Int64 // per-peer last inbound activity, ns (coarse)
+	state    []atomic.Int32 // peerAlive / peerSuspect / peerDead
+
+	// coarse is a Period-granularity clock refreshed by the prober tick.
+	// The data path stamps lastSeen from it instead of calling time.Now
+	// per packet — a liveness stamp may therefore read up to one Period
+	// old, which the SuspectAfter/DeadAfter thresholds (multiples of
+	// Period) absorb. Probe RTTs still use the real clock; pongs are rare.
+	coarse atomic.Int64
+
+	nSuspect atomic.Int64
+	nDead    atomic.Int64
+	rtt      *obs.Histogram // nil when Obs is nil
+
+	onDead func(rank int) // set before Start
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	quit      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewDetector wraps nic with a detector. cfg.Period must be > 0. The
+// detector is passive until Start is called; set the OnDead callback
+// first.
+func NewDetector(nic NIC, cfg DetectorConfig) *Detector {
+	cfg = NewDetectorConfig(cfg)
+	if cfg.Period <= 0 {
+		panic("fabric: NewDetector requires Period > 0")
+	}
+	d := &Detector{
+		inner:    nic,
+		cfg:      cfg,
+		lastSeen: make([]atomic.Int64, nic.Size()),
+		state:    make([]atomic.Int32, nic.Size()),
+		quit:     make(chan struct{}),
+	}
+	now := time.Now().UnixNano()
+	d.coarse.Store(now)
+	for i := range d.lastSeen {
+		d.lastSeen[i].Store(now)
+	}
+	if cfg.Obs != nil {
+		p := func(name string) string { return fmt.Sprintf("hb.r%d.%s", nic.Rank(), name) }
+		cfg.Obs.GaugeFunc(p("peers_suspected"), d.nSuspect.Load)
+		cfg.Obs.GaugeFunc(p("peers_dead"), d.nDead.Load)
+		d.rtt = cfg.Obs.Histogram(p("rtt_ns"))
+	}
+	return d
+}
+
+// OnDead registers the death callback, invoked exactly once per peer
+// from the prober goroutine when the peer crosses DeadAfter. It must be
+// set before Start and must not block for long.
+func (d *Detector) OnDead(fn func(rank int)) { d.onDead = fn }
+
+// Start launches the prober goroutine. Idempotent.
+func (d *Detector) Start() {
+	d.startOnce.Do(func() {
+		d.wg.Add(1)
+		go d.probeLoop()
+	})
+}
+
+// PeerDead reports whether the detector has declared rank dead.
+func (d *Detector) PeerDead(rank int) bool {
+	return rank >= 0 && rank < len(d.state) && d.state[rank].Load() == peerDead
+}
+
+// PeerSuspected reports whether rank is currently suspected.
+func (d *Detector) PeerSuspected(rank int) bool {
+	return rank >= 0 && rank < len(d.state) && d.state[rank].Load() == peerSuspect
+}
+
+// DeclareDead force-declares rank dead, as if its silence had crossed
+// DeadAfter. Used when a lower layer learns of the death directly (e.g.
+// a Get returning ErrRankDead) so the callback machinery runs the same
+// path. Idempotent; never fires for the local rank.
+func (d *Detector) DeclareDead(rank int) {
+	if rank < 0 || rank >= len(d.state) || rank == d.inner.Rank() {
+		return
+	}
+	d.declareDead(rank)
+}
+
+func (d *Detector) declareDead(rank int) {
+	for {
+		s := d.state[rank].Load()
+		if s == peerDead {
+			return
+		}
+		if d.state[rank].CompareAndSwap(s, peerDead) {
+			if s == peerSuspect {
+				d.nSuspect.Add(-1)
+			}
+			d.nDead.Add(1)
+			if d.onDead != nil {
+				d.onDead(rank)
+			}
+			return
+		}
+	}
+}
+
+// observe refreshes rank's last-seen stamp on any inbound activity and
+// clears a suspicion. Death is sticky.
+func (d *Detector) observe(rank int, now int64) {
+	if rank < 0 || rank >= len(d.lastSeen) {
+		return
+	}
+	d.lastSeen[rank].Store(now)
+	if d.state[rank].Load() == peerSuspect &&
+		d.state[rank].CompareAndSwap(peerSuspect, peerAlive) {
+		d.nSuspect.Add(-1)
+	}
+}
+
+// probeLoop pings quiet peers each period and advances their liveness
+// state machines.
+func (d *Detector) probeLoop() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.cfg.Period)
+	defer tick.Stop()
+	self := d.inner.Rank()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		d.coarse.Store(now)
+		for p := range d.lastSeen {
+			if p == self || d.state[p].Load() == peerDead {
+				continue
+			}
+			silent := time.Duration(now - d.lastSeen[p].Load())
+			switch {
+			case silent >= d.cfg.DeadAfter:
+				d.declareDead(p)
+				continue
+			case silent >= d.cfg.SuspectAfter:
+				if d.state[p].CompareAndSwap(peerAlive, peerSuspect) {
+					d.nSuspect.Add(1)
+				}
+			}
+			if silent >= d.cfg.Period {
+				// Quiet link: probe. Errors are silence, which is what
+				// the state machine measures anyway.
+				_ = d.inner.Send(p, Header{Kind: KindHeartbeatPing, Aux0: now})
+			}
+		}
+	}
+}
+
+// Rank implements NIC.
+func (d *Detector) Rank() int { return d.inner.Rank() }
+
+// Size implements NIC.
+func (d *Detector) Size() int { return d.inner.Size() }
+
+// Send implements NIC (pass-through).
+func (d *Detector) Send(to int, hdr Header, payload ...[]byte) error {
+	return d.inner.Send(to, hdr, payload...)
+}
+
+// SendFrom implements NIC (pass-through).
+func (d *Detector) SendFrom(to int, hdr Header, src Source, off, n int64) (int64, error) {
+	return d.inner.SendFrom(to, hdr, src, off, n)
+}
+
+// Recv implements NIC: heartbeat packets are consumed here (never
+// surfaced to the transport) and every inbound packet refreshes its
+// sender's last-seen stamp.
+func (d *Detector) Recv() (*Packet, bool) {
+	for {
+		pkt, ok := d.inner.Recv()
+		if !ok {
+			return nil, false
+		}
+		d.observe(pkt.From, d.coarse.Load())
+		switch pkt.Hdr.Kind {
+		case KindHeartbeatPing:
+			from := pkt.From
+			stamp := pkt.Hdr.Aux0
+			pkt.Release()
+			_ = d.inner.Send(from, Header{Kind: KindHeartbeatPong, Aux0: stamp})
+		case KindHeartbeatPong:
+			if d.rtt != nil && pkt.Hdr.Aux0 > 0 {
+				d.rtt.Observe(time.Now().UnixNano() - pkt.Hdr.Aux0)
+			}
+			pkt.Release()
+		default:
+			return pkt, true
+		}
+	}
+}
+
+// Register implements NIC (pass-through).
+func (d *Detector) Register(src Source) uint64 { return d.inner.Register(src) }
+
+// Deregister implements NIC (pass-through).
+func (d *Detector) Deregister(key uint64) { d.inner.Deregister(key) }
+
+// Get implements NIC (pass-through).
+func (d *Detector) Get(from int, key uint64, off int64, sink Sink, sinkOff, n int64) error {
+	return d.inner.Get(from, key, off, sink, sinkOff, n)
+}
+
+// Close stops the prober and closes the inner NIC, which unblocks Recv.
+func (d *Detector) Close() error {
+	var err error
+	d.closeOnce.Do(func() {
+		close(d.quit)
+		d.wg.Wait()
+		err = d.inner.Close()
+	})
+	return err
+}

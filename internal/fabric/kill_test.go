@@ -1,0 +1,143 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Tests for permanent rank death: the KillSwitch registry, the Kill
+// fault action, and the dead-rank semantics every FaultNIC bound to a
+// shared switch must enforce (a dead rank emits nothing, nothing is
+// deliverable to it, and Gets touching it fail with ErrRankDead).
+
+func TestKillSwitch(t *testing.T) {
+	ks := NewKillSwitch()
+	if ks.Dead(0) || ks.Mask() != 0 {
+		t.Fatal("fresh switch reports deaths")
+	}
+	ks.Kill(3)
+	ks.Kill(3) // idempotent
+	ks.Kill(0)
+	if !ks.Dead(3) || !ks.Dead(0) || ks.Dead(1) {
+		t.Fatalf("Dead() wrong after kills: mask=%#x", ks.Mask())
+	}
+	if want := uint64(1<<3 | 1<<0); ks.Mask() != want {
+		t.Fatalf("Mask() = %#x, want %#x", ks.Mask(), want)
+	}
+	// Out-of-range ranks are untrackable no-ops, never panics.
+	ks.Kill(-1)
+	ks.Kill(64)
+	if ks.Dead(-1) || ks.Dead(64) {
+		t.Fatal("out-of-range rank reported dead")
+	}
+	if want := uint64(1<<3 | 1<<0); ks.Mask() != want {
+		t.Fatalf("out-of-range Kill changed mask to %#x", ks.Mask())
+	}
+}
+
+func TestFaultKillRule(t *testing.T) {
+	fn, rx, cleanup := faultPair(t, FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: -1, Action: Kill, Prob: 1, Count: 1},
+	}})
+	defer cleanup()
+	// The firing send dies with the rank, as does everything after it.
+	if err := fn.Send(1, Header{}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Send(1, Header{}, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(50 * time.Millisecond)
+	got := make(chan struct{})
+	go func() {
+		if pkt, ok := rx.Recv(); ok {
+			pkt.Release()
+			close(got)
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("dead rank delivered a packet")
+	case <-deadline:
+	}
+	if !fn.Kills().Dead(0) {
+		t.Fatal("Kill rule did not mark rank 0 dead on the switch")
+	}
+	if fn.Stats().Kills.Load() != 1 {
+		t.Fatalf("Kills = %d, want 1", fn.Stats().Kills.Load())
+	}
+	if fn.Stats().KillDrops.Load() != 2 {
+		t.Fatalf("KillDrops = %d, want 2", fn.Stats().KillDrops.Load())
+	}
+	// A dead rank's Gets fail permanently: its registrations died with it.
+	if err := fn.Get(1, 0, 0, nil, 0, 0); !errors.Is(err, ErrRankDead) {
+		t.Fatalf("Get from dead self = %v, want ErrRankDead", err)
+	}
+}
+
+func TestKillSharedSwitch(t *testing.T) {
+	ks := NewKillSwitch()
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	fn0 := WrapFault(f.NIC(0), FaultPlan{Kills: ks})
+	fn1 := WrapFault(f.NIC(1), FaultPlan{Kills: ks})
+	defer fn0.Close()
+	defer fn1.Close()
+
+	// Before the kill, traffic flows.
+	if err := fn1.Send(0, Header{}, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvN(t, fn0, 1, time.Second); got[0][0] != 9 {
+		t.Fatal("pre-kill packet lost")
+	}
+
+	// Killing rank 0 through its own NIC is global: the survivor's sends
+	// to it vanish (no error — death is silence) and its Gets fail.
+	fn0.Kill()
+	if !ks.Dead(0) {
+		t.Fatal("Kill() did not reach the shared switch")
+	}
+	if err := fn1.Send(0, Header{}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if fn1.Stats().KillDrops.Load() != 1 {
+		t.Fatalf("survivor KillDrops = %d, want 1", fn1.Stats().KillDrops.Load())
+	}
+	if err := fn1.Get(0, 0, 0, nil, 0, 0); !errors.Is(err, ErrRankDead) {
+		t.Fatalf("survivor Get from dead rank = %v, want ErrRankDead", err)
+	}
+	// ErrRankDead is permanent, distinct from the transient link taxonomy.
+	if err := fn1.Get(0, 0, 0, nil, 0, 0); errors.Is(err, ErrLinkDown) {
+		t.Fatal("dead-rank Get classified as ErrLinkDown")
+	}
+}
+
+func TestKillDropsHeldPacket(t *testing.T) {
+	// A Reorder hold must die with the rank: kill while a packet is held,
+	// then confirm nothing is delivered at Close (which flushes holds).
+	f := NewInproc(2, Config{})
+	defer f.Close()
+	fn := WrapFault(f.NIC(0), FaultPlan{Seed: 1, Rules: []FaultRule{
+		{Peer: -1, Action: Reorder, Prob: 1, Count: 1},
+	}})
+	if err := fn.Send(1, Header{}, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	fn.Kill()
+	fn.Close()
+	deadline := time.After(50 * time.Millisecond)
+	got := make(chan struct{})
+	go func() {
+		if pkt, ok := f.NIC(1).Recv(); ok {
+			pkt.Release()
+			close(got)
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("held packet survived the kill")
+	case <-deadline:
+	}
+}

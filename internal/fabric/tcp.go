@@ -14,12 +14,14 @@ import (
 
 // Reserved header kinds used internally by byte-stream providers for the
 // Get (RDMA-read emulation) protocol. Transports must keep their own kinds
-// below kindReserved.
+// below KindFabricReserved; within the reserved range the heartbeat
+// detector owns the low values (0xF0..0xF7), providers the high ones —
+// these frames are consumed by the provider's read loop and must never
+// shadow detector traffic that has to reach Recv.
 const (
-	kindReserved Kind = 0xF0
-	kindGetReq   Kind = 0xF1
-	kindGetResp  Kind = 0xF2
-	kindGetErr   Kind = 0xF3
+	kindGetReq  Kind = 0xF8
+	kindGetResp Kind = 0xF9
+	kindGetErr  Kind = 0xFA
 )
 
 // TCP is a fabric provider connecting separate processes over real

@@ -1,0 +1,245 @@
+package ucp
+
+// Failure notification: when a peer process is declared dead — by the
+// heartbeat detector, by a fabric error only a dead process can produce
+// (ErrRankDead), or by the layer above — every operation bound to that
+// peer completes with ErrProcFailed instead of hanging on a deadline
+// that may not exist:
+//
+//   - posted receives from the peer (and AnySource receives whose only
+//     possible remote senders are all dead) complete immediately;
+//   - matched eager receives mid-delivery fail (the remaining fragments
+//     will never arrive);
+//   - rendezvous pulls in flight are failed and their Get loops abandon
+//     retrying;
+//   - rendezvous sends awaiting a FIN, and reliable eager sends awaiting
+//     an ack, complete with the failure instead of burning their
+//     retransmission budget;
+//   - partially-buffered unexpected messages from the peer are marked
+//     errored so a late receive fails fast — but fully-arrived messages
+//     stay deliverable, matching the MPI/ULFM rule that messages handed
+//     to the transport before the death are still receivable;
+//   - blocked probes wake (cond broadcast) and observe the dead peer.
+//
+// Death is permanent and per-worker-monotone: dead[] bits only ever go
+// false→true, so the lock-free hot-path checks need no fences beyond
+// the atomics themselves.
+
+import (
+	"fmt"
+	"time"
+)
+
+func procFailedErr(rank int) error {
+	return fmt.Errorf("%w: rank %d", ErrProcFailed, rank)
+}
+
+// PeerFailed reports whether rank has been declared dead on this worker.
+func (w *Worker) PeerFailed(rank int) bool {
+	return rank >= 0 && rank < len(w.dead) && w.dead[rank].Load()
+}
+
+// FailedPeers returns the ranks declared dead, ascending.
+func (w *Worker) FailedPeers() []int {
+	var out []int
+	for r := range w.dead {
+		if w.dead[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// allOtherPeersDead reports whether every rank except the local one is
+// dead — the condition under which an AnySource receive can never be
+// satisfied by a remote sender (loopback self-sends are not counted as
+// possible senders here; a rank blocked in a receive is not concurrently
+// self-sending on the path this guards).
+func (w *Worker) allOtherPeersDead() bool {
+	n := int64(w.Size() - 1)
+	return n > 0 && w.deadCount.Load() >= n
+}
+
+// deadSourceErr returns the failure a receive or probe of `from` should
+// report when its possible senders are gone, or nil.
+func (w *Worker) deadSourceErr(from int) error {
+	if from >= 0 {
+		if w.PeerFailed(from) {
+			return procFailedErr(from)
+		}
+		return nil
+	}
+	if w.allOtherPeersDead() {
+		return fmt.Errorf("%w: every possible source is dead", ErrProcFailed)
+	}
+	return nil
+}
+
+// OnPeerFailure registers fn to run (outside the worker lock, in the
+// declaring goroutine) each time a peer is newly declared dead. The
+// recovery layer above uses it to poison communicators containing the
+// dead rank.
+func (w *Worker) OnPeerFailure(fn func(rank int)) {
+	w.mu.Lock()
+	w.onPeerFail = append(w.onPeerFail, fn)
+	w.mu.Unlock()
+}
+
+// AbortWhere completes every posted-but-unmatched receive satisfying pred
+// with err and wakes blocked probes, returning how many receives it
+// failed. The layer above uses it to poison a revoked communicator's
+// matching context without touching other communicators sharing the
+// worker (pred sees each receive's matching criteria).
+func (w *Worker) AbortWhere(pred func(from int, tag, mask Tag) bool, err error) int {
+	var failed []*Request
+	w.mu.Lock()
+	if !w.closed {
+		kept := w.posted[:0]
+		for _, r := range w.posted {
+			if pred(r.from, r.tag, r.mask) {
+				failed = append(failed, r)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		w.posted = kept
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+	for _, r := range failed {
+		r.complete(-1, 0, 0, 0, err)
+	}
+	return len(failed)
+}
+
+// DeclarePeerFailed marks rank dead and fails everything bound to it.
+// Idempotent; safe to call from any goroutine, including the detector's
+// prober and pull goroutines. The local rank cannot be declared dead.
+func (w *Worker) DeclarePeerFailed(rank int) {
+	if rank < 0 || rank >= len(w.dead) || rank == w.Rank() {
+		return
+	}
+	if !w.dead[rank].CompareAndSwap(false, true) {
+		return
+	}
+	w.deadCount.Add(1)
+	w.stats.PeerFailures.Add(1)
+	if w.det != nil {
+		// Keep the detector's view consistent when the declaration came
+		// from above (it no-ops if the detector made the call).
+		w.det.DeclareDead(rank)
+	}
+	err := procFailedErr(rank)
+	allDead := w.allOtherPeersDead()
+
+	var (
+		failedReqs []*Request
+		eagerOps   []*recvOp
+		pullOps    []*recvOp
+		deadSends  []*sendOp
+		deadRex    []*rexmitEntry
+	)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	kept := w.posted[:0]
+	for _, r := range w.posted {
+		if r.from == rank || (r.from < 0 && allDead) {
+			failedReqs = append(failedReqs, r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	w.posted = kept
+	for key, op := range w.active {
+		if key.from == rank {
+			delete(w.active, key)
+			eagerOps = append(eagerOps, op)
+		}
+	}
+	for key, op := range w.pulls {
+		if key.from == rank {
+			pullOps = append(pullOps, op)
+		}
+	}
+	for id, s := range w.sends {
+		if s.dst == rank {
+			delete(w.sends, id)
+			delete(w.rexmit, id)
+			deadSends = append(deadSends, s)
+		}
+	}
+	for id, e := range w.rexmit {
+		if e.dst == rank {
+			delete(w.rexmit, id)
+			deadRex = append(deadRex, e)
+		}
+	}
+	// Buffered messages from the dead peer: complete eager payloads stay
+	// deliverable; anything that still needs the peer (missing fragments,
+	// a rendezvous body to pull) is poisoned so a match fails fast.
+	now := time.Now()
+	poison := func(m *unexMsg) {
+		if m.from != rank || m.errored != nil || m.selfSrc != nil {
+			return
+		}
+		if m.rndv || m.buffered < m.total {
+			m.errored = err
+			m.erroredAt = now
+			w.releaseFrags(m)
+		}
+	}
+	for _, m := range w.unexpected {
+		poison(m)
+	}
+	for _, m := range w.claimed {
+		poison(m)
+	}
+	cbs := append([]func(int){}, w.onPeerFail...)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+
+	for _, r := range failedReqs {
+		r.complete(rank, 0, 0, 0, err)
+	}
+	for _, op := range eagerOps {
+		op.mu.Lock()
+		already := op.finished
+		op.finished = true
+		op.discard = true
+		if op.failure == nil {
+			op.failure = err
+		}
+		for _, p := range op.pending {
+			p.Release()
+		}
+		op.pending = nil
+		op.mu.Unlock()
+		if !already {
+			w.finishRecv(op)
+		}
+	}
+	for _, op := range pullOps {
+		// The pull goroutine owns completion; mark the failure so its Get
+		// loop (which checks PeerFailed between attempts) finishes with it.
+		op.mu.Lock()
+		if op.failure == nil {
+			op.failure = err
+		}
+		op.discard = true
+		op.mu.Unlock()
+	}
+	for _, s := range deadSends {
+		w.nic.Deregister(s.key)
+		s.src.Finish()
+		s.req.complete(rank, 0, 0, 0, err)
+	}
+	for _, e := range deadRex {
+		e.req.complete(rank, e.tag, 0, e.aux, err)
+	}
+	for _, cb := range cbs {
+		cb(rank)
+	}
+}

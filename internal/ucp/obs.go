@@ -82,6 +82,7 @@ func (w *Worker) setupObs(o *obs.Observer) {
 		{"stripe_fallbacks", w.stats.StripeFallbacks.Load},
 		{"timeouts", w.stats.Timeouts.Load},
 		{"aborts_reaped", w.stats.AbortsReaped.Load},
+		{"peer_failures", w.stats.PeerFailures.Load},
 	}
 	for _, c := range counters {
 		reg.GaugeFunc(p(c.name), c.fn)
@@ -188,6 +189,7 @@ type StatsSnapshot struct {
 	StripeFallbacks int64 `json:"stripe_fallbacks"`
 	Timeouts        int64 `json:"timeouts"`
 	AbortsReaped    int64 `json:"aborts_reaped"`
+	PeerFailures    int64 `json:"peer_failures"`
 
 	Depths QueueDepthsSnapshot `json:"depths"`
 }
@@ -220,6 +222,7 @@ func (w *Worker) StatsSnapshot() StatsSnapshot {
 		StripeFallbacks: s.StripeFallbacks.Load(),
 		Timeouts:        s.Timeouts.Load(),
 		AbortsReaped:    s.AbortsReaped.Load(),
+		PeerFailures:    s.PeerFailures.Load(),
 		Depths:          w.QueueDepths(),
 	}
 }

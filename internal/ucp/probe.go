@@ -67,6 +67,13 @@ func (w *Worker) probe(from int, tag, mask Tag, block, claim bool) (*Message, er
 			}
 			return info, nil
 		}
+		// Nothing buffered can satisfy the probe; if its only possible
+		// senders are declared dead, no message ever will. This covers
+		// blocked probes with no ReqTimeout configured: DeclarePeerFailed
+		// broadcasts w.cond, the prober wakes, re-scans, and lands here.
+		if err := w.deadSourceErr(from); err != nil {
+			return nil, err
+		}
 		if !block {
 			return nil, nil
 		}

@@ -492,7 +492,17 @@ func (w *Worker) handleEagerAck(pkt *fabric.Packet) {
 // key, closed NIC — and sequential sinks (which cannot rewind) pass
 // straight through.
 func (w *Worker) getRetry(from int, key uint64, off int64, sink fabric.Sink, sinkOff, n int64, sequential bool) error {
+	if w.PeerFailed(from) {
+		return procFailedErr(from)
+	}
 	err := w.timedGet(from, key, off, sink, sinkOff, n)
+	if err != nil && errors.Is(err, fabric.ErrRankDead) {
+		// Only a dead process produces ErrRankDead: promote it to a peer
+		// failure so every other operation on the rank fails too, and do
+		// not waste a single retry on it.
+		w.DeclarePeerFailed(from)
+		return procFailedErr(from)
+	}
 	if err == nil || sequential || w.cfg.GetRetries <= 0 ||
 		errors.Is(err, fabric.ErrBadKey) || errors.Is(err, fabric.ErrClosed) {
 		return err
@@ -507,9 +517,16 @@ func (w *Worker) getRetry(from int, key uint64, off int64, sink fabric.Sink, sin
 			return err
 		case <-t.C:
 		}
+		if w.PeerFailed(from) {
+			return procFailedErr(from)
+		}
 		w.stats.GetRetries.Add(1)
 		if err = w.timedGet(from, key, off, sink, sinkOff, n); err == nil {
 			return nil
+		}
+		if errors.Is(err, fabric.ErrRankDead) {
+			w.DeclarePeerFailed(from)
+			return procFailedErr(from)
 		}
 		if errors.Is(err, fabric.ErrBadKey) || errors.Is(err, fabric.ErrClosed) {
 			return err

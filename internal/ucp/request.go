@@ -138,15 +138,28 @@ func (r *Request) Aux() int64 {
 }
 
 // WaitAll waits on every request and returns the first error encountered.
+// After a failure the remaining requests are not waited blindly — a batch
+// partner may be dead and without a deadline its receives would never
+// complete. Still-unmatched receives are canceled; everything else
+// (matched receives, in-flight sends) is drained so no request outlives
+// the call with its buffers still in use.
 func WaitAll(reqs ...*Request) error {
-	var first error
-	for _, r := range reqs {
+	for i, r := range reqs {
 		if r == nil {
 			continue
 		}
-		if err := r.Wait(); err != nil && first == nil {
-			first = err
+		if err := r.Wait(); err != nil {
+			for _, rr := range reqs[i+1:] {
+				if rr == nil {
+					continue
+				}
+				if !rr.isSend && rr.w.CancelRecv(rr) {
+					continue
+				}
+				_ = rr.Wait()
+			}
+			return err
 		}
 	}
-	return first
+	return nil
 }

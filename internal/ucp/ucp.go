@@ -115,6 +115,15 @@ type Config struct {
 	// ReqTimeout is set.
 	AbortLinger time.Duration
 
+	// Heartbeat enables the liveness detector (see fabric.Detector): the
+	// worker's NIC is wrapped so every inbound packet refreshes its
+	// sender's last-seen stamp, quiet peers are pinged each period, and a
+	// peer silent past the dead threshold is declared failed — its
+	// in-flight operations complete with ErrProcFailed and blocked
+	// receives/probes matched to it wake, with no per-request deadline
+	// required. Zero Period (the default) disables detection entirely.
+	Heartbeat fabric.DetectorConfig
+
 	// Obs attaches the observability layer: the worker registers its
 	// counters, queue-depth gauges and latency/size histograms with
 	// Obs.Registry (under ucp.r<rank>.*) and, when Obs.Trace is set,
@@ -206,6 +215,14 @@ var ErrTruncated = errors.New("ucp: message truncated (receive buffer too small)
 // whose remaining fragments never arrived, a send whose retransmission
 // budget ran out, or a Request.WaitTimeout that expired.
 var ErrTimeout = errors.New("ucp: request timed out")
+
+// ErrProcFailed is returned when the peer process of an operation has
+// been declared dead — by the heartbeat detector, by a fabric error that
+// only a dead process can produce, or by the layer above
+// (DeclarePeerFailed). Unlike ErrTimeout it is a verdict about the peer,
+// not the operation: every past and future operation on the dead rank
+// fails with it, immediately.
+var ErrProcFailed = errors.New("ucp: peer process failed")
 
 // ErrLinkDown re-exports the fabric-level link failure so transport users
 // can test for it without importing fabric.

@@ -36,6 +36,13 @@ type Worker struct {
 	completedFIFO []msgKey
 	rng           *rand.Rand // retransmit jitter; guarded by mu
 
+	// Failure-notification state (see failure.go). dead is read lock-free
+	// on the send/receive hot paths; the rest is guarded by mu.
+	det        *fabric.Detector // nil unless Config.Heartbeat enables detection
+	dead       []atomic.Bool    // per-peer declared-failed flags
+	deadCount  atomic.Int64     // number of true entries in dead
+	onPeerFail []func(rank int) // failure callbacks, invoked outside mu
+
 	quit    chan struct{} // stops the janitor
 	nextMsg atomic.Uint64
 	wg      sync.WaitGroup
@@ -69,6 +76,7 @@ type WorkerStats struct {
 	StripeFallbacks atomic.Int64 // striped pulls degraded to one sequential Get
 	Timeouts        atomic.Int64 // requests failed with ErrTimeout
 	AbortsReaped    atomic.Int64 // stale errored unexpected entries reaped
+	PeerFailures    atomic.Int64 // peers declared dead on this worker
 }
 
 // Stats exposes the worker's protocol counters.
@@ -84,6 +92,7 @@ type sendOp struct {
 	req *Request
 	src SendState
 	key uint64
+	dst int // destination rank, for failure notification
 }
 
 // unexMsg is an inbound message that arrived before a matching receive was
@@ -139,7 +148,9 @@ type recvOp struct {
 }
 
 // NewWorker attaches a transport worker to a NIC and starts its progress
-// goroutine.
+// goroutine. When Config.Heartbeat enables liveness detection the NIC is
+// wrapped with a fabric.Detector whose death verdicts feed
+// DeclarePeerFailed.
 func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 	w := &Worker{
 		nic:     nic,
@@ -149,6 +160,7 @@ func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 		sends:   make(map[uint64]*sendOp),
 		pulls:   make(map[msgKey]*recvOp),
 		rexmit:  make(map[uint64]*rexmitEntry),
+		dead:    make([]atomic.Bool, nic.Size()),
 		quit:    make(chan struct{}),
 	}
 	if w.cfg.Reliable {
@@ -157,11 +169,26 @@ func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.setupObs(w.cfg.Obs)
+	if hb := w.cfg.Heartbeat; hb.Period > 0 {
+		if hb.Obs == nil && w.cfg.Obs != nil {
+			hb.Obs = w.cfg.Obs.Registry
+		}
+		w.det = fabric.NewDetector(nic, hb)
+		w.det.OnDead(w.DeclarePeerFailed)
+		w.nic = w.det
+	}
 	w.wg.Add(1)
 	go w.loop()
 	w.startJanitor()
+	if w.det != nil {
+		w.det.Start()
+	}
 	return w
 }
+
+// Detector exposes the worker's liveness detector (nil when heartbeats
+// are disabled).
+func (w *Worker) Detector() *fabric.Detector { return w.det }
 
 // Rank returns the worker's fabric rank.
 func (w *Worker) Rank() int { return w.nic.Rank() }
@@ -201,6 +228,9 @@ const (
 func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux int64, proto Proto) (*Request, error) {
 	if dst < 0 || dst >= w.Size() {
 		return nil, fmt.Errorf("ucp: destination rank %d out of range [0,%d)", dst, w.Size())
+	}
+	if w.dead[dst].Load() {
+		return nil, procFailedErr(dst)
 	}
 	src, err := dt.SendState(buf, count)
 	if err != nil {
@@ -259,7 +289,7 @@ func (w *Worker) Send(dst int, tag Tag, dt Datatype, buf any, count int64, aux i
 			src.Finish()
 			return nil, ErrWorkerClosed
 		}
-		w.sends[id] = &sendOp{req: req, src: src, key: key}
+		w.sends[id] = &sendOp{req: req, src: src, key: key, dst: dst}
 		w.mu.Unlock()
 		hdr := fabric.Header{Kind: kindRTS, Tag: uint64(tag), MsgID: id, Total: total, Aux0: aux, Aux1: int64(key)}
 		if w.cfg.Reliable {
@@ -416,6 +446,14 @@ func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64
 		w.ev(obs.EvMatch, m.from, m.id, m.tag, m.total, 0)
 		w.startRecvLocked(req, m) // releases w.mu
 		return req, nil
+	}
+	// No buffered message can satisfy this receive; if its only possible
+	// senders are dead it can never match — fail fast instead of posting
+	// a receive that would hang (messages already delivered by a peer
+	// before its death were matched above, preserving ULFM semantics).
+	if err := w.deadSourceErr(from); err != nil {
+		w.mu.Unlock()
+		return nil, err
 	}
 	w.posted = append(w.posted, req)
 	w.mu.Unlock()

@@ -83,7 +83,27 @@ var (
 	ErrLinkDown = core.ErrLinkDown
 	// ErrCorrupt reports a payload that failed its checksum.
 	ErrCorrupt = core.ErrCorrupt
+	// ErrProcFailed reports an operation bound to a peer process that has
+	// been declared dead (ULFM's MPI_ERR_PROC_FAILED). Enable detection
+	// with Options.UCP.Heartbeat; recover with Comm.Revoke, Comm.Agree and
+	// Comm.Shrink.
+	ErrProcFailed = core.ErrProcFailed
+	// ErrRevoked reports an operation on a revoked communicator (ULFM's
+	// MPI_ERR_REVOKED).
+	ErrRevoked = core.ErrRevoked
 )
+
+// DetectorConfig tunes the heartbeat liveness detector enabled through
+// Options.UCP.Heartbeat (zero Period disables detection). See
+// Comm.Revoke/Agree/Shrink for the recovery flow it feeds.
+type DetectorConfig = fabric.DetectorConfig
+
+// KillSwitch is the shared death registry fault plans use to model whole
+// process failure across an in-process world (fabric.FaultPlan.Kills).
+type KillSwitch = fabric.KillSwitch
+
+// NewKillSwitch builds an empty shared death registry.
+func NewKillSwitch() *KillSwitch { return fabric.NewKillSwitch() }
 
 // TypeBytes is the predefined byte datatype (MPI_BYTE): buffers are
 // []byte, counts are byte counts, and a negative count means the whole
