@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"mpicd/internal/ddt"
 	"mpicd/internal/harness"
 	"mpicd/internal/obs"
 )
@@ -30,6 +31,7 @@ func main() {
 	runs := flag.Int("runs", 0, "override number of measurement runs")
 	stats := flag.String("stats", "", "dump transport metrics as JSON after the run: a file path, or - for stderr")
 	traceCap := flag.Int("trace", 0, "with -stats, also keep the last N per-message lifecycle events")
+	planCache := flag.Bool("plancache", false, "print datatype plan-cache counters after the run")
 	flag.Parse()
 
 	cfg := harness.Full
@@ -86,6 +88,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *planCache {
+		hits, misses, compileNS := ddt.PlanCacheStats()
+		fmt.Fprintf(os.Stderr, "plan cache: %d hits, %d misses, %d cached plans, %.3fms compiling\n",
+			hits, misses, ddt.PlanCacheSize(), float64(compileNS)/1e6)
 	}
 }
 

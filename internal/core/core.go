@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mpicd/internal/ddt"
 	"mpicd/internal/fabric"
 	"mpicd/internal/ucp"
 )
@@ -73,6 +74,11 @@ func NewSystem(n int, opt Options) *System {
 	// apart, and the fabric registry is shared with the transport's.
 	if o := opt.UCP.Obs; o != nil && opt.Fabric.Obs == nil {
 		opt.Fabric.Obs = o.Registry
+	}
+	if o := opt.UCP.Obs; o != nil {
+		// Datatype plan-cache gauges (hits/misses/compile time) ride the
+		// same registry as the transport counters.
+		ddt.RegisterObs(o.Registry)
 	}
 	s := &System{fab: fabric.NewInproc(n, opt.Fabric)}
 	s.workers = make([]*ucp.Worker, n)

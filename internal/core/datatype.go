@@ -73,6 +73,7 @@ type Datatype struct {
 	name    string
 	kind    kind
 	elem    *ddt.Type
+	plan    *ddt.Plan // compiled pack program (kindDDT)
 	handler CustomHandler
 	inorder bool
 }
@@ -82,9 +83,11 @@ type Datatype struct {
 var TypeBytes = &Datatype{name: "bytes", kind: kindBytes}
 
 // FromDDT wraps a derived datatype built with package ddt. Buffers are
-// []byte images in the type's C layout.
+// []byte images in the type's C layout. This is the commit point: the
+// type's plan is compiled (or fetched from the plan cache) here, so every
+// subsequent pack, unpack and region extraction runs compiled kernels.
 func FromDDT(t *ddt.Type) *Datatype {
-	return &Datatype{name: t.Name(), kind: kindDDT, elem: t}
+	return &Datatype{name: t.Name(), kind: kindDDT, elem: t, plan: t.Plan()}
 }
 
 // CustomOption configures TypeCreateCustom.
@@ -128,7 +131,11 @@ func (d *Datatype) transport() ucp.Datatype {
 		if d.elem.Contig() {
 			return contigDDT{d.elem}
 		}
-		return ucp.Generic{Ops: ddtOps{d.elem}}
+		plan := d.plan
+		if plan == nil {
+			plan = d.elem.Plan()
+		}
+		return ddtType{t: d.elem, plan: plan}
 	default:
 		return customType{d}
 	}
@@ -181,13 +188,97 @@ func (c contigDDT) RecvState(buf any, count int64, info ucp.RecvInfo) (ucp.RecvS
 	return ucp.Contig{}.RecvState(b, size, info)
 }
 
-// ddtOps drives the typemap engine through the transport's generic
-// datatype: this is the reproduction of the Open MPI / RSMPI derived-
-// datatype send path the paper benchmarks as "rsmpi".
-type ddtOps struct{ t *ddt.Type }
+// ddtType lowers a non-contiguous derived datatype per operation: small
+// or fragmented layouts stream through the generic pack path (compiled
+// plan kernels behind ucp.PackState); large layouts with substantial
+// contiguous runs are exposed as a memory-region list instead, so the
+// rendezvous pull moves them zero-copy like the paper's custom types.
+type ddtType struct {
+	t    *ddt.Type
+	plan *ddt.Plan
+}
+
+// Region-path thresholds: worth bypassing the pack kernels only when the
+// message is rendezvous-sized and the average region is long enough that
+// per-region bookkeeping beats one packed copy.
+const (
+	ddtRegionMinTotal = 32 << 10 // below this, eager + pack always wins
+	ddtRegionMinAvg   = 1 << 10  // average contiguous run length floor
+	ddtRegionMaxCount = 1 << 16  // iovec bookkeeping ceiling
+)
+
+func (dt ddtType) useRegions(count int64) bool {
+	n := dt.plan.RegionCount(count)
+	if n <= 1 || n > ddtRegionMaxCount {
+		return false
+	}
+	total := dt.plan.PackedSize(count)
+	return total >= ddtRegionMinTotal && total/n >= ddtRegionMinAvg
+}
+
+// regionState builds the pooled iovec view of (b, count); Finish returns
+// the scratch to the pool shared with the custom-datatype engine.
+func (dt ddtType) regionState(b []byte, count int64) (*ddtIovState, error) {
+	sp := getRegionScratch(dt.plan.RegionCount(count))
+	regs, err := dt.plan.AppendRegions((*sp)[:0], b, count)
+	if err != nil {
+		putRegionScratch(sp)
+		return nil, err
+	}
+	*sp = regs
+	return &ddtIovState{iov: fabric.NewIov(regs), scratch: sp}, nil
+}
+
+func (dt ddtType) SendState(buf any, count int64) (ucp.SendState, error) {
+	if b, ok := buf.([]byte); ok && dt.useRegions(count) {
+		return dt.regionState(b, count)
+	}
+	return ucp.Generic{Ops: ddtOps{t: dt.t, plan: dt.plan}}.SendState(buf, count)
+}
+
+func (dt ddtType) RecvState(buf any, count int64, info ucp.RecvInfo) (ucp.RecvState, error) {
+	if b, ok := buf.([]byte); ok && dt.useRegions(count) {
+		return dt.regionState(b, count)
+	}
+	return ucp.Generic{Ops: ddtOps{t: dt.t, plan: dt.plan}}.RecvState(buf, count, info)
+}
+
+// ddtIovState serves both directions: the wire stream is the packed byte
+// order either way, so sender and receiver choose pack vs. regions
+// independently. Window gives the rendezvous pull direct (zero-copy)
+// access to the application buffer.
+type ddtIovState struct {
+	iov     *fabric.Iov
+	scratch *[][]byte
+}
+
+func (s *ddtIovState) Size() int64                               { return s.iov.Size() }
+func (s *ddtIovState) ReadAt(dst []byte, off int64) (int, error) { return s.iov.ReadAt(dst, off) }
+func (s *ddtIovState) WriteAt(src []byte, off int64) (int, error) {
+	return s.iov.WriteAt(src, off)
+}
+func (s *ddtIovState) Window(off, n int64) ([]byte, bool) { return s.iov.Window(off, n) }
+func (s *ddtIovState) NumRegions() int                    { return s.iov.NumRegions() }
+
+func (s *ddtIovState) Finish() error {
+	if s.scratch != nil {
+		putRegionScratch(s.scratch)
+		s.scratch = nil
+	}
+	return nil
+}
+
+// ddtOps drives the compiled plan through the transport's generic
+// datatype (ucp.PackState): the descendant of the Open MPI / RSMPI
+// derived-datatype send path the paper benchmarks as "rsmpi", now backed
+// by plan kernels instead of the typemap interpreter.
+type ddtOps struct {
+	t    *ddt.Type
+	plan *ddt.Plan
+}
 
 type ddtPackState struct {
-	t     *ddt.Type
+	plan  *ddt.Plan
 	buf   []byte
 	count int64
 }
@@ -197,7 +288,7 @@ func (o ddtOps) StartPack(buf any, count int64) (ucp.PackState, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: derived datatype requires a []byte image, got %T", buf)
 	}
-	return &ddtPackState{t: o.t, buf: b, count: count}, nil
+	return &ddtPackState{plan: o.plan, buf: b, count: count}, nil
 }
 
 func (o ddtOps) StartUnpack(buf any, count int64) (ucp.UnpackState, error) {
@@ -205,18 +296,18 @@ func (o ddtOps) StartUnpack(buf any, count int64) (ucp.UnpackState, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: derived datatype requires a []byte image, got %T", buf)
 	}
-	return &ddtPackState{t: o.t, buf: b, count: count}, nil
+	return &ddtPackState{plan: o.plan, buf: b, count: count}, nil
 }
 
-func (s *ddtPackState) PackedSize() (int64, error)   { return s.t.PackedSize(s.count), nil }
-func (s *ddtPackState) UnpackedSize() (int64, error) { return s.t.PackedSize(s.count), nil }
+func (s *ddtPackState) PackedSize() (int64, error)   { return s.plan.PackedSize(s.count), nil }
+func (s *ddtPackState) UnpackedSize() (int64, error) { return s.plan.PackedSize(s.count), nil }
 
 func (s *ddtPackState) Pack(off int64, dst []byte) (int, error) {
-	return s.t.PackAt(s.buf, s.count, off, dst)
+	return s.plan.PackAt(s.buf, s.count, off, dst)
 }
 
 func (s *ddtPackState) Unpack(off int64, src []byte) error {
-	return s.t.UnpackAt(s.buf, s.count, off, src)
+	return s.plan.UnpackAt(s.buf, s.count, off, src)
 }
 
 func (s *ddtPackState) Finish() error { return nil }

@@ -20,6 +20,7 @@ package ddt
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Run is one contiguous byte range of a type's flattened typemap, relative
@@ -38,6 +39,10 @@ type Type struct {
 	runs   []Run // in typemap order (pack order), adjacency-coalesced
 	contig bool  // single run at offset 0 with size == extent
 	pre    []int64
+
+	// plan memoizes the compiled pack/unpack program (see plan.go): one
+	// atomic load on the hot path, filled lazily on first use.
+	plan atomic.Pointer[Plan]
 }
 
 // Predefined base types (sizes follow the C ABI the paper's structs use).
@@ -97,6 +102,21 @@ func (t *Type) Span(count int64) int64 {
 
 // PackedSize returns the packed byte size of count elements.
 func (t *Type) PackedSize(count int64) int64 { return count * t.size }
+
+// Dup mirrors MPI_Type_dup: a new handle with identical transfer
+// semantics. The duplicate shares the immutable run list and — through
+// the plan cache — the compiled plan, so duplicating never recompiles.
+func (t *Type) Dup() *Type {
+	return &Type{
+		name:   t.name,
+		size:   t.size,
+		extent: t.extent,
+		ub:     t.ub,
+		runs:   t.runs,
+		contig: t.contig,
+		pre:    t.pre,
+	}
+}
 
 // ErrType reports invalid constructor arguments.
 var ErrType = errors.New("ddt: invalid type construction")

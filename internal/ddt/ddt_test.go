@@ -293,8 +293,11 @@ func TestRegions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(regions) != 6 {
-		t.Fatalf("regions = %d; want 6", len(regions))
+	// structSimple's last run ends at the extent and its first starts at 0,
+	// so the tail of each element merges with the head of the next:
+	// 2 runs x 3 elements - 2 cross-element merges = 4 regions.
+	if len(regions) != 4 {
+		t.Fatalf("regions = %d; want 4", len(regions))
 	}
 	var cat []byte
 	for _, r := range regions {
@@ -302,6 +305,19 @@ func TestRegions(t *testing.T) {
 	}
 	if !bytes.Equal(cat, refPack(st, buf, 3)) {
 		t.Fatal("regions concat != packed form")
+	}
+	// A type whose first run does not start at 0 never touches the
+	// previous element's tail, so no cross-element merge happens.
+	v, err := Struct([]int{1, 1}, []int64{8, 24}, []*Type{Float64, Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vregions, err := v.Regions(fill(v.Span(3)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vregions) != 6 {
+		t.Fatalf("non-adjacent regions = %d; want 6", len(vregions))
 	}
 	// Contiguous type: a single region regardless of count.
 	c, _ := Contiguous(4, Float64)

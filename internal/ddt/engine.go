@@ -6,6 +6,11 @@ import (
 	"sort"
 )
 
+// The public pack/unpack entry points delegate to the compiled plan
+// (plan.go); the original typemap interpreter is kept below as
+// packAtInterp/unpackAtInterp/regionsInterp — the differential-testing
+// oracle and the plan-off ablation baseline.
+
 // prefix returns cumulative packed sizes of the runs: prefix()[i] is the
 // packed offset of run i within one element. It is computed at
 // construction time so Type stays immutable and safe for concurrent use.
@@ -36,6 +41,42 @@ func (t *Type) checkBuf(buf []byte, count int64) error {
 // io.EOF). This is the streaming entry the transport's generic-datatype
 // adapter uses; Pack is the one-shot convenience.
 func (t *Type) PackAt(src []byte, count int64, off int64, dst []byte) (int, error) {
+	return t.Plan().PackAt(src, count, off, dst)
+}
+
+// UnpackAt writes the packed bytes in src at virtual packed offset off back
+// into the memory layout of (dst, count).
+func (t *Type) UnpackAt(dst []byte, count int64, off int64, src []byte) error {
+	return t.Plan().UnpackAt(dst, count, off, src)
+}
+
+// Pack packs count elements of src into dst and returns the packed size.
+// dst must have room for PackedSize(count) bytes.
+func (t *Type) Pack(src []byte, count int64, dst []byte) (int64, error) {
+	return t.Plan().Pack(src, count, dst)
+}
+
+// Unpack scatters the packed bytes in src into count elements at dst.
+func (t *Type) Unpack(dst []byte, count int64, src []byte) error {
+	return t.Plan().Unpack(dst, count, src)
+}
+
+// Regions returns the memory regions of (buf, count) as byte slices in
+// pack order: the scatter/gather view of the typemap. Runs that are
+// adjacent in memory — within an element and across element boundaries —
+// are coalesced. Callers on hot paths should use Plan().AppendRegions
+// with reusable scratch instead.
+func (t *Type) Regions(buf []byte, count int64) ([][]byte, error) {
+	p := t.Plan()
+	out := make([][]byte, 0, p.RegionCount(count))
+	return p.AppendRegions(out, buf, count)
+}
+
+// --- interpreter (oracle / ablation baseline) --------------------------------
+
+// packAtInterp is the pre-plan engine: a typemap walk that binary-searches
+// the run containing off and carries a runOff across fragment boundaries.
+func (t *Type) packAtInterp(src []byte, count int64, off int64, dst []byte) (int, error) {
 	total := t.PackedSize(count)
 	if off < 0 || off > total {
 		return 0, fmt.Errorf("ddt: pack offset %d out of [0,%d]", off, total)
@@ -85,9 +126,8 @@ func (t *Type) PackAt(src []byte, count int64, off int64, dst []byte) (int, erro
 	return w, nil
 }
 
-// UnpackAt writes the packed bytes in src at virtual packed offset off back
-// into the memory layout of (dst, count).
-func (t *Type) UnpackAt(dst []byte, count int64, off int64, src []byte) error {
+// unpackAtInterp is the interpreter dual of packAtInterp.
+func (t *Type) unpackAtInterp(dst []byte, count int64, off int64, src []byte) error {
 	total := t.PackedSize(count)
 	if off < 0 || off+int64(len(src)) > total {
 		return fmt.Errorf("ddt: unpack range [%d,%d) out of [0,%d]", off, off+int64(len(src)), total)
@@ -127,14 +167,13 @@ func (t *Type) UnpackAt(dst []byte, count int64, off int64, src []byte) error {
 	return nil
 }
 
-// Pack packs count elements of src into dst and returns the packed size.
-// dst must have room for PackedSize(count) bytes.
-func (t *Type) Pack(src []byte, count int64, dst []byte) (int64, error) {
+// packInterp is the one-shot interpreter pack (ablation baseline).
+func (t *Type) packInterp(src []byte, count int64, dst []byte) (int64, error) {
 	total := t.PackedSize(count)
 	if int64(len(dst)) < total {
 		return 0, fmt.Errorf("ddt: pack destination too small (%d < %d)", len(dst), total)
 	}
-	n, err := t.PackAt(src, count, 0, dst[:total])
+	n, err := t.packAtInterp(src, count, 0, dst[:total])
 	if err == io.EOF {
 		err = nil
 	}
@@ -144,18 +183,9 @@ func (t *Type) Pack(src []byte, count int64, dst []byte) (int64, error) {
 	return int64(n), err
 }
 
-// Unpack scatters the packed bytes in src into count elements at dst.
-func (t *Type) Unpack(dst []byte, count int64, src []byte) error {
-	if int64(len(src)) != t.PackedSize(count) {
-		return fmt.Errorf("ddt: unpack source is %d bytes, want %d", len(src), t.PackedSize(count))
-	}
-	return t.UnpackAt(dst, count, 0, src)
-}
-
-// Regions returns the memory regions of (buf, count) as byte slices in
-// pack order: the scatter/gather view of the typemap. Contiguous
-// cross-element coalescing is applied for contiguous types.
-func (t *Type) Regions(buf []byte, count int64) ([][]byte, error) {
+// regionsInterp is the pre-plan region enumeration: one region per run
+// per element, no cross-element coalescing, fresh allocation per call.
+func (t *Type) regionsInterp(buf []byte, count int64) ([][]byte, error) {
 	if err := t.checkBuf(buf, count); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package ddt
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 )
@@ -51,4 +52,135 @@ func FuzzUnmarshal(f *testing.F) {
 			}
 		}
 	})
+}
+
+// planDifferential is the oracle check behind both the fuzz target and
+// the deterministic property test: for one type and count, the compiled
+// plan must byte-identically match the interpreter on Pack, on PackAt /
+// UnpackAt at every fragmentation the seed selects, and on the region
+// concatenation — and Pack followed by Unpack must restore every data
+// byte.
+func planDifferential(t *testing.T, typ *Type, count int64, seed int64) {
+	t.Helper()
+	if typ.Size() == 0 {
+		return
+	}
+	span := typ.Span(count)
+	if span <= 0 || span > 1<<20 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	src := fill(span)
+	total := typ.PackedSize(count)
+
+	// One-shot pack: plan vs interpreter.
+	got := make([]byte, total)
+	want := make([]byte, total)
+	if _, err := typ.Pack(src, count, got); err != nil {
+		t.Fatalf("plan pack: %v", err)
+	}
+	if _, err := typ.packInterp(src, count, want); err != nil {
+		t.Fatalf("interp pack: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("plan pack differs from interpreter (%s)", typ.Name())
+	}
+
+	// Streaming at random fragment sizes: identical (n, err, bytes).
+	frag := int64(rng.Intn(7) + 1)
+	a := make([]byte, frag)
+	b := make([]byte, frag)
+	for off := int64(0); off < total; {
+		n1, err1 := typ.PackAt(src, count, off, a)
+		n2, err2 := typ.packAtInterp(src, count, off, b)
+		if n1 != n2 || err1 != err2 || !bytes.Equal(a[:n1], b[:n2]) {
+			t.Fatalf("PackAt(%s, off=%d, frag=%d): plan (%d,%v) != interp (%d,%v)",
+				typ.Name(), off, frag, n1, err1, n2, err2)
+		}
+		if n1 == 0 {
+			t.Fatalf("PackAt(%s, off=%d): no progress (%v)", typ.Name(), off, err1)
+		}
+		off += int64(n1)
+	}
+
+	// Unpack round trip through both engines at the same fragmentation.
+	dst1 := make([]byte, span)
+	dst2 := make([]byte, span)
+	for off := int64(0); off < total; {
+		end := off + frag
+		if end > total {
+			end = total
+		}
+		if err := typ.UnpackAt(dst1, count, off, want[off:end]); err != nil {
+			t.Fatalf("plan UnpackAt: %v", err)
+		}
+		if err := typ.unpackAtInterp(dst2, count, off, want[off:end]); err != nil {
+			t.Fatalf("interp UnpackAt: %v", err)
+		}
+		off = end
+	}
+	if !bytes.Equal(dst1, dst2) {
+		t.Fatalf("plan unpack differs from interpreter (%s)", typ.Name())
+	}
+	// Pack . Unpack == id on the data bytes.
+	if rt := refPack(typ, dst1, count); !bytes.Equal(rt, want) {
+		t.Fatalf("Pack∘Unpack lost data bytes (%s)", typ.Name())
+	}
+
+	// Region extraction: the plan's coalesced regions and the
+	// interpreter's per-run regions must concatenate to the same stream.
+	rs, err := typ.Regions(src, count)
+	if err != nil {
+		t.Fatalf("plan regions: %v", err)
+	}
+	old, err := typ.regionsInterp(src, count)
+	if err != nil {
+		t.Fatalf("interp regions: %v", err)
+	}
+	var cat1, cat2 []byte
+	for _, r := range rs {
+		cat1 = append(cat1, r...)
+	}
+	for _, r := range old {
+		cat2 = append(cat2, r...)
+	}
+	if !bytes.Equal(cat1, cat2) {
+		t.Fatalf("region concatenation differs from interpreter (%s)", typ.Name())
+	}
+	if int64(len(rs)) != typ.Plan().RegionCount(count) {
+		t.Fatalf("RegionCount(%s) = %d, emitted %d", typ.Name(), typ.Plan().RegionCount(count), len(rs))
+	}
+}
+
+// FuzzPlanDifferential feeds arbitrary marshalled type descriptions —
+// which may carry non-canonical run lists the constructors never emit —
+// through the plan compiler and requires byte identity with the
+// interpreter on every engine entry point.
+func FuzzPlanDifferential(f *testing.F) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 12; i++ {
+		f.Add(randomType(rng, rng.Intn(3)+1).Marshal(), int64(i))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		typ, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		planDifferential(t, typ, seed%4+1, seed)
+	})
+}
+
+// TestPlanDifferentialRandomTypes is the always-on slice of the fuzz
+// corpus: several hundred random nested types through the same oracle,
+// so plain `go test` exercises the differential harness.
+func TestPlanDifferentialRandomTypes(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 50
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < iters; i++ {
+		typ := randomType(rng, rng.Intn(4)+1)
+		planDifferential(t, typ, int64(rng.Intn(4)+1), rng.Int63())
+	}
 }

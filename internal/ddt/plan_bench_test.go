@@ -1,0 +1,64 @@
+package ddt
+
+import "testing"
+
+// BenchmarkAblationDDTPlan is the plan-on/plan-off ablation behind
+// BENCH_ddtplan.json: the same pack through the compiled plan kernels
+// (Type.Pack) and through the retained typemap interpreter (packInterp),
+// across the four canonical shapes. The 2D-strided 4 MiB case is the
+// headline: small fixed-size blocks are where O(1) offset location and
+// word-move kernels beat the per-run interpreter walk.
+func BenchmarkAblationDDTPlan(b *testing.B) {
+	for _, c := range consistencyCases(b) {
+		src := fill(c.typ.Span(c.count))
+		dst := make([]byte, c.typ.PackedSize(c.count))
+		c.typ.Plan() // commit outside the timed region
+		b.Run(c.name+"/plan", func(b *testing.B) {
+			b.SetBytes(c.typ.PackedSize(c.count))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.typ.Pack(src, c.count, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/interp", func(b *testing.B) {
+			b.SetBytes(c.typ.PackedSize(c.count))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.typ.packInterp(src, c.count, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanRegions measures the pooled region extraction vs the old
+// per-call allocation pattern (regionsInterp).
+func BenchmarkPlanRegions(b *testing.B) {
+	typ, err := Vector(64, 128, 256, Float64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const count = 16
+	buf := fill(typ.Span(count))
+	p := typ.Plan()
+	scratch := make([][]byte, 0, p.RegionCount(count))
+	b.Run("plan-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.AppendRegions(scratch[:0], buf, count); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interp-alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := typ.regionsInterp(buf, count); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package ddt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// planShapes returns one representative type per canonical form. The
+// struct shapes mirror the paper's Listing 7 struct-simple (interior
+// gap) and a single-field-at-offset block.
+func planShapes(t *testing.T) map[string]*Type {
+	t.Helper()
+	contig, err := Contiguous(10, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := Struct([]int{1}, []int64{8}, []*Type{Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided, err := Vector(3, 2, 4, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runlist, err := Struct([]int{3, 1}, []int64{0, 16}, []*Type{Int32, Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Type{
+		"contig":  contig,
+		"block":   block,
+		"strided": strided,
+		"runlist": runlist,
+	}
+}
+
+func TestPlanKindSelection(t *testing.T) {
+	shapes := planShapes(t)
+	want := map[string]PlanKind{
+		"contig":  PlanContig,
+		"block":   PlanBlock,
+		"strided": PlanStrided,
+		"runlist": PlanRunList,
+	}
+	for name, typ := range shapes {
+		p := typ.Plan()
+		if p.Kind() != want[name] {
+			t.Errorf("%s: plan kind = %v, want %v", name, p.Kind(), want[name])
+		}
+		if p.Kind().String() != name {
+			t.Errorf("%s: kind string = %q", name, p.Kind().String())
+		}
+	}
+	// Geometry of the strided plan: 3 blocks of 16 bytes, inner stride 32.
+	p := shapes["strided"].Plan()
+	if p.nblocks != 3 || p.blockLen != 16 || p.stride != 32 || p.base != 0 {
+		t.Fatalf("strided geometry: base=%d len=%d n=%d stride=%d", p.base, p.blockLen, p.nblocks, p.stride)
+	}
+	// Predefined types are contiguous plans.
+	if Float64.Plan().Kind() != PlanContig {
+		t.Fatal("predefined type must compile to PlanContig")
+	}
+}
+
+// TestPlanCacheShared verifies the interning contract: structurally
+// identical types — Dup, marshal round-trips, independently built
+// equivalents — share one compiled plan and never recompile.
+func TestPlanCacheShared(t *testing.T) {
+	ResetPlanCache()
+	v1, _ := Vector(3, 2, 4, Float64)
+	v2, _ := Vector(3, 2, 4, Float64)
+
+	p1 := v1.Plan()
+	hits0, misses0, _ := PlanCacheStats()
+	if misses0 != 1 || hits0 != 0 {
+		t.Fatalf("first compile: hits=%d misses=%d, want 0/1", hits0, misses0)
+	}
+	if p2 := v2.Plan(); p2 != p1 {
+		t.Fatal("independently built equivalent type did not share the plan")
+	}
+	if p3 := v1.Dup().Plan(); p3 != p1 {
+		t.Fatal("Dup did not share the plan")
+	}
+	u, err := Unmarshal(v1.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 := u.Plan(); p4 != p1 {
+		t.Fatal("Unmarshal reconstruction did not share the plan")
+	}
+	hits, misses, _ := PlanCacheStats()
+	if misses != 1 {
+		t.Fatalf("plan was recompiled: misses = %d", misses)
+	}
+	if hits != 3 {
+		t.Fatalf("cache hits = %d, want 3", hits)
+	}
+	if n := PlanCacheSize(); n != 1 {
+		t.Fatalf("cache size = %d, want 1", n)
+	}
+	// A different extent (Resized) is a different layout: new plan.
+	r, err := Resized(v1, v1.Extent()+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan() == p1 {
+		t.Fatal("resized type must not share the plan")
+	}
+}
+
+// TestPlanCacheEviction: interning is bounded; overflow evicts rather
+// than growing without limit.
+func TestPlanCacheEviction(t *testing.T) {
+	ResetPlanCache()
+	for i := 0; i < planCacheMax+64; i++ {
+		typ, err := Vector(2, 1, 2+i, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ.Plan()
+	}
+	if n := PlanCacheSize(); n > planCacheMax {
+		t.Fatalf("cache size %d exceeds bound %d", n, planCacheMax)
+	}
+	ResetPlanCache()
+}
+
+// TestPlanPackZeroAllocs is the cache-hit alloc guard: once a type's
+// plan is memoized, Pack/PackAt/UnpackAt allocate nothing.
+func TestPlanPackZeroAllocs(t *testing.T) {
+	for name, typ := range planShapes(t) {
+		const count = 4
+		src := fill(typ.Span(count))
+		dst := make([]byte, typ.PackedSize(count))
+		typ.Plan() // memoize
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := typ.Pack(src, count, dst); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: Pack allocates %v per op on the cache-hit path", name, allocs)
+		}
+		frag := make([]byte, 16)
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := typ.PackAt(src, count, 8, frag); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: PackAt allocates %v per op", name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if err := typ.UnpackAt(src, count, 8, frag); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: UnpackAt allocates %v per op", name, allocs)
+		}
+	}
+}
+
+// TestAppendRegionsZeroAllocs: with caller-owned scratch of sufficient
+// capacity, region extraction is allocation-free (the satellite fix for
+// the count x runs header blow-up).
+func TestAppendRegionsZeroAllocs(t *testing.T) {
+	for name, typ := range planShapes(t) {
+		const count = 8
+		buf := fill(typ.Span(count))
+		p := typ.Plan()
+		scratch := make([][]byte, 0, p.RegionCount(count))
+		if allocs := testing.AllocsPerRun(100, func() {
+			rs, err := p.AppendRegions(scratch[:0], buf, count)
+			if err != nil || int64(len(rs)) != p.RegionCount(count) {
+				t.Fatalf("regions: %d (%v), want %d", len(rs), err, p.RegionCount(count))
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: AppendRegions allocates %v per op with scratch", name, allocs)
+		}
+	}
+}
+
+// TestRegionCountMatchesAppend: the precomputed count equals what
+// AppendRegions emits, and the region concatenation is the packed image.
+func TestRegionCountMatchesAppend(t *testing.T) {
+	for name, typ := range planShapes(t) {
+		p := typ.Plan()
+		for _, count := range []int64{0, 1, 2, 5} {
+			buf := fill(typ.Span(count))
+			rs, err := p.AppendRegions(nil, buf, count)
+			if err != nil {
+				t.Fatalf("%s/count=%d: %v", name, count, err)
+			}
+			if int64(len(rs)) != p.RegionCount(count) {
+				t.Errorf("%s/count=%d: RegionCount %d but AppendRegions emitted %d",
+					name, count, p.RegionCount(count), len(rs))
+			}
+			var concat []byte
+			for _, r := range rs {
+				concat = append(concat, r...)
+			}
+			if !bytes.Equal(concat, refPack(typ, buf, count)) {
+				t.Errorf("%s/count=%d: region concatenation != packed image", name, count)
+			}
+		}
+	}
+	// Cross-element coalescing: the strided vector's last run ends at the
+	// extent, so element boundaries merge: runs*count - (count-1).
+	v, _ := Vector(3, 2, 4, Float64)
+	if n := v.Plan().RegionCount(4); n != 3*4-3 {
+		t.Fatalf("vector RegionCount(4) = %d, want %d", n, 3*4-3)
+	}
+	// No coalescing when the first run starts past offset 0.
+	s, _ := Struct([]int{1, 1}, []int64{8, 24}, []*Type{Float64, Float64})
+	if n := s.Plan().RegionCount(3); n != 2*3 {
+		t.Fatalf("gapped struct RegionCount(3) = %d, want 6", n)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	v, _ := Vector(3, 2, 4, Float64)
+	p := v.Plan()
+	const count = 2
+	src := fill(v.Span(count))
+	dst := make([]byte, p.PackedSize(count))
+
+	if _, err := p.PackAt(src, count, -1, dst); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := p.PackAt(src, count, p.PackedSize(count)+1, dst); err == nil {
+		t.Fatal("offset past end accepted")
+	}
+	if _, err := p.PackAt(src[:3], count, 0, dst); err == nil {
+		t.Fatal("short source accepted")
+	}
+	if _, err := p.PackAt(src, -1, 0, dst); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := p.Pack(src, count, dst[:1]); err == nil {
+		t.Fatal("short pack destination accepted")
+	}
+	if err := p.Unpack(src, count, dst[:1]); err == nil {
+		t.Fatal("wrong unpack source length accepted")
+	}
+	if err := p.UnpackAt(src, count, p.PackedSize(count)-1, dst[:2]); err == nil {
+		t.Fatal("unpack range past end accepted")
+	}
+	if _, err := p.AppendRegions(nil, src[:1], count); err == nil {
+		t.Fatal("short region buffer accepted")
+	}
+}
+
+func TestPlanZeroCount(t *testing.T) {
+	v, _ := Vector(3, 2, 4, Float64)
+	p := v.Plan()
+	n, err := p.PackAt(nil, 0, 0, make([]byte, 8))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("PackAt(count=0) = %d, %v", n, err)
+	}
+	if err := p.UnpackAt(nil, 0, 0, nil); err != nil {
+		t.Fatalf("UnpackAt(count=0): %v", err)
+	}
+	rs, err := p.AppendRegions(nil, nil, 0)
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("AppendRegions(count=0) = %d regions, %v", len(rs), err)
+	}
+}

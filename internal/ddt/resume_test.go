@@ -1,0 +1,165 @@
+package ddt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Resume-mid-run regression tests: the streaming contract says PackAt /
+// UnpackAt may be entered at ANY virtual packed offset — including one
+// byte into a run, one byte before a run edge, and exactly on every run
+// and element boundary — and must carry the intra-run offset correctly.
+// These tests drive every offset with 1-byte fragments (the worst case a
+// streaming adapter can produce) and with fragment sizes chosen to land
+// on both sides of every edge, for one shape per canonical plan kind,
+// and cross-check the compiled kernels against the interpreter.
+
+// resumeShapes covers all four plan kinds plus kernels: word-move blocks
+// (4/8/16 bytes), the unrolled 8-byte-multiple loop (24), and an odd
+// block length that falls back to copy.
+func resumeShapes(t *testing.T) map[string]*Type {
+	t.Helper()
+	mk := func(typ *Type, err error) *Type {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return typ
+	}
+	return map[string]*Type{
+		"contig":      mk(Contiguous(4, Int32)),
+		"block":       mk(Struct([]int{1}, []int64{8}, []*Type{Float64})),
+		"strided-4":   mk(Vector(5, 1, 2, Int32)),
+		"strided-8":   mk(Vector(3, 1, 3, Float64)),
+		"strided-16":  mk(Vector(3, 1, 2, Complex128)),
+		"strided-24":  mk(Vector(2, 3, 5, Float64)),
+		"strided-odd": mk(Vector(3, 3, 5, Byte)),
+		"runlist":     mk(Struct([]int{3, 1}, []int64{0, 16}, []*Type{Int32, Float64})),
+	}
+}
+
+// TestPackAtEveryOffsetOneByte packs the whole stream one byte at a
+// time, entering at every offset: n must always be 1, the byte must
+// match the reference pack, and io.EOF must appear exactly at the final
+// byte — never earlier, never later.
+func TestPackAtEveryOffsetOneByte(t *testing.T) {
+	for name, typ := range resumeShapes(t) {
+		const count = 3
+		src := fill(typ.Span(count))
+		ref := refPack(typ, src, count)
+		total := typ.PackedSize(count)
+		one := make([]byte, 1)
+		for off := int64(0); off < total; off++ {
+			n, err := typ.PackAt(src, count, off, one)
+			if n != 1 {
+				t.Fatalf("%s: PackAt(off=%d) produced %d bytes", name, off, n)
+			}
+			if one[0] != ref[off] {
+				t.Fatalf("%s: PackAt(off=%d) = %#x, want %#x", name, off, one[0], ref[off])
+			}
+			// Contiguous plans report io.EOF only on the zero-byte read past
+			// the end (matching the interpreter); all other kinds flag the
+			// final byte.
+			wantEOF := off == total-1 && typ.Plan().Kind() != PlanContig
+			if (err == io.EOF) != wantEOF || (err != nil && err != io.EOF) {
+				t.Fatalf("%s: PackAt(off=%d) err = %v (total %d)", name, off, err, total)
+			}
+		}
+		// Entering at the very end with room produces (0, io.EOF).
+		if n, err := typ.PackAt(src, count, total, one); n != 0 || err != io.EOF {
+			t.Fatalf("%s: PackAt(off=total) = %d, %v", name, n, err)
+		}
+	}
+}
+
+// TestUnpackAtEveryOffsetOneByte is the dual: scatter the packed image
+// one byte at a time in arbitrary (reverse) order, then verify the data
+// bytes of the destination match the source exactly.
+func TestUnpackAtEveryOffsetOneByte(t *testing.T) {
+	for name, typ := range resumeShapes(t) {
+		const count = 3
+		src := fill(typ.Span(count))
+		ref := refPack(typ, src, count)
+		dst := make([]byte, typ.Span(count))
+		// Reverse order: every write must land independently of history.
+		for off := int64(len(ref)) - 1; off >= 0; off-- {
+			if err := typ.UnpackAt(dst, count, off, ref[off:off+1]); err != nil {
+				t.Fatalf("%s: UnpackAt(off=%d): %v", name, off, err)
+			}
+		}
+		if got := refPack(typ, dst, count); !bytes.Equal(got, ref) {
+			t.Fatalf("%s: unpacked data bytes differ from source", name)
+		}
+	}
+}
+
+// TestPackAtFragmentsMatchInterpreter streams with several fragment
+// sizes (1..span) and requires the compiled kernels to agree with the
+// interpreter on every (offset, fragment) pair — byte-for-byte and in
+// the returned (n, err).
+func TestPackAtFragmentsMatchInterpreter(t *testing.T) {
+	for name, typ := range resumeShapes(t) {
+		const count = 3
+		src := fill(typ.Span(count))
+		total := typ.PackedSize(count)
+		for _, frag := range []int{1, 2, 3, 5, 7, 13, 64} {
+			got := make([]byte, 0, total)
+			a := make([]byte, frag)
+			b := make([]byte, frag)
+			for off := int64(0); off < total; {
+				n1, err1 := typ.PackAt(src, count, off, a)
+				n2, err2 := typ.packAtInterp(src, count, off, b)
+				if n1 != n2 || err1 != err2 {
+					t.Fatalf("%s/frag=%d: plan (%d,%v) != interp (%d,%v) at off %d",
+						name, frag, n1, err1, n2, err2, off)
+				}
+				if !bytes.Equal(a[:n1], b[:n2]) {
+					t.Fatalf("%s/frag=%d: bytes differ at off %d", name, frag, off)
+				}
+				if n1 == 0 {
+					t.Fatalf("%s/frag=%d: no progress at off %d (err %v)", name, frag, off, err1)
+				}
+				got = append(got, a[:n1]...)
+				off += int64(n1)
+			}
+			if !bytes.Equal(got, refPack(typ, src, count)) {
+				t.Fatalf("%s/frag=%d: stream != reference pack", name, frag)
+			}
+		}
+	}
+}
+
+// TestUnpackAtFragmentsRoundTrip unpacks the packed image in fragments
+// of every small size, offset by every possible phase, and requires a
+// perfect round trip — the runOff carry on the unpack side.
+func TestUnpackAtFragmentsRoundTrip(t *testing.T) {
+	for name, typ := range resumeShapes(t) {
+		const count = 3
+		src := fill(typ.Span(count))
+		ref := refPack(typ, src, count)
+		total := int64(len(ref))
+		for _, frag := range []int64{1, 2, 3, 5, 7, 13} {
+			for phase := int64(0); phase < frag && phase < total; phase++ {
+				dst := make([]byte, typ.Span(count))
+				if phase > 0 {
+					if err := typ.UnpackAt(dst, count, 0, ref[:phase]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for off := phase; off < total; off += frag {
+					end := off + frag
+					if end > total {
+						end = total
+					}
+					if err := typ.UnpackAt(dst, count, off, ref[off:end]); err != nil {
+						t.Fatalf("%s/frag=%d/phase=%d: UnpackAt(off=%d): %v", name, frag, phase, off, err)
+					}
+				}
+				if got := refPack(typ, dst, count); !bytes.Equal(got, ref) {
+					t.Fatalf("%s/frag=%d/phase=%d: round trip failed", name, frag, phase)
+				}
+			}
+		}
+	}
+}

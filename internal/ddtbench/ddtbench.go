@@ -227,11 +227,15 @@ func (h *imageHandler) Regions(state, _ any, _ core.Count, regions [][]byte) err
 		return nil
 	}
 	img := state.([]byte)
-	rs, err := h.in.Type.Regions(img, 1)
+	// Fill the engine-provided scratch in place (no per-call allocation):
+	// for count 1 the coalesced region count is exactly NumRuns.
+	rs, err := h.in.Type.Plan().AppendRegions(regions[:0], img, 1)
 	if err != nil {
 		return err
 	}
-	copy(regions, rs)
+	if len(rs) != len(regions) {
+		return fmt.Errorf("ddtbench: region count mismatch (%d != %d)", len(rs), len(regions))
+	}
 	return nil
 }
 

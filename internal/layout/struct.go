@@ -1,0 +1,60 @@
+package layout
+
+import (
+	"fmt"
+
+	"mpicd/internal/ddt"
+)
+
+// Struct and matrix descriptors: the layout-level front end of the
+// datatype plan compiler. Application code that already thinks in
+// "struct with fields at offsets" or "submatrix of a row-major matrix"
+// terms builds types here instead of hand-assembling ddt constructor
+// trees; both lower to the same canonical run lists, so a StructOf and
+// the equivalent ddt.Struct share one compiled plan in the cache.
+
+// Field describes one struct member: a byte offset within the struct
+// and an element type, repeated Count times contiguously. Count == 0
+// means 1.
+type Field struct {
+	Off   int64
+	Type  *ddt.Type
+	Count int
+}
+
+// StructOf builds the derived datatype of a C struct with the given
+// sizeof and fields. The sizeof sets the type extent, so arrays of the
+// struct stride over trailing padding exactly like C arrays do.
+func StructOf(size int64, fields ...Field) (*ddt.Type, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("layout: struct with no fields")
+	}
+	bls := make([]int, len(fields))
+	displs := make([]int64, len(fields))
+	types := make([]*ddt.Type, len(fields))
+	for i, f := range fields {
+		if f.Type == nil {
+			return nil, fmt.Errorf("layout: field %d has no type", i)
+		}
+		n := f.Count
+		if n == 0 {
+			n = 1
+		}
+		bls[i], displs[i], types[i] = n, f.Off, f.Type
+	}
+	t, err := ddt.Struct(bls, displs, types)
+	if err != nil {
+		return nil, err
+	}
+	return ddt.Resized(t, size)
+}
+
+// Rows2D describes rows cols-element rows of elem taken out of a matrix
+// whose full row is rowStride elements wide — the classic submatrix /
+// column-block layout (MPI_Type_vector over a row-major matrix).
+func Rows2D(rows, cols, rowStride int, elem *ddt.Type) (*ddt.Type, error) {
+	if elem == nil {
+		return nil, fmt.Errorf("layout: nil element type")
+	}
+	return ddt.Hvector(rows, cols, int64(rowStride)*elem.Extent(), elem)
+}

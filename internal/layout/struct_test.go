@@ -1,0 +1,89 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+
+	"mpicd/internal/ddt"
+)
+
+// TestStructOf: a C struct {int32 a[3]; /* pad */ double b;} of sizeof
+// 24 must canonicalize to the same run list — and, through the plan
+// cache, the very same compiled plan — as the hand-built ddt.Struct.
+func TestStructOf(t *testing.T) {
+	s, err := StructOf(24,
+		Field{Off: 0, Type: ddt.Int32, Count: 3},
+		Field{Off: 16, Type: ddt.Float64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 20 || s.Extent() != 24 {
+		t.Fatalf("size %d extent %d, want 20/24", s.Size(), s.Extent())
+	}
+	manual, err := ddt.Struct([]int{3, 1}, []int64{0, 16}, []*ddt.Type{ddt.Int32, ddt.Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Plan().Kind() != ddt.PlanRunList {
+		t.Fatalf("plan kind %v, want run list", s.Plan().Kind())
+	}
+	if s.Plan() != manual.Plan() {
+		t.Fatal("StructOf and equivalent ddt.Struct compiled separate plans")
+	}
+
+	// Pack two structs: the extent must stride over the trailing padding.
+	src := make([]byte, s.Span(2))
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	dst := make([]byte, s.PackedSize(2))
+	if _, err := s.Pack(src, 2, dst); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(append(append([]byte{}, src[0:12]...), src[16:24]...), src[24:36]...), src[40:48]...)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("StructOf pack moved wrong bytes")
+	}
+}
+
+// TestStructOfPadding: sizeof below the last field's end must fail, and
+// a field Count of zero defaults to one element.
+func TestStructOfPadding(t *testing.T) {
+	if _, err := StructOf(10, Field{Off: 8, Type: ddt.Float64}); err == nil {
+		t.Fatal("sizeof below field end accepted")
+	}
+	s, err := StructOf(16, Field{Off: 0, Type: ddt.Int32})
+	if err != nil || s.Size() != 4 || s.Extent() != 16 {
+		t.Fatalf("defaulted count: %v size %d extent %d", err, s.Size(), s.Extent())
+	}
+}
+
+// TestRows2D: a 3-row slab of 5-element rows out of an 8-wide float64
+// matrix is the canonical strided plan, identical to the equivalent
+// ddt.Vector's.
+func TestRows2D(t *testing.T) {
+	r, err := Rows2D(3, 5, 8, ddt.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Plan()
+	if p.Kind() != ddt.PlanStrided {
+		t.Fatalf("plan kind %v, want strided", p.Kind())
+	}
+	v, err := ddt.Vector(3, 5, 8, ddt.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != v.Plan() {
+		t.Fatal("Rows2D and equivalent ddt.Vector compiled separate plans")
+	}
+	// Single row: contiguous fast path.
+	one, err := Rows2D(1, 5, 8, ddt.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Plan().Kind() != ddt.PlanContig {
+		t.Fatalf("single-row plan kind %v, want contig", one.Plan().Kind())
+	}
+}

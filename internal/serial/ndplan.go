@@ -1,0 +1,122 @@
+package serial
+
+import (
+	"fmt"
+
+	"mpicd/internal/ddt"
+)
+
+// Strided (non-contiguous) NDArray support, backed by the datatype plan
+// compiler. NumPy views — transposes, column slices, every-other-row
+// selections — carry explicit byte strides; rather than forcing callers
+// to copy into C order before serializing, Encode lowers the strided
+// view to a derived datatype (nested hvectors, innermost dimension out)
+// and packs it through the type's compiled plan. The wire format is
+// unchanged: receivers always see a contiguous C-order buffer, so
+// Decode and BufferLens need no strided awareness, and two views with
+// the same shape/stride geometry share one cached plan.
+
+// dtypeSizes maps the supported NDArray dtypes to their element width.
+var dtypeSizes = map[string]int64{
+	"byte": 1, "int8": 1, "uint8": 1,
+	"int16": 2,
+	"int32": 4, "float32": 4,
+	"int64": 8, "uint64": 8, "float64": 8,
+	"complex128": 16,
+}
+
+// dtypeBase picks the ddt base type for an element width.
+func dtypeBase(size int64) *ddt.Type {
+	switch size {
+	case 1:
+		return ddt.Byte
+	case 2:
+		return ddt.Int16
+	case 4:
+		return ddt.Int32
+	case 8:
+		return ddt.Float64
+	default:
+		return ddt.Complex128
+	}
+}
+
+// ElemSize returns the element width implied by the dtype, or an error
+// for dtypes the strided path does not know.
+func (a *NDArray) ElemSize() (int64, error) {
+	if es, ok := dtypeSizes[a.DType]; ok {
+		return es, nil
+	}
+	return 0, fmt.Errorf("serial: unknown dtype %q", a.DType)
+}
+
+// Contiguous reports whether the array is C-order contiguous: no
+// strides recorded, or strides exactly matching row-major layout.
+func (a *NDArray) Contiguous() bool {
+	if len(a.Strides) == 0 {
+		return true
+	}
+	es, err := a.ElemSize()
+	if err != nil {
+		return false
+	}
+	want := es
+	for k := len(a.Shape) - 1; k >= 0; k-- {
+		if k < len(a.Strides) && a.Shape[k] > 1 && a.Strides[k] != want {
+			return false
+		}
+		want *= a.Shape[k]
+	}
+	return true
+}
+
+// packType builds the derived datatype describing one traversal of the
+// strided view: the base element wrapped in one hvector per dimension,
+// innermost (fastest-varying) dimension first. Committing it compiles —
+// or fetches from the plan cache — the pack kernels.
+func (a *NDArray) packType() (*ddt.Type, error) {
+	if len(a.Strides) != len(a.Shape) {
+		return nil, fmt.Errorf("serial: %d strides for %d-d array", len(a.Strides), len(a.Shape))
+	}
+	es, err := a.ElemSize()
+	if err != nil {
+		return nil, err
+	}
+	typ := dtypeBase(es)
+	for k := len(a.Shape) - 1; k >= 0; k-- {
+		if a.Shape[k] < 0 {
+			return nil, fmt.Errorf("serial: negative dimension %d", a.Shape[k])
+		}
+		if a.Strides[k] < 0 {
+			// A negative stride views the buffer backwards; packing it needs
+			// a base-offset convention the wire format does not carry.
+			return nil, fmt.Errorf("serial: negative stride %d unsupported", a.Strides[k])
+		}
+		typ, err = ddt.Hvector(int(a.Shape[k]), 1, a.Strides[k], typ)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return typ, nil
+}
+
+// packed returns the array's data as a contiguous C-order buffer: the
+// data itself when already contiguous, otherwise a fresh buffer filled
+// by the compiled plan of the strided layout.
+func (a *NDArray) packed() (Buffer, error) {
+	if a.Contiguous() {
+		return a.Data, nil
+	}
+	typ, err := a.packType()
+	if err != nil {
+		return nil, err
+	}
+	if span := typ.Span(1); int64(len(a.Data)) < span {
+		return nil, fmt.Errorf("serial: strided view spans %d bytes, buffer has %d", span, len(a.Data))
+	}
+	out := make(Buffer, typ.PackedSize(1))
+	if _, err := typ.Pack(a.Data, 1, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package serial
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"mpicd/internal/ddt"
+)
+
+// matrix44 builds a contiguous 4x4 float64 matrix with a[i][j] = 10i+j
+// and returns it alongside the transposed element order for reference.
+func matrix44() (Buffer, []float64) {
+	data := make(Buffer, 16*8)
+	var tr []float64
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			tr = append(tr, float64(10*i+j))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			binary.LittleEndian.PutUint64(data[(i*4+j)*8:], math.Float64bits(float64(10*i+j)))
+		}
+	}
+	return data, tr
+}
+
+// TestStridedNDArrayEncode serializes a transpose view (swapped
+// strides, shared buffer) and expects the wire to carry the transposed
+// data contiguously — the decoder stays stride-unaware.
+func TestStridedNDArrayEncode(t *testing.T) {
+	data, want := matrix44()
+	view := &NDArray{
+		DType:   "float64",
+		Shape:   []int64{4, 4},
+		Strides: []int64{8, 32}, // transpose of C-order {32, 8}
+		Data:    data,
+	}
+	if view.Contiguous() {
+		t.Fatal("transpose view reported contiguous")
+	}
+	h, err := Dumps(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Loads(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, ok := got.(*NDArray)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if len(arr.Data) != 16*8 || arr.Strides != nil {
+		t.Fatalf("decoded array: %d bytes, strides %v", len(arr.Data), arr.Strides)
+	}
+	for k, w := range want {
+		if v := math.Float64frombits(binary.LittleEndian.Uint64(arr.Data[k*8:])); v != w {
+			t.Fatalf("element %d = %v, want %v", k, v, w)
+		}
+	}
+}
+
+// TestStridedNDArraySlice takes every-other-row (stride doubled along
+// the leading dimension) and checks both the packed bytes and that an
+// explicitly C-contiguous stride set short-circuits without packing.
+func TestStridedNDArraySlice(t *testing.T) {
+	data, _ := matrix44()
+	half := &NDArray{
+		DType:   "float64",
+		Shape:   []int64{2, 4},
+		Strides: []int64{64, 8}, // rows 0 and 2
+		Data:    data,
+	}
+	p, err := half.packed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := append(append(Buffer{}, data[0:32]...), data[64:96]...)
+	if !bytes.Equal(p, wantBytes) {
+		t.Fatal("every-other-row pack produced wrong bytes")
+	}
+
+	cont := &NDArray{DType: "float64", Shape: []int64{4, 4}, Strides: []int64{32, 8}, Data: data}
+	if !cont.Contiguous() {
+		t.Fatal("C-order strides reported non-contiguous")
+	}
+	if p, err := cont.packed(); err != nil || &p[0] != &data[0] {
+		t.Fatalf("contiguous fast path copied (%v)", err)
+	}
+}
+
+// TestStridedNDArrayErrors: negative strides and views that overrun the
+// buffer must fail at encode time, not corrupt the stream.
+func TestStridedNDArrayErrors(t *testing.T) {
+	data, _ := matrix44()
+	for name, arr := range map[string]*NDArray{
+		"negative-stride": {DType: "float64", Shape: []int64{4, 4}, Strides: []int64{-32, 8}, Data: data},
+		"overrun":         {DType: "float64", Shape: []int64{4, 4}, Strides: []int64{64, 8}, Data: data},
+		"unknown-dtype":   {DType: "decimal128", Shape: []int64{4}, Strides: []int64{16}, Data: data},
+		"stride-mismatch": {DType: "float64", Shape: []int64{4, 4}, Strides: []int64{8}, Data: data},
+	} {
+		if _, err := Dumps(arr); err == nil {
+			t.Errorf("%s: encode succeeded", name)
+		}
+	}
+}
+
+// TestStridedPlanShared: two views with the same stride geometry must
+// compile one plan — the second encode hits the ddt plan cache.
+func TestStridedPlanShared(t *testing.T) {
+	ddt.ResetPlanCache()
+	data, _ := matrix44()
+	for i := 0; i < 2; i++ {
+		v := &NDArray{DType: "float64", Shape: []int64{4, 4}, Strides: []int64{8, 32}, Data: data}
+		if _, err := Dumps(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, _ := ddt.PlanCacheStats()
+	if misses == 0 || hits == 0 {
+		t.Fatalf("plan cache: %d hits, %d misses — second encode should hit", hits, misses)
+	}
+}

@@ -29,10 +29,15 @@ import (
 type Buffer []byte
 
 // NDArray models a NumPy ndarray: shape, dtype, and a flat data buffer.
+// Strides, when non-nil, give the byte distance between consecutive
+// elements along each dimension (a non-contiguous NumPy view); Encode
+// packs such arrays into C order through a compiled datatype plan (see
+// ndplan.go), so the wire format always carries contiguous data.
 type NDArray struct {
-	DType string
-	Shape []int64
-	Data  Buffer
+	DType   string
+	Shape   []int64
+	Strides []int64
+	Data    Buffer
 }
 
 // NewFloat64Array builds a 1-D float64 NDArray of n elements with
@@ -168,13 +173,17 @@ func (e *Encoder) Encode(v any) error {
 			e.out = append(e.out, tagNil)
 			return nil
 		}
+		data, err := x.packed()
+		if err != nil {
+			return err
+		}
 		e.out = append(e.out, tagNDArray)
 		e.str(x.DType)
 		e.u32(uint32(len(x.Shape)))
 		for _, s := range x.Shape {
 			e.u64(uint64(s))
 		}
-		e.buffer(x.Data)
+		e.buffer(data)
 	default:
 		return fmt.Errorf("serial: unsupported type %T", v)
 	}

@@ -75,6 +75,36 @@ func Resized(base *DDT, extent int64) (*DDT, error) { return ddt.Resized(base, e
 // packed size, extent and flattened typemap).
 func TypeEqual(a, b *DDT) bool { return ddt.Equal(a, b) }
 
+// TypeDup mirrors MPI_Type_dup. The duplicate shares the original's
+// compiled pack plan through the plan cache.
+func TypeDup(t *DDT) *DDT { return t.Dup() }
+
+// Plan is the compiled pack/unpack program of a committed datatype —
+// canonical layout descriptor plus specialized kernels (see package ddt).
+type Plan = ddt.Plan
+
+// PlanKind is the canonical form a layout compiled to.
+type PlanKind = ddt.PlanKind
+
+// Canonical plan forms.
+const (
+	PlanContig  = ddt.PlanContig
+	PlanBlock   = ddt.PlanBlock
+	PlanStrided = ddt.PlanStrided
+	PlanRunList = ddt.PlanRunList
+)
+
+// TypePlan returns (compiling on first use) the datatype's plan. Useful
+// for introspection: plan kind, canonical layout hash, region count.
+func TypePlan(t *DDT) *Plan { return t.Plan() }
+
+// PlanCacheStats reports the process-wide datatype plan cache counters:
+// cache hits, misses (compilations), and total nanoseconds spent
+// compiling.
+func PlanCacheStats() (hits, misses, compileNS int64) {
+	return ddt.PlanCacheStats()
+}
+
 // MarshalType serializes a derived datatype's description so another
 // process can rebuild it (see Comm.SendType / Comm.RecvType).
 func MarshalType(t *DDT) []byte { return t.Marshal() }

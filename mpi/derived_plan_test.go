@@ -1,0 +1,32 @@
+package mpi
+
+import "testing"
+
+// TestTypeDupSharesPlan pins the facade-level plan contract: Dup and an
+// independently built identical layout both resolve to the same
+// compiled plan, and the cache counters move accordingly.
+func TestTypeDupSharesPlan(t *testing.T) {
+	v, err := Vector(33, 2, 7, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := TypePlan(v)
+	if p.Kind() != PlanStrided {
+		t.Fatalf("plan kind %v, want strided", p.Kind())
+	}
+	if TypePlan(TypeDup(v)) != p {
+		t.Fatal("TypeDup compiled a separate plan")
+	}
+	w, err := Vector(33, 2, 7, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, _ := PlanCacheStats()
+	if TypePlan(w) != p {
+		t.Fatal("identical layout compiled a separate plan")
+	}
+	h1, m1, _ := PlanCacheStats()
+	if h1 <= h0 || m1 != m0 {
+		t.Fatalf("expected a pure cache hit: hits %d->%d misses %d->%d", h0, h1, m0, m1)
+	}
+}
