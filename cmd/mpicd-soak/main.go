@@ -1,0 +1,111 @@
+// mpicd-soak runs the sustained-traffic chaos soak: an in-process world
+// under production-shaped load (training-loop halo exchange + gradient
+// allreduce, pub/sub broadcast fan-out with bounded-queue backpressure,
+// both on persistent operations) while a seeded schedule of faults —
+// corruption bursts, link flaps, rank kills — plays out against it. The
+// run must hold its invariants end to end: forward progress within the
+// watchdog window, verified payloads, ULFM recovery after every kill,
+// and a leak-free tear-down.
+//
+// Usage:
+//
+//	mpicd-soak                          # 60s, 5 ranks, 1 kill, seed 1
+//	mpicd-soak -budget 90s -kills 2
+//	mpicd-soak -seed 20240711 -v        # reproduce a logged run, verbose
+//	mpicd-soak -report soak.json        # machine-readable report + metrics
+//	mpicd-soak -floor 500               # fail below 500 training steps/s
+//
+// Exit status 0 iff every invariant held. A failing run prints the
+// violated invariants and (when -report is set) the full metric
+// registry; the seed in the report header reproduces the exact chaos
+// schedule.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpicd/internal/obs"
+	"mpicd/internal/workloads"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 5, "world size")
+	seed := flag.Int64("seed", 1, "chaos schedule seed (a report's seed reproduces its run)")
+	budget := flag.Duration("budget", 60*time.Second, "wall-clock traffic budget")
+	kills := flag.Int("kills", 1, "rank-kill events (rank 0 is always protected)")
+	bursts := flag.Int("bursts", 0, "corruption-burst events (0 = one per rank)")
+	flaps := flag.Int("flaps", 0, "link-flap events (0 = one per rank)")
+	window := flag.Duration("watchdog", 5*time.Second, "watchdog no-progress window")
+	floor := flag.Float64("floor", 0, "minimum sustained training steps/sec (0 = no floor)")
+	report := flag.String("report", "", "write the JSON report (with full metrics) to this path, or - for stdout")
+	verbose := flag.Bool("v", false, "log chaos events and recoveries as they happen")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	cfg := workloads.SoakConfig{
+		Ranks:          *ranks,
+		Seed:           *seed,
+		Budget:         *budget,
+		Kills:          *kills,
+		CorruptBursts:  *bursts,
+		LinkFlaps:      *flaps,
+		WatchdogWindow: *window,
+		MinStepsPerSec: *floor,
+		Registry:       reg,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "mpicd-soak: %d ranks, budget %v, %d kill(s), seed %d\n",
+		cfg.Ranks, cfg.Budget, cfg.Kills, cfg.Seed)
+	rep, runErr := workloads.RunSoak(cfg)
+
+	fmt.Fprintf(os.Stderr,
+		"mpicd-soak: %v elapsed, %d/%d ranks survived %d chaos event(s) (%d killed, %d fenced)\n"+
+			"  training: %d steps (%.0f/s), p50 %v, p99 %v\n"+
+			"  pub/sub:  %d frames published, %d delivered, p50 %v, p99 %v\n"+
+			"  recovery: %d cycles; stalls: %d; leak check: %s\n",
+		rep.Elapsed.Round(time.Millisecond), rep.Survivors, rep.Ranks, len(rep.Events), len(rep.Killed), len(rep.Fenced),
+		rep.TrainSteps, rep.StepsPerSec, rep.TrainP50, rep.TrainP99,
+		rep.PubFrames, rep.Delivered, rep.PubSubP50, rep.PubSubP99,
+		rep.Recoveries, rep.Stalls, rep.LeakCheck)
+
+	if *report != "" {
+		if err := writeReport(*report, rep, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "mpicd-soak: writing report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "mpicd-soak: FAIL: %v\n", runErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mpicd-soak: PASS")
+}
+
+// writeReport emits the soak report plus the full metric registry as one
+// JSON document.
+func writeReport(path string, rep *workloads.SoakReport, reg *obs.Registry) error {
+	doc := struct {
+		*workloads.SoakReport
+		Metrics obs.Snapshot `json:"metrics"`
+	}{rep, reg.Snapshot()}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

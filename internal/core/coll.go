@@ -78,22 +78,116 @@ func checkLen(what string, buf []byte, need Count) error {
 	return nil
 }
 
+// collScratch holds the per-iteration working storage of a collective
+// schedule: accumulator and exchange buffers, barrier tokens, request
+// windows, and the Rabenseifner step log. One-shot collectives pass nil
+// and every helper falls back to a fresh allocation; persistent
+// collectives (pcoll.go) preallocate one scratch at init and reuse it
+// across Start/Wait iterations, so the steady state stops paying the
+// schedule's setup allocations.
+//
+// A scratch is owned by exactly one schedule invocation at a time —
+// every schedule waits out (or drains) all of its requests before
+// returning, so reuse by the next iteration never races in-flight
+// traffic.
+type collScratch struct {
+	a, b  []byte     // accumulator / exchange scratch, grown on demand
+	pair  [2]byte    // barrier token + receive byte
+	reqs  []*Request // appended request window (sends)
+	reqs2 []*Request // indexed request window (pipelined receives)
+	steps []rabenStep
+}
+
+// bufA returns an n-byte scratch buffer (the accumulator slot).
+func (s *collScratch) bufA(n Count) []byte {
+	if s == nil {
+		return make([]byte, n)
+	}
+	if int64(cap(s.a)) < n {
+		s.a = make([]byte, n)
+	}
+	return s.a[:n]
+}
+
+// bufB returns an n-byte scratch buffer distinct from bufA's.
+func (s *collScratch) bufB(n Count) []byte {
+	if s == nil {
+		return make([]byte, n)
+	}
+	if int64(cap(s.b)) < n {
+		s.b = make([]byte, n)
+	}
+	return s.b[:n]
+}
+
+// requests returns an empty request slice with capacity >= n.
+func (s *collScratch) requests(n int) []*Request {
+	if s == nil {
+		return make([]*Request, 0, n)
+	}
+	if cap(s.reqs) < n {
+		s.reqs = make([]*Request, 0, n)
+	}
+	return s.reqs[:0]
+}
+
+// requestsLen returns a zeroed request slice of length n (indexed
+// windows).
+func (s *collScratch) requestsLen(n int) []*Request {
+	if s == nil {
+		return make([]*Request, n)
+	}
+	if cap(s.reqs2) < n {
+		s.reqs2 = make([]*Request, n)
+	}
+	r := s.reqs2[:n]
+	for i := range r {
+		r[i] = nil
+	}
+	return r
+}
+
+// rabenSteps returns an empty Rabenseifner step log with capacity >= n.
+func (s *collScratch) rabenSteps(n int) []rabenStep {
+	if s == nil {
+		return make([]rabenStep, 0, n)
+	}
+	if cap(s.steps) < n {
+		s.steps = make([]rabenStep, 0, n)
+	}
+	return s.steps[:0]
+}
+
+// rabenStep records one recursive-halving exchange so the allgather
+// phase of Rabenseifner's schedule can retrace it in reverse.
+type rabenStep struct {
+	partner     int // communicator rank
+	lo, mid, hi Count
+	keepLow     bool
+}
+
 // Barrier blocks until every rank in the communicator has entered it
 // (dissemination algorithm, ceil(log2 n) rounds).
 func (c *Comm) Barrier() error {
 	if err := c.checkRevoked(); err != nil {
 		return err
 	}
-	return c.barrier(c.nextEpoch())
+	return c.classifyCommErr(c.barrier(c.nextEpoch(), nil))
 }
 
-func (c *Comm) barrier(epoch uint64) error {
+func (c *Comm) barrier(epoch uint64, sc *collScratch) error {
 	n := c.Size()
 	if n == 1 {
 		return nil
 	}
-	token := []byte{1}
-	recv := make([]byte, 1)
+	var token, recv []byte
+	if sc != nil {
+		sc.pair[0] = 1
+		token, recv = sc.pair[:1], sc.pair[1:2]
+	} else {
+		token = []byte{1}
+		recv = make([]byte, 1)
+	}
 	round := 0
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.rank + dist) % n
@@ -129,15 +223,15 @@ func (c *Comm) Bcast(buf any, count Count, dt *Datatype, root int) error {
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: bcast root %d", ErrInvalidComm, root)
 	}
-	return c.bcast(buf, count, dt, root, epoch)
+	return c.classifyCommErr(c.bcast(buf, count, dt, root, epoch, nil))
 }
 
-func (c *Comm) bcast(buf any, count Count, dt *Datatype, root int, epoch uint64) error {
+func (c *Comm) bcast(buf any, count Count, dt *Datatype, root int, epoch uint64, sc *collScratch) error {
 	if c.Size() == 1 {
 		return nil
 	}
 	if view, ok := byteView(buf, count, dt); ok && int64(len(view)) >= c.collTuning().PipelineThresh {
-		return c.bcastPipelined(view, root, epoch)
+		return c.bcastPipelined(view, root, epoch, sc)
 	}
 	return c.bcastTree(buf, count, dt, root, epoch)
 }
@@ -187,7 +281,7 @@ func (c *Comm) bcastTree(buf any, count Count, dt *Datatype, root int, epoch uin
 // sliding window, so interior ranks forward segment s while still
 // receiving segment s+1 — the tree's hops overlap instead of serializing
 // on whole messages.
-func (c *Comm) bcastPipelined(buf []byte, root int, epoch uint64) error {
+func (c *Comm) bcastPipelined(buf []byte, root int, epoch uint64, sc *collScratch) error {
 	t := c.collTuning()
 	chunk := t.ChunkBytes
 	total := int64(len(buf))
@@ -212,7 +306,7 @@ func (c *Comm) bcastPipelined(buf []byte, root int, epoch uint64) error {
 	}
 
 	var recvs []*Request
-	var sends []*Request
+	sends := sc.requests(maxSends + 1)
 	fail := func(err error) error {
 		drainRequests(recvs)
 		drainRequests(sends)
@@ -220,7 +314,7 @@ func (c *Comm) bcastPipelined(buf []byte, root int, epoch uint64) error {
 	}
 
 	if parent >= 0 {
-		recvs = make([]*Request, window)
+		recvs = sc.requestsLen(window)
 		for s := 0; s < window; s++ {
 			r, err := c.collIrecv(seg(s), int64(len(seg(s))), TypeBytes, parent, opBcast, epoch, s)
 			if err != nil {
@@ -338,25 +432,25 @@ func (c *Comm) Reduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op Red
 			return err
 		}
 	}
-	return c.reduce(sendBuf, recvBuf, bytes, count, dt, op, root, epoch)
+	return c.classifyCommErr(c.reduce(sendBuf, recvBuf, bytes, count, dt, op, root, epoch, nil))
 }
 
-func (c *Comm) reduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64) error {
+func (c *Comm) reduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64, sc *collScratch) error {
 	if op.Commutative {
-		return c.reduceRotated(sendBuf, recvBuf, bytes, count, dt, op, root, epoch)
+		return c.reduceRotated(sendBuf, recvBuf, bytes, count, dt, op, root, epoch, sc)
 	}
-	return c.reduceOrdered(sendBuf, recvBuf, bytes, count, dt, op, root, epoch)
+	return c.reduceOrdered(sendBuf, recvBuf, bytes, count, dt, op, root, epoch, sc)
 }
 
 // reduceRotated is the classic root-rotated binomial reduce: the root is
 // virtual rank 0, so the result lands at the root in ceil(log2 n) rounds.
 // Contributions combine in virtual-rank order, which is only rank order
 // for root 0 — hence commutative operators only.
-func (c *Comm) reduceRotated(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64) error {
+func (c *Comm) reduceRotated(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64, sc *collScratch) error {
 	n := c.Size()
-	acc := make([]byte, bytes)
+	acc := sc.bufA(bytes)
 	copy(acc, sendBuf[:bytes])
-	tmp := make([]byte, bytes)
+	tmp := sc.bufB(bytes)
 	vrank := (c.rank - root + n) % n
 	for mask := 1; mask < n; mask <<= 1 {
 		if vrank&mask != 0 {
@@ -386,11 +480,11 @@ func (c *Comm) reduceRotated(sendBuf, recvBuf []byte, bytes Count, count Count, 
 // and each received child accumulator covers the adjacent higher range,
 // so combining is exactly rank order 0 ∘ 1 ∘ … ∘ n-1 — then forwards the
 // result from rank 0 to the requested root.
-func (c *Comm) reduceOrdered(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64) error {
+func (c *Comm) reduceOrdered(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, root int, epoch uint64, sc *collScratch) error {
 	n := c.Size()
-	acc := make([]byte, bytes)
+	acc := sc.bufA(bytes)
 	copy(acc, sendBuf[:bytes])
-	tmp := make([]byte, bytes)
+	tmp := sc.bufB(bytes)
 	for mask := 1; mask < n; mask <<= 1 {
 		if c.rank&mask != 0 {
 			if err := c.collSend(acc, bytes, TypeBytes, c.rank-mask, opReduce, epoch, 0); err != nil {
@@ -443,10 +537,10 @@ func (c *Comm) Allreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op 
 	if err := checkLen("allreduce receive", recvBuf, bytes); err != nil {
 		return err
 	}
-	return c.allreduce(sendBuf, recvBuf, bytes, count, dt, op, epoch)
+	return c.classifyCommErr(c.allreduce(sendBuf, recvBuf, bytes, count, dt, op, epoch, nil))
 }
 
-func (c *Comm) allreduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, epoch uint64) error {
+func (c *Comm) allreduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, epoch uint64, sc *collScratch) error {
 	n := c.Size()
 	if n == 1 {
 		copy(recvBuf[:bytes], sendBuf[:bytes])
@@ -457,12 +551,12 @@ func (c *Comm) allreduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *
 		pof2 *= 2
 	}
 	if op.Commutative && bytes >= c.collTuning().RabenThresh && count >= Count(pof2) {
-		return c.allreduceRaben(sendBuf, recvBuf, bytes, count, dt, op, pof2, epoch)
+		return c.allreduceRaben(sendBuf, recvBuf, bytes, count, dt, op, pof2, epoch, sc)
 	}
-	if err := c.reduce(sendBuf, recvBuf, bytes, count, dt, op, 0, epoch); err != nil {
+	if err := c.reduce(sendBuf, recvBuf, bytes, count, dt, op, 0, epoch, sc); err != nil {
 		return err
 	}
-	return c.bcast(recvBuf[:bytes], bytes, TypeBytes, 0, epoch)
+	return c.bcast(recvBuf[:bytes], bytes, TypeBytes, 0, epoch, sc)
 }
 
 // allreduceRaben is Rabenseifner's allreduce. Non-power-of-two worlds
@@ -470,12 +564,12 @@ func (c *Comm) allreduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *
 // the power-of-two schedule on the survivors, and ship the result back.
 // Each rank then moves only ~2·(pof2-1)/pof2 of the vector instead of the
 // tree's log2(n) whole-vector hops.
-func (c *Comm) allreduceRaben(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, pof2 int, epoch uint64) error {
+func (c *Comm) allreduceRaben(sendBuf, recvBuf []byte, bytes Count, count Count, dt *Datatype, op ReduceOp, pof2 int, epoch uint64, sc *collScratch) error {
 	n := c.Size()
 	es := dt.elemSize()
 	rem := n - pof2
 	copy(recvBuf[:bytes], sendBuf[:bytes])
-	tmp := make([]byte, bytes)
+	tmp := sc.bufB(bytes)
 
 	newrank := -1
 	switch {
@@ -507,14 +601,13 @@ func (c *Comm) allreduceRaben(sendBuf, recvBuf []byte, bytes Count, count Count,
 		}
 		// Reduce-scatter by recursive halving over element ranges. Each
 		// step exchanges the non-kept half with the partner and reduces
-		// the kept half; the steps are recorded so the allgather phase
-		// can retrace them in reverse.
-		type halfStep struct {
-			partner      int // communicator rank
-			lo, mid, hi  Count
-			keepLow      bool
+		// the kept half; the steps are recorded (rabenStep) so the
+		// allgather phase can retrace them in reverse.
+		nsteps := 0
+		for dist := pof2 / 2; dist > 0; dist /= 2 {
+			nsteps++
 		}
-		var steps []halfStep
+		steps := sc.rabenSteps(nsteps)
 		lo, hi := Count(0), count
 		seq := 0
 		for dist := pof2 / 2; dist > 0; dist /= 2 {
@@ -542,7 +635,7 @@ func (c *Comm) allreduceRaben(sendBuf, recvBuf []byte, bytes Count, count Count,
 			if err := op.Combine(recvBuf[recvLo*es:recvHi*es], tmp[:rb], recvHi-recvLo, dt); err != nil {
 				return err
 			}
-			steps = append(steps, halfStep{partner: partner, lo: lo, mid: mid, hi: hi, keepLow: keepLow})
+			steps = append(steps, rabenStep{partner: partner, lo: lo, mid: mid, hi: hi, keepLow: keepLow})
 			if keepLow {
 				hi = mid
 			} else {
@@ -610,16 +703,16 @@ func (c *Comm) Gather(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte,
 			return err
 		}
 	}
-	return c.gather(sendBuf, recvBuf, bytes, root, epoch)
+	return c.classifyCommErr(c.gather(sendBuf, recvBuf, bytes, root, epoch, nil))
 }
 
-func (c *Comm) gather(sendBuf, recvBuf []byte, bytes Count, root int, epoch uint64) error {
+func (c *Comm) gather(sendBuf, recvBuf []byte, bytes Count, root int, epoch uint64, sc *collScratch) error {
 	n := c.Size()
 	if c.rank != root {
 		return c.collSend(sendBuf[:bytes], bytes, TypeBytes, root, opGather, epoch, 0)
 	}
 	copy(recvBuf[int64(c.rank)*bytes:], sendBuf[:bytes])
-	reqs := make([]*Request, 0, n-1)
+	reqs := sc.requests(n - 1)
 	for r := 0; r < n; r++ {
 		if r == root {
 			continue
@@ -653,35 +746,35 @@ func (c *Comm) Allgather(sendBuf []byte, count Count, dt *Datatype, recvBuf []by
 	if err := checkLen("allgather receive", recvBuf, bytes*int64(c.Size())); err != nil {
 		return err
 	}
-	return c.allgather(sendBuf, recvBuf, bytes, epoch)
+	return c.classifyCommErr(c.allgather(sendBuf, recvBuf, bytes, epoch, nil))
 }
 
-func (c *Comm) allgather(sendBuf, recvBuf []byte, bytes Count, epoch uint64) error {
+func (c *Comm) allgather(sendBuf, recvBuf []byte, bytes Count, epoch uint64, sc *collScratch) error {
 	n := c.Size()
 	if n == 1 {
 		copy(recvBuf[:bytes], sendBuf[:bytes])
 		return nil
 	}
 	if bytes >= c.collTuning().PipelineThresh {
-		return c.allgatherRing(sendBuf, recvBuf, bytes, epoch)
+		return c.allgatherRing(sendBuf, recvBuf, bytes, epoch, sc)
 	}
-	if err := c.gather(sendBuf, recvBuf, bytes, 0, epoch); err != nil {
+	if err := c.gather(sendBuf, recvBuf, bytes, 0, epoch, sc); err != nil {
 		return err
 	}
-	return c.bcast(recvBuf[:bytes*int64(n)], bytes*int64(n), TypeBytes, 0, epoch)
+	return c.bcast(recvBuf[:bytes*int64(n)], bytes*int64(n), TypeBytes, 0, epoch, sc)
 }
 
 // allgatherRing is the ring allgather: at step s every rank forwards the
 // block it received at step s-1 to its right neighbor while receiving the
 // next block from the left — each rank moves (n-1)/n of the result
 // instead of receiving it twice through a root.
-func (c *Comm) allgatherRing(sendBuf, recvBuf []byte, bytes Count, epoch uint64) error {
+func (c *Comm) allgatherRing(sendBuf, recvBuf []byte, bytes Count, epoch uint64, sc *collScratch) error {
 	n := c.Size()
 	copy(recvBuf[int64(c.rank)*bytes:], sendBuf[:bytes])
 	right := (c.rank + 1) % n
 	left := (c.rank - 1 + n) % n
 	window := c.collTuning().Window
-	var sends []*Request
+	sends := sc.requests(window + 1)
 	fail := func(err error, extra ...*Request) error {
 		drainRequests(extra)
 		drainRequests(sends)
@@ -736,7 +829,7 @@ func (c *Comm) Scatter(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte
 			return err
 		}
 	}
-	return c.scatter(sendBuf, recvBuf, bytes, root, epoch)
+	return c.classifyCommErr(c.scatter(sendBuf, recvBuf, bytes, root, epoch))
 }
 
 func (c *Comm) scatter(sendBuf, recvBuf []byte, bytes Count, root int, epoch uint64) error {
@@ -780,6 +873,11 @@ func (c *Comm) Alltoall(sendBuf []byte, count Count, dt *Datatype, recvBuf []byt
 	if err := checkLen("alltoall receive", recvBuf, bytes*int64(n)); err != nil {
 		return err
 	}
+	return c.classifyCommErr(c.alltoall(sendBuf, recvBuf, bytes, epoch))
+}
+
+func (c *Comm) alltoall(sendBuf, recvBuf []byte, bytes Count, epoch uint64) error {
+	n := c.Size()
 	copy(recvBuf[int64(c.rank)*bytes:int64(c.rank+1)*bytes], sendBuf[int64(c.rank)*bytes:int64(c.rank+1)*bytes])
 	for step := 1; step < n; step++ {
 		dst := (c.rank + step) % n

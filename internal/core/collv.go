@@ -67,7 +67,7 @@ func (c *Comm) Gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, 
 	if err := checkLen("gatherv send", sendBuf, sendCount); err != nil {
 		return err
 	}
-	return c.gatherv(sendBuf, sendCount, recvBuf, counts, displs, root, epoch)
+	return c.classifyCommErr(c.gatherv(sendBuf, sendCount, recvBuf, counts, displs, root, epoch))
 }
 
 func (c *Comm) gatherv(sendBuf []byte, sendCount Count, recvBuf []byte, counts, displs []Count, root int, epoch uint64) error {
@@ -110,7 +110,7 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, 
 		return err
 	}
 	if c.rank != root {
-		return c.collRecv(recvBuf[:recvCount], recvCount, TypeBytes, root, opScatterv, epoch, 0)
+		return c.classifyCommErr(c.collRecv(recvBuf[:recvCount], recvCount, TypeBytes, root, opScatterv, epoch, 0))
 	}
 	if _, err := checkSlices("scatterv send", sendBuf, counts, displs, n); err != nil {
 		return err
@@ -125,11 +125,11 @@ func (c *Comm) Scatterv(sendBuf []byte, counts, displs []Count, recvBuf []byte, 
 		req, err := c.collIsend(part, counts[r], TypeBytes, r, opScatterv, epoch, 0)
 		if err != nil {
 			drainRequests(reqs)
-			return err
+			return c.classifyCommErr(err)
 		}
 		reqs = append(reqs, req)
 	}
-	return WaitAll(reqs...)
+	return c.classifyCommErr(WaitAll(reqs...))
 }
 
 // Allgatherv gathers variable contributions everywhere: counts/displs
@@ -147,9 +147,9 @@ func (c *Comm) Allgatherv(sendBuf []byte, sendCount Count, recvBuf []byte, count
 		return err
 	}
 	if err := c.gatherv(sendBuf, sendCount, recvBuf, counts, displs, 0, epoch); err != nil {
-		return err
+		return c.classifyCommErr(err)
 	}
-	return c.bcast(recvBuf[:total], total, TypeBytes, 0, epoch)
+	return c.classifyCommErr(c.bcast(recvBuf[:total], total, TypeBytes, 0, epoch, nil))
 }
 
 // SendType ships a derived datatype description to another rank

@@ -48,6 +48,7 @@ func faultOptions(seed int64) Options {
 // and the inorder dynamic double-vector. Every transfer must land exactly
 // once with intact bytes.
 func TestFaultMatrixCore(t *testing.T) {
+	leakChecked(t)
 	for _, seed := range faultMatrixSeeds {
 		t.Run(fmt.Sprint(seed), func(t *testing.T) {
 			t.Run("bytes-eager", func(t *testing.T) {
@@ -132,6 +133,7 @@ func TestFaultMatrixCore(t *testing.T) {
 // link held down, Request.WaitTimeout must return ErrTimeout instead of
 // hanging.
 func TestWaitTimeoutOnDownLink(t *testing.T) {
+	leakChecked(t)
 	opt := Options{
 		UCP: ucp.Config{
 			Reliable:      true,

@@ -78,7 +78,7 @@ func (c *Comm) Ibarrier() *CollRequest {
 		return r
 	}
 	epoch := c.nextEpoch()
-	return startColl(func() error { return c.barrier(epoch) })
+	return startColl(func() error { return c.classifyCommErr(c.barrier(epoch, nil)) })
 }
 
 // Ibcast starts a nonblocking broadcast with Bcast's algorithm selection.
@@ -91,7 +91,7 @@ func (c *Comm) Ibcast(buf any, count Count, dt *Datatype, root int) (*CollReques
 	if root < 0 || root >= c.Size() {
 		return nil, fmt.Errorf("%w: ibcast root %d", ErrInvalidComm, root)
 	}
-	return startColl(func() error { return c.bcast(buf, count, dt, root, epoch) }), nil
+	return startColl(func() error { return c.classifyCommErr(c.bcast(buf, count, dt, root, epoch, nil)) }), nil
 }
 
 // Iallreduce starts a nonblocking allreduce with Allreduce's algorithm
@@ -111,7 +111,9 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, count Count, dt *Datatype, op
 	if err := checkLen("iallreduce receive", recvBuf, bytes); err != nil {
 		return nil, err
 	}
-	return startColl(func() error { return c.allreduce(sendBuf, recvBuf, bytes, count, dt, op, epoch) }), nil
+	return startColl(func() error {
+		return c.classifyCommErr(c.allreduce(sendBuf, recvBuf, bytes, count, dt, op, epoch, nil))
+	}), nil
 }
 
 // Iallgather starts a nonblocking allgather with Allgather's algorithm
@@ -131,5 +133,5 @@ func (c *Comm) Iallgather(sendBuf []byte, count Count, dt *Datatype, recvBuf []b
 	if err := checkLen("iallgather receive", recvBuf, bytes*int64(c.Size())); err != nil {
 		return nil, err
 	}
-	return startColl(func() error { return c.allgather(sendBuf, recvBuf, bytes, epoch) }), nil
+	return startColl(func() error { return c.classifyCommErr(c.allgather(sendBuf, recvBuf, bytes, epoch, nil)) }), nil
 }

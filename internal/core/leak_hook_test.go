@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mpicd/internal/obs"
+)
+
+// leakChecked arms a goroutine-leak gate for the calling test: a
+// snapshot now, a Check at cleanup. Recovery and fault tests grab
+// goroutines aggressively (schedule runners, redial campaigns, revoke
+// listeners, detector probers, persistent-collective workers) on paths
+// where ranks die mid-protocol — exactly where a forgotten goroutine
+// hides. The settle window absorbs asynchronous unwinding after the
+// world closes.
+//
+// The gate is skipped when the test already failed: a failing rank
+// legitimately abandons its schedule, and the leak report would bury
+// the real error.
+func leakChecked(t *testing.T) {
+	t.Helper()
+	snap := obs.TakeLeakSnapshot()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		if err := snap.Check(10 * time.Second); err != nil {
+			t.Errorf("goroutine leak after clean run: %v", err)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -52,7 +53,7 @@ func (r *Request) Wait() (Status, error) {
 // completion can still be observed with Test or Wait.
 func (r *Request) WaitTimeout(d time.Duration) (Status, error) {
 	err := r.r.WaitTimeout(d)
-	if err == ucp.ErrTimeout {
+	if errors.Is(err, ucp.ErrTimeout) {
 		return Status{}, err
 	}
 	return r.status(), err

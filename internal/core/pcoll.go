@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Persistent collectives (MPI-4 MPI_Barrier_init / MPI_Bcast_init /
+// MPI_Allreduce_init / MPI_Allgather_init): the argument binding, the
+// algorithm selection and the schedule's working storage are fixed once
+// at init, then every iteration is Start + Wait on the same handle.
+//
+// Two properties distinguish a PersistentColl from calling the
+// one-shot collective in a loop:
+//
+//   - steady-state cost: the schedule runs on one long-lived worker
+//     goroutine created at init (not one per call), its scratch
+//     buffers (accumulators, barrier tokens, request windows — see
+//     collScratch) are preallocated, and Start/Wait signal through
+//     preallocated channels, so the persistent layer itself adds zero
+//     allocations per iteration (pinned by TestPersistentAllreduce
+//     ZeroAllocSteadyState);
+//   - restartability under failure: a Start on a revoked communicator
+//     fails fast with ErrRevoked, an iteration interrupted by rank
+//     death surfaces ErrProcFailed from Wait, and after the usual
+//     Revoke/Agree/Shrink recovery the handle is re-aimed at the
+//     shrunken communicator with Rebind and keeps iterating.
+//
+// One design note: MPI-4 leaves tag-space reservation to the
+// implementation. Reserving a single epoch at init and reusing it every
+// iteration would make iteration i and i+1 indistinguishable at the
+// matching layer — under fault-injected duplication or reordering a
+// stale retransmit from iteration i could match iteration i+1's receive
+// and silently corrupt it. Start therefore reserves a fresh epoch per
+// iteration via the same synchronous nextEpoch() every collective uses
+// (one atomic add, allocation-free); MPI's requirement that all ranks
+// issue collectives in the same order makes the sequence consistent
+// across ranks.
+
+// pcKind identifies which collective a PersistentColl is bound to.
+type pcKind int
+
+const (
+	pcBarrier pcKind = iota
+	pcBcast
+	pcAllreduce
+	pcAllgather
+)
+
+func (k pcKind) String() string {
+	switch k {
+	case pcBarrier:
+		return "barrier"
+	case pcBcast:
+		return "bcast"
+	case pcAllreduce:
+		return "allreduce"
+	case pcAllgather:
+		return "allgather"
+	}
+	return fmt.Sprintf("pcKind(%d)", int(k))
+}
+
+// PersistentColl is a reusable collective binding. The zero value is
+// not usable; construct with BarrierInit, BcastInit, AllreduceInit or
+// AllgatherInit. Start/Wait/Test must not be called concurrently with
+// each other (same rule as an MPI request); the bound buffers belong
+// to the operation from Start until its Wait.
+type PersistentColl struct {
+	comm *Comm
+	kind pcKind
+
+	// Bound arguments, fixed at init (comm may be re-aimed by Rebind).
+	buf     any    // bcast payload
+	sendBuf []byte // allreduce/allgather contribution
+	recvBuf []byte // allreduce/allgather result
+	count   Count
+	dt      *Datatype
+	op      ReduceOp
+	root    int
+	bytes   Count // per-rank byte image size
+
+	sc collScratch // preallocated schedule working storage
+
+	startCh chan uint64 // epoch handoff to the worker (buffered 1)
+	resCh   chan error  // iteration result from the worker (buffered 1)
+	stopCh  chan struct{}
+	doneCh  chan struct{} // closed when the worker has exited
+
+	mu      sync.Mutex
+	active  bool
+	freed   bool
+	lastErr error
+}
+
+// newPersistentColl wires the handle and spawns its worker.
+func newPersistentColl(c *Comm, kind pcKind) *PersistentColl {
+	p := &PersistentColl{
+		comm:    c,
+		kind:    kind,
+		startCh: make(chan uint64, 1),
+		resCh:   make(chan error, 1),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	go p.worker()
+	return p
+}
+
+// BarrierInit creates a persistent barrier (MPI_Barrier_init).
+func (c *Comm) BarrierInit() (*PersistentColl, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
+	return newPersistentColl(c, pcBarrier), nil
+}
+
+// BcastInit creates a persistent broadcast of count elements of dt at
+// buf from root (MPI_Bcast_init). Any datatype works, including custom
+// ones — the whole-message tree re-serializes per hop; byte images
+// above the pipeline threshold ride the segment-pipelined tree with a
+// preallocated request window.
+func (c *Comm) BcastInit(buf any, count Count, dt *Datatype, root int) (*PersistentColl, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("%w: bcast_init root %d", ErrInvalidComm, root)
+	}
+	p := newPersistentColl(c, pcBcast)
+	p.buf, p.count, p.dt, p.root = buf, count, dt, root
+	return p, nil
+}
+
+// AllreduceInit creates a persistent allreduce combining count elements
+// of dt from sendBuf into recvBuf with op on every rank
+// (MPI_Allreduce_init). The accumulator and exchange scratch the
+// schedule needs are allocated here, once.
+func (c *Comm) AllreduceInit(sendBuf, recvBuf []byte, count Count, dt *Datatype, op ReduceOp) (*PersistentColl, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
+	bytes, err := c.fixedSize("allreduce_init", count, dt)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLen("allreduce_init send", sendBuf, bytes); err != nil {
+		return nil, err
+	}
+	if err := checkLen("allreduce_init receive", recvBuf, bytes); err != nil {
+		return nil, err
+	}
+	p := newPersistentColl(c, pcAllreduce)
+	p.sendBuf, p.recvBuf, p.count, p.dt, p.op, p.bytes = sendBuf, recvBuf, count, dt, op, bytes
+	// Warm the scratch the reduction schedules draw from so the first
+	// Start is as allocation-free as the thousandth.
+	_ = p.sc.bufA(bytes)
+	_ = p.sc.bufB(bytes)
+	return p, nil
+}
+
+// AllgatherInit creates a persistent allgather of count elements of dt
+// from every rank's sendBuf into every rank's recvBuf
+// (MPI_Allgather_init).
+func (c *Comm) AllgatherInit(sendBuf []byte, count Count, dt *Datatype, recvBuf []byte) (*PersistentColl, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
+	bytes, err := c.fixedSize("allgather_init", count, dt)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkLen("allgather_init send", sendBuf, bytes); err != nil {
+		return nil, err
+	}
+	if err := checkLen("allgather_init receive", recvBuf, bytes*int64(c.Size())); err != nil {
+		return nil, err
+	}
+	p := newPersistentColl(c, pcAllgather)
+	p.sendBuf, p.recvBuf, p.count, p.dt, p.bytes = sendBuf, recvBuf, count, dt, bytes
+	_ = p.sc.requests(c.Size())
+	return p, nil
+}
+
+// worker is the handle's single long-lived schedule runner. Start hands
+// it an epoch; it runs one iteration and posts the result. It exists so
+// a thousand iterations cost one goroutine, not a thousand (contrast
+// startColl, which spawns per call).
+func (p *PersistentColl) worker() {
+	defer close(p.doneCh)
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case epoch := <-p.startCh:
+			p.resCh <- p.runOnce(epoch)
+		}
+	}
+}
+
+// runOnce executes one iteration's schedule. p.comm is read without the
+// lock: the startCh handoff orders it after any Rebind, which only
+// runs while the handle is inactive.
+func (p *PersistentColl) runOnce(epoch uint64) error {
+	c := p.comm
+	switch p.kind {
+	case pcBarrier:
+		return c.classifyCommErr(c.barrier(epoch, &p.sc))
+	case pcBcast:
+		return c.classifyCommErr(c.bcast(p.buf, p.count, p.dt, p.root, epoch, &p.sc))
+	case pcAllreduce:
+		return c.classifyCommErr(c.allreduce(p.sendBuf, p.recvBuf, p.bytes, p.count, p.dt, p.op, epoch, &p.sc))
+	case pcAllgather:
+		return c.classifyCommErr(c.allgather(p.sendBuf, p.recvBuf, p.bytes, epoch, &p.sc))
+	}
+	return fmt.Errorf("%w: unknown persistent collective kind %d", ErrInvalidComm, int(p.kind))
+}
+
+// Start launches one iteration (MPI_Start). It fails fast with
+// ErrRevoked on a revoked communicator, ErrActive if the previous
+// iteration has not been waited on, and ErrInvalidComm after Free.
+// Allocation-free: an epoch reservation and a buffered channel send.
+func (p *PersistentColl) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed {
+		return fmt.Errorf("%w: Start on a freed persistent collective", ErrInvalidComm)
+	}
+	if p.active {
+		return ErrActive
+	}
+	if err := p.comm.checkRevoked(); err != nil {
+		return err
+	}
+	epoch := p.comm.nextEpoch()
+	p.active = true
+	p.startCh <- epoch
+	return nil
+}
+
+// Wait blocks until the current iteration completes and returns its
+// error (MPI_Wait). On an inactive handle it returns the previous
+// iteration's result immediately (nil if never started).
+func (p *PersistentColl) Wait() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return p.lastErr
+	}
+	err := <-p.resCh
+	p.lastErr = err
+	p.active = false
+	return err
+}
+
+// Test reports whether the current iteration has completed, without
+// blocking (MPI_Test). An inactive handle tests complete with the
+// previous iteration's result.
+func (p *PersistentColl) Test() (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return true, p.lastErr
+	}
+	select {
+	case err := <-p.resCh:
+		p.lastErr = err
+		p.active = false
+		return true, err
+	default:
+		return false, nil
+	}
+}
+
+// Kind returns the bound collective's name (for logs and reports).
+func (p *PersistentColl) Kind() string { return p.kind.String() }
+
+// Rebind re-aims an inactive handle at another communicator — the
+// restart path after Revoke/Agree/Shrink. The argument binding
+// (buffers, count, datatype, op, root) is kept; root and buffer sizes
+// are re-validated against the new communicator's size. The scratch
+// survives, so a rebind costs no steady-state allocations either.
+func (p *PersistentColl) Rebind(nc *Comm) error {
+	if nc == nil {
+		return fmt.Errorf("%w: Rebind to nil communicator", ErrInvalidComm)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freed {
+		return fmt.Errorf("%w: Rebind on a freed persistent collective", ErrInvalidComm)
+	}
+	if p.active {
+		return ErrActive
+	}
+	switch p.kind {
+	case pcBcast:
+		if p.root < 0 || p.root >= nc.Size() {
+			return fmt.Errorf("%w: rebind: bcast root %d outside new communicator of size %d",
+				ErrInvalidComm, p.root, nc.Size())
+		}
+	case pcAllgather:
+		if err := checkLen("rebind allgather receive", p.recvBuf, p.bytes*int64(nc.Size())); err != nil {
+			return err
+		}
+	}
+	p.comm = nc
+	p.lastErr = nil
+	return nil
+}
+
+// Free retires the handle and stops its worker goroutine, waiting for
+// it to exit so leak checks see a quiesced process (MPI_Request_free).
+// An active iteration is waited out first. Idempotent.
+func (p *PersistentColl) Free() error {
+	p.mu.Lock()
+	if p.freed {
+		p.mu.Unlock()
+		return nil
+	}
+	if p.active {
+		p.lastErr = <-p.resCh
+		p.active = false
+	}
+	p.freed = true
+	p.mu.Unlock()
+	close(p.stopCh)
+	<-p.doneCh
+	return nil
+}

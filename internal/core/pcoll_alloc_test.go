@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"testing"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddt"
+)
+
+// Allocation guards for the persistent-collective steady state. The
+// whole point of Init/Start/Wait over calling the one-shot collective in
+// a loop is that per-iteration garbage disappears: the worker goroutine,
+// schedule scratch and signalling channels are all created at init.
+
+// TestPersistentAllreduceZeroAllocSteadyState pins the persistent
+// layer's own per-iteration cost to literally zero. On a single-rank
+// world the schedule completes locally, so every allocation counted here
+// would come from the persistent machinery itself — epoch reservation,
+// channel signalling, scratch reuse. Zero is a hard contract, not a
+// ceiling; if this trips, something in Start/Wait/runOnce started
+// allocating.
+func TestPersistentAllreduceZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	sys := core.NewSystem(1, core.Options{})
+	defer sys.Close()
+	c := sys.Comm(0)
+
+	const count = 1024
+	send := make([]byte, 8*count)
+	recv := make([]byte, 8*count)
+	p, err := c.AllreduceInit(send, recv, count, core.FromDDT(ddt.Int64), core.OpSumInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Free()
+
+	avg := testing.AllocsPerRun(200, func() {
+		if err := p.Start(); err != nil {
+			t.Error(err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Error(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("persistent allreduce steady state allocates %.2f/iter, want 0", avg)
+	}
+}
+
+// persistentPairAllocCeiling bounds a full 2-rank persistent Allreduce
+// iteration (both ranks, whole process — AllocsPerRun reads global
+// counts). The remaining allocations are the transport's per-message
+// cost (requests, completion channels, pooled-frame bookkeeping), not
+// the persistent layer's; the ceiling has ~30% headroom over the
+// measured steady state so transport regressions surface without the
+// guard flaking.
+const persistentPairAllocCeiling = 50
+
+func TestPersistentAllreducePairAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	sys := core.NewSystem(2, core.Options{})
+	defer sys.Close()
+
+	const count = 256
+	const iters = 100
+	mk := func(c *core.Comm) *core.PersistentColl {
+		send := make([]byte, 8*count)
+		recv := make([]byte, 8*count)
+		p, err := c.AllreduceInit(send, recv, count, core.FromDDT(ddt.Int64), core.OpSumInt64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		p := mk(sys.Comm(1))
+		defer p.Free()
+		// AllocsPerRun invokes its body iters+1 times (one warm-up run).
+		for i := 0; i < iters+1; i++ {
+			if err := p.Start(); err != nil {
+				done <- err
+				return
+			}
+			if err := p.Wait(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	p := mk(sys.Comm(0))
+	defer p.Free()
+	avg := testing.AllocsPerRun(iters, func() {
+		if err := p.Start(); err != nil {
+			t.Error(err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if avg > persistentPairAllocCeiling {
+		t.Fatalf("2-rank persistent allreduce allocates %.1f/iter, ceiling %d", avg, persistentPairAllocCeiling)
+	}
+	t.Logf("2-rank persistent allreduce: %.1f allocs/iter (ceiling %d)", avg, persistentPairAllocCeiling)
+}

@@ -51,12 +51,17 @@ func (c *Comm) RecvInit(buf any, count Count, dt *Datatype, src, tag int) (*Pers
 // ErrActive reports a Start on an already-started persistent request.
 var ErrActive = errors.New("core: persistent request already active")
 
-// Start launches one instance of the bound operation (MPI_Start).
+// Start launches one instance of the bound operation (MPI_Start). A
+// Start that fails (revoked communicator, dead destination) leaves the
+// request inactive: the previous instance's completed state is
+// discarded so a later Wait cannot mistake it for this iteration's
+// result.
 func (p *PersistentRequest) Start() error {
 	if p.active != nil {
 		if done, _, _ := p.active.Test(); !done {
 			return ErrActive
 		}
+		p.active = nil
 	}
 	var (
 		r   *Request
@@ -104,11 +109,16 @@ func StartAll(ps ...*PersistentRequest) error {
 	return nil
 }
 
-// WaitAllPersistent waits for every started instance.
+// WaitAllPersistent waits for every started instance. Inactive requests
+// — never started, or whose last Start failed — are skipped, matching
+// MPI_Waitall's treatment of inactive persistent requests: after a
+// partial StartAll failure the started prefix still completes and the
+// caller sees its real errors, not a "not started" complaint about the
+// requests the failure prevented from launching.
 func WaitAllPersistent(ps ...*PersistentRequest) error {
 	var first error
 	for _, p := range ps {
-		if p == nil {
+		if p == nil || p.active == nil {
 			continue
 		}
 		if _, err := p.Wait(); err != nil && first == nil {

@@ -15,6 +15,7 @@ import (
 // TestPersistentFaultMatrix drives a persistent ping stream through the
 // lossy world at eager and rendezvous sizes, for the CI-pinned seeds.
 func TestPersistentFaultMatrix(t *testing.T) {
+	leakChecked(t)
 	for _, seed := range faultMatrixSeeds {
 		seed := seed
 		t.Run(fmt.Sprint(seed), func(t *testing.T) {
@@ -71,6 +72,7 @@ func TestPersistentFaultMatrix(t *testing.T) {
 // (no ReqTimeout configured), a restarted send to the dead rank is
 // refused fast, and after revocation Start reports ErrRevoked.
 func TestPersistentKillRank(t *testing.T) {
+	leakChecked(t)
 	const n = 3
 	opt, fns := killableWorld(n)
 	err := Run(n, opt, func(c *Comm) error {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpicd/internal/layout"
+)
+
+// Regression tests for the persistent-request restart path under
+// failure: a Start that cannot launch (revoked communicator) must leave
+// the binding inactive rather than pointing at the previous iteration's
+// completed instance, and WaitAll must treat inactive requests the way
+// MPI_Waitall does.
+
+// TestPersistentStartFailureLeavesInactive: after a successful
+// iteration, a failed restart must not let Wait resurface the stale
+// success as if the new iteration had run.
+func TestPersistentStartFailureLeavesInactive(t *testing.T) {
+	leakChecked(t)
+	const n = 2
+	err := Run(n, Options{}, func(c *Comm) error {
+		buf := make([]byte, 8)
+		var p *PersistentRequest
+		var err error
+		if c.Rank() == 0 {
+			layout.PutI64(buf, 0, 7)
+			p, err = c.SendInit(buf, -1, TypeBytes, 1, 3)
+		} else {
+			p, err = c.RecvInit(buf, -1, TypeBytes, 0, 3)
+		}
+		if err != nil {
+			return err
+		}
+		// One clean iteration.
+		if err := p.Start(); err != nil {
+			return err
+		}
+		if _, err := p.Wait(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 && layout.I64(buf, 0) != 7 {
+			return fmt.Errorf("first iteration delivered %d", layout.I64(buf, 0))
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+
+		// Revoke, then attempt a restart: Start fails fast, and the stale
+		// completed instance from iteration one must not leak out of Wait.
+		if err := c.Revoke(); err != nil {
+			return err
+		}
+		if err := p.Start(); !errors.Is(err, ErrRevoked) {
+			return fmt.Errorf("rank %d: Start on revoked comm = %v, want ErrRevoked", c.Rank(), err)
+		}
+		if _, err := p.Wait(); err == nil {
+			return fmt.Errorf("rank %d: Wait after failed restart returned the stale iteration's success", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitAllPersistentSkipsInactive: a WaitAll spanning started and
+// never-started requests completes the started ones and reports their
+// result — not a complaint about the inactive ones.
+func TestWaitAllPersistentSkipsInactive(t *testing.T) {
+	leakChecked(t)
+	sys := NewSystem(1, Options{})
+	defer sys.Close()
+	c := sys.Comm(0)
+
+	out := make([]byte, 8)
+	in := make([]byte, 8)
+	layout.PutI64(out, 0, 42)
+	ps, err := c.SendInit(out, -1, TypeBytes, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.RecvInit(in, -1, TypeBytes, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := c.SendInit(out, -1, TypeBytes, 0, 6) // never started
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := StartAll(ps, pr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WaitAllPersistent(ps, pr, idle, nil); err != nil {
+		t.Fatalf("WaitAll over started+inactive+nil = %v, want nil", err)
+	}
+	if got := layout.I64(in, 0); got != 42 {
+		t.Fatalf("self round-trip delivered %d, want 42", got)
+	}
+	// Direct Wait on an inactive request still reports it, so misuse of a
+	// single request is not silently absorbed.
+	if _, err := idle.Wait(); err == nil {
+		t.Fatal("Wait on a never-started request = nil, want error")
+	}
+}

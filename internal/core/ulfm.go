@@ -45,11 +45,33 @@ var ErrProcFailed = ucp.ErrProcFailed
 // MPI_ERR_REVOKED).
 var ErrRevoked = errors.New("core: communicator revoked")
 
+// ErrExcluded reports that the surviving group agreed THIS rank into the
+// failed set: the calling process is alive, but some survivor's failure
+// detector declared it dead (an asymmetric link outage looks exactly
+// like a crash from the silent side) and the agreement propagated that
+// verdict. The verdict is not appealable — peers that declared this
+// rank dead have already flushed its transport state and will never
+// match its messages again — so the only correct responses are to stop
+// (treat it as this process's own failure) or to continue on a
+// communicator that never included the excluding peers. Retrying Shrink
+// on the old communicator is specifically wrong: the survivors have
+// moved on and will never join another agreement there, so the retry
+// blocks forever.
+var ErrExcluded = errors.New("core: rank agreed into the failed set by the surviving group")
+
 // ulfmState is the per-communicator recovery state.
 type ulfmState struct {
 	revoked  atomic.Bool
+	fenced   atomic.Bool   // the surviving group agreed this rank dead
 	agreeSeq atomic.Uint64 // numbers Agree/Shrink calls on this comm
 }
+
+// Control-notice payloads on the opRevoke tag. Both are single bytes on
+// the same matching criteria, so one posted listener receive hears both.
+const (
+	noticeRevoke = 1 // revocation flood (Revoke / revokeLocal)
+	noticeFence  = 2 // exclusion verdict: the survivors shrank without you
+)
 
 // initULFM attaches recovery state to a freshly built communicator and
 // starts its revoke listener.
@@ -112,10 +134,11 @@ func (c *Comm) revokeCtrl() (tag, mask ucp.Tag) {
 }
 
 // revokeListener runs for the communicator's lifetime: it keeps one
-// receive posted on the revoke control tag, turns the first notice into
-// a local revocation (re-flooding it once), and then keeps draining
-// duplicate notices. It exits when the worker closes, when every peer is
-// dead, or on any other terminal receive error.
+// receive posted on the revoke control tag, dispatches each notice by
+// its payload byte — revocation (re-flooded once) or an exclusion
+// verdict — and then keeps draining duplicates. It exits when the
+// worker closes, when every peer is dead, or on any other terminal
+// receive error.
 func (c *Comm) revokeListener() {
 	buf := make([]byte, 1)
 	for {
@@ -130,7 +153,11 @@ func (c *Comm) revokeListener() {
 			}
 			return
 		}
-		c.revokeLocal(true)
+		if buf[0] == noticeFence {
+			c.fenceLocal()
+		} else {
+			c.revokeLocal(true)
+		}
 	}
 }
 
@@ -170,7 +197,7 @@ func (c *Comm) revokeLocal(propagate bool) {
 	if !propagate {
 		return
 	}
-	notice := []byte{1}
+	notice := []byte{noticeRevoke}
 	for r := 0; r < c.Size(); r++ {
 		if r == c.rank || c.w.PeerFailed(c.group[r]) {
 			continue
@@ -180,6 +207,37 @@ func (c *Comm) revokeLocal(propagate bool) {
 		// the request either way.
 		_, _ = c.w.Send(c.group[r], c.collTag(opRevoke, 0, 0), TypeBytes.transport(), notice, 1, 0, ucp.ProtoEager)
 	}
+}
+
+// Fenced reports whether the surviving group agreed this live rank into
+// the failed set (see ErrExcluded).
+func (c *Comm) Fenced() bool { return c.rv.fenced.Load() }
+
+// fenceLocal applies an exclusion verdict: the survivors completed an
+// agreement whose failed set contains this rank and have moved on, so no
+// collective on this communicator — including the recovery control
+// collectives — can ever complete again. Revocation alone is not enough:
+// Agree and Shrink deliberately survive revocation, and an excluded rank
+// blocked in an agreement round would wait forever for peers that now
+// skip it. The fence aborts those receives too, with ErrExcluded, and
+// marks the communicator so later agreement attempts fail fast.
+func (c *Comm) fenceLocal() {
+	c.revokeLocal(false)
+	if !c.rv.fenced.CompareAndSwap(false, true) {
+		return
+	}
+	c.w.AbortWhere(func(from int, tag, mask ucp.Tag) bool {
+		if uint64(tag)>>ctxShift&0xFFFF != c.ctx {
+			return false
+		}
+		if uint64(tag)&collBit != 0 {
+			// Keep the notice listener posted so duplicates keep draining.
+			if collOp(uint64(tag)>>collOpShift&collOpMax) == opRevoke {
+				return false
+			}
+		}
+		return true
+	}, ErrExcluded)
 }
 
 // agreeMaxRounds bounds agreement; the seq tag field wraps at 256, and a
@@ -230,6 +288,9 @@ func (c *Comm) agreeFull(local, cid uint64) (uint64, uint64, error) {
 	sends := make([]*Request, 0, n-1)
 	peers := make([]int, 0, n-1)
 	for round := 0; round < agreeMaxRounds; round++ {
+		if c.rv.fenced.Load() {
+			return 0, 0, fmt.Errorf("%w: agreement abandoned", ErrExcluded)
+		}
 		peers = peers[:0]
 		for r := 0; r < n; r++ {
 			if r != c.rank && mask&(1<<uint(r)) == 0 {
@@ -311,10 +372,23 @@ func (c *Comm) Shrink() (*Comm, error) {
 		return nil, err
 	}
 	if mask&(1<<uint(c.rank)) != 0 {
-		return nil, fmt.Errorf("%w: shrink: calling rank %d is in the agreed failed set", ErrInvalidComm, c.rank)
+		return nil, fmt.Errorf("%w: shrink: calling rank %d is in the agreed failed set", ErrExcluded, c.rank)
 	}
 	if cid >= 1<<16 {
 		return nil, fmt.Errorf("%w: communicator context ids exhausted", ErrInvalidComm)
+	}
+	// Fence the excluded: a rank in the agreed failed set may well be
+	// alive (an asymmetric link outage reads as death from the silent
+	// side) and blocked in an agreement round the survivors will never
+	// run. Every survivor notifies every excluded rank it can still
+	// reach — redundant on purpose, since the links that caused the
+	// false verdict may drop any single notice.
+	notice := []byte{noticeFence}
+	for r := 0; r < c.Size(); r++ {
+		if mask&(1<<uint(r)) == 0 || r == c.rank || c.w.PeerFailed(c.group[r]) {
+			continue
+		}
+		_, _ = c.w.Send(c.group[r], c.collTag(opRevoke, 0, 0), TypeBytes.transport(), notice, 1, 0, ucp.ProtoEager)
 	}
 	*c.nextCID = cid + 1
 	group := make([]int, 0, c.Size())

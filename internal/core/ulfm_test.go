@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -112,7 +113,8 @@ func recoveryRank(c *Comm, victim, killIter int, kill func()) error {
 			continue
 		}
 		if !errors.Is(err, ErrProcFailed) && !errors.Is(err, ErrRevoked) {
-			return fmt.Errorf("rank %d: Allreduce failed outside the taxonomy: %v", c.Rank(), err)
+			return fmt.Errorf("rank %d: Allreduce failed outside the taxonomy at iter %d: %v\nconn trace:\n  %s",
+				c.Rank(), iter, err, strings.Join(fabric.ConnTrace(), "\n  "))
 		}
 		failure = err
 		break
@@ -173,6 +175,7 @@ func recoveryRank(c *Comm, victim, killIter int, kill func()) error {
 // 5-rank world, one rank killed mid-Allreduce, full recovery on the
 // survivors.
 func TestRecoveryKillMidAllreduce(t *testing.T) {
+	leakChecked(t)
 	for _, seed := range recoverySeeds {
 		seed := seed
 		t.Run(fmt.Sprint(seed), func(t *testing.T) {
@@ -194,6 +197,7 @@ func TestRecoveryKillMidAllreduce(t *testing.T) {
 // shared across their fault wrappers exactly as a crashed process would
 // go silent on every connection at once.
 func TestRecoveryKillMidAllreduceTCP(t *testing.T) {
+	leakChecked(t)
 	if testing.Short() {
 		t.Skip("TCP recovery matrix skipped in -short")
 	}
@@ -242,6 +246,7 @@ func TestRecoveryKillMidAllreduceTCP(t *testing.T) {
 // aborting their pending operations — including a blocking receive that
 // would otherwise wait forever — and poisoning future ones.
 func TestRevokePropagation(t *testing.T) {
+	leakChecked(t)
 	const n = 3
 	err := Run(n, Options{UCP: hbUCP()}, func(c *Comm) error {
 		switch c.Rank() {
@@ -282,6 +287,7 @@ func TestRevokePropagation(t *testing.T) {
 // communicator rebuilds the same group with working collectives — the
 // degenerate recovery where the revocation was a false alarm.
 func TestShrinkWithoutFailure(t *testing.T) {
+	leakChecked(t)
 	const n = 4
 	err := Run(n, Options{UCP: hbUCP()}, func(c *Comm) error {
 		if err := c.Revoke(); err != nil {
@@ -311,6 +317,7 @@ func TestShrinkWithoutFailure(t *testing.T) {
 // TestAgreeMergesContributions: Agree ORs the callers' local masks even
 // when no rank has failed (the ULFM flag-consensus idiom).
 func TestAgreeMergesContributions(t *testing.T) {
+	leakChecked(t)
 	const n = 3
 	err := Run(n, Options{UCP: hbUCP()}, func(c *Comm) error {
 		local := uint64(0)
@@ -334,6 +341,7 @@ func TestAgreeMergesContributions(t *testing.T) {
 // TestFailedIsLocalKnowledge: Failed reflects this rank's detector view;
 // after a kill every survivor converges on the victim.
 func TestFailedIsLocalKnowledge(t *testing.T) {
+	leakChecked(t)
 	const n = 3
 	opt, fns := killableWorld(n)
 	err := Run(n, opt, func(c *Comm) error {
@@ -352,6 +360,77 @@ func TestFailedIsLocalKnowledge(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkFencesExcludedLiveRank: one directed link dies (rank 2 can
+// no longer reach rank 1) while every other path stays up — the
+// asymmetric outage that produces a false-positive death verdict: rank
+// 1 declares 2 dead, the agreement spreads the verdict, and the
+// survivors shrink without 2. Rank 2 is alive and blocked in the
+// agreement the survivors no longer run it through; the fence notice
+// (deliverable here by rank 0, which never declared 2 failed) must
+// convert that otherwise-forever wait into ErrExcluded.
+func TestShrinkFencesExcludedLiveRank(t *testing.T) {
+	leakChecked(t)
+	const n, mute, excluder = 3, 2, 1
+	opt := Options{
+		UCP: hbUCP(),
+		WrapNIC: func(rank int, nic fabric.NIC) fabric.NIC {
+			if rank != mute {
+				return nic
+			}
+			return fabric.WrapFault(nic, fabric.FaultPlan{Rules: []fabric.FaultRule{
+				{Peer: excluder, Action: fabric.LinkDown, Prob: 1, Count: 1, Down: -1},
+			}})
+		},
+	}
+	err := Run(n, opt, func(c *Comm) error {
+		send := make([]byte, 8)
+		recv := make([]byte, 8)
+		if c.Rank() == excluder {
+			// The excluder observes the silence directly: a posted receive
+			// from the mute rank fails when the detector declares it dead.
+			if _, err := c.Recv(recv, 1, FromDDT(ddt.Int64), mute, 7); !errors.Is(err, ErrProcFailed) {
+				return fmt.Errorf("excluder: recv from mute rank = %v, want ErrProcFailed", err)
+			}
+		} else {
+			// Everyone else blocks in a collective the wedged excluder never
+			// enters, until the revocation aborts it.
+			layout.PutI64(send, 0, int64(c.Rank()+1))
+			err := c.Allreduce(send, recv, 1, FromDDT(ddt.Int64), OpSumInt64)
+			if !errors.Is(err, ErrProcFailed) && !errors.Is(err, ErrRevoked) {
+				return fmt.Errorf("rank %d: allreduce = %v, want a taxonomy error", c.Rank(), err)
+			}
+		}
+		_ = c.Revoke()
+		nc, err := c.Shrink()
+		if c.Rank() == mute {
+			if !errors.Is(err, ErrExcluded) {
+				return fmt.Errorf("excluded rank: Shrink = %v, want ErrExcluded", err)
+			}
+			if !c.Fenced() {
+				return errors.New("excluded rank: Fenced() = false after ErrExcluded")
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("rank %d: shrink: %v", c.Rank(), err)
+		}
+		if nc.Size() != n-1 {
+			return fmt.Errorf("rank %d: shrunk size = %d, want %d", c.Rank(), nc.Size(), n-1)
+		}
+		layout.PutI64(send, 0, int64(nc.Rank()+1))
+		if err := nc.Allreduce(send, recv, 1, FromDDT(ddt.Int64), OpSumInt64); err != nil {
+			return fmt.Errorf("rank %d: allreduce on shrunk comm: %v", c.Rank(), err)
+		}
+		if got := layout.I64(recv, 0); got != 3 {
+			return fmt.Errorf("rank %d: shrunk allreduce = %d, want 3", c.Rank(), got)
+		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestChaosScheduleDeterministic: the whole point of a seeded schedule
+// is that a failing soak reproduces from its seed.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	plan := ChaosPlan{Seed: 42, Budget: time.Minute, Ranks: 8, Protect: []int{0}, Kills: 2}
+	a := BuildChaosSchedule(plan)
+	b := BuildChaosSchedule(plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan produced different schedules")
+	}
+	c := BuildChaosSchedule(ChaosPlan{Seed: 43, Budget: time.Minute, Ranks: 8, Protect: []int{0}, Kills: 2})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestChaosScheduleRespectsProtection: protected ranks are never kill
+// victims, kill victims are distinct, and enough ranks survive.
+func TestChaosScheduleRespectsProtection(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		plan := ChaosPlan{Seed: seed, Budget: time.Minute, Ranks: 5, Protect: []int{0}, Kills: 10}
+		kills := map[int]bool{}
+		for _, ev := range BuildChaosSchedule(plan) {
+			if ev.Kind != ChaosKill {
+				if ev.At < plan.Budget/20 || ev.At > plan.Budget-plan.Budget/20 {
+					t.Fatalf("seed %d: event at %v outside [5%%, 95%%] of budget", seed, ev.At)
+				}
+				continue
+			}
+			if ev.Rank == 0 {
+				t.Fatalf("seed %d: protected rank 0 scheduled for death", seed)
+			}
+			if kills[ev.Rank] {
+				t.Fatalf("seed %d: rank %d killed twice", seed, ev.Rank)
+			}
+			kills[ev.Rank] = true
+		}
+		// 5 ranks, rank 0 protected, 4 killable => at most 2 kills.
+		if len(kills) > 2 {
+			t.Fatalf("seed %d: %d kills leaves fewer than 2 survivors", seed, len(kills))
+		}
+	}
+}
+
+// TestFaultNICAddRule: rules injected at runtime fire like plan rules,
+// and DisableRule retires them.
+func TestFaultNICAddRule(t *testing.T) {
+	fab := NewInproc(2, Config{})
+	defer fab.Close()
+	f := WrapFault(fab.NIC(0), FaultPlan{Seed: 1})
+
+	i := f.AddRule(FaultRule{Peer: -1, Action: Corrupt, Prob: 1, Count: 2})
+	payload := []byte{0, 0, 0, 0}
+	for k := 0; k < 4; k++ {
+		if err := f.Send(1, Header{Kind: 1}, payload); err != nil {
+			t.Fatalf("send %d: %v", k, err)
+		}
+	}
+	if got := f.Stats().Corrupted.Load(); got != 2 {
+		t.Fatalf("corrupted = %d, want 2 (Count cap)", got)
+	}
+	if got := f.RuleFired(i); got != 2 {
+		t.Fatalf("RuleFired = %d, want 2", got)
+	}
+
+	j := f.AddRule(FaultRule{Peer: -1, Action: Drop, Prob: 1})
+	if err := f.Send(1, Header{Kind: 1}, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Dropped.Load(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	f.DisableRule(j)
+	if err := f.Send(1, Header{Kind: 1}, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Dropped.Load(); got != 1 {
+		t.Fatalf("dropped = %d after DisableRule, want still 1", got)
+	}
+}
+
+// TestFaultNICLinkUp: LinkUp restores a link a LinkDown rule held down
+// indefinitely.
+func TestFaultNICLinkUp(t *testing.T) {
+	fab := NewInproc(2, Config{})
+	defer fab.Close()
+	f := WrapFault(fab.NIC(0), FaultPlan{Seed: 1})
+	i := f.AddRule(FaultRule{Peer: 1, Action: LinkDown, Prob: 1, Count: 1, Down: -1})
+	payload := []byte{1}
+	_ = f.Send(1, Header{Kind: 1}, payload) // fires LinkDown, dropped
+	_ = f.Send(1, Header{Kind: 1}, payload) // link down, dropped
+	if got := f.Stats().DownDrops.Load(); got != 2 {
+		t.Fatalf("down drops = %d, want 2", got)
+	}
+	f.DisableRule(i)
+	f.LinkUp(1)
+	if err := f.Send(1, Header{Kind: 1}, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().DownDrops.Load(); got != 2 {
+		t.Fatalf("down drops = %d after LinkUp, want still 2", got)
+	}
+	// The restored packet actually arrived.
+	pkt, ok := fab.NIC(1).Recv()
+	if !ok {
+		t.Fatal("no packet delivered after LinkUp")
+	}
+	pkt.Release()
+}
+
+// TestChaosRunnerInjects: a compressed schedule fires corrupt rules,
+// flaps a link and restores it, and kills exactly the scheduled rank —
+// then Stop leaves no goroutines behind (covered again by the leak
+// checker in the soak tests).
+func TestChaosRunnerInjects(t *testing.T) {
+	fab := NewInproc(3, Config{})
+	defer fab.Close()
+	ks := NewKillSwitch()
+	nics := make([]*FaultNIC, 3)
+	for r := range nics {
+		nics[r] = WrapFault(fab.NIC(r), FaultPlan{Seed: int64(r), Kills: ks})
+	}
+	events := []ChaosEvent{
+		{At: 0, Kind: ChaosCorruptBurst, Rank: 0, Peer: -1, Count: 1, Prob: 1},
+		{At: time.Millisecond, Kind: ChaosLinkFlap, Rank: 1, Peer: 0, Count: -1, Hold: 10 * time.Millisecond},
+		{At: 2 * time.Millisecond, Kind: ChaosKill, Rank: 2},
+	}
+	var killed []int
+	r := NewChaosRunner(nics, events)
+	r.OnKill = func(rank int) { killed = append(killed, rank) }
+	r.Start()
+
+	deadline := time.After(2 * time.Second)
+	for r.Applied() < len(events) {
+		select {
+		case <-deadline:
+			t.Fatalf("runner applied %d/%d events before deadline", r.Applied(), len(events))
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r.Stop()
+
+	if !reflect.DeepEqual(killed, []int{2}) || !reflect.DeepEqual(r.Killed(), []int{2}) {
+		t.Fatalf("killed = %v / %v, want [2]", killed, r.Killed())
+	}
+	if !ks.Dead(2) {
+		t.Fatal("kill switch does not show rank 2 dead")
+	}
+	// The corrupt rule is live on rank 0.
+	if err := nics[0].Send(1, Header{Kind: 1}, []byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if nics[0].Stats().Corrupted.Load() != 1 {
+		t.Fatal("injected corrupt rule did not fire")
+	}
+	// The flapped link on rank 1 was restored by the hold timer: the
+	// packet to rank 0 goes through instead of dropping.
+	if err := nics[1].Send(0, Header{Kind: 1}, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := fab.NIC(0).Recv()
+	if !ok {
+		t.Fatal("no packet delivered to rank 0 after flap restored")
+	}
+	pkt.Release()
+}

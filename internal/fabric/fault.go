@@ -268,6 +268,38 @@ func (f *FaultNIC) RuleFired(i int) int {
 	return f.fired[i]
 }
 
+// AddRule appends a rule to the live plan and returns its index. Unlike
+// the rules fixed at WrapFault time, injected rules arrive while traffic
+// is flowing — this is how a chaos scheduler turns adversity on and off
+// mid-run. The rule is evaluated after all earlier rules, with the same
+// first-match-wins semantics.
+func (f *FaultNIC) AddRule(r FaultRule) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+	f.fired = append(f.fired, 0)
+	return len(f.rules) - 1
+}
+
+// DisableRule retires rule i: it can never fire again. Counts already
+// fired are kept. Out-of-range indices are ignored.
+func (f *FaultNIC) DisableRule(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i >= 0 && i < len(f.rules) {
+		f.rules[i].Prob = 0
+		f.rules[i].Count = -1 // fired < -1 is never true: rule is ineligible
+	}
+}
+
+// LinkUp restores a link a LinkDown rule (or burst) took down, as if
+// the cable were plugged back in. No-op if the link was up.
+func (f *FaultNIC) LinkUp(peer int) {
+	f.mu.Lock()
+	delete(f.down, peer)
+	f.mu.Unlock()
+}
+
 // Rank implements NIC.
 func (f *FaultNIC) Rank() int { return f.inner.Rank() }
 

@@ -133,6 +133,13 @@ func (d *Detector) Start() {
 	})
 }
 
+// DeadAfter reports the configured silence threshold after which a peer
+// is declared dead — the upper bound on how long a death verdict can
+// lag the failure. Layers that see a low-level link error and want the
+// detector's verdict instead (ULFM error classification) wait at most
+// this long plus slack.
+func (d *Detector) DeadAfter() time.Duration { return d.cfg.DeadAfter }
+
 // PeerDead reports whether the detector has declared rank dead.
 func (d *Detector) PeerDead(rank int) bool {
 	return rank >= 0 && rank < len(d.state) && d.state[rank].Load() == peerDead

@@ -34,6 +34,9 @@ func NewInproc(n int, cfg Config) *Inproc {
 		pool: newBufPool(cfg.FragSize),
 		regs: make(map[regKey]Source),
 	}
+	if reg := cfg.Obs; reg != nil {
+		reg.GaugeFunc("fabric.pool_outstanding", f.pool.Outstanding)
+	}
 	f.nics = make([]*inprocNIC, n)
 	for i := range f.nics {
 		f.nics[i] = &inprocNIC{
@@ -61,6 +64,11 @@ func (f *Inproc) Close() {
 		n.Close()
 	}
 }
+
+// PoolOutstanding returns the number of wire buffers currently checked
+// out of the fabric's pool — zero once every packet has been released.
+// Leak checks diff it across a workload (obs.LeakGauge).
+func (f *Inproc) PoolOutstanding() int64 { return f.pool.Outstanding() }
 
 func (f *Inproc) getBuf(n int) *[]byte { return f.pool.get(n) }
 

@@ -1,6 +1,9 @@
 package fabric
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // bufPool recycles wire buffers in FragSize-multiple size classes: class
 // i holds buffers of capacity (i+1)*frag. Exact-FragSize buffers (the
@@ -8,9 +11,17 @@ import "sync"
 // oversized buffers — gather sends larger than one fragment, TCP frame
 // payloads — are rounded up to the next fragment multiple instead of
 // being thrown to the GC after every message.
+//
+// The pool tracks its checked-out buffer count: every pooled get
+// increments outstanding and the matching put decrements it, so a
+// quiesced fabric reads zero. Leak checks (obs.LeakSnapshot) diff the
+// counter across a workload — a packet dropped without Release, or an
+// error path that forgets its staging buffer, shows up as a stuck
+// positive level rather than silent GC pressure.
 type bufPool struct {
-	frag    int
-	classes []sync.Pool
+	frag        int
+	classes     []sync.Pool
+	outstanding atomic.Int64
 }
 
 // newBufPool sizes the class table to cover every legal fragment
@@ -38,6 +49,7 @@ func (p *bufPool) get(n int) *[]byte {
 		b := make([]byte, n)
 		return &b
 	}
+	p.outstanding.Add(1)
 	if v := p.classes[ci-1].Get(); v != nil {
 		b := v.(*[]byte)
 		*b = (*b)[:cap(*b)]
@@ -46,6 +58,10 @@ func (p *bufPool) get(n int) *[]byte {
 	b := make([]byte, ci*p.frag)
 	return &b
 }
+
+// Outstanding returns the number of pooled buffers currently checked
+// out (gets minus puts of pool-classed buffers).
+func (p *bufPool) Outstanding() int64 { return p.outstanding.Load() }
 
 // put recycles a buffer obtained from get. Buffers whose capacity is not
 // a pooled class size (foreign or oversized allocations) are dropped.
@@ -58,6 +74,7 @@ func (p *bufPool) put(b *[]byte) {
 	if ci > len(p.classes) {
 		return
 	}
+	p.outstanding.Add(-1)
 	*b = (*b)[:c]
 	p.classes[ci-1].Put(b)
 }

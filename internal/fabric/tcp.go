@@ -122,6 +122,7 @@ func NewTCP(rank int, addrs []string, cfg Config) (*TCP, error) {
 		reg.GaugeFunc(p("tcp_redials"), t.redials.Load)
 		reg.GaugeFunc(p("tcp_redials_ok"), t.redialsOK.Load)
 		reg.GaugeFunc(p("tcp_checksum_errs"), t.checksumErrs.Load)
+		reg.GaugeFunc(p("pool_outstanding"), t.pool.Outstanding)
 	}
 	go t.acceptLoop()
 
@@ -190,6 +191,7 @@ func (t *TCP) handleHello(c net.Conn) {
 	}
 	peer := int(binary.LittleEndian.Uint32(hello[:]))
 	if peer <= t.rank || peer >= len(t.addrs) {
+		connTrace(t.rank, -1, cevHelloReject, int64(peer))
 		c.Close()
 		return
 	}
@@ -214,6 +216,7 @@ func (t *TCP) dialPeer(peer int) error {
 			binary.LittleEndian.PutUint32(hello[:], uint32(t.rank))
 			if _, werr := c.Write(hello[:]); werr == nil {
 				t.installConn(peer, c)
+				connTrace(t.rank, peer, cevDialOK, 0)
 				return nil
 			} else {
 				err = werr
@@ -222,6 +225,7 @@ func (t *TCP) dialPeer(peer int) error {
 		}
 		lastErr = err
 		if time.Now().After(deadline) {
+			connTrace(t.rank, peer, cevDialFail, 0)
 			return fmt.Errorf("fabric: rank %d dial rank %d (%s): %w", t.rank, peer, t.addrs[peer], lastErr)
 		}
 		d := DialBackoff.Delay(attempt, rng)
@@ -242,9 +246,12 @@ func (t *TCP) installConn(peer int, c net.Conn) {
 	t.conns[peer] = conn
 	delete(t.redialing, peer)
 	t.connsMu.Unlock()
+	var replaced int64
 	if old != nil {
+		replaced = 1
 		old.c.Close()
 	}
+	connTrace(t.rank, peer, cevInstall, replaced)
 	go t.readLoop(conn)
 }
 
@@ -252,7 +259,7 @@ func (t *TCP) installConn(peer int, c net.Conn) {
 // with ErrLinkDown, and — when this side originally dialed the peer —
 // starts a redial campaign. The accept side instead waits for the peer
 // to dial back in.
-func (t *TCP) dropConn(conn *tcpConn) {
+func (t *TCP) dropConn(conn *tcpConn, site int64) {
 	select {
 	case <-t.done:
 		return
@@ -262,10 +269,12 @@ func (t *TCP) dropConn(conn *tcpConn) {
 	if t.conns[conn.peer] != conn {
 		// Already replaced or dropped by a concurrent failure.
 		t.connsMu.Unlock()
+		connTrace(t.rank, conn.peer, cevDropStale, site)
 		conn.c.Close()
 		return
 	}
 	t.conns[conn.peer] = nil
+	connTrace(t.rank, conn.peer, cevDrop, site)
 	t.connDrops.Add(1)
 	redial := t.rank > conn.peer && !t.redialing[conn.peer]
 	if redial {
@@ -308,6 +317,11 @@ func (t *TCP) failGets(peer int) {
 
 func (t *TCP) Rank() int { return t.rank }
 func (t *TCP) Size() int { return len(t.addrs) }
+
+// PoolOutstanding returns the number of frame buffers currently checked
+// out of this endpoint's pool (zero when quiesced); see
+// Inproc.PoolOutstanding.
+func (t *TCP) PoolOutstanding() int64 { return t.pool.Outstanding() }
 
 func encodeHeader(b *[headerWireSize]byte, hdr Header) {
 	b[0] = byte(hdr.Kind)
@@ -361,7 +375,7 @@ func (t *TCP) writeFrame(conn *tcpConn, hdr Header, payload ...[]byte) error {
 	_, err := bufs.WriteTo(conn.c)
 	conn.wmu.Unlock()
 	if err != nil {
-		t.dropConn(conn)
+		t.dropConn(conn, dropSiteWrite)
 		return fmt.Errorf("%w: write to rank %d: %v", ErrLinkDown, conn.peer, err)
 	}
 	return nil
@@ -544,7 +558,7 @@ func (t *TCP) readLoop(conn *tcpConn) {
 	var pre [4 + headerWireSize]byte
 	for {
 		if _, err := io.ReadFull(br, pre[:]); err != nil {
-			t.dropConn(conn)
+			t.dropConn(conn, dropSiteHeader)
 			return
 		}
 		plen := int(binary.LittleEndian.Uint32(pre[:4]))
@@ -556,7 +570,7 @@ func (t *TCP) readLoop(conn *tcpConn) {
 			payload = (*pbuf)[:plen]
 			if _, err := io.ReadFull(br, payload); err != nil {
 				t.pool.put(pbuf)
-				t.dropConn(conn)
+				t.dropConn(conn, dropSitePayload)
 				return
 			}
 		}

@@ -1,0 +1,93 @@
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// A tiny always-on connection-lifecycle event ring shared by every TCP
+// provider in the process. Recording is a few atomic ops and two stores —
+// cheap enough to leave enabled — and events only occur on connection
+// lifecycle transitions (install, drop, redial, rejected hello), which are
+// rare. ConnTrace formats the ring for post-mortem diagnosis of link
+// flaps; the chaos soak report includes it when a run fails.
+
+type connEvent struct {
+	when time.Time
+	rank int
+	peer int
+	kind uint8
+	note int64
+}
+
+const (
+	cevInstall     uint8 = iota + 1 // conn installed; note=1 if it replaced a live conn
+	cevDrop                         // dropConn tore down the current conn; note=site id
+	cevDropStale                    // dropConn on an already-replaced conn; note=site id
+	cevHelloReject                  // inbound hello with out-of-range rank; note=claimed rank
+	cevDialOK                       // dialPeer established a connection
+	cevDialFail                     // dialPeer gave up (deadline or closed)
+)
+
+// Drop sites, recorded in the event note so a trace distinguishes which
+// I/O path saw the socket failure.
+const (
+	dropSiteHeader  int64 = 1 // readLoop: frame header read failed
+	dropSitePayload int64 = 2 // readLoop: frame payload read failed
+	dropSiteWrite   int64 = 3 // writeFrame: gather write failed
+)
+
+const connRingSize = 256 // power of two
+
+var (
+	connRing    [connRingSize]connEvent
+	connRingPos atomic.Uint64
+)
+
+func connTrace(rank, peer int, kind uint8, note int64) {
+	i := (connRingPos.Add(1) - 1) % connRingSize
+	connRing[i] = connEvent{when: time.Now(), rank: rank, peer: peer, kind: kind, note: note}
+}
+
+// ConnTrace returns the recorded connection-lifecycle events, oldest
+// first, formatted one per line. Best-effort: recording is lock-free, so
+// an event racing the snapshot may render partially — fine for a
+// diagnostic trace.
+func ConnTrace() []string {
+	pos := connRingPos.Load()
+	n := pos
+	if n > connRingSize {
+		n = connRingSize
+	}
+	out := make([]string, 0, n)
+	for k := uint64(0); k < n; k++ {
+		ev := connRing[(pos-n+k)%connRingSize]
+		if ev.kind == 0 {
+			continue
+		}
+		var what string
+		switch ev.kind {
+		case cevInstall:
+			what = "install"
+			if ev.note == 1 {
+				what = "install(replaced live conn)"
+			}
+		case cevDrop:
+			what = fmt.Sprintf("drop(site=%d)", ev.note)
+		case cevDropStale:
+			what = fmt.Sprintf("drop-stale(site=%d)", ev.note)
+		case cevHelloReject:
+			what = fmt.Sprintf("hello-reject(claimed=%d)", ev.note)
+		case cevDialOK:
+			what = "dial-ok"
+		case cevDialFail:
+			what = "dial-fail"
+		default:
+			what = fmt.Sprintf("kind=%d", ev.kind)
+		}
+		out = append(out, fmt.Sprintf("%s r%d peer=%d %s",
+			ev.when.Format("15:04:05.000000"), ev.rank, ev.peer, what))
+	}
+	return out
+}

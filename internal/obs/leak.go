@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Leak checking: a snapshot-diff API for goroutines and checked-out pool
+// buffers. The soak harness and the fault/ULFM test suites take a
+// LeakSnapshot before bringing a world up and Check it after tear-down —
+// a reliability contract that the recovery machinery (revoke listeners,
+// collective goroutines, failure notification) actually releases
+// everything it grabs, even on the paths where a rank died mid-protocol.
+//
+// Goroutine leaks are detected by count with a settle loop (completion
+// notification is asynchronous: a schedule goroutine may still be
+// unwinding when Check is called) and reported with the live stack dump
+// filtered to goroutines created since the snapshot's baseline, so a
+// failure names the leaked frames instead of just a number.
+//
+// Pool leaks use the same shape over opaque gauges: any monotonic
+// outstanding counter (fabric wire buffers, region scratch) can be
+// registered and must return to its snapshot level.
+
+// LeakSnapshot is a point-in-time baseline to diff against.
+type LeakSnapshot struct {
+	goroutines int
+	gauges     map[string]int64
+	taken      time.Time
+}
+
+// LeakGauge is one named outstanding-count reading for leak checks.
+type LeakGauge struct {
+	Name string
+	Fn   func() int64
+}
+
+// TakeLeakSnapshot records the current goroutine count and the level of
+// every supplied gauge.
+func TakeLeakSnapshot(gauges ...LeakGauge) LeakSnapshot {
+	s := LeakSnapshot{
+		goroutines: runtime.NumGoroutine(),
+		gauges:     make(map[string]int64, len(gauges)),
+		taken:      time.Now(),
+	}
+	for _, g := range gauges {
+		s.gauges[g.Name] = g.Fn()
+	}
+	return s
+}
+
+// Goroutines returns the goroutine count at snapshot time.
+func (s LeakSnapshot) Goroutines() int { return s.goroutines }
+
+// DefaultLeakSettle bounds how long Check waits for transient goroutines
+// (completion notifications, unwinding schedules, closing pollers) to
+// exit before declaring a leak.
+const DefaultLeakSettle = 5 * time.Second
+
+// Check diffs the current state against the snapshot, polling until
+// everything returns to baseline or settle elapses (settle <= 0 selects
+// DefaultLeakSettle). It returns nil when the goroutine count is back at
+// or below the baseline and every gauge is back at or below its recorded
+// level; otherwise an error naming the leak — including a stack dump of
+// the surviving goroutines for goroutine leaks.
+func (s LeakSnapshot) Check(settle time.Duration, gauges ...LeakGauge) error {
+	if settle <= 0 {
+		settle = DefaultLeakSettle
+	}
+	deadline := time.Now().Add(settle)
+	for {
+		leaked := runtime.NumGoroutine() - s.goroutines
+		var dirty []string
+		for _, g := range gauges {
+			base := s.gauges[g.Name]
+			if now := g.Fn(); now > base {
+				dirty = append(dirty, fmt.Sprintf("%s: %d outstanding (baseline %d)", g.Name, now, base))
+			}
+		}
+		if leaked <= 0 && len(dirty) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			sort.Strings(dirty)
+			var b strings.Builder
+			fmt.Fprintf(&b, "obs: leak check failed after %v:", settle)
+			if leaked > 0 {
+				fmt.Fprintf(&b, " %d leaked goroutines (%d now, %d at snapshot)", leaked, runtime.NumGoroutine(), s.goroutines)
+			}
+			for _, d := range dirty {
+				b.WriteString("; " + d)
+			}
+			if leaked > 0 {
+				b.WriteString("\n" + goroutineDump())
+			}
+			return fmt.Errorf("%s", b.String())
+		}
+		// GC between polls: sync.Pool recycling and finalizer-driven
+		// cleanup can hold gauge levels up for one collection cycle.
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// goroutineDump returns the full goroutine stack dump, truncated to a
+// bounded size so a massive leak cannot flood test logs.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	const maxDump = 64 * 1024
+	if n > maxDump {
+		return string(buf[:maxDump]) + "\n... (dump truncated)"
+	}
+	return string(buf[:n])
+}

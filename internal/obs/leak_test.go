@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLeakCheckClean: a snapshot over a quiet process passes.
+func TestLeakCheckClean(t *testing.T) {
+	var outstanding atomic.Int64
+	g := LeakGauge{Name: "test.pool", Fn: outstanding.Load}
+	s := TakeLeakSnapshot(g)
+	if err := s.Check(time.Second, g); err != nil {
+		t.Fatalf("clean check failed: %v", err)
+	}
+}
+
+// TestLeakCheckSettles: goroutines that exit within the settle window are
+// not leaks — the check must poll, not sample once.
+func TestLeakCheckSettles(t *testing.T) {
+	s := TakeLeakSnapshot()
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() { <-release }()
+	}
+	time.AfterFunc(50*time.Millisecond, func() { close(release) })
+	if err := s.Check(2 * time.Second); err != nil {
+		t.Fatalf("check did not wait for transient goroutines: %v", err)
+	}
+}
+
+// TestLeakCheckCatchesGoroutine: a goroutine that never exits trips the
+// check, and the error carries a stack dump naming it.
+func TestLeakCheckCatchesGoroutine(t *testing.T) {
+	s := TakeLeakSnapshot()
+	block := make(chan struct{})
+	defer close(block)
+	for i := 0; i < 3; i++ {
+		go leakyStackFrameForTest(block)
+	}
+	err := s.Check(200 * time.Millisecond)
+	if err == nil {
+		t.Fatal("leaked goroutines passed the check")
+	}
+	if !strings.Contains(err.Error(), "leakyStackFrameForTest") {
+		t.Fatalf("leak error does not name the leaked frame:\n%v", err)
+	}
+}
+
+func leakyStackFrameForTest(block chan struct{}) { <-block }
+
+// TestLeakCheckCatchesPoolGauge: an outstanding counter above its
+// baseline trips the check and is named in the error.
+func TestLeakCheckCatchesPoolGauge(t *testing.T) {
+	var outstanding atomic.Int64
+	g := LeakGauge{Name: "fabric.pool_outstanding", Fn: outstanding.Load}
+	s := TakeLeakSnapshot(g)
+	outstanding.Add(2)
+	err := s.Check(100*time.Millisecond, g)
+	if err == nil {
+		t.Fatal("outstanding pool buffers passed the check")
+	}
+	if !strings.Contains(err.Error(), "fabric.pool_outstanding") {
+		t.Fatalf("leak error does not name the gauge: %v", err)
+	}
+	// Returning the buffers clears the condition.
+	outstanding.Add(-2)
+	if err := s.Check(time.Second, g); err != nil {
+		t.Fatalf("check failed after gauge returned to baseline: %v", err)
+	}
+}
+
+// TestWatchdogNoStallWithProgress: a petted watchdog records no stalls.
+func TestWatchdogNoStallWithProgress(t *testing.T) {
+	w := NewWatchdog(20*time.Millisecond, nil)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Pet()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	w.Start()
+	time.Sleep(150 * time.Millisecond)
+	w.Stop()
+	close(stop)
+	if s := w.Stalls(); s != 0 {
+		t.Fatalf("watchdog counted %d stalls under steady progress", s)
+	}
+	if w.Progress() == 0 {
+		t.Fatal("watchdog recorded no progress")
+	}
+}
+
+// TestWatchdogCatchesStall: with progress stopped, stall windows
+// accumulate and the OnStall hook fires with a growing duration.
+func TestWatchdogCatchesStall(t *testing.T) {
+	var hookCalls atomic.Int64
+	w := NewWatchdog(10*time.Millisecond, func(d time.Duration, _ int64) {
+		if d <= 0 {
+			t.Errorf("stall duration %v not positive", d)
+		}
+		hookCalls.Add(1)
+	})
+	w.Start()
+	time.Sleep(120 * time.Millisecond)
+	w.Stop()
+	if w.Stalls() == 0 {
+		t.Fatal("watchdog saw no stall with progress frozen")
+	}
+	if hookCalls.Load() == 0 {
+		t.Fatal("OnStall hook never fired")
+	}
+}
+
+// TestWatchdogRegister: counters surface as registry gauges.
+func TestWatchdogRegister(t *testing.T) {
+	reg := NewRegistry()
+	w := NewWatchdog(time.Hour, nil)
+	w.Register(reg)
+	w.PetN(7)
+	s := reg.Snapshot()
+	if s.Gauges["watchdog.progress"] != 7 {
+		t.Fatalf("watchdog.progress = %d, want 7", s.Gauges["watchdog.progress"])
+	}
+	if s.Gauges["watchdog.stalls"] != 0 {
+		t.Fatalf("watchdog.stalls = %d, want 0", s.Gauges["watchdog.stalls"])
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog is a stall detector for sustained-traffic workloads: workers
+// call Pet (an atomic add, allocation- and lock-free) on every completed
+// unit of progress, and a single background ticker verifies the counter
+// advanced within every window. A window with no progress is a stall —
+// counted, surfaced through the registry as watchdog.stalls, and
+// reported to the optional OnStall hook with the stall duration so a
+// soak harness can fail fast instead of burning its wall-clock budget
+// hung.
+//
+// The watchdog deliberately measures end-to-end progress rather than
+// any one layer's liveness: a deadlocked collective, a lost wakeup and
+// a livelocked retransmit loop all look identical from here — the
+// progress counter stops.
+type Watchdog struct {
+	progress atomic.Int64 // units completed (Pet)
+	stalls   atomic.Int64 // windows that saw no progress
+	window   time.Duration
+
+	lastSeen int64 // progress value at the previous tick (ticker only)
+	stalling bool  // inside a stall episode (ticker only)
+	began    time.Time
+
+	onStall func(stalled time.Duration, progress int64)
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewWatchdog builds a watchdog with the given no-progress window.
+// window <= 0 defaults to 2s. Call Start to arm it.
+func NewWatchdog(window time.Duration, onStall func(stalled time.Duration, progress int64)) *Watchdog {
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	return &Watchdog{
+		window:  window,
+		onStall: onStall,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Pet records one unit of completed progress. Safe for concurrent use;
+// never allocates.
+func (w *Watchdog) Pet() { w.progress.Add(1) }
+
+// PetN records n units of completed progress.
+func (w *Watchdog) PetN(n int64) { w.progress.Add(n) }
+
+// Progress returns the cumulative progress count.
+func (w *Watchdog) Progress() int64 { return w.progress.Load() }
+
+// Stalls returns how many windows elapsed with no progress.
+func (w *Watchdog) Stalls() int64 { return w.stalls.Load() }
+
+// Register exposes the watchdog's counters on a registry as
+// watchdog.progress and watchdog.stalls gauges.
+func (w *Watchdog) Register(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("watchdog.progress", w.progress.Load)
+	reg.GaugeFunc("watchdog.stalls", w.stalls.Load)
+}
+
+// Start arms the watchdog: from now until Stop, every window in which
+// the progress counter does not advance counts as a stall.
+func (w *Watchdog) Start() {
+	w.lastSeen = w.progress.Load()
+	go w.run()
+}
+
+// Stop disarms the watchdog and waits for its ticker goroutine to exit
+// (so leak checks see it gone). Idempotent is not required — call once.
+func (w *Watchdog) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watchdog) run() {
+	defer close(w.done)
+	t := time.NewTicker(w.window)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			now := w.progress.Load()
+			if now != w.lastSeen {
+				w.lastSeen = now
+				w.stalling = false
+				continue
+			}
+			w.stalls.Add(1)
+			if !w.stalling {
+				w.stalling = true
+				w.began = time.Now().Add(-w.window)
+			}
+			if w.onStall != nil {
+				w.onStall(time.Since(w.began), now)
+			}
+		}
+	}
+}

@@ -207,7 +207,15 @@ func (w *Worker) sweep(now time.Time) {
 			w.nic.Deregister(x.s.key)
 			x.s.src.Finish()
 		}
-		x.e.req.complete(x.e.dst, x.e.tag, 0, x.e.aux, ErrTimeout)
+		// A destination the detector has since declared dead gets the
+		// taxonomy error, not a bare timeout (the usual path flushes such
+		// entries at declaration time; this covers the race where the
+		// declaration lands mid-sweep).
+		err := error(ErrTimeout)
+		if w.PeerFailed(x.e.dst) {
+			err = procFailedErr(x.e.dst)
+		}
+		x.e.req.complete(x.e.dst, x.e.tag, 0, x.e.aux, err)
 	}
 	for _, cb := range timedCb {
 		cb()

@@ -909,6 +909,22 @@ func (w *Worker) handle(pkt *fabric.Packet) {
 	}
 }
 
+// bufferAckLocked reports whether a reliable eager message is fully
+// buffered and should be acknowledged. An eager send is complete once
+// the data is safely held at the receiver — MPI's local-completion
+// contract — so the ack must NOT wait for the application to post a
+// matching receive: a receiver busy elsewhere (a recovery protocol, a
+// skewed collective schedule) would otherwise stall the sender into
+// retransmission exhaustion and a spurious ErrTimeout. The check is
+// idempotent on purpose: a retransmitted fragment arriving because the
+// ack was lost triggers a fresh ack (duplicate acks find no rexmit
+// entry and are ignored). Caller holds w.mu and sends the ack after
+// releasing it.
+func (w *Worker) bufferAckLocked(m *unexMsg) bool {
+	return m.reliable && !m.rndv && m.selfSrc == nil &&
+		m.errored == nil && m.buffered >= m.total
+}
+
 func (w *Worker) handleEager(pkt *fabric.Packet) {
 	if !w.verifyFragCRC(pkt) {
 		return // consumed: dropped for retransmit, or routed as a failure
@@ -951,8 +967,12 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 	if m, ok := w.claimed[key]; ok {
 		m.reliable = m.reliable || reliable
 		m.buffered += w.addFragDedup(m, pkt)
+		ack := w.bufferAckLocked(m)
 		w.cond.Broadcast()
 		w.mu.Unlock()
+		if ack {
+			w.sendAck(key.from, key.id, 0)
+		}
 		return
 	}
 	if pkt.Hdr.Offset == 0 {
@@ -962,8 +982,12 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 			if m := w.findBuffered(key); m != nil {
 				m.reliable = m.reliable || reliable
 				m.buffered += w.addFragDedup(m, pkt)
+				ack := w.bufferAckLocked(m)
 				w.cond.Broadcast()
 				w.mu.Unlock()
+				if ack {
+					w.sendAck(key.from, key.id, 0)
+				}
 				return
 			}
 		}
@@ -988,8 +1012,12 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 			return
 		}
 		w.unexpected = append(w.unexpected, m)
+		ack := w.bufferAckLocked(m)
 		w.cond.Broadcast()
 		w.mu.Unlock()
+		if ack {
+			w.sendAck(key.from, key.id, 0)
+		}
 		return
 	}
 	// Later fragment of an unmatched message: buffer onto its entry.
@@ -997,8 +1025,12 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 		if m.from == pkt.From && m.id == pkt.Hdr.MsgID {
 			m.reliable = m.reliable || reliable
 			m.buffered += w.addFragDedup(m, pkt)
+			ack := w.bufferAckLocked(m)
 			w.cond.Broadcast()
 			w.mu.Unlock()
+			if ack {
+				w.sendAck(key.from, key.id, 0)
+			}
 			return
 		}
 	}

@@ -1,0 +1,260 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+	"mpicd/internal/obs"
+)
+
+// The pub/sub soak driver: a publisher (comm rank 0) fans frames out to
+// every subscriber over a persistent Bcast, and each subscriber feeds a
+// bounded in-process queue drained by a consumer goroutine. A full queue
+// blocks the subscriber before it re-enters the Bcast, which stalls the
+// publisher at the collective — backpressure falls out of the
+// collective's semantics instead of an ad-hoc credit protocol. The
+// driver runs on its own communicator (a Dup of the training world), so
+// its traffic and its recovery are isolated from the training loop's.
+
+// PubSubConfig parameterises one rank's pub/sub driver.
+type PubSubConfig struct {
+	// PayloadWords is the number of int64 payload words per frame after
+	// the two header words (default 64).
+	PayloadWords int
+	// QueueDepth bounds the subscriber-side delivery queue (default 16).
+	QueueDepth int
+
+	// Stop, when closed, makes the publisher mark its next frame final;
+	// subscribers exit after consuming it.
+	Stop <-chan struct{}
+	// Dead reports whether this rank has been killed by the chaos
+	// schedule.
+	Dead func() bool
+
+	// Registry (optional) receives soak.pubsub_iter_ns latency
+	// observations (publisher side). Watchdog (optional) is petted once
+	// per frame.
+	Registry *obs.Registry
+	Watchdog *obs.Watchdog
+
+	// rec, when set, coordinates recovery with the rank's other driver
+	// (see rankRecovery). When nil the driver shrinks its own
+	// communicator.
+	rec *rankRecovery
+}
+
+func (cfg *PubSubConfig) defaults() {
+	if cfg.PayloadWords <= 0 {
+		cfg.PayloadWords = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+}
+
+// PubSubStats is one rank's pub/sub tally for a soak run.
+type PubSubStats struct {
+	Published  int64 // frames published (while this rank was the root)
+	Delivered  int64 // frames consumed off the bounded queue
+	Recoveries int64 // successful Revoke/Agree/Shrink/rebind cycles
+	Fenced     bool  // exited because the survivors agreed this live rank dead
+}
+
+// Frame layout: word 0 = sequence number, word 1 = final flag, then
+// PayloadWords words of payload derived from the sequence number.
+const pubsubHeaderWords = 2
+
+func fillFrame(frame []byte, seq int64, final bool) {
+	layout.PutI64(frame, 0, seq)
+	var f int64
+	if final {
+		f = 1
+	}
+	layout.PutI64(frame, 8, f)
+	words := len(frame)/8 - pubsubHeaderWords
+	for i := 0; i < words; i++ {
+		layout.PutI64(frame, (pubsubHeaderWords+i)*8, seq*31+int64(i)*7)
+	}
+}
+
+func checkFrame(frame []byte) (seq int64, final bool, err error) {
+	seq = layout.I64(frame, 0)
+	final = layout.I64(frame, 8) != 0
+	words := len(frame)/8 - pubsubHeaderWords
+	for i := 0; i < words; i++ {
+		want := seq*31 + int64(i)*7
+		if got := layout.I64(frame, (pubsubHeaderWords+i)*8); got != want {
+			return seq, final, fmt.Errorf("frame %d: payload word %d = %d, want %d", seq, i, got, want)
+		}
+	}
+	return seq, final, nil
+}
+
+// RunPubSub drives one rank's side of the fan-out until the publisher's
+// final frame (or this rank's death). The publisher is the
+// communicator's rank 0 and must be protected from the chaos schedule —
+// with the root dead there is nobody left to mark a frame final.
+func RunPubSub(c *core.Comm, cfg PubSubConfig) (PubSubStats, error) {
+	cfg.defaults()
+	var stats PubSubStats
+	dead := func() bool { return cfg.Dead != nil && cfg.Dead() }
+
+	frame := make([]byte, (pubsubHeaderWords+cfg.PayloadWords)*8)
+	words := core.Count(len(frame) / 8)
+	bc, err := c.BcastInit(frame, words, core.FromDDT(ddt.Int64), 0)
+	if err != nil {
+		return stats, err
+	}
+	defer func() { _ = bc.Free() }()
+
+	var hist *obs.Histogram
+	if cfg.Registry != nil {
+		hist = cfg.Registry.Histogram("soak.pubsub_iter_ns")
+	}
+
+	// Subscriber side: the bounded queue and its consumer. The consumer
+	// re-verifies each frame so corruption cannot hide behind the queue.
+	var (
+		queue    chan []byte
+		consumer sync.WaitGroup
+		consumed int64
+		consErr  error
+	)
+	if c.Rank() != 0 {
+		queue = make(chan []byte, cfg.QueueDepth)
+		consumer.Add(1)
+		go func() {
+			defer consumer.Done()
+			for f := range queue {
+				if _, _, err := checkFrame(f); err != nil && consErr == nil {
+					consErr = err
+				}
+				consumed++
+			}
+		}()
+	}
+	finish := func() {
+		if queue != nil {
+			close(queue)
+			consumer.Wait()
+			stats.Delivered = consumed
+		}
+	}
+
+	var gen uint64
+	if cfg.rec != nil {
+		defer cfg.rec.depart()
+	}
+	var seq, lastSeen int64 = 0, -1
+	for {
+		begin := time.Now()
+		var final bool
+		if c.Rank() == 0 {
+			select {
+			case <-cfg.Stop:
+				final = true
+			default:
+			}
+			fillFrame(frame, seq, final)
+		}
+		err := bc.Start()
+		if err == nil {
+			err = bc.Wait()
+		}
+		if err != nil {
+			if dead() {
+				finish()
+				return stats, nil
+			}
+			if !errors.Is(err, core.ErrProcFailed) && !errors.Is(err, core.ErrRevoked) {
+				finish()
+				return stats, fmt.Errorf("pubsub frame outside the taxonomy: %w", err)
+			}
+			var nc *core.Comm
+			var rerr error
+			if cfg.rec != nil {
+				_ = c.Revoke()
+				_, nc, gen, rerr = cfg.rec.recover(gen)
+			} else {
+				nc, rerr = recoverComm(c, dead)
+			}
+			if rerr != nil {
+				finish()
+				if dead() {
+					return stats, nil
+				}
+				if errors.Is(rerr, core.ErrExcluded) {
+					// Fenced (see ErrExcluded): exit like a dead rank.
+					stats.Fenced = true
+					return stats, nil
+				}
+				return stats, rerr
+			}
+			_ = bc.Wait()
+			if rerr := bc.Rebind(nc); rerr != nil {
+				finish()
+				return stats, fmt.Errorf("rebinding after shrink: %w", rerr)
+			}
+			c = nc
+			// Shrink renumbers order-preservingly, so the root role can
+			// migrate: if the old root was excluded, the lowest survivor
+			// becomes rank 0 here and takes over publishing. It must
+			// continue the sequence from what it saw as a subscriber —
+			// restarting at its stale local seq (or 0) would violate the
+			// monotonicity every subscriber checks.
+			if c.Rank() == 0 && seq <= lastSeen {
+				seq = lastSeen + 1
+			}
+			stats.Recoveries++
+			continue
+		}
+
+		if c.Rank() == 0 {
+			stats.Published++
+			seq++
+		} else {
+			got, isFinal, cerr := checkFrame(frame)
+			if cerr != nil {
+				finish()
+				return stats, cerr
+			}
+			// Sequence numbers never reset, so they must never decrease.
+			// Gaps are legal (a frame lost to a recovery window), and so is
+			// a repeat: a publisher whose broadcast failed partway re-sends
+			// the same frame after recovery, and subscribers that already
+			// had it see it twice. Repeats are verified but not re-queued.
+			if got < lastSeen {
+				finish()
+				return stats, fmt.Errorf("sequence went backwards: %d after %d", got, lastSeen)
+			}
+			repeat := got == lastSeen
+			lastSeen = got
+			final = isFinal
+			if !repeat {
+				// Hand the frame to the consumer; a full queue blocks here,
+				// which is the backpressure point.
+				cp := make([]byte, len(frame))
+				copy(cp, frame)
+				queue <- cp
+			}
+		}
+		if hist != nil {
+			hist.Observe(time.Since(begin).Nanoseconds())
+		}
+		if cfg.Watchdog != nil {
+			cfg.Watchdog.Pet()
+		}
+		if final {
+			finish()
+			if consErr != nil {
+				return stats, consErr
+			}
+			return stats, nil
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mpicd/internal/core"
+)
+
+// Communicator-creation collectives (Dup, Split, Shrink) advance a
+// shared per-rank context-id counter and therefore must run in the same
+// order on every rank — the MPI rule the soak would otherwise trip over:
+// its two drivers fail independently, and letting each shrink its own
+// communicator concurrently races the counter and can hand two live
+// communicators the same matching context (observed in early soak runs
+// as a training gradient landing in a pub/sub receive).
+//
+// rankRecovery is the application-level answer: one coordinator per
+// rank. A driver that sees a taxonomy failure revokes its communicator
+// (unblocking every peer) and parks at the rendezvous; when both
+// drivers have arrived, one of them rebuilds the whole generation in a
+// fixed order — Shrink the base communicator, then Dup the pub/sub
+// communicator from the survivor world — and both resume on the new
+// pair. Every rank runs the identical creation sequence, so context ids
+// stay consistent world-wide.
+
+// errPeerDriverGone reports a rendezvous that can never complete: the
+// other driver already returned (cleanly or with a hard error), so
+// nobody is left to pair with.
+var errPeerDriverGone = errors.New("workloads: peer driver exited; recovery rendezvous abandoned")
+
+// errSelfDead marks a recovery abandoned because this rank was killed.
+// Drivers translate it into a quiet exit via their Dead hook.
+var errSelfDead = errors.New("workloads: local rank killed during recovery")
+
+// recoveryAttempts bounds how many times one rendezvous retries the
+// Shrink+Dup sequence when further failures land mid-recovery.
+const recoveryAttempts = 5
+
+type rankRecovery struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	dead func() bool
+
+	base *core.Comm // current training communicator
+	pub  *core.Comm // current pub/sub communicator
+	gen  uint64     // completed recovery generations
+
+	arrived  int
+	departed bool
+	err      error // terminal coordinator failure, sticky
+}
+
+func newRankRecovery(base, pub *core.Comm, dead func() bool) *rankRecovery {
+	r := &rankRecovery{base: base, pub: pub, dead: dead}
+	r.cond = sync.NewCond(&r.mu)
+	if r.dead == nil {
+		r.dead = func() bool { return false }
+	}
+	return r
+}
+
+// comms returns the current generation's communicator pair.
+func (r *rankRecovery) comms() (base, pub *core.Comm, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base, r.pub, r.gen
+}
+
+// depart marks this driver as permanently gone and releases any peer
+// parked at the rendezvous — a driver that exits for any reason must
+// call it (defer), or a later failure would leave its peer waiting
+// forever for a pairing that cannot happen.
+func (r *rankRecovery) depart() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.departed = true
+	r.cond.Broadcast()
+}
+
+// recover is called by a driver whose operations on generation gen
+// failed inside the taxonomy, after it revoked its own communicator. It
+// blocks until the rank's other driver arrives, rebuilds both
+// communicators exactly once for the pair, and returns the new
+// generation.
+func (r *rankRecovery) recover(gen uint64) (base, pub *core.Comm, newGen uint64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gen != r.gen {
+		// The pair already finished a later generation than the one this
+		// driver failed on; just hand over the current pair.
+		return r.base, r.pub, r.gen, r.err
+	}
+	r.arrived++
+	if r.arrived < 2 {
+		for gen == r.gen && r.err == nil && !r.departed {
+			r.cond.Wait()
+		}
+		if gen == r.gen && r.err == nil {
+			return nil, nil, 0, errPeerDriverGone
+		}
+		return r.base, r.pub, r.gen, r.err
+	}
+
+	// Both drivers are in: this one rebuilds the generation. Holding
+	// r.mu through the collectives is fine — the only other party is
+	// parked in cond.Wait.
+	defer func() {
+		r.arrived = 0
+		r.cond.Broadcast()
+	}()
+	var lastErr error
+	for attempt := 0; attempt < recoveryAttempts; attempt++ {
+		if r.dead() {
+			r.err = errSelfDead
+			return nil, nil, 0, r.err
+		}
+		nbase, err := r.base.Shrink()
+		if err != nil {
+			if errors.Is(err, core.ErrExcluded) {
+				// The survivors agreed this live rank dead (a false-positive
+				// verdict, e.g. an asymmetric link flap outlasting the
+				// detector window). The verdict is permanent and retrying
+				// Shrink on the old communicator would block forever — the
+				// survivors have moved on. Fence: both drivers exit quietly.
+				r.err = err
+				return nil, nil, 0, r.err
+			}
+			lastErr = fmt.Errorf("shrink: %w", err)
+			continue
+		}
+		if nbase.Size() == 1 {
+			// A symmetric outage can isolate this rank completely: its own
+			// detector declares every peer dead and the agreement trivially
+			// converges on a singleton world, while the survivors (if any)
+			// agree the mirror image and move on without it. No fence notice
+			// can reach a rank nobody can send to, so the split-brain is
+			// resolved here: a soak driver alone in the world has nothing
+			// left to measure, and spinning on self-collectives would only
+			// distort the run's statistics. Treat it as fenced.
+			r.err = fmt.Errorf("%w: recovery left this rank alone in a singleton world", core.ErrExcluded)
+			return nil, nil, 0, r.err
+		}
+		npub, err := nbase.Dup()
+		if err != nil {
+			// A further failure landed between the shrink and the dup;
+			// revoke the half-built base so every rank abandons it and
+			// retries from the (still revoked) previous base.
+			_ = nbase.Revoke()
+			lastErr = fmt.Errorf("dup after shrink: %w", err)
+			continue
+		}
+		r.base, r.pub = nbase, npub
+		r.gen++
+		return r.base, r.pub, r.gen, nil
+	}
+	if r.dead() {
+		r.err = errSelfDead
+	} else {
+		r.err = fmt.Errorf("recovery failed after %d attempts: %w", recoveryAttempts, lastErr)
+	}
+	return nil, nil, 0, r.err
+}

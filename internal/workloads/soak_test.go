@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpicd/internal/obs"
+)
+
+// The in-tree soak smoke tests: short seeded runs of the full chaos
+// harness. The CI soak job and the mpicd-soak binary run the same
+// harness for tens of seconds; these keep the machinery honest on every
+// `go test` without dominating the suite's wall clock.
+
+func runSoak(t *testing.T, cfg SoakConfig) *SoakReport {
+	t.Helper()
+	cfg.Logf = t.Logf
+	rep, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatalf("soak failed: %v", err)
+	}
+	return rep
+}
+
+// TestSoakSmoke: one kill plus corruption and link flaps over a ~2.5s
+// budget, every invariant enforced by RunSoak itself (the t.Fatal path),
+// with sanity floors re-checked here so a silently-empty run cannot
+// pass.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke run takes seconds")
+	}
+	rep := runSoak(t, SoakConfig{
+		Ranks:  5,
+		Seed:   42,
+		Budget: 2500 * time.Millisecond,
+		Kills:  1,
+	})
+	if len(rep.Killed) != 1 {
+		t.Errorf("schedule killed %v, want exactly 1 victim", rep.Killed)
+	}
+	if rep.Survivors != rep.Ranks-len(rep.Killed) {
+		t.Errorf("survivors = %d with %d killed of %d", rep.Survivors, len(rep.Killed), rep.Ranks)
+	}
+	if rep.Recoveries == 0 {
+		t.Error("kill applied but no driver recovered")
+	}
+	if rep.TrainSteps == 0 || rep.PubFrames == 0 || rep.Delivered == 0 {
+		t.Errorf("empty traffic: train=%d pub=%d delivered=%d", rep.TrainSteps, rep.PubFrames, rep.Delivered)
+	}
+	if rep.LeakCheck != "ok" {
+		t.Errorf("leak check: %s", rep.LeakCheck)
+	}
+	t.Logf("soak: %d steps (%.0f/s), %d frames, %d delivered, %d recoveries, train p99 %v, pubsub p99 %v",
+		rep.TrainSteps, rep.StepsPerSec, rep.PubFrames, rep.Delivered, rep.Recoveries, rep.TrainP50, rep.PubSubP99)
+}
+
+// TestSoakNoChaos: a fault-free run must sail through with zero
+// recoveries — the invariants hold without the chaos machinery doing
+// any masking.
+func TestSoakNoChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run takes seconds")
+	}
+	rep := runSoak(t, SoakConfig{
+		Ranks:         4,
+		Seed:          7,
+		Budget:        time.Second,
+		Kills:         -1, // negative: below the schedule's clamp, no kill events
+		CorruptBursts: -1,
+		LinkFlaps:     -1,
+	})
+	if len(rep.Killed) != 0 || rep.Recoveries != 0 {
+		t.Errorf("fault-free run saw %v killed, %d recoveries", rep.Killed, rep.Recoveries)
+	}
+}
+
+// TestSoakScheduleDeterminism: the report's applied-event log derives
+// entirely from the seed — two runs with the same config agree on what
+// chaos happened (the reproducibility contract printed in every report
+// header).
+func TestSoakScheduleDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs take seconds")
+	}
+	cfg := SoakConfig{Ranks: 4, Seed: 20240711, Budget: 1200 * time.Millisecond, Kills: 1}
+	a := runSoak(t, cfg)
+	cfg.Registry = obs.NewRegistry() // fresh registry; same seed
+	b := runSoak(t, cfg)
+	if strings.Join(a.Events, "\n") != strings.Join(b.Events, "\n") {
+		t.Errorf("same seed, different chaos:\nrun A:\n  %s\nrun B:\n  %s",
+			strings.Join(a.Events, "\n  "), strings.Join(b.Events, "\n  "))
+	}
+	if len(a.Killed) != len(b.Killed) {
+		t.Errorf("same seed, different kills: %v vs %v", a.Killed, b.Killed)
+	}
+}

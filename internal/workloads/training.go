@@ -1,0 +1,369 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+	"mpicd/internal/obs"
+)
+
+// The training-loop soak driver: the communication skeleton of
+// data-parallel training, iterated for a wall-clock budget under chaos.
+// Each step is a ring halo exchange over a strided vector datatype
+// (persistent Send_init/Recv_init pairs) followed by a persistent
+// Allreduce of a gradient buffer — the two patterns that dominate real
+// training traffic. When a rank dies mid-step the driver runs the ULFM
+// recovery protocol (Revoke → Agree → Shrink), re-aims its persistent
+// handles at the survivor communicator, and keeps iterating.
+
+// TrainingConfig parameterises one rank's training-loop driver.
+type TrainingConfig struct {
+	// GradCount is the number of int64 gradient elements reduced per
+	// step (default 256). One extra element is appended internally as
+	// the distributed stop flag.
+	GradCount int
+	// HaloBlocks/HaloBlockLen/HaloStride shape the halo's strided
+	// vector datatype, in int64 elements (defaults 8, 4, 8).
+	HaloBlocks, HaloBlockLen, HaloStride int
+
+	// Stop, when closed, requests shutdown. Exit is collective: the
+	// stop request rides the gradient Allreduce, so every rank leaves
+	// after the same step and nobody hangs in a half-entered
+	// collective.
+	Stop <-chan struct{}
+	// Dead reports whether this rank has been killed by the chaos
+	// schedule; a dead rank's driver returns quietly instead of
+	// reporting its poisoned operations as failures.
+	Dead func() bool
+
+	// Registry (optional) receives soak.train_iter_ns latency
+	// observations. Watchdog (optional) is petted once per completed
+	// step.
+	Registry *obs.Registry
+	Watchdog *obs.Watchdog
+
+	// rec, when set, coordinates recovery with the rank's other driver:
+	// communicator rebuilds happen once per rank in a fixed order
+	// instead of concurrently per driver. When nil the driver shrinks
+	// its own communicator (single-driver use).
+	rec *rankRecovery
+}
+
+func (cfg *TrainingConfig) defaults() {
+	if cfg.GradCount <= 0 {
+		cfg.GradCount = 256
+	}
+	if cfg.HaloBlocks <= 0 {
+		cfg.HaloBlocks = 8
+	}
+	if cfg.HaloBlockLen <= 0 {
+		cfg.HaloBlockLen = 4
+	}
+	if cfg.HaloStride < cfg.HaloBlockLen {
+		cfg.HaloStride = 8
+	}
+}
+
+// TrainingStats is one rank's tally for a soak run.
+type TrainingStats struct {
+	Steps      int64 // completed training steps
+	Recoveries int64 // successful Revoke/Agree/Shrink/rebind cycles
+	Fenced     bool  // exited because the survivors agreed this live rank dead
+}
+
+// trainingState carries the per-communicator bindings that must be
+// rebuilt (halos) or re-aimed (allreduce) after a shrink.
+type trainingState struct {
+	c        *core.Comm
+	cfg      *TrainingConfig
+	vdt      *core.Datatype
+	extent   int
+	sendImg  []byte // local halo contribution, vector layout
+	leftImg  []byte // halo received from the left neighbor
+	rightImg []byte // halo received from the right neighbor
+
+	halos []*core.PersistentRequest
+
+	gradSend []byte
+	gradRecv []byte
+	ar       *core.PersistentColl
+}
+
+// haloTag namespaces the driver's p2p traffic: direction in the low bit.
+const (
+	haloTagRight = 101 // sent to the right neighbor, received from the left
+	haloTagLeft  = 102 // sent to the left neighbor, received from the right
+)
+
+func newTrainingState(c *core.Comm, cfg *TrainingConfig) (*trainingState, error) {
+	vec, err := ddt.Vector(cfg.HaloBlocks, cfg.HaloBlockLen, cfg.HaloStride, ddt.Int64)
+	if err != nil {
+		return nil, err
+	}
+	extent := ((cfg.HaloBlocks-1)*cfg.HaloStride + cfg.HaloBlockLen) * 8
+	gradBytes := (cfg.GradCount + 1) * 8 // +1: the distributed stop flag
+	s := &trainingState{
+		cfg:      cfg,
+		vdt:      core.FromDDT(vec),
+		extent:   extent,
+		sendImg:  make([]byte, extent),
+		leftImg:  make([]byte, extent),
+		rightImg: make([]byte, extent),
+		gradSend: make([]byte, gradBytes),
+		gradRecv: make([]byte, gradBytes),
+	}
+	if err := s.bind(c); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// bind (re)creates the communicator-scoped bindings: fresh persistent
+// halo pairs (neighbors change with renumbering) and the persistent
+// Allreduce (re-aimed if it already exists, preserving its scratch).
+func (s *trainingState) bind(c *core.Comm) error {
+	s.c = c
+	n := c.Size()
+	left := (c.Rank() - 1 + n) % n
+	right := (c.Rank() + 1) % n
+
+	s.halos = s.halos[:0]
+	if n > 1 {
+		sr, err := c.SendInit(s.sendImg, 1, s.vdt, right, haloTagRight)
+		if err != nil {
+			return err
+		}
+		sl, err := c.SendInit(s.sendImg, 1, s.vdt, left, haloTagLeft)
+		if err != nil {
+			return err
+		}
+		rl, err := c.RecvInit(s.leftImg, 1, s.vdt, left, haloTagRight)
+		if err != nil {
+			return err
+		}
+		rr, err := c.RecvInit(s.rightImg, 1, s.vdt, right, haloTagLeft)
+		if err != nil {
+			return err
+		}
+		s.halos = append(s.halos, sr, sl, rl, rr)
+	}
+
+	if s.ar == nil {
+		ar, err := c.AllreduceInit(s.gradSend, s.gradRecv, core.Count(s.cfg.GradCount+1), core.FromDDT(ddt.Int64), core.OpSumInt64)
+		if err != nil {
+			return err
+		}
+		s.ar = ar
+		return nil
+	}
+	return s.ar.Rebind(c)
+}
+
+// fillHalo writes this rank's halo pattern: a function of the comm rank
+// and element index only, so verification does not depend on neighbors
+// being at exactly the same step count around a recovery window.
+func (s *trainingState) fillHalo() {
+	for b := 0; b < s.cfg.HaloBlocks; b++ {
+		for e := 0; e < s.cfg.HaloBlockLen; e++ {
+			off := (b*s.cfg.HaloStride + e) * 8
+			layout.PutI64(s.sendImg, off, int64(s.c.Rank())*1_000_000+int64(b*s.cfg.HaloBlockLen+e))
+		}
+	}
+}
+
+// checkHalo verifies a received halo image against the sender's pattern
+// (vector-selected blocks only; gaps are not transferred).
+func (s *trainingState) checkHalo(img []byte, from int) error {
+	for b := 0; b < s.cfg.HaloBlocks; b++ {
+		for e := 0; e < s.cfg.HaloBlockLen; e++ {
+			off := (b*s.cfg.HaloStride + e) * 8
+			want := int64(from)*1_000_000 + int64(b*s.cfg.HaloBlockLen+e)
+			if got := layout.I64(img, off); got != want {
+				return fmt.Errorf("halo from rank %d: element (%d,%d) = %d, want %d", from, b, e, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// step runs one training iteration: halo exchange, then gradient
+// Allreduce carrying the stop flag. It returns (stopAgreed, err).
+func (s *trainingState) step(stopping bool) (bool, error) {
+	c := s.c
+	n := c.Size()
+	if n > 1 {
+		s.fillHalo()
+		if err := core.StartAll(s.halos...); err != nil {
+			return false, err
+		}
+		if err := core.WaitAllPersistent(s.halos...); err != nil {
+			return false, err
+		}
+		left := (c.Rank() - 1 + n) % n
+		right := (c.Rank() + 1) % n
+		if err := s.checkHalo(s.leftImg, left); err != nil {
+			return false, err
+		}
+		if err := s.checkHalo(s.rightImg, right); err != nil {
+			return false, err
+		}
+	}
+
+	// Gradients: rank r contributes (r+1)*(i+1); the expected sum
+	// depends only on the communicator size, so a one-step skew across a
+	// recovery window cannot produce a false mismatch.
+	for i := 0; i < s.cfg.GradCount; i++ {
+		layout.PutI64(s.gradSend, i*8, int64(c.Rank()+1)*int64(i+1))
+	}
+	var flag int64
+	if stopping {
+		flag = 1
+	}
+	layout.PutI64(s.gradSend, s.cfg.GradCount*8, flag)
+
+	if err := s.ar.Start(); err != nil {
+		return false, err
+	}
+	if err := s.ar.Wait(); err != nil {
+		return false, err
+	}
+
+	var rankSum int64
+	for r := 0; r < n; r++ {
+		rankSum += int64(r + 1)
+	}
+	for i := 0; i < s.cfg.GradCount; i++ {
+		if got := layout.I64(s.gradRecv, i*8); got != rankSum*int64(i+1) {
+			return false, fmt.Errorf("gradient[%d] = %d, want %d (size %d)", i, got, rankSum*int64(i+1), n)
+		}
+	}
+	return layout.I64(s.gradRecv, s.cfg.GradCount*8) > 0, nil
+}
+
+// drain waits out any still-active halo instances after a failure so
+// their poisoned completions land before the bindings are replaced —
+// otherwise a leak check would find their schedule goroutines alive.
+func (s *trainingState) drain() {
+	_ = core.WaitAllPersistent(s.halos...)
+	_ = s.ar.Wait()
+}
+
+// free releases the persistent allreduce worker.
+func (s *trainingState) free() {
+	if s.ar != nil {
+		_ = s.ar.Free()
+	}
+}
+
+// RunTrainingLoop drives one rank's training loop until the distributed
+// stop agreement (or this rank's death). Taxonomy failures trigger
+// recovery; anything else is returned as a hard error.
+func RunTrainingLoop(c *core.Comm, cfg TrainingConfig) (TrainingStats, error) {
+	cfg.defaults()
+	var stats TrainingStats
+	dead := func() bool { return cfg.Dead != nil && cfg.Dead() }
+
+	s, err := newTrainingState(c, &cfg)
+	if err != nil {
+		return stats, err
+	}
+	defer s.free()
+
+	var hist *obs.Histogram
+	if cfg.Registry != nil {
+		hist = cfg.Registry.Histogram("soak.train_iter_ns")
+	}
+	stopping := func() bool {
+		if cfg.Stop == nil {
+			return false
+		}
+		select {
+		case <-cfg.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var gen uint64
+	if cfg.rec != nil {
+		defer cfg.rec.depart()
+	}
+	for {
+		begin := time.Now()
+		done, err := s.step(stopping())
+		if err != nil {
+			if dead() {
+				return stats, nil
+			}
+			if !errors.Is(err, core.ErrProcFailed) && !errors.Is(err, core.ErrRevoked) {
+				return stats, fmt.Errorf("training step outside the taxonomy: %w", err)
+			}
+			var nc *core.Comm
+			var rerr error
+			if cfg.rec != nil {
+				// Unblock every peer stuck in this communicator's
+				// collectives, then pair up with the rank's other driver
+				// for the ordered rebuild.
+				_ = s.c.Revoke()
+				nc, _, gen, rerr = cfg.rec.recover(gen)
+			} else {
+				nc, rerr = recoverComm(s.c, dead)
+			}
+			if rerr != nil {
+				if dead() {
+					return stats, nil
+				}
+				if errors.Is(rerr, core.ErrExcluded) {
+					// The world moved on without us (see ErrExcluded). A
+					// fenced rank exits like a dead one: quietly.
+					stats.Fenced = true
+					return stats, nil
+				}
+				return stats, rerr
+			}
+			s.drain()
+			if rerr := s.bind(nc); rerr != nil {
+				return stats, fmt.Errorf("rebinding after shrink: %w", rerr)
+			}
+			stats.Recoveries++
+			continue
+		}
+		stats.Steps++
+		if hist != nil {
+			hist.Observe(time.Since(begin).Nanoseconds())
+		}
+		if cfg.Watchdog != nil {
+			cfg.Watchdog.Pet()
+		}
+		if done {
+			return stats, nil
+		}
+	}
+}
+
+// recoverComm runs the survivor side of the ULFM protocol on c and
+// returns the shrunken communicator.
+func recoverComm(c *core.Comm, dead func() bool) (*core.Comm, error) {
+	if err := c.Revoke(); err != nil {
+		return nil, fmt.Errorf("revoke: %w", err)
+	}
+	if _, err := c.Agree(0); err != nil {
+		if dead() {
+			return nil, err
+		}
+		return nil, fmt.Errorf("agree: %w", err)
+	}
+	nc, err := c.Shrink()
+	if err != nil {
+		if dead() {
+			return nil, err
+		}
+		return nil, fmt.Errorf("shrink: %w", err)
+	}
+	return nc, nil
+}

@@ -88,6 +88,12 @@ var (
 	// with Options.UCP.Heartbeat; recover with Comm.Revoke, Comm.Agree and
 	// Comm.Shrink.
 	ErrProcFailed = core.ErrProcFailed
+	// ErrExcluded reports that the surviving group agreed the calling
+	// rank into the failed set (a false-positive death verdict, e.g.
+	// from an asymmetric link outage). The verdict is permanent; the
+	// rank must stop or continue without the excluding peers — see
+	// core.ErrExcluded.
+	ErrExcluded = core.ErrExcluded
 	// ErrRevoked reports an operation on a revoked communicator (ULFM's
 	// MPI_ERR_REVOKED).
 	ErrRevoked = core.ErrRevoked
@@ -143,6 +149,15 @@ func WaitAny(reqs ...*Request) (int, Status, error) { return core.WaitAny(reqs..
 // PersistentRequest is a reusable operation binding created with
 // Comm.SendInit / Comm.RecvInit and launched with Start (MPI_Start).
 type PersistentRequest = core.PersistentRequest
+
+// PersistentColl is a reusable collective binding created with
+// Comm.BarrierInit / Comm.BcastInit / Comm.AllreduceInit /
+// Comm.AllgatherInit (MPI-4 MPI_Bcast_init and friends) and launched
+// with Start (MPI_Start). The algorithm, datatype plan and schedule
+// scratch are fixed at init, so steady-state iterations add zero
+// allocations in the persistent layer; after a failure the handle is
+// re-aimed at a shrunken communicator with Rebind and keeps iterating.
+type PersistentColl = core.PersistentColl
 
 // CartComm is a communicator with an attached Cartesian topology
 // (Comm.CartCreate); see Coords, CartRank, Shift, NeighborSendRecv.
