@@ -1,0 +1,113 @@
+// derive ports the structvec example to the Go-native derivation front
+// end: instead of hand-assembling the Listing 6 datatype (offsets 0, 16,
+// 24 spelled out against a raw byte image), the struct is declared as a
+// plain Go type and everything else is derived from it —
+//
+//	dt := mpi.MustTypeOf[StructVec]()    // reflected once, memoized
+//	mpi.SendSlice(c, elems, peer, tag)   // typed, zero staging copies
+//
+// The example proves the ergonomics change nothing on the wire: the
+// derived datatype is transfer-equivalent to the hand-built ddt.Struct,
+// shares its compiled plan (pointer identity through the plan cache),
+// and delivers byte-identical payloads. Run with: go run ./examples/derive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mpicd/mpi"
+)
+
+// StructVec is the paper's Listing 6 struct as an ordinary Go type:
+// three i32s, the alignment gap Go inserts before the f64 (exactly where
+// #[repr(C)] puts it), and a large fixed array. No offsets, no unsafe.
+type StructVec struct {
+	A, B, C int32
+	D       float64
+	Data    [2048]int32
+}
+
+func main() {
+	const count = 64
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		peer := 1 - c.Rank()
+
+		// The hand-built equivalent a binding would generate: the same
+		// three fields at explicit offsets, resized to the struct extent.
+		hand, err := mpi.Struct(
+			[]int{3, 1, 2048},
+			[]int64{0, 16, 24},
+			[]*mpi.DDT{mpi.Int32, mpi.Float64, mpi.Int32},
+		)
+		if err != nil {
+			return err
+		}
+		derived := mpi.MustTypeOf[StructVec]()
+		if !mpi.TypeEqual(derived, hand) {
+			return fmt.Errorf("derived type is not transfer-equivalent to the hand-built one")
+		}
+		if mpi.TypePlan(derived) != mpi.TypePlan(hand) {
+			return fmt.Errorf("derived and hand-built types compiled separate plans")
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("derived == hand-built: equal layout, shared plan (%v kernel)\n",
+				mpi.TypePlan(derived).Kind())
+		}
+
+		send := make([]StructVec, count)
+		for e := range send {
+			send[e].A, send[e].B, send[e].C = int32(3*e), int32(3*e+1), int32(3*e+2)
+			send[e].D = float64(e) / 16
+			for i := range send[e].Data {
+				send[e].Data[i] = int32(e*2048 + i)
+			}
+		}
+		recv := make([]StructVec, count)
+
+		transfer := func() error {
+			if c.Rank() == 0 {
+				return mpi.SendSlice(c, send, peer, 1)
+			}
+			_, err := mpi.RecvSlice(c, recv, peer, 1)
+			return err
+		}
+
+		// Correctness: the receiver gets the values, not just the bytes.
+		if err := transfer(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for e := range recv {
+				if recv[e] != send[e] {
+					return fmt.Errorf("element %d corrupted in transfer", e)
+				}
+			}
+			fmt.Printf("rank 1: %d elements intact after typed transfer\n", count)
+		}
+
+		// Timing, matching the structvec example's loop shape.
+		const iters = 100
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := transfer(); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("rank 0 [derive]: %v/transfer (%d KiB payload)\n",
+				time.Since(start)/iters, count*(20+4*2048)/1024)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

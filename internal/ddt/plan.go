@@ -337,6 +337,7 @@ var (
 	planHits      atomic.Int64
 	planMisses    atomic.Int64
 	planCompileNS atomic.Int64
+	planEvicts    atomic.Int64
 )
 
 // layoutHash is FNV-1a over (extent, canonical run list): the structural
@@ -396,9 +397,19 @@ func cachePut(p *Plan) *Plan {
 			return q
 		}
 	}
+	// At the cap, evict one bucket before interning. Eviction is safe by
+	// construction — plans are immutable and every Type that memoized an
+	// evicted plan keeps a valid pointer; the only cost is a recompile if
+	// the same layout is requested through a fresh Type later. The
+	// planEvicts counter (ddt.plan_evictions gauge) makes cap churn
+	// observable instead of silent.
 	if planCache.n >= planCacheMax {
 		for k, ps := range planCache.m {
+			if k == p.hash {
+				continue // never evict the bucket we are about to fill
+			}
 			planCache.n -= len(ps)
+			planEvicts.Add(int64(len(ps)))
 			delete(planCache.m, k)
 			break
 		}
@@ -450,6 +461,15 @@ func PlanCacheSize() int {
 	return planCache.n
 }
 
+// PlanCacheEvictions reports how many interned plans have been evicted
+// at the planCacheMax cap. A nonzero value under a steady workload means
+// the working set of distinct layouts exceeds the cache bound and plans
+// are being recompiled.
+func PlanCacheEvictions() int64 { return planEvicts.Load() }
+
+// PlanCacheCap returns the intern bound (eviction threshold).
+func PlanCacheCap() int { return planCacheMax }
+
 // ResetPlanCache drops every interned plan and zeroes the counters. It is
 // for tests and ablation benchmarks; types keep their memoized plans.
 func ResetPlanCache() {
@@ -460,11 +480,13 @@ func ResetPlanCache() {
 	planHits.Store(0)
 	planMisses.Store(0)
 	planCompileNS.Store(0)
+	planEvicts.Store(0)
 }
 
 // RegisterObs exposes the plan-cache counters as live gauges on r
 // (ddt.plan_hits / ddt.plan_misses / ddt.plan_compile_ns /
-// ddt.plan_cache_size), visible in registry snapshots.
+// ddt.plan_cache_size / ddt.plan_evictions), visible in registry
+// snapshots.
 func RegisterObs(r *obs.Registry) {
 	if r == nil {
 		return
@@ -473,6 +495,7 @@ func RegisterObs(r *obs.Registry) {
 	r.GaugeFunc("ddt.plan_misses", planMisses.Load)
 	r.GaugeFunc("ddt.plan_compile_ns", planCompileNS.Load)
 	r.GaugeFunc("ddt.plan_cache_size", func() int64 { return int64(PlanCacheSize()) })
+	r.GaugeFunc("ddt.plan_evictions", planEvicts.Load)
 }
 
 // --- pack kernels ------------------------------------------------------------

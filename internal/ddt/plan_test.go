@@ -110,7 +110,8 @@ func TestPlanCacheShared(t *testing.T) {
 }
 
 // TestPlanCacheEviction: interning is bounded; overflow evicts rather
-// than growing without limit.
+// than growing without limit, and the evictions are counted rather than
+// silent.
 func TestPlanCacheEviction(t *testing.T) {
 	ResetPlanCache()
 	for i := 0; i < planCacheMax+64; i++ {
@@ -123,7 +124,96 @@ func TestPlanCacheEviction(t *testing.T) {
 	if n := PlanCacheSize(); n > planCacheMax {
 		t.Fatalf("cache size %d exceeds bound %d", n, planCacheMax)
 	}
+	if ev := PlanCacheEvictions(); ev < 64 {
+		t.Fatalf("evictions = %d after %d overflow compiles", ev, 64)
+	}
 	ResetPlanCache()
+	if ev := PlanCacheEvictions(); ev != 0 {
+		t.Fatalf("ResetPlanCache left eviction counter at %d", ev)
+	}
+}
+
+// TestPlanCacheChurn is the regression for behavior at the cap: many
+// goroutines churning well past planCacheMax distinct layouts must keep
+// the cache bounded, count every eviction in the gauge, leave every
+// evicted type's memoized plan fully usable (plans are immutable — no
+// stale sharing, no corruption), and recompile an Equal plan when an
+// evicted layout comes back through a fresh type. Run under -race.
+func TestPlanCacheChurn(t *testing.T) {
+	ResetPlanCache()
+	defer ResetPlanCache()
+
+	const (
+		workers   = 8
+		perWorker = (planCacheMax + 512) / workers // > planCacheMax total distinct layouts
+	)
+	types := make([][]*Type, workers)
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			var err error
+			types[w] = make([]*Type, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Distinct stride per (w, i): a unique layout each time.
+				stride := 2 + w*perWorker + i
+				typ, e := Vector(2, 1, stride, Float64)
+				if e != nil {
+					err = e
+					break
+				}
+				typ.Plan() // compile + intern (and possibly evict)
+				types[w][i] = typ
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := PlanCacheSize(); n > planCacheMax {
+		t.Fatalf("cache size %d exceeds bound %d after churn", n, planCacheMax)
+	}
+	total := int64(workers * perWorker)
+	if ev := PlanCacheEvictions(); ev == 0 || ev > total {
+		t.Fatalf("evictions = %d after %d distinct layouts, want in (0, %d]", ev, total, total)
+	}
+	_, misses, _ := PlanCacheStats()
+	if misses != total {
+		t.Fatalf("compiles = %d, want %d (every layout distinct)", misses, total)
+	}
+
+	// Every type — interned or evicted — still packs correctly through its
+	// memoized plan: eviction must never invalidate a held pointer.
+	for w := range types {
+		for _, typ := range types[w] {
+			src := fill(typ.Span(2))
+			dst := make([]byte, typ.PackedSize(2))
+			if _, err := typ.Pack(src, 2, dst); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst, refPack(typ, src, 2)) {
+				t.Fatalf("type %s mis-packs after cache churn", typ.Name())
+			}
+		}
+	}
+
+	// An evicted layout requested through a fresh type recompiles to an
+	// equivalent plan (same canonical geometry, same hash).
+	old := types[0][0]
+	fresh, err := Vector(2, 1, 2, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(old, fresh) {
+		t.Fatal("churn test rebuilt a different layout")
+	}
+	op, fp := old.Plan(), fresh.Plan()
+	if op.Kind() != fp.Kind() || op.Hash() != fp.Hash() || op.PackedSize(3) != fp.PackedSize(3) || op.Span(3) != fp.Span(3) {
+		t.Fatal("recompiled plan disagrees with the evicted original")
+	}
 }
 
 // TestPlanPackZeroAllocs is the cache-hit alloc guard: once a type's

@@ -1,0 +1,94 @@
+package derive_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mpicd/internal/ddt"
+	"mpicd/internal/derive"
+	"mpicd/internal/layout"
+	"mpicd/internal/workloads"
+)
+
+// The derive ablation (BENCH_derive.json): what one-time derivation
+// costs, what the memoized steady state costs, and proof that packing
+// through a derived type is indistinguishable from the hand-built
+// equivalent — they execute the same interned plan.
+
+// benchParticle is the README quickstart shape: scalar + padding gap +
+// two fixed arrays, a run-list plan.
+type benchParticle struct {
+	ID       int32
+	Mass     float64
+	Pos, Vel [3]float64
+}
+
+// BenchmarkDeriveFirst measures cold derivation: the full reflect walk
+// and ddt lowering, memo cleared every iteration.
+func BenchmarkDeriveFirst(b *testing.B) {
+	rt := reflect.TypeFor[benchParticle]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		derive.ResetMemo()
+		if _, err := derive.TypeFor(rt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeriveMemoHit measures the steady state every typed Send
+// pays: one lock-free map load, zero allocations.
+func BenchmarkDeriveMemoHit(b *testing.B) {
+	rt := reflect.TypeFor[benchParticle]()
+	if _, err := derive.TypeFor(rt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := derive.TypeFor(rt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHandBuiltConstruct is the baseline derivation replaces:
+// assembling the same layout by hand (offsets spelled out) each time.
+func BenchmarkHandBuiltConstruct(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.StructOf(64,
+			layout.Field{Off: 0, Type: ddt.Int32},
+			layout.Field{Off: 8, Type: ddt.Float64},
+			layout.Field{Off: 16, Type: ddt.Float64, Count: 3},
+			layout.Field{Off: 40, Type: ddt.Float64, Count: 3},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDerivedPack and BenchmarkHandPack pack the same struct-vec
+// image through the derived and the hand-built type. Identical numbers
+// are the expected result: both types memoize the same interned plan.
+func BenchmarkDerivedPack(b *testing.B) { benchPack(b, true) }
+func BenchmarkHandPack(b *testing.B)    { benchPack(b, false) }
+
+func benchPack(b *testing.B, derived bool) {
+	const count = 64
+	typ := workloads.StructVecType()
+	if derived {
+		typ = workloads.StructVecDerived()
+	}
+	img := make([]byte, count*workloads.StructVecExtent)
+	workloads.FillStructVec(img, count, 3)
+	dst := make([]byte, typ.PackedSize(count))
+	typ.Plan() // memoize outside the loop
+	b.SetBytes(int64(len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := typ.Pack(img, count, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package derive turns ordinary Go types into derived datatypes: the
+// "KaMPIng for Go" front end of the datatype engine. Where package layout
+// asks applications to spell out offsets by hand (StructOf, Field{Off: 16,
+// ...}), derive reflects a Go struct, fixed-size array or scalar ONCE and
+// lowers it to the same ddt constructor tree — struct fields at their
+// real unsafe.Offsetof offsets, nested and embedded structs flattened
+// recursively, fixed arrays as contiguous repeats, alignment gaps elided
+// and trailing padding modeled with Resized to unsafe.Sizeof. Because the
+// lowering lands on the canonical run lists of the plan compiler, a
+// derived type and its hand-built layout/ddt equivalent hash to the same
+// layout and share one compiled plan in the cache: derivation changes
+// ergonomics, not the wire format or the pack kernels.
+//
+// Derivation is memoized per reflect.Type in a sync.Map, so steady-state
+// callers (every Send of a derived value) pay one lock-free map load and
+// zero allocations. Failed derivations are memoized too: the error
+// taxonomy (ErrUnsupported) is part of the contract — pointers, maps,
+// slices, strings, channels, funcs and interfaces anywhere in the shape
+// (including inside unexported fields) fail loudly with the exact field
+// path, and never silently mis-pack.
+package derive
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"mpicd/internal/ddt"
+)
+
+// ErrUnsupported reports a Go type whose memory image cannot be described
+// by a fixed derived datatype: anything carrying a pointer (ptr, map,
+// slice, string, chan, func, interface, unsafe.Pointer) or a
+// platform-pointer-sized uintptr. Errors wrap it for errors.Is and name
+// the offending field path.
+var ErrUnsupported = errors.New("derive: unsupported Go type")
+
+// memo caches derivation results — successes and failures — per
+// reflect.Type. Entries are immutable once stored.
+var memo sync.Map // reflect.Type -> *memoEntry
+
+type memoEntry struct {
+	typ *ddt.Type
+	err error
+}
+
+// TypeOf derives the datatype of T (memoized). The common spelling:
+//
+//	dt, err := derive.TypeOf[Particle]()
+func TypeOf[T any]() (*ddt.Type, error) {
+	return TypeFor(reflect.TypeFor[T]())
+}
+
+// MustTypeOf is TypeOf for shapes the caller knows are supported; it
+// panics on derivation errors (init-time type declarations).
+func MustTypeOf[T any]() *ddt.Type {
+	t, err := TypeOf[T]()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TypeFor derives the datatype of rt. The first call per reflect.Type
+// walks the shape and lowers it to ddt constructors; every later call is
+// a single allocation-free sync.Map load returning the same *ddt.Type
+// (or the same taxonomy error).
+func TypeFor(rt reflect.Type) (*ddt.Type, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("%w: nil reflect.Type", ErrUnsupported)
+	}
+	if e, ok := memo.Load(rt); ok {
+		ent := e.(*memoEntry)
+		return ent.typ, ent.err
+	}
+	typ, err := lower(rt, rt.String())
+	if err == nil && typ.Extent() != int64(rt.Size()) {
+		// Defensive: a derived type whose extent disagrees with the Go
+		// size would mis-stride arrays of T. Never expected to fire.
+		err = fmt.Errorf("derive: internal error: %s extent %d != sizeof %d",
+			rt, typ.Extent(), rt.Size())
+		typ = nil
+	}
+	if err != nil {
+		typ = nil
+	}
+	ent, _ := memo.LoadOrStore(rt, &memoEntry{typ: typ, err: err})
+	e := ent.(*memoEntry)
+	return e.typ, e.err
+}
+
+// lower recursively lowers rt to a ddt constructor tree. path names the
+// current position for error messages ("main.Particle.Pos[2].X").
+func lower(rt reflect.Type, path string) (*ddt.Type, error) {
+	switch rt.Kind() {
+	case reflect.Bool,
+		reflect.Int8, reflect.Uint8,
+		reflect.Int16, reflect.Uint16,
+		reflect.Int32, reflect.Uint32, reflect.Float32,
+		reflect.Int64, reflect.Uint64, reflect.Float64,
+		reflect.Int, reflect.Uint,
+		reflect.Complex64, reflect.Complex128:
+		return scalarBase(rt)
+
+	case reflect.Array:
+		elem, err := lower(rt.Elem(), path+"[i]")
+		if err != nil {
+			return nil, err
+		}
+		// Go array stride is exactly the element size, which the element's
+		// derived extent already equals (struct elements carry their
+		// trailing padding through Resized).
+		return ddt.Contiguous(rt.Len(), elem)
+
+	case reflect.Struct:
+		return lowerStruct(rt, path)
+
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Uintptr,
+		reflect.Map, reflect.Slice, reflect.String,
+		reflect.Chan, reflect.Func, reflect.Interface:
+		return nil, fmt.Errorf("%w: %s at %s (variable-length or pointer-bearing shapes cannot be described by a fixed datatype)",
+			ErrUnsupported, rt.Kind(), path)
+
+	default:
+		return nil, fmt.Errorf("%w: %s at %s", ErrUnsupported, rt.Kind(), path)
+	}
+}
+
+// scalarBase maps a fixed-size scalar kind onto the predefined base type
+// of its width. Only the width matters to the engine — base types are
+// opaque byte runs — so uint32 and float32 share the 4-byte base exactly
+// as a hand-built layout would use ddt.Int32 for either.
+func scalarBase(rt reflect.Type) (*ddt.Type, error) {
+	switch rt.Size() {
+	case 1:
+		return ddt.Int8, nil
+	case 2:
+		return ddt.Int16, nil
+	case 4:
+		return ddt.Int32, nil
+	case 8:
+		return ddt.Int64, nil
+	case 16:
+		return ddt.Complex128, nil
+	}
+	return nil, fmt.Errorf("%w: %d-byte scalar %s", ErrUnsupported, rt.Size(), rt)
+}
+
+// lowerStruct lowers a struct: one ddt.Struct field per Go field at its
+// reflect offset (embedded and unexported fields included — they are part
+// of the memory image and of the wire format), then Resized to the Go
+// sizeof so arrays of the struct stride over trailing padding exactly
+// like Go arrays do. Interior alignment gaps fall out naturally: runs
+// only cover fields.
+func lowerStruct(rt reflect.Type, path string) (*ddt.Type, error) {
+	n := rt.NumField()
+	if n == 0 {
+		// A zero-field (or zero-size) struct packs to zero bytes.
+		empty, err := ddt.Struct(nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ddt.Resized(empty, int64(rt.Size()))
+	}
+	bls := make([]int, 0, n)
+	displs := make([]int64, 0, n)
+	types := make([]*ddt.Type, 0, n)
+	for i := 0; i < n; i++ {
+		f := rt.Field(i)
+		if f.Name == "_" {
+			continue // blank fields are explicit padding: elided like gaps
+		}
+		ft, err := lower(f.Type, path+"."+f.Name)
+		if err != nil {
+			return nil, err
+		}
+		if ft.Size() == 0 {
+			continue // zero-size field ([0]T, struct{}): no bytes to move
+		}
+		bls = append(bls, 1)
+		displs = append(displs, int64(f.Offset))
+		types = append(types, ft)
+	}
+	var t *ddt.Type
+	var err error
+	if len(bls) == 0 {
+		t, err = ddt.Struct(nil, nil, nil)
+	} else {
+		t, err = ddt.Struct(bls, displs, types)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ddt.Resized(t, int64(rt.Size()))
+}

@@ -1,0 +1,412 @@
+package derive_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"mpicd/internal/ddt"
+	"mpicd/internal/derive"
+	"mpicd/internal/layout"
+)
+
+// The acceptance gate's three representative shapes: a padded struct, a
+// nested struct with fixed arrays, and a submatrix-bearing struct. Each
+// has a hand-built layout/ddt equivalent; the differential contract is
+// byte-identical pack output AND one shared cached plan.
+
+// padded is the paper's struct-simple (Listing 7): interior alignment
+// gap at bytes 12..16.
+type padded struct {
+	A, B, C int32
+	D       float64
+}
+
+// header is a nested struct with trailing padding (size 4, one pad byte).
+type header struct {
+	Tag  int16
+	Flag uint8
+}
+
+// nested combines a nested struct, two fixed arrays and tail padding.
+type nested struct {
+	Hdr  header
+	Vals [4]float64
+	Ids  [3]int32
+}
+
+// matbearing carries a fixed 2-D matrix (the submatrix shape Rows2D
+// describes) plus a trailing scalar.
+type matbearing struct {
+	M   [4][8]float64
+	Tag int64
+}
+
+func handPadded(t *testing.T) *ddt.Type {
+	t.Helper()
+	h, err := layout.StructOf(int64(unsafe.Sizeof(padded{})),
+		layout.Field{Off: 0, Type: ddt.Int32, Count: 3},
+		layout.Field{Off: 16, Type: ddt.Float64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func handNested(t *testing.T) *ddt.Type {
+	t.Helper()
+	inner, err := layout.StructOf(int64(unsafe.Sizeof(header{})),
+		layout.Field{Off: 0, Type: ddt.Int16},
+		layout.Field{Off: 2, Type: ddt.Int8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := layout.StructOf(int64(unsafe.Sizeof(nested{})),
+		layout.Field{Off: 0, Type: inner},
+		layout.Field{Off: int64(unsafe.Offsetof(nested{}.Vals)), Type: ddt.Float64, Count: 4},
+		layout.Field{Off: int64(unsafe.Offsetof(nested{}.Ids)), Type: ddt.Int32, Count: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func handMatbearing(t *testing.T) *ddt.Type {
+	t.Helper()
+	m, err := layout.Rows2D(4, 8, 8, ddt.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := layout.StructOf(int64(unsafe.Sizeof(matbearing{})),
+		layout.Field{Off: 0, Type: m},
+		layout.Field{Off: int64(unsafe.Offsetof(matbearing{}.Tag)), Type: ddt.Int64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// differential asserts the full contract for one (derived, hand-built)
+// pair: identical size/extent, byte-identical pack output over a random
+// image, a shared interned plan, and a lossless pack/unpack round trip
+// of the data runs.
+func differential(t *testing.T, name string, derived, hand *ddt.Type, count int64) {
+	t.Helper()
+	if derived.Size() != hand.Size() || derived.Extent() != hand.Extent() {
+		t.Fatalf("%s: derived size/extent %d/%d != hand-built %d/%d",
+			name, derived.Size(), derived.Extent(), hand.Size(), hand.Extent())
+	}
+	if !ddt.Equal(derived, hand) {
+		t.Fatalf("%s: derived and hand-built types are not transfer-equivalent", name)
+	}
+	if derived.Plan() != hand.Plan() {
+		t.Fatalf("%s: derived and hand-built types compiled separate plans (same layout must intern to one cache entry)", name)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, derived.Span(count))
+	rng.Read(src)
+
+	got := make([]byte, derived.PackedSize(count))
+	want := make([]byte, hand.PackedSize(count))
+	if _, err := derived.Pack(src, count, got); err != nil {
+		t.Fatalf("%s: derived pack: %v", name, err)
+	}
+	if _, err := hand.Pack(src, count, want); err != nil {
+		t.Fatalf("%s: hand-built pack: %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: derived pack output differs from hand-built", name)
+	}
+
+	// Round trip: unpacking into a fresh image restores every data byte
+	// (gaps excluded by construction).
+	back := make([]byte, len(src))
+	if err := derived.Unpack(back, count, got); err != nil {
+		t.Fatalf("%s: unpack: %v", name, err)
+	}
+	again := make([]byte, len(got))
+	if _, err := derived.Pack(back, count, again); err != nil {
+		t.Fatalf("%s: repack: %v", name, err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatalf("%s: pack/unpack round trip lost data", name)
+	}
+}
+
+func TestDeriveDifferentialPadded(t *testing.T) {
+	d, err := derive.TypeOf[padded]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Extent() != int64(unsafe.Sizeof(padded{})) {
+		t.Fatalf("extent %d != sizeof %d", d.Extent(), unsafe.Sizeof(padded{}))
+	}
+	if d.Size() != 20 {
+		t.Fatalf("packed size %d, want 20 (gap elided)", d.Size())
+	}
+	differential(t, "padded", d, handPadded(t), 16)
+}
+
+func TestDeriveDifferentialNested(t *testing.T) {
+	d, err := derive.TypeOf[nested]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	differential(t, "nested", d, handNested(t), 9)
+}
+
+func TestDeriveDifferentialMatbearing(t *testing.T) {
+	d, err := derive.TypeOf[matbearing]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	differential(t, "matbearing", d, handMatbearing(t), 5)
+}
+
+// TestDeriveValueImage packs an actual Go value (not a synthetic image)
+// and checks the field bytes land where the layout accessors expect.
+func TestDeriveValueImage(t *testing.T) {
+	v := padded{A: 1, B: 2, C: 3, D: 4.5}
+	d, err := derive.TypeOf[padded]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := unsafe.Slice((*byte)(unsafe.Pointer(&v)), unsafe.Sizeof(v))
+	out := make([]byte, d.PackedSize(1))
+	if _, err := d.Pack(img, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if layout.I32(out, 0) != 1 || layout.I32(out, 4) != 2 || layout.I32(out, 8) != 3 {
+		t.Fatalf("int fields mispacked: % x", out)
+	}
+	if layout.F64(out, 12) != 4.5 {
+		t.Fatalf("float field mispacked: % x", out)
+	}
+
+	// And unpack reconstructs the value.
+	var r padded
+	rimg := unsafe.Slice((*byte)(unsafe.Pointer(&r)), unsafe.Sizeof(r))
+	if err := d.Unpack(rimg, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if r != v {
+		t.Fatalf("round trip: got %+v want %+v", r, v)
+	}
+}
+
+// embedded and unexported fields are part of the memory image, so they
+// derive and transfer like named exported fields.
+type inner struct {
+	X int32
+	y int32 // unexported: still data
+}
+
+type outer struct {
+	inner         // embedded
+	_     [4]byte // blank: explicit padding, elided
+	Z     float64
+}
+
+func TestDeriveEmbeddedUnexportedBlank(t *testing.T) {
+	d, err := derive.TypeOf[outer]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X + y + Z = 16 data bytes; the blank [4]byte is padding.
+	if d.Size() != 16 {
+		t.Fatalf("packed size %d, want 16", d.Size())
+	}
+	if d.Extent() != int64(unsafe.Sizeof(outer{})) {
+		t.Fatalf("extent %d != sizeof %d", d.Extent(), unsafe.Sizeof(outer{}))
+	}
+	v := outer{inner: inner{X: 7, y: -9}, Z: 2.25}
+	img := unsafe.Slice((*byte)(unsafe.Pointer(&v)), unsafe.Sizeof(v))
+	out := make([]byte, d.PackedSize(1))
+	if _, err := d.Pack(img, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	var r outer
+	rimg := unsafe.Slice((*byte)(unsafe.Pointer(&r)), unsafe.Sizeof(r))
+	if err := d.Unpack(rimg, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if r != v {
+		t.Fatalf("round trip: got %+v want %+v", r, v)
+	}
+}
+
+// TestDeriveScalarsAndArrays covers the scalar width table and fixed
+// arrays, including zero-length ones.
+func TestDeriveScalarsAndArrays(t *testing.T) {
+	if d, err := derive.TypeOf[float64](); err != nil || d.Size() != 8 || !d.Contig() {
+		t.Fatalf("float64: %v %+v", err, d)
+	}
+	if d, err := derive.TypeOf[bool](); err != nil || d.Size() != 1 {
+		t.Fatalf("bool: %v", err)
+	}
+	if d, err := derive.TypeOf[complex128](); err != nil || d.Size() != 16 {
+		t.Fatalf("complex128: %v", err)
+	}
+	if d, err := derive.TypeOf[[12]int16](); err != nil || d.Size() != 24 || !d.Contig() {
+		t.Fatalf("[12]int16: %v", err)
+	}
+	if d, err := derive.TypeOf[[0]int64](); err != nil || d.Size() != 0 {
+		t.Fatalf("[0]int64: %v", err)
+	}
+	if d, err := derive.TypeOf[struct{}](); err != nil || d.Size() != 0 {
+		t.Fatalf("struct{}: %v", err)
+	}
+	type zf struct {
+		A int32
+		B [0]float64
+		C int32
+	}
+	d, err := derive.TypeOf[zf]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 8 {
+		t.Fatalf("zero-length array field must pack no bytes, size %d", d.Size())
+	}
+}
+
+// TestDeriveUnsupported pins the error taxonomy: every pointer-bearing
+// or variable-length shape fails with ErrUnsupported and the offending
+// field path; nothing mis-packs silently.
+func TestDeriveUnsupported(t *testing.T) {
+	type hasPtr struct{ P *int32 }
+	type hasSlice struct{ S []float64 }
+	type hasMap struct{ M map[string]int }
+	type hasString struct{ S string }
+	type hasIface struct{ I any }
+	type hasChan struct{ C chan int }
+	type hasFunc struct{ F func() }
+	type hasUintptr struct{ U uintptr }
+	type hasUnsafe struct{ U unsafe.Pointer }
+	type deepPtr struct {
+		A int32
+		B struct {
+			C [2]struct{ D *float64 }
+		}
+	}
+	type unexportedPtr struct {
+		A int32
+		p *int64 // unexported pointer must still be rejected
+	}
+
+	cases := []struct {
+		name string
+		derv func() (*ddt.Type, error)
+		path string
+	}{
+		{"ptr", func() (*ddt.Type, error) { return derive.TypeOf[hasPtr]() }, ".P"},
+		{"slice", func() (*ddt.Type, error) { return derive.TypeOf[hasSlice]() }, ".S"},
+		{"map", func() (*ddt.Type, error) { return derive.TypeOf[hasMap]() }, ".M"},
+		{"string", func() (*ddt.Type, error) { return derive.TypeOf[hasString]() }, ".S"},
+		{"iface", func() (*ddt.Type, error) { return derive.TypeOf[hasIface]() }, ".I"},
+		{"chan", func() (*ddt.Type, error) { return derive.TypeOf[hasChan]() }, ".C"},
+		{"func", func() (*ddt.Type, error) { return derive.TypeOf[hasFunc]() }, ".F"},
+		{"uintptr", func() (*ddt.Type, error) { return derive.TypeOf[hasUintptr]() }, ".U"},
+		{"unsafeptr", func() (*ddt.Type, error) { return derive.TypeOf[hasUnsafe]() }, ".U"},
+		{"deep", func() (*ddt.Type, error) { return derive.TypeOf[deepPtr]() }, ".B.C[i].D"},
+		{"unexported", func() (*ddt.Type, error) { return derive.TypeOf[unexportedPtr]() }, ".p"},
+		{"bare-ptr", func() (*ddt.Type, error) { return derive.TypeOf[*int32]() }, ""},
+		{"bare-slice", func() (*ddt.Type, error) { return derive.TypeOf[[]int32]() }, ""},
+		{"bare-map", func() (*ddt.Type, error) { return derive.TypeOf[map[int]int]() }, ""},
+	}
+	for _, tc := range cases {
+		typ, err := tc.derv()
+		if err == nil {
+			t.Fatalf("%s: derivation succeeded, want ErrUnsupported (type %v)", tc.name, typ)
+		}
+		if !errors.Is(err, derive.ErrUnsupported) {
+			t.Fatalf("%s: error %v does not wrap ErrUnsupported", tc.name, err)
+		}
+		if typ != nil {
+			t.Fatalf("%s: non-nil type alongside error", tc.name)
+		}
+		if tc.path != "" && !strings.Contains(err.Error(), tc.path) {
+			t.Fatalf("%s: error %q does not name the field path %q", tc.name, err, tc.path)
+		}
+		// The memoized retry returns the identical taxonomy error.
+		_, err2 := tc.derv()
+		if !errors.Is(err2, derive.ErrUnsupported) {
+			t.Fatalf("%s: memoized error lost taxonomy: %v", tc.name, err2)
+		}
+	}
+}
+
+// TestDeriveMemo pins the amortization contract: repeated derivation
+// returns the identical *ddt.Type, and the memo-hit path is zero-alloc.
+func TestDeriveMemo(t *testing.T) {
+	d1, err := derive.TypeOf[nested]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := derive.TypeOf[nested]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("memo did not return the identical type")
+	}
+	if d3, err := derive.TypeFor(reflect.TypeFor[nested]()); err != nil || d3 != d1 {
+		t.Fatalf("TypeFor does not share the TypeOf memo: %v", err)
+	}
+}
+
+func TestDeriveMemoHitZeroAlloc(t *testing.T) {
+	if _, err := derive.TypeOf[nested](); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := derive.TypeOf[nested](); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("memo-hit TypeOf allocated %.1f times per call, want 0", allocs)
+	}
+	// The error path is memoized and allocation-free too.
+	type bad struct{ P *int }
+	if _, err := derive.TypeOf[bad](); err == nil {
+		t.Fatal("want error")
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := derive.TypeOf[bad](); err == nil {
+			t.Error("want error")
+		}
+	}); allocs != 0 {
+		t.Fatalf("memo-hit error path allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestDeriveConcurrent hammers the memo from many goroutines (the -race
+// CI job turns this into a data-race probe).
+func TestDeriveConcurrent(t *testing.T) {
+	const workers = 8
+	done := make(chan *ddt.Type, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			d, err := derive.TypeOf[matbearing]()
+			if err != nil {
+				t.Error(err)
+			}
+			done <- d
+		}()
+	}
+	first := <-done
+	for i := 1; i < workers; i++ {
+		if d := <-done; d != first {
+			t.Fatal("concurrent derivations returned distinct types")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package derive
+
+// ResetMemo clears the derivation memo. Tests and benchmarks only: it
+// lets first-derivation cost be measured repeatedly and keeps fuzz
+// iterations from saturating the memo with throwaway reflect.StructOf
+// types.
+func ResetMemo() {
+	memo.Range(func(k, _ any) bool {
+		memo.Delete(k)
+		return true
+	})
+}

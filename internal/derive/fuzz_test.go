@@ -1,0 +1,166 @@
+package derive_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mpicd/internal/derive"
+)
+
+// FuzzDeriveDifferential generates random fixed-shape Go struct types
+// with reflect.StructOf and checks derivation against an independent
+// reflection oracle: the oracle walks the reflect.Type directly and
+// copies field bytes out of the memory image, with no knowledge of ddt
+// runs or plans. For every generated shape the derived type's extent,
+// packed size, pack output and unpack/repack round trip must agree with
+// the oracle — and shapes carrying a pointer must fail with the
+// ErrUnsupported taxonomy, never mis-pack.
+func FuzzDeriveDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{7, 7, 7})          // nested structs
+	f.Add([]byte{8, 0, 8, 3, 8, 6}) // arrays of scalars
+	f.Add([]byte{9})                // pointer: unsupported
+	f.Add([]byte{8, 7, 2, 1})       // array of struct
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, shape []byte) {
+		rt, hasPtr := buildShape(&shape, 0)
+		if rt == nil {
+			t.Skip()
+		}
+		typ, err := derive.TypeFor(rt)
+		if hasPtr {
+			if !errors.Is(err, derive.ErrUnsupported) {
+				t.Fatalf("pointer-bearing %v derived without taxonomy error (err=%v)", rt, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("derive %v: %v", rt, err)
+		}
+		if typ.Extent() != int64(rt.Size()) {
+			t.Fatalf("%v: extent %d != sizeof %d", rt, typ.Extent(), rt.Size())
+		}
+
+		// Random-ish image, deterministic in the shape bytes.
+		img := make([]byte, rt.Size())
+		x := uint32(2463534242)
+		for i := range img {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			img[i] = byte(x)
+		}
+
+		want := oraclePack(rt, img, 0, nil)
+		if typ.Size() != int64(len(want)) {
+			t.Fatalf("%v: packed size %d, oracle moves %d bytes", rt, typ.Size(), len(want))
+		}
+		got := make([]byte, typ.PackedSize(1))
+		if _, err := typ.Pack(img, 1, got); err != nil {
+			t.Fatalf("%v: pack: %v", rt, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: derived pack disagrees with the reflection oracle", rt)
+		}
+
+		// Unpack into a fresh image and repack: the moved bytes survive.
+		rimg := make([]byte, rt.Size())
+		if err := typ.Unpack(rimg, 1, got); err != nil {
+			t.Fatalf("%v: unpack: %v", rt, err)
+		}
+		if again := oraclePack(rt, rimg, 0, nil); !bytes.Equal(again, want) {
+			t.Fatalf("%v: unpack/repack round trip lost bytes", rt)
+		}
+	})
+}
+
+// scalarKinds are the supported leaf types the fuzzer draws from.
+var scalarKinds = []reflect.Type{
+	reflect.TypeFor[int8](),
+	reflect.TypeFor[uint8](),
+	reflect.TypeFor[int16](),
+	reflect.TypeFor[int32](),
+	reflect.TypeFor[float32](),
+	reflect.TypeFor[int64](),
+	reflect.TypeFor[float64](),
+	reflect.TypeFor[complex128](),
+	reflect.TypeFor[bool](),
+}
+
+// take consumes the next shape byte, defaulting to 0 when exhausted.
+func take(shape *[]byte) byte {
+	if len(*shape) == 0 {
+		return 0
+	}
+	b := (*shape)[0]
+	*shape = (*shape)[1:]
+	return b
+}
+
+// buildShape decodes one type from the shape bytes: opcodes 0..6 are
+// scalars, 7 is a nested struct, 8 is a fixed array, 9 is a pointer
+// (expected-unsupported), everything else wraps around. Depth is bounded
+// so reflect.StructOf cannot blow up.
+func buildShape(shape *[]byte, depth int) (reflect.Type, bool) {
+	op := take(shape)
+	if depth >= 3 {
+		return scalarKinds[int(op)%len(scalarKinds)], false
+	}
+	switch {
+	case op == 9:
+		return reflect.PointerTo(scalarKinds[int(take(shape))%len(scalarKinds)]), true
+	case op == 8:
+		n := int(take(shape)) % 5 // 0..4 elements; 0 exercises zero-size fields
+		elem, ptr := buildShape(shape, depth+1)
+		if elem == nil {
+			return nil, false
+		}
+		return reflect.ArrayOf(n, elem), ptr
+	case op == 7:
+		nf := 1 + int(take(shape))%4
+		fields := make([]reflect.StructField, 0, nf)
+		hasPtr := false
+		for i := 0; i < nf; i++ {
+			ft, ptr := buildShape(shape, depth+1)
+			if ft == nil {
+				return nil, false
+			}
+			hasPtr = hasPtr || ptr
+			fields = append(fields, reflect.StructField{
+				Name: string(rune('A' + i)),
+				Type: ft,
+			})
+		}
+		return reflect.StructOf(fields), hasPtr
+	default:
+		return scalarKinds[int(op)%len(scalarKinds)], false
+	}
+}
+
+// oraclePack is the independent packing oracle: append the bytes of
+// every field in declaration order, recursing through arrays and
+// structs, skipping nothing but zero-size fields — exactly the wire
+// contract derivation promises, computed without ddt.
+func oraclePack(rt reflect.Type, img []byte, off int64, dst []byte) []byte {
+	switch rt.Kind() {
+	case reflect.Array:
+		es := int64(rt.Elem().Size())
+		for i := 0; i < rt.Len(); i++ {
+			dst = oraclePack(rt.Elem(), img, off+int64(i)*es, dst)
+		}
+		return dst
+	case reflect.Struct:
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			if f.Name == "_" {
+				continue
+			}
+			dst = oraclePack(f.Type, img, off+int64(f.Offset), dst)
+		}
+		return dst
+	default: // scalar leaf
+		return append(dst, img[off:off+int64(rt.Size())]...)
+	}
+}

@@ -172,39 +172,46 @@ type structSpec struct {
 	unpack  func(src []byte, img []byte, count int)
 	custom  func() *core.Datatype
 	derived func() *core.Datatype
+	// goDerive is the TypeOf[T]-derived equivalent of derived: same wire
+	// format and — by plan interning — the same compiled plan, built from
+	// the Go mirror struct instead of a hand-written constructor tree.
+	goDerive func() *core.Datatype
 }
 
 var structVecSpec = structSpec{
-	name:    "struct-vec",
-	extent:  workloads.StructVecExtent,
-	packed:  workloads.StructVecPacked,
-	fill:    workloads.FillStructVec,
-	pack:    workloads.PackStructVec,
-	unpack:  workloads.UnpackStructVec,
-	custom:  workloads.StructVecCustom,
-	derived: func() *core.Datatype { return core.FromDDT(workloads.StructVecType()) },
+	name:     "struct-vec",
+	extent:   workloads.StructVecExtent,
+	packed:   workloads.StructVecPacked,
+	fill:     workloads.FillStructVec,
+	pack:     workloads.PackStructVec,
+	unpack:   workloads.UnpackStructVec,
+	custom:   workloads.StructVecCustom,
+	derived:  func() *core.Datatype { return core.FromDDT(workloads.StructVecType()) },
+	goDerive: func() *core.Datatype { return core.FromDDT(workloads.StructVecDerived()) },
 }
 
 var structSimpleSpec = structSpec{
-	name:    "struct-simple",
-	extent:  workloads.StructSimpleExtent,
-	packed:  workloads.StructSimplePacked,
-	fill:    workloads.FillStructSimple,
-	pack:    workloads.PackStructSimple,
-	unpack:  workloads.UnpackStructSimple,
-	custom:  workloads.StructSimpleCustom,
-	derived: func() *core.Datatype { return core.FromDDT(workloads.StructSimpleType()) },
+	name:     "struct-simple",
+	extent:   workloads.StructSimpleExtent,
+	packed:   workloads.StructSimplePacked,
+	fill:     workloads.FillStructSimple,
+	pack:     workloads.PackStructSimple,
+	unpack:   workloads.UnpackStructSimple,
+	custom:   workloads.StructSimpleCustom,
+	derived:  func() *core.Datatype { return core.FromDDT(workloads.StructSimpleType()) },
+	goDerive: func() *core.Datatype { return core.FromDDT(workloads.StructSimpleDerived()) },
 }
 
 var structSimpleNoGapSpec = structSpec{
-	name:    "struct-simple-no-gap",
-	extent:  workloads.StructSimpleNoGapExtent,
-	packed:  workloads.StructSimpleNoGapPacked,
-	fill:    workloads.FillStructSimpleNoGap,
-	pack:    workloads.PackStructSimpleNoGap,
-	unpack:  workloads.UnpackStructSimpleNoGap,
-	custom:  workloads.StructSimpleNoGapCustom,
-	derived: func() *core.Datatype { return core.FromDDT(workloads.StructSimpleNoGapType()) },
+	name:     "struct-simple-no-gap",
+	extent:   workloads.StructSimpleNoGapExtent,
+	packed:   workloads.StructSimpleNoGapPacked,
+	fill:     workloads.FillStructSimpleNoGap,
+	pack:     workloads.PackStructSimpleNoGap,
+	unpack:   workloads.UnpackStructSimpleNoGap,
+	custom:   workloads.StructSimpleNoGapCustom,
+	derived:  func() *core.Datatype { return core.FromDDT(workloads.StructSimpleNoGapType()) },
+	goDerive: func() *core.Datatype { return core.FromDDT(workloads.StructSimpleNoGapDerived()) },
 }
 
 // StructOp builds the op for one (spec, method, element count).
@@ -245,6 +252,17 @@ func StructOp(spec structSpec, method string, count int) Op {
 		}
 	case "rsmpi":
 		dt := spec.derived()
+		return Op{
+			Name:  method,
+			Bytes: bytes,
+			Send:  func(c *core.Comm, dst, tag int) error { return c.Send(img, int64(count), dt, dst, tag) },
+			Recv: func(c *core.Comm, src, tag int) error {
+				_, err := c.Recv(rimg, int64(count), dt, src, tag)
+				return err
+			},
+		}
+	case "derive":
+		dt := spec.goDerive()
 		return Op{
 			Name:  method,
 			Bytes: bytes,
@@ -328,7 +346,7 @@ func structFigure(cfg Config, id, title string, spec structSpec, bandwidth bool,
 		if size > cfg.MaxBytes {
 			break
 		}
-		for _, m := range []string{"custom", "packed", "rsmpi"} {
+		for _, m := range []string{"custom", "packed", "rsmpi", "derive"} {
 			op := StructOp(spec, m, count)
 			var mean, dev float64
 			var err error

@@ -96,11 +96,14 @@ func TestAllOpsTransfer(t *testing.T) {
 		StructOp(structVecSpec, "custom", 2),
 		StructOp(structVecSpec, "packed", 2),
 		StructOp(structVecSpec, "rsmpi", 2),
+		StructOp(structVecSpec, "derive", 2),
 		StructOp(structSimpleSpec, "custom", 10),
 		StructOp(structSimpleSpec, "packed", 10),
 		StructOp(structSimpleSpec, "rsmpi", 10),
+		StructOp(structSimpleSpec, "derive", 10),
 		StructOp(structSimpleNoGapSpec, "custom", 10),
 		StructOp(structSimpleNoGapSpec, "rsmpi", 10),
+		StructOp(structSimpleNoGapSpec, "derive", 10),
 	}
 	for _, m := range pickleMethods {
 		ops = append(ops, PickleOp(m, map[string]any{"x": int64(1)}, 16))
@@ -126,7 +129,7 @@ func TestFig5Quick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Series) != 3 {
+	if len(f.Series) != 4 {
 		t.Fatalf("fig5 series = %d", len(f.Series))
 	}
 	for _, s := range f.Series {

@@ -36,11 +36,20 @@ func StructOf(size int64, fields ...Field) (*ddt.Type, error) {
 		if f.Type == nil {
 			return nil, fmt.Errorf("layout: field %d has no type", i)
 		}
+		if f.Count < 0 {
+			return nil, fmt.Errorf("layout: field %d has negative count %d", i, f.Count)
+		}
+		if f.Off < 0 {
+			return nil, fmt.Errorf("layout: field %d has negative offset %d", i, f.Off)
+		}
 		n := f.Count
 		if n == 0 {
 			n = 1
 		}
 		bls[i], displs[i], types[i] = n, f.Off, f.Type
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("layout: negative struct size %d", size)
 	}
 	t, err := ddt.Struct(bls, displs, types)
 	if err != nil {

@@ -2,6 +2,7 @@ package layout
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"mpicd/internal/ddt"
@@ -56,6 +57,37 @@ func TestStructOfPadding(t *testing.T) {
 	s, err := StructOf(16, Field{Off: 0, Type: ddt.Int32})
 	if err != nil || s.Size() != 4 || s.Extent() != 16 {
 		t.Fatalf("defaulted count: %v size %d extent %d", err, s.Size(), s.Extent())
+	}
+}
+
+// TestStructOfRejectsNegativeFields is the regression for the validation
+// gap: Field used to pass a negative Count or Off straight into
+// ddt.Struct (only remapping 0 -> 1), surfacing as an opaque constructor
+// error at best. StructOf now rejects both with an error naming the
+// field and the reason.
+func TestStructOfRejectsNegativeFields(t *testing.T) {
+	cases := []struct {
+		name   string
+		size   int64
+		fields []Field
+		want   string
+	}{
+		{"negative-count", 24, []Field{{Off: 0, Type: ddt.Int32, Count: -3}}, "field 0 has negative count -3"},
+		{"negative-off", 24, []Field{{Off: 0, Type: ddt.Int32}, {Off: -8, Type: ddt.Float64}}, "field 1 has negative offset -8"},
+		{"negative-size", -24, []Field{{Off: 0, Type: ddt.Int32}}, "negative struct size -24"},
+	}
+	for _, tc := range cases {
+		s, err := StructOf(tc.size, tc.fields...)
+		if err == nil {
+			t.Fatalf("%s: accepted invalid field (type %v)", tc.name, s)
+		}
+		if got := err.Error(); !strings.Contains(got, tc.want) {
+			t.Fatalf("%s: error %q does not explain the rejection (%q)", tc.name, got, tc.want)
+		}
+	}
+	// Zero count still defaults to one element (the documented remap).
+	if s, err := StructOf(8, Field{Off: 0, Type: ddt.Int32, Count: 0}); err != nil || s.Size() != 4 {
+		t.Fatalf("zero count must default to 1: %v", err)
 	}
 }
 

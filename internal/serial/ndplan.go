@@ -103,7 +103,22 @@ func (a *NDArray) packType() (*ddt.Type, error) {
 // packed returns the array's data as a contiguous C-order buffer: the
 // data itself when already contiguous, otherwise a fresh buffer filled
 // by the compiled plan of the strided layout.
+//
+// Empty arrays — any Shape[k] == 0 — pack to zero bytes explicitly,
+// before the contiguity and stride checks: a zero-length dimension makes
+// every stride irrelevant (there is no element to walk), and the
+// fall-through used to let Contiguous() treat such arrays as contiguous
+// and emit the entire backing Data buffer for an array that holds no
+// elements.
 func (a *NDArray) packed() (Buffer, error) {
+	for _, s := range a.Shape {
+		if s < 0 {
+			return nil, fmt.Errorf("serial: negative dimension %d", s)
+		}
+	}
+	if a.Elems() == 0 {
+		return Buffer{}, nil
+	}
 	if a.Contiguous() {
 		return a.Data, nil
 	}

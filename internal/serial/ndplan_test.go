@@ -108,6 +108,79 @@ func TestStridedNDArrayErrors(t *testing.T) {
 	}
 }
 
+// TestEmptyNDArrayPacksZeroBytes is the regression for the zero-length-
+// dimension gap: an array with any Shape[k] == 0 holds no elements, so
+// it must pack to zero bytes — it used to fall through the stride checks
+// (every dim with shape <= 1 is exempt from stride validation, so
+// Contiguous() reported true) and emit the entire backing Data buffer.
+func TestEmptyNDArrayPacksZeroBytes(t *testing.T) {
+	junk := Buffer{1, 2, 3, 4, 5, 6, 7, 8}
+	for name, arr := range map[string]*NDArray{
+		"1d":              {DType: "float64", Shape: []int64{0}, Data: junk},
+		"1d-junk-strides": {DType: "float64", Shape: []int64{0}, Strides: []int64{-8}, Data: junk},
+		"trailing-zero":   {DType: "float64", Shape: []int64{3, 0}, Strides: []int64{999, 8}, Data: junk},
+		"leading-zero":    {DType: "int32", Shape: []int64{0, 5}, Strides: []int64{20, 4}, Data: junk},
+	} {
+		p, err := arr.packed()
+		if err != nil {
+			t.Fatalf("%s: packed: %v", name, err)
+		}
+		if len(p) != 0 {
+			t.Fatalf("%s: empty array packed %d bytes, want 0", name, len(p))
+		}
+	}
+}
+
+// TestEmptyNDArrayRoundtrip: an empty array survives encode/decode with
+// its shape intact and zero payload bytes, regardless of what the
+// backing buffer or strides held.
+func TestEmptyNDArrayRoundtrip(t *testing.T) {
+	arr := &NDArray{
+		DType:   "float64",
+		Shape:   []int64{4, 0, 3},
+		Strides: []int64{0, 0, 8},
+		Data:    Buffer{9, 9, 9, 9, 9, 9, 9, 9}, // junk that must not leak
+	}
+	h, err := Dumps(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Loads(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, ok := got.(*NDArray)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if len(dec.Data) != 0 {
+		t.Fatalf("decoded empty array carries %d data bytes", len(dec.Data))
+	}
+	if len(dec.Shape) != 3 || dec.Shape[0] != 4 || dec.Shape[1] != 0 || dec.Shape[2] != 3 {
+		t.Fatalf("decoded shape %v, want [4 0 3]", dec.Shape)
+	}
+	if dec.Elems() != 0 {
+		t.Fatalf("decoded element count %d, want 0", dec.Elems())
+	}
+	// Re-encoding the decoded array is stable.
+	h2, err := Dumps(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(h, h2) {
+		t.Fatal("empty array round trip is not stable")
+	}
+}
+
+// TestNDArrayNegativeDimension: a negative dimension is corrupt metadata
+// and must fail at encode time.
+func TestNDArrayNegativeDimension(t *testing.T) {
+	arr := &NDArray{DType: "float64", Shape: []int64{-1}, Data: Buffer{}}
+	if _, err := Dumps(arr); err == nil {
+		t.Fatal("negative dimension accepted")
+	}
+}
+
 // TestStridedPlanShared: two views with the same stride geometry must
 // compile one plan — the second encode hits the ddt plan cache.
 func TestStridedPlanShared(t *testing.T) {

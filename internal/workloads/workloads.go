@@ -24,6 +24,7 @@ import (
 
 	"mpicd/internal/core"
 	"mpicd/internal/ddt"
+	"mpicd/internal/derive"
 	"mpicd/internal/layout"
 )
 
@@ -53,6 +54,42 @@ const (
 	StructSimpleNoGapExtent = 16
 	StructSimpleNoGapPacked = 16
 )
+
+// Go-native mirrors of the paper structs. Go's alignment rules reproduce
+// the #[repr(C)] layouts exactly (the f64 after three i32s forces the
+// same 4-byte gap at offset 12), so deriving a datatype from these with
+// package derive yields the very layouts the constants above describe —
+// workloads_test pins the offsets and the derived/hand-built plan
+// sharing.
+type (
+	// StructVecGo mirrors Listing 6: scalars, gap, and the big array.
+	StructVecGo struct {
+		A, B, C int32
+		D       float64
+		Data    [StructVecDataLen]int32
+	}
+	// StructSimpleGo mirrors Listing 7: the gapped struct.
+	StructSimpleGo struct {
+		A, B, C int32
+		D       float64
+	}
+	// StructSimpleNoGapGo mirrors Listing 8: fully contiguous.
+	StructSimpleNoGapGo struct {
+		A, B int32
+		C    float64
+	}
+)
+
+// StructVecDerived returns the datatype derived from the Go mirror of
+// struct-vec — transfer-equivalent to StructVecType() and sharing its
+// compiled plan.
+func StructVecDerived() *ddt.Type { return derive.MustTypeOf[StructVecGo]() }
+
+// StructSimpleDerived returns the derived struct-simple datatype.
+func StructSimpleDerived() *ddt.Type { return derive.MustTypeOf[StructSimpleGo]() }
+
+// StructSimpleNoGapDerived returns the derived no-gap datatype.
+func StructSimpleNoGapDerived() *ddt.Type { return derive.MustTypeOf[StructSimpleNoGapGo]() }
 
 // StructVecType returns the derived datatype for struct-vec (what RSMPI's
 // derive macro would build for Listing 6).

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"mpicd/internal/core"
+	"mpicd/internal/ddt"
 	"mpicd/internal/layout"
 )
 
@@ -283,5 +285,66 @@ func TestFieldValuesSurviveCustomTransfer(t *testing.T) {
 		if layout.F64(out, base+16) != 21+float64(e)/16 {
 			t.Fatalf("element %d field d = %v", e, layout.F64(out, base+16))
 		}
+	}
+}
+
+// TestDerivedMirrorsMatchHandBuilt pins the Go mirror structs to the
+// paper layouts: field offsets and sizeof match the layout constants,
+// the derived datatype is transfer-equivalent to the hand-built one, and
+// — through the plan cache — both compile to the very same plan.
+func TestDerivedMirrorsMatchHandBuilt(t *testing.T) {
+	if s := unsafe.Sizeof(StructVecGo{}); s != StructVecExtent {
+		t.Fatalf("sizeof(StructVecGo) = %d, want %d", s, StructVecExtent)
+	}
+	var sv StructVecGo
+	if o := unsafe.Offsetof(sv.D); o != 16 {
+		t.Fatalf("StructVecGo.D at offset %d, want 16", o)
+	}
+	if o := unsafe.Offsetof(sv.Data); o != 24 {
+		t.Fatalf("StructVecGo.Data at offset %d, want 24", o)
+	}
+	if s := unsafe.Sizeof(StructSimpleGo{}); s != StructSimpleExtent {
+		t.Fatalf("sizeof(StructSimpleGo) = %d, want %d", s, StructSimpleExtent)
+	}
+	if s := unsafe.Sizeof(StructSimpleNoGapGo{}); s != StructSimpleNoGapExtent {
+		t.Fatalf("sizeof(StructSimpleNoGapGo) = %d, want %d", s, StructSimpleNoGapExtent)
+	}
+
+	cases := []struct {
+		name          string
+		derived, hand *ddt.Type
+		packed        int64
+	}{
+		{"struct-vec", StructVecDerived(), StructVecType(), StructVecPacked},
+		{"struct-simple", StructSimpleDerived(), StructSimpleType(), StructSimplePacked},
+		{"struct-simple-no-gap", StructSimpleNoGapDerived(), StructSimpleNoGapType(), StructSimpleNoGapPacked},
+	}
+	for _, tc := range cases {
+		if !ddt.Equal(tc.derived, tc.hand) {
+			t.Fatalf("%s: derived type is not transfer-equivalent to the hand-built one", tc.name)
+		}
+		if tc.derived.Size() != tc.packed {
+			t.Fatalf("%s: derived packed size %d, want %d", tc.name, tc.derived.Size(), tc.packed)
+		}
+		if tc.derived.Plan() != tc.hand.Plan() {
+			t.Fatalf("%s: derived and hand-built types compiled separate plans", tc.name)
+		}
+	}
+}
+
+// TestDerivedStructVecPacksIdentically: the derived type moves exactly
+// the bytes the manual packing loop moves.
+func TestDerivedStructVecPacksIdentically(t *testing.T) {
+	const count = 3
+	img := make([]byte, count*StructVecExtent)
+	FillStructVec(img, count, 7)
+	manual := make([]byte, count*StructVecPacked)
+	PackStructVec(img, count, manual)
+	derived := make([]byte, count*StructVecPacked)
+	if _, err := StructVecDerived().Pack(img, count, derived); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manual, derived) {
+		t.Fatal("derived pack disagrees with the manual packing loop")
 	}
 }

@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"reflect"
+	"sync"
+	"unsafe"
+
+	"mpicd/internal/core"
+	"mpicd/internal/derive"
+)
+
+// Go-native datatype derivation: the ergonomic front end over the
+// classic constructors. Instead of hand-assembling a ddt tree (or a
+// layout.StructOf descriptor) that mirrors a Go struct, applications
+// declare the struct once and derive the datatype from it:
+//
+//	type Particle struct {
+//		ID       int32
+//		Mass     float64
+//		Pos, Vel [3]float64
+//	}
+//	dt := mpi.MustTypeOf[Particle]()          // derived once, memoized
+//	err := mpi.SendSlice(comm, particles, dst, tag)
+//
+// The derived type lowers to the same canonical layout a hand-built
+// equivalent produces, so both share one compiled plan in the plan cache
+// — "derived == hand-written" is a structural identity, not a benchmark
+// claim (though BENCH_derive.json records the benchmark too).
+//
+// Supported shapes are fixed-size ones: scalars, fixed arrays, structs
+// of those (nested, embedded, unexported fields included; blank "_"
+// fields and alignment gaps are elided as padding). Pointers, maps,
+// slices, strings, chans, funcs and interfaces anywhere in the shape
+// yield ErrTypeUnsupported — use TypeCreateCustom (or package serial)
+// for dynamic shapes.
+
+// ErrTypeUnsupported reports a Go type that cannot be derived into a
+// datatype (pointer-bearing or variable-length shape). Test with
+// errors.Is.
+var ErrTypeUnsupported = derive.ErrUnsupported
+
+// TypeOf derives the derived datatype of the Go type T. Derivation
+// reflects T once and memoizes per type: the steady-state call is one
+// lock-free lookup with zero allocations.
+func TypeOf[T any]() (*DDT, error) { return derive.TypeOf[T]() }
+
+// MustTypeOf is TypeOf, panicking on unsupported shapes (package-level
+// type declarations).
+func MustTypeOf[T any]() *DDT { return derive.MustTypeOf[T]() }
+
+// dtMemo caches the committed *Datatype per reflect.Type, so the typed
+// send/recv helpers are allocation-free after first use (FromDDT compiles
+// the plan at commit time; the memo makes that a one-time cost per T).
+var dtMemo sync.Map // reflect.Type -> *dtEntry
+
+type dtEntry struct {
+	dt  *Datatype
+	err error
+}
+
+// DatatypeOf returns the committed communication datatype of T —
+// TypeOf[T] wrapped with FromDDT — memoized per type.
+func DatatypeOf[T any]() (*Datatype, error) {
+	rt := reflect.TypeFor[T]()
+	if e, ok := dtMemo.Load(rt); ok {
+		ent := e.(*dtEntry)
+		return ent.dt, ent.err
+	}
+	t, err := derive.TypeFor(rt)
+	var dt *Datatype
+	if err == nil {
+		dt = core.FromDDT(t)
+	}
+	ent, _ := dtMemo.LoadOrStore(rt, &dtEntry{dt: dt, err: err})
+	e := ent.(*dtEntry)
+	return e.dt, e.err
+}
+
+// valueBytes views one T as its memory image. Derivation has already
+// established the shape is pointer-free, so the image is plain data.
+func valueBytes[T any](v *T) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(v)), unsafe.Sizeof(*v))
+}
+
+// sliceBytes views a []T as its memory image.
+func sliceBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	var zero T
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), uintptr(len(s))*unsafe.Sizeof(zero))
+}
+
+// SendValue sends one value of a derived Go type: the typed-helper face
+// of Comm.Send (derives the datatype on first use, then views v's memory
+// as the send buffer — no staging copy).
+func SendValue[T any](c *Comm, v *T, dst, tag int) error {
+	dt, err := DatatypeOf[T]()
+	if err != nil {
+		return err
+	}
+	return c.Send(valueBytes(v), 1, dt, dst, tag)
+}
+
+// RecvValue receives one value of a derived Go type into *v.
+func RecvValue[T any](c *Comm, v *T, src, tag int) (Status, error) {
+	dt, err := DatatypeOf[T]()
+	if err != nil {
+		return Status{}, err
+	}
+	return c.Recv(valueBytes(v), 1, dt, src, tag)
+}
+
+// SendSlice sends all elements of a slice of a derived Go type. Array
+// striding (including struct trailing padding) follows the derived
+// extent, which equals unsafe.Sizeof(T).
+func SendSlice[T any](c *Comm, s []T, dst, tag int) error {
+	dt, err := DatatypeOf[T]()
+	if err != nil {
+		return err
+	}
+	return c.Send(sliceBytes(s), Count(len(s)), dt, dst, tag)
+}
+
+// RecvSlice receives len(s) elements of a derived Go type into s.
+func RecvSlice[T any](c *Comm, s []T, src, tag int) (Status, error) {
+	dt, err := DatatypeOf[T]()
+	if err != nil {
+		return Status{}, err
+	}
+	return c.Recv(sliceBytes(s), Count(len(s)), dt, src, tag)
+}

@@ -1,0 +1,139 @@
+package mpi_test
+
+import (
+	"errors"
+	"testing"
+	"unsafe"
+
+	"mpicd/mpi"
+)
+
+// particle is the quickstart's derived type: padded struct with nested
+// fixed arrays.
+type particle struct {
+	ID       int32
+	Mass     float64 // 4-byte gap before this field
+	Pos, Vel [3]float64
+}
+
+func TestTypeOfSendRecvValue(t *testing.T) {
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		v := particle{ID: 42, Mass: 1.5, Pos: [3]float64{1, 2, 3}, Vel: [3]float64{-1, 0, 1}}
+		if c.Rank() == 0 {
+			return mpi.SendValue(c, &v, 1, 7)
+		}
+		var r particle
+		if _, err := mpi.RecvValue(c, &r, 0, 7); err != nil {
+			return err
+		}
+		if r != v {
+			t.Errorf("received %+v, want %+v", r, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeOfSendRecvSlice(t *testing.T) {
+	const n = 257 // straddles eager fragmentation for this extent
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		vals := make([]particle, n)
+		for i := range vals {
+			vals[i] = particle{
+				ID:   int32(i),
+				Mass: float64(i) / 3,
+				Pos:  [3]float64{float64(i), float64(2 * i), float64(3 * i)},
+				Vel:  [3]float64{1, float64(-i), 0.5},
+			}
+		}
+		if c.Rank() == 0 {
+			return mpi.SendSlice(c, vals, 1, 9)
+		}
+		got := make([]particle, n)
+		if _, err := mpi.RecvSlice(c, got, 0, 9); err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i] != vals[i] {
+				t.Errorf("element %d: got %+v want %+v", i, got[i], vals[i])
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypeOfSharesPlanWithHandBuilt is the facade-level differential
+// gate: mpi.TypeOf and the hand-built mpi.Struct equivalent intern to
+// one plan cache entry.
+func TestTypeOfSharesPlanWithHandBuilt(t *testing.T) {
+	derived, err := mpi.TypeOf[particle]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := mpi.Struct(
+		[]int{1, 1, 3, 3},
+		[]int64{0, 8, int64(unsafe.Offsetof(particle{}.Pos)), int64(unsafe.Offsetof(particle{}.Vel))},
+		[]*mpi.DDT{mpi.Int32, mpi.Float64, mpi.Float64, mpi.Float64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err = mpi.Resized(hand, int64(unsafe.Sizeof(particle{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mpi.TypeEqual(derived, hand) {
+		t.Fatal("derived and hand-built types are not transfer-equivalent")
+	}
+	if mpi.TypePlan(derived) != mpi.TypePlan(hand) {
+		t.Fatal("derived and hand-built types did not share one cached plan")
+	}
+}
+
+// TestDatatypeOfMemoZeroAlloc guards the helper hot path: after first
+// use, resolving the committed datatype of T allocates nothing.
+func TestDatatypeOfMemoZeroAlloc(t *testing.T) {
+	if _, err := mpi.DatatypeOf[particle](); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := mpi.DatatypeOf[particle](); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("memo-hit DatatypeOf allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestTypeOfUnsupportedTaxonomy(t *testing.T) {
+	type dynamic struct {
+		Names []string
+	}
+	if _, err := mpi.TypeOf[dynamic](); !errors.Is(err, mpi.ErrTypeUnsupported) {
+		t.Fatalf("TypeOf: error %v does not wrap ErrTypeUnsupported", err)
+	}
+	if _, err := mpi.DatatypeOf[dynamic](); !errors.Is(err, mpi.ErrTypeUnsupported) {
+		t.Fatalf("DatatypeOf: error %v does not wrap ErrTypeUnsupported", err)
+	}
+	// The typed helpers surface the same taxonomy without communicating.
+	err := mpi.Run(2, mpi.Options{}, func(c *mpi.Comm) error {
+		var v dynamic
+		if c.Rank() == 0 {
+			if err := mpi.SendValue(c, &v, 1, 1); !errors.Is(err, mpi.ErrTypeUnsupported) {
+				t.Errorf("SendValue: %v", err)
+			}
+		} else if _, err := mpi.RecvValue(c, &v, 0, 1); !errors.Is(err, mpi.ErrTypeUnsupported) {
+			t.Errorf("RecvValue: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
