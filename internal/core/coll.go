@@ -233,6 +233,9 @@ func (c *Comm) bcast(buf any, count Count, dt *Datatype, root int, epoch uint64,
 	if view, ok := byteView(buf, count, dt); ok && int64(len(view)) >= c.collTuning().PipelineThresh {
 		return c.bcastPipelined(view, root, epoch, sc)
 	}
+	if p := c.topoPlan(); p != nil {
+		return c.bcastTopo(p, buf, count, dt, root, epoch)
+	}
 	return c.bcastTree(buf, count, dt, root, epoch)
 }
 
@@ -552,6 +555,11 @@ func (c *Comm) allreduce(sendBuf, recvBuf []byte, bytes Count, count Count, dt *
 	}
 	if op.Commutative && bytes >= c.collTuning().RabenThresh && count >= Count(pof2) {
 		return c.allreduceRaben(sendBuf, recvBuf, bytes, count, dt, op, pof2, epoch, sc)
+	}
+	if op.Commutative {
+		if p := c.topoPlan(); p != nil {
+			return c.allreduceTopo(p, sendBuf, recvBuf, bytes, count, dt, op, epoch, sc)
+		}
 	}
 	if err := c.reduce(sendBuf, recvBuf, bytes, count, dt, op, 0, epoch, sc); err != nil {
 		return err

@@ -54,8 +54,8 @@ var matrixSizes = []struct {
 	bytes int
 }{
 	{"small", 1 << 10},
-	{"straddle", 16384},    // exactly PipelineThresh; RabenThresh crossed
-	{"large", 1<<16 + 24},  // odd size: uneven chunk tails, odd halving splits
+	{"straddle", 16384},   // exactly PipelineThresh; RabenThresh crossed
+	{"large", 1<<16 + 24}, // odd size: uneven chunk tails, odd halving splits
 }
 
 var matrixRanks = []int{2, 3, 4, 5, 8}

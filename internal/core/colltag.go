@@ -74,6 +74,24 @@ type CollTuning struct {
 	// Window is the number of outstanding pipeline chunks per peer
 	// (default 4, minimum 1).
 	Window int
+	// Topology describes rank placement for hierarchy-aware schedules
+	// (colltopo.go): small Bcasts and small commutative Allreduces route
+	// through one leader per node so each payload crosses the expensive
+	// inter-node tier once per node instead of once per rank. Nil — or a
+	// placement that does not fit this communicator, such as tuning
+	// inherited through Split — keeps the flat topology-oblivious
+	// algorithms.
+	Topology *CollTopology
+}
+
+// CollTopology maps communicator ranks to nodes. The launcher reports
+// real placement; in-process tests fabricate one to exercise the
+// hierarchical schedules.
+type CollTopology struct {
+	// NodeOf[i] is the node id hosting communicator rank i. Ids are
+	// arbitrary labels; equal ids promise a cheap transport tier (shared
+	// memory) between the two ranks.
+	NodeOf []int
 }
 
 // Default collective-engine thresholds.

@@ -1,0 +1,189 @@
+package core
+
+// Topology-aware collective schedules. With CollTuning.Topology set, the
+// communicator knows which ranks share a node (a shared-memory domain
+// under the SHM provider) and which pairs talk over sockets. Small
+// latency-bound collectives then run hierarchically:
+//
+//	Bcast:     root → binomial tree over node leaders → intra-node
+//	           binomial fan-out. The payload crosses the inter-node tier
+//	           once per node instead of once per subtree rank.
+//	Allreduce: intra-node binomial reduce to each leader → leader
+//	           reduce + broadcast over the inter-node tier → intra-node
+//	           binomial fan-out of the result.
+//
+// Only the whole-message small-payload paths reroute: the pipelined
+// Bcast, ring Allgather and Rabenseifner Allreduce are bandwidth
+// schedules whose per-byte cost already amortizes the tier difference,
+// so they stay flat. Every phase runs over an explicit rank list with a
+// distinct tag seq, keeping the phases of one epoch unmatchable against
+// each other.
+
+// topoPlan is the resolved hierarchy for one collective call: this
+// rank's node peers and the per-node leaders.
+type topoPlan struct {
+	nodeRanks []int // communicator ranks sharing this rank's node, ascending
+	leaders   []int // one leader rank per node, ascending
+	myNode    int   // index into leaders of this rank's node leader
+}
+
+// topoPlan resolves the communicator's topology into a hierarchy, or nil
+// when the flat schedules should run: no placement configured, placement
+// that does not fit this communicator (tuning inherited through
+// Dup/Split keeps the parent's NodeOf), a single node, or one rank per
+// node (both degenerate hierarchies reduce to the flat tree anyway).
+func (c *Comm) topoPlan() *topoPlan {
+	topo := c.collTuning().Topology
+	n := c.Size()
+	if topo == nil || len(topo.NodeOf) != n {
+		return nil
+	}
+	myNode := topo.NodeOf[c.rank]
+	p := &topoPlan{}
+	seen := make(map[int]int, 8) // node id → index into leaders
+	for r := 0; r < n; r++ {
+		node := topo.NodeOf[r]
+		if _, ok := seen[node]; !ok {
+			seen[node] = len(p.leaders)
+			p.leaders = append(p.leaders, r) // first rank on a node leads it
+		}
+		if node == myNode {
+			p.nodeRanks = append(p.nodeRanks, r)
+		}
+	}
+	if len(p.leaders) == 1 || len(p.leaders) == n {
+		return nil
+	}
+	p.myNode = seen[myNode]
+	return p
+}
+
+// leaderFor returns this rank's node leader.
+func (p *topoPlan) leaderFor() int { return p.nodeRanks[0] }
+
+// rankIndex returns r's position in ranks, or -1.
+func rankIndex(ranks []int, r int) int {
+	for i, v := range ranks {
+		if v == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// bcastTreeOver runs a whole-message binomial broadcast over the ranks
+// in list, rooted at list position rootIdx. Ranks outside the list do
+// not participate. seq separates concurrent phases of one epoch.
+func (c *Comm) bcastTreeOver(list []int, rootIdx int, buf any, count Count, dt *Datatype, epoch uint64, seq int) error {
+	idx := rankIndex(list, c.rank)
+	if idx < 0 {
+		return nil
+	}
+	n := len(list)
+	vrank := (idx - rootIdx + n) % n
+	parent := -1
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent = list[((vrank-mask)+rootIdx)%n]
+			break
+		}
+		mask <<= 1
+	}
+	if parent >= 0 {
+		if err := c.collRecv(buf, count, dt, parent, opBcast, epoch, seq); err != nil {
+			return err
+		}
+	}
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if vrank+m < n {
+			child := list[((vrank+m)+rootIdx)%n]
+			if err := c.collSend(buf, count, dt, child, opBcast, epoch, seq); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reduceTreeOver runs a whole-message binomial reduce over the ranks in
+// list, combining into acc at list position 0. Commutative operators
+// only — the tree combines in virtual-rank order. tmp must hold bytes.
+func (c *Comm) reduceTreeOver(list []int, acc, tmp []byte, bytes, count Count, dt *Datatype, op ReduceOp, epoch uint64, seq int) error {
+	idx := rankIndex(list, c.rank)
+	if idx < 0 {
+		return nil
+	}
+	n := len(list)
+	for mask := 1; mask < n; mask <<= 1 {
+		if idx&mask != 0 {
+			return c.collSend(acc, bytes, TypeBytes, list[idx-mask], opReduce, epoch, seq)
+		}
+		peer := idx + mask
+		if peer >= n {
+			continue
+		}
+		if err := c.collRecv(tmp, bytes, TypeBytes, list[peer], opReduce, epoch, seq); err != nil {
+			return err
+		}
+		if err := op.Combine(acc, tmp, count, dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bcastTopo is the hierarchical whole-message broadcast. The root's node
+// leader is replaced by the root itself so the inter-node phase starts
+// where the data lives, saving the root→leader hop.
+func (c *Comm) bcastTopo(p *topoPlan, buf any, count Count, dt *Datatype, root int, epoch uint64) error {
+	topo := c.collTuning().Topology
+	rootNode := topo.NodeOf[root]
+	// Phase 1 participants: the root stands in for its node's leader.
+	leaders := make([]int, len(p.leaders))
+	rootIdx := 0
+	for i, l := range p.leaders {
+		leaders[i] = l
+		if topo.NodeOf[l] == rootNode {
+			leaders[i] = root
+			rootIdx = i
+		}
+	}
+	if err := c.bcastTreeOver(leaders, rootIdx, buf, count, dt, epoch, 0); err != nil {
+		return err
+	}
+	// Phase 2: fan out inside each node from whoever holds the data —
+	// the root on its own node, the leader elsewhere.
+	intraRoot := p.leaderFor()
+	if topo.NodeOf[c.rank] == rootNode {
+		intraRoot = root
+	}
+	ranks := p.nodeRanks
+	ri := rankIndex(ranks, intraRoot)
+	if ri < 0 {
+		return nil
+	}
+	return c.bcastTreeOver(ranks, ri, buf, count, dt, epoch, 1)
+}
+
+// allreduceTopo is the hierarchical small-message allreduce for
+// commutative operators: reduce within each node, allreduce across the
+// leaders (binomial reduce to the first leader plus broadcast back), and
+// fan the result out within each node.
+func (c *Comm) allreduceTopo(p *topoPlan, sendBuf, recvBuf []byte, bytes, count Count, dt *Datatype, op ReduceOp, epoch uint64, sc *collScratch) error {
+	acc := recvBuf[:bytes]
+	copy(acc, sendBuf[:bytes])
+	tmp := sc.bufB(bytes)
+	if err := c.reduceTreeOver(p.nodeRanks, acc, tmp, bytes, count, dt, op, epoch, 0); err != nil {
+		return err
+	}
+	if c.rank == p.leaderFor() {
+		if err := c.reduceTreeOver(p.leaders, acc, tmp, bytes, count, dt, op, epoch, 1); err != nil {
+			return err
+		}
+		if err := c.bcastTreeOver(p.leaders, 0, acc, bytes, TypeBytes, epoch, 2); err != nil {
+			return err
+		}
+	}
+	return c.bcastTreeOver(p.nodeRanks, 0, acc, bytes, TypeBytes, epoch, 3)
+}

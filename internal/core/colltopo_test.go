@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpicd/internal/ddt"
+	"mpicd/internal/layout"
+)
+
+// blockNodes places ranks on nodes in contiguous blocks of perNode.
+func blockNodes(n, perNode int) *CollTopology {
+	nodeOf := make([]int, n)
+	for r := range nodeOf {
+		nodeOf[r] = r / perNode
+	}
+	return &CollTopology{NodeOf: nodeOf}
+}
+
+func TestTopoPlanSelection(t *testing.T) {
+	err := Run(6, Options{}, func(c *Comm) error {
+		// No topology: flat.
+		if c.topoPlan() != nil {
+			return errors.New("plan without topology")
+		}
+		// Placement sized for a different communicator: flat.
+		c.SetCollTuning(CollTuning{Topology: &CollTopology{NodeOf: []int{0, 0, 1}}})
+		if c.topoPlan() != nil {
+			return errors.New("plan with mismatched NodeOf length")
+		}
+		// Single node: hierarchy degenerates, flat.
+		c.SetCollTuning(CollTuning{Topology: blockNodes(6, 6)})
+		if c.topoPlan() != nil {
+			return errors.New("plan with a single node")
+		}
+		// One rank per node: ditto.
+		c.SetCollTuning(CollTuning{Topology: blockNodes(6, 1)})
+		if c.topoPlan() != nil {
+			return errors.New("plan with one rank per node")
+		}
+		// Two nodes of three: hierarchical.
+		c.SetCollTuning(CollTuning{Topology: blockNodes(6, 3)})
+		p := c.topoPlan()
+		if p == nil {
+			return errors.New("no plan for a 2x3 placement")
+		}
+		if len(p.leaders) != 2 || p.leaders[0] != 0 || p.leaders[1] != 3 {
+			return fmt.Errorf("leaders = %v, want [0 3]", p.leaders)
+		}
+		want := []int{0, 1, 2}
+		if c.Rank() >= 3 {
+			want = []int{3, 4, 5}
+		}
+		if len(p.nodeRanks) != 3 || p.nodeRanks[0] != want[0] {
+			return fmt.Errorf("rank %d nodeRanks = %v, want %v", c.Rank(), p.nodeRanks, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastTopo(t *testing.T) {
+	for _, tc := range []struct{ n, perNode int }{{4, 2}, {6, 3}, {7, 2}, {8, 4}} {
+		for root := 0; root < tc.n; root += 3 {
+			t.Run(fmt.Sprintf("n%d_per%d_root%d", tc.n, tc.perNode, root), func(t *testing.T) {
+				want := pattern(4096, byte(root+1))
+				err := Run(tc.n, Options{}, func(c *Comm) error {
+					c.SetCollTuning(CollTuning{Topology: blockNodes(tc.n, tc.perNode)})
+					if c.topoPlan() == nil {
+						return errors.New("expected hierarchical plan")
+					}
+					buf := make([]byte, len(want))
+					if c.Rank() == root {
+						copy(buf, want)
+					}
+					if err := c.Bcast(buf, -1, TypeBytes, root); err != nil {
+						return err
+					}
+					if !bytes.Equal(buf, want) {
+						return fmt.Errorf("rank %d: topo bcast payload mismatch", c.Rank())
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceTopo(t *testing.T) {
+	for _, tc := range []struct{ n, perNode int }{{4, 2}, {6, 3}, {7, 3}, {8, 2}} {
+		t.Run(fmt.Sprintf("n%d_per%d", tc.n, tc.perNode), func(t *testing.T) {
+			const count = 257
+			err := Run(tc.n, Options{}, func(c *Comm) error {
+				c.SetCollTuning(CollTuning{Topology: blockNodes(tc.n, tc.perNode)})
+				if c.topoPlan() == nil {
+					return errors.New("expected hierarchical plan")
+				}
+				send := make([]byte, 8*count)
+				recv := make([]byte, 8*count)
+				for i := 0; i < count; i++ {
+					layout.PutI64(send, 8*i, int64((c.Rank()+1)*(i+1)))
+				}
+				if err := c.Allreduce(send, recv, count, FromDDT(ddt.Int64), OpSumInt64); err != nil {
+					return err
+				}
+				sum := int64(tc.n * (tc.n + 1) / 2)
+				for i := 0; i < count; i++ {
+					if got, want := layout.I64(recv, 8*i), sum*int64(i+1); got != want {
+						return fmt.Errorf("rank %d elem %d: got %d, want %d", c.Rank(), i, got, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllreduceTopoNonCommutative checks that a non-commutative operator
+// with a topology configured still combines in strict rank order (it
+// must take the ordered reduce + broadcast path; only the broadcast leg
+// is hierarchical).
+func TestAllreduceTopoNonCommutative(t *testing.T) {
+	// 2x2 integer matrix multiplication: associative (so the binomial
+	// tree's range combining is legal) but non-commutative, so any
+	// out-of-rank-order combine produces a detectably different product.
+	matmul := ReduceOp{
+		Commutative: false,
+		Combine: func(dst, src []byte, count Count, _ *Datatype) error {
+			for m := Count(0); m < count/4; m++ {
+				o := int(8 * 4 * m)
+				var d, s, r [4]int64
+				for i := 0; i < 4; i++ {
+					d[i] = layout.I64(dst, o+8*i)
+					s[i] = layout.I64(src, o+8*i)
+				}
+				r[0] = d[0]*s[0] + d[1]*s[2]
+				r[1] = d[0]*s[1] + d[1]*s[3]
+				r[2] = d[2]*s[0] + d[3]*s[2]
+				r[3] = d[2]*s[1] + d[3]*s[3]
+				for i := 0; i < 4; i++ {
+					layout.PutI64(dst, o+8*i, r[i])
+				}
+			}
+			return nil
+		},
+	}
+	rankMat := func(r int) [4]int64 {
+		return [4]int64{1, int64(r + 1), int64((r*7+3)%5 + 1), 1}
+	}
+	const n = 6
+	want := rankMat(0)
+	for r := 1; r < n; r++ {
+		s := rankMat(r)
+		want = [4]int64{
+			want[0]*s[0] + want[1]*s[2],
+			want[0]*s[1] + want[1]*s[3],
+			want[2]*s[0] + want[3]*s[2],
+			want[2]*s[1] + want[3]*s[3],
+		}
+	}
+	err := Run(n, Options{}, func(c *Comm) error {
+		c.SetCollTuning(CollTuning{Topology: blockNodes(n, 2)})
+		send := make([]byte, 8*4)
+		recv := make([]byte, 8*4)
+		m := rankMat(c.Rank())
+		for i := 0; i < 4; i++ {
+			layout.PutI64(send, 8*i, m[i])
+		}
+		if err := c.Allreduce(send, recv, 4, FromDDT(ddt.Int64), matmul); err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if got := layout.I64(recv, 8*i); got != want[i] {
+				return fmt.Errorf("rank %d entry %d: got %d, want %d (rank order violated)", c.Rank(), i, got, want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopoSurvivesSplit: tuning (with a parent-sized Topology) is
+// inherited by Split children; the child must fall back to flat
+// schedules rather than misusing the stale placement.
+func TestTopoSurvivesSplit(t *testing.T) {
+	err := Run(6, Options{}, func(c *Comm) error {
+		c.SetCollTuning(CollTuning{Topology: blockNodes(6, 3)})
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.topoPlan() != nil {
+			return errors.New("split child reused the parent's placement")
+		}
+		buf := make([]byte, 512)
+		if sub.Rank() == 0 {
+			copy(buf, pattern(512, 9))
+		}
+		if err := sub.Bcast(buf, -1, TypeBytes, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, pattern(512, 9)) {
+			return errors.New("split-child bcast mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

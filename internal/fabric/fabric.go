@@ -163,6 +163,30 @@ type Config struct {
 	// (TCP registers link-health gauges under fabric.r<rank>.*). Nil
 	// disables provider-level observability at zero cost.
 	Obs *obs.Registry
+
+	// DialTimeout bounds connection establishment on byte-stream
+	// providers: the eager-mesh wait, each lazy first dial, and each
+	// redial campaign after a connection breaks. Zero takes the value of
+	// the deprecated package-level DialTimeout variable at provider
+	// construction.
+	DialTimeout time.Duration
+	// DialBackoff paces connection attempts during establishment and
+	// redial. The zero value takes the deprecated package-level
+	// DialBackoff variable at provider construction.
+	DialBackoff Backoff
+	// EagerMesh makes Join/NewTCP dial every lower rank up front and
+	// block until the full mesh is up — the pre-lazy-dialing behaviour.
+	// Off by default: at 128+ ranks the O(N²) simultaneous dials
+	// stampede listener backlogs, so connections are established on
+	// first use instead.
+	EagerMesh bool
+
+	// RingBytes is the per-direction eager ring capacity of the SHM
+	// provider (rounded up to a power of two). Zero selects a default.
+	RingBytes int
+	// WinBytes is the shared pull-window size of the SHM provider's
+	// large-message Get path. Zero selects a default.
+	WinBytes int
 }
 
 // DefaultFragSize matches a typical transport bounce-buffer size.

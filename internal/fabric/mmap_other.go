@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package fabric
+
+import "errors"
+
+var errNoMmap = errors.New("fabric: SHM provider requires mmap (linux or darwin)")
+
+func mapFile(path string, size int, create bool) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile(mem []byte) error { return nil }

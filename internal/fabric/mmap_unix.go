@@ -1,0 +1,49 @@
+//go:build linux || darwin
+
+package fabric
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of the file at path into memory, shared with
+// every other process mapping the same file. With create set the file is
+// created (or reused) and grown to size first; otherwise it must already
+// exist at (at least) size bytes — the attach side of a segment another
+// rank exported.
+func mapFile(path string, size int, create bool) ([]byte, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(path, flags, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shm segment %s: %w", path, err)
+	}
+	defer f.Close()
+	if create {
+		if err := f.Truncate(int64(size)); err != nil {
+			return nil, fmt.Errorf("fabric: shm segment %s: grow to %d: %w", path, size, err)
+		}
+	} else if st, err := f.Stat(); err != nil {
+		return nil, fmt.Errorf("fabric: shm segment %s: %w", path, err)
+	} else if st.Size() < int64(size) {
+		return nil, fmt.Errorf("fabric: shm segment %s holds %d bytes, need %d", path, st.Size(), size)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shm segment %s: mmap %d bytes: %w", path, size, err)
+	}
+	return mem, nil
+}
+
+// unmapFile releases a mapping returned by mapFile. The backing file is
+// untouched (the session directory owner removes it).
+func unmapFile(mem []byte) error {
+	if mem == nil {
+		return nil
+	}
+	return syscall.Munmap(mem)
+}

@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// A Ring is a single-producer/single-consumer byte ring designed to live
+// in memory shared between two processes (an mmap'd file) — the eager
+// lane of the SHM provider. It also works over any plain byte slice,
+// which is how the unit tests drive it under the race detector: all
+// cross-goroutine publication happens through sync/atomic loads and
+// stores on the head/tail words, so the detector observes the same
+// happens-before edges the hardware provides across processes.
+//
+// Memory layout (64-byte header, then the data area):
+//
+//	[ 0.. 8) tail   — producer cursor, free-running byte count
+//	[ 8..16) head   — consumer cursor, free-running byte count
+//	[16..24) closed — nonzero once the producer is done
+//	[24..32) cap    — data-area capacity, for attach-time validation
+//	[32..64) reserved
+//
+// Records are length-prefixed ([4-byte little-endian length][payload])
+// and padded to 8-byte alignment. A record never wraps: when it does not
+// fit in the space before the end of the data area, the producer writes
+// a skip marker (length 0xFFFFFFFF) and continues at offset zero, so a
+// consumer always sees each record as one contiguous slice.
+//
+// The producer publishes with a release store of tail after the record
+// bytes are written; the consumer acknowledges with a release store of
+// head after it is done with the record view. Neither side ever writes
+// the other's cursor, so no compare-and-swap is needed anywhere.
+type Ring struct {
+	mem  []byte
+	data []byte
+	cap  uint64
+
+	tail   *uint64
+	head   *uint64
+	closed *uint64
+
+	// Producer-local reservation state (Reserve/Commit).
+	resOff  uint64 // data offset of the reserved record's length word
+	resSkip uint64 // bytes consumed by a skip marker before the record
+	resMax  int    // payload bytes reserved
+	resOpen bool
+}
+
+// RingHeaderSize is the byte overhead of the ring's shared header.
+const RingHeaderSize = 64
+
+const ringSkipMarker = 0xFFFFFFFF
+
+// ErrRingTooSmall reports a backing buffer that cannot hold the header
+// plus a power-of-two data area.
+var ErrRingTooSmall = errors.New("fabric: ring buffer too small")
+
+// RingMem returns an 8-byte-aligned in-process backing buffer for a ring
+// with the given data capacity (rounded up to a power of two). Tests and
+// single-process use; cross-process rings attach to an mmap'd file
+// instead, which is page-aligned by construction.
+func RingMem(capacity int) []byte {
+	c := ringCapFor(capacity)
+	words := make([]uint64, (RingHeaderSize+int(c))/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+}
+
+// ringCapFor rounds capacity up to a power of two, minimum 1 KiB.
+func ringCapFor(capacity int) uint64 {
+	c := uint64(1024)
+	for c < uint64(capacity) {
+		c <<= 1
+	}
+	return c
+}
+
+// AttachRing lays a Ring over mem. With init set the header is written
+// fresh (the creator side); otherwise the header is validated against
+// the buffer size (the attaching side). mem must be 8-byte aligned and
+// hold RingHeaderSize plus a power-of-two data area.
+func AttachRing(mem []byte, init bool) (*Ring, error) {
+	if len(mem) < RingHeaderSize+1024 {
+		return nil, ErrRingTooSmall
+	}
+	if uintptr(unsafe.Pointer(&mem[0]))%8 != 0 {
+		return nil, errors.New("fabric: ring buffer not 8-byte aligned")
+	}
+	capacity := uint64(len(mem) - RingHeaderSize)
+	if capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("fabric: ring data area %d is not a power of two", capacity)
+	}
+	r := &Ring{
+		mem:    mem,
+		data:   mem[RingHeaderSize:],
+		cap:    capacity,
+		tail:   (*uint64)(unsafe.Pointer(&mem[0])),
+		head:   (*uint64)(unsafe.Pointer(&mem[8])),
+		closed: (*uint64)(unsafe.Pointer(&mem[16])),
+	}
+	capWord := (*uint64)(unsafe.Pointer(&mem[24]))
+	if init {
+		atomic.StoreUint64(r.tail, 0)
+		atomic.StoreUint64(r.head, 0)
+		atomic.StoreUint64(r.closed, 0)
+		atomic.StoreUint64(capWord, capacity)
+	} else if got := atomic.LoadUint64(capWord); got != capacity {
+		return nil, fmt.Errorf("fabric: ring capacity mismatch: header says %d, buffer holds %d", got, capacity)
+	}
+	return r, nil
+}
+
+// Cap returns the data-area capacity in bytes.
+func (r *Ring) Cap() int { return int(r.cap) }
+
+// recordSpan returns the padded byte span of a record with an n-byte
+// payload.
+func recordSpan(n int) uint64 { return uint64(4+n+7) &^ 7 }
+
+// Reserve claims a contiguous n-byte payload area in the ring, returning
+// a slice the caller fills before Commit. It returns nil,false when the
+// ring lacks space (the caller spills to the control socket) or is
+// closed. Only one reservation may be open at a time — the ring is
+// single-producer.
+func (r *Ring) Reserve(n int) ([]byte, bool) {
+	if r.resOpen {
+		panic("fabric: Ring.Reserve with a reservation already open")
+	}
+	span := recordSpan(n)
+	if span > r.cap/2 || atomic.LoadUint64(r.closed) != 0 {
+		return nil, false
+	}
+	tail := atomic.LoadUint64(r.tail)
+	head := atomic.LoadUint64(r.head)
+	pos := tail & (r.cap - 1)
+	skip := uint64(0)
+	if pos+span > r.cap {
+		// The record would straddle the end of the data area: skip to the
+		// start. The skipped span counts against the free space.
+		skip = r.cap - pos
+	}
+	if tail+skip+span-head > r.cap {
+		return nil, false
+	}
+	if skip > 0 {
+		binary.LittleEndian.PutUint32(r.data[pos:], ringSkipMarker)
+		pos = 0
+	}
+	r.resOff = pos
+	r.resSkip = skip
+	r.resMax = n
+	r.resOpen = true
+	return r.data[pos+4 : pos+4+uint64(n)], true
+}
+
+// Commit publishes the open reservation with its final payload length
+// (n may be less than reserved when the filler packed partially).
+func (r *Ring) Commit(n int) {
+	if !r.resOpen || n < 0 || n > r.resMax {
+		panic("fabric: Ring.Commit without a matching Reserve")
+	}
+	r.resOpen = false
+	binary.LittleEndian.PutUint32(r.data[r.resOff:], uint32(n))
+	tail := atomic.LoadUint64(r.tail)
+	// Release-store: everything written above happens-before a consumer
+	// that observes the new tail.
+	atomic.StoreUint64(r.tail, tail+r.resSkip+recordSpan(n))
+}
+
+// Abort cancels the open reservation without publishing anything.
+func (r *Ring) Abort() { r.resOpen = false }
+
+// Write is the one-shot producer path: it copies the slices, in order,
+// into a single record. It reports false when the ring lacks space.
+func (r *Ring) Write(payload ...[]byte) bool {
+	n := 0
+	for _, p := range payload {
+		n += len(p)
+	}
+	buf, ok := r.Reserve(n)
+	if !ok {
+		return false
+	}
+	at := 0
+	for _, p := range payload {
+		at += copy(buf[at:], p)
+	}
+	r.Commit(n)
+	return true
+}
+
+// Next returns a view of the next unconsumed record, or ok=false when
+// the ring is empty. The view aliases ring memory and is valid only
+// until Advance; consumers copy out before advancing.
+func (r *Ring) Next() ([]byte, bool) {
+	head := atomic.LoadUint64(r.head)
+	for {
+		tail := atomic.LoadUint64(r.tail) // acquire: record bytes below tail are visible
+		if head == tail {
+			return nil, false
+		}
+		pos := head & (r.cap - 1)
+		l := binary.LittleEndian.Uint32(r.data[pos:])
+		if l == ringSkipMarker {
+			head += r.cap - pos
+			// Acknowledge the skip immediately so the producer regains the
+			// space even if no record follows yet.
+			atomic.StoreUint64(r.head, head)
+			continue
+		}
+		return r.data[pos+4 : pos+4+uint64(l)], true
+	}
+}
+
+// Advance releases the record last returned by Next back to the
+// producer.
+func (r *Ring) Advance() {
+	head := atomic.LoadUint64(r.head)
+	pos := head & (r.cap - 1)
+	l := binary.LittleEndian.Uint32(r.data[pos:])
+	atomic.StoreUint64(r.head, head+recordSpan(int(l)))
+}
+
+// Close marks the producer side done. Consumers drain what remains and
+// then observe Closed.
+func (r *Ring) Close() { atomic.StoreUint64(r.closed, 1) }
+
+// Closed reports whether the producer closed the ring.
+func (r *Ring) Closed() bool { return atomic.LoadUint64(r.closed) != 0 }
+
+// Empty reports whether every published record has been consumed.
+func (r *Ring) Empty() bool {
+	return atomic.LoadUint64(r.head) == atomic.LoadUint64(r.tail)
+}

@@ -1,0 +1,259 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func newTestRing(t *testing.T, capacity int) *Ring {
+	t.Helper()
+	r, err := AttachRing(RingMem(capacity), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingBasicRoundtrip(t *testing.T) {
+	r := newTestRing(t, 1024)
+	if !r.Write([]byte("hello"), []byte(" "), []byte("ring")) {
+		t.Fatal("write into empty ring failed")
+	}
+	rec, ok := r.Next()
+	if !ok || string(rec) != "hello ring" {
+		t.Fatalf("Next = %q, %v", rec, ok)
+	}
+	r.Advance()
+	if _, ok := r.Next(); ok {
+		t.Fatal("drained ring still has records")
+	}
+	if !r.Empty() {
+		t.Fatal("drained ring not empty")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := newTestRing(t, 1024)
+	// Records sized so that after a few the next one straddles the end of
+	// the data area and the producer must emit a skip marker.
+	rec := make([]byte, 200)
+	seq := 0
+	consumed := 0
+	for round := 0; round < 50; round++ {
+		for {
+			binary.LittleEndian.PutUint32(rec, uint32(seq))
+			fillPattern(rec[4:], byte(seq))
+			if !r.Write(rec) {
+				break
+			}
+			seq++
+		}
+		for {
+			got, ok := r.Next()
+			if !ok {
+				break
+			}
+			if len(got) != len(rec) {
+				t.Fatalf("record %d: length %d, want %d", consumed, len(got), len(rec))
+			}
+			if int(binary.LittleEndian.Uint32(got)) != consumed {
+				t.Fatalf("record order broken at %d: got seq %d", consumed, binary.LittleEndian.Uint32(got))
+			}
+			want := make([]byte, len(rec)-4)
+			fillPattern(want, byte(consumed))
+			if !bytes.Equal(got[4:], want) {
+				t.Fatalf("record %d payload corrupted across wrap", consumed)
+			}
+			r.Advance()
+			consumed++
+		}
+	}
+	if consumed < 100 {
+		t.Fatalf("only %d records crossed the ring", consumed)
+	}
+}
+
+func TestRingRejectsOversizedRecord(t *testing.T) {
+	r := newTestRing(t, 1024)
+	if _, ok := r.Reserve(r.Cap()/2 + 1); ok {
+		t.Fatal("Reserve above cap/2 should fail")
+	}
+	if r.Write(make([]byte, r.Cap())) {
+		t.Fatal("oversized Write should fail")
+	}
+}
+
+func TestRingFullThenDrain(t *testing.T) {
+	r := newTestRing(t, 1024)
+	n := 0
+	for r.Write(make([]byte, 100)) {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("ring accepted nothing")
+	}
+	// Full: the next write must fail, not overwrite.
+	if r.Write(make([]byte, 100)) {
+		t.Fatal("write into full ring succeeded")
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		r.Advance()
+	}
+	// Space is back.
+	if !r.Write(make([]byte, 100)) {
+		t.Fatal("write after drain failed")
+	}
+}
+
+func TestRingPartialCommit(t *testing.T) {
+	r := newTestRing(t, 1024)
+	buf, ok := r.Reserve(300)
+	if !ok {
+		t.Fatal("reserve failed")
+	}
+	// A partial pack fills fewer bytes than reserved — the record must
+	// carry the committed length, not the reservation.
+	copy(buf, "short")
+	r.Commit(5)
+	rec, ok := r.Next()
+	if !ok || string(rec) != "short" {
+		t.Fatalf("partial commit: got %q, %v", rec, ok)
+	}
+	r.Advance()
+	// An aborted reservation publishes nothing.
+	if _, ok := r.Reserve(64); !ok {
+		t.Fatal("reserve failed")
+	}
+	r.Abort()
+	if _, ok := r.Next(); ok {
+		t.Fatal("aborted reservation became visible")
+	}
+	if !r.Write([]byte("after")) {
+		t.Fatal("write after abort failed")
+	}
+	if rec, ok := r.Next(); !ok || string(rec) != "after" {
+		t.Fatalf("post-abort record: %q, %v", rec, ok)
+	}
+}
+
+func TestRingZeroLengthRecords(t *testing.T) {
+	r := newTestRing(t, 1024)
+	for i := 0; i < 3; i++ {
+		if !r.Write() {
+			t.Fatal("zero-length write failed")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rec, ok := r.Next()
+		if !ok || len(rec) != 0 {
+			t.Fatalf("zero-length record %d: %v, %v", i, rec, ok)
+		}
+		r.Advance()
+	}
+}
+
+func TestRingAttachValidation(t *testing.T) {
+	if _, err := AttachRing(make([]byte, 32), true); err == nil {
+		t.Fatal("tiny buffer accepted")
+	}
+	mem := RingMem(4096)
+	if _, err := AttachRing(mem, true); err != nil {
+		t.Fatal(err)
+	}
+	// Second side attaches without init and sees the same geometry.
+	if _, err := AttachRing(mem, false); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated view fails the capacity cross-check (and the
+	// power-of-two check catches most corruptions).
+	if _, err := AttachRing(mem[:len(mem)-8], false); err == nil {
+		t.Fatal("truncated attach accepted")
+	}
+}
+
+// TestRingConcurrentSPSC hammers the ring from one producer and one
+// consumer goroutine; under -race this validates the happens-before
+// edges that make the mmap'd cross-process use sound.
+func TestRingConcurrentSPSC(t *testing.T) {
+	r := newTestRing(t, 4096)
+	const msgs = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := make([]byte, 0, 256)
+		for i := 0; i < msgs; i++ {
+			rec = rec[:0]
+			rec = binary.LittleEndian.AppendUint32(rec, uint32(i))
+			rec = append(rec, make([]byte, i%200)...)
+			fillPattern(rec[4:], byte(i))
+			for !r.Write(rec) {
+				// Full: the consumer is behind; spin.
+			}
+		}
+		r.Close()
+	}()
+	got := 0
+	want := make([]byte, 256)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			if r.Closed() && r.Empty() {
+				break
+			}
+			continue
+		}
+		if int(binary.LittleEndian.Uint32(rec)) != got {
+			t.Fatalf("out of order: record %d carries seq %d", got, binary.LittleEndian.Uint32(rec))
+		}
+		if wantLen := 4 + got%200; len(rec) != wantLen {
+			t.Fatalf("record %d: len %d, want %d", got, len(rec), wantLen)
+		}
+		fillPattern(want[:got%200], byte(got))
+		if !bytes.Equal(rec[4:], want[:got%200]) {
+			t.Fatalf("record %d corrupted", got)
+		}
+		r.Advance()
+		got++
+	}
+	wg.Wait()
+	if got != msgs {
+		t.Fatalf("consumed %d of %d records", got, msgs)
+	}
+}
+
+// TestRingSkipMarkerSpace exercises the corner where the skip marker's
+// span itself is what makes the ring look full.
+func TestRingSkipMarkerSpace(t *testing.T) {
+	r := newTestRing(t, 1024)
+	// Leave the producer near the end of the data area.
+	pad := r.Cap() - 64
+	step := 120
+	for filled := 0; filled+step < pad; filled += step {
+		if !r.Write(make([]byte, step-4)) {
+			t.Fatal("fill write failed")
+		}
+		rec, ok := r.Next()
+		if !ok || len(rec) != step-4 {
+			t.Fatalf("fill read: %d, %v", len(rec), ok)
+		}
+		r.Advance()
+	}
+	// Now a record that cannot fit before the end must wrap and still
+	// round-trip intact.
+	big := make([]byte, 400)
+	fillPattern(big, 77)
+	if !r.Write(big) {
+		t.Fatal("wrapping write failed")
+	}
+	rec, ok := r.Next()
+	if !ok || !bytes.Equal(rec, big) {
+		t.Fatalf("wrapped record mismatch (len %d)", len(rec))
+	}
+	r.Advance()
+}

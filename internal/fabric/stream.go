@@ -1,0 +1,979 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reserved header kinds used internally by byte-stream providers for the
+// Get (RDMA-read emulation) protocol. Transports must keep their own kinds
+// below KindFabricReserved; within the reserved range the heartbeat
+// detector owns the low values (0xF0..0xF7), providers the high ones —
+// these frames are consumed by the provider's read loop and must never
+// shadow detector traffic that has to reach Recv.
+const (
+	kindGetReq  Kind = 0xF8
+	kindGetResp Kind = 0xF9
+	kindGetErr  Kind = 0xFA
+	// 0xFB..0xFF belong to provider extensions routed through the stream
+	// core's ctrl hook (the SHM provider's ring/window control frames).
+	kindProviderCtrlMin Kind = 0xFB
+)
+
+// Handshake verdict bytes: a dialer writes its 4-byte rank hello and
+// reads one verdict byte before using the connection.
+const (
+	helloAccept = 0x5A // connection installed on the accept side
+	helloYield  = 0x59 // acceptor's own (canonical) dial is in flight; wait for it
+)
+
+// stream is the shared core of the byte-stream providers (TCP and the
+// SHM provider's unix-socket control/spill plane): length-prefixed
+// frames over net.Conn links, gather writes, a request/response Get
+// protocol, lazy connection establishment and redial.
+//
+// Connection model: links are established on demand — the first send or
+// Get toward a peer dials it (Config.EagerMesh restores the old
+// dial-everything-at-startup behaviour). Either side may initiate; at
+// most one connection per pair survives. A dialer announces its rank
+// (hello) and waits for a verdict byte: the acceptor either installs the
+// connection (helloAccept) or, when its own dial to that peer is already
+// in flight and it is the canonical dialer (the higher rank), tells the
+// lower rank to yield and wait for the inbound connection (helloYield) —
+// the deterministic tie-break that collapses simultaneous dials.
+//
+// Broken connections are redialed with exponential backoff by the higher
+// rank; while a link is down, sends to and Gets from that peer fail with
+// ErrLinkDown so the transport layer can retry.
+type stream struct {
+	cfg     Config
+	rank    int
+	size    int
+	network string // "tcp" or "unix"
+	pool    *bufPool
+
+	ln    net.Listener
+	inbox chan *Packet
+	done  chan struct{}
+	once  sync.Once
+
+	// ctrl, when non-nil, intercepts provider-extension frames (kinds >=
+	// kindProviderCtrlMin) before they reach the inbox. It runs on the
+	// connection's read goroutine and owns the payload's putback.
+	ctrl func(conn *streamConn, hdr Header, payload []byte, putback func())
+	// onGetReq, when non-nil, gets first refusal on inbound Get requests;
+	// returning true claims the request (the SHM provider serves
+	// window-flagged pulls through shared memory instead of the socket).
+	onGetReq func(conn *streamConn, hdr Header) bool
+
+	// connsMu guards conns, addrs, dialing and everConn: accept-side
+	// installs, dial-side installs, lazy establishment and disconnect
+	// teardown all mutate connection state from different goroutines.
+	connsMu  sync.RWMutex
+	conns    []*streamConn
+	addrs    []string // peer addresses; nil until Join
+	dialing  map[int]bool
+	everConn []bool // a connection to peer succeeded at least once
+	// draining holds write-dropped connections whose read side is still
+	// delivering kernel-buffered frames; Close closes them so a blocked
+	// read unsticks at shutdown.
+	draining map[*streamConn]struct{}
+
+	regMu   sync.RWMutex
+	regs    map[uint64]Source
+	nextKey atomic.Uint64
+
+	getMu   sync.Mutex
+	gets    map[uint64]*streamGet
+	nextGet atomic.Uint64
+
+	// Link-health counters, exported as gauges when Config.Obs is set.
+	connDrops    atomic.Int64 // connections torn down after a socket failure
+	redials      atomic.Int64 // redial campaigns started
+	redialsOK    atomic.Int64 // redial campaigns that re-established the link
+	checksumErrs atomic.Int64 // Get frames rejected by CRC verification
+}
+
+type streamConn struct {
+	peer int
+	c    net.Conn
+	wmu  sync.Mutex
+}
+
+type streamGet struct {
+	peer    int
+	sink    Sink
+	sinkOff int64 // sink offset corresponding to remote offset 0 of this get
+	left    int64
+	done    chan error
+}
+
+// DialTimeout is the deprecated package-level default for
+// Config.DialTimeout, kept so existing callers keep working. It is read
+// once per provider at construction; mutate it only before building
+// providers (concurrent mutation was the data race Config.DialTimeout
+// fixes).
+var DialTimeout = 30 * time.Second
+
+// DialBackoff is the deprecated package-level default for
+// Config.DialBackoff; see DialTimeout for the construction-time-only
+// contract.
+var DialBackoff = Backoff{Base: 20 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25}
+
+// newStream binds the local endpoint (bind may carry an ephemeral port
+// such as "127.0.0.1:0" — the bound address is reported by Addr) and
+// starts accepting. Peer addresses arrive later through Join.
+func newStream(network string, rank, size int, bind string, cfg Config) (*stream, error) {
+	if rank < 0 || rank >= size {
+		return nil, rangeErr("local", rank, size)
+	}
+	cfg = NewConfig(cfg)
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DialTimeout
+	}
+	if cfg.DialBackoff.Base <= 0 {
+		cfg.DialBackoff = DialBackoff
+	}
+	s := &stream{
+		cfg:      cfg,
+		rank:     rank,
+		size:     size,
+		network:  network,
+		pool:     newBufPool(cfg.FragSize),
+		conns:    make([]*streamConn, size),
+		dialing:  make(map[int]bool),
+		everConn: make([]bool, size),
+		draining: make(map[*streamConn]struct{}),
+		inbox:    make(chan *Packet, cfg.InboxDepth),
+		done:     make(chan struct{}),
+		regs:     make(map[uint64]Source),
+		gets:     make(map[uint64]*streamGet),
+	}
+	ln, err := net.Listen(network, bind)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: rank %d listen %s %s: %w", rank, network, bind, err)
+	}
+	s.ln = ln
+	if reg := cfg.Obs; reg != nil {
+		p := func(name string) string { return fmt.Sprintf("fabric.r%d.%s", rank, name) }
+		reg.GaugeFunc(p("tcp_conn_drops"), s.connDrops.Load)
+		reg.GaugeFunc(p("tcp_redials"), s.redials.Load)
+		reg.GaugeFunc(p("tcp_redials_ok"), s.redialsOK.Load)
+		reg.GaugeFunc(p("tcp_checksum_errs"), s.checksumErrs.Load)
+		reg.GaugeFunc(p("pool_outstanding"), s.pool.Outstanding)
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound local address (the concrete port when bind used
+// ":0"), for the bootstrap exchange.
+func (s *stream) Addr() string { return s.ln.Addr().String() }
+
+// join provides the full peer address table. With Config.EagerMesh set it
+// dials every lower rank and blocks until the full mesh is up (the
+// pre-lazy behaviour existing tests rely on); otherwise it returns
+// immediately and links come up on first use.
+func (s *stream) join(addrs []string) error {
+	if len(addrs) != s.size {
+		return fmt.Errorf("fabric: rank %d join with %d addresses, world size %d", s.rank, len(addrs), s.size)
+	}
+	s.connsMu.Lock()
+	s.addrs = append([]string(nil), addrs...)
+	s.connsMu.Unlock()
+	if !s.cfg.EagerMesh {
+		return nil
+	}
+	// Eager full mesh: rank i accepts from every higher rank and dials
+	// every lower rank, concurrently.
+	errc := make(chan error, s.rank)
+	for peer := 0; peer < s.rank; peer++ {
+		go func(peer int) {
+			errc <- s.dialPeer(peer)
+		}(peer)
+	}
+	deadline := time.Now().Add(s.cfg.DialTimeout)
+	for {
+		select {
+		case err := <-errc:
+			if err != nil {
+				s.Close()
+				return err
+			}
+			continue
+		default:
+		}
+		if missing := s.missingPeers(); len(missing) == 0 {
+			return nil
+		} else if time.Now().After(deadline) {
+			s.Close()
+			return fmt.Errorf("fabric: rank %d mesh incomplete after %v: missing peer(s) %v",
+				s.rank, s.cfg.DialTimeout, missing)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// missingPeers lists every rank the full mesh still lacks a connection to.
+func (s *stream) missingPeers() []int {
+	s.connsMu.RLock()
+	defer s.connsMu.RUnlock()
+	var missing []int
+	for peer, conn := range s.conns {
+		if peer != s.rank && conn == nil {
+			missing = append(missing, peer)
+		}
+	}
+	return missing
+}
+
+// acceptLoop installs inbound connections (lazy dials, eager mesh and
+// redials) for the provider's lifetime.
+func (s *stream) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		go s.handleHello(c)
+	}
+}
+
+// handleHello validates an inbound connection's rank announcement,
+// decides the simultaneous-dial tie-break and answers with a verdict
+// byte. Decision and install share one critical section so concurrent
+// hellos from the same peer serialize.
+func (s *stream) handleHello(c net.Conn) {
+	_ = c.SetDeadline(time.Now().Add(10 * time.Second))
+	var hello [4]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		c.Close()
+		return
+	}
+	peer := int(binary.LittleEndian.Uint32(hello[:]))
+	if peer == s.rank || peer < 0 || peer >= s.size {
+		connTrace(s.rank, -1, cevHelloReject, int64(peer))
+		c.Close()
+		return
+	}
+	s.connsMu.Lock()
+	select {
+	case <-s.done:
+		s.connsMu.Unlock()
+		c.Close()
+		return
+	default:
+	}
+	if s.rank > peer && (s.dialing[peer] || s.conns[peer] != nil) {
+		// Simultaneous dial: this side is the canonical dialer (higher
+		// rank) and either has a dial in flight or already landed it —
+		// tell the peer to wait for that connection instead of
+		// installing a second one. The already-landed case matters:
+		// accepting here would replace a healthy socket and discard
+		// whatever the peer had buffered on it. If the peer dialed
+		// because the link broke on its side, this side's read loop is
+		// about to find out too (it is one socket); the teardown clears
+		// conns[peer] and the peer's next dial attempt is accepted.
+		s.connsMu.Unlock()
+		_, _ = c.Write([]byte{helloYield})
+		c.Close()
+		connTrace(s.rank, peer, cevHelloYield, 0)
+		return
+	}
+	// Accept (replacing any stale predecessor). The verdict is written
+	// inside the critical section so no frame can be written to the
+	// published connection ahead of the verdict byte.
+	if _, err := c.Write([]byte{helloAccept}); err != nil {
+		s.connsMu.Unlock()
+		c.Close()
+		return
+	}
+	_ = c.SetDeadline(time.Time{})
+	conn := s.installConnLocked(peer, c)
+	s.connsMu.Unlock()
+	go s.readLoop(conn)
+}
+
+// dialPeer connects to a peer, retrying with backoff until
+// Config.DialTimeout. Used for lazy establishment, eager mesh and
+// redial. A helloYield verdict makes it wait for the peer's inbound
+// connection instead.
+func (s *stream) dialPeer(peer int) error {
+	s.connsMu.RLock()
+	var addr string
+	if s.addrs != nil {
+		addr = s.addrs[peer]
+	}
+	s.connsMu.RUnlock()
+	if addr == "" {
+		return fmt.Errorf("fabric: rank %d has no address for rank %d (not joined)", s.rank, peer)
+	}
+	rng := rand.New(rand.NewSource(int64(s.rank)<<20 ^ int64(peer)))
+	deadline := time.Now().Add(s.cfg.DialTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-s.done:
+			return ErrClosed
+		default:
+		}
+		c, err := net.DialTimeout(s.network, addr, time.Second)
+		if err == nil {
+			verdict, herr := s.sayHello(c)
+			switch {
+			case herr != nil:
+				err = herr
+				c.Close()
+			case verdict == helloAccept:
+				s.connsMu.Lock()
+				conn := s.installConnLocked(peer, c)
+				s.connsMu.Unlock()
+				go s.readLoop(conn)
+				connTrace(s.rank, peer, cevDialOK, 0)
+				return nil
+			case verdict == helloYield:
+				// The peer's own dial is on its way; wait for the install.
+				c.Close()
+				if s.awaitConn(peer, deadline) {
+					return nil
+				}
+				err = fmt.Errorf("fabric: rank %d yielded to rank %d's dial, which never arrived", s.rank, peer)
+			default:
+				err = fmt.Errorf("fabric: rank %d: bad hello verdict %#x from rank %d", s.rank, verdict, peer)
+				c.Close()
+			}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			connTrace(s.rank, peer, cevDialFail, 0)
+			return fmt.Errorf("fabric: rank %d: peer rank %d unreachable at %q after %v: %w (%v)",
+				s.rank, peer, addr, s.cfg.DialTimeout, ErrLinkDown, lastErr)
+		}
+		d := s.cfg.DialBackoff.Delay(attempt, rng)
+		select {
+		case <-s.done:
+			return ErrClosed
+		case <-time.After(d):
+		}
+	}
+}
+
+// sayHello announces the local rank on a fresh connection and reads the
+// acceptor's verdict byte.
+func (s *stream) sayHello(c net.Conn) (byte, error) {
+	_ = c.SetDeadline(time.Now().Add(10 * time.Second))
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(s.rank))
+	if _, err := c.Write(hello[:]); err != nil {
+		return 0, err
+	}
+	var verdict [1]byte
+	if _, err := io.ReadFull(c, verdict[:]); err != nil {
+		return 0, err
+	}
+	_ = c.SetDeadline(time.Time{})
+	return verdict[0], nil
+}
+
+// awaitConn waits for a connection to peer to be installed (by the
+// accept side) until the deadline.
+func (s *stream) awaitConn(peer int, deadline time.Time) bool {
+	for time.Now().Before(deadline) {
+		s.connsMu.RLock()
+		ok := s.conns[peer] != nil
+		s.connsMu.RUnlock()
+		if ok {
+			return true
+		}
+		select {
+		case <-s.done:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return false
+}
+
+// installConnLocked publishes a connection for peer (replacing any broken
+// predecessor). Caller holds connsMu and starts the read loop after
+// releasing it.
+func (s *stream) installConnLocked(peer int, c net.Conn) *streamConn {
+	conn := &streamConn{peer: peer, c: c}
+	old := s.conns[peer]
+	s.conns[peer] = conn
+	s.everConn[peer] = true
+	delete(s.dialing, peer)
+	var replaced int64
+	if old != nil {
+		replaced = 1
+		old.c.Close()
+	}
+	connTrace(s.rank, peer, cevInstall, replaced)
+	return conn
+}
+
+// dropConn tears down a broken connection, fails its outstanding Gets
+// with ErrLinkDown, and — when this side is the canonical dialer (the
+// higher rank) — starts a redial campaign. The lower rank's senders kick
+// their own campaign from conn() when they next need the link.
+//
+// A write-site drop does NOT close the socket: only the send direction
+// is known dead, and the kernel may still hold inbound frames the peer
+// flushed before its end went away. Stream sockets deliver buffered
+// data up to EOF — unless the reader closes first, which discards it.
+// Those last frames matter: a peer that exits right after upgrading a
+// pair to the shared-memory ring announces the switch on the socket,
+// and eating that announcement leaves this side blind to a ring that
+// holds the peer's final acks. The read loop keeps draining and closes
+// the socket itself when it hits EOF (its own dropConn lands in the
+// stale branch below).
+func (s *stream) dropConn(conn *streamConn, site int64) {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	s.connsMu.Lock()
+	if s.conns[conn.peer] != conn {
+		// Already replaced or dropped by a concurrent failure.
+		s.connsMu.Unlock()
+		connTrace(s.rank, conn.peer, cevDropStale, site)
+		if site == dropSiteWrite {
+			s.connsMu.Lock()
+			s.draining[conn] = struct{}{}
+			s.connsMu.Unlock()
+		} else {
+			conn.c.Close()
+		}
+		return
+	}
+	s.conns[conn.peer] = nil
+	connTrace(s.rank, conn.peer, cevDrop, site)
+	s.connDrops.Add(1)
+	redial := s.rank > conn.peer && !s.dialing[conn.peer]
+	if redial {
+		s.dialing[conn.peer] = true
+	}
+	if site == dropSiteWrite {
+		s.draining[conn] = struct{}{}
+	}
+	s.connsMu.Unlock()
+	if site != dropSiteWrite {
+		conn.c.Close()
+	}
+	s.failGets(conn.peer)
+	if redial {
+		s.redials.Add(1)
+		go func() {
+			if err := s.dialPeer(conn.peer); err != nil {
+				// Give up: the link stays down and sends keep
+				// returning ErrLinkDown.
+				s.connsMu.Lock()
+				delete(s.dialing, conn.peer)
+				s.connsMu.Unlock()
+				return
+			}
+			s.redialsOK.Add(1)
+		}()
+	}
+}
+
+// failGets fails every outstanding Get against peer so pullers blocked
+// on a dead connection unblock and can retry.
+func (s *stream) failGets(peer int) {
+	s.getMu.Lock()
+	defer s.getMu.Unlock()
+	for _, g := range s.gets {
+		if g.peer != peer {
+			continue
+		}
+		select {
+		case g.done <- fmt.Errorf("%w: connection to rank %d broke mid-pull", ErrLinkDown, peer):
+		default:
+		}
+	}
+}
+
+func (s *stream) Rank() int { return s.rank }
+func (s *stream) Size() int { return s.size }
+
+// PoolOutstanding returns the number of frame buffers currently checked
+// out of this endpoint's pool (zero when quiesced); see
+// Inproc.PoolOutstanding.
+func (s *stream) PoolOutstanding() int64 { return s.pool.Outstanding() }
+
+// NumConns returns how many peer links are currently established — the
+// lazy-dialing observability hook (a rank that only ever talked to k
+// peers holds k connections, not Size-1).
+func (s *stream) NumConns() int {
+	s.connsMu.RLock()
+	defer s.connsMu.RUnlock()
+	n := 0
+	for _, c := range s.conns {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func encodeHeader(b *[headerWireSize]byte, hdr Header) {
+	b[0] = byte(hdr.Kind)
+	b[1] = hdr.Flags
+	binary.LittleEndian.PutUint64(b[2:], hdr.Tag)
+	binary.LittleEndian.PutUint64(b[10:], hdr.MsgID)
+	binary.LittleEndian.PutUint64(b[18:], uint64(hdr.Offset))
+	binary.LittleEndian.PutUint64(b[26:], uint64(hdr.Total))
+	binary.LittleEndian.PutUint64(b[34:], uint64(hdr.Aux0))
+	binary.LittleEndian.PutUint64(b[42:], uint64(hdr.Aux1))
+}
+
+func decodeHeader(b []byte) Header {
+	return Header{
+		Kind:   Kind(b[0]),
+		Flags:  b[1],
+		Tag:    binary.LittleEndian.Uint64(b[2:]),
+		MsgID:  binary.LittleEndian.Uint64(b[10:]),
+		Offset: int64(binary.LittleEndian.Uint64(b[18:])),
+		Total:  int64(binary.LittleEndian.Uint64(b[26:])),
+		Aux0:   int64(binary.LittleEndian.Uint64(b[34:])),
+		Aux1:   int64(binary.LittleEndian.Uint64(b[42:])),
+	}
+}
+
+// writeFrame sends one length-prefixed frame using a gather write. A
+// socket failure tears the connection down (starting redial where this
+// side dials) and reports ErrLinkDown.
+func (s *stream) writeFrame(conn *streamConn, hdr Header, payload ...[]byte) error {
+	total := 0
+	for _, p := range payload {
+		total += len(p)
+	}
+	if total > MaxFragSize {
+		return fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", total, MaxFragSize)
+	}
+	var pre [4 + headerWireSize]byte
+	binary.LittleEndian.PutUint32(pre[:4], uint32(total))
+	var hb [headerWireSize]byte
+	encodeHeader(&hb, hdr)
+	copy(pre[4:], hb[:])
+	bufs := make(net.Buffers, 0, 1+len(payload))
+	bufs = append(bufs, pre[:])
+	for _, p := range payload {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	spin(s.cfg.PerPacket)
+	conn.wmu.Lock()
+	_, err := bufs.WriteTo(conn.c)
+	conn.wmu.Unlock()
+	if err != nil {
+		s.dropConn(conn, dropSiteWrite)
+		return fmt.Errorf("%w: write to rank %d: %v", ErrLinkDown, conn.peer, err)
+	}
+	return nil
+}
+
+func (s *stream) Send(to int, hdr Header, payload ...[]byte) error {
+	conn, err := s.conn(to)
+	if err != nil {
+		return err
+	}
+	return s.writeFrame(conn, hdr, payload...)
+}
+
+func (s *stream) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, error) {
+	conn, err := s.conn(to)
+	if err != nil {
+		return 0, err
+	}
+	if size > MaxFragSize {
+		return 0, fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", size, MaxFragSize)
+	}
+	// If the source exposes direct windows, gather them straight into the
+	// socket; otherwise pack into a staging buffer first.
+	if ds, ok := src.(DirectSource); ok {
+		bufs := make([][]byte, 0, 8)
+		at, left := off, size
+		for left > 0 {
+			w, ok := ds.Window(at, left)
+			if !ok || len(w) == 0 {
+				bufs = nil
+				break
+			}
+			bufs = append(bufs, w)
+			at += int64(len(w))
+			left -= int64(len(w))
+		}
+		if bufs != nil {
+			return size, s.writeFrame(conn, hdr, bufs...)
+		}
+	}
+	buf := s.pool.get(int(size))
+	defer s.pool.put(buf)
+	staging := (*buf)[:size]
+	got, err := src.ReadAt(staging, off)
+	if err != nil && err != io.EOF {
+		return 0, err
+	}
+	if got == 0 && size > 0 {
+		return 0, ErrShortTransfer
+	}
+	return int64(got), s.writeFrame(conn, hdr, staging[:got])
+}
+
+// conn returns the live connection to a peer, lazily establishing the
+// first one: the initial send toward a peer dials it (blocking up to
+// Config.DialTimeout and failing with an error that names the peer and
+// its address when it is unreachable). After a link has existed once, a
+// broken link fails fast with ErrLinkDown while the redial campaign runs
+// — the transport layer's retry/timeout machinery owns that wait.
+func (s *stream) conn(to int) (*streamConn, error) {
+	if to < 0 || to >= s.size {
+		return nil, rangeErr("destination", to, s.size)
+	}
+	if to == s.rank {
+		return nil, errors.New("fabric: self-send not supported over byte-stream providers")
+	}
+	s.connsMu.RLock()
+	c := s.conns[to]
+	s.connsMu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	select {
+	case <-s.done:
+		return nil, ErrClosed
+	default:
+	}
+	// No link. Decide between lazy first establishment (block) and
+	// broken-link fast failure.
+	s.connsMu.Lock()
+	if c = s.conns[to]; c != nil {
+		s.connsMu.Unlock()
+		return c, nil
+	}
+	if s.everConn[to] {
+		// Broken link: fail this send fast (the transport layer's
+		// retry/timeout machinery owns the wait) but make sure a redial
+		// campaign is running. dropConn only redials from the higher
+		// rank — the deterministic dialer — yet with retransmitting
+		// senders the traffic can live entirely on the lower side: a
+		// receiver that already acked has no reason to dial back, and
+		// without this campaign every resend would die on ErrLinkDown
+		// until the retransmission budget expired.
+		if !s.dialing[to] && s.addrs != nil {
+			s.dialing[to] = true
+			s.redials.Add(1)
+			go func() {
+				if err := s.dialPeer(to); err != nil {
+					s.connsMu.Lock()
+					delete(s.dialing, to)
+					s.connsMu.Unlock()
+					return
+				}
+				s.redialsOK.Add(1)
+			}()
+		}
+		s.connsMu.Unlock()
+		return nil, fmt.Errorf("%w: no connection to rank %d", ErrLinkDown, to)
+	}
+	if s.addrs == nil {
+		s.connsMu.Unlock()
+		return nil, fmt.Errorf("fabric: rank %d has no address table yet (Join not called)", s.rank)
+	}
+	if !s.dialing[to] {
+		s.dialing[to] = true
+		go func() {
+			err := s.dialPeer(to)
+			s.connsMu.Lock()
+			delete(s.dialing, to)
+			s.connsMu.Unlock()
+			_ = err // the waiting sender reports its own timeout
+		}()
+	}
+	addr := s.addrs[to]
+	s.connsMu.Unlock()
+
+	deadline := time.Now().Add(s.cfg.DialTimeout)
+	for {
+		select {
+		case <-s.done:
+			return nil, ErrClosed
+		case <-time.After(time.Millisecond):
+		}
+		s.connsMu.RLock()
+		c = s.conns[to]
+		campaignDone := !s.dialing[to]
+		s.connsMu.RUnlock()
+		if c != nil {
+			return c, nil
+		}
+		if campaignDone || time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: rank %d: peer rank %d unreachable at %q (dial timeout %v)",
+				ErrLinkDown, s.rank, to, addr, s.cfg.DialTimeout)
+		}
+	}
+}
+
+func (s *stream) Recv() (*Packet, bool) {
+	select {
+	case pkt := <-s.inbox:
+		return pkt, true
+	case <-s.done:
+		select {
+		case pkt := <-s.inbox:
+			return pkt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// deliver pushes a packet into the inbox (used by the read loops and by
+// providers layered on the stream core, e.g. the SHM ring poller).
+// It reports false when the provider shut down before delivery.
+func (s *stream) deliver(pkt *Packet) bool {
+	select {
+	case s.inbox <- pkt:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+func (s *stream) Register(src Source) uint64 {
+	key := s.nextKey.Add(1)
+	s.regMu.Lock()
+	s.regs[key] = src
+	s.regMu.Unlock()
+	return key
+}
+
+func (s *stream) Deregister(key uint64) {
+	s.regMu.Lock()
+	delete(s.regs, key)
+	s.regMu.Unlock()
+}
+
+// lookupReg resolves a registered source (provider extensions use it to
+// serve window pulls).
+func (s *stream) lookupReg(key uint64) (Source, bool) {
+	s.regMu.RLock()
+	src, ok := s.regs[key]
+	s.regMu.RUnlock()
+	return src, ok
+}
+
+func (s *stream) Get(from int, key uint64, off int64, sink Sink, sinkOff, size int64) error {
+	return s.getVia(from, key, off, sink, sinkOff, size, 0, 0)
+}
+
+// getVia runs the Get request/response protocol; flags and aux0 are
+// carried in the request header for provider extensions (the SHM
+// provider sets its window flag and size). The registered streamGet
+// entry also receives windowed responses routed by the provider's ctrl
+// hook.
+func (s *stream) getVia(from int, key uint64, off int64, sink Sink, sinkOff, size int64, flags uint8, aux0 int64) error {
+	if size == 0 {
+		return nil
+	}
+	conn, err := s.conn(from)
+	if err != nil {
+		return err
+	}
+	id := s.nextGet.Add(1)
+	g := &streamGet{peer: from, sink: sink, sinkOff: sinkOff - off, left: size, done: make(chan error, 1)}
+	s.getMu.Lock()
+	s.gets[id] = g
+	s.getMu.Unlock()
+	defer func() {
+		s.getMu.Lock()
+		delete(s.gets, id)
+		s.getMu.Unlock()
+	}()
+	req := Header{Kind: kindGetReq, Flags: flags, MsgID: id, Offset: off, Total: size, Aux0: aux0, Aux1: int64(key)}
+	if err := s.writeFrame(conn, req); err != nil {
+		return err
+	}
+	select {
+	case err := <-g.done:
+		return err
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// lookupGet resolves an outstanding Get by id (for ctrl-hook routing).
+func (s *stream) lookupGet(id uint64) *streamGet {
+	s.getMu.Lock()
+	g := s.gets[id]
+	s.getMu.Unlock()
+	return g
+}
+
+// serveGet streams a registered source back to the requester in fragments.
+// With Config.Checksum set, every response frame carries a CRC32C of its
+// payload in Aux0 for verification before delivery.
+func (s *stream) serveGet(conn *streamConn, hdr Header) {
+	key := uint64(hdr.Aux1)
+	src, ok := s.lookupReg(key)
+	fail := func(msg string) {
+		_ = s.writeFrame(conn, Header{Kind: kindGetErr, MsgID: hdr.MsgID}, []byte(msg))
+	}
+	if !ok {
+		fail(ErrBadKey.Error())
+		return
+	}
+	off, left := hdr.Offset, hdr.Total
+	pb := s.pool.get(s.cfg.FragSize)
+	defer s.pool.put(pb)
+	buf := (*pb)[:s.cfg.FragSize]
+	for left > 0 {
+		step := int64(len(buf))
+		if step > left {
+			step = left
+		}
+		n, err := src.ReadAt(buf[:step], off)
+		if err != nil && err != io.EOF {
+			fail(err.Error())
+			return
+		}
+		if n == 0 {
+			fail(ErrShortTransfer.Error())
+			return
+		}
+		resp := Header{Kind: kindGetResp, MsgID: hdr.MsgID, Offset: off, Total: hdr.Total}
+		if s.cfg.Checksum {
+			resp.Aux0 = int64(CRC32(buf[:n]))
+		}
+		if err := s.writeFrame(conn, resp, buf[:n]); err != nil {
+			return
+		}
+		off += int64(n)
+		left -= int64(n)
+	}
+}
+
+// failGet delivers a Get failure to its waiting initiator (shared by the
+// read loop and provider extensions).
+func (g *streamGet) fail(err error) {
+	select {
+	case g.done <- err:
+	default:
+	}
+}
+
+func (s *stream) readLoop(conn *streamConn) {
+	// The read loop is the last user of a write-dropped ("draining")
+	// connection's socket; close it on the way out no matter which path
+	// dropped it (net.Conn.Close is idempotent).
+	defer func() {
+		s.connsMu.Lock()
+		delete(s.draining, conn)
+		s.connsMu.Unlock()
+		conn.c.Close()
+	}()
+	br := conn.c
+	var pre [4 + headerWireSize]byte
+	for {
+		if _, err := io.ReadFull(br, pre[:]); err != nil {
+			s.dropConn(conn, dropSiteHeader)
+			return
+		}
+		plen := int(binary.LittleEndian.Uint32(pre[:4]))
+		hdr := decodeHeader(pre[4:])
+		var payload []byte
+		var pbuf *[]byte
+		if plen > 0 {
+			pbuf = s.pool.get(plen)
+			payload = (*pbuf)[:plen]
+			if _, err := io.ReadFull(br, payload); err != nil {
+				s.pool.put(pbuf)
+				s.dropConn(conn, dropSitePayload)
+				return
+			}
+		}
+		// Frames consumed inline return their buffer here; inbox packets
+		// carry it until the transport calls Release.
+		putback := func() {
+			if pbuf != nil {
+				s.pool.put(pbuf)
+			}
+		}
+		if hdr.Kind >= kindProviderCtrlMin && s.ctrl != nil {
+			s.ctrl(conn, hdr, payload, putback)
+			continue
+		}
+		switch hdr.Kind {
+		case kindGetReq:
+			putback()
+			if s.onGetReq != nil && s.onGetReq(conn, hdr) {
+				continue
+			}
+			go s.serveGet(conn, hdr)
+		case kindGetResp:
+			g := s.lookupGet(hdr.MsgID)
+			if g == nil {
+				putback()
+				continue
+			}
+			if s.cfg.Checksum && CRC32(payload) != uint32(uint64(hdr.Aux0)) {
+				s.checksumErrs.Add(1)
+				putback()
+				g.fail(fmt.Errorf("%w: rendezvous pull frame at offset %d", ErrCorrupt, hdr.Offset))
+				continue
+			}
+			_, err := g.sink.WriteAt(payload, g.sinkOff+hdr.Offset)
+			putback()
+			if err != nil {
+				g.done <- err
+				continue
+			}
+			if atomic.AddInt64(&g.left, -int64(plen)) <= 0 {
+				g.done <- nil
+			}
+		case kindGetErr:
+			if g := s.lookupGet(hdr.MsgID); g != nil {
+				g.done <- errors.New("fabric: remote get: " + string(payload))
+			}
+			putback()
+		default:
+			pkt := &Packet{From: conn.peer, Hdr: hdr, Payload: payload, release: putback}
+			if !s.deliver(pkt) {
+				putback()
+				return
+			}
+		}
+	}
+}
+
+// Close shuts the provider down and closes all sockets.
+func (s *stream) Close() error {
+	s.once.Do(func() {
+		close(s.done)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connsMu.Lock()
+		conns := append([]*streamConn(nil), s.conns...)
+		for c := range s.draining {
+			conns = append(conns, c)
+		}
+		s.connsMu.Unlock()
+		for _, c := range conns {
+			if c != nil {
+				c.c.Close()
+			}
+		}
+	})
+	return nil
+}

@@ -1,651 +1,57 @@
 package fabric
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"io"
-	"math/rand"
-	"net"
-	"sync"
-	"sync/atomic"
-	"time"
-)
-
-// Reserved header kinds used internally by byte-stream providers for the
-// Get (RDMA-read emulation) protocol. Transports must keep their own kinds
-// below KindFabricReserved; within the reserved range the heartbeat
-// detector owns the low values (0xF0..0xF7), providers the high ones —
-// these frames are consumed by the provider's read loop and must never
-// shadow detector traffic that has to reach Recv.
-const (
-	kindGetReq  Kind = 0xF8
-	kindGetResp Kind = 0xF9
-	kindGetErr  Kind = 0xFA
-)
+import "fmt"
 
 // TCP is a fabric provider connecting separate processes over real
 // sockets. Gather sends use net.Buffers (writev) so region lists reach the
 // kernel without an intermediate application copy, mirroring how UCX hands
-// an iovec to the verbs layer.
+// an iovec to the verbs layer. It is a thin specialization of the shared
+// byte-stream core (see stream.go), which also carries the SHM provider's
+// control and spill plane over unix sockets.
 //
-// Broken connections are redialed with exponential backoff by the side
-// that originally dialed (the higher rank); the accept side keeps its
-// listener open for the lifetime of the provider and installs
-// replacement connections as they arrive. While a link is down, sends to
-// and Gets from that peer fail with ErrLinkDown so the transport layer
-// can retry.
+// Connections are established lazily: the first send toward a peer dials
+// it, so a rank that talks to k peers holds k sockets instead of Size-1
+// (Config.EagerMesh restores the old dial-everything-at-startup
+// behaviour). Broken connections are redialed with exponential backoff by
+// the higher rank; while a link is down, sends to and Gets from that peer
+// fail with ErrLinkDown so the transport layer can retry.
 type TCP struct {
-	cfg   Config
-	rank  int
-	addrs []string
-	pool  *bufPool // frame payload and staging buffers
-
-	ln    net.Listener
-	inbox chan *Packet
-	done  chan struct{}
-	once  sync.Once
-
-	// connsMu guards conns and redialing: accept-side installs,
-	// dial-side installs and disconnect teardown all mutate the
-	// connection map from different goroutines.
-	connsMu   sync.RWMutex
-	conns     []*tcpConn
-	redialing map[int]bool
-
-	regMu   sync.RWMutex
-	regs    map[uint64]Source
-	nextKey atomic.Uint64
-
-	getMu   sync.Mutex
-	gets    map[uint64]*tcpGet
-	nextGet atomic.Uint64
-
-	// Link-health counters, exported as gauges when Config.Obs is set.
-	connDrops    atomic.Int64 // connections torn down after a socket failure
-	redials      atomic.Int64 // redial campaigns started
-	redialsOK    atomic.Int64 // redial campaigns that re-established the link
-	checksumErrs atomic.Int64 // Get frames rejected by CRC verification
+	*stream
 }
 
-type tcpConn struct {
-	peer int
-	c    net.Conn
-	wmu  sync.Mutex
+// ListenTCP binds rank's endpoint at bind (which may name an ephemeral
+// port, e.g. "127.0.0.1:0") without requiring the peer address table yet.
+// The bound address is available from Addr for a bootstrap exchange;
+// Join supplies the table once every rank has reported in.
+func ListenTCP(rank, size int, bind string, cfg Config) (*TCP, error) {
+	s, err := newStream("tcp", rank, size, bind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TCP{stream: s}, nil
 }
 
-type tcpGet struct {
-	peer    int
-	sink    Sink
-	sinkOff int64 // sink offset corresponding to remote offset 0 of this get
-	left    int64
-	done    chan error
-}
+// Join provides the full peer address table (addrs[i] is rank i's bound
+// address). With Config.EagerMesh set it dials every lower rank and
+// blocks until the full mesh is up or Config.DialTimeout passes, in which
+// case the error names every missing peer; otherwise it returns
+// immediately and connections come up on first use.
+func (t *TCP) Join(addrs []string) error { return t.join(addrs) }
 
-// DialTimeout bounds full-mesh connection establishment and each redial
-// campaign after a connection breaks. A variable so tests can shorten it.
-var DialTimeout = 30 * time.Second
-
-// DialBackoff paces connection attempts during establishment and redial.
-var DialBackoff = Backoff{Base: 20 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25}
-
-// NewTCP attaches rank to a TCP fabric whose rank i listens at addrs[i].
-// Establishment is deterministic: rank i accepts connections from every
-// higher rank and dials every lower rank. The call blocks until the full
-// mesh is up or DialTimeout passes, in which case the error names every
-// missing peer.
+// NewTCP attaches rank to a TCP fabric whose rank i listens at addrs[i] —
+// the single-call path for callers that know every address up front.
+// Equivalent to ListenTCP followed by Join.
 func NewTCP(rank int, addrs []string, cfg Config) (*TCP, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, rangeErr("local", rank, len(addrs))
 	}
-	cfg = NewConfig(cfg)
-	t := &TCP{
-		cfg:       cfg,
-		rank:      rank,
-		addrs:     addrs,
-		pool:      newBufPool(cfg.FragSize),
-		conns:     make([]*tcpConn, len(addrs)),
-		redialing: make(map[int]bool),
-		inbox:     make(chan *Packet, cfg.InboxDepth),
-		done:      make(chan struct{}),
-		regs:      make(map[uint64]Source),
-		gets:      make(map[uint64]*tcpGet),
-	}
-	ln, err := net.Listen("tcp", addrs[rank])
+	t, err := ListenTCP(rank, len(addrs), addrs[rank], cfg)
 	if err != nil {
-		return nil, fmt.Errorf("fabric: rank %d listen %s: %w", rank, addrs[rank], err)
+		return nil, err
 	}
-	t.ln = ln
-	if reg := cfg.Obs; reg != nil {
-		p := func(name string) string { return fmt.Sprintf("fabric.r%d.%s", rank, name) }
-		reg.GaugeFunc(p("tcp_conn_drops"), t.connDrops.Load)
-		reg.GaugeFunc(p("tcp_redials"), t.redials.Load)
-		reg.GaugeFunc(p("tcp_redials_ok"), t.redialsOK.Load)
-		reg.GaugeFunc(p("tcp_checksum_errs"), t.checksumErrs.Load)
-		reg.GaugeFunc(p("pool_outstanding"), t.pool.Outstanding)
+	if err := t.Join(addrs); err != nil {
+		t.Close()
+		return nil, fmt.Errorf("%w", err)
 	}
-	go t.acceptLoop()
-
-	// Dial every lower rank concurrently.
-	errc := make(chan error, rank)
-	for peer := 0; peer < rank; peer++ {
-		go func(peer int) {
-			errc <- t.dialPeer(peer)
-		}(peer)
-	}
-	deadline := time.Now().Add(DialTimeout)
-	for {
-		select {
-		case err := <-errc:
-			if err != nil {
-				t.Close()
-				return nil, err
-			}
-			continue
-		default:
-		}
-		if missing := t.missingPeers(); len(missing) == 0 {
-			return t, nil
-		} else if time.Now().After(deadline) {
-			t.Close()
-			return nil, fmt.Errorf("fabric: rank %d mesh incomplete after %v: missing peer(s) %v",
-				rank, DialTimeout, missing)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-}
-
-// missingPeers lists every rank the full mesh still lacks a connection to.
-func (t *TCP) missingPeers() []int {
-	t.connsMu.RLock()
-	defer t.connsMu.RUnlock()
-	var missing []int
-	for peer, conn := range t.conns {
-		if peer != t.rank && conn == nil {
-			missing = append(missing, peer)
-		}
-	}
-	return missing
-}
-
-// acceptLoop installs inbound connections (initial mesh and redials from
-// higher ranks) for the provider's lifetime.
-func (t *TCP) acceptLoop() {
-	for {
-		c, err := t.ln.Accept()
-		if err != nil {
-			return // listener closed by Close
-		}
-		go t.handleHello(c)
-	}
-}
-
-// handleHello validates an inbound connection's rank announcement and
-// installs it. Only higher ranks dial us; anything else is dropped (the
-// dialer will retry, and mesh establishment reports who is missing).
-func (t *TCP) handleHello(c net.Conn) {
-	var hello [4]byte
-	if _, err := io.ReadFull(c, hello[:]); err != nil {
-		c.Close()
-		return
-	}
-	peer := int(binary.LittleEndian.Uint32(hello[:]))
-	if peer <= t.rank || peer >= len(t.addrs) {
-		connTrace(t.rank, -1, cevHelloReject, int64(peer))
-		c.Close()
-		return
-	}
-	t.installConn(peer, c)
-}
-
-// dialPeer connects to a lower rank, retrying with backoff until
-// DialTimeout. Used for both initial establishment and redial.
-func (t *TCP) dialPeer(peer int) error {
-	rng := rand.New(rand.NewSource(int64(t.rank)<<20 ^ int64(peer)))
-	deadline := time.Now().Add(DialTimeout)
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		select {
-		case <-t.done:
-			return ErrClosed
-		default:
-		}
-		c, err := net.DialTimeout("tcp", t.addrs[peer], time.Second)
-		if err == nil {
-			var hello [4]byte
-			binary.LittleEndian.PutUint32(hello[:], uint32(t.rank))
-			if _, werr := c.Write(hello[:]); werr == nil {
-				t.installConn(peer, c)
-				connTrace(t.rank, peer, cevDialOK, 0)
-				return nil
-			} else {
-				err = werr
-				c.Close()
-			}
-		}
-		lastErr = err
-		if time.Now().After(deadline) {
-			connTrace(t.rank, peer, cevDialFail, 0)
-			return fmt.Errorf("fabric: rank %d dial rank %d (%s): %w", t.rank, peer, t.addrs[peer], lastErr)
-		}
-		d := DialBackoff.Delay(attempt, rng)
-		select {
-		case <-t.done:
-			return ErrClosed
-		case <-time.After(d):
-		}
-	}
-}
-
-// installConn publishes a connection for peer (replacing any broken
-// predecessor) and starts its read loop.
-func (t *TCP) installConn(peer int, c net.Conn) {
-	conn := &tcpConn{peer: peer, c: c}
-	t.connsMu.Lock()
-	old := t.conns[peer]
-	t.conns[peer] = conn
-	delete(t.redialing, peer)
-	t.connsMu.Unlock()
-	var replaced int64
-	if old != nil {
-		replaced = 1
-		old.c.Close()
-	}
-	connTrace(t.rank, peer, cevInstall, replaced)
-	go t.readLoop(conn)
-}
-
-// dropConn tears down a broken connection, fails its outstanding Gets
-// with ErrLinkDown, and — when this side originally dialed the peer —
-// starts a redial campaign. The accept side instead waits for the peer
-// to dial back in.
-func (t *TCP) dropConn(conn *tcpConn, site int64) {
-	select {
-	case <-t.done:
-		return
-	default:
-	}
-	t.connsMu.Lock()
-	if t.conns[conn.peer] != conn {
-		// Already replaced or dropped by a concurrent failure.
-		t.connsMu.Unlock()
-		connTrace(t.rank, conn.peer, cevDropStale, site)
-		conn.c.Close()
-		return
-	}
-	t.conns[conn.peer] = nil
-	connTrace(t.rank, conn.peer, cevDrop, site)
-	t.connDrops.Add(1)
-	redial := t.rank > conn.peer && !t.redialing[conn.peer]
-	if redial {
-		t.redialing[conn.peer] = true
-	}
-	t.connsMu.Unlock()
-	conn.c.Close()
-	t.failGets(conn.peer)
-	if redial {
-		t.redials.Add(1)
-		go func() {
-			if err := t.dialPeer(conn.peer); err != nil {
-				// Give up: the link stays down and sends keep
-				// returning ErrLinkDown.
-				t.connsMu.Lock()
-				delete(t.redialing, conn.peer)
-				t.connsMu.Unlock()
-				return
-			}
-			t.redialsOK.Add(1)
-		}()
-	}
-}
-
-// failGets fails every outstanding Get against peer so pullers blocked
-// on a dead connection unblock and can retry.
-func (t *TCP) failGets(peer int) {
-	t.getMu.Lock()
-	defer t.getMu.Unlock()
-	for _, g := range t.gets {
-		if g.peer != peer {
-			continue
-		}
-		select {
-		case g.done <- fmt.Errorf("%w: connection to rank %d broke mid-pull", ErrLinkDown, peer):
-		default:
-		}
-	}
-}
-
-func (t *TCP) Rank() int { return t.rank }
-func (t *TCP) Size() int { return len(t.addrs) }
-
-// PoolOutstanding returns the number of frame buffers currently checked
-// out of this endpoint's pool (zero when quiesced); see
-// Inproc.PoolOutstanding.
-func (t *TCP) PoolOutstanding() int64 { return t.pool.Outstanding() }
-
-func encodeHeader(b *[headerWireSize]byte, hdr Header) {
-	b[0] = byte(hdr.Kind)
-	b[1] = hdr.Flags
-	binary.LittleEndian.PutUint64(b[2:], hdr.Tag)
-	binary.LittleEndian.PutUint64(b[10:], hdr.MsgID)
-	binary.LittleEndian.PutUint64(b[18:], uint64(hdr.Offset))
-	binary.LittleEndian.PutUint64(b[26:], uint64(hdr.Total))
-	binary.LittleEndian.PutUint64(b[34:], uint64(hdr.Aux0))
-	binary.LittleEndian.PutUint64(b[42:], uint64(hdr.Aux1))
-}
-
-func decodeHeader(b []byte) Header {
-	return Header{
-		Kind:   Kind(b[0]),
-		Flags:  b[1],
-		Tag:    binary.LittleEndian.Uint64(b[2:]),
-		MsgID:  binary.LittleEndian.Uint64(b[10:]),
-		Offset: int64(binary.LittleEndian.Uint64(b[18:])),
-		Total:  int64(binary.LittleEndian.Uint64(b[26:])),
-		Aux0:   int64(binary.LittleEndian.Uint64(b[34:])),
-		Aux1:   int64(binary.LittleEndian.Uint64(b[42:])),
-	}
-}
-
-// writeFrame sends one length-prefixed frame using a gather write. A
-// socket failure tears the connection down (starting redial where this
-// side dials) and reports ErrLinkDown.
-func (t *TCP) writeFrame(conn *tcpConn, hdr Header, payload ...[]byte) error {
-	total := 0
-	for _, p := range payload {
-		total += len(p)
-	}
-	if total > MaxFragSize {
-		return fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", total, MaxFragSize)
-	}
-	var pre [4 + headerWireSize]byte
-	binary.LittleEndian.PutUint32(pre[:4], uint32(total))
-	var hb [headerWireSize]byte
-	encodeHeader(&hb, hdr)
-	copy(pre[4:], hb[:])
-	bufs := make(net.Buffers, 0, 1+len(payload))
-	bufs = append(bufs, pre[:])
-	for _, p := range payload {
-		if len(p) > 0 {
-			bufs = append(bufs, p)
-		}
-	}
-	spin(t.cfg.PerPacket)
-	conn.wmu.Lock()
-	_, err := bufs.WriteTo(conn.c)
-	conn.wmu.Unlock()
-	if err != nil {
-		t.dropConn(conn, dropSiteWrite)
-		return fmt.Errorf("%w: write to rank %d: %v", ErrLinkDown, conn.peer, err)
-	}
-	return nil
-}
-
-func (t *TCP) Send(to int, hdr Header, payload ...[]byte) error {
-	conn, err := t.conn(to)
-	if err != nil {
-		return err
-	}
-	return t.writeFrame(conn, hdr, payload...)
-}
-
-func (t *TCP) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, error) {
-	conn, err := t.conn(to)
-	if err != nil {
-		return 0, err
-	}
-	if size > MaxFragSize {
-		return 0, fmt.Errorf("fabric: fragment of %d bytes exceeds max %d", size, MaxFragSize)
-	}
-	// If the source exposes direct windows, gather them straight into the
-	// socket; otherwise pack into a staging buffer first.
-	if ds, ok := src.(DirectSource); ok {
-		bufs := make([][]byte, 0, 8)
-		at, left := off, size
-		for left > 0 {
-			w, ok := ds.Window(at, left)
-			if !ok || len(w) == 0 {
-				bufs = nil
-				break
-			}
-			bufs = append(bufs, w)
-			at += int64(len(w))
-			left -= int64(len(w))
-		}
-		if bufs != nil {
-			return size, t.writeFrame(conn, hdr, bufs...)
-		}
-	}
-	buf := t.pool.get(int(size))
-	defer t.pool.put(buf)
-	staging := (*buf)[:size]
-	got, err := src.ReadAt(staging, off)
-	if err != nil && err != io.EOF {
-		return 0, err
-	}
-	if got == 0 && size > 0 {
-		return 0, ErrShortTransfer
-	}
-	return int64(got), t.writeFrame(conn, hdr, staging[:got])
-}
-
-func (t *TCP) conn(to int) (*tcpConn, error) {
-	if to < 0 || to >= len(t.addrs) {
-		return nil, rangeErr("destination", to, len(t.addrs))
-	}
-	if to == t.rank {
-		return nil, errors.New("fabric: self-send not supported over TCP provider")
-	}
-	t.connsMu.RLock()
-	c := t.conns[to]
-	t.connsMu.RUnlock()
-	if c == nil {
-		select {
-		case <-t.done:
-			return nil, ErrClosed
-		default:
-			return nil, fmt.Errorf("%w: no connection to rank %d", ErrLinkDown, to)
-		}
-	}
-	return c, nil
-}
-
-func (t *TCP) Recv() (*Packet, bool) {
-	select {
-	case pkt := <-t.inbox:
-		return pkt, true
-	case <-t.done:
-		select {
-		case pkt := <-t.inbox:
-			return pkt, true
-		default:
-			return nil, false
-		}
-	}
-}
-
-func (t *TCP) Register(src Source) uint64 {
-	key := t.nextKey.Add(1)
-	t.regMu.Lock()
-	t.regs[key] = src
-	t.regMu.Unlock()
-	return key
-}
-
-func (t *TCP) Deregister(key uint64) {
-	t.regMu.Lock()
-	delete(t.regs, key)
-	t.regMu.Unlock()
-}
-
-func (t *TCP) Get(from int, key uint64, off int64, sink Sink, sinkOff, size int64) error {
-	if size == 0 {
-		return nil
-	}
-	conn, err := t.conn(from)
-	if err != nil {
-		return err
-	}
-	id := t.nextGet.Add(1)
-	g := &tcpGet{peer: from, sink: sink, sinkOff: sinkOff - off, left: size, done: make(chan error, 1)}
-	t.getMu.Lock()
-	t.gets[id] = g
-	t.getMu.Unlock()
-	defer func() {
-		t.getMu.Lock()
-		delete(t.gets, id)
-		t.getMu.Unlock()
-	}()
-	req := Header{Kind: kindGetReq, MsgID: id, Offset: off, Total: size, Aux1: int64(key)}
-	if err := t.writeFrame(conn, req); err != nil {
-		return err
-	}
-	select {
-	case err := <-g.done:
-		return err
-	case <-t.done:
-		return ErrClosed
-	}
-}
-
-// serveGet streams a registered source back to the requester in fragments.
-// With Config.Checksum set, every response frame carries a CRC32C of its
-// payload in Aux0 for verification before delivery.
-func (t *TCP) serveGet(conn *tcpConn, hdr Header) {
-	key := uint64(hdr.Aux1)
-	t.regMu.RLock()
-	src, ok := t.regs[key]
-	t.regMu.RUnlock()
-	fail := func(msg string) {
-		_ = t.writeFrame(conn, Header{Kind: kindGetErr, MsgID: hdr.MsgID}, []byte(msg))
-	}
-	if !ok {
-		fail(ErrBadKey.Error())
-		return
-	}
-	off, left := hdr.Offset, hdr.Total
-	pb := t.pool.get(t.cfg.FragSize)
-	defer t.pool.put(pb)
-	buf := (*pb)[:t.cfg.FragSize]
-	for left > 0 {
-		step := int64(len(buf))
-		if step > left {
-			step = left
-		}
-		n, err := src.ReadAt(buf[:step], off)
-		if err != nil && err != io.EOF {
-			fail(err.Error())
-			return
-		}
-		if n == 0 {
-			fail(ErrShortTransfer.Error())
-			return
-		}
-		resp := Header{Kind: kindGetResp, MsgID: hdr.MsgID, Offset: off, Total: hdr.Total}
-		if t.cfg.Checksum {
-			resp.Aux0 = int64(CRC32(buf[:n]))
-		}
-		if err := t.writeFrame(conn, resp, buf[:n]); err != nil {
-			return
-		}
-		off += int64(n)
-		left -= int64(n)
-	}
-}
-
-func (t *TCP) readLoop(conn *tcpConn) {
-	br := conn.c
-	var pre [4 + headerWireSize]byte
-	for {
-		if _, err := io.ReadFull(br, pre[:]); err != nil {
-			t.dropConn(conn, dropSiteHeader)
-			return
-		}
-		plen := int(binary.LittleEndian.Uint32(pre[:4]))
-		hdr := decodeHeader(pre[4:])
-		var payload []byte
-		var pbuf *[]byte
-		if plen > 0 {
-			pbuf = t.pool.get(plen)
-			payload = (*pbuf)[:plen]
-			if _, err := io.ReadFull(br, payload); err != nil {
-				t.pool.put(pbuf)
-				t.dropConn(conn, dropSitePayload)
-				return
-			}
-		}
-		// Frames consumed inline return their buffer here; inbox packets
-		// carry it until the transport calls Release.
-		putback := func() {
-			if pbuf != nil {
-				t.pool.put(pbuf)
-			}
-		}
-		switch hdr.Kind {
-		case kindGetReq:
-			putback()
-			go t.serveGet(conn, hdr)
-		case kindGetResp:
-			t.getMu.Lock()
-			g := t.gets[hdr.MsgID]
-			t.getMu.Unlock()
-			if g == nil {
-				putback()
-				continue
-			}
-			if t.cfg.Checksum && CRC32(payload) != uint32(uint64(hdr.Aux0)) {
-				t.checksumErrs.Add(1)
-				putback()
-				select {
-				case g.done <- fmt.Errorf("%w: rendezvous pull frame at offset %d", ErrCorrupt, hdr.Offset):
-				default:
-				}
-				continue
-			}
-			_, err := g.sink.WriteAt(payload, g.sinkOff+hdr.Offset)
-			putback()
-			if err != nil {
-				g.done <- err
-				continue
-			}
-			if atomic.AddInt64(&g.left, -int64(plen)) <= 0 {
-				g.done <- nil
-			}
-		case kindGetErr:
-			t.getMu.Lock()
-			g := t.gets[hdr.MsgID]
-			t.getMu.Unlock()
-			if g != nil {
-				g.done <- errors.New("fabric: remote get: " + string(payload))
-			}
-			putback()
-		default:
-			pkt := &Packet{From: conn.peer, Hdr: hdr, Payload: payload, release: putback}
-			select {
-			case t.inbox <- pkt:
-			case <-t.done:
-				putback()
-				return
-			}
-		}
-	}
-}
-
-// Close shuts the provider down and closes all sockets.
-func (t *TCP) Close() error {
-	t.once.Do(func() {
-		close(t.done)
-		if t.ln != nil {
-			t.ln.Close()
-		}
-		t.connsMu.Lock()
-		conns := append([]*tcpConn(nil), t.conns...)
-		t.connsMu.Unlock()
-		for _, c := range conns {
-			if c != nil {
-				c.c.Close()
-			}
-		}
-	})
-	return nil
+	return t, nil
 }

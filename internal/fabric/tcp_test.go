@@ -30,9 +30,12 @@ func freeAddrs(t *testing.T, n int) []string {
 	return addrs
 }
 
-// dialMesh brings up an n-rank TCP fabric on loopback.
+// dialMesh brings up an n-rank TCP fabric on loopback with the full mesh
+// established eagerly (these tests predate lazy dialing and some reach
+// into connection state directly).
 func dialMesh(t *testing.T, n int, cfg Config) []*TCP {
 	t.Helper()
+	cfg.EagerMesh = true
 	addrs := freeAddrs(t, n)
 	nics := make([]*TCP, n)
 	var wg sync.WaitGroup
@@ -178,16 +181,135 @@ func TestTCPSelfSendRejected(t *testing.T) {
 
 func TestTCPMeshIncompleteNamesMissingPeer(t *testing.T) {
 	addrs := freeAddrs(t, 2)
-	saved := DialTimeout
-	DialTimeout = 300 * time.Millisecond
-	defer func() { DialTimeout = saved }()
 	// Rank 1 never comes up, so rank 0's accept-side mesh stays incomplete.
-	_, err := NewTCP(0, addrs, Config{})
+	_, err := NewTCP(0, addrs, Config{EagerMesh: true, DialTimeout: 300 * time.Millisecond})
 	if err == nil {
 		t.Fatal("mesh with absent peer should fail")
 	}
 	if !strings.Contains(err.Error(), "missing peer(s) [1]") {
 		t.Fatalf("error does not name the missing peer: %v", err)
+	}
+}
+
+// lazyMesh brings up an n-rank TCP fabric with lazy dialing (the default)
+// using the ListenTCP/Addr/Join bootstrap flow: every rank binds an
+// ephemeral port and the bound addresses are exchanged afterwards,
+// exactly like the launcher's rendezvous.
+func lazyMesh(t *testing.T, n int, cfg Config) []*TCP {
+	t.Helper()
+	nics := make([]*TCP, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		nic, err := ListenTCP(i, n, "127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nics[i] = nic
+		addrs[i] = nic.Addr()
+	}
+	for _, nic := range nics {
+		if err := nic.Join(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nic := range nics {
+			nic.Close()
+		}
+	})
+	return nics
+}
+
+func TestTCPLazyDialOnFirstSend(t *testing.T) {
+	nics := lazyMesh(t, 4, Config{})
+	// Nothing has been sent: no rank holds any connection.
+	for i, nic := range nics {
+		if n := nic.NumConns(); n != 0 {
+			t.Fatalf("rank %d holds %d connections before any traffic", i, n)
+		}
+	}
+	// One exchange between ranks 0 and 3 brings up exactly that link.
+	if err := nics[0].Send(3, Header{Tag: 7}, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := nics[3].Recv()
+	if !ok || pkt.From != 0 || pkt.Payload[0] != 42 {
+		t.Fatalf("lazy-dial delivery: ok=%v pkt=%+v", ok, pkt)
+	}
+	if n := nics[0].NumConns(); n != 1 {
+		t.Fatalf("rank 0 holds %d connections, want 1", n)
+	}
+	if n := nics[1].NumConns(); n != 0 {
+		t.Fatalf("idle rank 1 holds %d connections", n)
+	}
+	// The reverse direction shares the same connection instead of dialing
+	// a second one.
+	if err := nics[3].Send(0, Header{Tag: 8}, []byte{43}); err != nil {
+		t.Fatal(err)
+	}
+	if pkt, ok := nics[0].Recv(); !ok || pkt.From != 3 || pkt.Payload[0] != 43 {
+		t.Fatal("reverse delivery over shared connection failed")
+	}
+	if n := nics[3].NumConns(); n != 1 {
+		t.Fatalf("rank 3 holds %d connections after reuse, want 1", n)
+	}
+}
+
+// TestTCPLazySimultaneousDial drives both sides into dialing each other
+// at once; the tie-break must collapse the pair to a usable link (in
+// either direction) rather than deadlock or cross-install.
+func TestTCPLazySimultaneousDial(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		nics := lazyMesh(t, 2, Config{})
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = nics[i].Send(1-i, Header{Tag: uint64(i)}, []byte{byte(i)})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d: rank %d send: %v", round, i, err)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			pkt, ok := nics[i].Recv()
+			if !ok || pkt.From != 1-i {
+				t.Fatalf("round %d: rank %d recv: ok=%v from=%d", round, i, ok, pkt.From)
+			}
+		}
+		nics[0].Close()
+		nics[1].Close()
+	}
+}
+
+// TestTCPUnreachablePeerNamesAddress asserts the lazy path fails with an
+// error naming the peer rank and its advertised address — not a hang —
+// when that address is dead.
+func TestTCPUnreachablePeerNamesAddress(t *testing.T) {
+	dead := freeAddrs(t, 1)[0] // reserved then released: nothing listens here
+	nic, err := ListenTCP(0, 2, "127.0.0.1:0", Config{DialTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nic.Close()
+	if err := nic.Join([]string{nic.Addr(), dead}); err != nil {
+		t.Fatal(err)
+	}
+	err = nic.Send(1, Header{}, []byte{1})
+	if err == nil {
+		t.Fatal("send to unreachable peer should fail")
+	}
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("want ErrLinkDown, got %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "rank 1") || !strings.Contains(msg, dead) {
+		t.Fatalf("error does not name peer rank and address: %v", err)
 	}
 }
 

@@ -28,6 +28,7 @@ const (
 	cevHelloReject                  // inbound hello with out-of-range rank; note=claimed rank
 	cevDialOK                       // dialPeer established a connection
 	cevDialFail                     // dialPeer gave up (deadline or closed)
+	cevHelloYield                   // simultaneous dial: told the lower rank to wait for ours
 )
 
 // Drop sites, recorded in the event note so a trace distinguishes which
@@ -83,6 +84,8 @@ func ConnTrace() []string {
 			what = "dial-ok"
 		case cevDialFail:
 			what = "dial-fail"
+		case cevHelloYield:
+			what = "hello-yield"
 		default:
 			what = fmt.Sprintf("kind=%d", ev.kind)
 		}

@@ -1,0 +1,125 @@
+package launch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"mpicd/internal/core"
+)
+
+// BenchResult is one transport's microbenchmark numbers: small-message
+// eager round-trip latency and large-message pull bandwidth (4 MiB
+// messages, which every cross-process provider moves with striped
+// windowed Get pulls rather than eager copies).
+type BenchResult struct {
+	Transport  string  `json:"transport"`
+	Ranks      int     `json:"ranks"`
+	EagerRTTus float64 `json:"eager_rtt_us"`
+	PullMiBps  float64 `json:"pull_mib_per_s"`
+}
+
+const (
+	benchEagerBytes = 64
+	benchEagerIters = 500
+	benchPullBytes  = 4 << 20
+	benchPullIters  = 16
+)
+
+// BenchPair measures rank 0 ↔ rank 1 traffic on c; ranks beyond the pair
+// only participate in the closing barrier. Both members return the same
+// numbers (rank 0 measures, then sends them over).
+func BenchPair(c *core.Comm) (eagerRTTus, pullMiBps float64, err error) {
+	rank := c.Rank()
+	if c.Size() < 2 {
+		return 0, 0, fmt.Errorf("launch: bench needs at least 2 ranks")
+	}
+	if rank <= 1 {
+		peer := 1 - rank
+		small := make([]byte, benchEagerBytes)
+		pingpong := func(iters int) error {
+			for i := 0; i < iters; i++ {
+				if rank == 0 {
+					if err := c.Send(small, benchEagerBytes, core.TypeBytes, peer, 1); err != nil {
+						return err
+					}
+					if _, err := c.Recv(small, benchEagerBytes, core.TypeBytes, peer, 1); err != nil {
+						return err
+					}
+				} else {
+					if _, err := c.Recv(small, benchEagerBytes, core.TypeBytes, peer, 1); err != nil {
+						return err
+					}
+					if err := c.Send(small, benchEagerBytes, core.TypeBytes, peer, 1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if err := pingpong(50); err != nil { // warmup: dial, open rings
+			return 0, 0, err
+		}
+		start := time.Now()
+		if err := pingpong(benchEagerIters); err != nil {
+			return 0, 0, err
+		}
+		eagerRTTus = float64(time.Since(start).Microseconds()) / benchEagerIters
+
+		big := make([]byte, benchPullBytes)
+		ack := make([]byte, 8)
+		start = time.Now()
+		for i := 0; i < benchPullIters; i++ {
+			if rank == 0 {
+				if err := c.Send(big, benchPullBytes, core.TypeBytes, peer, 2); err != nil {
+					return 0, 0, err
+				}
+				if _, err := c.Recv(ack, 8, core.TypeBytes, peer, 3); err != nil {
+					return 0, 0, err
+				}
+			} else {
+				if _, err := c.Recv(big, benchPullBytes, core.TypeBytes, peer, 2); err != nil {
+					return 0, 0, err
+				}
+				if err := c.Send(ack, 8, core.TypeBytes, peer, 3); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		secs := time.Since(start).Seconds()
+		pullMiBps = float64(benchPullIters) * (benchPullBytes / (1 << 20)) / secs
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, 0, err
+	}
+	return eagerRTTus, pullMiBps, nil
+}
+
+// taskBench runs BenchPair and has rank 0 write the result JSON to the
+// file named by MPICD_BENCH_OUT.
+func taskBench(w *World) error {
+	eager, pull, err := BenchPair(w.Comm)
+	if err != nil {
+		return err
+	}
+	if w.Comm.Rank() != 0 {
+		return nil
+	}
+	out := os.Getenv(EnvBenchOut)
+	if out == "" {
+		fmt.Printf("eager rtt %.2f us, pull %.1f MiB/s\n", eager, pull)
+		return nil
+	}
+	res := BenchResult{
+		Transport:  w.Info.Transport,
+		Ranks:      w.Comm.Size(),
+		EagerRTTus: eager,
+		PullMiBps:  pull,
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}

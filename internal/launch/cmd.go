@@ -1,0 +1,201 @@
+package launch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Cmd spawns an N-rank job as N local OS processes, the way mpirun does
+// on one node: start a rendezvous listener, fork the workers with their
+// MPICD_* identity in the environment, multiplex their output, and wait.
+//
+// Exit policy: the job's status is the first non-zero worker exit. As
+// soon as one worker fails, the rest are killed — a cross-process job
+// whose rank 3 died is dead, and leaving 127 siblings blocked in Recv
+// until the timeout only hides the real error. Timeout is a hard
+// backstop that kills everything and reports which ranks were still
+// running.
+type Cmd struct {
+	N         int      // number of ranks (required, > 0)
+	Prog      string   // worker binary (required)
+	Args      []string // worker argv[1:]
+	Transport string   // TransportSHM (default) or TransportTCP
+
+	// Dir is the SHM session directory. Empty means a fresh directory
+	// under the default temp root, removed when the job ends. Keep it
+	// short: unix socket paths cap at ~100 bytes.
+	Dir string
+
+	// RanksPerNode carves the job into synthetic nodes of this many
+	// consecutive ranks for placement-aware code paths (hierarchical
+	// collectives, pull-stripe scaling). 0 or >= N places every rank on
+	// one node, which is the truth for a single-host launcher.
+	RanksPerNode int
+
+	Timeout time.Duration // kill-all guard; default 2 minutes
+	Env     []string      // extra KEY=VALUE pairs for every worker
+
+	// Stdout/Stderr receive the workers' output, each line prefixed
+	// "[rank] ". Nil means the launcher process's own streams.
+	Stdout, Stderr io.Writer
+}
+
+// rankExit is one worker's termination.
+type rankExit struct {
+	rank int
+	err  error
+}
+
+// Run launches the job and blocks until it ends. The returned error is
+// nil only if every rank exited 0 and the rendezvous succeeded.
+func (c *Cmd) Run() error {
+	if c.N <= 0 {
+		return fmt.Errorf("launch: Cmd.N = %d", c.N)
+	}
+	if c.Prog == "" {
+		return fmt.Errorf("launch: Cmd.Prog is empty")
+	}
+	transport := c.Transport
+	if transport == "" {
+		transport = TransportSHM
+	}
+	if transport != TransportSHM && transport != TransportTCP {
+		return fmt.Errorf("launch: unknown transport %q", transport)
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	rpn := c.RanksPerNode
+	if rpn <= 0 || rpn > c.N {
+		rpn = c.N
+	}
+	stdout, stderr := c.Stdout, c.Stderr
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+
+	dir := c.Dir
+	if transport == TransportSHM && dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "mpicd-*"); err != nil {
+			return fmt.Errorf("launch: session dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("launch: rendezvous listener: %w", err)
+	}
+	defer ln.Close()
+	rendErr := make(chan error, 1)
+	rendStop := make(chan struct{})
+	go func() { rendErr <- serveRendezvous(ln, c.N, rendStop) }()
+
+	var outMu sync.Mutex // one worker line at a time, never interleaved bytes
+	procs := make([]*exec.Cmd, c.N)
+	exits := make(chan rankExit, c.N)
+	for r := 0; r < c.N; r++ {
+		p := exec.Command(c.Prog, c.Args...)
+		p.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", EnvRank, r),
+			fmt.Sprintf("%s=%d", EnvSize, c.N),
+			fmt.Sprintf("%s=%s", EnvRend, ln.Addr().String()),
+			fmt.Sprintf("%s=%s", EnvTransport, transport),
+			fmt.Sprintf("%s=%s", EnvDir, dir),
+			fmt.Sprintf("%s=%d", EnvRPN, rpn),
+			fmt.Sprintf("%s=%d", EnvNode, r/rpn),
+		)
+		p.Env = append(p.Env, c.Env...)
+		op, _ := p.StdoutPipe()
+		ep, _ := p.StderrPipe()
+		// Drain both pipes to EOF before calling Wait: Wait closes the
+		// pipes as soon as the process exits, and a reader that loses
+		// that race silently drops the worker's last lines of output.
+		var pw sync.WaitGroup
+		pw.Add(2)
+		go prefixLines(&pw, &outMu, stdout, r, op)
+		go prefixLines(&pw, &outMu, stderr, r, ep)
+		if err := p.Start(); err != nil {
+			killAll(procs)
+			return fmt.Errorf("launch: start rank %d: %w", r, err)
+		}
+		procs[r] = p
+		go func(r int, p *exec.Cmd, pw *sync.WaitGroup) {
+			pw.Wait()
+			exits <- rankExit{r, p.Wait()}
+		}(r, p, &pw)
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var jobErr error
+	live := c.N
+	for live > 0 {
+		select {
+		case e := <-exits:
+			live--
+			if e.err != nil && jobErr == nil {
+				jobErr = fmt.Errorf("launch: rank %d: %w", e.rank, e.err)
+				killAll(procs) // first failure dooms the job; reap the rest
+			}
+		case <-timer.C:
+			jobErr = fmt.Errorf("launch: job timed out after %v with %d rank(s) still running", timeout, live)
+			killAll(procs)
+			for live > 0 {
+				<-exits
+				live--
+			}
+		}
+	}
+	ln.Close()
+	close(rendStop)
+	if err := <-rendErr; err != nil && jobErr == nil {
+		jobErr = err
+	}
+	return jobErr
+}
+
+// killAll terminates every started worker: SIGTERM first (a worker
+// running with MPICD_DEBUG installed a handler that dumps its transport
+// state before dying; the Go default is immediate exit), SIGKILL for
+// any that linger past a short grace. Safe to call repeatedly and with
+// nil slots (ranks that never started).
+func killAll(procs []*exec.Cmd) {
+	for _, p := range procs {
+		if p != nil && p.Process != nil {
+			_ = p.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	go func() {
+		time.Sleep(3 * time.Second)
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+	}()
+}
+
+// prefixLines copies r to w line by line, each prefixed with the rank.
+func prefixLines(wg *sync.WaitGroup, mu *sync.Mutex, w io.Writer, rank int, r io.Reader) {
+	defer wg.Done()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		mu.Lock()
+		fmt.Fprintf(w, "[%d] %s\n", rank, sc.Bytes())
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,237 @@
+// Package launch is the process-launch half of cross-process deployment:
+// an mpirun-style spawner (Cmd) that forks N local worker processes, and
+// the worker-side bootstrap (FromEnv + Info.Connect) that turns the
+// launcher-provided environment into a connected world communicator.
+//
+// The contract between the two halves is a handful of MPICD_* environment
+// variables plus a JSON-line rendezvous service: each worker binds its
+// transport endpoint, reports {rank, addr, node} to the rendezvous
+// address, and receives the full address table and node placement once
+// every rank has checked in. The rendezvous doubles as a startup barrier,
+// so no worker sends before every peer is reachable.
+//
+// Placement is threaded through the stack: RanksPerNode scales the
+// transport's automatic pull-stripe count (128 co-located ranks must not
+// each spawn 4 pull goroutines), and the per-rank node ids become the
+// communicator's CollTopology so small collectives route hierarchically.
+package launch
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"mpicd/internal/core"
+	"mpicd/internal/fabric"
+	"mpicd/internal/ucp"
+)
+
+// Environment variables the launcher sets for every worker process.
+const (
+	EnvRank      = "MPICD_RANK"      // this process's world rank
+	EnvSize      = "MPICD_SIZE"      // world size
+	EnvRend      = "MPICD_REND"      // rendezvous host:port (may be empty for SHM)
+	EnvTransport = "MPICD_TRANSPORT" // "shm" or "tcp"
+	EnvDir       = "MPICD_DIR"       // SHM session directory
+	EnvRPN       = "MPICD_RPN"       // ranks per node
+	EnvNode      = "MPICD_NODE"      // this rank's node id
+)
+
+// Transport names accepted by the launcher and Info.Transport.
+const (
+	TransportSHM = "shm"
+	TransportTCP = "tcp"
+)
+
+// Info is the launch-time identity of one worker process.
+type Info struct {
+	Rank         int
+	Size         int
+	Rend         string // rendezvous address; empty skips the exchange (SHM only)
+	Transport    string // TransportSHM (default) or TransportTCP
+	Dir          string // SHM session directory
+	RanksPerNode int    // 0 means unknown (single node assumed)
+	Node         int    // node id of this rank
+	Bind         string // TCP bind pattern; default "127.0.0.1:0"
+}
+
+// IsWorker reports whether this process was spawned by the launcher.
+func IsWorker() bool { return os.Getenv(EnvRank) != "" }
+
+// FromEnv reads the worker identity the launcher exported.
+func FromEnv() (*Info, error) {
+	in := &Info{
+		Rend:      os.Getenv(EnvRend),
+		Transport: os.Getenv(EnvTransport),
+		Dir:       os.Getenv(EnvDir),
+	}
+	var err error
+	if in.Rank, err = envInt(EnvRank, -1); err != nil {
+		return nil, err
+	}
+	if in.Size, err = envInt(EnvSize, -1); err != nil {
+		return nil, err
+	}
+	if in.RanksPerNode, err = envInt(EnvRPN, 0); err != nil {
+		return nil, err
+	}
+	if in.Node, err = envInt(EnvNode, 0); err != nil {
+		return nil, err
+	}
+	if in.Rank < 0 || in.Size <= 0 || in.Rank >= in.Size {
+		return nil, fmt.Errorf("launch: bad identity rank=%d size=%d (is %s set?)", in.Rank, in.Size, EnvRank)
+	}
+	if in.Transport == "" {
+		in.Transport = TransportSHM
+	}
+	return in, nil
+}
+
+func envInt(name string, def int) (int, error) {
+	v := os.Getenv(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("launch: %s=%q: %w", name, v, err)
+	}
+	return n, nil
+}
+
+// World is a connected cross-process world communicator plus the
+// bootstrap facts (address table, node placement) the rendezvous
+// produced.
+type World struct {
+	Comm  *core.Comm
+	Info  *Info
+	Addrs []string // addrs[i] is rank i's bound transport endpoint
+	Nodes []int    // nodes[i] is rank i's node id
+
+	worker *ucp.Worker
+	nic    fabric.NIC
+}
+
+// NumConns reports how many transport connections this rank currently
+// holds, when the provider tracks that (TCP and SHM do). Lazy dialing
+// means a rank that only ever talked to k peers reports ~k, not Size-1.
+func (w *World) NumConns() int {
+	if n, ok := w.nic.(interface{ NumConns() int }); ok {
+		return n.NumConns()
+	}
+	return -1
+}
+
+// Close leaves the world, closing the transport.
+func (w *World) Close() error {
+	w.worker.Close()
+	return nil
+}
+
+// Connect binds this worker's transport endpoint, runs the rendezvous
+// exchange, and returns the world communicator. opt carries the usual
+// fabric/ucp configuration; observability registries propagate the same
+// way mpi.ConnectTCP propagates them.
+func (in *Info) Connect(opt core.Options) (*World, error) {
+	if o := opt.UCP.Obs; o != nil && opt.Fabric.Obs == nil {
+		opt.Fabric.Obs = o.Registry
+	}
+	if opt.UCP.RanksPerNode == 0 {
+		opt.UCP.RanksPerNode = in.RanksPerNode
+	}
+	// Cross-process worlds always run the acked eager protocol. Unlike
+	// the in-process transport, a socket can lose data when its peer
+	// process exits right after writing (a TCP close with unread inbound
+	// bytes turns into a reset, which discards kernel-buffered data in
+	// both directions) — and a dissemination barrier lets fast ranks
+	// exit while their last token to a laggard is still in flight. With
+	// acked completion, a send that has completed is a send the
+	// receiver's worker holds, so finish-barrier-then-exit is safe.
+	opt.UCP.Reliable = true
+	// Launched jobs oversubscribe cores hard — every rank is a full OS
+	// process, and CI-class machines run 128 of them on a few CPUs — so
+	// a receiver can legitimately sit unscheduled for whole seconds.
+	// Unless the caller tuned them, give retransmission a far longer
+	// budget than the in-process defaults, scaled by how oversubscribed
+	// this job actually is, so scheduler starvation is not misread as
+	// message loss.
+	over := (in.Size + runtime.NumCPU() - 1) / runtime.NumCPU()
+	if opt.UCP.RexmitMax == 0 {
+		opt.UCP.RexmitMax = time.Second
+		if over >= 8 {
+			opt.UCP.RexmitMax = 2 * time.Second
+		}
+	}
+	if opt.UCP.RexmitRetries == 0 {
+		opt.UCP.RexmitRetries = 20
+		if over >= 8 {
+			opt.UCP.RexmitRetries = 45
+		}
+	}
+
+	var (
+		nic  fabric.NIC
+		tcp  *fabric.TCP
+		addr string
+		err  error
+	)
+	switch in.Transport {
+	case TransportSHM, "":
+		if in.Dir == "" {
+			return nil, fmt.Errorf("launch: SHM transport needs %s", EnvDir)
+		}
+		// Deterministic addressing: every segment and socket name is a
+		// function of the session dir and the rank pair, so the address
+		// table is known before the exchange.
+		nic, err = fabric.NewSHM(in.Rank, in.Size, in.Dir, opt.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		addr = fabric.ShmSocket(in.Dir, in.Rank)
+	case TransportTCP:
+		bind := in.Bind
+		if bind == "" {
+			bind = "127.0.0.1:0"
+		}
+		tcp, err = fabric.ListenTCP(in.Rank, in.Size, bind, opt.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		nic, addr = tcp, tcp.Addr()
+	default:
+		return nil, fmt.Errorf("launch: unknown transport %q", in.Transport)
+	}
+
+	addrs, nodes := make([]string, in.Size), make([]int, in.Size)
+	if in.Rend != "" {
+		reply, err := exchange(in.Rend, in.Rank, in.Size, addr, in.Node)
+		if err != nil {
+			nic.Close()
+			return nil, err
+		}
+		addrs, nodes = reply.Addrs, reply.Nodes
+	} else {
+		// No rendezvous: only SHM can bootstrap from convention alone
+		// (all ranks on one node, addresses derived from the dir).
+		if in.Transport == TransportTCP {
+			nic.Close()
+			return nil, fmt.Errorf("launch: TCP transport needs %s", EnvRend)
+		}
+		for i := range addrs {
+			addrs[i] = fabric.ShmSocket(in.Dir, i)
+		}
+	}
+	if tcp != nil {
+		if err := tcp.Join(addrs); err != nil {
+			nic.Close()
+			return nil, err
+		}
+	}
+
+	w := ucp.NewWorker(nic, opt.UCP)
+	comm := core.NewComm(w)
+	comm.SetCollTuning(core.CollTuning{Topology: &core.CollTopology{NodeOf: nodes}})
+	return &World{Comm: comm, Info: in, Addrs: addrs, Nodes: nodes, worker: w, nic: nic}, nil
+}

@@ -1,0 +1,156 @@
+package launch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+)
+
+// The rendezvous wire protocol: each worker dials the launcher's
+// rendezvous listener, writes one JSON line announcing itself, and blocks
+// until the launcher answers with one JSON line carrying the full world.
+// The reply is withheld until all Size workers have checked in, which
+// makes the exchange a startup barrier: when Connect returns, every
+// peer's endpoint is bound and reachable.
+
+// rendTimeout bounds both sides of the exchange. Workers that cannot
+// reach the launcher, and launchers missing a worker (it crashed before
+// checking in), fail with a named error instead of hanging.
+const rendTimeout = 30 * time.Second
+
+type helloMsg struct {
+	Rank int    `json:"rank"`
+	Addr string `json:"addr"`
+	Node int    `json:"node"`
+}
+
+type worldMsg struct {
+	Addrs []string `json:"addrs"`
+	Nodes []int    `json:"nodes"`
+	Err   string   `json:"err,omitempty"`
+}
+
+// exchange is the worker side: announce (rank, addr, node) to rend and
+// wait for the assembled world.
+func exchange(rend string, rank, size int, addr string, node int) (*worldMsg, error) {
+	deadline := time.Now().Add(rendTimeout)
+	var conn net.Conn
+	var err error
+	// The launcher starts its listener before spawning, but tolerate a
+	// slow start (or out-of-band launch scripts) with a short dial loop.
+	for backoff := 10 * time.Millisecond; ; backoff *= 2 {
+		conn, err = net.DialTimeout("tcp", rend, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("launch: rank %d cannot reach rendezvous %s: %w", rank, rend, err)
+		}
+		time.Sleep(backoff)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline)
+	if err := json.NewEncoder(conn).Encode(helloMsg{Rank: rank, Addr: addr, Node: node}); err != nil {
+		return nil, fmt.Errorf("launch: rank %d rendezvous hello: %w", rank, err)
+	}
+	var reply worldMsg
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("launch: rank %d rendezvous reply: %w", rank, err)
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("launch: rendezvous failed: %s", reply.Err)
+	}
+	if len(reply.Addrs) != size || len(reply.Nodes) != size {
+		return nil, fmt.Errorf("launch: rendezvous reply sized %d/%d, want %d", len(reply.Addrs), len(reply.Nodes), size)
+	}
+	return &reply, nil
+}
+
+// serveRendezvous is the launcher side: collect one hello per rank from
+// ln, then broadcast the world to every connection. Returns once all
+// replies are written (or on the first protocol error / timeout, after
+// telling every connected worker why). Closing stop abandons the
+// exchange silently — the job is already over, so an incomplete
+// rendezvous is either a crash reported elsewhere or a worker program
+// that never connected, neither of which this side should diagnose.
+func serveRendezvous(ln net.Listener, size int, stop <-chan struct{}) error {
+	deadline := time.Now().Add(rendTimeout)
+	type arrival struct {
+		conn net.Conn
+		msg  helloMsg
+		err  error
+	}
+	arrivals := make(chan arrival, size)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed by the caller
+			}
+			go func() {
+				_ = conn.SetDeadline(deadline)
+				var m helloMsg
+				if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&m); err != nil {
+					conn.Close()
+					return
+				}
+				arrivals <- arrival{conn: conn, msg: m}
+			}()
+		}
+	}()
+
+	conns := make(map[int]net.Conn, size)
+	world := worldMsg{Addrs: make([]string, size), Nodes: make([]int, size)}
+	fail := func(msg string) error {
+		world.Err = msg
+		for _, c := range conns {
+			_ = json.NewEncoder(c).Encode(worldMsg{Err: msg})
+			c.Close()
+		}
+		return fmt.Errorf("launch: rendezvous: %s", msg)
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for len(conns) < size {
+		select {
+		case a := <-arrivals:
+			r := a.msg.Rank
+			if r < 0 || r >= size {
+				a.conn.Close()
+				return fail(fmt.Sprintf("worker announced out-of-range rank %d (world size %d)", r, size))
+			}
+			if _, dup := conns[r]; dup {
+				a.conn.Close()
+				return fail(fmt.Sprintf("two workers announced rank %d", r))
+			}
+			conns[r] = a.conn
+			world.Addrs[r] = a.msg.Addr
+			world.Nodes[r] = a.msg.Node
+		case <-stop:
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil
+		case <-timer.C:
+			missing := make([]int, 0, size)
+			for r := 0; r < size; r++ {
+				if _, ok := conns[r]; !ok {
+					missing = append(missing, r)
+				}
+			}
+			sort.Ints(missing)
+			return fail(fmt.Sprintf("timed out after %v waiting for rank(s) %v", rendTimeout, missing))
+		}
+	}
+	var firstErr error
+	for r, c := range conns {
+		if err := json.NewEncoder(c).Encode(world); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("launch: rendezvous reply to rank %d: %w", r, err)
+		}
+		c.Close()
+	}
+	return firstErr
+}

@@ -1,0 +1,294 @@
+package launch
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/pprof"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpicd/internal/core"
+	"mpicd/internal/ddt"
+	"mpicd/internal/fabric"
+	"mpicd/internal/layout"
+)
+
+// Built-in worker tasks. cmd/mpicd-run re-executes itself with
+// MPICD_WORKER_TASK naming one of these, and the launch e2e tests reuse
+// them from the re-executed test binary, so the exact same traffic
+// patterns validate the CLI and the package.
+const EnvTask = "MPICD_WORKER_TASK"
+
+// EnvBenchOut names the file the bench task's rank 0 writes its JSON
+// result to.
+const EnvBenchOut = "MPICD_BENCH_OUT"
+
+// EnvDebug turns on failure forensics in built-in tasks: a state dump
+// on task error, and a SIGTERM handler that dumps before dying (the
+// launcher kills survivors with SIGTERM first, so when one rank times
+// out, every OTHER rank reports what it was stuck on). "2" adds full
+// goroutine stacks.
+const EnvDebug = "MPICD_DEBUG"
+
+// RunTask connects a world from in and runs the named built-in task.
+func RunTask(name string, in *Info, opt core.Options) error {
+	w, err := in.Connect(opt)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if os.Getenv(EnvDebug) != "" {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGTERM)
+		go func() {
+			<-ch
+			debugDump(w, "killed")
+			os.Exit(1)
+		}()
+	}
+	err = runTask(name, w)
+	if err != nil && os.Getenv(EnvDebug) != "" {
+		debugDump(w, err.Error())
+	}
+	return err
+}
+
+func runTask(name string, w *World) error {
+	switch name {
+	case "pingpong":
+		return taskPingpong(w.Comm)
+	case "allreduce":
+		return taskAllreduce(w.Comm)
+	case "ringping":
+		return taskRingping(w)
+	case "crash":
+		return taskCrash(w.Comm)
+	case "facts":
+		return taskFacts(w)
+	case "bench":
+		return taskBench(w)
+	default:
+		return fmt.Errorf("launch: unknown worker task %q", name)
+	}
+}
+
+// debugDump writes the rank's transport forensics to stderr: protocol
+// counters, every send still awaiting acknowledgement (and which peer
+// owes the ack), and the provider's channel state.
+func (w *World) debugDump(reason string) {
+	var b strings.Builder
+	st := w.worker.Stats()
+	fmt.Fprintf(&b, "rank %d debug (%s):\n", w.Info.Rank, reason)
+	fmt.Fprintf(&b, "  ucp: eager=%d acksSent=%d rexmits=%d dupFrags=%d timeouts=%d\n",
+		st.EagerSends.Load(), st.AcksSent.Load(), st.Retransmits.Load(), st.DupFrags.Load(), st.Timeouts.Load())
+	for _, e := range w.worker.RexmitSnapshot() {
+		fmt.Fprintf(&b, "  unacked: dst=%d tag=%#x eager=%v attempts=%d\n", e.Dst, e.Tag, e.Eager, e.Attempts)
+	}
+	if d, ok := w.nic.(interface{ DebugState() string }); ok {
+		b.WriteString(d.DebugState())
+	}
+	for _, ev := range fabric.ConnTrace() {
+		fmt.Fprintf(&b, "  conn: %s\n", ev)
+	}
+	os.Stderr.WriteString(b.String())
+	if os.Getenv(EnvDebug) == "2" {
+		_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 2)
+	}
+}
+
+func debugDump(w *World, reason string) { w.debugDump(reason) }
+
+func fill(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+// taskPingpong pairs rank i with rank i^1 (the last rank idles when the
+// world is odd) and pingpongs an eager-sized and a rendezvous-sized
+// payload, verifying both directions, then barriers.
+func taskPingpong(c *core.Comm) error {
+	rank, size := c.Rank(), c.Size()
+	peer := rank ^ 1
+	if peer < size {
+		for _, n := range []int{64, 1 << 20} {
+			mine := fill(n, byte(rank+1))
+			got := make([]byte, n)
+			if rank < peer {
+				if err := c.Send(mine, core.Count(n), core.TypeBytes, peer, 7); err != nil {
+					return err
+				}
+				if _, err := c.Recv(got, core.Count(n), core.TypeBytes, peer, 7); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(got, core.Count(n), core.TypeBytes, peer, 7); err != nil {
+					return err
+				}
+				if err := c.Send(mine, core.Count(n), core.TypeBytes, peer, 7); err != nil {
+					return err
+				}
+			}
+			if !bytes.Equal(got, fill(n, byte(peer+1))) {
+				return fmt.Errorf("rank %d: %d-byte pingpong payload mismatch from %d", rank, n, peer)
+			}
+		}
+	}
+	return c.Barrier()
+}
+
+// taskAllreduce verifies an int64 sum Allreduce and a Bcast — the two
+// collectives that reroute hierarchically when the launcher reports a
+// multi-node placement.
+func taskAllreduce(c *core.Comm) error {
+	rank, size := c.Rank(), c.Size()
+	const count = 257
+	send, recv := make([]byte, 8*count), make([]byte, 8*count)
+	for i := 0; i < count; i++ {
+		layout.PutI64(send, 8*i, int64((rank+1)*(i+1)))
+	}
+	if err := c.Allreduce(send, recv, count, core.FromDDT(ddt.Int64), core.OpSumInt64); err != nil {
+		return err
+	}
+	sum := int64(size * (size + 1) / 2)
+	for i := 0; i < count; i++ {
+		if got, want := layout.I64(recv, 8*i), sum*int64(i+1); got != want {
+			return fmt.Errorf("rank %d allreduce elem %d: got %d, want %d", rank, i, got, want)
+		}
+	}
+	want := fill(4096, 3)
+	buf := make([]byte, len(want))
+	if rank == 0 {
+		copy(buf, want)
+	}
+	if err := c.Bcast(buf, core.Count(len(buf)), core.TypeBytes, 0); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf, want) {
+		return fmt.Errorf("rank %d: bcast payload mismatch", rank)
+	}
+	return c.Barrier()
+}
+
+// taskRingping exchanges with the two ring neighbors only — no
+// collectives, whose tree schedules would dial extra peers — and then
+// asserts lazy dialing held: this rank's connection count must not
+// exceed its neighbor count.
+func taskRingping(w *World) error {
+	c := w.Comm
+	rank, size := c.Rank(), c.Size()
+	right, left := (rank+1)%size, (rank+size-1)%size
+	buf := make([]byte, 8)
+	sr, err := c.Isend(fill(8, byte(rank)), 8, core.TypeBytes, right, 9)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Recv(buf, 8, core.TypeBytes, left, 9); err != nil {
+		return err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf, fill(8, byte(left))) {
+		return fmt.Errorf("rank %d: ring payload mismatch", rank)
+	}
+	// Echo back so both directions of each neighbor link carried data.
+	sr, err = c.Isend(buf, 8, core.TypeBytes, left, 10)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Recv(buf, 8, core.TypeBytes, right, 10); err != nil {
+		return err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return err
+	}
+	// Quiesce before anyone closes (like MPI, finalization is
+	// collective): a two-pass ring token barrier. The collect pass
+	// certifies every rank finished its traffic; the release pass lets
+	// ranks exit. Both passes ride the existing neighbor links, so the
+	// connection count stays exactly the ring degree — and under the
+	// reliable protocol the final release forward is acked before the
+	// forwarding rank tears down.
+	token := make([]byte, 1)
+	for _, tag := range []int{11, 12} {
+		if rank == 0 {
+			if err := c.Send(token, 1, core.TypeBytes, right, tag); err != nil {
+				return err
+			}
+			if _, err := c.Recv(token, 1, core.TypeBytes, left, tag); err != nil {
+				return err
+			}
+		} else {
+			if _, err := c.Recv(token, 1, core.TypeBytes, left, tag); err != nil {
+				return err
+			}
+			if err := c.Send(token, 1, core.TypeBytes, right, tag); err != nil {
+				return err
+			}
+		}
+	}
+	conns := w.NumConns()
+	limit := 2
+	if size <= 3 {
+		limit = size - 1
+	}
+	if conns > limit {
+		return fmt.Errorf("rank %d: %d connections after ring traffic, want <= %d (lazy dialing broken?)", rank, conns, limit)
+	}
+	fmt.Printf("rank %d: %d conns\n", rank, conns)
+	return nil
+}
+
+// taskFacts verifies the bootstrap facts every worker derives from the
+// rendezvous: a full address table and the launcher's node placement.
+func taskFacts(w *World) error {
+	in, c := w.Info, w.Comm
+	if c.Rank() != in.Rank || c.Size() != in.Size {
+		return fmt.Errorf("comm identity %d/%d != env identity %d/%d", c.Rank(), c.Size(), in.Rank, in.Size)
+	}
+	if len(w.Addrs) != in.Size || len(w.Nodes) != in.Size {
+		return fmt.Errorf("world facts sized %d/%d, want %d", len(w.Addrs), len(w.Nodes), in.Size)
+	}
+	for r, a := range w.Addrs {
+		if a == "" {
+			return fmt.Errorf("no address for rank %d", r)
+		}
+	}
+	if w.Nodes[in.Rank] != in.Node {
+		return fmt.Errorf("rendezvous says node %d, env says %d", w.Nodes[in.Rank], in.Node)
+	}
+	if in.RanksPerNode > 0 {
+		for r, node := range w.Nodes {
+			if want := r / in.RanksPerNode; node != want {
+				return fmt.Errorf("rank %d on node %d, want %d", r, node, want)
+			}
+		}
+	}
+	return c.Barrier()
+}
+
+// taskCrash makes one rank exit non-zero after the world is up, so the
+// launcher's kill-the-rest + propagate-first-failure policy can be
+// observed end to end. The survivors sleep far past any reasonable kill
+// latency; reaching the sleep's end means the launcher failed to reap
+// them.
+func taskCrash(c *core.Comm) error {
+	crasher := 2
+	if c.Size() <= crasher {
+		crasher = c.Size() - 1
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if c.Rank() == crasher {
+		os.Exit(3)
+	}
+	time.Sleep(60 * time.Second)
+	return nil
+}

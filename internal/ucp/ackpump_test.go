@@ -1,0 +1,96 @@
+package ucp
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"mpicd/internal/fabric"
+)
+
+// ackGate wraps a NIC and parks every outbound eager ack until release
+// is closed, simulating transport backpressure on the ack path (a full
+// shared-memory ring, a full socket buffer). blocked is closed when the
+// first ack send parks.
+type ackGate struct {
+	fabric.NIC
+	release chan struct{}
+	blocked chan struct{}
+	once    sync.Once
+}
+
+func (g *ackGate) Send(to int, hdr fabric.Header, payload ...[]byte) error {
+	if hdr.Kind == kindEagerAck {
+		g.once.Do(func() { close(g.blocked) })
+		<-g.release
+	}
+	return g.NIC.Send(to, hdr, payload...)
+}
+
+// TestAckBackpressureDoesNotStallProgress pins the ack-pump contract: a
+// wire send of an eager ack that blocks on transport backpressure must
+// not stall the receiver's progress loop. Before acks were queued onto
+// a dedicated pump goroutine, the inline ack send wedged the progress
+// loop, the inbox filled, and at cross-process scale every rank ended
+// up waiting to push an ack only its equally-stalled peer could drain —
+// a distributed deadlock that exhausted retransmission budgets.
+func TestAckBackpressureDoesNotStallProgress(t *testing.T) {
+	cfg := Config{Reliable: true}
+	f := fabric.NewInproc(2, fabric.Config{})
+	gate := &ackGate{
+		NIC:     f.NIC(1),
+		release: make(chan struct{}),
+		blocked: make(chan struct{}),
+	}
+	a := NewWorker(f.NIC(0), cfg)
+	b := NewWorker(gate, cfg)
+	defer a.Close()
+	// NOT deferred for b: Close waits out the pump, which is parked in
+	// the gate until release below.
+
+	data := pattern(4096, 7)
+	out := make([]byte, len(data))
+	rr1, err := b.Recv(0, 1, exactMask, Contig{}, out, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr1, err := a.Send(1, 1, Contig{}, data, int64(len(data)), 0, ProtoEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rr1.WaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("first receive: %v", err)
+	}
+	select {
+	case <-gate.blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no ack send parked in the gate")
+	}
+
+	// The receiver's ack to message 1 is wedged on "backpressure". The
+	// progress loop must still deliver message 2.
+	data2 := pattern(4096, 9)
+	out2 := make([]byte, len(data2))
+	rr2, err := b.Recv(0, 2, exactMask, Contig{}, out2, int64(len(data2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Send(1, 2, Contig{}, data2, int64(len(data2)), 0, ProtoEager); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr2.WaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("receive behind a blocked ack did not complete: %v", err)
+	}
+	if !bytes.Equal(out2, data2) {
+		t.Fatal("second payload corrupted")
+	}
+
+	// Releasing the backpressure lets the queued acks drain and the
+	// sender's reliable completions land.
+	close(gate.release)
+	if err := sr1.WaitTimeout(5 * time.Second); err != nil {
+		t.Fatalf("first send after ack release: %v", err)
+	}
+	b.Close()
+}

@@ -94,15 +94,9 @@ func (w *Worker) AbortWhere(pred func(from int, tag, mask Tag) bool, err error) 
 	var failed []*Request
 	w.mu.Lock()
 	if !w.closed {
-		kept := w.posted[:0]
-		for _, r := range w.posted {
-			if pred(r.from, r.tag, r.mask) {
-				failed = append(failed, r)
-				continue
-			}
-			kept = append(kept, r)
-		}
-		w.posted = kept
+		failed = w.table.filterPosted(func(r *Request) bool {
+			return !pred(r.from, r.tag, r.mask)
+		})
 		w.cond.Broadcast()
 	}
 	w.mu.Unlock()
@@ -144,15 +138,9 @@ func (w *Worker) DeclarePeerFailed(rank int) {
 		w.mu.Unlock()
 		return
 	}
-	kept := w.posted[:0]
-	for _, r := range w.posted {
-		if r.from == rank || (r.from < 0 && allDead) {
-			failedReqs = append(failedReqs, r)
-			continue
-		}
-		kept = append(kept, r)
-	}
-	w.posted = kept
+	failedReqs = w.table.filterPosted(func(r *Request) bool {
+		return !(r.from == rank || (r.from < 0 && allDead))
+	})
 	for key, op := range w.active {
 		if key.from == rank {
 			delete(w.active, key)
@@ -191,9 +179,7 @@ func (w *Worker) DeclarePeerFailed(rank int) {
 			w.releaseFrags(m)
 		}
 	}
-	for _, m := range w.unexpected {
-		poison(m)
-	}
+	w.table.forEachUnexpected(poison)
 	for _, m := range w.claimed {
 		poison(m)
 	}

@@ -336,7 +336,7 @@ func TestAbortEntriesReaped(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	b.mu.Lock()
-	left := len(b.unexpected)
+	left := b.table.lenUnexpected()
 	b.mu.Unlock()
 	if left != 0 {
 		t.Fatalf("%d unexpected entries remain after reaping", left)

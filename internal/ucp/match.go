@@ -1,0 +1,261 @@
+package ucp
+
+// Sharded tag-match table. The worker's two matching queues — posted
+// receives and unexpected messages — were flat slices, so every match,
+// probe and failure sweep scanned entries for all peers. At a few ranks
+// that is fine; at 128–256 ranks a busy worker's unexpected queue mixes
+// traffic from every peer and each incoming fragment pays a scan
+// proportional to the whole backlog. The table shards both queues by
+// peer rank so the common case — a receive naming its source, a fragment
+// looking up its message — touches only the one shard that can hold a
+// match.
+//
+// MPI ordering semantics survive sharding through sequence stamps:
+//
+//   - posted receives carry postSeq; a message matches the
+//     earliest-posted receive among its sender's shard and the separate
+//     AnySource list (the two candidates' stamps are compared).
+//   - unexpected messages carry arriveSeq; an AnySource receive matches
+//     the earliest arrival across all shards, and a source-specific
+//     receive matches the earliest within its shard — which is exactly
+//     per-sender arrival order, the only order MPI guarantees.
+//
+// The table is not separately locked: every method requires the worker's
+// mu, exactly like the slices it replaces. Sharding here buys scan
+// locality, not lock concurrency — the worker lock is held for a bounded
+// walk of one shard instead of the whole queue.
+
+// matchShards is the shard count (power of two so the index is a mask).
+// Ranks hash by low bits; 16 shards keep per-shard scans short up to a
+// few hundred ranks without bloating small workers.
+const matchShards = 16
+
+func matchShard(from int) int { return from & (matchShards - 1) }
+
+// matchTable holds both matching queues. Zero value is ready to use.
+type matchTable struct {
+	postSeq   uint64
+	arriveSeq uint64
+
+	posted    [matchShards][]*Request // source-specific receives, by from
+	postedAny []*Request              // AnySource receives (from < 0)
+	nPosted   int
+
+	unexpected [matchShards][]*unexMsg // buffered messages, by sender
+	nUnex      int
+}
+
+func (t *matchTable) lenPosted() int     { return t.nPosted }
+func (t *matchTable) lenUnexpected() int { return t.nUnex }
+
+// addPosted appends a receive in posting order.
+func (t *matchTable) addPosted(r *Request) {
+	t.postSeq++
+	r.postSeq = t.postSeq
+	if r.from < 0 {
+		t.postedAny = append(t.postedAny, r)
+	} else {
+		sh := matchShard(r.from)
+		t.posted[sh] = append(t.posted[sh], r)
+	}
+	t.nPosted++
+}
+
+// removePosted removes a specific receive (CancelRecv), reporting whether
+// it was still queued.
+func (t *matchTable) removePosted(r *Request) bool {
+	list := &t.postedAny
+	if r.from >= 0 {
+		list = &t.posted[matchShard(r.from)]
+	}
+	for i, q := range *list {
+		if q == r {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			t.nPosted--
+			return true
+		}
+	}
+	return false
+}
+
+// matchPosted finds and removes the earliest-posted receive matching m:
+// the first match in the sender's shard raced against the first match in
+// the AnySource list, decided by postSeq.
+func (t *matchTable) matchPosted(m *unexMsg) *Request {
+	sh := matchShard(m.from)
+	si := -1
+	for i, r := range t.posted[sh] {
+		if matches(r, m.from, m.tag) {
+			si = i
+			break
+		}
+	}
+	ai := -1
+	for i, r := range t.postedAny {
+		if matches(r, m.from, m.tag) {
+			ai = i
+			break
+		}
+	}
+	switch {
+	case si < 0 && ai < 0:
+		return nil
+	case ai < 0 || (si >= 0 && t.posted[sh][si].postSeq < t.postedAny[ai].postSeq):
+		r := t.posted[sh][si]
+		t.posted[sh] = append(t.posted[sh][:si], t.posted[sh][si+1:]...)
+		t.nPosted--
+		return r
+	default:
+		r := t.postedAny[ai]
+		t.postedAny = append(t.postedAny[:ai], t.postedAny[ai+1:]...)
+		t.nPosted--
+		return r
+	}
+}
+
+// filterPosted removes every receive keep rejects and returns them in
+// posting order (callers complete them outside the worker lock).
+func (t *matchTable) filterPosted(keep func(*Request) bool) []*Request {
+	var removed []*Request
+	filter := func(list []*Request) []*Request {
+		kept := list[:0]
+		for _, r := range list {
+			if keep(r) {
+				kept = append(kept, r)
+			} else {
+				removed = append(removed, r)
+			}
+		}
+		return kept
+	}
+	for sh := range t.posted {
+		t.posted[sh] = filter(t.posted[sh])
+	}
+	t.postedAny = filter(t.postedAny)
+	t.nPosted -= len(removed)
+	return removed
+}
+
+// takeAllPosted empties the posted queues and returns the receives.
+func (t *matchTable) takeAllPosted() []*Request {
+	all := make([]*Request, 0, t.nPosted)
+	for sh := range t.posted {
+		all = append(all, t.posted[sh]...)
+		t.posted[sh] = nil
+	}
+	all = append(all, t.postedAny...)
+	t.postedAny = nil
+	t.nPosted = 0
+	return all
+}
+
+// addUnexpected appends a message in arrival order.
+func (t *matchTable) addUnexpected(m *unexMsg) {
+	t.arriveSeq++
+	m.arriveSeq = t.arriveSeq
+	sh := matchShard(m.from)
+	t.unexpected[sh] = append(t.unexpected[sh], m)
+	t.nUnex++
+}
+
+// probeEarliest locates (without removing) the earliest-arrival message
+// matching req: first match in the source's shard, or the minimum
+// arriveSeq among each shard's first match for AnySource.
+func (t *matchTable) probeEarliest(req *Request) *unexMsg {
+	if req.from >= 0 {
+		for _, m := range t.unexpected[matchShard(req.from)] {
+			if matches(req, m.from, m.tag) {
+				return m
+			}
+		}
+		return nil
+	}
+	var best *unexMsg
+	for sh := range t.unexpected {
+		for _, m := range t.unexpected[sh] {
+			if !matches(req, m.from, m.tag) {
+				continue
+			}
+			if best == nil || m.arriveSeq < best.arriveSeq {
+				best = m
+			}
+			break // shard is arrival-ordered; later entries can't beat m
+		}
+	}
+	return best
+}
+
+// matchUnexpected finds and removes the earliest-arrival message
+// matching req.
+func (t *matchTable) matchUnexpected(req *Request) *unexMsg {
+	m := t.probeEarliest(req)
+	if m != nil {
+		t.removeUnexpected(m)
+	}
+	return m
+}
+
+// removeUnexpected removes a specific message (probe claim), reporting
+// whether it was still queued.
+func (t *matchTable) removeUnexpected(m *unexMsg) bool {
+	sh := matchShard(m.from)
+	for i, q := range t.unexpected[sh] {
+		if q == m {
+			t.unexpected[sh] = append(t.unexpected[sh][:i], t.unexpected[sh][i+1:]...)
+			t.nUnex--
+			return true
+		}
+	}
+	return false
+}
+
+// findUnexpected locates the buffered message for key, scanning only its
+// sender's shard (the hot path for mid-message eager fragments).
+func (t *matchTable) findUnexpected(key msgKey) *unexMsg {
+	for _, m := range t.unexpected[matchShard(key.from)] {
+		if m.from == key.from && m.id == key.id {
+			return m
+		}
+	}
+	return nil
+}
+
+// forEachUnexpected visits every buffered message (failure poisoning).
+func (t *matchTable) forEachUnexpected(fn func(*unexMsg)) {
+	for sh := range t.unexpected {
+		for _, m := range t.unexpected[sh] {
+			fn(m)
+		}
+	}
+}
+
+// filterUnexpected removes every message keep rejects and returns them
+// (janitor reaping of stale errored entries).
+func (t *matchTable) filterUnexpected(keep func(*unexMsg) bool) []*unexMsg {
+	var removed []*unexMsg
+	for sh := range t.unexpected {
+		kept := t.unexpected[sh][:0]
+		for _, m := range t.unexpected[sh] {
+			if keep(m) {
+				kept = append(kept, m)
+			} else {
+				removed = append(removed, m)
+			}
+		}
+		t.unexpected[sh] = kept
+	}
+	t.nUnex -= len(removed)
+	return removed
+}
+
+// takeAllUnexpected empties the unexpected queues and returns the
+// messages.
+func (t *matchTable) takeAllUnexpected() []*unexMsg {
+	all := make([]*unexMsg, 0, t.nUnex)
+	for sh := range t.unexpected {
+		all = append(all, t.unexpected[sh]...)
+		t.unexpected[sh] = nil
+	}
+	t.nUnex = 0
+	return all
+}

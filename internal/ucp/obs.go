@@ -146,8 +146,8 @@ func (w *Worker) QueueDepths() QueueDepthsSnapshot {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return QueueDepthsSnapshot{
-		Posted:       len(w.posted),
-		Unexpected:   len(w.unexpected),
+		Posted:       w.table.lenPosted(),
+		Unexpected:   w.table.lenUnexpected(),
 		Claimed:      len(w.claimed),
 		ActiveRecvs:  len(w.active),
 		PendingSends: len(w.sends),

@@ -51,13 +51,10 @@ func (w *Worker) probe(from int, tag, mask Tag, block, claim bool) (*Message, er
 		if w.closed {
 			return nil, ErrWorkerClosed
 		}
-		for i, m := range w.unexpected {
-			if !matches(probeReq, m.from, m.tag) {
-				continue
-			}
+		if m := w.table.probeEarliest(probeReq); m != nil {
 			info := &Message{From: m.from, Tag: m.tag, Total: m.total, Aux0: m.aux0, w: w, msg: m}
 			if claim {
-				w.unexpected = append(w.unexpected[:i], w.unexpected[i+1:]...)
+				w.table.removeUnexpected(m)
 				m.claimed = true
 				info.claimed = true
 				if m.selfSrc == nil && !m.rndv {

@@ -133,19 +133,16 @@ func (w *Worker) sweep(now time.Time) {
 	}
 	if w.cfg.ReqTimeout > 0 {
 		// Posted receives that never matched.
-		kept := w.posted[:0]
-		for _, r := range w.posted {
-			if !r.deadline.IsZero() && now.After(r.deadline) {
-				req := r
-				timedCb = append(timedCb, func() {
-					w.stats.Timeouts.Add(1)
-					req.complete(-1, 0, 0, 0, ErrTimeout)
-				})
-				continue
-			}
-			kept = append(kept, r)
+		expiredReqs := w.table.filterPosted(func(r *Request) bool {
+			return r.deadline.IsZero() || !now.After(r.deadline)
+		})
+		for _, r := range expiredReqs {
+			req := r
+			timedCb = append(timedCb, func() {
+				w.stats.Timeouts.Add(1)
+				req.complete(-1, 0, 0, 0, ErrTimeout)
+			})
 		}
-		w.posted = kept
 		// Matched eager receives whose remaining fragments never came.
 		for key, op := range w.active {
 			if op.req.deadline.IsZero() || now.Before(op.req.deadline) {
@@ -174,18 +171,15 @@ func (w *Worker) sweep(now time.Time) {
 		}
 	}
 	// Reap errored unexpected entries no receive ever claimed.
-	if n := len(w.unexpected); n > 0 {
-		kept := w.unexpected[:0]
-		for _, m := range w.unexpected {
-			if m.errored != nil && !m.erroredAt.IsZero() && now.Sub(m.erroredAt) > w.cfg.AbortLinger {
-				w.stats.AbortsReaped.Add(1)
-				reaped := m
-				timedCb = append(timedCb, func() { w.releaseFrags(reaped) })
-				continue
-			}
-			kept = append(kept, m)
+	if w.table.lenUnexpected() > 0 {
+		stale := w.table.filterUnexpected(func(m *unexMsg) bool {
+			return m.errored == nil || m.erroredAt.IsZero() || now.Sub(m.erroredAt) <= w.cfg.AbortLinger
+		})
+		for _, m := range stale {
+			w.stats.AbortsReaped.Add(1)
+			reaped := m
+			timedCb = append(timedCb, func() { w.releaseFrags(reaped) })
 		}
-		w.unexpected = kept
 	}
 	// Wake blocking probes so they re-check their deadlines (probe waits
 	// on w.cond rather than carrying a per-request deadline entry).
@@ -211,7 +205,7 @@ func (w *Worker) sweep(now time.Time) {
 		// taxonomy error, not a bare timeout (the usual path flushes such
 		// entries at declaration time; this covers the race where the
 		// declaration lands mid-sweep).
-		err := error(ErrTimeout)
+		err := fmt.Errorf("%w: send to rank %d unacked after %d attempts", ErrTimeout, x.e.dst, x.e.attempts)
 		if w.PeerFailed(x.e.dst) {
 			err = procFailedErr(x.e.dst)
 		}
@@ -419,7 +413,7 @@ func (w *Worker) failEagerFrag(pkt *fabric.Packet) {
 		pkt.Release()
 		return
 	}
-	w.unexpected = append(w.unexpected, m)
+	w.table.addUnexpected(m)
 	w.cond.Broadcast()
 	w.mu.Unlock()
 	pkt.Release()
@@ -447,12 +441,7 @@ func (w *Worker) findBuffered(key msgKey) *unexMsg {
 	if m, ok := w.claimed[key]; ok {
 		return m
 	}
-	for _, m := range w.unexpected {
-		if m.from == key.from && m.id == key.id {
-			return m
-		}
-	}
-	return nil
+	return w.table.findUnexpected(key)
 }
 
 // addFragDedup appends an eager fragment to a buffered message, dropping
@@ -481,10 +470,80 @@ func (w *Worker) addFragDedup(m *unexMsg, pkt *fabric.Packet) int64 {
 	return int64(len(pkt.Payload))
 }
 
-// sendAck acknowledges a completed reliable eager message.
+// RexmitInfo describes one unacknowledged reliable send — which peer
+// has not confirmed receipt, and how many resend rounds it has cost.
+// Debug/ops surface (launch workers dump it when a job dies).
+type RexmitInfo struct {
+	Dst      int
+	Tag      Tag
+	Eager    bool
+	Attempts int
+}
+
+// RexmitSnapshot lists the sends currently awaiting acknowledgement.
+func (w *Worker) RexmitSnapshot() []RexmitInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]RexmitInfo, 0, len(w.rexmit))
+	for _, e := range w.rexmit {
+		out = append(out, RexmitInfo{Dst: e.dst, Tag: e.tag, Eager: e.eager, Attempts: e.attempts})
+	}
+	return out
+}
+
+// ackItem is one queued outbound eager ack.
+type ackItem struct {
+	to     int
+	id     uint64
+	status int64
+}
+
+// sendAck acknowledges a completed reliable eager message. Acks are
+// queued, not sent inline: every call site runs on the progress
+// goroutine, and a wire send can block on transport backpressure (a
+// full shared-memory ring, a full socket buffer). A blocked progress
+// loop stops draining the inbox, which stalls the provider's inbound
+// path, which keeps the peer's channel to this rank full — at scale
+// that closes a distributed cycle where every rank waits to enqueue an
+// ack that only its equally-stalled peer could drain, and no
+// retransmission budget can break it (retransmits need the same full
+// channels). The pump goroutine absorbs the backpressure instead; the
+// queue is bounded in practice by the number of in-flight reliable
+// messages.
 func (w *Worker) sendAck(to int, id uint64, status int64) {
 	w.stats.AcksSent.Add(1)
-	_ = w.nic.Send(to, fabric.Header{Kind: kindEagerAck, MsgID: id, Aux0: status})
+	w.ackMu.Lock()
+	if w.ackClosed {
+		w.ackMu.Unlock()
+		return
+	}
+	w.ackQ = append(w.ackQ, ackItem{to, id, status})
+	w.ackMu.Unlock()
+	w.ackCond.Signal()
+}
+
+// ackPump drains queued acks onto the wire, absorbing any transport
+// backpressure off the progress goroutine. Post-close sends fail fast
+// (the NIC is closed), so shutdown never wedges here.
+func (w *Worker) ackPump() {
+	defer w.wg.Done()
+	defer close(w.ackDrained) // Close waits on this before tearing down the NIC
+	for {
+		w.ackMu.Lock()
+		for len(w.ackQ) == 0 && !w.ackClosed {
+			w.ackCond.Wait()
+		}
+		if len(w.ackQ) == 0 {
+			w.ackMu.Unlock()
+			return
+		}
+		q := w.ackQ
+		w.ackQ = nil
+		w.ackMu.Unlock()
+		for _, a := range q {
+			_ = w.nic.Send(a.to, fabric.Header{Kind: kindEagerAck, MsgID: a.id, Aux0: a.status})
+		}
+	}
 }
 
 // handleEagerAck completes the sender side of a reliable eager message.

@@ -29,6 +29,9 @@ type Request struct {
 	// incomplete request past it fails with ErrTimeout.
 	deadline time.Time
 
+	// postSeq is the global posting-order stamp (see matchTable).
+	postSeq uint64
+
 	// Observability (set only when the worker's obs layer is enabled).
 	obsStart time.Time // post/send time, for the completion-latency histogram
 	msgID    uint64    // transport message id, once known (0 for unmatched receives)
@@ -73,7 +76,7 @@ func (r *Request) complete(from int, tag Tag, total, aux0 int64, err error) {
 			status = 1
 		}
 		kind := obs.EvComplete
-		if err == ErrTimeout {
+		if errors.Is(err, ErrTimeout) {
 			kind = obs.EvTimeout
 		}
 		r.w.ev(kind, from, r.msgID, tag, total, status)

@@ -79,6 +79,13 @@ type Config struct {
 	// for striped pulls (default 256 KiB). Smaller pulls always run as a
 	// single sequential Get, so short transfers pay no goroutine cost.
 	PullStripeThresh int64
+	// RanksPerNode is how many ranks share this machine, as reported by
+	// the launcher. It scales the automatic PullStripes default: with R
+	// ranks competing for the node's cores, each pull gets NumCPU/R
+	// stripes (clamped to [1,4]) instead of the in-process GOMAXPROCS
+	// rule — 128 co-located ranks must not each spawn 4 pull goroutines.
+	// Zero (unknown placement) keeps the old rule.
+	RanksPerNode int
 
 	// Reliable enables the loss-tolerant protocol: eager messages are
 	// retained on the sender and retransmitted until acknowledged,
@@ -161,6 +168,24 @@ func DefaultPullStripes() int {
 	return n
 }
 
+// DefaultPullStripesFor returns the automatic stripe count when
+// ranksPerNode ranks share the machine: NumCPU/ranksPerNode clamped to
+// [1, 4]. Non-positive ranksPerNode (placement unknown) falls back to
+// DefaultPullStripes.
+func DefaultPullStripesFor(ranksPerNode int) int {
+	if ranksPerNode <= 0 {
+		return DefaultPullStripes()
+	}
+	n := runtime.NumCPU() / ranksPerNode
+	if n > maxDefaultPullStripes {
+		n = maxDefaultPullStripes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 func (c Config) withDefaults() Config {
 	if c.RndvThresh <= 0 {
 		c.RndvThresh = DefaultRndvThresh
@@ -175,7 +200,7 @@ func (c Config) withDefaults() Config {
 		c.FragSize = fabric.MaxFragSize
 	}
 	if c.PullStripes == 0 {
-		c.PullStripes = DefaultPullStripes()
+		c.PullStripes = DefaultPullStripesFor(c.RanksPerNode)
 	}
 	if c.PullStripes < 1 {
 		c.PullStripes = 1

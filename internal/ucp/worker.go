@@ -20,21 +20,28 @@ type Worker struct {
 	nic fabric.NIC
 	cfg Config
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	posted     []*Request
-	unexpected []*unexMsg
-	active     map[msgKey]*recvOp  // matched receives still consuming fragments
-	claimed    map[msgKey]*unexMsg // mprobe-claimed messages still buffering
-	sends      map[uint64]*sendOp  // rendezvous sends awaiting FIN
-	pulls      map[msgKey]*recvOp  // rendezvous receives mid-pull (dup RTS suppression)
-	closed     bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	table   matchTable          // posted receives + unexpected messages, sharded by peer
+	active  map[msgKey]*recvOp  // matched receives still consuming fragments
+	claimed map[msgKey]*unexMsg // mprobe-claimed messages still buffering
+	sends   map[uint64]*sendOp  // rendezvous sends awaiting FIN
+	pulls   map[msgKey]*recvOp  // rendezvous receives mid-pull (dup RTS suppression)
+	closed  bool
 
 	// Reliability state (see reliable.go), guarded by mu.
 	rexmit        map[uint64]*rexmitEntry // unacknowledged sends by msg id
 	completed     map[msgKey]doneRec      // recently finished wire messages
 	completedFIFO []msgKey
 	rng           *rand.Rand // retransmit jitter; guarded by mu
+
+	// Outbound eager-ack queue (see ackPump in reliable.go), guarded by
+	// ackMu. ackClosed stops the pump.
+	ackMu      sync.Mutex
+	ackCond    *sync.Cond
+	ackQ       []ackItem
+	ackClosed  bool
+	ackDrained chan struct{} // closed by ackPump once the queue is flushed after ackClosed
 
 	// Failure-notification state (see failure.go). dead is read lock-free
 	// on the send/receive hot paths; the rest is guarded by mu.
@@ -115,6 +122,7 @@ type unexMsg struct {
 	erroredAt time.Time // when errored was set (janitor reaping)
 	reliable  bool      // sender expects an ack (reliable eager)
 	claimed   bool
+	arriveSeq uint64 // global arrival stamp (see matchTable)
 }
 
 // recvOp is a matched receive consuming data. Its mutable fields are
@@ -168,6 +176,10 @@ func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 		w.rng = rand.New(rand.NewSource(int64(nic.Rank())<<32 | 0x5eed))
 	}
 	w.cond = sync.NewCond(&w.mu)
+	w.ackCond = sync.NewCond(&w.ackMu)
+	w.ackDrained = make(chan struct{})
+	w.wg.Add(1)
+	go w.ackPump()
 	w.setupObs(w.cfg.Obs)
 	if hb := w.cfg.Heartbeat; hb.Period > 0 {
 		if hb.Obs == nil && w.cfg.Obs != nil {
@@ -204,13 +216,30 @@ func (w *Worker) Close() {
 		return
 	}
 	w.closed = true
-	posted := w.posted
-	w.posted = nil
+	posted := w.table.takeAllPosted()
 	w.cond.Broadcast()
 	w.mu.Unlock()
 	close(w.quit)
+	w.ackMu.Lock()
+	w.ackClosed = true
+	w.ackMu.Unlock()
+	w.ackCond.Broadcast()
 	for _, r := range posted {
 		r.complete(-1, 0, 0, 0, ErrWorkerClosed)
+	}
+	// Flush queued eager acks before tearing down the NIC. The reliable
+	// protocol's exit story — a completed send is an acked send, so
+	// finish-barrier-then-exit is safe — holds only if this side's acks
+	// actually leave before the wire goes away. The ack pump decouples
+	// acks from the progress loop, so at close time the queue can still
+	// hold the ack for the very message (a barrier release, say) that
+	// let this rank finish; dropping it strands the sender retransmitting
+	// into a closed endpoint for its whole timeout budget. Bounded wait:
+	// if a peer has genuinely wedged the pump, nic.Close below unblocks
+	// it and the remaining acks are lost — that peer is failing anyway.
+	select {
+	case <-w.ackDrained:
+	case <-time.After(3 * time.Second):
 	}
 	w.nic.Close()
 	w.wg.Wait()
@@ -414,7 +443,7 @@ func (w *Worker) selfSend(req *Request, src SendState, tag Tag, total, aux int64
 		w.startRecvLocked(r, m) // releases w.mu
 		return
 	}
-	w.unexpected = append(w.unexpected, m)
+	w.table.addUnexpected(m)
 	w.cond.Broadcast()
 	w.mu.Unlock()
 }
@@ -455,7 +484,7 @@ func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64
 		w.mu.Unlock()
 		return nil, err
 	}
-	w.posted = append(w.posted, req)
+	w.table.addPosted(req)
 	w.mu.Unlock()
 	return req, nil
 }
@@ -464,13 +493,10 @@ func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64
 // whether the cancellation won the race with an incoming message.
 func (w *Worker) CancelRecv(req *Request) bool {
 	w.mu.Lock()
-	for i, r := range w.posted {
-		if r == req {
-			w.posted = append(w.posted[:i], w.posted[i+1:]...)
-			w.mu.Unlock()
-			req.complete(-1, 0, 0, 0, ErrCanceled)
-			return true
-		}
+	if w.table.removePosted(req) {
+		w.mu.Unlock()
+		req.complete(-1, 0, 0, 0, ErrCanceled)
+		return true
 	}
 	w.mu.Unlock()
 	return false
@@ -484,28 +510,16 @@ func matches(req *Request, from int, tag Tag) bool {
 	return (tag & req.mask) == (req.tag & req.mask)
 }
 
-// matchPosted finds and removes the first posted receive matching m.
+// matchPosted finds and removes the earliest posted receive matching m.
 // Caller holds w.mu.
 func (w *Worker) matchPosted(m *unexMsg) *Request {
-	for i, r := range w.posted {
-		if matches(r, m.from, m.tag) {
-			w.posted = append(w.posted[:i], w.posted[i+1:]...)
-			return r
-		}
-	}
-	return nil
+	return w.table.matchPosted(m)
 }
 
-// matchUnexpected finds and removes the first unexpected message matching
-// req. Caller holds w.mu.
+// matchUnexpected finds and removes the earliest unexpected message
+// matching req. Caller holds w.mu.
 func (w *Worker) matchUnexpected(req *Request) *unexMsg {
-	for i, m := range w.unexpected {
-		if matches(req, m.from, m.tag) {
-			w.unexpected = append(w.unexpected[:i], w.unexpected[i+1:]...)
-			return m
-		}
-	}
-	return nil
+	return w.table.matchUnexpected(req)
 }
 
 // startRecvLocked binds a matched (request, message) pair and begins
@@ -860,8 +874,7 @@ func (w *Worker) drainOnClose() {
 	w.sends = make(map[uint64]*sendOp)
 	rexmit := w.rexmit
 	w.rexmit = make(map[uint64]*rexmitEntry)
-	unex := w.unexpected
-	w.unexpected = nil
+	unex := w.table.takeAllUnexpected()
 	w.cond.Broadcast()
 	w.mu.Unlock()
 	for _, op := range active {
@@ -1011,7 +1024,7 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 			w.startRecvLocked(req, m) // releases w.mu
 			return
 		}
-		w.unexpected = append(w.unexpected, m)
+		w.table.addUnexpected(m)
 		ack := w.bufferAckLocked(m)
 		w.cond.Broadcast()
 		w.mu.Unlock()
@@ -1021,18 +1034,16 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 		return
 	}
 	// Later fragment of an unmatched message: buffer onto its entry.
-	for _, m := range w.unexpected {
-		if m.from == pkt.From && m.id == pkt.Hdr.MsgID {
-			m.reliable = m.reliable || reliable
-			m.buffered += w.addFragDedup(m, pkt)
-			ack := w.bufferAckLocked(m)
-			w.cond.Broadcast()
-			w.mu.Unlock()
-			if ack {
-				w.sendAck(key.from, key.id, 0)
-			}
-			return
+	if m := w.table.findUnexpected(key); m != nil {
+		m.reliable = m.reliable || reliable
+		m.buffered += w.addFragDedup(m, pkt)
+		ack := w.bufferAckLocked(m)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		if ack {
+			w.sendAck(key.from, key.id, 0)
 		}
+		return
 	}
 	if w.cfg.Reliable && reliable {
 		// Out-of-order arrival: a later fragment beat the first one here.
@@ -1054,7 +1065,7 @@ func (w *Worker) handleEager(pkt *fabric.Packet) {
 			w.startRecvLocked(req, m) // releases w.mu
 			return
 		}
-		w.unexpected = append(w.unexpected, m)
+		w.table.addUnexpected(m)
 		w.cond.Broadcast()
 		w.mu.Unlock()
 		return
@@ -1106,7 +1117,7 @@ func (w *Worker) handleRTS(pkt *fabric.Packet) {
 		w.startRecvLocked(req, m) // releases w.mu
 		return
 	}
-	w.unexpected = append(w.unexpected, m)
+	w.table.addUnexpected(m)
 	w.cond.Broadcast()
 	w.mu.Unlock()
 }
@@ -1164,23 +1175,21 @@ func (w *Worker) handleAbort(pkt *fabric.Packet) {
 		pkt.Release()
 		return
 	}
-	for _, m := range w.unexpected {
-		if m.from == pkt.From && m.id == pkt.Hdr.MsgID {
-			m.errored = err
-			m.erroredAt = time.Now()
-			w.releaseFrags(m)
-			w.cond.Broadcast()
-			w.mu.Unlock()
-			pkt.Release()
-			return
-		}
+	if m := w.table.findUnexpected(key); m != nil {
+		m.errored = err
+		m.erroredAt = time.Now()
+		w.releaseFrags(m)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		pkt.Release()
+		return
 	}
 	// Abort for a message whose first fragment never arrived (or was
 	// already consumed): record it as an errored unexpected message so a
 	// future receive fails instead of hanging. The janitor reaps the
 	// entry after Config.AbortLinger if no receive ever claims it.
 	m := &unexMsg{from: pkt.From, id: pkt.Hdr.MsgID, tag: Tag(pkt.Hdr.Tag), total: pkt.Hdr.Total, aux0: pkt.Hdr.Aux0, errored: err, erroredAt: time.Now()}
-	w.unexpected = append(w.unexpected, m)
+	w.table.addUnexpected(m)
 	w.cond.Broadcast()
 	w.mu.Unlock()
 	pkt.Release()

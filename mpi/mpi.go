@@ -18,10 +18,9 @@
 package mpi
 
 import (
-	"io"
-
 	"mpicd/internal/core"
 	"mpicd/internal/fabric"
+	"mpicd/internal/launch"
 	"mpicd/internal/obs"
 	"mpicd/internal/ucp"
 )
@@ -234,18 +233,21 @@ type StatsSnapshot = ucp.StatsSnapshot
 // power of two); 0 records metrics only.
 func NewObserver(traceCap int) *Observer { return obs.New(traceCap) }
 
-// TCPWorld is a world communicator whose ranks are separate processes
-// connected over TCP.
-type TCPWorld struct {
-	Comm   *Comm
-	worker *ucp.Worker
-	nic    io.Closer
+// ProcWorld is a world communicator whose ranks are separate OS
+// processes, connected over real sockets (ConnectTCP), shared memory
+// (ConnectSHM), or whatever transport the launcher picked (InitFromEnv).
+type ProcWorld struct {
+	Comm     *Comm
+	shutdown func() error
 }
+
+// TCPWorld is the original, transport-specific name for ProcWorld.
+type TCPWorld = ProcWorld
 
 // ConnectTCP joins a TCP world: rank i of addrs listens at addrs[i]; the
 // call blocks until the full mesh is connected. Options' fabric
 // configuration applies (fragment sizes, thresholds).
-func ConnectTCP(rank int, addrs []string, opt Options) (*TCPWorld, error) {
+func ConnectTCP(rank int, addrs []string, opt Options) (*ProcWorld, error) {
 	if o := opt.UCP.Obs; o != nil && opt.Fabric.Obs == nil {
 		opt.Fabric.Obs = o.Registry
 	}
@@ -253,12 +255,55 @@ func ConnectTCP(rank int, addrs []string, opt Options) (*TCPWorld, error) {
 	if err != nil {
 		return nil, err
 	}
+	return procWorld(nic, opt)
+}
+
+// ConnectSHM joins a shared-memory world rooted at dir, a directory on a
+// local filesystem every rank of the job can reach. Segment and socket
+// names inside dir are deterministic functions of the rank pair, so the
+// only thing ranks must agree on out of band is dir itself (and keep it
+// short — unix socket paths cap at ~100 bytes).
+func ConnectSHM(rank, size int, dir string, opt Options) (*ProcWorld, error) {
+	if o := opt.UCP.Obs; o != nil && opt.Fabric.Obs == nil {
+		opt.Fabric.Obs = o.Registry
+	}
+	nic, err := fabric.NewSHM(rank, size, dir, opt.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	return procWorld(nic, opt)
+}
+
+// InitFromEnv joins the world a mpicd-run launcher described in this
+// process's environment (the MPICD_* variables: rank, size, transport,
+// rendezvous address, node placement). ok reports whether such a
+// description was present at all — a process run directly, outside any
+// launcher, gets (nil, false, nil) and should fall back to single-process
+// behaviour. The launcher-reported placement is applied to the world
+// communicator's collective tuning, so hierarchical schedules engage
+// automatically under multi-node layouts.
+func InitFromEnv(opt Options) (world *ProcWorld, ok bool, err error) {
+	if !launch.IsWorker() {
+		return nil, false, nil
+	}
+	in, err := launch.FromEnv()
+	if err != nil {
+		return nil, true, err
+	}
+	w, err := in.Connect(opt)
+	if err != nil {
+		return nil, true, err
+	}
+	return &ProcWorld{Comm: w.Comm, shutdown: w.Close}, true, nil
+}
+
+func procWorld(nic fabric.NIC, opt Options) (*ProcWorld, error) {
 	w := ucp.NewWorker(nic, opt.UCP)
-	return &TCPWorld{Comm: core.NewComm(w), worker: w, nic: nic}, nil
+	return &ProcWorld{
+		Comm:     core.NewComm(w),
+		shutdown: func() error { w.Close(); return nil },
+	}, nil
 }
 
 // Close leaves the world.
-func (t *TCPWorld) Close() error {
-	t.worker.Close()
-	return nil
-}
+func (t *ProcWorld) Close() error { return t.shutdown() }
