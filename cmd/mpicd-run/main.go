@@ -17,6 +17,16 @@
 // consecutive ranks, which routes small collectives hierarchically and
 // scales per-rank pull parallelism as a real multi-node placement would.
 //
+// -supervise turns first-failure-kill into a restart policy: failed
+// ranks are respawned (with a fresh incarnation epoch) until their
+// per-rank budget runs out, and every termination is classified and
+// reported. -chaos N layers a seeded SIGKILL schedule on top; together
+// with the elastic task that is the full recovery demo — kill, detect,
+// shrink, respawn, grow:
+//
+//	mpicd-run -n 4 -task elastic -supervise
+//	mpicd-run -n 4 -task elastic -supervise -chaos 2 -chaos-seed 7
+//
 // -bench-out runs the cross-transport microbenchmark suite (eager
 // round-trip latency and 4 MiB striped-pull bandwidth over shm, tcp and
 // the in-process transport) and writes the combined JSON:
@@ -46,11 +56,16 @@ func main() {
 
 	n := flag.Int("n", 2, "number of ranks")
 	transport := flag.String("transport", "shm", "shm or tcp")
-	task := flag.String("task", "pingpong", "built-in workload when no program is given: pingpong, allreduce, ringping, bench")
+	task := flag.String("task", "pingpong", "built-in workload when no program is given: pingpong, allreduce, ringping, elastic, bench")
 	rpn := flag.Int("rpn", 0, "ranks per synthetic node (0: all ranks share one node)")
 	dir := flag.String("dir", "", "SHM session directory (default: fresh temp dir)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "kill the job after this long")
 	benchOut := flag.String("bench-out", "", "run the bench suite and write combined JSON here")
+	supervise := flag.Bool("supervise", false, "respawn failed ranks instead of killing the job")
+	restarts := flag.Int("restarts", 0, "per-rank respawn budget under -supervise (0: default of 3)")
+	chaosKills := flag.Int("chaos", 0, "SIGKILL this many workers on a seeded schedule (implies -supervise)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "chaos schedule seed (0: default of 1)")
+	chaosEvery := flag.Duration("chaos-interval", 0, "spacing between chaos kills (0: default of 2s)")
 	flag.Parse()
 
 	if *benchOut != "" {
@@ -67,6 +82,12 @@ func main() {
 		RanksPerNode: *rpn,
 		Timeout:      *timeout,
 	}
+	if *supervise || *chaosKills > 0 {
+		cmd.Supervise = &launch.Supervise{MaxRestarts: *restarts}
+	}
+	if *chaosKills > 0 {
+		cmd.Chaos = &launch.Chaos{Seed: *chaosSeed, Kills: *chaosKills, Interval: *chaosEvery}
+	}
 	if flag.NArg() > 0 {
 		cmd.Prog = flag.Arg(0)
 		cmd.Args = flag.Args()[1:]
@@ -77,10 +98,31 @@ func main() {
 		}
 		cmd.Prog = exe
 		cmd.Env = []string{launch.EnvTask + "=" + *task}
+		if *task == "elastic" && cmd.Chaos != nil {
+			// The launcher's schedule owns the kills; disable the task's
+			// deterministic self-kill so the two don't compound, and
+			// stretch the loop so the job outlives the kill schedule
+			// (explicit MPICD_ELASTIC_* settings win).
+			cmd.Env = append(cmd.Env, launch.EnvElasticKill+"=none")
+			if os.Getenv(launch.EnvElasticIters) == "" {
+				cmd.Env = append(cmd.Env, launch.EnvElasticIters+"=400")
+			}
+			if os.Getenv(launch.EnvElasticSpin) == "" {
+				cmd.Env = append(cmd.Env, launch.EnvElasticSpin+"=25ms")
+			}
+		}
 	}
 	start := time.Now()
-	if err := cmd.Run(); err != nil {
-		log.Fatalf("mpicd-run: %v", err)
+	runErr := cmd.Run()
+	if cmd.Supervise != nil {
+		for _, ex := range cmd.ExitLog() {
+			if ex.Cause != "ok" || ex.Epoch > 0 {
+				fmt.Printf("mpicd-run: rank %d epoch %d: %s\n", ex.Rank, ex.Epoch, ex.Cause)
+			}
+		}
+	}
+	if runErr != nil {
+		log.Fatalf("mpicd-run: %v", runErr)
 	}
 	fmt.Printf("mpicd-run: %d ranks over %s ok in %v\n", *n, *transport, time.Since(start).Round(time.Millisecond))
 }

@@ -51,8 +51,11 @@ const (
 // the data collectives, so a revoked communicator can keep exchanging
 // control traffic while every data-phase receive is aborted (ulfm.go).
 const (
-	opRevoke collOp = collOpMax - iota // revocation notice flood
-	opAgree                            // fault-tolerant agreement rounds
+	opRevoke   collOp = collOpMax - iota // revocation notice flood
+	opAgree                              // fault-tolerant agreement rounds
+	opJoinInv                            // Grow: survivor → joiner invitation (context 0, grow.go)
+	opJoinAnn                            // Grow: joiner → survivor announcement (context 0)
+	opJoinSpec                           // Grow: leader → joiner world spec (context 0)
 )
 
 // CollTuning configures the collective engine's algorithm selection.

@@ -1,0 +1,452 @@
+package core
+
+// Elastic re-admission: growing a shrunk communicator back to size by
+// admitting respawned processes under their old fabric ranks.
+//
+// After a rank dies, the survivors Revoke → Agree → Shrink and continue
+// on a smaller communicator. A supervisor (cmd/mpicd-run -supervise)
+// respawns the dead process; the replacement registers with the
+// launcher's join service and calls JoinWorld, while the survivors call
+// Grow with the replacement's fabric rank (and, on address-bearing
+// fabrics, its new listening address). Both sides meet in a three-way
+// control exchange on context 0 — a matching context no communicator
+// ever uses (the world is context 1 and agreed ids count upward), so
+// join traffic can never collide with application matching:
+//
+//	survivor                                joiner
+//	--------                                ------
+//	Revive(rank), UpdateAddr(rank, addr)
+//	invite ────────────────────────────────▶ (recv, AnySource)
+//	        ◀──────────────────────────── announce
+//	[all survivors: agree on abort-or-commit + next context id]
+//	leader: world spec ────────────────────▶ (recv, AnySource)
+//	[everyone: barrier on the grown communicator]
+//
+// The invitation step exists for a delivery-ordering reason, not
+// politeness: reliable eager messages are acknowledged when fully
+// buffered, before they match. An announcement sent blind could land —
+// and be acked, ending retransmission — while the survivor still holds
+// the rank's death record, and Revive's purge of the dead incarnation's
+// buffered traffic would then destroy the only copy. Because the
+// survivor invites strictly after Revive, and the joiner announces only
+// in reply, the announcement is causally ordered after the purge and can
+// never be swallowed by it.
+//
+// Abort is agreed, not assumed: a survivor whose handshake fails (the
+// replacement died too, or the window expired) contributes its own rank
+// bit to the agreement, so every survivor sees a non-zero mask and
+// returns ErrProcFailed together — the shrunk communicator remains
+// usable for another Shrink/Grow round. The leader tells waiting joiners
+// with an empty world spec. The agreed context id is consumed either
+// way, keeping every rank's id sequence aligned.
+//
+// Renumbering is deterministic: the grown communicator orders its
+// members by fabric rank, so re-growing a shrunk world communicator back
+// to full size reproduces the original world numbering exactly.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mpicd/internal/layout"
+	"mpicd/internal/ucp"
+)
+
+// JoinPeer names one process being re-admitted by Grow: the fabric rank
+// it is reclaiming and, on address-bearing fabrics (TCP), the listening
+// address of the new incarnation. Addr is empty when the fabric derives
+// peer addresses from ranks (in-process, shared-memory segment paths).
+type JoinPeer struct {
+	Rank int
+	Addr string
+}
+
+// Default patience windows for the two sides of re-admission. Within the
+// window, retryable failures (request timeouts while the counterpart is
+// still booting) are absorbed and retried; past it the protocol aborts.
+const (
+	DefaultGrowWindow = 45 * time.Second
+	DefaultJoinWindow = 90 * time.Second
+)
+
+// Join control payloads (all fields 8-byte little-endian).
+const (
+	joinInvPayload = 8  // [survivor fabric rank]
+	joinAnnPayload = 8  // [joiner fabric rank]
+	joinSpecHdr    = 16 // [context id][member count], then count fabric ranks
+)
+
+// errJoinDone aborts the joiner's posted invitation receive once the
+// world spec has arrived.
+var errJoinDone = errors.New("core: join complete")
+
+// joinTag builds a context-0 control tag for the given join phase, with
+// the sender's fabric rank in the source field (joiners have no comm
+// rank, so join tags carry fabric ranks where collective tags carry comm
+// ranks).
+func joinTag(src int, op collOp) ucp.Tag {
+	return ucp.Tag(uint64(src)<<srcShift | collBit | uint64(op)<<collOpShift)
+}
+
+// joinAnyMask matches a join tag from any sender: every bit participates
+// except the source field.
+var joinAnyMask = ^ucp.Tag(uint64(0xFFFF) << srcShift)
+
+// FabricRanks returns the fabric (world) rank of each member, indexed by
+// communicator rank. Elastic recovery uses it to compute which world
+// ranks a shrunk communicator is missing — exactly the set a Grow call
+// must re-admit to restore the original world.
+func (c *Comm) FabricRanks() []int {
+	return append([]int(nil), c.group...)
+}
+
+// Grow admits respawned processes into the communicator under their old
+// fabric ranks, with the default patience window. Collective over the
+// communicator's (surviving) members; every member must pass the same
+// peer set. The respawned processes must concurrently call JoinWorld on
+// their fresh workers. On success every participant — survivor and
+// joiner — holds a new communicator whose members are ordered by fabric
+// rank; the caller's communicator remains valid either way.
+//
+// A non-nil communicator alongside a non-nil error means the grown
+// communicator was built but its opening barrier failed (a member died
+// immediately); the caller should Revoke and Shrink it.
+func (c *Comm) Grow(peers []JoinPeer) (*Comm, error) {
+	return c.GrowWithin(peers, DefaultGrowWindow)
+}
+
+// GrowWithin is Grow with an explicit patience window bounding how long
+// the handshake waits out a still-booting replacement.
+func (c *Comm) GrowWithin(peers []JoinPeer, window time.Duration) (*Comm, error) {
+	if err := c.checkRevoked(); err != nil {
+		return nil, err
+	}
+	if c.rv.fenced.Load() {
+		return nil, fmt.Errorf("%w: grow on a fenced communicator", ErrExcluded)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("%w: grow with no peers", ErrInvalidComm)
+	}
+	if window <= 0 {
+		window = DefaultGrowWindow
+	}
+	ps := append([]JoinPeer(nil), peers...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Rank < ps[j].Rank })
+	for i, p := range ps {
+		if p.Rank < 0 || p.Rank >= c.w.Size() {
+			return nil, fmt.Errorf("%w: grow peer fabric rank %d out of range [0,%d)", ErrInvalidComm, p.Rank, c.w.Size())
+		}
+		if _, ok := c.inverse[p.Rank]; ok {
+			return nil, fmt.Errorf("%w: grow peer fabric rank %d is already a member", ErrInvalidComm, p.Rank)
+		}
+		if i > 0 && ps[i-1].Rank == p.Rank {
+			return nil, fmt.Errorf("%w: grow peer fabric rank %d listed twice", ErrInvalidComm, p.Rank)
+		}
+	}
+
+	// Re-admit locally before any traffic: lift the death records, then
+	// repoint the fabric at the new incarnations' addresses.
+	for _, p := range ps {
+		if err := c.w.Revive(p.Rank); err != nil {
+			return nil, err
+		}
+		if p.Addr != "" {
+			if err := c.w.UpdateAddr(p.Rank, p.Addr); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	deadline := time.Now().Add(window)
+	var growErr error
+	for _, p := range ps {
+		if growErr = c.joinHandshake(p.Rank, deadline); growErr != nil {
+			break
+		}
+	}
+
+	// Agree on abort-or-commit and the new context id in one shot. A
+	// failed handshake is contributed as this rank's own bit: the mask
+	// has no bit to spare for a joiner (joiners are outside the
+	// communicator), and any non-zero mask aborts identically.
+	var local uint64
+	if growErr != nil {
+		local = 1 << uint(c.rank)
+	}
+	mask, cid, err := c.agreeFull(local, *c.nextCID)
+	if err != nil {
+		if growErr != nil {
+			return nil, fmt.Errorf("grow: %w (agreement also failed: %v)", growErr, err)
+		}
+		return nil, err
+	}
+	if cid >= 1<<16 {
+		return nil, fmt.Errorf("%w: communicator context ids exhausted", ErrInvalidComm)
+	}
+	*c.nextCID = cid + 1
+
+	if mask != 0 {
+		// Abort, together. The lowest live rank releases waiting joiners
+		// with an empty spec; fire-and-forget, like every notice to a
+		// possibly-dead peer.
+		leader := -1
+		for r := 0; r < c.Size(); r++ {
+			if mask&(1<<uint(r)) == 0 {
+				leader = r
+				break
+			}
+		}
+		if leader == c.rank {
+			abort := make([]byte, joinSpecHdr)
+			layout.PutI64(abort, 0, int64(cid))
+			for _, p := range ps {
+				_, _ = c.w.Send(p.Rank, joinTag(c.w.Rank(), opJoinSpec), TypeBytes.transport(), abort, joinSpecHdr, 0, ucp.ProtoEager)
+			}
+		}
+		if growErr != nil {
+			return nil, fmt.Errorf("grow aborted: %w", growErr)
+		}
+		if mask&(1<<uint(c.rank)) != 0 {
+			return nil, fmt.Errorf("%w: grow: calling rank %d is in the agreed failed set", ErrExcluded, c.rank)
+		}
+		return nil, fmt.Errorf("%w: grow aborted by the surviving group", ErrProcFailed)
+	}
+
+	// Commit: members ordered by fabric rank, deterministically on every
+	// participant.
+	group := make([]int, 0, c.Size()+len(ps))
+	group = append(group, c.group...)
+	for _, p := range ps {
+		group = append(group, p.Rank)
+	}
+	sort.Ints(group)
+	inverse := make(map[int]int, len(group))
+	myRank := -1
+	for i, fr := range group {
+		inverse[fr] = i
+		if fr == c.w.Rank() {
+			myRank = i
+		}
+	}
+
+	// The leader (comm rank 0; mask is zero here, so it is alive) hands
+	// each joiner the agreed world spec. Send errors are not an abort —
+	// the agreement is committed — the opening barrier below surfaces a
+	// joiner that died at the last moment.
+	if c.rank == 0 {
+		spec := make([]byte, joinSpecHdr+8*len(group))
+		layout.PutI64(spec, 0, int64(cid))
+		layout.PutI64(spec, 8, int64(len(group)))
+		for i, fr := range group {
+			layout.PutI64(spec, joinSpecHdr+8*i, int64(fr))
+		}
+		for _, p := range ps {
+			r, err := c.w.Send(p.Rank, joinTag(c.w.Rank(), opJoinSpec), TypeBytes.transport(), spec, int64(len(spec)), 0, ucp.ProtoEager)
+			if err == nil {
+				_ = r.Wait()
+			}
+		}
+	}
+
+	nc := &Comm{
+		w: c.w, ctx: cid, group: group, inverse: inverse, rank: myRank,
+		nextCID: c.nextCID, collEpoch: new(atomic.Uint64), tuning: c.tuning,
+	}
+	nc.initULFM()
+	if err := nc.Barrier(); err != nil {
+		return nc, fmt.Errorf("grow: opening barrier on the grown communicator: %w", err)
+	}
+	return nc, nil
+}
+
+// joinHandshake runs one survivor↔joiner invite/announce exchange.
+// Request timeouts before the deadline re-invite (each invitation
+// triggers a fresh announcement, so the retry is self-healing against
+// loss on either leg); anything else — including the peer dying again —
+// is terminal for this grow attempt.
+func (c *Comm) joinHandshake(peer int, deadline time.Time) error {
+	inv := make([]byte, joinInvPayload)
+	layout.PutI64(inv, 0, int64(c.w.Rank()))
+	ann := make([]byte, joinAnnPayload)
+	for {
+		r, err := c.w.Send(peer, joinTag(c.w.Rank(), opJoinInv), TypeBytes.transport(), inv, joinInvPayload, 0, ucp.ProtoEager)
+		if err == nil {
+			err = r.Wait()
+		}
+		if err != nil {
+			if errors.Is(err, ucp.ErrTimeout) && time.Now().Before(deadline) {
+				continue
+			}
+			return fmt.Errorf("inviting fabric rank %d: %w", peer, err)
+		}
+		rr, err := c.w.Recv(peer, joinTag(peer, opJoinAnn), ^ucp.Tag(0), TypeBytes.transport(), ann, joinAnnPayload)
+		if err != nil {
+			return err
+		}
+		if err = rr.Wait(); err == nil {
+			return nil
+		}
+		if errors.Is(err, ucp.ErrTimeout) && time.Now().Before(deadline) {
+			continue
+		}
+		return fmt.Errorf("awaiting announcement from fabric rank %d: %w", peer, err)
+	}
+}
+
+// JoinWorld is the joiner's half of re-admission, with the default
+// patience window: called by a respawned process on its fresh worker
+// (configured with the original world size, its old fabric rank, and a
+// message-id base no prior incarnation used) while the survivors call
+// Grow. It answers each survivor's invitation with an announcement,
+// waits for the leader's world spec, and returns the grown communicator
+// after its opening barrier. The tuning is the joiner's own — typically
+// rebuilt from the launcher's placement report, matching the survivors'.
+//
+// An abort by the surviving group (a survivor died mid-grow, or the
+// grow window expired) returns ErrProcFailed; the caller may simply
+// call JoinWorld again to meet the survivors' next Grow attempt.
+func JoinWorld(w *ucp.Worker, tuning CollTuning) (*Comm, error) {
+	return JoinWorldWithin(w, tuning, DefaultJoinWindow)
+}
+
+// JoinWorldWithin is JoinWorld with an explicit patience window.
+func JoinWorldWithin(w *ucp.Worker, tuning CollTuning, window time.Duration) (*Comm, error) {
+	if window <= 0 {
+		window = DefaultJoinWindow
+	}
+	deadline := time.Now().Add(window)
+	self := w.Rank()
+
+	// Answer invitations on a side goroutine for as long as the spec wait
+	// runs: every survivor invites independently, and a re-invitation
+	// after a lost announcement must be answered again.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		inv := make([]byte, joinInvPayload)
+		ann := make([]byte, joinAnnPayload)
+		layout.PutI64(ann, 0, int64(self))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r, err := w.Recv(-1, joinTag(0, opJoinInv), joinAnyMask, TypeBytes.transport(), inv, joinInvPayload)
+			if err == nil {
+				err = r.Wait()
+			}
+			if err != nil {
+				if errors.Is(err, ucp.ErrTimeout) {
+					continue
+				}
+				if errors.Is(err, ucp.ErrProcFailed) {
+					// Every peer looks dead — the joiner outwaited its own
+					// detector before the survivors' first contact, so even
+					// posting the receive fails. Invitations are still
+					// deliverable (they buffer as unexpected and match at
+					// the next post) and prove their sender alive; back off
+					// and keep listening rather than dying here.
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				return // aborted by errJoinDone, or the worker closed
+			}
+			peer := int(layout.I64(inv, 0))
+			if peer == self || peer < 0 || peer >= w.Size() {
+				continue
+			}
+			if w.PeerFailed(peer) {
+				// A just-delivered invitation is proof of life; the local
+				// verdict was the detector outwaiting a quiet boot phase.
+				_ = w.Revive(peer)
+			}
+			_, _ = w.Send(peer, joinTag(self, opJoinAnn), TypeBytes.transport(), ann, joinAnnPayload, 0, ucp.ProtoEager)
+		}
+	}()
+	stopResponder := func() {
+		close(stop)
+		for {
+			w.AbortWhere(func(from int, tag, mask ucp.Tag) bool {
+				return tag == joinTag(0, opJoinInv) && mask == joinAnyMask
+			}, errJoinDone)
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+				// The responder was between receives when the abort swept;
+				// sweep again once its next post lands.
+			}
+		}
+	}
+
+	specLen := joinSpecHdr + 8*w.Size()
+	spec := make([]byte, specLen)
+	for {
+		r, err := w.Recv(-1, joinTag(0, opJoinSpec), joinAnyMask, TypeBytes.transport(), spec, int64(specLen))
+		if err == nil {
+			err = r.Wait()
+		}
+		if err == nil {
+			break
+		}
+		if (errors.Is(err, ucp.ErrTimeout) || errors.Is(err, ucp.ErrProcFailed)) && time.Now().Before(deadline) {
+			if errors.Is(err, ucp.ErrProcFailed) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			continue
+		}
+		stopResponder()
+		return nil, fmt.Errorf("join: awaiting world spec: %w", err)
+	}
+	stopResponder()
+
+	cid := uint64(layout.I64(spec, 0))
+	n := int(layout.I64(spec, 8))
+	if n == 0 {
+		return nil, fmt.Errorf("%w: join aborted by the surviving group", ErrProcFailed)
+	}
+	if n < 0 || n > w.Size() || cid == 0 || cid >= 1<<16 {
+		return nil, fmt.Errorf("%w: join: malformed world spec (members=%d cid=%d)", ErrInvalidComm, n, cid)
+	}
+	group := make([]int, n)
+	inverse := make(map[int]int, n)
+	myRank := -1
+	for i := range group {
+		fr := int(layout.I64(spec, joinSpecHdr+8*i))
+		if fr < 0 || fr >= w.Size() {
+			return nil, fmt.Errorf("%w: join: spec member %d has fabric rank %d out of range [0,%d)", ErrInvalidComm, i, fr, w.Size())
+		}
+		group[i] = fr
+		inverse[fr] = i
+		if fr == self {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, fmt.Errorf("%w: join: world spec omits this rank (%d)", ErrInvalidComm, self)
+	}
+	// Quiet peers may have been outwaited by the local detector during
+	// the join; the agreed spec says they are members, which outranks the
+	// silence-based verdict. A member that truly died re-fails on first
+	// contact.
+	for _, fr := range group {
+		if fr != self && w.PeerFailed(fr) {
+			_ = w.Revive(fr)
+		}
+	}
+	next := cid + 1
+	nc := &Comm{
+		w: w, ctx: cid, group: group, inverse: inverse, rank: myRank,
+		nextCID: &next, collEpoch: new(atomic.Uint64), tuning: tuning,
+	}
+	nc.initULFM()
+	if err := nc.Barrier(); err != nil {
+		return nc, fmt.Errorf("join: opening barrier on the grown communicator: %w", err)
+	}
+	return nc, nil
+}

@@ -151,8 +151,10 @@ func (c *Comm) revokeListener() {
 			if errors.Is(err, ucp.ErrTimeout) {
 				continue // janitor deadline on a quiet comm; repost
 			}
+			c.ulfmTrace("revoke listener exit: %v", err)
 			return
 		}
+		c.ulfmTrace("notice %d received", buf[0])
 		if buf[0] == noticeFence {
 			c.fenceLocal()
 		} else {
@@ -179,10 +181,14 @@ func (c *Comm) revokeLocal(propagate bool) {
 	if !c.rv.revoked.CompareAndSwap(false, true) {
 		return
 	}
-	// Abort every pending receive on this context except recovery
+	// Poison every pending receive on this context except recovery
 	// control traffic (revoke listeners, agreement rounds), and wake
-	// blocked probes so their callers re-check Revoked.
-	c.w.AbortWhere(func(from int, tag, mask ucp.Tag) bool {
+	// blocked probes so their callers re-check Revoked. The poison is
+	// standing, not a one-shot sweep: a collective that passed its
+	// revocation check before the flag flipped may post its receive
+	// after this sweep, and that receive must fail too — nobody will
+	// ever send on a revoked context again.
+	aborted := c.w.PoisonWhere(func(from int, tag, mask ucp.Tag) bool {
 		if uint64(tag)>>ctxShift&0xFFFF != c.ctx {
 			return false
 		}
@@ -195,9 +201,11 @@ func (c *Comm) revokeLocal(propagate bool) {
 		return true
 	}, ErrRevoked)
 	if !propagate {
+		c.ulfmTrace("revoked locally (%d receives aborted)", aborted)
 		return
 	}
 	notice := []byte{noticeRevoke}
+	var flooded []int
 	for r := 0; r < c.Size(); r++ {
 		if r == c.rank || c.w.PeerFailed(c.group[r]) {
 			continue
@@ -205,8 +213,13 @@ func (c *Comm) revokeLocal(propagate bool) {
 		// Not waited: a peer that dies mid-flood must not stall the
 		// revoker, and transport-level failure notification completes
 		// the request either way.
-		_, _ = c.w.Send(c.group[r], c.collTag(opRevoke, 0, 0), TypeBytes.transport(), notice, 1, 0, ucp.ProtoEager)
+		if _, err := c.w.Send(c.group[r], c.collTag(opRevoke, 0, 0), TypeBytes.transport(), notice, 1, 0, ucp.ProtoEager); err != nil {
+			c.ulfmTrace("revoke notice to rank %d refused at post: %v", r, err)
+		} else {
+			flooded = append(flooded, r)
+		}
 	}
+	c.ulfmTrace("revoked (%d receives aborted), notices -> %v", aborted, flooded)
 }
 
 // Fenced reports whether the surviving group agreed this live rank into
@@ -226,7 +239,7 @@ func (c *Comm) fenceLocal() {
 	if !c.rv.fenced.CompareAndSwap(false, true) {
 		return
 	}
-	c.w.AbortWhere(func(from int, tag, mask ucp.Tag) bool {
+	c.w.PoisonWhere(func(from int, tag, mask ucp.Tag) bool {
 		if uint64(tag)>>ctxShift&0xFFFF != c.ctx {
 			return false
 		}

@@ -1,0 +1,25 @@
+package core
+
+// Recovery-path tracing, enabled by MPICD_DEBUG (the same switch the
+// launcher forwards to workers for its own dumps). The revoke/agree
+// control plane is fire-and-forget by design, which makes its failures
+// silent by design too — these traces exist so a hung cross-process
+// recovery can say which half went missing: the flood that was never
+// sent, or the notice that was never consumed.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+var ulfmDebugOn = sync.OnceValue(func() bool { return os.Getenv("MPICD_DEBUG") != "" })
+
+func (c *Comm) ulfmTrace(format string, args ...any) {
+	if !ulfmDebugOn() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s rank %d ulfm: %s\n",
+		time.Now().Format("15:04:05.000"), c.rank, fmt.Sprintf(format, args...))
+}

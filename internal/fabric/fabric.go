@@ -166,13 +166,11 @@ type Config struct {
 
 	// DialTimeout bounds connection establishment on byte-stream
 	// providers: the eager-mesh wait, each lazy first dial, and each
-	// redial campaign after a connection breaks. Zero takes the value of
-	// the deprecated package-level DialTimeout variable at provider
-	// construction.
+	// redial campaign after a connection breaks. Zero means 30s.
 	DialTimeout time.Duration
 	// DialBackoff paces connection attempts during establishment and
-	// redial. The zero value takes the deprecated package-level
-	// DialBackoff variable at provider construction.
+	// redial. The zero value means 20ms base, 1s cap, factor 2,
+	// jitter 0.25.
 	DialBackoff Backoff
 	// EagerMesh makes Join/NewTCP dial every lower rank up front and
 	// block until the full mesh is up — the pre-lazy-dialing behaviour.
@@ -180,6 +178,18 @@ type Config struct {
 	// stampede listener backlogs, so connections are established on
 	// first use instead.
 	EagerMesh bool
+
+	// Epoch is this process's incarnation number under its rank — the
+	// launcher's restart counter (0 for an original world member).
+	// Byte-stream providers announce it in the connection handshake, in
+	// both directions; a hello or verdict carrying a HIGHER epoch than
+	// previously recorded for that rank, from a rank this side had
+	// already communicated with, is hard evidence that the rank's
+	// previous incarnation died. Without it a fast respawn masks the
+	// death: the replacement reconnects and heartbeats under the same
+	// rank before the silence threshold expires, and survivors hang
+	// forever in collectives the dead incarnation will never finish.
+	Epoch uint32
 
 	// RingBytes is the per-direction eager ring capacity of the SHM
 	// provider (rounded up to a power of two). Zero selects a default.

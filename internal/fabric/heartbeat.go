@@ -27,9 +27,24 @@ type DetectorConfig struct {
 	// (default 4×Period).
 	SuspectAfter time.Duration
 	// DeadAfter is the silence after which a peer is declared dead
-	// (default 10×Period). Death is permanent: a late packet from a
-	// declared-dead peer is still delivered but cannot resurrect it.
+	// (default 10×Period). Death is sticky: a late packet from a
+	// declared-dead peer is still delivered but cannot resurrect it —
+	// only an explicit Revive (elastic re-admission of a respawned
+	// process) returns the rank to the alive state.
 	DeadAfter time.Duration
+	// BootGrace, when positive, pushes every peer's initial last-seen
+	// stamp that far into the future: silence at boot does not count
+	// against peers until the grace expires or they send their first
+	// packet (which resumes normal accounting). Static worlds want the
+	// default (zero) — a peer that never starts must still be declared
+	// dead from boot silence. A respawned elastic joiner wants a generous
+	// grace: the survivors it must rejoin will not talk to it until its
+	// join request is noticed and an invite issued, and boot-silence
+	// verdicts before that point put the joiner and the survivors in a
+	// mutual-death deadlock (the joiner declares everyone dead and goes
+	// mute; the survivors' re-admission grace then expires waiting for a
+	// peer that will never speak first).
+	BootGrace time.Duration
 	// Obs, when non-nil, receives hb.r<rank>.peers_suspected and
 	// hb.r<rank>.peers_dead gauges plus an hb.r<rank>.rtt_ns histogram
 	// of probe round-trip times.
@@ -71,6 +86,7 @@ type Detector struct {
 
 	lastSeen []atomic.Int64 // per-peer last inbound activity, ns (coarse)
 	state    []atomic.Int32 // peerAlive / peerSuspect / peerDead
+	probing  []atomic.Bool  // per-peer probe send in flight
 
 	// coarse is a Period-granularity clock refreshed by the prober tick.
 	// The data path stamps lastSeen from it instead of calling time.Now
@@ -104,12 +120,14 @@ func NewDetector(nic NIC, cfg DetectorConfig) *Detector {
 		cfg:      cfg,
 		lastSeen: make([]atomic.Int64, nic.Size()),
 		state:    make([]atomic.Int32, nic.Size()),
+		probing:  make([]atomic.Bool, nic.Size()),
 		quit:     make(chan struct{}),
 	}
 	now := time.Now().UnixNano()
 	d.coarse.Store(now)
+	boot := now + cfg.BootGrace.Nanoseconds()
 	for i := range d.lastSeen {
-		d.lastSeen[i].Store(now)
+		d.lastSeen[i].Store(boot)
 	}
 	if cfg.Obs != nil {
 		p := func(name string) string { return fmt.Sprintf("hb.r%d.%s", nic.Rank(), name) }
@@ -125,12 +143,105 @@ func NewDetector(nic NIC, cfg DetectorConfig) *Detector {
 // set before Start and must not block for long.
 func (d *Detector) OnDead(fn func(rank int)) { d.onDead = fn }
 
-// Start launches the prober goroutine. Idempotent.
+// Start launches the prober goroutine. Idempotent. If the inner NIC
+// reports link-level peer-death evidence (byte-stream providers in
+// launched worlds), it is wired into the state machine here — after
+// OnDead is set, so a hard verdict arriving immediately still reaches
+// the callback: a broken established link raises suspicion, a refused
+// redial to a previously-connected peer declares death outright. This is
+// what keeps cross-process detection from waiting out the full silence
+// thresholds (or a sender's whole retransmit budget) when the peer's
+// process is demonstrably gone.
 func (d *Detector) Start() {
 	d.startOnce.Do(func() {
+		if h, ok := d.inner.(interface{ SetPeerDownHook(func(int, bool)) }); ok {
+			h.SetPeerDownHook(func(rank int, hard bool) {
+				if hard {
+					d.DeclareDead(rank)
+				} else {
+					d.Suspect(rank)
+				}
+			})
+		}
 		d.wg.Add(1)
 		go d.probeLoop()
 	})
+}
+
+// Suspect raises suspicion on rank as if its silence had crossed
+// SuspectAfter (used for link-level hints: an established connection
+// breaking). It does not touch the last-seen stamp — escalation to dead
+// still requires real silence, and any inbound packet clears the
+// suspicion. No effect on a dead peer.
+func (d *Detector) Suspect(rank int) {
+	if rank < 0 || rank >= len(d.state) || rank == d.inner.Rank() {
+		return
+	}
+	if d.state[rank].CompareAndSwap(peerAlive, peerSuspect) {
+		d.nSuspect.Add(1)
+	}
+}
+
+// Revive returns rank to the alive state, lifting the permanent-death
+// rule for elastic re-admission: the caller asserts a fresh process is
+// being (re)started under this rank. The last-seen stamp is pushed into
+// the future by a boot grace so the replacement is not re-declared dead
+// while it is still starting up; the first packet it sends resumes
+// normal accounting. After Revive the OnDead callback can fire again for
+// this rank.
+func (d *Detector) Revive(rank int) {
+	if rank < 0 || rank >= len(d.state) || rank == d.inner.Rank() {
+		return
+	}
+	grace := 2 * d.cfg.DeadAfter
+	if grace < 2*time.Second {
+		grace = 2 * time.Second
+	}
+	d.lastSeen[rank].Store(time.Now().Add(grace).UnixNano())
+	for {
+		s := d.state[rank].Load()
+		if s == peerAlive {
+			return
+		}
+		if d.state[rank].CompareAndSwap(s, peerAlive) {
+			switch s {
+			case peerSuspect:
+				d.nSuspect.Add(-1)
+			case peerDead:
+				d.nDead.Add(-1)
+			}
+			return
+		}
+	}
+}
+
+// ReviveRank composes detector-state revival with the inner provider's
+// connection-state revival, so transport layers holding the detector as
+// their NIC reset both with one call.
+func (d *Detector) ReviveRank(rank int) {
+	d.Revive(rank)
+	if rr, ok := d.inner.(interface{ ReviveRank(int) }); ok {
+		rr.ReviveRank(rank)
+	}
+}
+
+// DeclareRankDown forwards an out-of-band death verdict to the inner
+// provider (the SHM provider stalls the pair's rings) in addition to
+// the detector's own DeclareDead bookkeeping, which the caller drives
+// separately.
+func (d *Detector) DeclareRankDown(rank int) {
+	if dd, ok := d.inner.(interface{ DeclareRankDown(int) }); ok {
+		dd.DeclareRankDown(rank)
+	}
+}
+
+// UpdateAddr forwards a peer-address update to the inner provider (a
+// respawned TCP rank listens on a fresh port).
+func (d *Detector) UpdateAddr(rank int, addr string) error {
+	if up, ok := d.inner.(interface{ UpdateAddr(int, string) error }); ok {
+		return up.UpdateAddr(rank, addr)
+	}
+	return fmt.Errorf("fabric: %T does not support address updates", d.inner)
 }
 
 // DeadAfter reports the configured silence threshold after which a peer
@@ -222,10 +333,17 @@ func (d *Detector) probeLoop() {
 					d.nSuspect.Add(1)
 				}
 			}
-			if silent >= d.cfg.Period {
-				// Quiet link: probe. Errors are silence, which is what
-				// the state machine measures anyway.
-				_ = d.inner.Send(p, Header{Kind: KindHeartbeatPing, Aux0: now})
+			if silent >= d.cfg.Period && d.probing[p].CompareAndSwap(false, true) {
+				// Quiet link: probe, off the prober goroutine — a probe
+				// toward a down or booting peer can block in connection
+				// establishment for the full dial timeout, and the state
+				// machine must keep ticking for every other peer
+				// meanwhile. One probe in flight per peer. Errors are
+				// silence, which is what the state machine measures.
+				go func(p int, now int64) {
+					defer d.probing[p].Store(false)
+					_ = d.inner.Send(p, Header{Kind: KindHeartbeatPing, Aux0: now})
+				}(p, now)
 			}
 		}
 	}

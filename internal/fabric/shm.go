@@ -17,9 +17,13 @@ import (
 // consumed by the stream core's ctrl hook (never delivered to Recv).
 const (
 	// kindRingOpen announces an eager ring the sender created for this
-	// pair; Aux0 carries the segment size in bytes.
+	// pair; Aux0 carries the segment size in bytes, Aux1 the producer's
+	// handshake generation (echoed by the ack, so an ack for a ring that
+	// was since torn down cannot flip a newer handshake onto a segment
+	// the receiver no longer polls).
 	kindRingOpen Kind = 0xFB
-	// kindRingAck confirms the receiver mapped the ring.
+	// kindRingAck confirms the receiver mapped the ring; Aux1 echoes the
+	// open's generation.
 	kindRingAck Kind = 0xFC
 	// kindWinData announces a chunk placed in the shared pull window:
 	// Tag is the window-global chunk sequence, Offset the data offset
@@ -87,6 +91,27 @@ type SHM struct {
 	filesMu sync.Mutex
 	files   []string // segments this endpoint created, removed on Close
 
+	// downFlags marks peers with hard death evidence (refused redial
+	// after an established connection): ring producers and window serves
+	// toward such a peer bail out instead of waiting on a consumer that
+	// no longer exists. Cleared by ReviveRank.
+	downFlags []atomic.Bool
+	// userDown is the externally installed peer-down hook; the provider
+	// interposes its own on the stream core to maintain downFlags.
+	userMu   sync.Mutex
+	userDown func(peer int, hard bool)
+
+	// graveyard holds mappings retired by revival. They cannot be
+	// unmapped while the poller or a window serve might still hold a
+	// reference from a racing snapshot, so they are parked here and
+	// unmapped at Close. Bounded by the number of revivals.
+	gravMu    sync.Mutex
+	graveyard [][]byte
+
+	// ringGen numbers ring handshakes; each shmOut carries the generation
+	// it was created under, and ring acks must echo it to take effect.
+	ringGen atomic.Int64
+
 	pollDone chan struct{}
 	pollWG   sync.WaitGroup
 	shmOnce  sync.Once
@@ -105,9 +130,11 @@ type SHM struct {
 // blocked mid-dial cannot stall the handshake.
 type shmOut struct {
 	mu    sync.Mutex
+	gen   int64       // handshake generation; ring acks must echo it
 	ring  *Ring
 	mem   []byte
 	ackd  atomic.Bool // kindRingAck received
+	down  atomic.Bool // peer declared gone; ring producers must bail
 	ready bool        // switch marker sent; senders use the ring
 }
 
@@ -171,6 +198,7 @@ func NewSHM(rank, size int, dir string, cfg Config) (*SHM, error) {
 		outs:      make(map[int]*shmOut),
 		winOuts:   make(map[int]*shmWin),
 		winIns:    make(map[int]*shmWin),
+		downFlags: make([]atomic.Bool, size),
 		pollDone:  make(chan struct{}),
 	}
 	if s.ringBytes <= 0 {
@@ -182,6 +210,18 @@ func NewSHM(rank, size int, dir string, cfg Config) (*SHM, error) {
 	s.winBytes &^= 15 // two 8-aligned halves
 	st.ctrl = s.handleCtrl
 	st.onGetReq = s.handleGetReq
+	// Interpose on the stream core's link evidence so hard death marks
+	// the pair's shared-memory channels as stalled (ring producers and
+	// window serves bail instead of spinning on a dead consumer), then
+	// forward to whatever hook the layer above installs.
+	st.SetPeerDownHook(s.linkEvent)
+	// Re-key shared-memory establishment to the socket generation: when
+	// the control conn to a peer breaks (a respawned rank's revival on
+	// either side closes and re-dials it), the pair's rings and pull
+	// windows are torn down so the next send restarts the handshake over
+	// the fresh socket. Without this, a producer whose consumer forgot
+	// the ring keeps writing into a segment nobody polls.
+	st.onConnDrop = s.connDropped
 	addrs := make([]string, size)
 	for i := range addrs {
 		addrs[i] = ShmSocket(dir, i)
@@ -210,6 +250,164 @@ func mapProbe() error {
 	return nil
 }
 
+// linkEvent is the provider's internal peer-down hook on the socket
+// plane. Hard evidence (refused redial after a prior connection: the
+// peer's process is gone) stalls the pair's shared-memory channels;
+// both hard and soft events are forwarded to the externally installed
+// hook (the liveness detector).
+func (s *SHM) linkEvent(peer int, hard bool) {
+	if hard {
+		s.DeclareRankDown(peer)
+	}
+	s.userMu.Lock()
+	fn := s.userDown
+	s.userMu.Unlock()
+	if fn != nil {
+		fn(peer, hard)
+	}
+}
+
+// DeclareRankDown records out-of-band death evidence for a peer (the
+// transport layer's failure verdict, which may arrive from pure silence
+// before the socket plane sees anything): the pair's shared-memory
+// channels stall out with ErrLinkDown instead of waiting on a consumer
+// that will never drain.
+func (s *SHM) DeclareRankDown(peer int) {
+	if peer < 0 || peer >= len(s.downFlags) {
+		return
+	}
+	s.downFlags[peer].Store(true)
+	s.outMu.Lock()
+	o := s.outs[peer]
+	s.outMu.Unlock()
+	if o != nil {
+		o.down.Store(true)
+	}
+}
+
+// SetPeerDownHook installs the external link-evidence callback (the
+// stream core's hook slot is occupied by the provider's interposer).
+func (s *SHM) SetPeerDownHook(fn func(peer int, hard bool)) {
+	s.userMu.Lock()
+	s.userDown = fn
+	s.userMu.Unlock()
+}
+
+// bury parks a retired mapping for unmapping at Close.
+func (s *SHM) bury(mem []byte) {
+	if mem == nil {
+		return
+	}
+	s.gravMu.Lock()
+	s.graveyard = append(s.graveyard, mem)
+	s.gravMu.Unlock()
+}
+
+// ReviveRank forgets all shared-memory state toward a peer so a
+// respawned process can be re-admitted under the same rank: the
+// outbound ring (its consumer died with the old incarnation) is torn
+// down so the next send restarts the handshake against the replacement,
+// inbound rings and pull windows of the dead incarnation are retired,
+// and the down flags clear. Socket-plane state resets via the embedded
+// stream core.
+func (s *SHM) ReviveRank(peer int) {
+	if peer < 0 || peer >= s.size || peer == s.rank {
+		return
+	}
+	// Stall any producer first (a sender parked on the dead consumer's
+	// full ring holds the pair lock until it observes down).
+	s.outMu.Lock()
+	o := s.outs[peer]
+	delete(s.outs, peer)
+	s.outMu.Unlock()
+	if o != nil {
+		o.down.Store(true)
+		o.mu.Lock()
+		if o.ring != nil {
+			o.ring.Close()
+			s.bury(o.mem)
+			o.ring, o.mem = nil, nil
+		}
+		o.ready = false
+		o.mu.Unlock()
+	}
+	s.inMu.Lock()
+	kept := s.ins[:0]
+	for _, in := range s.ins {
+		if in.peer == peer {
+			in.pending.Store(true) // poller skips it even from a racing snapshot
+			s.bury(in.mem)
+		} else {
+			kept = append(kept, in)
+		}
+	}
+	s.ins = kept
+	s.inMu.Unlock()
+	s.winInMu.Lock()
+	if w := s.winIns[peer]; w != nil {
+		s.bury(w.mem)
+		delete(s.winIns, peer)
+	}
+	s.winInMu.Unlock()
+	s.winOutMu.Lock()
+	if w := s.winOuts[peer]; w != nil {
+		s.bury(w.mem)
+		delete(s.winOuts, peer)
+	}
+	s.winOutMu.Unlock()
+	s.downFlags[peer].Store(false)
+	s.stream.ReviveRank(peer)
+}
+
+// connDropped is the stream core's conn-drop hook: the socket to peer
+// broke, so every piece of shared-memory establishment keyed to it is
+// torn down and rebuilt on next use. This is what keeps elastic revival
+// coherent when the two sides act out of step — a survivor that Revives
+// a respawned rank buries its inbound rings, and without this hook the
+// respawned side (whose handshake completed before the revival) would
+// keep producing into segments nobody polls. Death evidence is NOT
+// touched: downFlags belong to DeclareRankDown/ReviveRank.
+//
+// Inbound rings are left alone: the producer side observes the same
+// socket break, resets here too, and its fresh kindRingOpen replaces
+// them (acceptRing retires duplicates). Frames stranded in torn-down
+// rings are recovered by the reliable protocol's retransmission.
+func (s *SHM) connDropped(peer int) {
+	if peer < 0 || peer >= s.size || peer == s.rank {
+		return
+	}
+	s.outMu.Lock()
+	o := s.outs[peer]
+	delete(s.outs, peer)
+	s.outMu.Unlock()
+	if o != nil {
+		// Unblock a producer parked on the ring before taking the pair
+		// lock it holds; its send fails with ErrLinkDown, which is what
+		// the broken socket would have produced anyway.
+		o.down.Store(true)
+		o.mu.Lock()
+		if o.ring != nil {
+			o.ring.Close()
+			s.bury(o.mem)
+			o.ring, o.mem = nil, nil
+		}
+		o.ready = false
+		o.mu.Unlock()
+	}
+	s.winInMu.Lock()
+	if w := s.winIns[peer]; w != nil {
+		s.bury(w.mem)
+		delete(s.winIns, peer)
+	}
+	s.winInMu.Unlock()
+	s.winOutMu.Lock()
+	if w := s.winOuts[peer]; w != nil {
+		s.bury(w.mem)
+		delete(s.winOuts, peer)
+	}
+	s.winOutMu.Unlock()
+}
+
 func (s *SHM) trackFile(path string) {
 	s.filesMu.Lock()
 	s.files = append(s.files, path)
@@ -233,7 +431,7 @@ func (s *SHM) ensureOut(to int) *shmOut {
 	s.outMu.Lock()
 	o := s.outs[to]
 	if o == nil {
-		o = &shmOut{}
+		o = &shmOut{gen: s.ringGen.Add(1)}
 		s.outs[to] = o
 		s.outMu.Unlock()
 		go s.openRing(to, o)
@@ -258,6 +456,11 @@ func (s *SHM) switchLocked(to int, o *shmOut) {
 func (s *SHM) openRing(to int, o *shmOut) {
 	path := shmRingPath(s.dir, s.rank, to)
 	total := RingHeaderSize + int(ringCapFor(s.ringBytes))
+	// Unlink any segment left by a previous incarnation of this rank
+	// before creating: survivors of that incarnation may still hold the
+	// old file mapped, and reusing its pages would splice this ring into
+	// their stale mappings.
+	_ = os.Remove(path)
 	mem, err := mapFile(path, total, true)
 	if err != nil {
 		return
@@ -273,7 +476,7 @@ func (s *SHM) openRing(to int, o *shmOut) {
 	o.mu.Unlock()
 	// The ack handler completes the handshake (sends the switch marker
 	// and flips ready).
-	_ = s.stream.Send(to, Header{Kind: kindRingOpen, Aux0: int64(total)})
+	_ = s.stream.Send(to, Header{Kind: kindRingOpen, Aux0: int64(total), Aux1: o.gen})
 }
 
 // Send places self-contained frames on the pair's eager ring (blocking
@@ -297,7 +500,7 @@ func (s *SHM) Send(to int, hdr Header, payload ...[]byte) error {
 		s.ringSpills.Add(1)
 		return s.stream.Send(to, hdr, payload...)
 	}
-	buf, err := s.reserveBlocking(o, headerWireSize+n)
+	buf, err := s.reserveBlocking(o, to, headerWireSize+n)
 	if err != nil {
 		return err
 	}
@@ -328,7 +531,7 @@ func (s *SHM) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, 
 		s.ringSpills.Add(1)
 		return s.stream.SendFrom(to, hdr, src, off, size)
 	}
-	buf, err := s.reserveBlocking(o, headerWireSize+int(size))
+	buf, err := s.reserveBlocking(o, to, headerWireSize+int(size))
 	if err != nil {
 		return 0, err
 	}
@@ -352,8 +555,14 @@ func (s *SHM) SendFrom(to int, hdr Header, src Source, off, size int64) (int64, 
 
 // reserveBlocking reserves ring space, waiting for the consumer when the
 // ring is full. Caller holds o.mu (so waiting senders queue in order).
-func (s *SHM) reserveBlocking(o *shmOut, n int) ([]byte, error) {
+// A ring whose consumer process died would stay full forever; the down
+// flags (fed by socket-plane death evidence) break that stall with
+// ErrLinkDown so the transport's failure machinery takes over.
+func (s *SHM) reserveBlocking(o *shmOut, to, n int) ([]byte, error) {
 	for i := 0; ; i++ {
+		if o.down.Load() || s.downFlags[to].Load() {
+			return nil, fmt.Errorf("%w: rank %d exited; eager ring stalled", ErrLinkDown, to)
+		}
 		if buf, ok := o.ring.Reserve(n); ok {
 			return buf, nil
 		}
@@ -398,6 +607,7 @@ func (s *SHM) pullWindow(from int) *shmWin {
 		return w
 	}
 	path := shmWinPath(s.dir, from, s.rank)
+	_ = os.Remove(path) // see openRing: never reuse a previous incarnation's pages
 	mem, err := mapFile(path, s.winBytes, true)
 	if err != nil {
 		return nil
@@ -462,7 +672,7 @@ func (s *SHM) serveWindowGet(peer int, hdr Header) {
 	sent := 0
 	for left > 0 {
 		c := w.chunk
-		if sent >= 2 && !s.awaitWinAck(w, c-2) {
+		if sent >= 2 && !s.awaitWinAck(w, c-2, peer) {
 			fail("pull window ack timeout")
 			return
 		}
@@ -492,14 +702,18 @@ func (s *SHM) serveWindowGet(peer int, hdr Header) {
 		left -= int64(n)
 	}
 	// Wait for the tail acks so the next Get may reuse both halves.
-	if w.chunk > 0 && !s.awaitWinAck(w, w.chunk-1) {
+	if w.chunk > 0 && !s.awaitWinAck(w, w.chunk-1, peer) {
 		fail("pull window ack timeout")
 	}
 }
 
 // awaitWinAck waits until every chunk up to seq was acked. Acks arrive in
-// socket order, so the sequence only moves forward.
-func (s *SHM) awaitWinAck(w *shmWin, seq uint64) bool {
+// socket order, so the sequence only moves forward. A requester whose
+// process died mid-pull never acks — the wait bails as soon as the
+// socket plane produces hard death evidence for the peer (a stale pull
+// window), instead of burning the whole dial timeout.
+func (s *SHM) awaitWinAck(w *shmWin, seq uint64, peer int) bool {
+	deadline := time.Now().Add(s.cfg.DialTimeout)
 	for w.lastAck < int64(seq) {
 		select {
 		case got := <-w.ack:
@@ -508,8 +722,10 @@ func (s *SHM) awaitWinAck(w *shmWin, seq uint64) bool {
 			}
 		case <-s.done:
 			return false
-		case <-time.After(s.cfg.DialTimeout):
-			return false
+		case <-time.After(20 * time.Millisecond):
+			if s.downFlags[peer].Load() || time.Now().After(deadline) {
+				return false
+			}
 		}
 	}
 	return true
@@ -521,9 +737,9 @@ func (s *SHM) handleCtrl(conn *streamConn, hdr Header, payload []byte, putback f
 	putback() // control frames carry no payload worth keeping
 	switch hdr.Kind {
 	case kindRingOpen:
-		go s.acceptRing(conn.peer, int(hdr.Aux0))
+		go s.acceptRing(conn.peer, int(hdr.Aux0), hdr.Aux1)
 	case kindRingAck:
-		s.completeRing(conn.peer)
+		s.completeRing(conn.peer, hdr.Aux1)
 	case kindRingSwitch:
 		// Every socket frame the peer sent before switching is now in the
 		// inbox; eager-class frames from this peer arrive via the ring
@@ -547,7 +763,7 @@ func (s *SHM) handleCtrl(conn *streamConn, hdr Header, payload []byte, putback f
 // acceptRing maps a peer's freshly exported eager ring and acks it. The
 // ring is not polled yet — that waits for the switch marker so no ring
 // frame can overtake socket frames sent before the handshake finished.
-func (s *SHM) acceptRing(peer, size int) {
+func (s *SHM) acceptRing(peer, size int, gen int64) {
 	mem, err := mapFile(shmRingPath(s.dir, peer, s.rank), size, false)
 	if err != nil {
 		return // no ack: the peer keeps using the socket
@@ -558,29 +774,38 @@ func (s *SHM) acceptRing(peer, size int) {
 		return
 	}
 	s.inMu.Lock()
-	for _, in := range s.ins {
-		if in.peer == peer { // duplicate open (e.g. peer restarted handshake)
-			s.inMu.Unlock()
-			_ = unmapFile(mem)
-			_ = s.stream.Send(peer, Header{Kind: kindRingAck})
-			return
+	kept := s.ins[:0]
+	for _, old := range s.ins {
+		if old.peer == peer {
+			// Duplicate open: the peer restarted its handshake — today
+			// that means a respawned process re-admitted under the same
+			// rank. The old incarnation's ring is dead weight; retire it
+			// and install the fresh mapping.
+			old.pending.Store(true)
+			s.bury(old.mem)
+		} else {
+			kept = append(kept, old)
 		}
 	}
+	s.ins = kept
 	in := &shmIn{peer: peer, ring: ring, mem: mem}
 	in.pending.Store(true)
 	s.ins = append(s.ins, in)
 	s.inMu.Unlock()
-	_ = s.stream.Send(peer, Header{Kind: kindRingAck})
+	_ = s.stream.Send(peer, Header{Kind: kindRingAck, Aux1: gen})
 }
 
 // completeRing records the receiver's ack. The next eligible send
 // performs the actual switch (under the pair lock, so the marker lands
-// between the last spilled frame and the first ring frame).
-func (s *SHM) completeRing(peer int) {
+// between the last spilled frame and the first ring frame). The ack must
+// echo the current handshake generation: a stale ack — for a ring that a
+// conn drop has since torn down — must not flip the fresh handshake onto
+// a segment the receiver is not polling.
+func (s *SHM) completeRing(peer int, gen int64) {
 	s.outMu.Lock()
 	o := s.outs[peer]
 	s.outMu.Unlock()
-	if o != nil {
+	if o != nil && o.gen == gen {
 		o.ackd.Store(true)
 	}
 }
@@ -770,6 +995,12 @@ func (s *SHM) Close() error {
 		}
 		s.winOuts = map[int]*shmWin{}
 		s.winOutMu.Unlock()
+		s.gravMu.Lock()
+		for _, mem := range s.graveyard {
+			_ = unmapFile(mem)
+		}
+		s.graveyard = nil
+		s.gravMu.Unlock()
 		s.filesMu.Lock()
 		for _, f := range s.files {
 			_ = os.Remove(f)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mpicd/internal/obs"
 )
 
 // shmMesh brings up an n-rank SHM fabric in a per-test session directory.
@@ -336,5 +338,137 @@ func TestSHMPoolQuiesce(t *testing.T) {
 		if n := nic.PoolOutstanding(); n != 0 {
 			t.Fatalf("rank %d leaks %d pool buffers", nic.Rank(), n)
 		}
+	}
+}
+
+// TestSHMRingHandshakePeerDeath kills the consumer side of the eager
+// ring inside the handshake window — after kindRingOpen goes out, before
+// the kindRingSwitch marker ever does — and requires the producer to
+// (a) stay off the ring, (b) fail fast once the death verdict lands, and
+// (c) tear down leak-free: no openRing goroutine parked forever, no dial
+// campaign outliving the world, no mapped segment left registered.
+func TestSHMRingHandshakePeerDeath(t *testing.T) {
+	snap := obs.TakeLeakSnapshot()
+	cfg := Config{DialTimeout: 300 * time.Millisecond}
+
+	// Window entry 1: the peer is dead before the open is even sendable,
+	// so the handshake can never receive its ack.
+	t.Run("open-unacked", func(t *testing.T) {
+		dir := t.TempDir()
+		a, err := NewSHM(0, 2, dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		b, err := NewSHM(1, 2, dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Close() // rank 1 dies before any traffic
+
+		// Ring-eligible send: starts the handshake, spills to the broken
+		// socket, and must surface an error within the dial window
+		// instead of waiting on an ack that cannot come.
+		err = a.Send(1, Header{Kind: 5, Tag: 1, Total: 1}, []byte{0})
+		if err == nil {
+			t.Fatal("send toward a dead peer mid-handshake succeeded")
+		}
+		if a.ringSends.Load() != 0 {
+			t.Fatal("frames crossed a ring whose handshake never completed")
+		}
+
+		// The detector's verdict: every later send fails fast, not after
+		// another dial window.
+		a.DeclareRankDown(1)
+		start := time.Now()
+		err = a.Send(1, Header{Kind: 5, Tag: 2, Total: 1}, []byte{0})
+		if err == nil {
+			t.Fatal("send after DeclareRankDown succeeded")
+		}
+		if d := time.Since(start); d > 200*time.Millisecond {
+			t.Fatalf("post-verdict send took %v, want fast failure", d)
+		}
+	})
+
+	// Window entry 2: the handshake gets as far as the ack (the producer
+	// holds a mapped, acknowledged ring) but the peer dies before the
+	// switch marker is sent — the ring must be abandoned, not used.
+	t.Run("acked-unswitch", func(t *testing.T) {
+		dir := t.TempDir()
+		a, err := NewSHM(0, 2, dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		b, err := NewSHM(1, 2, dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// First eligible send opens the handshake; drain it on the peer
+		// so its control plane processes the open and acks.
+		if err := a.Send(1, Header{Kind: 5, Tag: 1, Total: 1}, []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+		pkt, ok := b.Recv()
+		if !ok {
+			t.Fatal("recv failed")
+		}
+		pkt.Release()
+		a.outMu.Lock()
+		o := a.outs[1]
+		a.outMu.Unlock()
+		if o == nil {
+			t.Fatal("no handshake state after an eligible send")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for !o.ackd.Load() {
+			if time.Now().After(deadline) {
+				t.Fatal("ring ack never arrived")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		o.mu.Lock()
+		ready := o.ready
+		o.mu.Unlock()
+		if ready {
+			t.Fatal("pair switched before the test could enter the window")
+		}
+
+		b.Close() // dies holding the window open: acked, never switched
+
+		// The next send attempts the switch marker over the broken
+		// socket; whether it errors immediately or after the link drop
+		// is observed, the pair must never flip onto the ring.
+		deadline = time.Now().Add(5 * time.Second)
+		for {
+			err = a.Send(1, Header{Kind: 5, Tag: 2, Total: 1}, []byte{0})
+			if err != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("sends kept succeeding toward a dead peer")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if a.ringSends.Load() != 0 {
+			t.Fatal("frames crossed the ring after the consumer died unswitched")
+		}
+
+		a.DeclareRankDown(1)
+		start := time.Now()
+		if err = a.Send(1, Header{Kind: 5, Tag: 3, Total: 1}, []byte{0}); err == nil {
+			t.Fatal("send after DeclareRankDown succeeded")
+		}
+		if d := time.Since(start); d > 200*time.Millisecond {
+			t.Fatalf("post-verdict send took %v, want fast failure", d)
+		}
+	})
+
+	// Every goroutine the two worlds spawned — pollers, openRing
+	// handshakes, dial campaigns — must be gone, and no wire buffer may
+	// remain checked out.
+	if err := snap.Check(0); err != nil {
+		t.Fatal(err)
 	}
 }

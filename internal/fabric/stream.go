@@ -7,8 +7,10 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -72,6 +74,22 @@ type stream struct {
 	// returning true claims the request (the SHM provider serves
 	// window-flagged pulls through shared memory instead of the socket).
 	onGetReq func(conn *streamConn, hdr Header) bool
+	// onConnDrop, when non-nil, is told every time a connection to a peer
+	// broke (read failure, write failure, or teardown of a replaced
+	// socket). The SHM provider keys its per-pair shared-memory
+	// establishment to the socket generation through this hook: a peer
+	// that drops and re-dials (revival of a respawned rank) has forgotten
+	// the pair's rings, and a producer that kept writing into the old
+	// segment would black-hole everything it sends. Invoked on a fresh
+	// goroutine — drops fire from send paths that hold provider pair
+	// locks. Set before join, like ctrl.
+	onConnDrop func(peer int)
+
+	// hookMu guards peerDown: the hook is installed after construction
+	// (the worker layer wires it into the liveness detector) while accept
+	// and read goroutines may already be reporting link events.
+	hookMu   sync.Mutex
+	peerDown func(peer int, hard bool)
 
 	// connsMu guards conns, addrs, dialing and everConn: accept-side
 	// installs, dial-side installs, lazy establishment and disconnect
@@ -81,10 +99,25 @@ type stream struct {
 	addrs    []string // peer addresses; nil until Join
 	dialing  map[int]bool
 	everConn []bool // a connection to peer succeeded at least once
+	// down marks ranks the layer above has declared dead
+	// (DeclareRankDown). Sends and dial campaigns toward a down rank
+	// fail fast instead of burning a dial window: the synchronous post
+	// path otherwise strands its caller for DialTimeout inside a
+	// first-contact wait that no death verdict can interrupt.
+	// ReviveRank clears the mark.
+	down []bool
 	// draining holds write-dropped connections whose read side is still
 	// delivering kernel-buffered frames; Close closes them so a blocked
 	// read unsticks at shutdown.
 	draining map[*streamConn]struct{}
+
+	// epochMu guards peerEpochs: the highest incarnation number each
+	// rank has announced in a connection handshake. A newly announced
+	// higher epoch from a rank this side ever communicated with is hard
+	// death evidence for that rank's previous incarnation (see
+	// Config.Epoch).
+	epochMu    sync.Mutex
+	peerEpochs []uint32
 
 	regMu   sync.RWMutex
 	regs    map[uint64]Source
@@ -115,17 +148,12 @@ type streamGet struct {
 	done    chan error
 }
 
-// DialTimeout is the deprecated package-level default for
-// Config.DialTimeout, kept so existing callers keep working. It is read
-// once per provider at construction; mutate it only before building
-// providers (concurrent mutation was the data race Config.DialTimeout
-// fixes).
-var DialTimeout = 30 * time.Second
+// Dial defaults applied when Config leaves the knobs zero. These used to
+// be mutable package globals (racy; removed) — per-endpoint behaviour is
+// configured through Config.DialTimeout / Config.DialBackoff.
+const defaultDialTimeout = 30 * time.Second
 
-// DialBackoff is the deprecated package-level default for
-// Config.DialBackoff; see DialTimeout for the construction-time-only
-// contract.
-var DialBackoff = Backoff{Base: 20 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25}
+var defaultDialBackoff = Backoff{Base: 20 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25}
 
 // newStream binds the local endpoint (bind may carry an ephemeral port
 // such as "127.0.0.1:0" — the bound address is reported by Addr) and
@@ -136,25 +164,34 @@ func newStream(network string, rank, size int, bind string, cfg Config) (*stream
 	}
 	cfg = NewConfig(cfg)
 	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = DialTimeout
+		cfg.DialTimeout = defaultDialTimeout
 	}
 	if cfg.DialBackoff.Base <= 0 {
-		cfg.DialBackoff = DialBackoff
+		cfg.DialBackoff = defaultDialBackoff
 	}
 	s := &stream{
-		cfg:      cfg,
-		rank:     rank,
-		size:     size,
-		network:  network,
-		pool:     newBufPool(cfg.FragSize),
-		conns:    make([]*streamConn, size),
-		dialing:  make(map[int]bool),
-		everConn: make([]bool, size),
-		draining: make(map[*streamConn]struct{}),
-		inbox:    make(chan *Packet, cfg.InboxDepth),
-		done:     make(chan struct{}),
-		regs:     make(map[uint64]Source),
-		gets:     make(map[uint64]*streamGet),
+		cfg:        cfg,
+		rank:       rank,
+		size:       size,
+		network:    network,
+		pool:       newBufPool(cfg.FragSize),
+		conns:      make([]*streamConn, size),
+		dialing:    make(map[int]bool),
+		everConn:   make([]bool, size),
+		down:       make([]bool, size),
+		peerEpochs: make([]uint32, size),
+		draining:   make(map[*streamConn]struct{}),
+		inbox:      make(chan *Packet, cfg.InboxDepth),
+		done:       make(chan struct{}),
+		regs:       make(map[uint64]Source),
+		gets:       make(map[uint64]*streamGet),
+	}
+	if network == "unix" && bind != "" {
+		// A respawned process re-binds its dead incarnation's socket path,
+		// and the stale file would fail the bind with EADDRINUSE. The path
+		// lives in the launcher-owned job directory, so removing it cannot
+		// race another live listener.
+		_ = os.Remove(bind)
 	}
 	ln, err := net.Listen(network, bind)
 	if err != nil {
@@ -234,6 +271,102 @@ func (s *stream) missingPeers() []int {
 	return missing
 }
 
+// SetPeerDownHook installs a callback for link-level peer-death evidence.
+// It fires with hard=false when an established connection to peer breaks
+// (EOF or a socket write error — ambiguous: the peer may be alive behind
+// a flaky link) and with hard=true when a redial to a peer this side had
+// connected to before is refused outright (connect-refused / vanished
+// unix socket: the peer's listener lives exactly as long as its process,
+// so refusal after a successful connection means the process is gone).
+// Callbacks run on transport goroutines and must not block.
+func (s *stream) SetPeerDownHook(fn func(peer int, hard bool)) {
+	s.hookMu.Lock()
+	s.peerDown = fn
+	s.hookMu.Unlock()
+}
+
+// notifyPeerDown reports link evidence to the installed hook, if any.
+func (s *stream) notifyPeerDown(peer int, hard bool) {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	s.hookMu.Lock()
+	fn := s.peerDown
+	s.hookMu.Unlock()
+	if fn != nil {
+		fn(peer, hard)
+	}
+}
+
+// isConnRefused reports whether a dial error means "nobody is listening":
+// ECONNREFUSED for TCP and bound-but-dead unix sockets, ENOENT for a
+// unix socket path that has been removed.
+func isConnRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ENOENT)
+}
+
+// UpdateAddr replaces the stored address for one peer (a respawned rank
+// rejoining a TCP world listens on a fresh ephemeral port; SHM addresses
+// are deterministic and never change).
+func (s *stream) UpdateAddr(peer int, addr string) error {
+	if peer < 0 || peer >= s.size {
+		return rangeErr("peer", peer, s.size)
+	}
+	s.connsMu.Lock()
+	defer s.connsMu.Unlock()
+	if s.addrs == nil {
+		return fmt.Errorf("fabric: rank %d has no address table yet (Join not called)", s.rank)
+	}
+	s.addrs[peer] = addr
+	return nil
+}
+
+// DeclareRankDown records the transport layer's death verdict for a
+// rank: the stale connection (if any) is closed, and every send or dial
+// campaign toward the rank fails fast until ReviveRank. Without this, a
+// first-contact send posted toward a dead rank blocks its caller inside
+// conn()'s dial wait for the full DialTimeout — a wait the worker's
+// DeclarePeerFailed cannot interrupt because the blocked goroutine is
+// below the transport, inside the provider.
+func (s *stream) DeclareRankDown(rank int) {
+	if rank < 0 || rank >= s.size || rank == s.rank {
+		return
+	}
+	s.connsMu.Lock()
+	s.down[rank] = true
+	old := s.conns[rank]
+	s.conns[rank] = nil
+	s.connsMu.Unlock()
+	if old != nil {
+		old.c.Close()
+		connTrace(s.rank, rank, cevDropStale, 0)
+	}
+}
+
+// ReviveRank forgets all connection state toward a peer so a respawned
+// process can be admitted under the same rank: the stale socket (still
+// carrying the dead incarnation's half-open state) is closed, and
+// everConn is cleared so the next send performs a patient first-dial —
+// the replacement may still be booting — instead of the broken-link
+// fast-fail.
+func (s *stream) ReviveRank(peer int) {
+	if peer < 0 || peer >= s.size || peer == s.rank {
+		return
+	}
+	s.connsMu.Lock()
+	old := s.conns[peer]
+	s.conns[peer] = nil
+	s.everConn[peer] = false
+	s.down[peer] = false
+	s.connsMu.Unlock()
+	if old != nil {
+		old.c.Close()
+	}
+	connTrace(s.rank, peer, cevRevive, 0)
+}
+
 // acceptLoop installs inbound connections (lazy dials, eager mesh and
 // redials) for the provider's lifetime.
 func (s *stream) acceptLoop() {
@@ -252,17 +385,18 @@ func (s *stream) acceptLoop() {
 // hellos from the same peer serialize.
 func (s *stream) handleHello(c net.Conn) {
 	_ = c.SetDeadline(time.Now().Add(10 * time.Second))
-	var hello [4]byte
+	var hello [8]byte
 	if _, err := io.ReadFull(c, hello[:]); err != nil {
 		c.Close()
 		return
 	}
-	peer := int(binary.LittleEndian.Uint32(hello[:]))
+	peer := int(binary.LittleEndian.Uint32(hello[:4]))
 	if peer == s.rank || peer < 0 || peer >= s.size {
 		connTrace(s.rank, -1, cevHelloReject, int64(peer))
 		c.Close()
 		return
 	}
+	s.observeEpoch(peer, binary.LittleEndian.Uint32(hello[4:]))
 	s.connsMu.Lock()
 	select {
 	case <-s.done:
@@ -282,7 +416,7 @@ func (s *stream) handleHello(c net.Conn) {
 		// about to find out too (it is one socket); the teardown clears
 		// conns[peer] and the peer's next dial attempt is accepted.
 		s.connsMu.Unlock()
-		_, _ = c.Write([]byte{helloYield})
+		_, _ = c.Write(s.verdict(helloYield))
 		c.Close()
 		connTrace(s.rank, peer, cevHelloYield, 0)
 		return
@@ -290,7 +424,7 @@ func (s *stream) handleHello(c net.Conn) {
 	// Accept (replacing any stale predecessor). The verdict is written
 	// inside the critical section so no frame can be written to the
 	// published connection ahead of the verdict byte.
-	if _, err := c.Write([]byte{helloAccept}); err != nil {
+	if _, err := c.Write(s.verdict(helloAccept)); err != nil {
 		s.connsMu.Unlock()
 		c.Close()
 		return
@@ -306,13 +440,15 @@ func (s *stream) handleHello(c net.Conn) {
 // redial. A helloYield verdict makes it wait for the peer's inbound
 // connection instead.
 func (s *stream) dialPeer(peer int) error {
-	s.connsMu.RLock()
-	var addr string
-	if s.addrs != nil {
-		addr = s.addrs[peer]
+	readAddr := func() string {
+		s.connsMu.RLock()
+		defer s.connsMu.RUnlock()
+		if s.addrs == nil {
+			return ""
+		}
+		return s.addrs[peer]
 	}
-	s.connsMu.RUnlock()
-	if addr == "" {
+	if readAddr() == "" {
 		return fmt.Errorf("fabric: rank %d has no address for rank %d (not joined)", s.rank, peer)
 	}
 	rng := rand.New(rand.NewSource(int64(s.rank)<<20 ^ int64(peer)))
@@ -324,9 +460,40 @@ func (s *stream) dialPeer(peer int) error {
 			return ErrClosed
 		default:
 		}
+		s.connsMu.RLock()
+		dead := s.down[peer]
+		s.connsMu.RUnlock()
+		if dead {
+			// The rank was declared dead mid-campaign: abandon it. A
+			// leftover campaign must not keep dialing — its refusals
+			// would read as fresh hard evidence against the rank's next
+			// incarnation once a replacement reconnects.
+			return fmt.Errorf("%w: rank %d declared down", ErrLinkDown, peer)
+		}
+		// Re-read the address every attempt: a campaign started against a
+		// dead incarnation must follow an UpdateAddr to the replacement's
+		// listener mid-flight, not burn its whole window on the stale port
+		// (stranding every queued send toward the revived rank behind it).
+		addr := readAddr()
 		c, err := net.DialTimeout(s.network, addr, time.Second)
+		if err != nil && isConnRefused(err) && addr == readAddr() {
+			// Refused means no listener at the address. If this side ever
+			// held a connection to the peer, its listener existed — and a
+			// listener lives exactly as long as its process, so refusal is
+			// hard evidence of process death (soft only otherwise: a first
+			// dial may simply be racing the peer's startup). The verdict
+			// only stands if the address is still current — a refusal at a
+			// port the rank has since been repointed away from describes
+			// the dead predecessor, not the revived replacement.
+			s.connsMu.RLock()
+			ever := s.everConn[peer]
+			s.connsMu.RUnlock()
+			if ever {
+				s.notifyPeerDown(peer, true)
+			}
+		}
 		if err == nil {
-			verdict, herr := s.sayHello(c)
+			verdict, herr := s.sayHello(c, peer)
 			switch {
 			case herr != nil:
 				err = herr
@@ -365,21 +532,61 @@ func (s *stream) dialPeer(peer int) error {
 	}
 }
 
-// sayHello announces the local rank on a fresh connection and reads the
-// acceptor's verdict byte.
-func (s *stream) sayHello(c net.Conn) (byte, error) {
+// sayHello announces the local rank and epoch on a fresh connection and
+// reads the acceptor's verdict (one verdict byte plus the acceptor's own
+// epoch — the reverse direction of the incarnation exchange, needed
+// because only the dialing side sends a hello).
+func (s *stream) sayHello(c net.Conn, peer int) (byte, error) {
 	_ = c.SetDeadline(time.Now().Add(10 * time.Second))
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], uint32(s.rank))
+	var hello [8]byte
+	binary.LittleEndian.PutUint32(hello[:4], uint32(s.rank))
+	binary.LittleEndian.PutUint32(hello[4:], s.cfg.Epoch)
 	if _, err := c.Write(hello[:]); err != nil {
 		return 0, err
 	}
-	var verdict [1]byte
+	var verdict [5]byte
 	if _, err := io.ReadFull(c, verdict[:]); err != nil {
 		return 0, err
 	}
 	_ = c.SetDeadline(time.Time{})
+	s.observeEpoch(peer, binary.LittleEndian.Uint32(verdict[1:]))
 	return verdict[0], nil
+}
+
+// verdict encodes a handshake verdict frame: the verdict byte followed
+// by this side's incarnation epoch.
+func (s *stream) verdict(v byte) []byte {
+	b := make([]byte, 5)
+	b[0] = v
+	binary.LittleEndian.PutUint32(b[1:], s.cfg.Epoch)
+	return b
+}
+
+// observeEpoch records the incarnation number a peer announced in a
+// connection handshake. A higher epoch than previously recorded, from a
+// rank this side has already communicated with, proves the rank's prior
+// incarnation is dead — the launcher only increments the epoch when it
+// restarts the rank. The evidence is reported as a hard peer-down event
+// (same strength as a refused redial) so the liveness detector declares
+// the death even while the replacement's own heartbeats keep the rank
+// looking noisy. First contact with an already-restarted rank records
+// the epoch silently: this side never talked to the prior incarnation,
+// so it has nothing to mourn.
+func (s *stream) observeEpoch(peer int, epoch uint32) {
+	s.epochMu.Lock()
+	if epoch <= s.peerEpochs[peer] {
+		s.epochMu.Unlock()
+		return
+	}
+	s.peerEpochs[peer] = epoch
+	s.epochMu.Unlock()
+	s.connsMu.RLock()
+	ever := s.everConn[peer]
+	s.connsMu.RUnlock()
+	if ever {
+		connTrace(s.rank, peer, cevEpochDeath, int64(epoch))
+		s.notifyPeerDown(peer, true)
+	}
 }
 
 // awaitConn waits for a connection to peer to be installed (by the
@@ -442,7 +649,11 @@ func (s *stream) dropConn(conn *streamConn, site int64) {
 	}
 	s.connsMu.Lock()
 	if s.conns[conn.peer] != conn {
-		// Already replaced or dropped by a concurrent failure.
+		// Already replaced or dropped by a concurrent failure. The drop
+		// hook still fires: a replaced socket's late read error is often
+		// the only local evidence that the peer re-dialed (its revival
+		// installed the new conn before the old one's EOF surfaced), and
+		// the provider above must re-key its establishment either way.
 		s.connsMu.Unlock()
 		connTrace(s.rank, conn.peer, cevDropStale, site)
 		if site == dropSiteWrite {
@@ -452,6 +663,7 @@ func (s *stream) dropConn(conn *streamConn, site int64) {
 		} else {
 			conn.c.Close()
 		}
+		s.notifyConnDrop(conn.peer)
 		return
 	}
 	s.conns[conn.peer] = nil
@@ -468,6 +680,11 @@ func (s *stream) dropConn(conn *streamConn, site int64) {
 	if site != dropSiteWrite {
 		conn.c.Close()
 	}
+	// An established link breaking (EOF, write error) is soft suspicion:
+	// a dead peer's sockets always break, but a broken socket does not
+	// prove a dead peer.
+	s.notifyConnDrop(conn.peer)
+	s.notifyPeerDown(conn.peer, false)
 	s.failGets(conn.peer)
 	if redial {
 		s.redials.Add(1)
@@ -482,6 +699,15 @@ func (s *stream) dropConn(conn *streamConn, site int64) {
 			}
 			s.redialsOK.Add(1)
 		}()
+	}
+}
+
+// notifyConnDrop dispatches the provider's conn-drop hook off the
+// calling goroutine: drops fire from send paths that may hold the SHM
+// provider's per-pair locks, and the hook takes those same locks.
+func (s *stream) notifyConnDrop(peer int) {
+	if s.onConnDrop != nil {
+		go s.onConnDrop(peer)
 	}
 }
 
@@ -661,6 +887,13 @@ func (s *stream) conn(to int) (*streamConn, error) {
 		s.connsMu.Unlock()
 		return c, nil
 	}
+	if s.down[to] {
+		// Declared dead: fail fast. The transport already knows (the
+		// declaration came from it), so blocking a dial window here
+		// would only strand the posting goroutine.
+		s.connsMu.Unlock()
+		return nil, fmt.Errorf("%w: rank %d declared down", ErrLinkDown, to)
+	}
 	if s.everConn[to] {
 		// Broken link: fail this send fast (the transport layer's
 		// retry/timeout machinery owns the wait) but make sure a redial
@@ -674,13 +907,13 @@ func (s *stream) conn(to int) (*streamConn, error) {
 			s.dialing[to] = true
 			s.redials.Add(1)
 			go func() {
-				if err := s.dialPeer(to); err != nil {
-					s.connsMu.Lock()
-					delete(s.dialing, to)
-					s.connsMu.Unlock()
-					return
+				err := s.dialPeer(to)
+				s.connsMu.Lock()
+				delete(s.dialing, to)
+				s.connsMu.Unlock()
+				if err == nil {
+					s.redialsOK.Add(1)
 				}
-				s.redialsOK.Add(1)
 			}()
 		}
 		s.connsMu.Unlock()

@@ -29,6 +29,8 @@ const (
 	cevDialOK                       // dialPeer established a connection
 	cevDialFail                     // dialPeer gave up (deadline or closed)
 	cevHelloYield                   // simultaneous dial: told the lower rank to wait for ours
+	cevRevive                       // ReviveRank forgot all connection state for the peer
+	cevEpochDeath                   // handshake announced a higher incarnation; note=new epoch
 )
 
 // Drop sites, recorded in the event note so a trace distinguishes which
@@ -86,6 +88,10 @@ func ConnTrace() []string {
 			what = "dial-fail"
 		case cevHelloYield:
 			what = "hello-yield"
+		case cevRevive:
+			what = "revive"
+		case cevEpochDeath:
+			what = fmt.Sprintf("epoch-death(new-epoch=%d)", ev.note)
 		default:
 			what = fmt.Sprintf("kind=%d", ev.kind)
 		}

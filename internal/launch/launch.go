@@ -37,6 +37,18 @@ const (
 	EnvDir       = "MPICD_DIR"       // SHM session directory
 	EnvRPN       = "MPICD_RPN"       // ranks per node
 	EnvNode      = "MPICD_NODE"      // this rank's node id
+	EnvEpoch     = "MPICD_EPOCH"     // incarnation; > 0 marks a respawned replacement
+)
+
+// Heartbeat detector overrides, honored by Info.Connect (and therefore
+// by mpi.InitFromEnv): the period is a Go duration, the suspect and dead
+// thresholds are multipliers of the period. Setting only the period
+// keeps the default multipliers, so launched tests can tighten
+// failure-detection latency with a single variable and no code changes.
+const (
+	EnvHBPeriod  = "MPICD_HB_PERIOD"  // probe period, e.g. "20ms"; enables the detector
+	EnvHBSuspect = "MPICD_HB_SUSPECT" // SuspectAfter = multiplier x period (default 8)
+	EnvHBDead    = "MPICD_HB_DEAD"    // DeadAfter = multiplier x period (default 30)
 )
 
 // Transport names accepted by the launcher and Info.Transport.
@@ -55,6 +67,14 @@ type Info struct {
 	RanksPerNode int    // 0 means unknown (single node assumed)
 	Node         int    // node id of this rank
 	Bind         string // TCP bind pattern; default "127.0.0.1:0"
+
+	// Epoch is this process's incarnation under its rank: 0 for an
+	// original worker, n for the n-th supervised respawn. A non-zero
+	// epoch switches Connect from the startup barrier to the rejoin
+	// exchange and offsets the reliable-protocol message-id space so the
+	// replacement's traffic cannot collide with its predecessor's dedup
+	// records on surviving peers.
+	Epoch int
 }
 
 // IsWorker reports whether this process was spawned by the launcher.
@@ -80,6 +100,12 @@ func FromEnv() (*Info, error) {
 	if in.Node, err = envInt(EnvNode, 0); err != nil {
 		return nil, err
 	}
+	if in.Epoch, err = envInt(EnvEpoch, 0); err != nil {
+		return nil, err
+	}
+	if in.Epoch < 0 {
+		return nil, fmt.Errorf("launch: %s=%d: incarnation cannot be negative", EnvEpoch, in.Epoch)
+	}
 	if in.Rank < 0 || in.Size <= 0 || in.Rank >= in.Size {
 		return nil, fmt.Errorf("launch: bad identity rank=%d size=%d (is %s set?)", in.Rank, in.Size, EnvRank)
 	}
@@ -101,9 +127,62 @@ func envInt(name string, def int) (int, error) {
 	return n, nil
 }
 
+// HeartbeatFromEnv reads the MPICD_HB_* failure-detector overrides.
+// ok reports whether any of them is set; when it is, the returned config
+// is fully validated and ready for ucp.Config.Heartbeat. Every
+// validation failure names the offending variable.
+func HeartbeatFromEnv() (cfg fabric.DetectorConfig, ok bool, err error) {
+	pv, sv, dv := os.Getenv(EnvHBPeriod), os.Getenv(EnvHBSuspect), os.Getenv(EnvHBDead)
+	if pv == "" && sv == "" && dv == "" {
+		return fabric.DetectorConfig{}, false, nil
+	}
+	if pv == "" {
+		return cfg, false, fmt.Errorf("launch: %s/%s need %s to be set", EnvHBSuspect, EnvHBDead, EnvHBPeriod)
+	}
+	period, err := time.ParseDuration(pv)
+	if err != nil {
+		return cfg, false, fmt.Errorf("launch: %s=%q: %w", EnvHBPeriod, pv, err)
+	}
+	if period <= 0 {
+		return cfg, false, fmt.Errorf("launch: %s=%q: period must be positive", EnvHBPeriod, pv)
+	}
+	mul := func(name, v string, def float64) (float64, error) {
+		if v == "" {
+			return def, nil
+		}
+		m, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("launch: %s=%q: %w", name, v, err)
+		}
+		if m < 1 {
+			return 0, fmt.Errorf("launch: %s=%q: multiplier must be >= 1", name, v)
+		}
+		return m, nil
+	}
+	suspect, err := mul(EnvHBSuspect, sv, 8)
+	if err != nil {
+		return cfg, false, err
+	}
+	dead, err := mul(EnvHBDead, dv, 30)
+	if err != nil {
+		return cfg, false, err
+	}
+	if dead <= suspect {
+		return cfg, false, fmt.Errorf("launch: %s (%g) must exceed %s (%g)", EnvHBDead, dead, EnvHBSuspect, suspect)
+	}
+	cfg = fabric.DetectorConfig{
+		Period:       period,
+		SuspectAfter: time.Duration(suspect * float64(period)),
+		DeadAfter:    time.Duration(dead * float64(period)),
+	}
+	return cfg, true, nil
+}
+
 // World is a connected cross-process world communicator plus the
 // bootstrap facts (address table, node placement) the rendezvous
-// produced.
+// produced. For a respawned replacement (Rejoined() true) Comm is nil —
+// the dead incarnation's communicators died with it, and the only way
+// back in is Join, which runs the joiner side of the Grow protocol.
 type World struct {
 	Comm  *core.Comm
 	Info  *Info
@@ -112,6 +191,50 @@ type World struct {
 
 	worker *ucp.Worker
 	nic    fabric.NIC
+}
+
+// Rejoined reports whether this process is a supervised respawn that
+// registered through the join service rather than the startup barrier.
+func (w *World) Rejoined() bool { return w.Info.Epoch > 0 }
+
+// Worker exposes the transport worker, which elastic recovery needs for
+// failure declarations outside any communicator.
+func (w *World) Worker() *ucp.Worker { return w.worker }
+
+// Join runs the joiner side of elastic re-admission: wait (up to window)
+// for a surviving group to Grow this rank back in, and return the new
+// world communicator. Only meaningful after Rejoined().
+func (w *World) Join(window time.Duration) (*core.Comm, error) {
+	if !w.Rejoined() {
+		return nil, fmt.Errorf("launch: Join is for respawned workers (epoch %d)", w.Info.Epoch)
+	}
+	tuning := core.CollTuning{Topology: &core.CollTopology{NodeOf: w.Nodes}}
+	return core.JoinWorldWithin(w.worker, tuning, window)
+}
+
+// PollRejoins asks the launcher's join service which replacements have
+// registered since join epoch `since` (0 means all). The returned peers
+// are ready for Comm.Grow: for transports whose endpoints are derived
+// from the rank (SHM), the address is blanked, because the fabric needs
+// no repointing. The second result is the service's current epoch — the
+// watermark for the next incremental poll.
+func (w *World) PollRejoins(since uint64) ([]core.JoinPeer, uint64, error) {
+	if w.Info.Rend == "" {
+		return nil, 0, fmt.Errorf("launch: no rendezvous service to poll (%s unset)", EnvRend)
+	}
+	reply, err := pollRejoins(w.Info.Rend, w.Info.Rank, since)
+	if err != nil {
+		return nil, 0, err
+	}
+	peers := make([]core.JoinPeer, 0, len(reply.Rejoins))
+	for _, rec := range reply.Rejoins {
+		p := core.JoinPeer{Rank: rec.Rank, Addr: rec.Addr}
+		if w.Info.Transport != TransportTCP {
+			p.Addr = ""
+		}
+		peers = append(peers, p)
+	}
+	return peers, reply.Epoch, nil
 }
 
 // NumConns reports how many transport connections this rank currently
@@ -140,6 +263,37 @@ func (in *Info) Connect(opt core.Options) (*World, error) {
 	}
 	if opt.UCP.RanksPerNode == 0 {
 		opt.UCP.RanksPerNode = in.RanksPerNode
+	}
+	// Environment overrides win over programmatic heartbeat config, so a
+	// launched test can tighten failure detection without code changes.
+	if hb, ok, err := HeartbeatFromEnv(); err != nil {
+		return nil, err
+	} else if ok {
+		opt.UCP.Heartbeat = hb
+	}
+	// A replacement restarts its message-id counter at zero; offsetting
+	// the id space by incarnation keeps its first reliable sends from
+	// colliding with the dead predecessor's dedup records on peers that
+	// have not purged them yet.
+	if in.Epoch > 0 && opt.UCP.MsgIDBase == 0 {
+		opt.UCP.MsgIDBase = uint64(in.Epoch) << 40
+	}
+	// The fabric announces the incarnation in every connection handshake:
+	// a replacement that reconnects to survivors before their silence
+	// threshold expires would otherwise mask its predecessor's death with
+	// its own heartbeats, and the survivors would hang forever in the
+	// dead incarnation's last collective.
+	opt.Fabric.Epoch = uint32(in.Epoch)
+	// A replacement boots into a world that will not talk to it until a
+	// survivor notices its join request and issues an invite. Counting
+	// that pre-invite silence against the survivors would declare them
+	// all dead within DeadAfter of boot — a sticky verdict that mutes the
+	// joiner exactly when the invite arrives, deadlocking re-admission.
+	// Give respawned workers a boot grace that comfortably covers the
+	// notice-and-invite path; first contact per peer resumes normal
+	// accounting.
+	if in.Epoch > 0 && opt.UCP.Heartbeat.Period > 0 && opt.UCP.Heartbeat.BootGrace == 0 {
+		opt.UCP.Heartbeat.BootGrace = 10 * time.Second
 	}
 	// Cross-process worlds always run the acked eager protocol. Unlike
 	// the in-process transport, a socket can lose data when its peer
@@ -206,7 +360,12 @@ func (in *Info) Connect(opt core.Options) (*World, error) {
 
 	addrs, nodes := make([]string, in.Size), make([]int, in.Size)
 	if in.Rend != "" {
-		reply, err := exchange(in.Rend, in.Rank, in.Size, addr, in.Node)
+		var reply *worldMsg
+		if in.Epoch > 0 {
+			reply, err = rejoinExchange(in.Rend, in.Rank, in.Size, addr, in.Node)
+		} else {
+			reply, err = exchange(in.Rend, in.Rank, in.Size, addr, in.Node)
+		}
 		if err != nil {
 			nic.Close()
 			return nil, err
@@ -231,7 +390,13 @@ func (in *Info) Connect(opt core.Options) (*World, error) {
 	}
 
 	w := ucp.NewWorker(nic, opt.UCP)
-	comm := core.NewComm(w)
-	comm.SetCollTuning(core.CollTuning{Topology: &core.CollTopology{NodeOf: nodes}})
-	return &World{Comm: comm, Info: in, Addrs: addrs, Nodes: nodes, worker: w, nic: nic}, nil
+	world := &World{Info: in, Addrs: addrs, Nodes: nodes, worker: w, nic: nic}
+	if in.Epoch == 0 {
+		// A replacement has no world communicator — the one its dead
+		// predecessor belonged to is gone; Join builds its successor.
+		comm := core.NewComm(w)
+		comm.SetCollTuning(core.CollTuning{Topology: &core.CollTopology{NodeOf: nodes}})
+		world.Comm = comm
+	}
+	return world, nil
 }

@@ -15,27 +15,63 @@ import (
 // The reply is withheld until all Size workers have checked in, which
 // makes the exchange a startup barrier: when Connect returns, every
 // peer's endpoint is bound and reachable.
+//
+// After the barrier the listener does not shut down: it becomes the
+// job's join service. Two more hello kinds ride the same wire format:
+//
+//   - "rejoin": a respawned replacement for a dead rank registers its
+//     (possibly new) endpoint and gets the current address table back
+//     immediately — there is no barrier to wait for.
+//   - "poll": a survivor asks which replacements have registered since
+//     the join epoch it last saw, so its Grow call knows who to admit
+//     and where to dial them.
+//
+// Every rejoin bumps a monotone join epoch, which doubles as the
+// record's id: polls are incremental ("records newer than epoch E"),
+// and a record's epoch orders incarnations of the same rank.
 
 // rendTimeout bounds both sides of the exchange. Workers that cannot
 // reach the launcher, and launchers missing a worker (it crashed before
 // checking in), fail with a named error instead of hanging.
 const rendTimeout = 30 * time.Second
 
+// Hello kinds after the initial barrier check-in (empty kind).
+const (
+	helloRejoin = "rejoin"
+	helloPoll   = "poll"
+)
+
 type helloMsg struct {
 	Rank int    `json:"rank"`
 	Addr string `json:"addr"`
 	Node int    `json:"node"`
+	// Kind selects the exchange: "" is the initial barrier check-in,
+	// helloRejoin a replacement registration, helloPoll an incremental
+	// query for replacement registrations.
+	Kind string `json:"kind,omitempty"`
+	// Epoch is the poll watermark: the reply carries only rejoin records
+	// with a strictly larger join epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// rejoinRec is one replacement registration: rank's new incarnation is
+// reachable at Addr, registered at join epoch Epoch.
+type rejoinRec struct {
+	Rank  int    `json:"rank"`
+	Addr  string `json:"addr"`
+	Epoch uint64 `json:"epoch"`
 }
 
 type worldMsg struct {
-	Addrs []string `json:"addrs"`
-	Nodes []int    `json:"nodes"`
-	Err   string   `json:"err,omitempty"`
+	Addrs   []string    `json:"addrs"`
+	Nodes   []int       `json:"nodes"`
+	Epoch   uint64      `json:"epoch,omitempty"`   // join epoch as of this reply
+	Rejoins []rejoinRec `json:"rejoins,omitempty"` // poll results, epoch-ascending
+	Err     string      `json:"err,omitempty"`
 }
 
-// exchange is the worker side: announce (rank, addr, node) to rend and
-// wait for the assembled world.
-func exchange(rend string, rank, size int, addr string, node int) (*worldMsg, error) {
+// rendCall dials rend, sends one hello, and reads one world reply.
+func rendCall(rend string, m helloMsg) (*worldMsg, error) {
 	deadline := time.Now().Add(rendTimeout)
 	var conn net.Conn
 	var err error
@@ -47,41 +83,68 @@ func exchange(rend string, rank, size int, addr string, node int) (*worldMsg, er
 			break
 		}
 		if time.Now().Add(backoff).After(deadline) {
-			return nil, fmt.Errorf("launch: rank %d cannot reach rendezvous %s: %w", rank, rend, err)
+			return nil, fmt.Errorf("launch: rank %d cannot reach rendezvous %s: %w", m.Rank, rend, err)
 		}
 		time.Sleep(backoff)
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(deadline)
-	if err := json.NewEncoder(conn).Encode(helloMsg{Rank: rank, Addr: addr, Node: node}); err != nil {
-		return nil, fmt.Errorf("launch: rank %d rendezvous hello: %w", rank, err)
+	if err := json.NewEncoder(conn).Encode(m); err != nil {
+		return nil, fmt.Errorf("launch: rank %d rendezvous hello: %w", m.Rank, err)
 	}
 	var reply worldMsg
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
-		return nil, fmt.Errorf("launch: rank %d rendezvous reply: %w", rank, err)
+		return nil, fmt.Errorf("launch: rank %d rendezvous reply: %w", m.Rank, err)
 	}
 	if reply.Err != "" {
 		return nil, fmt.Errorf("launch: rendezvous failed: %s", reply.Err)
 	}
-	if len(reply.Addrs) != size || len(reply.Nodes) != size {
-		return nil, fmt.Errorf("launch: rendezvous reply sized %d/%d, want %d", len(reply.Addrs), len(reply.Nodes), size)
-	}
 	return &reply, nil
 }
 
-// serveRendezvous is the launcher side: collect one hello per rank from
-// ln, then broadcast the world to every connection. Returns once all
-// replies are written (or on the first protocol error / timeout, after
-// telling every connected worker why). Closing stop abandons the
-// exchange silently — the job is already over, so an incomplete
-// rendezvous is either a crash reported elsewhere or a worker program
-// that never connected, neither of which this side should diagnose.
-func serveRendezvous(ln net.Listener, size int, stop <-chan struct{}) error {
-	deadline := time.Now().Add(rendTimeout)
+// exchange is the worker side of the startup barrier: announce
+// (rank, addr, node) to rend and wait for the assembled world.
+func exchange(rend string, rank, size int, addr string, node int) (*worldMsg, error) {
+	reply, err := rendCall(rend, helloMsg{Rank: rank, Addr: addr, Node: node})
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.Addrs) != size || len(reply.Nodes) != size {
+		return nil, fmt.Errorf("launch: rendezvous reply sized %d/%d, want %d", len(reply.Addrs), len(reply.Nodes), size)
+	}
+	return reply, nil
+}
+
+// rejoinExchange is the respawned worker side: register the replacement
+// endpoint under the dead incarnation's rank and get the current world
+// back without waiting for any barrier.
+func rejoinExchange(rend string, rank, size int, addr string, node int) (*worldMsg, error) {
+	reply, err := rendCall(rend, helloMsg{Rank: rank, Addr: addr, Node: node, Kind: helloRejoin})
+	if err != nil {
+		return nil, err
+	}
+	if len(reply.Addrs) != size || len(reply.Nodes) != size {
+		return nil, fmt.Errorf("launch: rejoin reply sized %d/%d, want %d", len(reply.Addrs), len(reply.Nodes), size)
+	}
+	return reply, nil
+}
+
+// pollRejoins is the survivor side: fetch replacement registrations with
+// join epoch > since.
+func pollRejoins(rend string, rank int, since uint64) (*worldMsg, error) {
+	return rendCall(rend, helloMsg{Rank: rank, Kind: helloPoll, Epoch: since})
+}
+
+// serveJoin is the launcher side: collect one hello per rank from ln and
+// broadcast the world to every connection (the startup barrier), then
+// keep serving rejoin registrations and polls until stop closes. An
+// error during the barrier dooms the job (after telling every connected
+// worker why); errors after the barrier only fail the one exchange —
+// the job's health is the supervisor's call, not the join service's.
+func serveJoin(ln net.Listener, size int, stop <-chan struct{}) error {
 	type arrival struct {
 		conn net.Conn
 		msg  helloMsg
-		err  error
 	}
 	arrivals := make(chan arrival, size)
 	go func() {
@@ -91,7 +154,7 @@ func serveRendezvous(ln net.Listener, size int, stop <-chan struct{}) error {
 				return // listener closed by the caller
 			}
 			go func() {
-				_ = conn.SetDeadline(deadline)
+				_ = conn.SetDeadline(time.Now().Add(rendTimeout))
 				var m helloMsg
 				if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&m); err != nil {
 					conn.Close()
@@ -102,10 +165,10 @@ func serveRendezvous(ln net.Listener, size int, stop <-chan struct{}) error {
 		}
 	}()
 
+	deadline := time.Now().Add(rendTimeout)
 	conns := make(map[int]net.Conn, size)
 	world := worldMsg{Addrs: make([]string, size), Nodes: make([]int, size)}
 	fail := func(msg string) error {
-		world.Err = msg
 		for _, c := range conns {
 			_ = json.NewEncoder(c).Encode(worldMsg{Err: msg})
 			c.Close()
@@ -118,13 +181,27 @@ func serveRendezvous(ln net.Listener, size int, stop <-chan struct{}) error {
 		select {
 		case a := <-arrivals:
 			r := a.msg.Rank
+			if a.msg.Kind == helloPoll {
+				// A poll cannot be answered before the world exists; the
+				// poller retries.
+				_ = json.NewEncoder(a.conn).Encode(worldMsg{Err: "world not formed yet"})
+				a.conn.Close()
+				continue
+			}
 			if r < 0 || r >= size {
 				a.conn.Close()
 				return fail(fmt.Sprintf("worker announced out-of-range rank %d (world size %d)", r, size))
 			}
-			if _, dup := conns[r]; dup {
-				a.conn.Close()
-				return fail(fmt.Sprintf("two workers announced rank %d", r))
+			if old, dup := conns[r]; dup {
+				// A second initial hello is a launcher bug; a rejoin during
+				// the barrier is a worker that died and was respawned before
+				// the world ever formed — its replacement simply takes the
+				// dead incarnation's slot.
+				if a.msg.Kind != helloRejoin {
+					a.conn.Close()
+					return fail(fmt.Sprintf("two workers announced rank %d", r))
+				}
+				old.Close()
 			}
 			conns[r] = a.conn
 			world.Addrs[r] = a.msg.Addr
@@ -152,5 +229,43 @@ func serveRendezvous(ln net.Listener, size int, stop <-chan struct{}) error {
 		}
 		c.Close()
 	}
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// The barrier is done; serve as the persistent join point until the
+	// job ends. All state is owned by this goroutine.
+	var epoch uint64
+	var rejoins []rejoinRec
+	for {
+		select {
+		case a := <-arrivals:
+			reply := worldMsg{Epoch: epoch}
+			r := a.msg.Rank
+			switch {
+			case r < 0 || r >= size:
+				reply.Err = fmt.Sprintf("rank %d out of range (world size %d)", r, size)
+			case a.msg.Kind == helloRejoin:
+				epoch++
+				world.Addrs[r] = a.msg.Addr
+				world.Nodes[r] = a.msg.Node
+				rejoins = append(rejoins, rejoinRec{Rank: r, Addr: a.msg.Addr, Epoch: epoch})
+				reply.Epoch = epoch
+				reply.Addrs, reply.Nodes = world.Addrs, world.Nodes
+			case a.msg.Kind == helloPoll:
+				reply.Addrs, reply.Nodes = world.Addrs, world.Nodes
+				for _, rec := range rejoins {
+					if rec.Epoch > a.msg.Epoch {
+						reply.Rejoins = append(reply.Rejoins, rec)
+					}
+				}
+			default:
+				reply.Err = "initial hello after world formation (respawned workers must rejoin)"
+			}
+			_ = json.NewEncoder(a.conn).Encode(reply)
+			a.conn.Close()
+		case <-stop:
+			return nil
+		}
+	}
 }

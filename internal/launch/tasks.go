@@ -35,6 +35,18 @@ const EnvDebug = "MPICD_DEBUG"
 
 // RunTask connects a world from in and runs the named built-in task.
 func RunTask(name string, in *Info, opt core.Options) error {
+	if name == "elastic" && opt.UCP.Heartbeat.Period == 0 {
+		// Elastic recovery hinges on failure detection: without a
+		// heartbeat, a survivor blocked in Recv on a SIGKILLed peer only
+		// learns of the death from transport-level evidence, which a
+		// quiet link may never produce. Default a snappy single-host
+		// cadence; MPICD_HB_* (applied in Connect) overrides it.
+		opt.UCP.Heartbeat = fabric.DetectorConfig{
+			Period:       20 * time.Millisecond,
+			SuspectAfter: 150 * time.Millisecond,
+			DeadAfter:    600 * time.Millisecond,
+		}
+	}
 	w, err := in.Connect(opt)
 	if err != nil {
 		return err
@@ -53,8 +65,26 @@ func RunTask(name string, in *Info, opt core.Options) error {
 	if err != nil && os.Getenv(EnvDebug) != "" {
 		debugDump(w, err.Error())
 	}
+	if err == nil {
+		// Exit linger: task completion is not symmetric across ranks. A
+		// rank can finish the closing collective and exit while a peer
+		// still owes that collective's last acknowledgements — and a
+		// straggler whose retransmissions then hit a closed port reads
+		// connect-refused as hard death evidence and declares the finished
+		// rank failed (observed as a survivor stranded at size 1 after
+		// everyone else exited cleanly). Keep the fabric alive briefly so
+		// stragglers drain; heartbeats keep flowing, so the linger can
+		// never be mistaken for a death.
+		time.Sleep(exitLinger)
+	}
 	return err
 }
+
+// exitLinger is how long a successfully finished worker keeps its fabric
+// serving (acks, retransmit requests, heartbeats) before exiting. It
+// must exceed the scheduling skew between ranks finishing the same final
+// collective on a loaded machine.
+const exitLinger = 500 * time.Millisecond
 
 func runTask(name string, w *World) error {
 	switch name {
@@ -66,6 +96,10 @@ func runTask(name string, w *World) error {
 		return taskRingping(w)
 	case "crash":
 		return taskCrash(w.Comm)
+	case "killself":
+		return taskKillself(w)
+	case "elastic":
+		return taskElastic(w)
 	case "facts":
 		return taskFacts(w)
 	case "bench":
@@ -290,5 +324,29 @@ func taskCrash(c *core.Comm) error {
 		os.Exit(3)
 	}
 	time.Sleep(60 * time.Second)
+	return nil
+}
+
+// taskKillself makes one rank SIGKILL itself after the world is up — the
+// regression workload for termination-cause classification. Ranks do not
+// talk after the startup barrier, so the death stalls nobody: without
+// supervision the job error must say "killed by SIGKILL" (not an exit
+// code), and with supervision the respawned incarnation — which does not
+// kill itself again — lets the whole job finish cleanly.
+func taskKillself(w *World) error {
+	if w.Rejoined() {
+		return nil // the replacement's only job is a clean exit
+	}
+	c := w.Comm
+	victim := 1
+	if c.Size() <= victim {
+		victim = 0
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if c.Rank() == victim {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}
 	return nil
 }

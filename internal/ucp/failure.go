@@ -21,9 +21,13 @@ package ucp
 //     to the transport before the death are still receivable;
 //   - blocked probes wake (cond broadcast) and observe the dead peer.
 //
-// Death is permanent and per-worker-monotone: dead[] bits only ever go
-// false→true, so the lock-free hot-path checks need no fences beyond
-// the atomics themselves.
+// Death is sticky and per-worker near-monotone: dead[] bits go
+// false→true on declaration and only an explicit Revive — the elastic
+// re-admission of a respawned process under the same rank — flips one
+// back. The lock-free hot-path checks need no fences beyond the atomics
+// themselves; a send racing a revival may spuriously observe death one
+// last time, which callers of Revive (the Grow protocol) absorb by
+// sequencing revival before any traffic toward the new incarnation.
 
 import (
 	"fmt"
@@ -106,6 +110,33 @@ func (w *Worker) AbortWhere(pred func(from int, tag, mask Tag) bool, err error) 
 	return len(failed)
 }
 
+// poisonRule is a standing AbortWhere: receives posted after the rule is
+// installed fail at post time if their matching criteria satisfy pred.
+type poisonRule struct {
+	pred func(from int, tag, mask Tag) bool
+	err  error
+}
+
+// PoisonWhere is AbortWhere made permanent: it completes every currently
+// posted receive satisfying pred with err AND installs pred as a
+// standing rule that fails matching receives posted afterwards. The
+// recovery layer needs the standing half because revocation races the
+// communicator's own operations — a collective that passed its
+// revocation check can post its receive after the abort sweep ran, and
+// a one-shot sweep would leave that receive blocked forever on a
+// context nobody will ever send to again. Rules accumulate for the
+// worker's lifetime; install one per poisoned context, and only for
+// contexts that are never reused (revoked communicators qualify — their
+// ids are agreed monotonically).
+func (w *Worker) PoisonWhere(pred func(from int, tag, mask Tag) bool, err error) int {
+	w.mu.Lock()
+	if !w.closed {
+		w.poison = append(w.poison, poisonRule{pred: pred, err: err})
+	}
+	w.mu.Unlock()
+	return w.AbortWhere(pred, err)
+}
+
 // DeclarePeerFailed marks rank dead and fails everything bound to it.
 // Idempotent; safe to call from any goroutine, including the detector's
 // prober and pull goroutines. The local rank cannot be declared dead.
@@ -122,6 +153,13 @@ func (w *Worker) DeclarePeerFailed(rank int) {
 		// Keep the detector's view consistent when the declaration came
 		// from above (it no-ops if the detector made the call).
 		w.det.DeclareDead(rank)
+	}
+	// Tell the provider too: an SHM ring producer parked on the dead
+	// consumer's full ring unblocks only when the provider knows the
+	// peer is gone, and a silence-based verdict may precede the socket
+	// plane's own evidence.
+	if dd, ok := w.nic.(interface{ DeclareRankDown(int) }); ok {
+		dd.DeclareRankDown(rank)
 	}
 	err := procFailedErr(rank)
 	allDead := w.allOtherPeersDead()
@@ -228,4 +266,68 @@ func (w *Worker) DeclarePeerFailed(rank int) {
 	for _, cb := range cbs {
 		cb(rank)
 	}
+}
+
+// Revive lifts rank's death record so a respawned process can be
+// re-admitted under the same fabric rank (the Grow protocol calls it
+// before any traffic flows toward the replacement). It purges every
+// trace of the dead incarnation first — reliable-delivery dedup records
+// (a fresh process restarts its message-id space, so stale records
+// would swallow its first sends as duplicates) and buffered unexpected
+// messages — then clears the dead bit and resets the liveness detector
+// and the provider's connection state. After Revive, operations on the
+// rank work again and the rank can be declared failed anew.
+func (w *Worker) Revive(rank int) error {
+	if rank < 0 || rank >= len(w.dead) {
+		return fmt.Errorf("ucp: revive rank %d out of range [0,%d)", rank, len(w.dead))
+	}
+	if rank == w.Rank() {
+		return fmt.Errorf("ucp: rank %d cannot revive itself", rank)
+	}
+	var stale []*unexMsg
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWorkerClosed
+	}
+	if w.completed != nil {
+		kept := w.completedFIFO[:0]
+		for _, k := range w.completedFIFO {
+			if k.from == rank {
+				delete(w.completed, k)
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		w.completedFIFO = kept
+	}
+	stale = w.table.filterUnexpected(func(m *unexMsg) bool { return m.from != rank })
+	for _, m := range stale {
+		w.releaseFrags(m)
+	}
+	w.mu.Unlock()
+	if w.dead[rank].CompareAndSwap(true, false) {
+		w.deadCount.Add(-1)
+	}
+	// Reset liveness and connection state last, so probes toward the
+	// still-booting replacement start from a clean slate. The detector
+	// (when present) wraps the provider and forwards.
+	if rr, ok := w.nic.(interface{ ReviveRank(int) }); ok {
+		rr.ReviveRank(rank)
+	}
+	return nil
+}
+
+// UpdateAddr repoints the fabric at a respawned peer's new address. A
+// replacement process generally cannot reuse its predecessor's listening
+// endpoint (a new TCP listener gets a fresh ephemeral port), so the Grow
+// protocol pushes the rejoin address down before any traffic flows. The
+// address-bearing providers forward; fabrics without dialable addresses
+// (in-process, shared-memory paths derived from the rank) never need the
+// call and reject it so a misconfigured launcher fails loudly.
+func (w *Worker) UpdateAddr(rank int, addr string) error {
+	if up, ok := w.nic.(interface{ UpdateAddr(int, string) error }); ok {
+		return up.UpdateAddr(rank, addr)
+	}
+	return fmt.Errorf("ucp: fabric %T does not support address updates", w.nic)
 }

@@ -122,6 +122,14 @@ type Config struct {
 	// ReqTimeout is set.
 	AbortLinger time.Duration
 
+	// MsgIDBase offsets the worker's message-id space. Respawned workers
+	// re-admitted under a previously used fabric rank must set a base no
+	// prior incarnation used (the launcher derives it from the restart
+	// epoch): receivers deduplicate reliable messages by (rank, msg id),
+	// and a fresh process counting from zero would collide with the dead
+	// incarnation's ids still held in their dedup windows.
+	MsgIDBase uint64
+
 	// Heartbeat enables the liveness detector (see fabric.Detector): the
 	// worker's NIC is wrapped so every inbound packet refreshes its
 	// sender's last-seen stamp, quiet peers are pinged each period, and a

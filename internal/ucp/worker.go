@@ -49,6 +49,7 @@ type Worker struct {
 	dead       []atomic.Bool    // per-peer declared-failed flags
 	deadCount  atomic.Int64     // number of true entries in dead
 	onPeerFail []func(rank int) // failure callbacks, invoked outside mu
+	poison     []poisonRule     // standing receive-post rejections, guarded by mu
 
 	quit    chan struct{} // stops the janitor
 	nextMsg atomic.Uint64
@@ -175,6 +176,7 @@ func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 		w.completed = make(map[msgKey]doneRec, completedCap)
 		w.rng = rand.New(rand.NewSource(int64(nic.Rank())<<32 | 0x5eed))
 	}
+	w.nextMsg.Store(w.cfg.MsgIDBase)
 	w.cond = sync.NewCond(&w.mu)
 	w.ackCond = sync.NewCond(&w.ackMu)
 	w.ackDrained = make(chan struct{})
@@ -188,6 +190,18 @@ func NewWorker(nic fabric.NIC, cfg Config) *Worker {
 		w.det = fabric.NewDetector(nic, hb)
 		w.det.OnDead(w.DeclarePeerFailed)
 		w.nic = w.det
+	} else if h, ok := nic.(interface{ SetPeerDownHook(func(int, bool)) }); ok {
+		// No detector, but the provider can still report hard link-level
+		// death evidence (a refused redial to a peer that was connected:
+		// its process is gone). Feed it straight into failure
+		// notification so cross-process death fails fast even without
+		// heartbeats. Soft evidence needs the detector's state machine to
+		// mean anything; ignore it here.
+		h.SetPeerDownHook(func(rank int, hard bool) {
+			if hard {
+				w.DeclarePeerFailed(rank)
+			}
+		})
 	}
 	w.wg.Add(1)
 	go w.loop()
@@ -469,6 +483,14 @@ func (w *Worker) Recv(from int, tag, mask Tag, dt Datatype, buf any, count int64
 	if w.closed {
 		w.mu.Unlock()
 		return nil, ErrWorkerClosed
+	}
+	// Standing poisons (PoisonWhere) outrank matching: a receive on a
+	// poisoned context must fail even if a stray message could satisfy it.
+	for _, p := range w.poison {
+		if p.pred(from, tag, mask) {
+			w.mu.Unlock()
+			return nil, p.err
+		}
 	}
 	if m := w.matchUnexpected(req); m != nil {
 		w.stats.UnexpectedHits.Add(1)

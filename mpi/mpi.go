@@ -18,6 +18,9 @@
 package mpi
 
 import (
+	"errors"
+	"time"
+
 	"mpicd/internal/core"
 	"mpicd/internal/fabric"
 	"mpicd/internal/launch"
@@ -236,10 +239,24 @@ func NewObserver(traceCap int) *Observer { return obs.New(traceCap) }
 // ProcWorld is a world communicator whose ranks are separate OS
 // processes, connected over real sockets (ConnectTCP), shared memory
 // (ConnectSHM), or whatever transport the launcher picked (InitFromEnv).
+//
+// Launcher-connected worlds (InitFromEnv) additionally expose the
+// elasticity surface: Rejoined, Join and PollRejoins tie the ULFM
+// recovery flow (Comm.Revoke / Agree / Shrink / Grow) to the launcher's
+// supervision — survivors poll for supervised respawns and Grow them
+// back in, replacements Join. Directly-connected worlds (ConnectTCP,
+// ConnectSHM) have no launcher behind them; their elasticity calls fail
+// with a descriptive error.
 type ProcWorld struct {
 	Comm     *Comm
+	world    *launch.World // launcher-connected worlds only
 	shutdown func() error
 }
+
+// JoinPeer names one respawned process being re-admitted by Comm.Grow:
+// its fabric rank and, for transports with dialable endpoints, its new
+// address.
+type JoinPeer = core.JoinPeer
 
 // TCPWorld is the original, transport-specific name for ProcWorld.
 type TCPWorld = ProcWorld
@@ -282,6 +299,18 @@ func ConnectSHM(rank, size int, dir string, opt Options) (*ProcWorld, error) {
 // behaviour. The launcher-reported placement is applied to the world
 // communicator's collective tuning, so hierarchical schedules engage
 // automatically under multi-node layouts.
+//
+// The environment can also tune cross-process failure detection without
+// code changes: MPICD_HB_PERIOD (a Go duration, e.g. "20ms") enables
+// the heartbeat detector at that probe period, and MPICD_HB_SUSPECT /
+// MPICD_HB_DEAD scale the suspicion and death thresholds as multiples
+// of the period (defaults 8 and 30). Options.UCP.Heartbeat, when set,
+// wins over the environment.
+//
+// A process whose MPICD_EPOCH is greater than zero is a supervised
+// respawn of a dead rank: it has no Comm (the returned world's Comm is
+// nil) and must re-enter through Join while the survivors Grow it back
+// in — see ProcWorld.Rejoined.
 func InitFromEnv(opt Options) (world *ProcWorld, ok bool, err error) {
 	if !launch.IsWorker() {
 		return nil, false, nil
@@ -294,7 +323,40 @@ func InitFromEnv(opt Options) (world *ProcWorld, ok bool, err error) {
 	if err != nil {
 		return nil, true, err
 	}
-	return &ProcWorld{Comm: w.Comm, shutdown: w.Close}, true, nil
+	return &ProcWorld{Comm: w.Comm, world: w, shutdown: w.Close}, true, nil
+}
+
+// Rejoined reports whether this process is a supervised respawn that
+// must Join the surviving group instead of using a world communicator
+// from startup (its Comm is nil until Join succeeds).
+func (t *ProcWorld) Rejoined() bool {
+	return t.world != nil && t.world.Rejoined()
+}
+
+// Join runs the joiner side of elastic re-admission: wait, up to window,
+// for the surviving group to Grow this rank back in, and return the new
+// world communicator (also stored as t.Comm). Only meaningful when
+// Rejoined reports true.
+func (t *ProcWorld) Join(window time.Duration) (*Comm, error) {
+	if t.world == nil {
+		return nil, errors.New("mpi: Join needs a launcher-connected world (InitFromEnv)")
+	}
+	c, err := t.world.Join(window)
+	if c != nil {
+		t.Comm = c
+	}
+	return c, err
+}
+
+// PollRejoins asks the launcher's join service which respawned
+// replacements have registered since join epoch `since` (0 means all).
+// The returned peers feed Comm.Grow; the second result is the service's
+// current epoch, the watermark for the next incremental poll.
+func (t *ProcWorld) PollRejoins(since uint64) ([]JoinPeer, uint64, error) {
+	if t.world == nil {
+		return nil, 0, errors.New("mpi: PollRejoins needs a launcher-connected world (InitFromEnv)")
+	}
+	return t.world.PollRejoins(since)
 }
 
 func procWorld(nic fabric.NIC, opt Options) (*ProcWorld, error) {
